@@ -1,0 +1,296 @@
+//! SplayNet — the self-adjusting BST overlay of Avin, Haeupler, Lotker,
+//! Scheideler and Schmid ("Locally Self-Adjusting Tree Networks"), which the
+//! paper generalises from a single tree to the overlapping trees of a skip
+//! graph.
+//!
+//! A SplayNet is a binary search tree over the peers (ordered by key). A
+//! request `(u, v)` is served along the unique tree path between the two
+//! peers; afterwards the network *double-splays*: `u` is splayed to the root
+//! of the lowest subtree containing both endpoints, and `v` is then splayed
+//! to become a child of `u`, so that repeating pairs become adjacent.
+//!
+//! The implementation stores the tree in an arena indexed by peer key and
+//! uses the classic zig / zig-zig / zig-zag rotations, restricted to the
+//! subtree being splayed.
+
+use crate::Baseline;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Node {
+    parent: Option<u32>,
+    left: Option<u32>,
+    right: Option<u32>,
+}
+
+/// A self-adjusting binary search tree overlay (SplayNet).
+#[derive(Debug, Clone)]
+pub struct SplayNet {
+    nodes: Vec<Node>,
+    root: u32,
+    n: u64,
+}
+
+impl SplayNet {
+    /// Builds a SplayNet over peers `0..n`, initially shaped as a perfectly
+    /// balanced BST.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 2, "a SplayNet needs at least two peers");
+        let mut net = SplayNet {
+            nodes: vec![Node::default(); n as usize],
+            root: 0,
+            n,
+        };
+        net.root = net.build_balanced(0, n as u32 - 1, None);
+        net
+    }
+
+    fn build_balanced(&mut self, lo: u32, hi: u32, parent: Option<u32>) -> u32 {
+        let mid = lo + (hi - lo) / 2;
+        self.nodes[mid as usize].parent = parent;
+        self.nodes[mid as usize].left = if mid > lo {
+            Some(self.build_balanced(lo, mid - 1, Some(mid)))
+        } else {
+            None
+        };
+        self.nodes[mid as usize].right = if mid < hi {
+            Some(self.build_balanced(mid + 1, hi, Some(mid)))
+        } else {
+            None
+        };
+        mid
+    }
+
+    /// Depth of a node (root has depth 0).
+    fn depth(&self, mut node: u32) -> usize {
+        let mut depth = 0;
+        while let Some(parent) = self.nodes[node as usize].parent {
+            node = parent;
+            depth += 1;
+        }
+        depth
+    }
+
+    /// The lowest common ancestor of two peers. In a BST over keys this is
+    /// the first node on the root-to-leaf search path whose key lies between
+    /// the two.
+    fn lca(&self, u: u32, v: u32) -> u32 {
+        let (lo, hi) = if u <= v { (u, v) } else { (v, u) };
+        let mut current = self.root;
+        loop {
+            if current < lo {
+                current = self.nodes[current as usize]
+                    .right
+                    .expect("BST search stays inside the tree");
+            } else if current > hi {
+                current = self.nodes[current as usize]
+                    .left
+                    .expect("BST search stays inside the tree");
+            } else {
+                return current;
+            }
+        }
+    }
+
+    /// Number of tree edges between two peers.
+    pub fn path_length(&self, u: u64, v: u64) -> usize {
+        let (u, v) = (u as u32, v as u32);
+        let w = self.lca(u, v);
+        self.depth(u) + self.depth(v) - 2 * self.depth(w)
+    }
+
+    /// The current depth of the deepest peer (diagnostic).
+    pub fn max_depth(&self) -> usize {
+        (0..self.nodes.len() as u32).map(|i| self.depth(i)).max().unwrap_or(0)
+    }
+
+    fn rotate(&mut self, x: u32) {
+        let p = self.nodes[x as usize].parent.expect("rotation needs a parent");
+        let g = self.nodes[p as usize].parent;
+        let x_is_left = self.nodes[p as usize].left == Some(x);
+        // Move x's inner subtree over to p.
+        let inner = if x_is_left {
+            let inner = self.nodes[x as usize].right;
+            self.nodes[p as usize].left = inner;
+            self.nodes[x as usize].right = Some(p);
+            inner
+        } else {
+            let inner = self.nodes[x as usize].left;
+            self.nodes[p as usize].right = inner;
+            self.nodes[x as usize].left = Some(p);
+            inner
+        };
+        if let Some(inner) = inner {
+            self.nodes[inner as usize].parent = Some(p);
+        }
+        self.nodes[p as usize].parent = Some(x);
+        self.nodes[x as usize].parent = g;
+        match g {
+            Some(g) => {
+                if self.nodes[g as usize].left == Some(p) {
+                    self.nodes[g as usize].left = Some(x);
+                } else {
+                    self.nodes[g as usize].right = Some(x);
+                }
+            }
+            None => self.root = x,
+        }
+    }
+
+    /// Splays `x` upward until its parent is `boundary` (so `x` becomes the
+    /// root of the subtree hanging off `boundary`, or the tree root when
+    /// `boundary` is `None`).
+    fn splay(&mut self, x: u32, boundary: Option<u32>) {
+        while self.nodes[x as usize].parent != boundary {
+            let p = self.nodes[x as usize].parent.expect("not yet at the boundary");
+            let g = self.nodes[p as usize].parent;
+            if g == boundary {
+                self.rotate(x); // zig
+            } else {
+                let g = g.expect("grandparent exists below the boundary");
+                let p_is_left = self.nodes[g as usize].left == Some(p);
+                let x_is_left = self.nodes[p as usize].left == Some(x);
+                if p_is_left == x_is_left {
+                    // zig-zig: rotate the parent first.
+                    self.rotate(p);
+                    self.rotate(x);
+                } else {
+                    // zig-zag: rotate x twice.
+                    self.rotate(x);
+                    self.rotate(x);
+                }
+            }
+        }
+    }
+
+    /// Checks the binary-search-tree invariant (used by tests).
+    pub fn is_valid_bst(&self) -> bool {
+        fn check(net: &SplayNet, node: u32, lo: Option<u32>, hi: Option<u32>) -> bool {
+            if lo.is_some_and(|lo| node <= lo) || hi.is_some_and(|hi| node >= hi) {
+                return false;
+            }
+            let n = &net.nodes[node as usize];
+            n.left.map_or(true, |l| {
+                net.nodes[l as usize].parent == Some(node) && check(net, l, lo, Some(node))
+            }) && n.right.map_or(true, |r| {
+                net.nodes[r as usize].parent == Some(node) && check(net, r, Some(node), hi)
+            })
+        }
+        self.nodes[self.root as usize].parent.is_none()
+            && check(self, self.root, None, None)
+            && (0..self.nodes.len() as u32)
+                .all(|i| i == self.root || self.nodes[i as usize].parent.is_some())
+    }
+}
+
+impl Baseline for SplayNet {
+    fn name(&self) -> &'static str {
+        "splaynet"
+    }
+
+    fn peers(&self) -> u64 {
+        self.n
+    }
+
+    fn serve(&mut self, u: u64, v: u64) -> usize {
+        assert!(u != v && u < self.n && v < self.n, "invalid request");
+        let cost_edges = self.path_length(u, v);
+        let (u, v) = (u as u32, v as u32);
+        // Double splay: u to the root of the lowest common subtree, then v
+        // to a child of u.
+        let w = self.lca(u, v);
+        let boundary = self.nodes[w as usize].parent;
+        self.splay(u, boundary);
+        if v != u {
+            self.splay(v, Some(u));
+        }
+        cost_edges.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_tree_is_balanced_and_valid() {
+        let net = SplayNet::new(127);
+        assert!(net.is_valid_bst());
+        assert!(net.max_depth() <= 7);
+    }
+
+    #[test]
+    fn serving_brings_the_pair_together() {
+        let mut net = SplayNet::new(64);
+        let first = net.serve(3, 60);
+        assert!(net.is_valid_bst());
+        // After the double splay the pair is adjacent: zero intermediates.
+        let second = net.serve(3, 60);
+        assert_eq!(second, 0);
+        assert!(first >= second);
+        assert!(net.is_valid_bst());
+    }
+
+    #[test]
+    fn repeated_pairs_stay_cheap_under_interleaving() {
+        let mut net = SplayNet::new(128);
+        net.serve(10, 90);
+        // Unrelated traffic far away in key space.
+        for i in 30..50u64 {
+            net.serve(i, i + 1);
+        }
+        assert!(net.is_valid_bst());
+        // The hot pair may have been disturbed, but a single refresh makes
+        // it adjacent again.
+        net.serve(10, 90);
+        assert_eq!(net.serve(10, 90), 0);
+    }
+
+    #[test]
+    fn skewed_workloads_beat_the_balanced_depth() {
+        // Restrict traffic to a small community; after warm-up the average
+        // path length should be far below log2(n).
+        let mut net = SplayNet::new(1024);
+        let hot: Vec<u64> = (100..108).collect();
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for round in 0..50 {
+            for i in 0..hot.len() {
+                for j in (i + 1)..hot.len() {
+                    let c = net.serve(hot[i], hot[j]);
+                    if round > 0 {
+                        total += c;
+                        count += 1;
+                    }
+                }
+            }
+        }
+        let avg = total as f64 / count as f64;
+        assert!(net.is_valid_bst());
+        assert!(avg < 5.0, "average hot-pair cost {avg} not small");
+    }
+
+    #[test]
+    fn all_pairs_reachable_and_costs_bounded() {
+        let mut net = SplayNet::new(32);
+        for u in 0..32u64 {
+            for v in 0..32u64 {
+                if u != v {
+                    let c = net.serve(u, v);
+                    assert!(c < 32);
+                }
+            }
+        }
+        assert!(net.is_valid_bst());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid request")]
+    fn self_requests_are_rejected() {
+        let mut net = SplayNet::new(8);
+        let _ = net.serve(3, 3);
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion benchmark for experiment E11 (ablations): the cost of a request
+//! under the AMF median versus the exact-median oracle, and with a-balance
+//! maintenance switched off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dsg::{DsgConfig, MedianStrategy};
+use dsg_bench::run_dsg;
+use dsg_workloads::{RotatingHotSet, Workload};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    let n = 256u64;
+    let trace = RotatingHotSet::new(n, 8, 0.9, 80, 2).generate(400);
+    let configs = [
+        ("amf", DsgConfig::default().with_seed(5)),
+        (
+            "exact_median",
+            DsgConfig::default()
+                .with_seed(5)
+                .with_median(MedianStrategy::Exact),
+        ),
+        (
+            "no_balance_repair",
+            DsgConfig::default().with_seed(5).with_balance_maintenance(false),
+        ),
+        ("a4", DsgConfig::default().with_seed(5).with_a(4)),
+    ];
+    for (name, config) in configs {
+        group.bench_with_input(BenchmarkId::new(name, n), &trace, |b, trace| {
+            b.iter(|| black_box(run_dsg(n, config, black_box(trace))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

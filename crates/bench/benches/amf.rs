@@ -1,0 +1,40 @@
+//! Criterion benchmark for experiment E4/E5: the approximate median finder
+//! versus the exact-median oracle across list sizes and balance parameters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dsg::{AmfMedian, ExactMedian, MedianFinder, Priority};
+
+fn values(n: usize) -> Vec<Priority> {
+    (0..n as i64)
+        .map(|v| Priority::Finite(((v * 2654435761) % 1_000_003) as i128))
+        .collect()
+}
+
+fn bench_amf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("amf_median");
+    group.sample_size(10);
+    for &n in &[256usize, 1024, 4096] {
+        for &a in &[2usize, 4] {
+            let input = values(n);
+            group.bench_with_input(
+                BenchmarkId::new(format!("amf_a{a}"), n),
+                &input,
+                |b, input| {
+                    let mut finder = AmfMedian::new(7);
+                    b.iter(|| black_box(finder.find_median(black_box(input), a)));
+                },
+            );
+        }
+        let input = values(n);
+        group.bench_with_input(BenchmarkId::new("exact", n), &input, |b, input| {
+            let mut finder = ExactMedian;
+            b.iter(|| black_box(finder.find_median(black_box(input), 3)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_amf);
+criterion_main!(benches);

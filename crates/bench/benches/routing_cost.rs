@@ -1,0 +1,51 @@
+//! Criterion benchmark for experiment E8: serving a skewed trace on the
+//! self-adjusting skip graph versus the static skip graph and SplayNet.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dsg::DsgConfig;
+use dsg_baselines::{SplayNet, StaticSkipGraph};
+use dsg_bench::{run_baseline, run_dsg};
+use dsg_workloads::{Workload, ZipfPairs};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_trace");
+    group.sample_size(10);
+    let n = 256u64;
+    let m = 500usize;
+    for &alpha in &[0.0f64, 1.2] {
+        let trace = ZipfPairs::new(n, alpha, 3).generate(m);
+        group.bench_with_input(
+            BenchmarkId::new("dsg", format!("alpha{alpha}")),
+            &trace,
+            |b, trace| {
+                b.iter(|| black_box(run_dsg(n, DsgConfig::default().with_seed(1), black_box(trace))));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("static", format!("alpha{alpha}")),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut baseline = StaticSkipGraph::new(n);
+                    black_box(run_baseline(&mut baseline, black_box(trace)))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("splaynet", format!("alpha{alpha}")),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut baseline = SplayNet::new(n);
+                    black_box(run_baseline(&mut baseline, black_box(trace)))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

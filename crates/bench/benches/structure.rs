@@ -1,0 +1,41 @@
+//! Criterion benchmark for experiment E1: substrate operations — building
+//! skip graphs, routing, and the balanced-skip-list construction used by
+//! AMF.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dsg_skipgraph::{fixtures, BalancedSkipList, Key};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_structure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+    for &n in &[256u64, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::new("build_random", n), &n, |b, &n| {
+            b.iter(|| black_box(fixtures::uniform_random(n, 7)));
+        });
+        let graph = fixtures::uniform_random(n, 7);
+        group.bench_with_input(BenchmarkId::new("route", n), &graph, |b, graph| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for i in (0..n).step_by((n / 32).max(1) as usize) {
+                    total += graph
+                        .route(Key::new(i), Key::new(n - 1 - i))
+                        .map(|r| r.hops())
+                        .unwrap_or(0);
+                }
+                black_box(total)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("balanced_skip_list", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(BalancedSkipList::build(n as usize, 3, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_structure);
+criterion_main!(benches);

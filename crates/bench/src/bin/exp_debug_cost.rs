@@ -1,0 +1,44 @@
+//! Diagnostic helper (not part of the experiment index): prints the cost
+//! anatomy of a workload run — routing cost with and without dummy hops,
+//! structure height, group sizes — to understand where hops go.
+//!
+//! Run with `cargo run --release -p dsg-bench --bin exp_debug_cost`.
+
+use dsg::{DsgConfig, DynamicSkipGraph};
+use dsg_baselines::{Baseline, StaticSkipGraph};
+use dsg_workloads::{RepeatedPairs, RotatingHotSet, UniformRandom, Workload, ZipfPairs};
+
+fn main() {
+    for (name, n, trace) in [
+        ("uniform n=64", 64u64, UniformRandom::new(64, 9).generate(500)),
+        ("zipf1.4 n=96", 96u64, ZipfPairs::new(96, 1.4, 11).generate(800)),
+        ("zipf2.0 n=96", 96u64, ZipfPairs::new(96, 2.0, 11).generate(800)),
+        ("hotset8 n=96", 96u64, RotatingHotSet::new(96, 8, 0.9, 200, 3).generate(800)),
+        ("repeated3 n=128", 128u64, RepeatedPairs::new(128, vec![(3, 90), (45, 77), (10, 11)]).generate(60)),
+        ("datacenter n=128", 128u64, dsg_workloads::Datacenter::conventional(128, 13).generate(800)),
+    ] {
+        let mut net = DynamicSkipGraph::new(0..n, DsgConfig::default().with_seed(3)).unwrap();
+        let mut with_dummies = 0usize;
+        let mut without_dummies = 0usize;
+        let mut worst_late = 0usize;
+        for (i, r) in trace.iter().enumerate() {
+            without_dummies += net.peer_distance(r.u, r.v).unwrap();
+            let out = net.communicate(r.u, r.v).unwrap();
+            with_dummies += out.routing_cost;
+            if i >= 3 && trace.len() < 100 {
+                worst_late = worst_late.max(out.routing_cost);
+            }
+        }
+        let mut st = StaticSkipGraph::new(n);
+        let static_total: usize = trace.iter().map(|r| st.serve(r.u, r.v)).sum();
+        println!(
+            "{name}: dsg avg {:.2} (peers only {:.2}), static {:.2}, height {}, dummies {}, worst_late {}",
+            with_dummies as f64 / trace.len() as f64,
+            without_dummies as f64 / trace.len() as f64,
+            static_total as f64 / trace.len() as f64,
+            net.height(),
+            net.dummy_count(),
+            worst_late
+        );
+    }
+}

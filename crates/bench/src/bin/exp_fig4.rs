@@ -1,0 +1,60 @@
+//! Experiment E3 (Figure 4): prints the S₈ → S₉ transformation produced by
+//! serving the `(U, V)` request on the paper's worked example.
+//!
+//! Run with `cargo run --release -p dsg-bench --bin exp_fig4`.
+
+use dsg::fixtures::{figure4_s8, peers};
+use dsg::{DsgConfig, MedianStrategy};
+use dsg_skipgraph::TreeView;
+
+fn main() {
+    println!("E3 — the S₈ → S₉ worked example of Figure 4\n");
+    let mut net = figure4_s8(
+        DsgConfig::default()
+            .with_median(MedianStrategy::Exact)
+            .with_a(3)
+            .with_seed(8),
+    )
+    .unwrap();
+
+    println!("S₈ (before the request), as a tree of linked lists:");
+    println!("{}", TreeView::build(net.graph()).render(net.graph()));
+
+    let outcome = net.communicate(peers::U, peers::V).unwrap();
+    println!(
+        "served (U, V) at time {}: α = {}, pair level d' = {}, routing cost {}, {} transformation rounds\n",
+        outcome.time,
+        outcome.alpha,
+        outcome.pair_level,
+        outcome.routing_cost,
+        outcome.transformation_rounds()
+    );
+
+    println!("S₉ (after the request):");
+    println!("{}", TreeView::build(net.graph()).render(net.graph()));
+
+    println!("selected state after the transformation (cf. Figure 4(c)):");
+    for (name, peer) in [
+        ("U", peers::U),
+        ("V", peers::V),
+        ("E", peers::E),
+        ("B", peers::B),
+        ("G", peers::G),
+        ("D", peers::D),
+        ("H", peers::H),
+        ("J", peers::J),
+        ("F", peers::F),
+        ("I", peers::I),
+    ] {
+        let state = net.peer_state(peer).unwrap();
+        let ts: Vec<u64> = (0..=4).map(|lvl| state.timestamp(lvl)).collect();
+        println!(
+            "  {name}: timestamps(levels 0..=4) = {ts:?}, group-base = {}",
+            state.group_base()
+        );
+    }
+    println!(
+        "\nU and V directly linked: {}",
+        net.are_directly_linked(peers::U, peers::V).unwrap()
+    );
+}

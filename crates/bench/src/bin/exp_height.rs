@@ -1,0 +1,53 @@
+//! Experiment E6 (Lemmas 4 and 5): the level of the direct link created for
+//! a request never exceeds `log_{2a/(a+1)} n`, and the structure height
+//! never exceeds `log_{3/2} n` (plus dummy-node slack) after any
+//! transformation.
+//!
+//! Run with `cargo run --release -p dsg-bench --bin exp_height`.
+
+use dsg::DsgConfig;
+use dsg_bench::{f2, format_table, run_dsg};
+use dsg_workloads::{UniformRandom, Workload, ZipfPairs};
+
+fn main() {
+    println!("E6 — height and direct-link level bounds (Lemmas 4 and 5)\n");
+    let a = 3usize;
+    let requests = 800usize;
+    let mut rows = Vec::new();
+    for &n in &[128u64, 256, 512] {
+        for (name, trace) in [
+            ("zipf 1.2", ZipfPairs::new(n, 1.2, 3).generate(requests)),
+            ("uniform", UniformRandom::new(n, 3).generate(requests)),
+        ] {
+            let run = run_dsg(n, DsgConfig::default().with_a(a).with_seed(4), &trace);
+            let lemma4 = (n as f64).ln() / (2.0 * a as f64 / (a as f64 + 1.0)).ln();
+            let lemma5 = (n as f64).ln() / 1.5f64.ln();
+            let max_pair_level = run.pair_levels.iter().copied().max().unwrap_or(0);
+            rows.push(vec![
+                n.to_string(),
+                name.to_string(),
+                max_pair_level.to_string(),
+                f2(lemma4),
+                run.max_height().to_string(),
+                f2(lemma5),
+                run.final_dummies.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "n",
+                "workload",
+                "max link level",
+                "lemma4 bound",
+                "max height",
+                "lemma5 bound",
+                "dummies"
+            ],
+            &rows
+        )
+    );
+    println!("Expected shape: measured maxima stay below the corresponding bounds.");
+}

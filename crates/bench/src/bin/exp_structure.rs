@@ -1,0 +1,72 @@
+//! Experiment E1 (Figure 1): the skip graph and its binary-tree-of-lists
+//! view are two presentations of the same structure, and routing stays
+//! within the `a · log n` family bound.
+//!
+//! Run with `cargo run --release -p dsg-bench --bin exp_structure`.
+
+use dsg_bench::{f2, format_table};
+use dsg_skipgraph::{fixtures, Key, TreeView};
+
+fn main() {
+    println!("E1 — structural equivalence and routing bounds (Figure 1)\n");
+
+    // The paper's own 6-node instance first.
+    let figure1 = fixtures::figure1();
+    let tree = TreeView::build(&figure1);
+    println!("Figure 1 instance ({} nodes):", figure1.len());
+    println!("{}", tree.render(&figure1));
+    assert!(tree.is_consistent_with(&figure1));
+
+    let mut rows = Vec::new();
+    for n in [6u64, 64, 256, 1024] {
+        let graph = if n == 6 {
+            fixtures::figure1()
+        } else {
+            fixtures::uniform_random(n, 42)
+        };
+        let tree = TreeView::build(&graph);
+        let consistent = tree.is_consistent_with(&graph);
+        // Sample routing distances.
+        let keys: Vec<Key> = graph.keys().collect();
+        let mut worst = 0usize;
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for i in (0..keys.len()).step_by(7.max(keys.len() / 40)) {
+            for j in (0..keys.len()).step_by(11.max(keys.len() / 40)) {
+                if i == j {
+                    continue;
+                }
+                let hops = graph.route(keys[i], keys[j]).unwrap().hops();
+                worst = worst.max(hops);
+                total += hops;
+                count += 1;
+            }
+        }
+        let log_n = (graph.len() as f64).log2();
+        rows.push(vec![
+            graph.len().to_string(),
+            graph.height().to_string(),
+            tree.list_count().to_string(),
+            consistent.to_string(),
+            f2(total as f64 / count.max(1) as f64),
+            worst.to_string(),
+            f2(worst as f64 / log_n),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "n",
+                "height",
+                "lists",
+                "tree==graph",
+                "avg hops",
+                "worst hops",
+                "worst/log2(n)"
+            ],
+            &rows
+        )
+    );
+    println!("Expected shape: worst/log2(n) stays a small constant at every n.");
+}

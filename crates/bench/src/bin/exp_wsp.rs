@@ -1,0 +1,75 @@
+//! Experiment E7 (Theorem 2, the working set property): for every repeat
+//! request, the routing distance found by the request is `O(log T_i)` where
+//! `T_i` is its working set number.
+//!
+//! Run with `cargo run --release -p dsg-bench --bin exp_wsp`.
+
+use dsg::{DsgConfig, DynamicSkipGraph};
+use dsg_bench::{f2, format_table};
+use dsg_metrics::WorkingSetTracker;
+use dsg_workloads::{RepeatedPairs, RotatingHotSet, Workload, ZipfPairs};
+
+fn main() {
+    println!("E7 — the working set property (Theorem 2)\n");
+    let n = 256u64;
+    let requests = 1500usize;
+    let mut rows = Vec::new();
+    let workloads: Vec<(&str, Vec<dsg_workloads::Request>)> = vec![
+        (
+            "repeated pairs",
+            RepeatedPairs::new(n, vec![(1, 200), (40, 41), (90, 171)]).generate(requests),
+        ),
+        (
+            "hot set (8)",
+            RotatingHotSet::new(n, 8, 0.9, 120, 9).generate(requests),
+        ),
+        ("zipf 1.2", ZipfPairs::new(n, 1.2, 9).generate(requests)),
+    ];
+    for (name, trace) in workloads {
+        let mut net = DynamicSkipGraph::new(0..n, DsgConfig::default().with_seed(6)).unwrap();
+        let mut tracker = WorkingSetTracker::new(n as usize);
+        let mut worst_ratio = 0.0f64;
+        let mut sum_ratio = 0.0f64;
+        let mut samples = 0usize;
+        let mut violations = 0usize;
+        let a = net.config().a as f64;
+        for request in &trace {
+            let ws = tracker.record(request.u, request.v);
+            let distance = net.peer_distance(request.u, request.v).unwrap();
+            net.communicate(request.u, request.v).unwrap();
+            if ws < n as usize {
+                let log_ws = (ws.max(2) as f64).log2();
+                let ratio = distance as f64 / log_ws;
+                worst_ratio = worst_ratio.max(ratio);
+                sum_ratio += ratio;
+                samples += 1;
+                // Theorem 2's constant is a (the balance parameter) up to
+                // additive slack from dummy nodes.
+                if (distance as f64) > 2.0 * a * log_ws + a {
+                    violations += 1;
+                }
+            }
+        }
+        rows.push(vec![
+            name.to_string(),
+            samples.to_string(),
+            f2(sum_ratio / samples.max(1) as f64),
+            f2(worst_ratio),
+            violations.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "workload",
+                "repeat requests",
+                "mean d/log2(T)",
+                "worst d/log2(T)",
+                "violations of 2a·log2(T)+a"
+            ],
+            &rows
+        )
+    );
+    println!("Expected shape: the distance / log(working set) ratio is bounded by a small constant.");
+}

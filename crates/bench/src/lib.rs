@@ -1,0 +1,188 @@
+//! # dsg-bench — experiment harness
+//!
+//! Shared plumbing for the experiment binaries (`src/bin/exp_*.rs`), the
+//! Criterion benchmarks (`benches/`) and the runnable examples. Each
+//! experiment in `DESIGN.md` (E1–E12) maps to one binary that prints the
+//! table or series it reproduces; `EXPERIMENTS.md` records the measured
+//! numbers next to the paper's claims.
+//!
+//! The helpers here run a request trace through the self-adjusting skip
+//! graph (collecting the paper's cost metrics) and through the baseline
+//! overlays, and format plain-text tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use dsg::{DsgConfig, DynamicSkipGraph};
+use dsg_baselines::Baseline;
+use dsg_metrics::WorkingSetTracker;
+use dsg_workloads::Request;
+
+/// Result of replaying a trace through the self-adjusting skip graph.
+#[derive(Debug, Clone, Default)]
+pub struct DsgRun {
+    /// Routing cost (intermediate nodes) per request.
+    pub routing_costs: Vec<usize>,
+    /// Transformation rounds per request.
+    pub transformation_rounds: Vec<usize>,
+    /// Total cost (`d + ρ + 1`) per request.
+    pub total_costs: Vec<usize>,
+    /// Structure height after each request.
+    pub heights: Vec<usize>,
+    /// Working set number of each request (computed alongside).
+    pub working_sets: Vec<usize>,
+    /// Level of the direct link created for each request.
+    pub pair_levels: Vec<usize>,
+    /// Dummy nodes alive after the whole trace.
+    pub final_dummies: usize,
+    /// Whether the a-balance property held after every request.
+    pub always_balanced: bool,
+}
+
+impl DsgRun {
+    /// Sum of routing costs.
+    pub fn total_routing(&self) -> usize {
+        self.routing_costs.iter().sum()
+    }
+
+    /// Sum of transformation rounds.
+    pub fn total_transformation(&self) -> usize {
+        self.transformation_rounds.iter().sum()
+    }
+
+    /// Average routing cost per request.
+    pub fn avg_routing(&self) -> f64 {
+        if self.routing_costs.is_empty() {
+            0.0
+        } else {
+            self.total_routing() as f64 / self.routing_costs.len() as f64
+        }
+    }
+
+    /// The working-set bound `WS(σ)` of the replayed trace.
+    pub fn working_set_bound(&self) -> f64 {
+        self.working_sets
+            .iter()
+            .map(|&t| (t.max(2) as f64).log2())
+            .sum()
+    }
+
+    /// Maximum height observed.
+    pub fn max_height(&self) -> usize {
+        self.heights.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Replays `trace` on a fresh `n`-peer [`DynamicSkipGraph`] built with
+/// `config`, collecting the per-request metrics the experiments report.
+///
+/// # Panics
+///
+/// Panics if the trace references peers outside `0..n` (traces from
+/// `dsg-workloads` never do).
+pub fn run_dsg(n: u64, config: DsgConfig, trace: &[Request]) -> DsgRun {
+    let mut net = DynamicSkipGraph::new(0..n, config).expect("peer keys 0..n are distinct");
+    let mut tracker = WorkingSetTracker::new(n as usize);
+    let mut run = DsgRun {
+        always_balanced: true,
+        ..DsgRun::default()
+    };
+    for request in trace {
+        let ws = tracker.record(request.u, request.v);
+        let outcome = net
+            .communicate(request.u, request.v)
+            .expect("trace peers exist");
+        run.routing_costs.push(outcome.routing_cost);
+        run.transformation_rounds
+            .push(outcome.transformation_rounds());
+        run.total_costs.push(outcome.total_cost());
+        run.heights.push(outcome.height_after);
+        run.working_sets.push(ws);
+        run.pair_levels.push(outcome.pair_level);
+        if !net.balance_report().is_balanced() {
+            run.always_balanced = false;
+        }
+    }
+    run.final_dummies = net.dummy_count();
+    run
+}
+
+/// Replays `trace` on a baseline overlay and returns the per-request routing
+/// costs.
+pub fn run_baseline<B: Baseline>(baseline: &mut B, trace: &[Request]) -> Vec<usize> {
+    trace.iter().map(|r| baseline.serve(r.u, r.v)).collect()
+}
+
+/// Formats a plain-text table with aligned columns.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with two decimals (table helper).
+pub fn f2(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsg_workloads::{RepeatedPairs, Workload};
+
+    #[test]
+    fn run_dsg_collects_one_sample_per_request() {
+        let trace = RepeatedPairs::single(16, 1, 9).generate(5);
+        let run = run_dsg(16, DsgConfig::default().with_seed(3), &trace);
+        assert_eq!(run.routing_costs.len(), 5);
+        assert_eq!(run.total_costs.len(), 5);
+        assert_eq!(run.working_sets[0], 16);
+        assert_eq!(run.working_sets[4], 2);
+        // After the first request the pair is directly linked.
+        assert!(run.routing_costs[1..].iter().all(|&c| c <= 1));
+    }
+
+    #[test]
+    fn baselines_are_replayable() {
+        let trace = RepeatedPairs::single(32, 0, 31).generate(4);
+        let mut baseline = dsg_baselines::StaticSkipGraph::new(32);
+        let costs = run_baseline(&mut baseline, &trace);
+        assert_eq!(costs.len(), 4);
+        assert!(costs.iter().all(|&c| c == costs[0]));
+    }
+
+    #[test]
+    fn tables_are_aligned() {
+        let table = format_table(
+            &["n", "cost"],
+            &[vec!["8".into(), "1.25".into()], vec!["1024".into(), "10.00".into()]],
+        );
+        assert!(table.contains("1024"));
+        assert!(table.lines().count() >= 4);
+    }
+}

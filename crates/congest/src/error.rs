@@ -1,0 +1,91 @@
+//! Errors reported by the CONGEST simulator.
+
+use std::fmt;
+
+/// Errors produced while driving a protocol through the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CongestError {
+    /// A node attempted to send a message to a node it has no link to.
+    NoSuchLink {
+        /// The sending node.
+        from: usize,
+        /// The intended receiver.
+        to: usize,
+    },
+    /// A node attempted to send two messages over the same link in one
+    /// round, violating the CONGEST capacity constraint.
+    LinkCapacityExceeded {
+        /// The sending node.
+        from: usize,
+        /// The receiver.
+        to: usize,
+        /// The round in which the violation occurred.
+        round: usize,
+    },
+    /// A message exceeded the configured `O(log n)` bit budget.
+    MessageTooLarge {
+        /// The sending node.
+        from: usize,
+        /// The receiver.
+        to: usize,
+        /// Size of the offending message in bits.
+        bits: usize,
+        /// The configured limit in bits.
+        limit: usize,
+    },
+    /// The protocol did not terminate within the configured round budget.
+    RoundLimitExceeded {
+        /// The configured maximum number of rounds.
+        limit: usize,
+    },
+    /// A node index was out of range for the topology.
+    UnknownNode(usize),
+}
+
+impl fmt::Display for CongestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CongestError::NoSuchLink { from, to } => {
+                write!(f, "node {from} has no link to node {to}")
+            }
+            CongestError::LinkCapacityExceeded { from, to, round } => write!(
+                f,
+                "node {from} sent more than one message to node {to} in round {round}"
+            ),
+            CongestError::MessageTooLarge {
+                from,
+                to,
+                bits,
+                limit,
+            } => write!(
+                f,
+                "message from {from} to {to} is {bits} bits, exceeding the {limit}-bit budget"
+            ),
+            CongestError::RoundLimitExceeded { limit } => {
+                write!(f, "protocol did not terminate within {limit} rounds")
+            }
+            CongestError::UnknownNode(node) => write!(f, "node index {node} is out of range"),
+        }
+    }
+}
+
+impl std::error::Error for CongestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_displayable_and_threadsafe() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CongestError>();
+        let err = CongestError::MessageTooLarge {
+            from: 1,
+            to: 2,
+            bits: 4096,
+            limit: 64,
+        };
+        assert!(err.to_string().contains("4096"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Messages and message-size accounting.
+//!
+//! The CONGEST model restricts every message to `O(log n)` bits. The
+//! simulator cannot know the information content of an arbitrary Rust type,
+//! so protocol messages declare their own wire size by implementing
+//! [`MessageSize`]; the simulator audits the declared size against the
+//! configured budget. Implementations for the common scalar types are
+//! provided.
+
+/// Declares the wire size of a protocol message, in bits.
+pub trait MessageSize {
+    /// Size of this message on the wire, in bits.
+    fn size_bits(&self) -> usize;
+}
+
+impl MessageSize for u64 {
+    fn size_bits(&self) -> usize {
+        64
+    }
+}
+
+impl MessageSize for i64 {
+    fn size_bits(&self) -> usize {
+        64
+    }
+}
+
+impl MessageSize for u32 {
+    fn size_bits(&self) -> usize {
+        32
+    }
+}
+
+impl MessageSize for bool {
+    fn size_bits(&self) -> usize {
+        1
+    }
+}
+
+impl MessageSize for () {
+    fn size_bits(&self) -> usize {
+        0
+    }
+}
+
+impl<T: MessageSize> MessageSize for Option<T> {
+    fn size_bits(&self) -> usize {
+        1 + self.as_ref().map_or(0, MessageSize::size_bits)
+    }
+}
+
+impl<A: MessageSize, B: MessageSize> MessageSize for (A, B) {
+    fn size_bits(&self) -> usize {
+        self.0.size_bits() + self.1.size_bits()
+    }
+}
+
+/// A message in flight: the payload plus its sender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// The node that sent the message.
+    pub from: usize,
+    /// The payload.
+    pub payload: M,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes_are_sensible() {
+        assert_eq!(7u64.size_bits(), 64);
+        assert_eq!(7u32.size_bits(), 32);
+        assert_eq!(true.size_bits(), 1);
+        assert_eq!(().size_bits(), 0);
+        assert_eq!(Some(3u32).size_bits(), 33);
+        assert_eq!(None::<u32>.size_bits(), 1);
+        assert_eq!((1u32, 2u64).size_bits(), 96);
+    }
+
+    #[test]
+    fn envelopes_carry_the_sender() {
+        let e = Envelope { from: 3, payload: 9u64 };
+        assert_eq!(e.from, 3);
+        assert_eq!(e.payload, 9);
+    }
+}

@@ -1,0 +1,138 @@
+//! Root-to-all broadcast over a rooted tree.
+//!
+//! The paper's algorithm broadcasts an `O(log n)`-bit value (the
+//! approximate median, a new group-id, the skip-list height) from the root
+//! of a balanced skip list to every member of the base list. Over a tree of
+//! depth `d` this takes `d` rounds.
+
+use crate::message::{Envelope, MessageSize};
+use crate::sim::Outbox;
+use crate::NodeProtocol;
+
+use super::tree::Tree;
+
+/// The broadcast payload: a single word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BroadcastMsg(pub u64);
+
+impl MessageSize for BroadcastMsg {
+    fn size_bits(&self) -> usize {
+        64
+    }
+}
+
+/// Per-node state of the broadcast protocol.
+#[derive(Debug, Clone)]
+pub struct Broadcast {
+    children: Vec<usize>,
+    is_root: bool,
+    value: Option<u64>,
+    forwarded: bool,
+}
+
+impl Broadcast {
+    /// Builds the per-node protocol instances for broadcasting `value` from
+    /// the root of `tree`.
+    pub fn nodes(tree: &Tree, value: u64) -> Vec<Broadcast> {
+        (0..tree.len())
+            .map(|node| Broadcast {
+                children: tree.children(node).to_vec(),
+                is_root: node == tree.root(),
+                value: if node == tree.root() { Some(value) } else { None },
+                forwarded: false,
+            })
+            .collect()
+    }
+
+    /// The value this node has received (the root knows it from the start).
+    pub fn value(&self) -> Option<u64> {
+        self.value
+    }
+}
+
+impl NodeProtocol for Broadcast {
+    type Message = BroadcastMsg;
+
+    fn on_start(&mut self, _me: usize, outbox: &mut Outbox<BroadcastMsg>) {
+        if self.is_root {
+            let value = self.value.expect("root knows the value");
+            for &child in &self.children {
+                outbox.send(child, BroadcastMsg(value));
+            }
+            self.forwarded = true;
+        }
+    }
+
+    fn on_round(
+        &mut self,
+        _me: usize,
+        _round: usize,
+        inbox: &[Envelope<BroadcastMsg>],
+        outbox: &mut Outbox<BroadcastMsg>,
+    ) {
+        if self.forwarded {
+            return;
+        }
+        if let Some(env) = inbox.first() {
+            self.value = Some(env.payload.0);
+            for &child in &self.children {
+                outbox.send(child, BroadcastMsg(env.payload.0));
+            }
+            self.forwarded = true;
+        }
+    }
+
+    fn is_halted(&self) -> bool {
+        self.forwarded || (self.value.is_some() && self.children.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, Simulator, Topology};
+
+    #[test]
+    fn every_node_receives_the_value() {
+        let tree = Tree::path(12);
+        let topology = Topology::from_edges(12, tree.edges());
+        let nodes = Broadcast::nodes(&tree, 777);
+        let mut sim = Simulator::new(topology, nodes, SimConfig::for_n(12));
+        let report = sim.run_to_completion().unwrap();
+        for node in sim.nodes() {
+            assert_eq!(node.value(), Some(777));
+        }
+        // Depth of the path is 11, so at least 11 rounds are needed.
+        assert!(report.rounds >= 11);
+        assert_eq!(report.messages, 11);
+    }
+
+    #[test]
+    fn broadcast_over_shallow_tree_is_fast() {
+        // Star-shaped tree: root 0, all others children.
+        let parents = (0..9usize)
+            .map(|i| if i == 0 { None } else { Some(0) })
+            .collect();
+        let tree = Tree::from_parents(parents);
+        let topology = Topology::from_edges(9, tree.edges());
+        let nodes = Broadcast::nodes(&tree, 5);
+        let mut sim = Simulator::new(topology, nodes, SimConfig::for_n(9));
+        let report = sim.run_to_completion().unwrap();
+        assert!(report.rounds <= 2);
+        assert_eq!(report.messages, 8);
+        for node in sim.nodes() {
+            assert_eq!(node.value(), Some(5));
+        }
+    }
+
+    #[test]
+    fn single_node_broadcast_terminates_immediately() {
+        let tree = Tree::path(1);
+        let topology = Topology::empty(1);
+        let nodes = Broadcast::nodes(&tree, 9);
+        let mut sim = Simulator::new(topology, nodes, SimConfig::for_n(1));
+        let report = sim.run_to_completion().unwrap();
+        assert_eq!(report.messages, 0);
+        assert_eq!(sim.nodes()[0].value(), Some(9));
+    }
+}

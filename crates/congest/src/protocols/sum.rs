@@ -1,0 +1,203 @@
+//! Distributed sum by converge-cast (Appendix D of the paper).
+//!
+//! Every node holds a number; partial sums climb the tree toward the root
+//! (each node waits for all of its children, adds its own value, and
+//! forwards one `O(log n)`-bit partial sum to its parent), after which the
+//! root broadcasts the total back down. Over a tree of depth `d` the whole
+//! protocol takes `O(d)` rounds, which is `O(log n)` when the tree is the
+//! balanced skip list built by AMF.
+
+use crate::message::{Envelope, MessageSize};
+use crate::sim::Outbox;
+use crate::NodeProtocol;
+
+use super::tree::Tree;
+
+/// Messages of the converge-cast sum protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SumMsg {
+    /// A partial sum travelling toward the root.
+    Partial(i64),
+    /// The final total travelling back toward the leaves.
+    Total(i64),
+}
+
+impl MessageSize for SumMsg {
+    fn size_bits(&self) -> usize {
+        // One tag bit plus a 64-bit value.
+        65
+    }
+}
+
+/// Per-node state of the distributed-sum protocol.
+#[derive(Debug, Clone)]
+pub struct ConvergecastSum {
+    value: i64,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    pending_children: usize,
+    partial: i64,
+    sent_up: bool,
+    total: Option<i64>,
+    forwarded_down: bool,
+}
+
+impl ConvergecastSum {
+    /// Builds the per-node protocol instances for summing `values` over
+    /// `tree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != tree.len()`.
+    pub fn nodes(tree: &Tree, values: &[i64]) -> Vec<ConvergecastSum> {
+        assert_eq!(values.len(), tree.len(), "one value per node is required");
+        (0..tree.len())
+            .map(|node| ConvergecastSum {
+                value: values[node],
+                parent: tree.parent(node),
+                children: tree.children(node).to_vec(),
+                pending_children: tree.children(node).len(),
+                partial: 0,
+                sent_up: false,
+                total: None,
+                forwarded_down: false,
+            })
+            .collect()
+    }
+
+    /// The total computed by the protocol, available on every node once the
+    /// run has completed.
+    pub fn total(&self) -> Option<i64> {
+        self.total
+    }
+
+    fn try_send_up(&mut self, outbox: &mut Outbox<SumMsg>) {
+        if self.sent_up || self.pending_children > 0 {
+            return;
+        }
+        let sum = self.partial + self.value;
+        match self.parent {
+            Some(parent) => outbox.send(parent, SumMsg::Partial(sum)),
+            None => {
+                // Root: the converge-cast is complete.
+                self.total = Some(sum);
+            }
+        }
+        self.sent_up = true;
+    }
+
+    fn try_forward_down(&mut self, outbox: &mut Outbox<SumMsg>) {
+        if self.forwarded_down {
+            return;
+        }
+        if let Some(total) = self.total {
+            for &child in &self.children {
+                outbox.send(child, SumMsg::Total(total));
+            }
+            self.forwarded_down = true;
+        }
+    }
+}
+
+impl NodeProtocol for ConvergecastSum {
+    type Message = SumMsg;
+
+    fn on_start(&mut self, _me: usize, outbox: &mut Outbox<SumMsg>) {
+        self.try_send_up(outbox);
+        self.try_forward_down(outbox);
+    }
+
+    fn on_round(
+        &mut self,
+        _me: usize,
+        _round: usize,
+        inbox: &[Envelope<SumMsg>],
+        outbox: &mut Outbox<SumMsg>,
+    ) {
+        for env in inbox {
+            match env.payload {
+                SumMsg::Partial(sum) => {
+                    self.partial += sum;
+                    self.pending_children = self.pending_children.saturating_sub(1);
+                }
+                SumMsg::Total(total) => {
+                    self.total = Some(total);
+                }
+            }
+        }
+        self.try_send_up(outbox);
+        self.try_forward_down(outbox);
+    }
+
+    fn is_halted(&self) -> bool {
+        self.total.is_some() && self.forwarded_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, Simulator, Topology};
+
+    fn run_sum(tree: Tree, values: Vec<i64>) -> (Vec<ConvergecastSum>, crate::RunReport) {
+        let n = tree.len();
+        let topology = Topology::from_edges(n, tree.edges());
+        let nodes = ConvergecastSum::nodes(&tree, &values);
+        let mut sim = Simulator::new(topology, nodes, SimConfig::for_n(n).with_message_bits(80));
+        let report = sim.run_to_completion().unwrap();
+        (sim.nodes().to_vec(), report)
+    }
+
+    #[test]
+    fn sums_over_a_path() {
+        let n = 16;
+        let values: Vec<i64> = (0..n as i64).collect();
+        let (nodes, report) = run_sum(Tree::path(n), values.clone());
+        let expected: i64 = values.iter().sum();
+        for node in &nodes {
+            assert_eq!(node.total(), Some(expected));
+        }
+        // Up the path and back down: at least 2 (n - 1) rounds.
+        assert!(report.rounds >= 2 * (n - 1));
+    }
+
+    #[test]
+    fn sums_over_a_skip_list_tree_in_logarithmic_rounds() {
+        // A three-level skip list over 27 positions with regular spacing.
+        let base: Vec<usize> = (0..27).collect();
+        let mid: Vec<usize> = (0..27).step_by(3).collect();
+        let top: Vec<usize> = (0..27).step_by(9).collect();
+        let levels = vec![base, mid, top, vec![0]];
+        let tree = Tree::from_skip_list_levels(&levels);
+        let values: Vec<i64> = (0..27).map(|v| v as i64 * 2 + 1).collect();
+        let expected: i64 = values.iter().sum();
+        let (nodes, report) = run_sum(tree.clone(), values);
+        for node in &nodes {
+            assert_eq!(node.total(), Some(expected));
+        }
+        // The tree is shallow, so the protocol is much faster than the
+        // 2 · 26 rounds a flat path would need.
+        assert!(report.rounds <= 2 * (tree.depth() + 2) * 9);
+        assert!(report.rounds < 2 * 26);
+    }
+
+    #[test]
+    fn negative_values_are_summed_correctly() {
+        let values = vec![-5i64, 10, -3, 7];
+        let (nodes, _) = run_sum(Tree::path(4), values);
+        assert_eq!(nodes[0].total(), Some(9));
+    }
+
+    #[test]
+    fn single_node_sum_is_its_own_value() {
+        let (nodes, report) = run_sum(Tree::path(1), vec![41]);
+        assert_eq!(nodes[0].total(), Some(41));
+        assert_eq!(report.messages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per node")]
+    fn mismatched_value_count_is_rejected() {
+        let _ = ConvergecastSum::nodes(&Tree::path(3), &[1, 2]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Rooted-tree descriptions shared by the reference protocols.
+
+/// A rooted tree over nodes `0..n`, described by a parent pointer per node.
+///
+/// The protocols in this module run over a tree embedded in the simulator's
+/// [`Topology`](crate::Topology); the topology must contain a link for every
+/// parent/child pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tree {
+    root: usize,
+    parents: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+}
+
+impl Tree {
+    /// Builds a tree from parent pointers. Exactly one node (the root) must
+    /// have no parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node or more than one node lacks a parent, or if a
+    /// parent index is out of range.
+    pub fn from_parents(parents: Vec<Option<usize>>) -> Self {
+        let n = parents.len();
+        let mut children = vec![Vec::new(); n];
+        let mut root = None;
+        for (node, parent) in parents.iter().enumerate() {
+            match parent {
+                Some(p) => {
+                    assert!(*p < n, "parent index out of range");
+                    children[*p].push(node);
+                }
+                None => {
+                    assert!(root.is_none(), "more than one root");
+                    root = Some(node);
+                }
+            }
+        }
+        Tree {
+            root: root.expect("a tree must have a root"),
+            parents,
+            children,
+        }
+    }
+
+    /// A path `0 ← 1 ← … ← n-1` rooted at node 0 (every node's parent is
+    /// its left neighbour), matching a linked list whose values converge on
+    /// the left-most node — the shape used by the paper's skip-list
+    /// protocols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn path(n: usize) -> Self {
+        assert!(n > 0, "a tree needs at least one node");
+        let parents = (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        Tree::from_parents(parents)
+    }
+
+    /// Builds the tree induced by the levels of a balanced skip list: each
+    /// position's parent is the nearest position to its left that appears in
+    /// a strictly higher level (the node its values are forwarded to), and
+    /// the overall root is position 0.
+    ///
+    /// `levels[0]` must be the full list `0..n` in ascending order.
+    pub fn from_skip_list_levels(levels: &[Vec<usize>]) -> Self {
+        let n = levels.first().map(Vec::len).unwrap_or(0);
+        assert!(n > 0, "a tree needs at least one node");
+        // level_of[p] = highest level containing position p.
+        let mut level_of = vec![0usize; n];
+        for (lvl, members) in levels.iter().enumerate() {
+            for &p in members {
+                level_of[p] = level_of[p].max(lvl);
+            }
+        }
+        let mut parents: Vec<Option<usize>> = vec![None; n];
+        for p in 0..n {
+            if p == 0 {
+                parents[0] = None;
+                continue;
+            }
+            // Nearest position to the left with a strictly higher level;
+            // position 0 (the ultimate root) qualifies for any level.
+            let mut q = p;
+            loop {
+                q -= 1;
+                if level_of[q] > level_of[p] || q == 0 {
+                    parents[p] = Some(q);
+                    break;
+                }
+            }
+        }
+        Tree::from_parents(parents)
+    }
+
+    /// The root of the tree.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Returns `true` if the tree has exactly one node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The parent of `node`, or `None` for the root.
+    pub fn parent(&self, node: usize) -> Option<usize> {
+        self.parents[node]
+    }
+
+    /// The children of `node`.
+    pub fn children(&self, node: usize) -> &[usize] {
+        &self.children[node]
+    }
+
+    /// All parent/child pairs, usable as topology edges.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        self.parents
+            .iter()
+            .enumerate()
+            .filter_map(|(node, parent)| parent.map(|p| (p, node)))
+            .collect()
+    }
+
+    /// The depth of the tree (number of edges on the longest root-to-leaf
+    /// path).
+    pub fn depth(&self) -> usize {
+        (0..self.len())
+            .map(|mut node| {
+                let mut depth = 0;
+                while let Some(p) = self.parents[node] {
+                    node = p;
+                    depth += 1;
+                }
+                depth
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_tree_is_a_chain() {
+        let t = Tree::path(4);
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.parent(3), Some(2));
+        assert_eq!(t.children(0), &[1]);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.edges(), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn skip_list_levels_yield_shallow_trees() {
+        // 8 positions, upper level {0, 3, 6}, top {0}.
+        let levels = vec![(0..8).collect::<Vec<_>>(), vec![0, 3, 6], vec![0]];
+        let t = Tree::from_skip_list_levels(&levels);
+        assert_eq!(t.root(), 0);
+        // Positions 1 and 2 hang off 0 or 3's subtree boundaries.
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.parent(2), Some(0));
+        assert_eq!(t.parent(4), Some(3));
+        assert_eq!(t.parent(3), Some(0));
+        assert_eq!(t.parent(6), Some(0));
+        assert!(t.depth() <= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one root")]
+    fn two_roots_are_rejected() {
+        let _ = Tree::from_parents(vec![None, None, Some(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have a root")]
+    fn cycles_are_rejected() {
+        let _ = Tree::from_parents(vec![Some(1), Some(0)]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Configuration of the self-adjusting algorithm.
+
+/// Which median finder the transformation uses (paper §IV-C step 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MedianStrategy {
+    /// The paper's distributed approximate median finding algorithm (AMF,
+    /// §V): randomised, `O(log n)` expected rounds, rank error within
+    /// `n/2 ± n/2a` (Lemma 1).
+    #[default]
+    Amf,
+    /// An exact median oracle. Deterministic and useful for unit tests and
+    /// as an ablation baseline (experiment E11); charged an idealised
+    /// `⌈log₂ n⌉` rounds.
+    Exact,
+}
+
+/// Configuration for a [`DynamicSkipGraph`](crate::DynamicSkipGraph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsgConfig {
+    /// The balance parameter `a` of the a-balance property (§III). The
+    /// search path between any pair is at most `a · log n`; dummy nodes are
+    /// inserted to repair runs longer than `a`.
+    pub a: usize,
+    /// Median strategy used by every per-level split.
+    pub median: MedianStrategy,
+    /// Seed for all randomised components (AMF skip lists, initial
+    /// membership vectors), making runs reproducible.
+    pub seed: u64,
+    /// Whether to re-check and repair the a-balance property after every
+    /// transformation (§IV-F). Disabling it is an ablation knob for
+    /// experiment E10.
+    pub maintain_balance: bool,
+}
+
+impl Default for DsgConfig {
+    fn default() -> Self {
+        DsgConfig {
+            a: 3,
+            median: MedianStrategy::default(),
+            seed: 0xD56,
+            maintain_balance: true,
+        }
+    }
+}
+
+impl DsgConfig {
+    /// Sets the balance parameter `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a < 2`: the AMF support window `[a/2, 2a]` and the
+    /// a-balance property both degenerate below 2.
+    pub fn with_a(mut self, a: usize) -> Self {
+        assert!(a >= 2, "the balance parameter a must be at least 2");
+        self.a = a;
+        self
+    }
+
+    /// Selects the median strategy.
+    pub fn with_median(mut self, median: MedianStrategy) -> Self {
+        self.median = median;
+        self
+    }
+
+    /// Sets the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables a-balance maintenance (dummy nodes).
+    pub fn with_balance_maintenance(mut self, on: bool) -> Self {
+        self.maintain_balance = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sensible() {
+        let c = DsgConfig::default();
+        assert!(c.a >= 2);
+        assert_eq!(c.median, MedianStrategy::Amf);
+        assert!(c.maintain_balance);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = DsgConfig::default()
+            .with_a(4)
+            .with_median(MedianStrategy::Exact)
+            .with_seed(9)
+            .with_balance_maintenance(false);
+        assert_eq!(c.a, 4);
+        assert_eq!(c.median, MedianStrategy::Exact);
+        assert_eq!(c.seed, 9);
+        assert!(!c.maintain_balance);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_a_is_rejected() {
+        let _ = DsgConfig::default().with_a(1);
+    }
+}

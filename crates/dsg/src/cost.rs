@@ -1,0 +1,147 @@
+//! Cost accounting (paper §III and Theorem 3).
+//!
+//! The cost of serving request `σ_t = (u, v)` is defined by the paper as
+//!
+//! ```text
+//! d_{S_t}(σ_t)  +  ρ(A, S_t, σ_t)  +  1
+//! ```
+//!
+//! where `d` is the routing distance (number of intermediate nodes on the
+//! standard routing path) and `ρ` is the *transformation cost* — the number
+//! of synchronous CONGEST rounds the topology reconstruction takes.
+//!
+//! The transformation cost charged by this reproduction decomposes exactly
+//! along the steps of Algorithm 1 and is recorded per request in a
+//! [`CostBreakdown`]; [`RunStats`] accumulates them over a whole request
+//! sequence so that experiments E8/E9 can compare against the working-set
+//! bound `WS(σ)`.
+
+/// Per-request cost breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostBreakdown {
+    /// Routing distance `d_{S_t}(σ_t)`: intermediate nodes on the standard
+    /// routing path used to establish the communication.
+    pub routing_cost: usize,
+    /// Rounds spent broadcasting the transformation notification (with the
+    /// membership vectors, timestamps, group-ids and group-bases of the
+    /// communicating pair) to every node of `l_α` (Alg. 1 step 1).
+    pub notification_rounds: usize,
+    /// Rounds spent in approximate-median computations over all processed
+    /// lists (Alg. 1 step 4), including balanced-skip-list construction.
+    pub median_rounds: usize,
+    /// Rounds spent on distributed counts `|l_d|, |g_s|, |L_low|, |L_high|`
+    /// (Alg. 1 step 5) and on broadcasting new group-ids for split groups
+    /// (step 8).
+    pub group_accounting_rounds: usize,
+    /// Rounds spent by nodes searching for their new neighbours after
+    /// moving to a subgraph (bounded by the balance parameter `a` per level,
+    /// §IV-C) and on a-balance repair (step 7).
+    pub restructuring_rounds: usize,
+}
+
+impl CostBreakdown {
+    /// Total transformation cost `ρ` in rounds.
+    pub fn transformation_rounds(&self) -> usize {
+        self.notification_rounds
+            + self.median_rounds
+            + self.group_accounting_rounds
+            + self.restructuring_rounds
+    }
+
+    /// The paper's total cost of serving the request:
+    /// `d + ρ + 1`.
+    pub fn total_cost(&self) -> usize {
+        self.routing_cost + self.transformation_rounds() + 1
+    }
+}
+
+/// Cumulative statistics over a served request sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Number of requests served.
+    pub requests: usize,
+    /// Sum of routing distances.
+    pub total_routing_cost: usize,
+    /// Sum of transformation rounds.
+    pub total_transformation_rounds: usize,
+    /// Sum of total request costs (`d + ρ + 1`).
+    pub total_cost: usize,
+    /// The largest structure height observed after any transformation.
+    pub max_height: usize,
+    /// Number of dummy nodes currently alive.
+    pub live_dummy_nodes: usize,
+    /// Total number of dummy nodes ever created for a-balance repair.
+    pub dummy_nodes_created: usize,
+}
+
+impl RunStats {
+    /// Records one served request.
+    pub fn record(&mut self, breakdown: &CostBreakdown, height_after: usize) {
+        self.requests += 1;
+        self.total_routing_cost += breakdown.routing_cost;
+        self.total_transformation_rounds += breakdown.transformation_rounds();
+        self.total_cost += breakdown.total_cost();
+        self.max_height = self.max_height.max(height_after);
+    }
+
+    /// Average cost per request (equation (1) of the paper), or 0 for an
+    /// empty sequence.
+    pub fn average_cost(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_cost as f64 / self.requests as f64
+        }
+    }
+
+    /// Average routing cost per request.
+    pub fn average_routing_cost(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_routing_cost as f64 / self.requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_follow_the_papers_formula() {
+        let b = CostBreakdown {
+            routing_cost: 4,
+            notification_rounds: 3,
+            median_rounds: 10,
+            group_accounting_rounds: 2,
+            restructuring_rounds: 5,
+        };
+        assert_eq!(b.transformation_rounds(), 20);
+        assert_eq!(b.total_cost(), 4 + 20 + 1);
+    }
+
+    #[test]
+    fn stats_accumulate_and_average() {
+        let mut stats = RunStats::default();
+        assert_eq!(stats.average_cost(), 0.0);
+        let b1 = CostBreakdown {
+            routing_cost: 2,
+            median_rounds: 3,
+            ..CostBreakdown::default()
+        };
+        let b2 = CostBreakdown {
+            routing_cost: 6,
+            restructuring_rounds: 1,
+            ..CostBreakdown::default()
+        };
+        stats.record(&b1, 5);
+        stats.record(&b2, 7);
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.total_routing_cost, 8);
+        assert_eq!(stats.total_transformation_rounds, 4);
+        assert_eq!(stats.max_height, 7);
+        assert!((stats.average_routing_cost() - 4.0).abs() < 1e-9);
+        assert!((stats.average_cost() - ((6.0 + 8.0) / 2.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,798 @@
+//! The public driver: [`DynamicSkipGraph`] (Algorithm 1 end to end).
+//!
+//! A `DynamicSkipGraph` owns a skip graph substrate, the per-node
+//! self-adjusting state, and the configuration. [`communicate`] serves one
+//! request exactly as Algorithm 1 prescribes: route, notify `l_α`, compute
+//! priorities, merge the communicating groups, split level by level against
+//! approximate medians, reassign group-ids/group-bases/timestamps, repair
+//! the a-balance property, and account every CONGEST round consumed.
+//!
+//! Application ("external") peer keys are plain `u64`s; internally they are
+//! spaced out (multiplied by [`DynamicSkipGraph::KEY_SPACING`]) so that
+//! dummy nodes always find an unused key between any two peers.
+//!
+//! [`communicate`]: DynamicSkipGraph::communicate
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dsg_skipgraph::{Key, MembershipVector, NodeId, SkipGraph};
+
+use crate::amf::{AmfMedian, ExactMedian, MedianFinder};
+use crate::config::{DsgConfig, MedianStrategy};
+use crate::cost::{CostBreakdown, RunStats};
+use crate::dummy;
+use crate::error::DsgError;
+use crate::groups::{self, GroupUpdateInput};
+use crate::state::{NodeState, StateTable};
+use crate::timestamps::{self, TimestampInput};
+use crate::transform::{self, TransformInput};
+use crate::Result;
+
+/// What serving one communication request cost and produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// The request time `t` (1-based index of the request).
+    pub time: u64,
+    /// Routing distance `d_{S_t}(σ_t)` (intermediate nodes on the path).
+    pub routing_cost: usize,
+    /// The highest common level `α` of the pair before the transformation.
+    pub alpha: usize,
+    /// The level `d'` at which the pair now forms a two-node list.
+    pub pair_level: usize,
+    /// The per-step round accounting.
+    pub breakdown: CostBreakdown,
+    /// Structure height after the transformation.
+    pub height_after: usize,
+    /// Dummy nodes inserted to repair the a-balance property.
+    pub dummies_inserted: usize,
+}
+
+impl RequestOutcome {
+    /// Total cost of the request (`d + ρ + 1`).
+    pub fn total_cost(&self) -> usize {
+        self.breakdown.total_cost()
+    }
+
+    /// Transformation cost `ρ` in rounds.
+    pub fn transformation_rounds(&self) -> usize {
+        self.breakdown.transformation_rounds()
+    }
+}
+
+#[derive(Debug)]
+enum MedianEngine {
+    Amf(AmfMedian),
+    Exact(ExactMedian),
+}
+
+impl MedianEngine {
+    fn as_finder(&mut self) -> &mut dyn MedianFinder {
+        match self {
+            MedianEngine::Amf(engine) => engine,
+            MedianEngine::Exact(engine) => engine,
+        }
+    }
+}
+
+/// A locally self-adjusting skip graph (the paper's DSG algorithm).
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug)]
+pub struct DynamicSkipGraph {
+    graph: SkipGraph,
+    states: StateTable,
+    config: DsgConfig,
+    median: MedianEngine,
+    rng: StdRng,
+    time: u64,
+    stats: RunStats,
+}
+
+impl DynamicSkipGraph {
+    /// Spacing between consecutive peer keys in the internal key space,
+    /// leaving room for dummy-node keys in between.
+    pub const KEY_SPACING: u64 = 1 << 20;
+
+    /// Builds a network over the given peer keys with a *balanced* initial
+    /// structure: the membership-vector bit of a peer at level `i` is bit
+    /// `i - 1` of its rank, so every list splits exactly in half and the
+    /// initial skip graph satisfies the a-balance property for every
+    /// `a ≥ 1`, as the paper's model requires of `S₀ ∈ S`. Fresh
+    /// self-adjusting state is registered for every peer.
+    ///
+    /// Use [`DynamicSkipGraph::new_random`] for the classic randomised
+    /// construction instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsgError::DuplicatePeer`] if a key appears twice.
+    pub fn new<I>(peers: I, config: DsgConfig) -> Result<Self>
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let rng = StdRng::seed_from_u64(config.seed);
+        let mut keys: Vec<u64> = peers.into_iter().collect();
+        keys.sort_unstable();
+        let n = keys.len() as u64;
+        let height = if n <= 1 {
+            0
+        } else {
+            (64 - (n - 1).leading_zeros()) as usize
+        };
+        let mut graph = SkipGraph::new();
+        for (rank, peer) in keys.iter().enumerate() {
+            let mut mvec = MembershipVector::empty();
+            for level in 0..height {
+                let bit = ((rank >> level) & 1) as u8;
+                mvec.push(dsg_skipgraph::Bit::from_u8(bit))
+                    .expect("height fits the vector");
+            }
+            graph
+                .insert(Self::internal_key(*peer), mvec)
+                .map_err(|_| DsgError::DuplicatePeer(*peer))?;
+        }
+        Self::finish_construction(graph, config, rng)
+    }
+
+    /// Builds a network with uniformly random initial membership vectors
+    /// (the classic randomised skip graph construction). The initial
+    /// structure is only a-balanced in expectation, so the first few
+    /// requests may trigger more dummy-node repairs than with
+    /// [`DynamicSkipGraph::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsgError::DuplicatePeer`] if a key appears twice.
+    pub fn new_random<I>(peers: I, config: DsgConfig) -> Result<Self>
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut graph = SkipGraph::new();
+        for peer in peers {
+            let key = Self::internal_key(peer);
+            graph
+                .insert_random(key, &mut rng)
+                .map_err(|_| DsgError::DuplicatePeer(peer))?;
+        }
+        Self::finish_construction(graph, config, rng)
+    }
+
+    /// Builds a network from explicit `(peer key, membership vector)` pairs;
+    /// useful for reconstructing the paper's worked examples and for tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsgError::DuplicatePeer`] if a key appears twice.
+    pub fn from_parts<I>(members: I, config: DsgConfig) -> Result<Self>
+    where
+        I: IntoIterator<Item = (u64, MembershipVector)>,
+    {
+        let rng = StdRng::seed_from_u64(config.seed);
+        let mut graph = SkipGraph::new();
+        for (peer, mvec) in members {
+            let key = Self::internal_key(peer);
+            graph
+                .insert(key, mvec)
+                .map_err(|_| DsgError::DuplicatePeer(peer))?;
+        }
+        Self::finish_construction(graph, config, rng)
+    }
+
+    fn finish_construction(graph: SkipGraph, config: DsgConfig, rng: StdRng) -> Result<Self> {
+        let mut states = StateTable::new();
+        for id in graph.node_ids().collect::<Vec<_>>() {
+            let key = graph.key_of(id)?;
+            let base = graph.mvec_of(id)?.len();
+            states.register(id, key, base);
+        }
+        let median = match config.median {
+            MedianStrategy::Amf => MedianEngine::Amf(AmfMedian::new(config.seed ^ 0xA3F)),
+            MedianStrategy::Exact => MedianEngine::Exact(ExactMedian),
+        };
+        Ok(DynamicSkipGraph {
+            graph,
+            states,
+            config,
+            median,
+            rng,
+            time: 0,
+            stats: RunStats::default(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Key mapping
+    // ------------------------------------------------------------------
+
+    fn internal_key(peer: u64) -> Key {
+        Key::new((peer + 1) * Self::KEY_SPACING)
+    }
+
+    fn external_key(key: Key) -> u64 {
+        key.value() / Self::KEY_SPACING - 1
+    }
+
+    fn peer_id(&self, peer: u64) -> Result<NodeId> {
+        self.graph
+            .node_by_key(Self::internal_key(peer))
+            .ok_or(DsgError::UnknownPeer(peer))
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The underlying skip graph (including any live dummy nodes).
+    pub fn graph(&self) -> &SkipGraph {
+        &self.graph
+    }
+
+    /// The configuration the network was built with.
+    pub fn config(&self) -> &DsgConfig {
+        &self.config
+    }
+
+    /// Number of peers (excluding dummy nodes).
+    pub fn len(&self) -> usize {
+        self.graph.len() - self.graph.dummy_count()
+    }
+
+    /// Returns `true` if the network has no peers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current structure height.
+    pub fn height(&self) -> usize {
+        self.graph.height()
+    }
+
+    /// The number of requests served so far (the current logical time).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Advances the logical clock to `to` without serving requests
+    /// (monotone; earlier values are ignored). Used to reconstruct the
+    /// paper's worked examples, which are positioned at a specific time.
+    pub fn advance_time(&mut self, to: u64) {
+        self.time = self.time.max(to);
+    }
+
+    /// Cumulative cost statistics.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// The external keys of all peers, in ascending order.
+    pub fn peers(&self) -> Vec<u64> {
+        self.graph
+            .node_ids()
+            .filter(|id| !self.graph.node(*id).map(|e| e.is_dummy()).unwrap_or(false))
+            .map(|id| Self::external_key(self.graph.key_of(id).expect("live node")))
+            .collect()
+    }
+
+    /// The self-adjusting state of a peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsgError::UnknownPeer`] if the peer does not exist.
+    pub fn peer_state(&self, peer: u64) -> Result<&NodeState> {
+        let id = self.peer_id(peer)?;
+        Ok(self.states.get(id))
+    }
+
+    /// Mutable access to a peer's self-adjusting state (used by tests and by
+    /// fixtures that reconstruct the paper's worked examples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsgError::UnknownPeer`] if the peer does not exist.
+    pub fn peer_state_mut(&mut self, peer: u64) -> Result<&mut NodeState> {
+        let id = self.peer_id(peer)?;
+        Ok(self.states.get_mut(id))
+    }
+
+    /// Routing distance (intermediate nodes) between two peers in the
+    /// current topology, without serving a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsgError::UnknownPeer`] if either peer does not exist.
+    pub fn distance(&self, u: u64, v: u64) -> Result<usize> {
+        let a = self.peer_id(u)?;
+        let b = self.peer_id(v)?;
+        Ok(self.graph.route_ids(a, b)?.intermediate_nodes())
+    }
+
+    /// The highest level at which the two peers share a linked list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsgError::UnknownPeer`] if either peer does not exist.
+    pub fn common_level(&self, u: u64, v: u64) -> Result<usize> {
+        let a = self.peer_id(u)?;
+        let b = self.peer_id(v)?;
+        Ok(self.graph.common_level(a, b)?)
+    }
+
+    /// Returns `true` if the two peers are connected by a direct link: the
+    /// standard routing path between them contains no intermediate *peer*.
+    /// After [`communicate`](Self::communicate) this always holds — the
+    /// transformation puts the pair alone in a list of size two. A dummy
+    /// node inserted afterwards to repair the a-balance property may slide
+    /// into that list; dummies are routing-only placeholders that hold no
+    /// data (§IV-F), so they are treated as transparent here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsgError::UnknownPeer`] if either peer does not exist.
+    pub fn are_directly_linked(&self, u: u64, v: u64) -> Result<bool> {
+        let a = self.peer_id(u)?;
+        let b = self.peer_id(v)?;
+        let route = self.graph.route_ids(a, b)?;
+        let path = route.path();
+        if path.len() <= 2 {
+            return Ok(true);
+        }
+        Ok(path[1..path.len() - 1].iter().all(|hop| {
+            self.graph
+                .node(hop.node)
+                .map(|e| e.is_dummy())
+                .unwrap_or(false)
+        }))
+    }
+
+    /// Routing distance between two peers counting only *peers* as
+    /// intermediate nodes (dummy placeholders are transparent). This is the
+    /// distance notion used by the working-set experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsgError::UnknownPeer`] if either peer does not exist.
+    pub fn peer_distance(&self, u: u64, v: u64) -> Result<usize> {
+        let a = self.peer_id(u)?;
+        let b = self.peer_id(v)?;
+        let route = self.graph.route_ids(a, b)?;
+        let path = route.path();
+        if path.len() <= 2 {
+            return Ok(0);
+        }
+        Ok(path[1..path.len() - 1]
+            .iter()
+            .filter(|hop| {
+                !self
+                    .graph
+                    .node(hop.node)
+                    .map(|e| e.is_dummy())
+                    .unwrap_or(false)
+            })
+            .count())
+    }
+
+    /// The number of live dummy nodes.
+    pub fn dummy_count(&self) -> usize {
+        self.graph.dummy_count()
+    }
+
+    /// Checks the structural invariants of the graph and the self-adjusting
+    /// state (every live node has registered state and vice versa).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<()> {
+        self.graph.validate()?;
+        for id in self.graph.node_ids() {
+            if !self.states.contains(id) {
+                return Err(DsgError::StateInvariantViolated(format!(
+                    "live node {id} has no self-adjusting state"
+                )));
+            }
+        }
+        if self.states.len() != self.graph.len() {
+            return Err(DsgError::StateInvariantViolated(format!(
+                "{} states registered for {} live nodes",
+                self.states.len(),
+                self.graph.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// The a-balance report of the current structure for the configured `a`.
+    pub fn balance_report(&self) -> dsg_skipgraph::BalanceReport {
+        self.graph.check_balance(self.config.a)
+    }
+
+    // ------------------------------------------------------------------
+    // Membership changes (§IV-G)
+    // ------------------------------------------------------------------
+
+    /// Adds a peer using the standard skip graph join, initialises its
+    /// self-adjusting state, and repairs the a-balance property if the join
+    /// violated it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsgError::DuplicatePeer`] if the peer already exists.
+    pub fn add_peer(&mut self, peer: u64) -> Result<()> {
+        if self.graph.node_by_key(Self::internal_key(peer)).is_some() {
+            return Err(DsgError::DuplicatePeer(peer));
+        }
+        let introducer = self
+            .graph
+            .keys()
+            .next();
+        let outcome = self
+            .graph
+            .join(Self::internal_key(peer), introducer, &mut self.rng)?;
+        self.states.register(
+            outcome.node,
+            Self::internal_key(peer),
+            outcome.levels_joined,
+        );
+        if self.config.maintain_balance {
+            let repair = dummy::repair_balance(
+                &mut self.graph,
+                &mut self.states,
+                self.config.a,
+                None,
+                None,
+            );
+            self.stats.dummy_nodes_created += repair.inserted.len();
+            self.stats.live_dummy_nodes = self.graph.dummy_count();
+        }
+        Ok(())
+    }
+
+    /// Removes a peer using the standard leave procedure and repairs the
+    /// a-balance property if the departure violated it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsgError::UnknownPeer`] if the peer does not exist.
+    pub fn remove_peer(&mut self, peer: u64) -> Result<()> {
+        let id = self.peer_id(peer)?;
+        self.graph.leave(Self::internal_key(peer))?;
+        self.states.unregister(id);
+        if self.config.maintain_balance {
+            let repair = dummy::repair_balance(
+                &mut self.graph,
+                &mut self.states,
+                self.config.a,
+                None,
+                None,
+            );
+            self.stats.dummy_nodes_created += repair.inserted.len();
+            self.stats.live_dummy_nodes = self.graph.dummy_count();
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Serving requests (Algorithm 1)
+    // ------------------------------------------------------------------
+
+    /// Serves a communication request from peer `u` to peer `v`: routes it
+    /// in the current topology, then transforms the topology so that the two
+    /// peers end up directly linked, per Algorithm 1 of the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsgError::UnknownPeer`] for unknown peers and
+    /// [`DsgError::SelfCommunication`] when `u == v`.
+    pub fn communicate(&mut self, u: u64, v: u64) -> Result<RequestOutcome> {
+        if u == v {
+            return Err(DsgError::SelfCommunication(u));
+        }
+        let u_id = self.peer_id(u)?;
+        let v_id = self.peer_id(v)?;
+        self.time += 1;
+        let t = self.time;
+
+        // Step 1a: establish the communication with standard routing.
+        let route = self.graph.route_ids(u_id, v_id)?;
+        let routing_cost = route.intermediate_nodes();
+
+        // Step 1b: find α and notify every node of l_α. Dummy nodes destroy
+        // themselves upon receiving the notification (§IV-F).
+        let alpha = self.graph.common_level(u_id, v_id)?;
+        let raw_members = self.graph.list_of(u_id, alpha)?;
+        let destroyed = dummy::destroy_dummies(&mut self.graph, &mut self.states, &raw_members);
+        let members: Vec<NodeId> = raw_members
+            .into_iter()
+            .filter(|id| !destroyed.contains(id))
+            .collect();
+        // Broadcasting the notification through the sub skip graph rooted at
+        // l_α takes O(a · log |l_α|) rounds.
+        let notification_rounds = 1 + self.config.a
+            * (members.len().max(2) as f64).log2().ceil() as usize;
+
+        // Snapshots needed by the timestamp rules.
+        let old_mvecs: HashMap<NodeId, MembershipVector> = members
+            .iter()
+            .map(|&id| (id, self.graph.mvec_of(id).expect("member is live")))
+            .collect();
+        let gu = self.states.group_id(u_id, alpha);
+        let gv = self.states.group_id(v_id, alpha);
+        let u_group_before: HashSet<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|&x| x != u_id && x != v_id && self.states.group_id(x, alpha) == gu)
+            .collect();
+        let v_group_before: HashSet<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|&x| x != u_id && x != v_id && self.states.group_id(x, alpha) == gv)
+            .collect();
+
+        // Steps 2–9: the transformation proper.
+        let input = TransformInput {
+            u: u_id,
+            v: v_id,
+            t,
+            alpha,
+            a: self.config.a,
+        };
+        let outcome = transform::run_transformation(
+            &self.graph,
+            &mut self.states,
+            self.median.as_finder(),
+            &input,
+            &members,
+        );
+
+        // Install the new membership vectors.
+        for (&node, bits) in &outcome.suffixes {
+            self.graph
+                .set_membership_suffix(node, alpha + 1, bits.iter().copied())?;
+        }
+
+        // Step 10: group-ids and group-bases below α (Appendix C).
+        let group_input = GroupUpdateInput {
+            u: u_id,
+            v: v_id,
+            alpha,
+            members_alpha: &members,
+            outcome: &outcome,
+        };
+        let group_outcome = groups::apply_group_updates(&self.graph, &mut self.states, &group_input);
+
+        // Step 11: timestamps (rules T1–T6).
+        let ts_input = TimestampInput {
+            u: u_id,
+            v: v_id,
+            t,
+            alpha,
+            members_alpha: &members,
+            old_mvecs: &old_mvecs,
+            u_group_before: &u_group_before,
+            v_group_before: &v_group_before,
+            glower_recipients: &group_outcome.glower_recipients,
+            outcome: &outcome,
+        };
+        timestamps::apply_timestamp_rules(&self.graph, &mut self.states, &ts_input);
+
+        // Step 7 (deferred): a-balance repair with dummy nodes.
+        let mut dummies_inserted = 0usize;
+        let mut repair_rounds = 0usize;
+        if self.config.maintain_balance {
+            let scope_prefix = self.graph.mvec_of(u_id)?.prefix(alpha);
+            let repair = dummy::repair_balance(
+                &mut self.graph,
+                &mut self.states,
+                self.config.a,
+                Some((Self::internal_key(u), Self::internal_key(v))),
+                Some((alpha, scope_prefix)),
+            );
+            dummies_inserted = repair.inserted.len();
+            repair_rounds = repair.rounds;
+            self.stats.dummy_nodes_created += dummies_inserted;
+            self.stats.live_dummy_nodes = self.graph.dummy_count();
+        }
+
+        let breakdown = CostBreakdown {
+            routing_cost,
+            notification_rounds,
+            median_rounds: outcome.median_rounds,
+            group_accounting_rounds: outcome.group_accounting_rounds + group_outcome.rounds,
+            restructuring_rounds: outcome.restructuring_rounds + repair_rounds,
+        };
+        let height_after = self.graph.height();
+        self.stats.record(&breakdown, height_after);
+
+        Ok(RequestOutcome {
+            time: t,
+            routing_cost,
+            alpha,
+            pair_level: outcome.pair_level,
+            breakdown,
+            height_after,
+            dummies_inserted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn network(n: u64, seed: u64) -> DynamicSkipGraph {
+        DynamicSkipGraph::new(0..n, DsgConfig::default().with_seed(seed)).unwrap()
+    }
+
+    #[test]
+    fn construction_registers_state_for_every_peer() {
+        let net = network(32, 1);
+        assert_eq!(net.len(), 32);
+        net.validate().unwrap();
+        assert_eq!(net.peers().len(), 32);
+        assert_eq!(net.peers()[0], 0);
+        assert_eq!(net.peers()[31], 31);
+    }
+
+    #[test]
+    fn duplicate_peers_are_rejected() {
+        let err = DynamicSkipGraph::new([1, 2, 2], DsgConfig::default()).unwrap_err();
+        assert_eq!(err, DsgError::DuplicatePeer(2));
+    }
+
+    #[test]
+    fn communication_creates_a_direct_link() {
+        let mut net = network(32, 2);
+        let outcome = net.communicate(3, 20).unwrap();
+        assert!(net.are_directly_linked(3, 20).unwrap());
+        assert_eq!(net.peer_distance(3, 20).unwrap(), 0);
+        assert!(outcome.total_cost() > 0);
+        assert!(outcome.height_after <= 4 * 5 + 4);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn repeated_pairs_route_in_constant_distance() {
+        let mut net = network(64, 3);
+        let first = net.communicate(5, 60).unwrap();
+        let second = net.communicate(5, 60).unwrap();
+        assert!(second.routing_cost <= 1);
+        assert!(second.routing_cost <= first.routing_cost.max(1));
+        // The pair stays directly linked as long as nobody else intervenes.
+        for _ in 0..3 {
+            let again = net.communicate(5, 60).unwrap();
+            assert_eq!(again.routing_cost, 0);
+        }
+    }
+
+    #[test]
+    fn self_communication_is_rejected() {
+        let mut net = network(8, 4);
+        assert_eq!(
+            net.communicate(3, 3).unwrap_err(),
+            DsgError::SelfCommunication(3)
+        );
+    }
+
+    #[test]
+    fn unknown_peers_are_rejected() {
+        let mut net = network(8, 5);
+        assert_eq!(
+            net.communicate(3, 99).unwrap_err(),
+            DsgError::UnknownPeer(99)
+        );
+        assert!(net.distance(99, 1).is_err());
+    }
+
+    #[test]
+    fn heights_stay_logarithmic_under_random_workload() {
+        let mut net = network(64, 6);
+        let log_n = 6.0;
+        for i in 0..200u64 {
+            let u = (i * 17) % 64;
+            let v = (i * 31 + 7) % 64;
+            if u == v {
+                continue;
+            }
+            net.communicate(u, v).unwrap();
+            assert!(
+                (net.height() as f64) <= 4.0 * log_n + 4.0,
+                "height {} too large after request {i}",
+                net.height()
+            );
+        }
+        net.validate().unwrap();
+        // Lemma 5: the height right after any transformation is at most
+        // log_{3/2} n plus the dummy-induced slack.
+        let lemma5 = (64f64).ln() / 1.5f64.ln();
+        assert!((net.stats().max_height as f64) <= lemma5 + 6.0);
+    }
+
+    #[test]
+    fn balance_is_maintained_with_dummies() {
+        let mut net = DynamicSkipGraph::new(0..48, DsgConfig::default().with_a(3).with_seed(7))
+            .unwrap();
+        for i in 0..100u64 {
+            let u = i % 6;
+            let v = 6 + (i % 42);
+            if u == v {
+                continue;
+            }
+            net.communicate(u, v).unwrap();
+        }
+        let report = net.balance_report();
+        assert!(
+            report.is_balanced(),
+            "a-balance violated: {:?}",
+            report.violations.first()
+        );
+        // The paper bounds the dummies needed per rearranged level by n / a;
+        // this implementation repairs every level after each request, so the
+        // live population is bounded by that per-level bound times the
+        // height. Check a loose version of it (experiment E10 measures the
+        // real distribution).
+        let bound = (48 / 3) * (net.height() + 1);
+        assert!(
+            net.dummy_count() <= bound,
+            "dummy count {} exceeds {bound}",
+            net.dummy_count()
+        );
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn exact_median_strategy_also_works() {
+        let mut net = DynamicSkipGraph::new(
+            0..32,
+            DsgConfig::default()
+                .with_median(MedianStrategy::Exact)
+                .with_seed(8),
+        )
+        .unwrap();
+        let outcome = net.communicate(1, 30).unwrap();
+        assert!(net.are_directly_linked(1, 30).unwrap());
+        assert!(outcome.breakdown.median_rounds > 0);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn churn_and_traffic_interleave() {
+        let mut net = network(32, 9);
+        for i in 0..20u64 {
+            net.communicate(i % 32, (i * 7 + 1) % 32).ok();
+            net.add_peer(100 + i).unwrap();
+            net.remove_peer(i % 32).unwrap();
+        }
+        net.validate().unwrap();
+        assert_eq!(net.len(), 32);
+    }
+
+    #[test]
+    fn stats_accumulate_over_requests() {
+        let mut net = network(16, 10);
+        net.communicate(0, 10).unwrap();
+        net.communicate(3, 7).unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.requests, 2);
+        assert!(stats.total_cost >= stats.total_routing_cost + 2);
+        assert!(stats.average_cost() > 0.0);
+    }
+
+    #[test]
+    fn timestamps_reflect_the_latest_communication() {
+        let mut net = network(16, 11);
+        let outcome = net.communicate(2, 9).unwrap();
+        let state_u = net.peer_state(2).unwrap();
+        assert_eq!(state_u.timestamp(outcome.pair_level), outcome.time);
+        let state_v = net.peer_state(9).unwrap();
+        assert_eq!(state_v.timestamp(outcome.pair_level), outcome.time);
+        // Both ends now share u's group-id at level α.
+        assert_eq!(
+            net.peer_state(9).unwrap().group_id(outcome.alpha),
+            DynamicSkipGraph::internal_key(2).value()
+        );
+    }
+}

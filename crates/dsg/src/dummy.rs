@@ -1,0 +1,307 @@
+//! a-balance maintenance with dummy nodes (paper §IV-F).
+//!
+//! A transformation (or a join/leave) may leave a linked list in which more
+//! than `a` consecutive members move to the same sublist at the next level,
+//! violating the a-balance property and threatening the `a · log n` bound on
+//! search paths. DSG repairs this by placing *dummy nodes* — logical,
+//! routing-only nodes — in the sibling subgraph so that no run of same-bit
+//! members is longer than `a`. A dummy node holds no data, owns `O(log n)`
+//! links like a regular node, and destroys itself the next time it receives
+//! a transformation notification. At most `n / a` dummy nodes can exist.
+
+use dsg_skipgraph::{Bit, Key, MembershipVector, NodeId, SkipGraph};
+
+use crate::state::StateTable;
+
+/// Result of one a-balance repair pass.
+#[derive(Debug, Clone, Default)]
+pub struct DummyRepairOutcome {
+    /// Ids of the dummy nodes inserted.
+    pub inserted: Vec<NodeId>,
+    /// Runs that could not be repaired because no key was available between
+    /// the run members (only possible when the application key space is
+    /// fully dense).
+    pub unrepairable_runs: usize,
+    /// Rounds charged: one chain-detection sweep plus one insertion per
+    /// dummy.
+    pub rounds: usize,
+}
+
+/// Detects a-balance violations and inserts dummy nodes to break every
+/// over-long run. Newly inserted dummies are registered in `states` so that
+/// later transformations can destroy them cleanly.
+///
+/// Two engineering refinements over the paper's description, both noted in
+/// `DESIGN.md`:
+///
+/// * stale dummies from earlier repairs are garbage-collected first, so the
+///   live dummy population always reflects the *current* structure and stays
+///   within the paper's `n / a` bound;
+/// * `protect` names one adjacency (normally the pair that just
+///   communicated) that a dummy key must not be placed into, preserving the
+///   direct link the transformation just established.
+pub fn repair_balance(
+    graph: &mut SkipGraph,
+    states: &mut StateTable,
+    a: usize,
+    protect: Option<(Key, Key)>,
+    scope: Option<(usize, dsg_skipgraph::Prefix)>,
+) -> DummyRepairOutcome {
+    let mut outcome = DummyRepairOutcome::default();
+    // Without a scope (membership churn), garbage-collect dummies left over
+    // from earlier repairs; the passes below re-create exactly the ones the
+    // current structure needs. With a scope (the subtree a transformation
+    // just rebuilt, §IV-F), the stale dummies of that subtree were already
+    // destroyed by the notification, so nothing needs collecting.
+    if scope.is_none() {
+        let stale: Vec<NodeId> = graph
+            .node_ids()
+            .filter(|id| graph.node(*id).map(|e| e.is_dummy()).unwrap_or(false))
+            .collect();
+        for id in stale {
+            let _ = graph.remove(id);
+            states.unregister(id);
+        }
+    }
+    let in_scope = |level: usize, prefix: &dsg_skipgraph::Prefix| match &scope {
+        None => true,
+        Some((scope_level, scope_prefix)) => {
+            level >= *scope_level && scope_prefix.is_prefix_of(prefix)
+        }
+    };
+    // Inserting a dummy splits a run of length r into pieces of length ≤ a,
+    // but the inserted node itself joins every ancestor list and may extend
+    // a run there; each pass repairs one "layer" of damage, so the number of
+    // passes is bounded by the structure height (plus slack).
+    let max_passes = graph.height() + 10;
+    for _pass in 0..max_passes {
+        let report = graph.check_balance(a);
+        outcome.rounds += a + 1;
+        if report.is_balanced() {
+            break;
+        }
+        let mut repaired_any = false;
+        for violation in &report.violations {
+            if !in_scope(violation.level, &violation.prefix) {
+                continue;
+            }
+            repaired_any = true;
+            let list = graph.list_members(violation.level, violation.prefix);
+            // Locate the run inside the list.
+            let start = match list.iter().position(|id| {
+                graph
+                    .node(*id)
+                    .map(|e| e.key() == violation.start_key)
+                    .unwrap_or(false)
+            }) {
+                Some(idx) => idx,
+                None => continue,
+            };
+            let run: Vec<NodeId> = list[start..]
+                .iter()
+                .copied()
+                .take(violation.run_length)
+                .collect();
+            // Insert a dummy after every a-th member of the run, keyed
+            // between its neighbours, living in the sibling subgraph at the
+            // next level. A slot that coincides with the protected adjacency
+            // (the pair that just communicated) is shifted one step left so
+            // the pair's direct link survives.
+            let is_protected_slot = |graph: &SkipGraph, left: NodeId, right: NodeId| {
+                protect.is_some_and(|(pk1, pk2)| {
+                    let lk = graph.key_of(left).expect("run member is live");
+                    let rk = graph.key_of(right).expect("run member is live");
+                    (lk == pk1 && rk == pk2) || (lk == pk2 && rk == pk1)
+                })
+            };
+            let mut position = a;
+            while position < run.len() {
+                let mut slot = position;
+                if is_protected_slot(graph, run[slot - 1], run[slot]) && slot >= 2 {
+                    slot -= 1;
+                }
+                let left = run[slot - 1];
+                let right = run[slot];
+                let left_key = graph.key_of(left).expect("run member is live").value();
+                let right_key = graph.key_of(right).expect("run member is live").value();
+                match free_key_between(graph, left_key, right_key) {
+                    Some(key) => {
+                        let mut mvec = prefix_vector(&violation.prefix);
+                        mvec.push(violation.bit.flipped()).expect("within height limit");
+                        if let Ok(id) = graph.insert_dummy(Key::new(key), mvec) {
+                            states.register(id, Key::new(key), violation.level + 1);
+                            outcome.inserted.push(id);
+                            outcome.rounds += 1;
+                        }
+                    }
+                    None => outcome.unrepairable_runs += 1,
+                }
+                position = slot + a;
+            }
+        }
+        if !repaired_any {
+            // Every remaining violation lies outside the repair scope; the
+            // paper leaves those to the transformations that rebuild the
+            // corresponding regions.
+            break;
+        }
+    }
+    outcome
+}
+
+/// Removes the dummy nodes among `members` (they destroy themselves upon
+/// receiving a transformation notification, §IV-F). Returns the ids of the
+/// destroyed dummies.
+pub fn destroy_dummies(
+    graph: &mut SkipGraph,
+    states: &mut StateTable,
+    members: &[NodeId],
+) -> Vec<NodeId> {
+    let mut destroyed = Vec::new();
+    for &id in members {
+        let is_dummy = graph.node(id).map(|e| e.is_dummy()).unwrap_or(false);
+        if is_dummy {
+            let _ = graph.remove(id);
+            states.unregister(id);
+            destroyed.push(id);
+        }
+    }
+    destroyed
+}
+
+/// An *unoccupied* key strictly between `left` and `right`, if one exists.
+/// Candidates are spread across the gap (rather than clustered around the
+/// midpoint) so that successive dummies keep leaving room for later ones.
+fn free_key_between(graph: &SkipGraph, left: u64, right: u64) -> Option<u64> {
+    let (lo, hi) = if left <= right { (left, right) } else { (right, left) };
+    let gap = hi - lo;
+    if gap <= 1 {
+        return None;
+    }
+    // Probe 1/2, 1/4, 3/4, 1/8, … of the gap, then fall back to a linear
+    // scan of the (small) remaining space.
+    let mut candidates: Vec<u64> = Vec::new();
+    let mut denom = 2u64;
+    while denom <= 64 && (gap / denom) >= 1 {
+        let step = gap / denom;
+        let mut k = 1u64;
+        while k < denom {
+            let key = lo + step * k;
+            if key > lo && key < hi {
+                candidates.push(key);
+            }
+            k += 2;
+        }
+        denom *= 2;
+    }
+    if gap <= 64 {
+        candidates.extend((lo + 1)..hi);
+    }
+    candidates
+        .into_iter()
+        .find(|&key| graph.node_by_key(Key::new(key)).is_none())
+}
+
+/// Rebuilds the membership-vector prefix of a list as an owned vector.
+fn prefix_vector(prefix: &dsg_skipgraph::Prefix) -> MembershipVector {
+    let mut mvec = MembershipVector::empty();
+    for level in 1..=prefix.level() {
+        let bit: Bit = prefix.bit(level).expect("level within prefix");
+        mvec.push(bit).expect("within height limit");
+    }
+    mvec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsg_skipgraph::Key;
+
+    /// Keys spaced far apart so that dummies always fit in between.
+    fn spaced_key(i: u64) -> u64 {
+        (i + 1) << 20
+    }
+
+    fn unbalanced_graph(n: u64, a: usize) -> (SkipGraph, StateTable) {
+        // Every node goes to the 0-sublist at level 1: one long run.
+        let graph = SkipGraph::from_members((0..n).map(|i| {
+            (
+                Key::new(spaced_key(i)),
+                MembershipVector::parse("0").unwrap(),
+            )
+        }))
+        .unwrap();
+        let mut states = StateTable::new();
+        for id in graph.node_ids().collect::<Vec<_>>() {
+            let key = graph.key_of(id).unwrap();
+            states.register(id, key, 0);
+        }
+        assert!(!graph.is_a_balanced(a));
+        (graph, states)
+    }
+
+    #[test]
+    fn repair_breaks_long_runs() {
+        let a = 3;
+        let (mut graph, mut states) = unbalanced_graph(10, a);
+        let outcome = repair_balance(&mut graph, &mut states, a, None, None);
+        assert!(!outcome.inserted.is_empty());
+        assert_eq!(outcome.unrepairable_runs, 0);
+        assert!(graph.is_a_balanced(a), "graph still unbalanced after repair");
+        graph.validate().unwrap();
+        // The paper bounds the number of dummies by n / a.
+        assert!(outcome.inserted.len() <= 10 / a + 1);
+        // Dummies are flagged and registered.
+        for id in &outcome.inserted {
+            assert!(graph.node(*id).unwrap().is_dummy());
+            assert!(states.contains(*id));
+        }
+    }
+
+    #[test]
+    fn balanced_graphs_are_left_untouched() {
+        let graph_members = (0..8u64).map(|i| {
+            let v = if i % 2 == 0 { "0" } else { "1" };
+            (Key::new(spaced_key(i)), MembershipVector::parse(v).unwrap())
+        });
+        let mut graph = SkipGraph::from_members(graph_members).unwrap();
+        let mut states = StateTable::new();
+        for id in graph.node_ids().collect::<Vec<_>>() {
+            let key = graph.key_of(id).unwrap();
+            states.register(id, key, 0);
+        }
+        let outcome = repair_balance(&mut graph, &mut states, 2, None, None);
+        assert!(outcome.inserted.is_empty());
+        assert_eq!(graph.dummy_count(), 0);
+    }
+
+    #[test]
+    fn dense_keys_report_unrepairable_runs() {
+        // Adjacent integer keys leave no room for dummy keys.
+        let graph_members =
+            (0..6u64).map(|i| (Key::new(i), MembershipVector::parse("0").unwrap()));
+        let mut graph = SkipGraph::from_members(graph_members).unwrap();
+        let mut states = StateTable::new();
+        for id in graph.node_ids().collect::<Vec<_>>() {
+            let key = graph.key_of(id).unwrap();
+            states.register(id, key, 0);
+        }
+        let outcome = repair_balance(&mut graph, &mut states, 2, None, None);
+        assert!(outcome.unrepairable_runs > 0);
+        assert!(outcome.inserted.is_empty());
+    }
+
+    #[test]
+    fn destroy_dummies_removes_only_dummies() {
+        let a = 2;
+        let (mut graph, mut states) = unbalanced_graph(8, a);
+        let repair = repair_balance(&mut graph, &mut states, a, None, None);
+        assert!(!repair.inserted.is_empty());
+        let everyone: Vec<NodeId> = graph.node_ids().collect();
+        let destroyed = destroy_dummies(&mut graph, &mut states, &everyone);
+        assert_eq!(destroyed.len(), repair.inserted.len());
+        assert_eq!(graph.dummy_count(), 0);
+        assert_eq!(graph.len(), 8);
+        graph.validate().unwrap();
+    }
+}

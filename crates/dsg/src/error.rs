@@ -1,0 +1,72 @@
+//! Error types for the self-adjusting layer.
+
+use std::fmt;
+
+use dsg_skipgraph::SkipGraphError;
+
+/// Errors returned by the [`DynamicSkipGraph`](crate::DynamicSkipGraph)
+/// driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DsgError {
+    /// An error bubbled up from the underlying skip graph substrate.
+    SkipGraph(SkipGraphError),
+    /// The request referenced a peer key that is not part of the network.
+    UnknownPeer(u64),
+    /// A peer with this key already exists.
+    DuplicatePeer(u64),
+    /// A communication request named the same peer as both source and
+    /// destination.
+    SelfCommunication(u64),
+    /// A consistency check of the self-adjusting state failed.
+    StateInvariantViolated(String),
+}
+
+impl fmt::Display for DsgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsgError::SkipGraph(err) => write!(f, "skip graph error: {err}"),
+            DsgError::UnknownPeer(key) => write!(f, "no peer with key {key} exists"),
+            DsgError::DuplicatePeer(key) => write!(f, "a peer with key {key} already exists"),
+            DsgError::SelfCommunication(key) => {
+                write!(f, "peer {key} cannot communicate with itself")
+            }
+            DsgError::StateInvariantViolated(msg) => {
+                write!(f, "self-adjusting state invariant violated: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DsgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DsgError::SkipGraph(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<SkipGraphError> for DsgError {
+    fn from(err: SkipGraphError) -> Self {
+        DsgError::SkipGraph(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(DsgError::UnknownPeer(9).to_string().contains('9'));
+        let err: DsgError = SkipGraphError::EmptyGraph.into();
+        assert!(err.to_string().contains("skip graph"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DsgError>();
+    }
+}

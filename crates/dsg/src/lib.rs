@@ -1,0 +1,87 @@
+//! # dsg — Dynamic Skip Graphs (locally self-adjusting skip graphs)
+//!
+//! A from-scratch reproduction of the **DSG** algorithm of Huq & Ghosh,
+//! *"Locally Self-Adjusting Skip Graphs"*, ICDCS 2017 (arXiv:1704.00830).
+//!
+//! DSG is a distributed self-adjusting algorithm for skip graphs: upon each
+//! communication request `(u, v)` it first routes the request with the
+//! standard skip graph routing and then **locally and partially
+//! reconstructs** the topology so that `u` and `v` end up directly linked,
+//! while
+//!
+//! * the skip graph height stays `O(log n)` (the a-balance property is
+//!   repaired with dummy nodes when necessary),
+//! * distances inside *non-communicating* groups never grow (the working-set
+//!   property of the paper keeps holding), and
+//! * every step respects the CONGEST model (`O(log n)`-bit messages,
+//!   `O(log n)` bits of state per node).
+//!
+//! The mechanism is the paper's combination of **per-level group-ids and
+//! timestamps** (rules P1–P4 and T1–T6), an **approximate median** computed
+//! by the distributed AMF algorithm (Section V), and per-level splits driven
+//! by comparing node priorities against that median (Cases 1 and 2 of
+//! Section IV-C).
+//!
+//! # Crate layout
+//!
+//! | module | paper reference | contents |
+//! |--------|-----------------|----------|
+//! | [`state`] | §IV-B | per-node timestamps, group-ids, is-dominating flags, group-base |
+//! | [`priority`] | §IV-C rules P1–P4 | the priority lattice and rule evaluation |
+//! | [`amf`] | §V, Lemma 1 | [`MedianFinder`] trait, the AMF simulation, an exact-median oracle |
+//! | [`transform`] | §IV-C/D, Alg. 1 | the per-level split engine (Cases 1 and 2) |
+//! | [`timestamps`] | §IV-E rules T1–T6 | timestamp reassignment |
+//! | [`groups`] | §IV-D, App. C | group-id / group-base reassignment below `α` |
+//! | [`dummy`] | §IV-F | a-balance repair via dummy nodes |
+//! | [`cost`] | §III, Theorem 3 | round-cost accounting per request |
+//! | [`dsg`] | Alg. 1 | [`DynamicSkipGraph`], the public driver |
+//! | [`fixtures`] | Fig. 4 | the worked S₈ example instance |
+//!
+//! # Example
+//!
+//! ```rust
+//! use dsg::{DynamicSkipGraph, DsgConfig};
+//!
+//! # fn main() -> Result<(), dsg::DsgError> {
+//! // Build a self-adjusting skip graph over 32 peers.
+//! let mut net = DynamicSkipGraph::new(0..32, DsgConfig::default().with_seed(7))?;
+//!
+//! // A skewed workload: peers 3 and 29 talk repeatedly.
+//! let first = net.communicate(3, 29)?;
+//! let later = net.communicate(3, 29)?;
+//!
+//! // After the first request the pair is directly linked, so the
+//! // subsequent request routes in a single hop.
+//! assert!(later.routing_cost <= 1);
+//! assert!(first.total_cost() >= later.routing_cost);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod amf;
+pub mod config;
+pub mod cost;
+pub mod dsg;
+pub mod dummy;
+pub mod error;
+pub mod fixtures;
+pub mod groups;
+pub mod priority;
+pub mod state;
+pub mod timestamps;
+pub mod transform;
+
+pub use amf::{AmfMedian, ExactMedian, MedianFinder, MedianOutcome};
+pub use config::{DsgConfig, MedianStrategy};
+pub use cost::{CostBreakdown, RunStats};
+pub use dsg::{DynamicSkipGraph, RequestOutcome};
+pub use error::DsgError;
+pub use priority::Priority;
+pub use state::{NodeState, StateTable};
+
+/// Convenience result alias used across the crate.
+pub type Result<T, E = DsgError> = std::result::Result<T, E>;

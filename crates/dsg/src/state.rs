@@ -1,0 +1,322 @@
+//! Per-node self-adjusting state (paper §IV-B).
+//!
+//! In addition to its membership vector (stored in the skip graph
+//! substrate), every DSG node `x` holds, for each level `j`:
+//!
+//! * a timestamp `T^x_j` — how recently `x` became attached to its group at
+//!   that level (0 = never / detached),
+//! * a group-id `G^x_j` — the identifier of the group `x` belongs to at that
+//!   level (initially the node's own key),
+//! * an is-dominating-group bit `D^x_j` — whether `x` moved to the
+//!   0-subgraph the last time it received a *positive* approximate median at
+//!   level `j`,
+//!
+//! plus a single *group-base* `B^x` — the highest level at which `x` belongs
+//! to its biggest group (Appendix C).
+//!
+//! All of this is `O(H · log n) = O(log² n)` bits per node in total and
+//! `O(log n)` bits per level, matching the paper's memory model (each level
+//! is touched with `O(log n)`-bit messages).
+//!
+//! The vectors are stored sparsely: levels beyond the stored length report
+//! the documented defaults (timestamp 0, group-id = own key, not
+//! dominating), so a node's state never has to be resized eagerly when the
+//! structure height changes.
+
+use std::collections::HashMap;
+
+use dsg_skipgraph::{Key, NodeId};
+
+/// The self-adjusting state of one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeState {
+    key: Key,
+    timestamps: Vec<u64>,
+    group_ids: Vec<u64>,
+    dominating: Vec<bool>,
+    group_base: usize,
+}
+
+impl NodeState {
+    /// Creates the initial state for a node with the given key: all
+    /// timestamps zero, every group-id equal to the node's own key, no
+    /// dominating flags, and the group-base at `initial_group_base` (the
+    /// lowest level at which the node is singleton, per Appendix C).
+    pub fn new(key: Key, initial_group_base: usize) -> Self {
+        NodeState {
+            key,
+            timestamps: Vec::new(),
+            group_ids: Vec::new(),
+            dominating: Vec::new(),
+            group_base: initial_group_base,
+        }
+    }
+
+    /// The key of the node this state belongs to.
+    pub fn key(&self) -> Key {
+        self.key
+    }
+
+    /// Timestamp `T^x_level` (0 if never set).
+    pub fn timestamp(&self, level: usize) -> u64 {
+        self.timestamps.get(level).copied().unwrap_or(0)
+    }
+
+    /// Sets `T^x_level`.
+    pub fn set_timestamp(&mut self, level: usize, value: u64) {
+        if self.timestamps.len() <= level {
+            self.timestamps.resize(level + 1, 0);
+        }
+        self.timestamps[level] = value;
+    }
+
+    /// Group-id `G^x_level`; defaults to the node's own key.
+    pub fn group_id(&self, level: usize) -> u64 {
+        self.group_ids
+            .get(level)
+            .copied()
+            .unwrap_or_else(|| self.key.value())
+    }
+
+    /// Sets `G^x_level`.
+    pub fn set_group_id(&mut self, level: usize, value: u64) {
+        if self.group_ids.len() <= level {
+            let key = self.key.value();
+            self.group_ids.resize(level + 1, key);
+        }
+        self.group_ids[level] = value;
+    }
+
+    /// Is-dominating-group flag `D^x_level`.
+    pub fn dominating(&self, level: usize) -> bool {
+        self.dominating.get(level).copied().unwrap_or(false)
+    }
+
+    /// Sets `D^x_level`.
+    pub fn set_dominating(&mut self, level: usize, value: bool) {
+        if self.dominating.len() <= level {
+            self.dominating.resize(level + 1, false);
+        }
+        self.dominating[level] = value;
+    }
+
+    /// The group-base `B^x`.
+    pub fn group_base(&self) -> usize {
+        self.group_base
+    }
+
+    /// Sets the group-base `B^x`.
+    pub fn set_group_base(&mut self, value: usize) {
+        self.group_base = value;
+    }
+
+    /// The number of levels for which any explicit state is stored (useful
+    /// for memory accounting in tests).
+    pub fn stored_levels(&self) -> usize {
+        self.timestamps
+            .len()
+            .max(self.group_ids.len())
+            .max(self.dominating.len())
+    }
+}
+
+/// The state of every node in the network, addressed by [`NodeId`].
+#[derive(Debug, Clone, Default)]
+pub struct StateTable {
+    states: HashMap<NodeId, NodeState>,
+}
+
+impl StateTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        StateTable::default()
+    }
+
+    /// Registers a node with its initial state.
+    pub fn register(&mut self, id: NodeId, key: Key, initial_group_base: usize) {
+        self.states
+            .insert(id, NodeState::new(key, initial_group_base));
+    }
+
+    /// Removes a node's state (when the node leaves or a dummy is
+    /// destroyed).
+    pub fn unregister(&mut self, id: NodeId) {
+        self.states.remove(&id);
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` if no node is registered.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Immutable access to a node's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was never registered; this indicates a driver bug,
+    /// not a user error.
+    pub fn get(&self, id: NodeId) -> &NodeState {
+        self.states
+            .get(&id)
+            .unwrap_or_else(|| panic!("node {id} has no registered state"))
+    }
+
+    /// Mutable access to a node's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was never registered.
+    pub fn get_mut(&mut self, id: NodeId) -> &mut NodeState {
+        self.states
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("node {id} has no registered state"))
+    }
+
+    /// Returns `true` if the node has registered state.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.states.contains_key(&id)
+    }
+
+    /// Iterates over all `(id, state)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeState)> {
+        self.states.iter().map(|(id, st)| (*id, st))
+    }
+
+    // Convenience pass-throughs used heavily by the transformation engine.
+
+    /// Timestamp `T^x_level` of node `id`.
+    pub fn timestamp(&self, id: NodeId, level: usize) -> u64 {
+        self.get(id).timestamp(level)
+    }
+
+    /// Sets `T^x_level` of node `id`.
+    pub fn set_timestamp(&mut self, id: NodeId, level: usize, value: u64) {
+        self.get_mut(id).set_timestamp(level, value);
+    }
+
+    /// Group-id `G^x_level` of node `id`.
+    pub fn group_id(&self, id: NodeId, level: usize) -> u64 {
+        self.get(id).group_id(level)
+    }
+
+    /// Sets `G^x_level` of node `id`.
+    pub fn set_group_id(&mut self, id: NodeId, level: usize, value: u64) {
+        self.get_mut(id).set_group_id(level, value);
+    }
+
+    /// Is-dominating flag `D^x_level` of node `id`.
+    pub fn dominating(&self, id: NodeId, level: usize) -> bool {
+        self.get(id).dominating(level)
+    }
+
+    /// Sets `D^x_level` of node `id`.
+    pub fn set_dominating(&mut self, id: NodeId, level: usize, value: bool) {
+        self.get_mut(id).set_dominating(level, value);
+    }
+
+    /// Group-base `B^x` of node `id`.
+    pub fn group_base(&self, id: NodeId) -> usize {
+        self.get(id).group_base()
+    }
+
+    /// Sets `B^x` of node `id`.
+    pub fn set_group_base(&mut self, id: NodeId, value: usize) {
+        self.get_mut(id).set_group_base(value);
+    }
+
+    /// The highest level `c` such that nodes `x` and `y` hold the same
+    /// group-id at `c` (used by priority rule P2), searching from
+    /// `max_level` downward. Returns `None` if they share no group at any
+    /// level `0..=max_level`.
+    pub fn highest_common_group_level(
+        &self,
+        x: NodeId,
+        y: NodeId,
+        max_level: usize,
+    ) -> Option<usize> {
+        (0..=max_level)
+            .rev()
+            .find(|&level| self.group_id(x, level) == self.group_id(y, level))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(raw: u32) -> NodeId {
+        NodeId::from_raw(raw)
+    }
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let st = NodeState::new(Key::new(21), 3);
+        assert_eq!(st.timestamp(0), 0);
+        assert_eq!(st.timestamp(17), 0);
+        assert_eq!(st.group_id(0), 21);
+        assert_eq!(st.group_id(9), 21);
+        assert!(!st.dominating(2));
+        assert_eq!(st.group_base(), 3);
+        assert_eq!(st.stored_levels(), 0);
+    }
+
+    #[test]
+    fn setting_levels_grows_sparsely() {
+        let mut st = NodeState::new(Key::new(5), 0);
+        st.set_timestamp(4, 8);
+        assert_eq!(st.timestamp(4), 8);
+        assert_eq!(st.timestamp(3), 0);
+        st.set_group_id(2, 77);
+        assert_eq!(st.group_id(2), 77);
+        // Levels below the one set default to the node's own key.
+        assert_eq!(st.group_id(1), 5);
+        st.set_dominating(1, true);
+        assert!(st.dominating(1));
+        assert!(!st.dominating(0));
+        assert_eq!(st.stored_levels(), 5);
+    }
+
+    #[test]
+    fn table_round_trips_state() {
+        let mut table = StateTable::new();
+        table.register(id(0), Key::new(10), 2);
+        table.register(id(1), Key::new(20), 1);
+        assert_eq!(table.len(), 2);
+        table.set_timestamp(id(0), 3, 99);
+        assert_eq!(table.timestamp(id(0), 3), 99);
+        assert_eq!(table.group_id(id(1), 5), 20);
+        table.set_group_id(id(1), 0, 10);
+        assert_eq!(table.group_id(id(1), 0), 10);
+        table.unregister(id(0));
+        assert!(!table.contains(id(0)));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn highest_common_group_level_scans_downward() {
+        let mut table = StateTable::new();
+        table.register(id(0), Key::new(1), 0);
+        table.register(id(1), Key::new(2), 0);
+        // Different keys: no common group anywhere by default.
+        assert_eq!(table.highest_common_group_level(id(0), id(1), 4), None);
+        // Make them share a group at levels 0 and 2.
+        table.set_group_id(id(0), 0, 7);
+        table.set_group_id(id(1), 0, 7);
+        table.set_group_id(id(0), 2, 7);
+        table.set_group_id(id(1), 2, 7);
+        assert_eq!(table.highest_common_group_level(id(0), id(1), 4), Some(2));
+        assert_eq!(table.highest_common_group_level(id(0), id(1), 1), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no registered state")]
+    fn unknown_nodes_panic() {
+        let table = StateTable::new();
+        let _ = table.get(id(9));
+    }
+}

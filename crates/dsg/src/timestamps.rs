@@ -1,0 +1,444 @@
+//! Timestamp reassignment — rules T1–T6 (paper §IV-E).
+//!
+//! Timestamps encode *how attached* a node is to its group at every level:
+//! a larger timestamp at level `d` means the node joined (or re-confirmed)
+//! its level-`d` group more recently. Priorities (rules P2–P4) and the
+//! correctness argument of Lemma 2 both hinge on them, so after every
+//! transformation the nodes of `l_α` rewrite their timestamps according to
+//! six rules applied in order.
+//!
+//! Two of the paper's rules are stated with overloaded index variables; the
+//! interpretation choices made here are documented inline and in
+//! `DESIGN.md`:
+//!
+//! * **T2** — "the approximate median received by `x` at level `d`" is read
+//!   as the median received when splitting the list at level `d` (deciding
+//!   the bit for level `d + 1`), and the common-postfix length `c'` is read
+//!   as the highest level at which `x` and its nearest communicating node
+//!   shared a list before the transformation (the semantically meaningful
+//!   quantity in both of the paper's uses).
+//! * **T4** — the literal text copies a zero timestamp downward, which is a
+//!   no-op; it is read as the intended gap-fill: the lowest level whose
+//!   timestamp is still unset inherits the first set timestamp above it.
+
+use std::collections::{HashMap, HashSet};
+
+use dsg_skipgraph::{MembershipVector, NodeId, SkipGraph};
+
+use crate::priority::Priority;
+use crate::state::StateTable;
+use crate::transform::TransformOutcome;
+
+/// Inputs for the timestamp rules.
+#[derive(Debug, Clone)]
+pub struct TimestampInput<'a> {
+    /// The communicating source.
+    pub u: NodeId,
+    /// The communicating destination.
+    pub v: NodeId,
+    /// The request time `t`.
+    pub t: u64,
+    /// The highest common level `α`.
+    pub alpha: usize,
+    /// Members of `l_α` (dummies excluded), key order.
+    pub members_alpha: &'a [NodeId],
+    /// Membership vectors *before* the transformation.
+    pub old_mvecs: &'a HashMap<NodeId, MembershipVector>,
+    /// Members of `u`'s group at level `α` before the merge (excluding `u`).
+    pub u_group_before: &'a HashSet<NodeId>,
+    /// Members of `v`'s group at level `α` before the merge (excluding `v`).
+    pub v_group_before: &'a HashSet<NodeId>,
+    /// Nodes that initialised or received `G_lower` (rule T4).
+    pub glower_recipients: &'a [NodeId],
+    /// The transformation trace (medians received, group splits, `d'`).
+    pub outcome: &'a TransformOutcome,
+}
+
+/// Applies rules T1–T6 in order. `graph` must already hold the *new*
+/// membership vectors.
+pub fn apply_timestamp_rules(
+    graph: &SkipGraph,
+    states: &mut StateTable,
+    input: &TimestampInput<'_>,
+) {
+    rule_t1(states, input);
+    rule_t2(graph, states, input);
+    rule_t3(graph, states, input);
+    rule_t4(states, input);
+    rule_t5(states, input);
+    rule_t6(states, input);
+}
+
+/// T1: the communicating pair stamps the level `d'` at which it forms its
+/// two-node list (and the singleton level above) with the current time, and
+/// harmonises the timestamps of the shared levels below.
+fn rule_t1(states: &mut StateTable, input: &TimestampInput<'_>) {
+    let d = input.outcome.pair_level;
+    for x in [input.u, input.v] {
+        states.set_timestamp(x, d, input.t);
+        states.set_timestamp(x, d + 1, input.t);
+    }
+    let floor = states
+        .group_base(input.u)
+        .min(states.group_base(input.v));
+    let mut level = d;
+    while level > floor {
+        level -= 1;
+        let merged = states
+            .timestamp(input.u, level)
+            .max(states.timestamp(input.v, level));
+        states.set_timestamp(input.u, level, merged);
+        states.set_timestamp(input.v, level, merged);
+    }
+}
+
+/// T2: nodes that remain in `u`'s group above `α` inherit, for each such
+/// level, either an older timestamp of their own that already exceeds the
+/// median they survived, or the median itself.
+fn rule_t2(graph: &SkipGraph, states: &mut StateTable, input: &TimestampInput<'_>) {
+    let u_key = graph.key_of(input.u).map(|k| k.value()).unwrap_or_default();
+    for &x in input.members_alpha {
+        if x == input.u || x == input.v {
+            continue;
+        }
+        let medians = match input.outcome.medians.get(&x) {
+            Some(m) => m,
+            None => continue,
+        };
+        // The nearest communicating node before the transformation: the one
+        // sharing the longer membership-vector prefix with x.
+        let old_x = &input.old_mvecs[&x];
+        let prefix_u = input.old_mvecs[&input.u].common_prefix_len(old_x);
+        let prefix_v = input.old_mvecs[&input.v].common_prefix_len(old_x);
+        let c_prime = prefix_u.max(prefix_v);
+        for &(list_level, median) in medians {
+            let d = list_level;
+            if states.group_id(x, d) != u_key && states.group_id(x, d) != states.group_id(input.u, d)
+            {
+                continue;
+            }
+            let median_ts = median_as_timestamp(median, input.t);
+            // The lowest level c in [α, c') whose timestamp already exceeds
+            // the median; if none exists the median becomes the timestamp.
+            let mut inherited = None;
+            for c in input.alpha..c_prime {
+                if states.timestamp(x, c) > median_ts {
+                    inherited = Some(states.timestamp(x, c));
+                    break;
+                }
+            }
+            let value = inherited.unwrap_or(median_ts);
+            states.set_timestamp(x, d + 1, value);
+        }
+    }
+}
+
+/// T3: members of the communicating nodes' old groups whose distance to
+/// their communicating node *shrank* copy the timestamp of the old meeting
+/// level down to the levels the pair no longer shares.
+fn rule_t3(graph: &SkipGraph, states: &mut StateTable, input: &TimestampInput<'_>) {
+    let apply = |states: &mut StateTable, x: NodeId, anchor: NodeId| {
+        let old_x = &input.old_mvecs[&x];
+        let old_anchor = &input.old_mvecs[&anchor];
+        let c_prime = old_anchor.common_prefix_len(old_x);
+        let new_x = match graph.mvec_of(x) {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        let new_anchor = match graph.mvec_of(anchor) {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        let c_second = new_anchor.common_prefix_len(&new_x);
+        if c_prime >= 1 && c_prime - 1 > c_second + 1 {
+            let anchor_ts = states.timestamp(x, c_prime);
+            for i in (c_second + 1)..c_prime {
+                states.set_timestamp(x, i, anchor_ts);
+            }
+        }
+    };
+    for &x in input.members_alpha {
+        if x == input.u || x == input.v {
+            continue;
+        }
+        if input.u_group_before.contains(&x) {
+            apply(states, x, input.u);
+        }
+        if input.v_group_before.contains(&x) {
+            apply(states, x, input.v);
+        }
+    }
+}
+
+/// T4: nodes that received `G_lower` fill the gap between their group-base
+/// and the first level that already carries a timestamp.
+fn rule_t4(states: &mut StateTable, input: &TimestampInput<'_>) {
+    for &x in input.glower_recipients {
+        if !states.contains(x) {
+            continue;
+        }
+        let base = states.group_base(x);
+        // Lowest level d ≥ base whose own timestamp is unset but whose
+        // next level is set.
+        let mut fill: Option<(usize, u64)> = None;
+        for d in base..(base + 64) {
+            let above = states.timestamp(x, d + 1);
+            if states.timestamp(x, d) == 0 && above > 0 {
+                fill = Some((d, above));
+                break;
+            }
+        }
+        if let Some((d, value)) = fill {
+            if d > base || d == base {
+                let mut level = d + 1;
+                while level > base {
+                    level -= 1;
+                    states.set_timestamp(x, level, value);
+                }
+            }
+        }
+    }
+}
+
+/// T5: a node whose group was split at level `d` seeds the level below with
+/// the split level's timestamp if it is still unset.
+fn rule_t5(states: &mut StateTable, input: &TimestampInput<'_>) {
+    for &x in input.members_alpha {
+        if let Some(levels) = input.outcome.group_splits.get(&x) {
+            for &d in levels {
+                if d >= 1 && states.timestamp(x, d - 1) == 0 {
+                    let ts = states.timestamp(x, d);
+                    if ts > 0 {
+                        states.set_timestamp(x, d - 1, ts);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// T6: every level below a node's group-base is cleared.
+fn rule_t6(states: &mut StateTable, input: &TimestampInput<'_>) {
+    for &x in input.members_alpha {
+        let base = states.group_base(x);
+        for d in 0..base {
+            states.set_timestamp(x, d, 0);
+        }
+    }
+}
+
+/// Converts a median priority into a timestamp value: positive medians are
+/// used as-is, `∞` (a median among communicating nodes) maps to the current
+/// time, and negative medians (the node survived a split dominated by a
+/// non-communicating band) contribute nothing.
+fn median_as_timestamp(median: Priority, t: u64) -> u64 {
+    match median {
+        Priority::Infinity => t,
+        Priority::Finite(v) if v > 0 => u64::try_from(v).unwrap_or(t).min(t),
+        Priority::Finite(_) => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::TransformOutcome;
+    use dsg_skipgraph::{Key, MembershipVector, SkipGraph};
+
+    struct Fixture {
+        graph: SkipGraph,
+        states: StateTable,
+        ids: Vec<NodeId>,
+        old_mvecs: HashMap<NodeId, MembershipVector>,
+    }
+
+    fn fixture(keys: &[u64], new_vectors: &[&str], old_vectors: &[&str]) -> Fixture {
+        let graph = SkipGraph::from_members(
+            keys.iter()
+                .zip(new_vectors)
+                .map(|(&k, v)| (Key::new(k), MembershipVector::parse(v).unwrap())),
+        )
+        .unwrap();
+        let mut states = StateTable::new();
+        let ids: Vec<NodeId> = keys
+            .iter()
+            .map(|&k| graph.node_by_key(Key::new(k)).unwrap())
+            .collect();
+        for (&k, &id) in keys.iter().zip(&ids) {
+            states.register(id, Key::new(k), 0);
+        }
+        let old_mvecs = ids
+            .iter()
+            .zip(old_vectors)
+            .map(|(&id, v)| (id, MembershipVector::parse(v).unwrap()))
+            .collect();
+        Fixture {
+            graph,
+            states,
+            ids,
+            old_mvecs,
+        }
+    }
+
+    #[test]
+    fn t1_stamps_the_pair_levels() {
+        let mut fx = fixture(
+            &[1, 2, 3, 4],
+            &["000", "001", "01", "1"],
+            &["0", "1", "00", "01"],
+        );
+        let u = fx.ids[0];
+        let v = fx.ids[1];
+        let mut outcome = TransformOutcome::default();
+        outcome.pair_level = 2;
+        let empty = HashSet::new();
+        let input = TimestampInput {
+            u,
+            v,
+            t: 9,
+            alpha: 0,
+            members_alpha: &fx.ids,
+            old_mvecs: &fx.old_mvecs,
+            u_group_before: &empty,
+            v_group_before: &empty,
+            glower_recipients: &[],
+            outcome: &outcome,
+        };
+        // Pre-existing lower-level timestamps to harmonise.
+        fx.states.set_timestamp(u, 1, 3);
+        fx.states.set_timestamp(v, 1, 5);
+        apply_timestamp_rules(&fx.graph, &mut fx.states, &input);
+        assert_eq!(fx.states.timestamp(u, 2), 9);
+        assert_eq!(fx.states.timestamp(u, 3), 9);
+        assert_eq!(fx.states.timestamp(v, 2), 9);
+        assert_eq!(fx.states.timestamp(v, 3), 9);
+        // T1 harmonisation takes the max of the two at level 1.
+        assert_eq!(fx.states.timestamp(u, 1), 5);
+        assert_eq!(fx.states.timestamp(v, 1), 5);
+    }
+
+    #[test]
+    fn t2_adopts_the_median_when_no_older_timestamp_exists() {
+        let mut fx = fixture(
+            &[1, 2, 3],
+            &["00", "01", "1"],
+            &["0", "00", "01"],
+        );
+        let u = fx.ids[0];
+        let v = fx.ids[1];
+        let w = fx.ids[2];
+        let mut outcome = TransformOutcome::default();
+        outcome.pair_level = 1;
+        // w received a positive median 4 when the level-0 list split.
+        outcome.medians.insert(w, vec![(0, Priority::Finite(4))]);
+        // w is in u's group at level 0 after the transformation.
+        fx.states.set_group_id(w, 0, 1);
+        fx.states.set_group_id(u, 0, 1);
+        let empty = HashSet::new();
+        let input = TimestampInput {
+            u,
+            v,
+            t: 7,
+            alpha: 0,
+            members_alpha: &fx.ids,
+            old_mvecs: &fx.old_mvecs,
+            u_group_before: &empty,
+            v_group_before: &empty,
+            glower_recipients: &[],
+            outcome: &outcome,
+        };
+        apply_timestamp_rules(&fx.graph, &mut fx.states, &input);
+        assert_eq!(fx.states.timestamp(w, 1), 4);
+    }
+
+    #[test]
+    fn t5_seeds_the_level_below_a_split() {
+        let mut fx = fixture(&[1, 2], &["0", "1"], &["0", "1"]);
+        let x = fx.ids[1];
+        fx.states.set_timestamp(x, 3, 6);
+        let mut outcome = TransformOutcome::default();
+        outcome.group_splits.insert(x, vec![3]);
+        let empty = HashSet::new();
+        let input = TimestampInput {
+            u: fx.ids[0],
+            v: fx.ids[1],
+            t: 8,
+            alpha: 0,
+            members_alpha: &fx.ids,
+            old_mvecs: &fx.old_mvecs,
+            u_group_before: &empty,
+            v_group_before: &empty,
+            glower_recipients: &[],
+            outcome: &outcome,
+        };
+        rule_t5(&mut fx.states, &input);
+        assert_eq!(fx.states.timestamp(x, 2), 6);
+        // An already-set timestamp is not overwritten.
+        fx.states.set_timestamp(x, 2, 9);
+        rule_t5(&mut fx.states, &input);
+        assert_eq!(fx.states.timestamp(x, 2), 9);
+    }
+
+    #[test]
+    fn t6_clears_levels_below_the_group_base() {
+        let mut fx = fixture(&[1, 2], &["0", "1"], &["0", "1"]);
+        let x = fx.ids[0];
+        fx.states.set_timestamp(x, 0, 4);
+        fx.states.set_timestamp(x, 1, 5);
+        fx.states.set_timestamp(x, 2, 6);
+        fx.states.set_group_base(x, 2);
+        let empty = HashSet::new();
+        let outcome = TransformOutcome::default();
+        let input = TimestampInput {
+            u: fx.ids[0],
+            v: fx.ids[1],
+            t: 8,
+            alpha: 0,
+            members_alpha: &fx.ids[0..1],
+            old_mvecs: &fx.old_mvecs,
+            u_group_before: &empty,
+            v_group_before: &empty,
+            glower_recipients: &[],
+            outcome: &outcome,
+        };
+        rule_t6(&mut fx.states, &input);
+        assert_eq!(fx.states.timestamp(x, 0), 0);
+        assert_eq!(fx.states.timestamp(x, 1), 0);
+        assert_eq!(fx.states.timestamp(x, 2), 6);
+    }
+
+    #[test]
+    fn t4_fills_the_gap_above_the_group_base() {
+        let mut fx = fixture(&[1, 2], &["0", "1"], &["0", "1"]);
+        let x = fx.ids[0];
+        fx.states.set_group_base(x, 1);
+        fx.states.set_timestamp(x, 3, 7);
+        fx.states.set_timestamp(x, 2, 0);
+        let glower = vec![x];
+        let empty = HashSet::new();
+        let outcome = TransformOutcome::default();
+        let input = TimestampInput {
+            u: fx.ids[0],
+            v: fx.ids[1],
+            t: 8,
+            alpha: 0,
+            members_alpha: &fx.ids[0..1],
+            old_mvecs: &fx.old_mvecs,
+            u_group_before: &empty,
+            v_group_before: &empty,
+            glower_recipients: &glower,
+            outcome: &outcome,
+        };
+        rule_t4(&mut fx.states, &input);
+        assert_eq!(fx.states.timestamp(x, 2), 7);
+        assert_eq!(fx.states.timestamp(x, 1), 7);
+    }
+
+    #[test]
+    fn median_conversion_clamps_sensibly() {
+        assert_eq!(median_as_timestamp(Priority::Infinity, 9), 9);
+        assert_eq!(median_as_timestamp(Priority::Finite(4), 9), 4);
+        assert_eq!(median_as_timestamp(Priority::Finite(400), 9), 9);
+        assert_eq!(median_as_timestamp(Priority::Finite(-3), 9), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! The communication graph (paper §III, Figures 2 and 3).
+//!
+//! Nodes are peers; an undirected edge connects two peers if they
+//! communicated (as source or destination) during the time window of
+//! interest, labelled with the time of their most recent communication.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// An undirected communication graph over peer identifiers.
+#[derive(Debug, Clone, Default)]
+pub struct CommunicationGraph {
+    /// Most recent communication time per (normalised) pair.
+    edges: HashMap<(u64, u64), u64>,
+    adjacency: HashMap<u64, HashSet<u64>>,
+}
+
+impl CommunicationGraph {
+    /// Creates an empty communication graph.
+    pub fn new() -> Self {
+        CommunicationGraph::default()
+    }
+
+    fn normalise(u: u64, v: u64) -> (u64, u64) {
+        if u <= v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    /// Records a communication between `u` and `v` at time `t` (overwrites
+    /// any earlier label on the edge, as in Figure 3).
+    pub fn record(&mut self, u: u64, v: u64, t: u64) {
+        if u == v {
+            return;
+        }
+        self.edges.insert(Self::normalise(u, v), t);
+        self.adjacency.entry(u).or_default().insert(v);
+        self.adjacency.entry(v).or_default().insert(u);
+    }
+
+    /// The time of the most recent communication between `u` and `v`, if
+    /// any.
+    pub fn last_communication(&self, u: u64, v: u64) -> Option<u64> {
+        self.edges.get(&Self::normalise(u, v)).copied()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of peers that appear in at least one communication.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// The set of peers reachable from `start` considering only edges whose
+    /// label (most recent communication time) is at least `since`.
+    pub fn reachable_since(&self, start: u64, since: u64) -> HashSet<u64> {
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(start);
+        queue.push_back(start);
+        while let Some(node) = queue.pop_front() {
+            if let Some(neighbors) = self.adjacency.get(&node) {
+                for &next in neighbors {
+                    let label = self
+                        .last_communication(node, next)
+                        .expect("adjacency implies an edge");
+                    if label >= since && seen.insert(next) {
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Distinct peers that have a path (over edges labelled `≥ since`) from
+    /// either `u` or `v` — the quantity the working set number counts.
+    pub fn working_set_of(&self, u: u64, v: u64, since: u64) -> usize {
+        let mut set = self.reachable_since(u, since);
+        set.extend(self.reachable_since(v, since));
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The communication graph of Figure 2(b): after (u,v), (e,a), (a,k),
+    /// (k,u) and (u,v) again, five nodes have a path from u or v.
+    #[test]
+    fn figure2_working_set_is_five() {
+        let (u, v, e, a, k) = (0u64, 1, 2, 3, 4);
+        let mut g = CommunicationGraph::new();
+        g.record(u, v, 1);
+        g.record(e, a, 2);
+        g.record(a, k, 3);
+        g.record(k, u, 4);
+        g.record(u, v, 5);
+        assert_eq!(g.working_set_of(u, v, 1), 5);
+    }
+
+    #[test]
+    fn edges_remember_only_the_latest_time() {
+        let mut g = CommunicationGraph::new();
+        g.record(1, 2, 3);
+        g.record(2, 1, 9);
+        assert_eq!(g.last_communication(1, 2), Some(9));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn reachability_respects_the_time_window() {
+        let mut g = CommunicationGraph::new();
+        g.record(1, 2, 1);
+        g.record(2, 3, 5);
+        // With the window starting at 2 the stale edge (1,2) is invisible.
+        let reach = g.reachable_since(3, 2);
+        assert!(reach.contains(&2));
+        assert!(!reach.contains(&1));
+        // From time 1 everything is connected.
+        assert_eq!(g.reachable_since(3, 1).len(), 3);
+    }
+
+    #[test]
+    fn self_communication_is_ignored() {
+        let mut g = CommunicationGraph::new();
+        g.record(4, 4, 1);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn disconnected_components_do_not_count() {
+        let mut g = CommunicationGraph::new();
+        g.record(1, 2, 1);
+        g.record(8, 9, 2);
+        assert_eq!(g.working_set_of(1, 2, 1), 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Small statistics helpers for the experiment harness.
+
+/// Summary statistics of a sample of costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of the given samples. Returns a zeroed
+    /// summary for an empty slice.
+    pub fn of<T: Into<f64> + Copy>(samples: &[T]) -> Summary {
+        if samples.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p99: 0.0,
+            };
+        }
+        let mut values: Vec<f64> = samples.iter().map(|v| (*v).into()).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in cost data"));
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let pct = |p: f64| values[(((count - 1) as f64) * p).round() as usize];
+        Summary {
+            count,
+            mean,
+            min: values[0],
+            max: values[count - 1],
+            p50: pct(0.50),
+            p99: pct(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_yield_zeroes() {
+        let s = Summary::of::<f64>(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_of_small_sample() {
+        let s = Summary::of(&[4.0f64, 1.0, 3.0, 2.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(s.p50 >= 2.0 && s.p50 <= 3.0);
+    }
+
+    #[test]
+    fn works_with_integer_inputs() {
+        let s = Summary::of(&[1u32, 2, 3, 4, 5]);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p99, 5.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Incremental working-set numbers and the working-set bound.
+
+use std::collections::HashMap;
+
+use crate::comm_graph::CommunicationGraph;
+
+/// Tracks a request sequence and computes, for every request, its working
+/// set number `T_i(σ_i)` and the cumulative working set bound
+/// `WS(σ) = Σ log₂ T_i(σ_i)` (Theorem 1 of the paper).
+#[derive(Debug, Clone)]
+pub struct WorkingSetTracker {
+    n: usize,
+    time: u64,
+    graph: CommunicationGraph,
+    last_pair_time: HashMap<(u64, u64), u64>,
+    numbers: Vec<usize>,
+    bound: f64,
+}
+
+impl WorkingSetTracker {
+    /// Creates a tracker for a network of `n` peers. A pair communicating
+    /// for the first time has working set number `n` by definition.
+    pub fn new(n: usize) -> Self {
+        WorkingSetTracker {
+            n,
+            time: 0,
+            graph: CommunicationGraph::new(),
+            last_pair_time: HashMap::new(),
+            numbers: Vec::new(),
+            bound: 0.0,
+        }
+    }
+
+    fn normalise(u: u64, v: u64) -> (u64, u64) {
+        if u <= v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    /// Records the next request `(u, v)` and returns its working set number.
+    pub fn record(&mut self, u: u64, v: u64) -> usize {
+        self.time += 1;
+        let t = self.time;
+        let pair = Self::normalise(u, v);
+        let number = match self.last_pair_time.get(&pair) {
+            Some(&since) => {
+                // The working set window starts at the previous (u, v)
+                // communication and ends now; the edge (u, v) itself is part
+                // of the window, so u and v always count.
+                self.graph.working_set_of(u, v, since).max(2)
+            }
+            None => self.n,
+        };
+        self.graph.record(u, v, t);
+        self.last_pair_time.insert(pair, t);
+        self.numbers.push(number);
+        self.bound += (number.max(2) as f64).log2();
+        number
+    }
+
+    /// The working set numbers of all recorded requests, in order.
+    pub fn numbers(&self) -> &[usize] {
+        &self.numbers
+    }
+
+    /// The cumulative working set bound `WS(σ)` of the recorded sequence.
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// Number of requests recorded.
+    pub fn len(&self) -> usize {
+        self.numbers.len()
+    }
+
+    /// Returns `true` if no requests were recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.numbers.is_empty()
+    }
+
+    /// The network size the tracker was created with.
+    pub fn network_size(&self) -> usize {
+        self.n
+    }
+}
+
+/// Convenience: the working set number of every request of `trace` over an
+/// `n`-peer network.
+pub fn working_set_numbers(n: usize, trace: &[(u64, u64)]) -> Vec<usize> {
+    let mut tracker = WorkingSetTracker::new(n);
+    trace.iter().for_each(|&(u, v)| {
+        tracker.record(u, v);
+    });
+    tracker.numbers().to_vec()
+}
+
+/// Convenience: the working set bound `WS(σ)` of `trace` over an `n`-peer
+/// network.
+pub fn working_set_bound(n: usize, trace: &[(u64, u64)]) -> f64 {
+    let mut tracker = WorkingSetTracker::new(n);
+    trace.iter().for_each(|&(u, v)| {
+        tracker.record(u, v);
+    });
+    tracker.bound()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_communication_counts_the_whole_network() {
+        let mut tracker = WorkingSetTracker::new(100);
+        assert_eq!(tracker.record(3, 4), 100);
+        assert_eq!(tracker.record(5, 6), 100);
+    }
+
+    #[test]
+    fn tight_pairs_have_small_working_sets() {
+        let mut tracker = WorkingSetTracker::new(1000);
+        tracker.record(1, 2);
+        // Repeating the same pair over and over keeps T at 2.
+        for _ in 0..10 {
+            assert_eq!(tracker.record(1, 2), 2);
+        }
+        assert!(tracker.bound() < 1000f64.log2() + 11.0);
+    }
+
+    #[test]
+    fn figure2_sequence_yields_five() {
+        // (u,v), (e,a), (a,k), (k,u), (u,v) — the last request has T = 5.
+        let trace = [(0u64, 1u64), (2, 3), (3, 4), (4, 0), (0, 1)];
+        let numbers = working_set_numbers(6, &trace);
+        assert_eq!(numbers.last(), Some(&5));
+        assert_eq!(numbers[0], 6);
+    }
+
+    #[test]
+    fn unrelated_traffic_does_not_inflate_the_working_set() {
+        let mut tracker = WorkingSetTracker::new(64);
+        tracker.record(1, 2);
+        // Chatter among a disjoint clique.
+        for i in 10..20u64 {
+            tracker.record(i, i + 1);
+        }
+        // The pair's working set is still just the two of them.
+        assert_eq!(tracker.record(1, 2), 2);
+    }
+
+    #[test]
+    fn bound_accumulates_logarithms() {
+        let trace = [(0u64, 1u64), (0, 1), (0, 1)];
+        let bound = working_set_bound(8, &trace);
+        // log2(8) + log2(2) + log2(2) = 3 + 1 + 1.
+        assert!((bound - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn direction_does_not_matter() {
+        let mut tracker = WorkingSetTracker::new(32);
+        tracker.record(7, 3);
+        assert_eq!(tracker.record(3, 7), 2);
+    }
+}

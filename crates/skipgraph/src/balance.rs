@@ -1,0 +1,210 @@
+//! The a-balance property (paper §III) and its checker.
+//!
+//! > *A skip graph satisfies the a-balance property if there exists a
+//! > positive integer `a` such that among any `a + 1` consecutive nodes in
+//! > any linked list `l ∈ L_i`, at most `a` nodes can be in a single linked
+//! > list in `L_{i+1}`.*
+//!
+//! Equivalently: in no list may `a + 1` consecutive members all move to the
+//! same sublist at the next level. The property guarantees that the search
+//! path between any pair of nodes has length at most `a · log n`, and the
+//! self-adjusting algorithm must re-establish it (by inserting dummy nodes,
+//! §IV-F) after every transformation.
+
+use crate::graph::SkipGraph;
+use crate::ids::Key;
+use crate::mvec::{Bit, Prefix};
+
+/// A single violation of the a-balance property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BalanceViolation {
+    /// Level of the list in which the over-long run was found.
+    pub level: usize,
+    /// Prefix identifying the list.
+    pub prefix: Prefix,
+    /// The sublist bit shared by the offending run.
+    pub bit: Bit,
+    /// Length of the run of consecutive members moving to the same sublist.
+    pub run_length: usize,
+    /// Key of the first member of the run.
+    pub start_key: Key,
+}
+
+/// Summary of an a-balance check over a whole skip graph.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BalanceReport {
+    /// The balance parameter the graph was checked against.
+    pub a: usize,
+    /// All violations found (empty when the property holds).
+    pub violations: Vec<BalanceViolation>,
+    /// The longest same-sublist run observed anywhere in the graph.
+    pub max_run: usize,
+    /// Number of lists (with at least two members) inspected.
+    pub lists_checked: usize,
+}
+
+impl BalanceReport {
+    /// Returns `true` if the graph satisfies the a-balance property.
+    pub fn is_balanced(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl SkipGraph {
+    /// Checks the a-balance property for the given balance parameter `a`,
+    /// reporting every maximal run of `a + 1` or more consecutive list
+    /// members that share the next-level sublist.
+    ///
+    /// Members that do not split further (their membership vector ends at
+    /// the list's level) terminate any run, since they move to no sublist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`; the property is defined for positive `a`.
+    pub fn check_balance(&self, a: usize) -> BalanceReport {
+        assert!(a > 0, "the a-balance property requires a positive a");
+        let mut report = BalanceReport {
+            a,
+            ..BalanceReport::default()
+        };
+        for level in 0..=self.max_level() {
+            for (prefix, members) in self.lists_at_level(level) {
+                if members.len() < 2 {
+                    continue;
+                }
+                report.lists_checked += 1;
+                let mut run_bit: Option<Bit> = None;
+                let mut run_len = 0usize;
+                let mut run_start: Option<Key> = None;
+                let flush = |bit: Option<Bit>,
+                                 len: usize,
+                                 start: Option<Key>,
+                                 report: &mut BalanceReport| {
+                    if let (Some(bit), Some(start)) = (bit, start) {
+                        report.max_run = report.max_run.max(len);
+                        if len >= a + 1 {
+                            report.violations.push(BalanceViolation {
+                                level,
+                                prefix,
+                                bit,
+                                run_length: len,
+                                start_key: start,
+                            });
+                        }
+                    }
+                };
+                for id in &members {
+                    let entry = self.node(*id).expect("list member is live");
+                    let next_bit = entry.mvec().bit(level + 1);
+                    match next_bit {
+                        Some(bit) if Some(bit) == run_bit => {
+                            run_len += 1;
+                        }
+                        Some(bit) => {
+                            flush(run_bit, run_len, run_start, &mut report);
+                            run_bit = Some(bit);
+                            run_len = 1;
+                            run_start = Some(entry.key());
+                        }
+                        None => {
+                            flush(run_bit, run_len, run_start, &mut report);
+                            run_bit = None;
+                            run_len = 0;
+                            run_start = None;
+                        }
+                    }
+                }
+                flush(run_bit, run_len, run_start, &mut report);
+            }
+        }
+        report
+    }
+
+    /// Convenience wrapper: `true` iff the graph satisfies the a-balance
+    /// property for parameter `a`.
+    pub fn is_a_balanced(&self, a: usize) -> bool {
+        self.check_balance(a).is_balanced()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::ids::Key;
+    use crate::mvec::MembershipVector;
+
+    #[test]
+    fn figure1_is_2_balanced() {
+        let g = fixtures::figure1();
+        let report = g.check_balance(2);
+        assert!(report.is_balanced(), "violations: {:?}", report.violations);
+        assert!(report.lists_checked >= 3);
+    }
+
+    #[test]
+    fn perfectly_balanced_graph_is_1_balanced_only_for_alternating_bits() {
+        // perfectly_balanced assigns bit i of the rank, so at level 1 the
+        // bits alternate 0,1,0,1,… and no two consecutive nodes share a
+        // sublist: it is 1-balanced at level 1 but higher levels also
+        // alternate within each list.
+        let g = fixtures::perfectly_balanced(16);
+        assert!(g.is_a_balanced(1));
+        assert!(g.is_a_balanced(2));
+    }
+
+    #[test]
+    fn long_same_bit_run_is_reported() {
+        // 6 nodes that all pick the 0-sublist at level 1 except the last.
+        let g = SkipGraph::from_members((0..6u64).map(|k| {
+            let v = if k < 5 { "0" } else { "1" };
+            (Key::new(k), MembershipVector::parse(v).unwrap())
+        }))
+        .unwrap();
+        let report = g.check_balance(3);
+        assert!(!report.is_balanced());
+        assert_eq!(report.violations.len(), 1);
+        let v = &report.violations[0];
+        assert_eq!(v.level, 0);
+        assert_eq!(v.run_length, 5);
+        assert_eq!(v.bit, Bit::Zero);
+        assert_eq!(v.start_key, Key::new(0));
+        // With a = 5 the same run is tolerated.
+        assert!(g.is_a_balanced(5));
+    }
+
+    #[test]
+    fn nodes_that_stop_splitting_break_runs() {
+        // Keys 0,1 go to sublist 0, key 2 has an empty vector (stops), keys
+        // 3,4 go to sublist 0 again: the runs are 2 and 2, not 4.
+        let vectors = ["0", "0", "", "0", "0"];
+        let g = SkipGraph::from_members(
+            vectors
+                .iter()
+                .enumerate()
+                .map(|(k, v)| (Key::new(k as u64), MembershipVector::parse(v).unwrap())),
+        )
+        .unwrap();
+        let report = g.check_balance(2);
+        assert!(report.is_balanced(), "violations: {:?}", report.violations);
+        assert_eq!(report.max_run, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive a")]
+    fn zero_a_is_rejected() {
+        let g = fixtures::figure1();
+        let _ = g.check_balance(0);
+    }
+
+    #[test]
+    fn random_graphs_have_logarithmic_runs() {
+        // Random membership vectors do not guarantee a-balance for a fixed
+        // small a, but the longest same-sublist run is O(log n) w.h.p.
+        let g = fixtures::uniform_random(256, 17);
+        let report = g.check_balance(2);
+        assert!(report.max_run <= 3 * 8, "max run {} too long", report.max_run);
+        // The graph is trivially a-balanced for a equal to its longest run.
+        assert!(g.is_a_balanced(report.max_run.max(1)));
+    }
+}

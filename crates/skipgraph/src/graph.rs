@@ -1,0 +1,826 @@
+//! The skip graph structure.
+//!
+//! Nodes live in an arena and are addressed by [`NodeId`]. The linked lists
+//! of every level are materialised as ordered indices (`BTreeMap<Key,
+//! NodeId>` keyed by the list's membership-vector [`Prefix`]), which makes
+//! neighbour queries, list enumeration and *incremental* membership-vector
+//! updates cheap. This "central store, distributed semantics" representation
+//! is the idiomatic Rust answer to overlay pointers: algorithm code
+//! manipulates ids, never references, and the distributed cost of each
+//! operation is accounted separately by the callers (see the `dsg` crate).
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::{Rng, RngExt};
+
+use crate::error::SkipGraphError;
+use crate::ids::{Key, NodeId};
+use crate::mvec::{Bit, MembershipVector, Prefix};
+use crate::Result;
+
+/// A single node of the skip graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeEntry {
+    key: Key,
+    mvec: MembershipVector,
+    dummy: bool,
+}
+
+impl NodeEntry {
+    /// The node's key (its position in every linked list).
+    pub fn key(&self) -> Key {
+        self.key
+    }
+
+    /// The node's membership vector.
+    pub fn mvec(&self) -> &MembershipVector {
+        &self.mvec
+    }
+
+    /// Whether the node is a *dummy* node: a logical routing-only node
+    /// inserted to protect the a-balance property (paper §IV-F).
+    pub fn is_dummy(&self) -> bool {
+        self.dummy
+    }
+}
+
+/// Identifies one linked list of the skip graph: the list at `level` whose
+/// members share the membership-vector `prefix`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ListRef {
+    /// The level of the list (0 = base list containing every node).
+    pub level: usize,
+    /// The membership-vector prefix shared by all members.
+    pub prefix: Prefix,
+}
+
+impl ListRef {
+    /// The base list at level 0.
+    pub fn root() -> Self {
+        ListRef {
+            level: 0,
+            prefix: Prefix::root(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    entry: Option<NodeEntry>,
+}
+
+/// A skip graph: the family-`S` data structure of the paper.
+///
+/// See the [crate-level documentation](crate) for an overview and an
+/// example.
+#[derive(Debug, Clone, Default)]
+pub struct SkipGraph {
+    arena: Vec<Slot>,
+    free: Vec<u32>,
+    by_key: BTreeMap<Key, NodeId>,
+    /// `levels[d]` maps each length-`d` prefix to the ordered list of nodes
+    /// whose membership vector starts with that prefix. `levels[0]` contains
+    /// a single entry for [`Prefix::root`].
+    levels: Vec<HashMap<Prefix, BTreeMap<Key, NodeId>>>,
+}
+
+impl SkipGraph {
+    /// Creates an empty skip graph.
+    pub fn new() -> Self {
+        SkipGraph::default()
+    }
+
+    /// Builds a skip graph from an explicit set of `(key, membership
+    /// vector)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::DuplicateKey`] if two members share a key.
+    pub fn from_members<I>(members: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (Key, MembershipVector)>,
+    {
+        let mut graph = SkipGraph::new();
+        for (key, mvec) in members {
+            graph.insert(key, mvec)?;
+        }
+        Ok(graph)
+    }
+
+    /// Builds a skip graph over `keys` with uniformly random membership
+    /// vectors, extending every node's vector until it is singleton — the
+    /// standard randomised skip graph construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::DuplicateKey`] if `keys` contains
+    /// duplicates.
+    pub fn random<I, R>(keys: I, rng: &mut R) -> Result<Self>
+    where
+        I: IntoIterator<Item = Key>,
+        R: Rng + ?Sized,
+    {
+        let mut graph = SkipGraph::new();
+        for key in keys {
+            graph.insert_random(key, rng)?;
+        }
+        Ok(graph)
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion / removal
+    // ------------------------------------------------------------------
+
+    /// Inserts a node with an explicit membership vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::DuplicateKey`] if a node with `key` already
+    /// exists.
+    pub fn insert(&mut self, key: Key, mvec: MembershipVector) -> Result<NodeId> {
+        self.insert_inner(key, mvec, false)
+    }
+
+    /// Inserts a *dummy* node (a routing-only placeholder used to repair the
+    /// a-balance property, paper §IV-F).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::DuplicateKey`] if a node with `key` already
+    /// exists.
+    pub fn insert_dummy(&mut self, key: Key, mvec: MembershipVector) -> Result<NodeId> {
+        self.insert_inner(key, mvec, true)
+    }
+
+    /// Inserts a node choosing membership-vector bits uniformly at random
+    /// until the node is the only member of its top-level list — the
+    /// standard skip graph join.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::DuplicateKey`] if a node with `key` already
+    /// exists.
+    pub fn insert_random<R>(&mut self, key: Key, rng: &mut R) -> Result<NodeId>
+    where
+        R: Rng + ?Sized,
+    {
+        if self.by_key.contains_key(&key) {
+            return Err(SkipGraphError::DuplicateKey(key));
+        }
+        // Walk down: starting from the root list, keep choosing random bits
+        // while the list joined at the current level is non-empty.
+        // Membership vectors are conceptually infinite strings of random
+        // bits; as in the standard join protocol, any existing member of a
+        // list the new node passes through that has not yet materialised its
+        // bit for the next level draws one now (otherwise two nodes could
+        // stay together in a large list forever, destroying the O(log n)
+        // routing guarantee).
+        let mut mvec = MembershipVector::empty();
+        let mut prefix = Prefix::root();
+        loop {
+            let level = prefix.level();
+            let members: Vec<NodeId> = self
+                .level_map(level)
+                .and_then(|m| m.get(&prefix))
+                .map(|l| l.values().copied().collect())
+                .unwrap_or_default();
+            if members.is_empty() {
+                break;
+            }
+            // Lazily extend existing members that stop at this level.
+            for id in members {
+                let len = self
+                    .entry(id)
+                    .expect("list member is live")
+                    .mvec
+                    .len();
+                if len < level + 1 {
+                    let bit: Bit = rng.random_bool(0.5).into();
+                    self.set_membership_suffix(id, len + 1, [bit])?;
+                }
+            }
+            let bit: Bit = rng.random_bool(0.5).into();
+            mvec.push(bit)?;
+            prefix = prefix.child(bit);
+        }
+        self.insert_inner(key, mvec, false)
+    }
+
+    fn insert_inner(&mut self, key: Key, mvec: MembershipVector, dummy: bool) -> Result<NodeId> {
+        if self.by_key.contains_key(&key) {
+            return Err(SkipGraphError::DuplicateKey(key));
+        }
+        let entry = NodeEntry { key, mvec, dummy };
+        let id = match self.free.pop() {
+            Some(raw) => {
+                let id = NodeId(raw);
+                self.arena[id.index()].entry = Some(entry);
+                id
+            }
+            None => {
+                let id = NodeId(self.arena.len() as u32);
+                self.arena.push(Slot { entry: Some(entry) });
+                id
+            }
+        };
+        self.by_key.insert(key, id);
+        self.index_node(id);
+        Ok(id)
+    }
+
+    /// Removes the node with the given key, returning its entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::UnknownKey`] if no such node exists.
+    pub fn remove_key(&mut self, key: Key) -> Result<NodeEntry> {
+        let id = self
+            .by_key
+            .get(&key)
+            .copied()
+            .ok_or(SkipGraphError::UnknownKey(key))?;
+        self.remove(id)
+    }
+
+    /// Removes a node by id, returning its entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::UnknownNode`] if the id is not live.
+    pub fn remove(&mut self, id: NodeId) -> Result<NodeEntry> {
+        let entry = self
+            .arena
+            .get(id.index())
+            .and_then(|s| s.entry.clone())
+            .ok_or(SkipGraphError::UnknownNode(id))?;
+        self.unindex_node(id);
+        self.by_key.remove(&entry.key);
+        self.arena[id.index()].entry = None;
+        self.free.push(id.raw());
+        Ok(entry)
+    }
+
+    // ------------------------------------------------------------------
+    // Index maintenance
+    // ------------------------------------------------------------------
+
+    fn index_node(&mut self, id: NodeId) {
+        let (key, len, mvec) = {
+            let entry = self.entry(id).expect("node just inserted");
+            (entry.key, entry.mvec.len(), entry.mvec)
+        };
+        for level in 0..=len {
+            let prefix = mvec.prefix(level);
+            if self.levels.len() <= level {
+                self.levels.resize_with(level + 1, HashMap::new);
+            }
+            self.levels[level]
+                .entry(prefix)
+                .or_default()
+                .insert(key, id);
+        }
+    }
+
+    fn unindex_node(&mut self, id: NodeId) {
+        let (key, len, mvec) = {
+            let entry = self.entry(id).expect("node must be live");
+            (entry.key, entry.mvec.len(), entry.mvec)
+        };
+        for level in 0..=len {
+            let prefix = mvec.prefix(level);
+            if let Some(map) = self.levels.get_mut(level) {
+                if let Some(list) = map.get_mut(&prefix) {
+                    list.remove(&key);
+                    if list.is_empty() {
+                        map.remove(&prefix);
+                    }
+                }
+            }
+        }
+        while matches!(self.levels.last(), Some(m) if m.is_empty()) {
+            self.levels.pop();
+        }
+    }
+
+    /// Replaces the membership-vector bits of `id` from `from_level` upward
+    /// with `new_bits`, keeping levels `1..from_level` unchanged, and updates
+    /// all list indices. This is the primitive the self-adjusting algorithm
+    /// uses to "move" a node between subgraphs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::UnknownNode`] for a dead id and
+    /// [`SkipGraphError::HeightLimitExceeded`] if the resulting vector would
+    /// be too long.
+    pub fn set_membership_suffix<I>(
+        &mut self,
+        id: NodeId,
+        from_level: usize,
+        new_bits: I,
+    ) -> Result<()>
+    where
+        I: IntoIterator<Item = Bit>,
+    {
+        if self.entry(id).is_none() {
+            return Err(SkipGraphError::UnknownNode(id));
+        }
+        self.unindex_node(id);
+        let result = {
+            let entry = self.arena[id.index()]
+                .entry
+                .as_mut()
+                .expect("checked live above");
+            entry.mvec.replace_suffix(from_level, new_bits)
+        };
+        // Re-index regardless of whether the suffix replacement failed so
+        // that the node is never left out of the lists.
+        self.index_node(id);
+        result
+    }
+
+    /// Replaces the node's entire membership vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::UnknownNode`] for a dead id.
+    pub fn set_membership_vector(&mut self, id: NodeId, mvec: MembershipVector) -> Result<()> {
+        if self.entry(id).is_none() {
+            return Err(SkipGraphError::UnknownNode(id));
+        }
+        self.unindex_node(id);
+        self.arena[id.index()]
+            .entry
+            .as_mut()
+            .expect("checked live above")
+            .mvec = mvec;
+        self.index_node(id);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    fn entry(&self, id: NodeId) -> Option<&NodeEntry> {
+        self.arena.get(id.index()).and_then(|s| s.entry.as_ref())
+    }
+
+    fn level_map(&self, level: usize) -> Option<&HashMap<Prefix, BTreeMap<Key, NodeId>>> {
+        self.levels.get(level)
+    }
+
+    /// Number of live nodes (including dummy nodes).
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// Number of live dummy nodes.
+    pub fn dummy_count(&self) -> usize {
+        self.by_key
+            .values()
+            .filter(|id| self.entry(**id).map(|e| e.dummy).unwrap_or(false))
+            .count()
+    }
+
+    /// Returns the node entry for a live id.
+    pub fn node(&self, id: NodeId) -> Option<&NodeEntry> {
+        self.entry(id)
+    }
+
+    /// Returns the id of the node holding `key`.
+    pub fn node_by_key(&self, key: Key) -> Option<NodeId> {
+        self.by_key.get(&key).copied()
+    }
+
+    /// The key of a live node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::UnknownNode`] for a dead id.
+    pub fn key_of(&self, id: NodeId) -> Result<Key> {
+        self.entry(id)
+            .map(|e| e.key)
+            .ok_or(SkipGraphError::UnknownNode(id))
+    }
+
+    /// The membership vector of a live node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::UnknownNode`] for a dead id.
+    pub fn mvec_of(&self, id: NodeId) -> Result<MembershipVector> {
+        self.entry(id)
+            .map(|e| e.mvec)
+            .ok_or(SkipGraphError::UnknownNode(id))
+    }
+
+    /// Iterates over all live node ids in ascending key order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.by_key.values().copied()
+    }
+
+    /// Iterates over all live keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.by_key.keys().copied()
+    }
+
+    /// The height of the skip graph: the smallest `H` such that every node
+    /// is the only member of its list at level `H`. An empty or singleton
+    /// graph has height 0.
+    pub fn height(&self) -> usize {
+        for (level, map) in self.levels.iter().enumerate() {
+            if map.values().all(|list| list.len() <= 1) {
+                return level;
+            }
+        }
+        self.levels.len()
+    }
+
+    /// The largest level index for which any list exists.
+    pub fn max_level(&self) -> usize {
+        self.levels.len().saturating_sub(1)
+    }
+
+    // ------------------------------------------------------------------
+    // List queries
+    // ------------------------------------------------------------------
+
+    /// Members (in ascending key order) of the list at `level` identified by
+    /// `prefix`. Nodes whose membership vector is *shorter* than `level` are
+    /// considered singleton at that level and are only reported when the
+    /// requested prefix equals their full vector.
+    pub fn list_members(&self, level: usize, prefix: Prefix) -> Vec<NodeId> {
+        match self.level_map(level).and_then(|m| m.get(&prefix)) {
+            Some(list) => list.values().copied().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Members of the list identified by a [`ListRef`].
+    pub fn list(&self, list: ListRef) -> Vec<NodeId> {
+        self.list_members(list.level, list.prefix)
+    }
+
+    /// Members of the list that `id` belongs to at `level`, in ascending key
+    /// order. For levels above the node's vector length the node is
+    /// singleton, so only `id` itself is returned.
+    pub fn list_of(&self, id: NodeId, level: usize) -> Result<Vec<NodeId>> {
+        let entry = self.entry(id).ok_or(SkipGraphError::UnknownNode(id))?;
+        if level > entry.mvec.len() {
+            return Ok(vec![id]);
+        }
+        let prefix = entry.mvec.prefix(level);
+        Ok(self.list_members(level, prefix))
+    }
+
+    /// Size of the list that `id` belongs to at `level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::UnknownNode`] for a dead id.
+    pub fn list_size(&self, id: NodeId, level: usize) -> Result<usize> {
+        Ok(self.list_of(id, level)?.len())
+    }
+
+    /// All lists at `level`, as `(prefix, members)` pairs. Pairs are
+    /// returned in an unspecified order; members are in ascending key order.
+    pub fn lists_at_level(&self, level: usize) -> Vec<(Prefix, Vec<NodeId>)> {
+        match self.level_map(level) {
+            Some(map) => map
+                .iter()
+                .map(|(p, list)| (*p, list.values().copied().collect()))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Left and right neighbours of `id` in its list at `level` (the
+    /// doubly-linked-list pointers of the distributed structure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::UnknownNode`] for a dead id.
+    pub fn neighbors(&self, id: NodeId, level: usize) -> Result<(Option<NodeId>, Option<NodeId>)> {
+        let entry = self.entry(id).ok_or(SkipGraphError::UnknownNode(id))?;
+        if level > entry.mvec.len() {
+            return Ok((None, None));
+        }
+        let prefix = entry.mvec.prefix(level);
+        let list = match self.level_map(level).and_then(|m| m.get(&prefix)) {
+            Some(list) => list,
+            None => return Ok((None, None)),
+        };
+        let left = list
+            .range(..entry.key)
+            .next_back()
+            .map(|(_, id)| *id);
+        let right = list
+            .range((std::ops::Bound::Excluded(entry.key), std::ops::Bound::Unbounded))
+            .next()
+            .map(|(_, id)| *id);
+        Ok((left, right))
+    }
+
+    /// The highest level at which `u` and `v` share a linked list (the
+    /// paper's `α` for a communication request), i.e. the length of the
+    /// longest common prefix of their membership vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::UnknownNode`] if either id is dead.
+    pub fn common_level(&self, u: NodeId, v: NodeId) -> Result<usize> {
+        let eu = self.entry(u).ok_or(SkipGraphError::UnknownNode(u))?;
+        let ev = self.entry(v).ok_or(SkipGraphError::UnknownNode(v))?;
+        Ok(eu.mvec.common_prefix_len(&ev.mvec))
+    }
+
+    /// The degree of a node: the number of *distinct* neighbours over all
+    /// levels. Skip graphs guarantee `O(log n)` degree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::UnknownNode`] for a dead id.
+    pub fn degree(&self, id: NodeId) -> Result<usize> {
+        let entry = self.entry(id).ok_or(SkipGraphError::UnknownNode(id))?;
+        let mut distinct = std::collections::HashSet::new();
+        for level in 0..=entry.mvec.len() {
+            let (l, r) = self.neighbors(id, level)?;
+            if let Some(l) = l {
+                distinct.insert(l);
+            }
+            if let Some(r) = r {
+                distinct.insert(r);
+            }
+        }
+        Ok(distinct.len())
+    }
+
+    // ------------------------------------------------------------------
+    // Validation
+    // ------------------------------------------------------------------
+
+    /// Checks the structural invariants of the skip graph:
+    ///
+    /// 1. every live node appears exactly once in the base list;
+    /// 2. for every level `d ≥ 1`, the members of each list are exactly the
+    ///    members of the parent list whose membership-vector bit at level
+    ///    `d` selects it (list refinement);
+    /// 3. list membership recorded in the indices matches the nodes'
+    ///    membership vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::InvariantViolated`] describing the first
+    /// violation found.
+    pub fn validate(&self) -> Result<()> {
+        // 1. base list contains every live node.
+        let base = self.list_members(0, Prefix::root());
+        if base.len() != self.by_key.len() {
+            return Err(SkipGraphError::InvariantViolated(format!(
+                "base list has {} members but {} nodes are live",
+                base.len(),
+                self.by_key.len()
+            )));
+        }
+        // 2/3. refinement + prefix consistency.
+        for (level, map) in self.levels.iter().enumerate() {
+            for (prefix, list) in map {
+                if prefix.level() != level {
+                    return Err(SkipGraphError::InvariantViolated(format!(
+                        "prefix {prefix} stored at level {level}"
+                    )));
+                }
+                for (&key, &id) in list {
+                    let entry = self
+                        .entry(id)
+                        .ok_or_else(|| SkipGraphError::InvariantViolated(format!(
+                            "dead node {id} recorded in list {prefix} at level {level}"
+                        )))?;
+                    if entry.key != key {
+                        return Err(SkipGraphError::InvariantViolated(format!(
+                            "node {id} stored under key {key} but has key {}",
+                            entry.key
+                        )));
+                    }
+                    if entry.mvec.prefix(level) != *prefix {
+                        return Err(SkipGraphError::InvariantViolated(format!(
+                            "node {id} with vector {} is recorded in list {prefix} at level {level}",
+                            entry.mvec
+                        )));
+                    }
+                }
+                if level >= 1 {
+                    let parent_prefix = prefix.parent().expect("level >= 1 has a parent");
+                    let parent = self.list_members(level - 1, parent_prefix);
+                    for id in list.values() {
+                        if !parent.contains(id) {
+                            return Err(SkipGraphError::InvariantViolated(format!(
+                                "node {id} appears in list {prefix} at level {level} but not in its parent list"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        // Every node must be indexed at every level up to its vector length.
+        for (&key, &id) in &self.by_key {
+            let entry = self.entry(id).ok_or_else(|| {
+                SkipGraphError::InvariantViolated(format!("key {key} maps to dead node {id}"))
+            })?;
+            for level in 0..=entry.mvec.len() {
+                let prefix = entry.mvec.prefix(level);
+                let present = self
+                    .level_map(level)
+                    .and_then(|m| m.get(&prefix))
+                    .map(|l| l.get(&key) == Some(&id))
+                    .unwrap_or(false);
+                if !present {
+                    return Err(SkipGraphError::InvariantViolated(format!(
+                        "node {id} missing from its list at level {level}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds the 6-node skip graph of Figure 1 of the paper.
+    ///
+    /// Level-1 0-sublist = {A, J, M}, 1-sublist = {G, R, W};
+    /// level-2 lists: {A, J} (00), {M} (01), {G, W} (10), {R} (11).
+    pub(crate) fn figure1_graph() -> SkipGraph {
+        let members = [
+            (1u64, "00"),  // A
+            (7, "10"),     // G
+            (10, "00"),    // J
+            (13, "01"),    // M
+            (18, "11"),    // R
+            (23, "10"),    // W
+        ];
+        SkipGraph::from_members(
+            members
+                .iter()
+                .map(|(k, v)| (Key::new(*k), MembershipVector::parse(v).unwrap())),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure1_structure_matches_paper() {
+        let g = figure1_graph();
+        assert_eq!(g.len(), 6);
+        g.validate().unwrap();
+
+        let a = g.node_by_key(Key::new(1)).unwrap();
+        let m = g.node_by_key(Key::new(13)).unwrap();
+        let gg = g.node_by_key(Key::new(7)).unwrap();
+        let w = g.node_by_key(Key::new(23)).unwrap();
+
+        // Level-1 list containing A is {A, J, M}.
+        let list = g.list_of(a, 1).unwrap();
+        let keys: Vec<u64> = list.iter().map(|id| g.key_of(*id).unwrap().value()).collect();
+        assert_eq!(keys, vec![1, 10, 13]);
+
+        // The highest common level for A and M is 1 (as stated in §IV-C).
+        assert_eq!(g.common_level(a, m).unwrap(), 1);
+
+        // The 10-subgraph contains exactly G and W (as stated in §III).
+        let p10 = Prefix::root().child(Bit::One).child(Bit::Zero);
+        let sub: Vec<u64> = g
+            .list_members(2, p10)
+            .iter()
+            .map(|id| g.key_of(*id).unwrap().value())
+            .collect();
+        assert_eq!(sub, vec![7, 23]);
+        assert_eq!(g.common_level(gg, w).unwrap(), 2);
+    }
+
+    #[test]
+    fn base_list_is_sorted_by_key() {
+        let g = figure1_graph();
+        let keys: Vec<u64> = g.keys().map(|k| k.value()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn neighbors_follow_key_order_within_lists() {
+        let g = figure1_graph();
+        let j = g.node_by_key(Key::new(10)).unwrap();
+        // Base level: J's neighbours are G (7) and M (13).
+        let (l, r) = g.neighbors(j, 0).unwrap();
+        assert_eq!(g.key_of(l.unwrap()).unwrap().value(), 7);
+        assert_eq!(g.key_of(r.unwrap()).unwrap().value(), 13);
+        // Level 1 (list {A, J, M}): neighbours are A and M.
+        let (l, r) = g.neighbors(j, 1).unwrap();
+        assert_eq!(g.key_of(l.unwrap()).unwrap().value(), 1);
+        assert_eq!(g.key_of(r.unwrap()).unwrap().value(), 13);
+        // Level 2 (list {A, J}): only left neighbour A.
+        let (l, r) = g.neighbors(j, 2).unwrap();
+        assert_eq!(g.key_of(l.unwrap()).unwrap().value(), 1);
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn height_of_figure1_is_three_levels_of_splitting() {
+        let g = figure1_graph();
+        // Lists at level 2 are {A,J} and {G,W}, which still have 2 members,
+        // so the height (first all-singleton level) is 3.
+        assert_eq!(g.height(), 3);
+    }
+
+    #[test]
+    fn insert_duplicate_key_fails() {
+        let mut g = figure1_graph();
+        let err = g.insert(Key::new(13), MembershipVector::empty()).unwrap_err();
+        assert_eq!(err, SkipGraphError::DuplicateKey(Key::new(13)));
+    }
+
+    #[test]
+    fn remove_then_reinsert_reuses_slots() {
+        let mut g = figure1_graph();
+        let before = g.len();
+        let removed = g.remove_key(Key::new(13)).unwrap();
+        assert_eq!(removed.key(), Key::new(13));
+        assert_eq!(g.len(), before - 1);
+        g.validate().unwrap();
+        g.insert(Key::new(13), MembershipVector::parse("01").unwrap())
+            .unwrap();
+        assert_eq!(g.len(), before);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn random_construction_is_valid_and_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = SkipGraph::random((0..256).map(Key::new), &mut rng).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.len(), 256);
+        // With random membership vectors the height is O(log n) w.h.p.; use
+        // a generous constant.
+        assert!(g.height() <= 4 * 8, "height {} too large", g.height());
+        // Degree is O(log n) as well.
+        for id in g.node_ids() {
+            assert!(g.degree(id).unwrap() <= 4 * 8);
+        }
+    }
+
+    #[test]
+    fn set_membership_suffix_moves_node_between_subgraphs() {
+        let mut g = figure1_graph();
+        let m = g.node_by_key(Key::new(13)).unwrap();
+        // Move M from the 01-subgraph to the 00-subgraph (joining A and J).
+        g.set_membership_suffix(m, 2, [Bit::Zero]).unwrap();
+        g.validate().unwrap();
+        let a = g.node_by_key(Key::new(1)).unwrap();
+        assert_eq!(g.common_level(a, m).unwrap(), 2);
+        let list = g.list_of(m, 2).unwrap();
+        assert_eq!(list.len(), 3);
+    }
+
+    #[test]
+    fn dummy_nodes_are_flagged_and_counted() {
+        let mut g = figure1_graph();
+        g.insert_dummy(Key::new(14), MembershipVector::parse("01").unwrap())
+            .unwrap();
+        assert_eq!(g.dummy_count(), 1);
+        assert_eq!(g.len(), 7);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_ids_are_reported() {
+        let g = figure1_graph();
+        let bogus = NodeId::from_raw(999);
+        assert!(matches!(
+            g.key_of(bogus),
+            Err(SkipGraphError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            g.neighbors(bogus, 0),
+            Err(SkipGraphError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn common_level_for_identical_vectors_is_full_length() {
+        let mut g = SkipGraph::new();
+        let a = g.insert(Key::new(1), MembershipVector::parse("11").unwrap()).unwrap();
+        let b = g.insert(Key::new(2), MembershipVector::parse("11").unwrap()).unwrap();
+        assert_eq!(g.common_level(a, b).unwrap(), 2);
+        assert_eq!(g.height(), 3);
+    }
+}

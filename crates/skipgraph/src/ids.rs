@@ -1,0 +1,112 @@
+//! Node identifiers and keys.
+//!
+//! Skip graph nodes are ordered by an application-supplied [`Key`]. Inside
+//! the arena-backed [`SkipGraph`](crate::SkipGraph) each live node is also
+//! addressed by a stable [`NodeId`], which is what algorithm code passes
+//! around (cheap `Copy`, no borrow-checker friction with overlay pointers).
+
+use std::fmt;
+
+/// A stable handle to a node slot inside a [`SkipGraph`](crate::SkipGraph)
+/// arena.
+///
+/// `NodeId`s are never reused while the node is alive; removing a node frees
+/// its slot for future insertions. A `NodeId` obtained from one graph must
+/// not be used with another graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index. Intended for tests and tools;
+    /// algorithm code should use ids handed out by the graph.
+    pub fn from_raw(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// Returns the raw arena index backing this id.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the arena index as a `usize`.
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The totally ordered key of a skip graph node.
+///
+/// The paper calls these "identifiers"; nodes are kept in ascending key
+/// order in every linked list at every level. Keys double as the group
+/// identifiers and as the numeric identifiers used by the priority rules of
+/// the self-adjusting algorithm, so they are plain unsigned integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Key(pub u64);
+
+impl Key {
+    /// Creates a new key from a raw integer.
+    pub fn new(value: u64) -> Self {
+        Key(value)
+    }
+
+    /// Returns the raw integer value of the key.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Key {
+    fn from(value: u64) -> Self {
+        Key(value)
+    }
+}
+
+impl From<Key> for u64 {
+    fn from(key: Key) -> Self {
+        key.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_ordering_matches_integer_ordering() {
+        let mut keys = vec![Key::new(5), Key::new(1), Key::new(3)];
+        keys.sort();
+        assert_eq!(keys, vec![Key::new(1), Key::new(3), Key::new(5)]);
+    }
+
+    #[test]
+    fn key_roundtrips_through_u64() {
+        let k = Key::from(42u64);
+        assert_eq!(u64::from(k), 42);
+        assert_eq!(k.value(), 42);
+    }
+
+    #[test]
+    fn node_id_display_is_compact() {
+        assert_eq!(NodeId::from_raw(7).to_string(), "n7");
+        assert_eq!(NodeId::from_raw(7).raw(), 7);
+    }
+
+    #[test]
+    fn key_display_shows_value() {
+        assert_eq!(Key::new(19).to_string(), "19");
+    }
+}

@@ -1,0 +1,74 @@
+//! # dsg-skipgraph — skip graph substrate
+//!
+//! This crate implements the *standard* skip graph data structure of
+//! Aspnes & Shah ("Skip Graphs", SODA 2003) as the substrate on which the
+//! self-adjusting algorithm of Huq & Ghosh ("Locally Self-Adjusting Skip
+//! Graphs", ICDCS 2017) operates.
+//!
+//! A skip graph positions nodes in ascending key order in multiple levels.
+//! Level 0 is a doubly linked list containing every node. Every linked list
+//! with at least two nodes at level `i` splits into two distinct lists at
+//! level `i + 1` according to the `i`-th bit of each node's *membership
+//! vector*, and the construction recurses until every node is the only member
+//! of its list.
+//!
+//! The crate provides:
+//!
+//! * [`MembershipVector`] and [`Prefix`] — the per-node bit strings that
+//!   define the level structure (`mvec` module).
+//! * [`SkipGraph`] — the structure itself, stored in an arena with
+//!   per-level list indices so that neighbour queries, list enumeration and
+//!   incremental membership-vector updates are cheap (`graph` module).
+//! * [`route`](SkipGraph::route) — the standard skip graph routing algorithm
+//!   (Appendix B of the paper) with hop accounting (`routing` module).
+//! * [`TreeView`] — the binary-tree-of-linked-lists view used throughout the
+//!   paper (Figure 1) for reasoning about subgraphs (`tree` module).
+//! * a-balance checking (`balance` module) — the structural property the
+//!   self-adjusting algorithm must preserve.
+//! * [`BalancedSkipList`] — the probabilistic, support-balanced skip list
+//!   that the paper's AMF algorithm (Section V) constructs over a linked
+//!   list (`skiplist` module).
+//! * join/leave maintenance (`maintenance` module).
+//!
+//! # Example
+//!
+//! ```rust
+//! # use dsg_skipgraph::{SkipGraph, Key};
+//! # use rand::SeedableRng;
+//! # fn main() -> Result<(), dsg_skipgraph::SkipGraphError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let keys: Vec<Key> = (0..64).map(Key::new).collect();
+//! let graph = SkipGraph::random(keys.iter().copied(), &mut rng)?;
+//! let route = graph.route(Key::new(3), Key::new(60))?;
+//! assert!(route.hops() <= 3 * 64usize.ilog2() as usize);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod balance;
+pub mod error;
+pub mod fixtures;
+pub mod graph;
+pub mod ids;
+pub mod maintenance;
+pub mod mvec;
+pub mod routing;
+pub mod skiplist;
+pub mod tree;
+
+pub use balance::{BalanceReport, BalanceViolation};
+pub use error::SkipGraphError;
+pub use graph::{ListRef, NodeEntry, SkipGraph};
+pub use ids::{Key, NodeId};
+pub use maintenance::{JoinOutcome, LeaveOutcome};
+pub use mvec::{Bit, MembershipVector, Prefix};
+pub use routing::{RouteHop, RouteResult};
+pub use skiplist::BalancedSkipList;
+pub use tree::{TreeNode, TreeView};
+
+/// Convenience result alias used across the crate.
+pub type Result<T, E = SkipGraphError> = std::result::Result<T, E>;

@@ -1,0 +1,267 @@
+//! Standard skip graph routing (Appendix B of the paper).
+//!
+//! Routing starts at the *top level* of the source node and traverses the
+//! structure greedily: while moving toward the destination key at the
+//! current level would not overshoot it, follow the level's linked list;
+//! otherwise drop one level and continue. Skip graphs guarantee `O(log n)`
+//! hops between any pair of nodes.
+
+use crate::error::SkipGraphError;
+use crate::graph::SkipGraph;
+use crate::ids::{Key, NodeId};
+use crate::Result;
+
+/// One hop of a route: the node visited and the level at which the hop was
+/// taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteHop {
+    /// The node reached by this hop.
+    pub node: NodeId,
+    /// The level of the linked list the hop traversed (or the level at which
+    /// the search was positioned when reaching the node).
+    pub level: usize,
+}
+
+/// The result of routing a request through the skip graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteResult {
+    source: NodeId,
+    destination: NodeId,
+    path: Vec<RouteHop>,
+}
+
+impl RouteResult {
+    /// The source node of the request.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The destination node of the request.
+    pub fn destination(&self) -> NodeId {
+        self.destination
+    }
+
+    /// The full path, starting at the source and ending at the destination.
+    pub fn path(&self) -> &[RouteHop] {
+        &self.path
+    }
+
+    /// Number of hops (edges traversed). A request from a node to itself has
+    /// zero hops.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// The paper's distance `d_S(σ)`: the number of **intermediate** nodes
+    /// on the communication path from source to destination.
+    pub fn intermediate_nodes(&self) -> usize {
+        self.path.len().saturating_sub(2)
+    }
+}
+
+impl SkipGraph {
+    /// Routes from the node holding `from` to the node holding `to` using
+    /// the standard skip graph routing algorithm, returning the path taken.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::UnknownKey`] if either key is not present.
+    pub fn route(&self, from: Key, to: Key) -> Result<RouteResult> {
+        let source = self
+            .node_by_key(from)
+            .ok_or(SkipGraphError::UnknownKey(from))?;
+        let destination = self
+            .node_by_key(to)
+            .ok_or(SkipGraphError::UnknownKey(to))?;
+        self.route_ids(source, destination)
+    }
+
+    /// Routes between two nodes identified by id. See [`SkipGraph::route`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::UnknownNode`] if either id is dead.
+    pub fn route_ids(&self, source: NodeId, destination: NodeId) -> Result<RouteResult> {
+        let src_key = self.key_of(source)?;
+        let dst_key = self.key_of(destination)?;
+        let mut path = vec![RouteHop {
+            node: source,
+            level: self.mvec_of(source)?.len(),
+        }];
+        if source == destination {
+            return Ok(RouteResult {
+                source,
+                destination,
+                path,
+            });
+        }
+        let going_right = dst_key > src_key;
+        let mut current = source;
+        let mut level = self.mvec_of(source)?.len();
+        loop {
+            let cur_key = self.key_of(current)?;
+            if cur_key == dst_key {
+                break;
+            }
+            let (left, right) = self.neighbors(current, level)?;
+            let candidate = if going_right { right } else { left };
+            let advance = match candidate {
+                Some(next) => {
+                    let next_key = self.key_of(next)?;
+                    // Move along the current level only while we do not
+                    // overshoot the destination.
+                    if (going_right && next_key <= dst_key)
+                        || (!going_right && next_key >= dst_key)
+                    {
+                        Some(next)
+                    } else {
+                        None
+                    }
+                }
+                None => None,
+            };
+            match advance {
+                Some(next) => {
+                    current = next;
+                    path.push(RouteHop {
+                        node: next,
+                        level,
+                    });
+                }
+                None => {
+                    if level == 0 {
+                        // At the base level the destination is always
+                        // reachable without overshooting; reaching this
+                        // branch means the structure is corrupt.
+                        return Err(SkipGraphError::InvariantViolated(format!(
+                            "routing from {src_key} to {dst_key} got stuck at {cur_key} on the base level"
+                        )));
+                    }
+                    level -= 1;
+                }
+            }
+        }
+        Ok(RouteResult {
+            source,
+            destination,
+            path,
+        })
+    }
+
+    /// The routing distance `d_S(u, v)` used throughout the paper: the
+    /// number of intermediate nodes on the standard routing path between the
+    /// nodes holding keys `from` and `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::UnknownKey`] if either key is not present.
+    pub fn distance(&self, from: Key, to: Key) -> Result<usize> {
+        Ok(self.route(from, to)?.intermediate_nodes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::ids::Key;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn route_to_self_has_zero_hops() {
+        let g = fixtures::figure1();
+        let r = g.route(Key::new(13), Key::new(13)).unwrap();
+        assert_eq!(r.hops(), 0);
+        assert_eq!(r.intermediate_nodes(), 0);
+        assert_eq!(r.source(), r.destination());
+    }
+
+    #[test]
+    fn route_between_adjacent_keys_is_single_hop() {
+        let g = fixtures::figure1();
+        let r = g.route(Key::new(1), Key::new(7)).unwrap();
+        assert!(r.hops() >= 1);
+        assert_eq!(
+            g.key_of(r.destination()).unwrap(),
+            Key::new(7),
+            "route must end at the destination"
+        );
+        assert_eq!(r.intermediate_nodes(), r.hops() - 1);
+    }
+
+    #[test]
+    fn routes_are_monotone_toward_the_destination() {
+        let g = fixtures::figure1();
+        let r = g.route(Key::new(1), Key::new(23)).unwrap();
+        let keys: Vec<u64> = r
+            .path()
+            .iter()
+            .map(|h| g.key_of(h.node).unwrap().value())
+            .collect();
+        for pair in keys.windows(2) {
+            assert!(pair[1] > pair[0], "rightward route must be monotone: {keys:?}");
+        }
+        assert_eq!(*keys.last().unwrap(), 23);
+    }
+
+    #[test]
+    fn leftward_routes_work_symmetrically() {
+        let g = fixtures::figure1();
+        let r = g.route(Key::new(23), Key::new(1)).unwrap();
+        let keys: Vec<u64> = r
+            .path()
+            .iter()
+            .map(|h| g.key_of(h.node).unwrap().value())
+            .collect();
+        for pair in keys.windows(2) {
+            assert!(pair[1] < pair[0], "leftward route must be monotone: {keys:?}");
+        }
+        assert_eq!(*keys.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn all_pairs_reachable_in_random_graph_within_log_bound() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 128u64;
+        let g = crate::SkipGraph::random((0..n).map(Key::new), &mut rng).unwrap();
+        let log_n = (n as f64).log2();
+        let mut worst = 0usize;
+        for a in (0..n).step_by(7) {
+            for b in (0..n).step_by(13) {
+                let r = g.route(Key::new(a), Key::new(b)).unwrap();
+                worst = worst.max(r.hops());
+            }
+        }
+        // Standard skip graph routing takes O(log n) hops w.h.p.; allow a
+        // generous constant factor for the randomised structure.
+        assert!(
+            (worst as f64) <= 6.0 * log_n,
+            "worst-case hops {worst} exceeds 6·log2(n) = {:.1}",
+            6.0 * log_n
+        );
+    }
+
+    #[test]
+    fn routing_levels_never_increase_along_the_path() {
+        let g = fixtures::figure1();
+        let r = g.route(Key::new(1), Key::new(18)).unwrap();
+        let levels: Vec<usize> = r.path().iter().map(|h| h.level).collect();
+        for pair in levels.windows(2) {
+            assert!(pair[1] <= pair[0], "levels must be non-increasing: {levels:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let g = fixtures::figure1();
+        assert!(matches!(
+            g.route(Key::new(1), Key::new(999)),
+            Err(SkipGraphError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            g.route(Key::new(999), Key::new(1)),
+            Err(SkipGraphError::UnknownKey(_))
+        ));
+    }
+}

@@ -1,0 +1,297 @@
+//! The binary-tree-of-linked-lists view of a skip graph (Figure 1(b)).
+//!
+//! The paper reasons about skip graphs through an equivalent binary tree in
+//! which every tree node represents one linked list: the root is the level-0
+//! list, and the 0-sublist / 1-sublist of a list are its left / right
+//! children. Each subtree rooted at a list is a *sub skip graph*
+//! ("subgraph") whose members share a membership-vector prefix.
+//!
+//! [`TreeView`] materialises this view from a [`SkipGraph`] snapshot. It is
+//! used by the structural experiments (E1), for pretty-printing instances in
+//! examples, and as an independent cross-check of the list indices.
+
+use std::fmt;
+
+use crate::graph::{ListRef, SkipGraph};
+use crate::ids::{Key, NodeId};
+use crate::mvec::{Bit, Prefix};
+
+/// One node of the tree view: a linked list of the skip graph together with
+/// its (up to two) sublists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeNode {
+    /// Which list this tree node represents.
+    pub list: ListRef,
+    /// The members of the list, in ascending key order.
+    pub members: Vec<NodeId>,
+    /// The 0-subgraph (left child), if the list splits.
+    pub zero: Option<Box<TreeNode>>,
+    /// The 1-subgraph (right child), if the list splits.
+    pub one: Option<Box<TreeNode>>,
+}
+
+impl TreeNode {
+    /// Number of tree nodes (lists) in this subtree.
+    pub fn size(&self) -> usize {
+        1 + self.zero.as_ref().map_or(0, |c| c.size()) + self.one.as_ref().map_or(0, |c| c.size())
+    }
+
+    /// Depth of the subtree: a leaf has depth 1.
+    pub fn depth(&self) -> usize {
+        1 + self
+            .zero
+            .as_ref()
+            .map_or(0, |c| c.depth())
+            .max(self.one.as_ref().map_or(0, |c| c.depth()))
+    }
+
+    /// Returns `true` if this list does not split further (it is a leaf of
+    /// the tree view).
+    pub fn is_leaf(&self) -> bool {
+        self.zero.is_none() && self.one.is_none()
+    }
+
+    /// Iterates over the subtree in preorder.
+    pub fn preorder(&self) -> Vec<&TreeNode> {
+        let mut out = vec![self];
+        if let Some(zero) = &self.zero {
+            out.extend(zero.preorder());
+        }
+        if let Some(one) = &self.one {
+            out.extend(one.preorder());
+        }
+        out
+    }
+}
+
+/// The complete tree view of a skip graph snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeView {
+    root: Option<TreeNode>,
+    node_count: usize,
+}
+
+impl TreeView {
+    /// Builds the tree view of the given skip graph.
+    pub fn build(graph: &SkipGraph) -> Self {
+        if graph.is_empty() {
+            return TreeView {
+                root: None,
+                node_count: 0,
+            };
+        }
+        let root = Self::build_node(graph, 0, Prefix::root());
+        TreeView {
+            root,
+            node_count: graph.len(),
+        }
+    }
+
+    fn build_node(graph: &SkipGraph, level: usize, prefix: Prefix) -> Option<TreeNode> {
+        let members = graph.list_members(level, prefix);
+        if members.is_empty() {
+            return None;
+        }
+        let (zero, one) = if members.len() >= 2 {
+            (
+                Self::build_node(graph, level + 1, prefix.child(Bit::Zero)).map(Box::new),
+                Self::build_node(graph, level + 1, prefix.child(Bit::One)).map(Box::new),
+            )
+        } else {
+            (None, None)
+        };
+        Some(TreeNode {
+            list: ListRef { level, prefix },
+            members,
+            zero,
+            one,
+        })
+    }
+
+    /// The root of the tree (the level-0 list), or `None` for an empty
+    /// graph.
+    pub fn root(&self) -> Option<&TreeNode> {
+        self.root.as_ref()
+    }
+
+    /// Number of skip-graph nodes represented.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of lists (tree nodes).
+    pub fn list_count(&self) -> usize {
+        self.root.as_ref().map_or(0, |r| r.size())
+    }
+
+    /// Depth of the tree: the number of levels of the skip graph including
+    /// the leaves.
+    pub fn depth(&self) -> usize {
+        self.root.as_ref().map_or(0, |r| r.depth())
+    }
+
+    /// Finds the tree node representing the subgraph designated by `prefix`
+    /// (the paper's "b-subgraph" notation), if it exists.
+    pub fn subgraph(&self, prefix: Prefix) -> Option<&TreeNode> {
+        let mut current = self.root.as_ref()?;
+        for level in 1..=prefix.level() {
+            let bit = prefix.bit(level).expect("level within prefix");
+            current = match bit {
+                Bit::Zero => current.zero.as_deref()?,
+                Bit::One => current.one.as_deref()?,
+            };
+        }
+        Some(current)
+    }
+
+    /// Cross-checks the tree view against the graph: every tree node's
+    /// member set must equal the graph's list, every internal node's members
+    /// must be exactly the union of its children's members, and leaves must
+    /// be singletons or lists that never split.
+    pub fn is_consistent_with(&self, graph: &SkipGraph) -> bool {
+        let root = match self.root.as_ref() {
+            Some(r) => r,
+            None => return graph.is_empty(),
+        };
+        for node in root.preorder() {
+            let from_graph = graph.list_members(node.list.level, node.list.prefix);
+            if from_graph != node.members {
+                return false;
+            }
+            if !node.is_leaf() {
+                let mut union: Vec<NodeId> = Vec::new();
+                if let Some(zero) = &node.zero {
+                    union.extend(&zero.members);
+                }
+                if let Some(one) = &node.one {
+                    union.extend(&one.members);
+                }
+                let mut sorted_union: Vec<Key> = union
+                    .iter()
+                    .map(|id| graph.key_of(*id).expect("member is live"))
+                    .collect();
+                sorted_union.sort();
+                let members: Vec<Key> = node
+                    .members
+                    .iter()
+                    .map(|id| graph.key_of(*id).expect("member is live"))
+                    .collect();
+                if sorted_union != members {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Renders the tree with one line per list, indented by level, showing
+    /// the keys of the members — matching the layout of Figure 1(b).
+    pub fn render(&self, graph: &SkipGraph) -> String {
+        let mut out = String::new();
+        if let Some(root) = &self.root {
+            Self::render_node(root, graph, 0, &mut out);
+        }
+        out
+    }
+
+    fn render_node(node: &TreeNode, graph: &SkipGraph, indent: usize, out: &mut String) {
+        use fmt::Write as _;
+        let keys: Vec<String> = node
+            .members
+            .iter()
+            .map(|id| {
+                graph
+                    .key_of(*id)
+                    .map(|k| k.to_string())
+                    .unwrap_or_else(|_| "?".to_string())
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{}[L{} {}] {}",
+            "  ".repeat(indent),
+            node.list.level,
+            node.list.prefix,
+            keys.join(" ")
+        );
+        if let Some(zero) = &node.zero {
+            Self::render_node(zero, graph, indent + 1, out);
+        }
+        if let Some(one) = &node.one {
+            Self::render_node(one, graph, indent + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn figure1_tree_matches_the_paper() {
+        let g = fixtures::figure1();
+        let tree = TreeView::build(&g);
+        assert!(tree.is_consistent_with(&g));
+        assert_eq!(tree.node_count(), 6);
+
+        let root = tree.root().unwrap();
+        assert_eq!(root.members.len(), 6);
+
+        // Level-1 children: {A, J, M} and {G, R, W}.
+        let zero = root.zero.as_ref().unwrap();
+        let one = root.one.as_ref().unwrap();
+        let zero_keys: Vec<u64> = zero.members.iter().map(|id| g.key_of(*id).unwrap().value()).collect();
+        let one_keys: Vec<u64> = one.members.iter().map(|id| g.key_of(*id).unwrap().value()).collect();
+        assert_eq!(zero_keys, vec![1, 10, 13]);
+        assert_eq!(one_keys, vec![7, 18, 23]);
+
+        // The 10-subgraph (right child then left child) holds G and W.
+        let p10 = Prefix::root().child(Bit::One).child(Bit::Zero);
+        let sub = tree.subgraph(p10).unwrap();
+        let keys: Vec<u64> = sub.members.iter().map(|id| g.key_of(*id).unwrap().value()).collect();
+        assert_eq!(keys, vec![7, 23]);
+    }
+
+    #[test]
+    fn tree_depth_matches_graph_height_plus_leaves() {
+        let g = fixtures::perfectly_balanced(16);
+        let tree = TreeView::build(&g);
+        assert!(tree.is_consistent_with(&g));
+        // A perfectly balanced graph over 16 keys has lists at levels
+        // 0..=4; the deepest chain of splitting lists has 5 tree nodes.
+        assert_eq!(tree.depth(), 5);
+        assert_eq!(g.height(), 4);
+    }
+
+    #[test]
+    fn empty_graph_has_empty_tree() {
+        let g = SkipGraph::new();
+        let tree = TreeView::build(&g);
+        assert!(tree.root().is_none());
+        assert_eq!(tree.list_count(), 0);
+        assert!(tree.is_consistent_with(&g));
+    }
+
+    #[test]
+    fn render_contains_every_key() {
+        let g = fixtures::figure1();
+        let tree = TreeView::build(&g);
+        let text = tree.render(&g);
+        for key in [1u64, 7, 10, 13, 18, 23] {
+            assert!(text.contains(&key.to_string()), "missing {key} in\n{text}");
+        }
+    }
+
+    #[test]
+    fn random_graph_tree_is_consistent() {
+        let g = fixtures::uniform_random(200, 3);
+        let tree = TreeView::build(&g);
+        assert!(tree.is_consistent_with(&g));
+        assert_eq!(tree.node_count(), 200);
+        // Each of the n nodes ends in a singleton list, so there are at
+        // least n leaves, hence at least 2n - 1-ish lists overall; sanity
+        // check only a loose lower bound.
+        assert!(tree.list_count() >= 200);
+    }
+}

@@ -1,0 +1,159 @@
+//! Multi-level locality workload (the VM-migration scenario of §VII).
+//!
+//! The paper's conclusion motivates DSG with data-center networks where
+//! communication has several locality levels: rack, pod (intra-data-center),
+//! and global. This workload models that: peers are laid out in racks of
+//! `rack_size` peers and pods of `racks_per_pod` racks; each request picks a
+//! locality level according to configured probabilities and then a uniform
+//! pair within that level.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::trace::Request;
+use crate::Workload;
+
+/// The data-center locality workload.
+#[derive(Debug)]
+pub struct Datacenter {
+    n: u64,
+    rack_size: u64,
+    racks_per_pod: u64,
+    intra_rack: f64,
+    intra_pod: f64,
+    rng: StdRng,
+}
+
+impl Datacenter {
+    /// Creates the workload. A request is intra-rack with probability
+    /// `intra_rack`, intra-pod (but cross-rack) with probability
+    /// `intra_pod`, and global otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes are zero, the probabilities are negative or sum
+    /// to more than 1, or `n < 2`.
+    pub fn new(
+        n: u64,
+        rack_size: u64,
+        racks_per_pod: u64,
+        intra_rack: f64,
+        intra_pod: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n >= 2, "a workload needs at least two peers");
+        assert!(rack_size >= 2, "racks need at least two peers");
+        assert!(racks_per_pod >= 1, "pods need at least one rack");
+        assert!(
+            intra_rack >= 0.0 && intra_pod >= 0.0 && intra_rack + intra_pod <= 1.0,
+            "locality probabilities must be non-negative and sum to at most 1"
+        );
+        Datacenter {
+            n,
+            rack_size,
+            racks_per_pod,
+            intra_rack,
+            intra_pod,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A conventional configuration: racks of 8, 4 racks per pod, 70%
+    /// intra-rack and 20% intra-pod traffic.
+    pub fn conventional(n: u64, seed: u64) -> Self {
+        Datacenter::new(n, 8, 4, 0.7, 0.2, seed)
+    }
+
+    /// The rack index of a peer.
+    pub fn rack_of(&self, peer: u64) -> u64 {
+        peer / self.rack_size
+    }
+
+    /// The pod index of a peer.
+    pub fn pod_of(&self, peer: u64) -> u64 {
+        self.rack_of(peer) / self.racks_per_pod
+    }
+
+    fn random_in(&mut self, lo: u64, hi: u64, not: Option<u64>) -> u64 {
+        loop {
+            let candidate = self.rng.random_range(lo..hi);
+            if Some(candidate) != not {
+                return candidate;
+            }
+        }
+    }
+}
+
+impl Workload for Datacenter {
+    fn peers(&self) -> u64 {
+        self.n
+    }
+
+    fn next_request(&mut self) -> Request {
+        let u = self.rng.random_range(0..self.n);
+        let roll: f64 = self.rng.random();
+        let rack = self.rack_of(u);
+        let rack_lo = rack * self.rack_size;
+        let rack_hi = (rack_lo + self.rack_size).min(self.n);
+        let pod = self.pod_of(u);
+        let pod_lo = pod * self.racks_per_pod * self.rack_size;
+        let pod_hi = (pod_lo + self.racks_per_pod * self.rack_size).min(self.n);
+
+        let v = if roll < self.intra_rack && rack_hi - rack_lo >= 2 {
+            self.random_in(rack_lo, rack_hi, Some(u))
+        } else if roll < self.intra_rack + self.intra_pod && pod_hi - pod_lo >= 2 {
+            self.random_in(pod_lo, pod_hi, Some(u))
+        } else {
+            self.random_in(0, self.n, Some(u))
+        };
+        Request::new(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_fractions_roughly_match_configuration() {
+        let mut w = Datacenter::new(256, 8, 4, 0.7, 0.2, 11);
+        let trace = w.generate(4000);
+        let probe = Datacenter::new(256, 8, 4, 0.7, 0.2, 11);
+        let intra_rack = trace
+            .iter()
+            .filter(|r| probe.rack_of(r.u) == probe.rack_of(r.v))
+            .count() as f64
+            / trace.len() as f64;
+        let intra_pod = trace
+            .iter()
+            .filter(|r| probe.pod_of(r.u) == probe.pod_of(r.v))
+            .count() as f64
+            / trace.len() as f64;
+        assert!(intra_rack > 0.6, "intra-rack fraction {intra_rack} too low");
+        assert!(intra_pod > intra_rack, "pod traffic includes rack traffic");
+    }
+
+    #[test]
+    fn hierarchy_indexing_is_consistent() {
+        let w = Datacenter::new(128, 8, 4, 0.5, 0.3, 0);
+        assert_eq!(w.rack_of(0), 0);
+        assert_eq!(w.rack_of(7), 0);
+        assert_eq!(w.rack_of(8), 1);
+        assert_eq!(w.pod_of(31), 0);
+        assert_eq!(w.pod_of(32), 1);
+    }
+
+    #[test]
+    fn requests_stay_in_range() {
+        let mut w = Datacenter::conventional(100, 1);
+        for r in w.generate(500) {
+            assert!(r.u < 100 && r.v < 100 && r.u != r.v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn bad_probabilities_are_rejected() {
+        let _ = Datacenter::new(64, 8, 4, 0.8, 0.5, 0);
+    }
+}

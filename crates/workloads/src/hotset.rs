@@ -1,0 +1,146 @@
+//! Temporal-locality workload: a rotating hot community.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::trace::Request;
+use crate::Workload;
+
+/// Most requests are exchanged inside a small *hot set* of peers; every
+/// `rotation_period` requests the hot set drifts (one member is replaced).
+/// This is the workload that exercises the working-set property directly:
+/// pairs inside the hot set have working set numbers bounded by the hot-set
+/// size, so a self-adjusting structure should serve them in
+/// `O(log hot_size)` hops regardless of `n`.
+#[derive(Debug)]
+pub struct RotatingHotSet {
+    n: u64,
+    hot: Vec<u64>,
+    hot_probability: f64,
+    rotation_period: usize,
+    served: usize,
+    rng: StdRng,
+}
+
+impl RotatingHotSet {
+    /// Creates the workload: `hot_size` peers form the hot set, a request is
+    /// intra-hot-set with probability `hot_probability`, and one hot member
+    /// is replaced every `rotation_period` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hot_size < 2`, `hot_size > n`, `rotation_period == 0` or
+    /// the probability is outside `[0, 1]`.
+    pub fn new(
+        n: u64,
+        hot_size: usize,
+        hot_probability: f64,
+        rotation_period: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(hot_size >= 2, "the hot set needs at least two peers");
+        assert!((hot_size as u64) <= n, "hot set larger than the network");
+        assert!(rotation_period > 0, "rotation period must be positive");
+        assert!(
+            (0.0..=1.0).contains(&hot_probability),
+            "probability must lie in [0, 1]"
+        );
+        let hot: Vec<u64> = (0..hot_size as u64).collect();
+        RotatingHotSet {
+            n,
+            hot,
+            hot_probability,
+            rotation_period,
+            served: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The current hot set (mostly useful for tests and reporting).
+    pub fn hot_set(&self) -> &[u64] {
+        &self.hot
+    }
+
+    fn rotate(&mut self) {
+        // Replace the oldest hot member with a random cold peer.
+        let replacement = loop {
+            let candidate = self.rng.random_range(0..self.n);
+            if !self.hot.contains(&candidate) {
+                break candidate;
+            }
+        };
+        self.hot.remove(0);
+        self.hot.push(replacement);
+    }
+}
+
+impl Workload for RotatingHotSet {
+    fn peers(&self) -> u64 {
+        self.n
+    }
+
+    fn next_request(&mut self) -> Request {
+        if self.served > 0 && self.served % self.rotation_period == 0 {
+            self.rotate();
+        }
+        self.served += 1;
+        if self.rng.random_bool(self.hot_probability) || self.n == self.hot.len() as u64 {
+            // Intra-hot-set request.
+            let i = self.rng.random_range(0..self.hot.len());
+            let mut j = self.rng.random_range(0..self.hot.len());
+            while j == i {
+                j = self.rng.random_range(0..self.hot.len());
+            }
+            Request::new(self.hot[i], self.hot[j])
+        } else {
+            // Background request involving at least one cold peer.
+            let u = self.rng.random_range(0..self.n);
+            let mut v = self.rng.random_range(0..self.n);
+            while v == u {
+                v = self.rng.random_range(0..self.n);
+            }
+            Request::new(u, v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_requests_stay_in_the_hot_set() {
+        let mut w = RotatingHotSet::new(256, 8, 0.9, 1_000_000, 3);
+        let hot: Vec<u64> = w.hot_set().to_vec();
+        let trace = w.generate(1000);
+        let intra = trace
+            .iter()
+            .filter(|r| hot.contains(&r.u) && hot.contains(&r.v))
+            .count();
+        assert!(intra > 800, "only {intra} of 1000 requests were hot");
+    }
+
+    #[test]
+    fn rotation_changes_the_hot_set() {
+        let mut w = RotatingHotSet::new(64, 4, 1.0, 10, 4);
+        let before: Vec<u64> = w.hot_set().to_vec();
+        let _ = w.generate(100);
+        let after: Vec<u64> = w.hot_set().to_vec();
+        assert_ne!(before, after);
+        assert_eq!(after.len(), 4);
+    }
+
+    #[test]
+    fn requests_are_always_valid() {
+        let mut w = RotatingHotSet::new(32, 4, 0.5, 7, 5);
+        for r in w.generate(500) {
+            assert!(r.u != r.v && r.u < 32 && r.v < 32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hot set larger")]
+    fn oversized_hot_set_is_rejected() {
+        let _ = RotatingHotSet::new(4, 8, 0.5, 1, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Fixed-pair workloads (the pattern of Figures 2 and 3).
+
+use crate::trace::Request;
+use crate::Workload;
+
+/// Replays a fixed set of pairs round-robin. With a single pair this is the
+/// best case for self-adjustment (the pair becomes directly linked and every
+/// later request costs `O(1)`); with `k` pairs each pair's working set stays
+/// bounded by the peers of the `k` pairs.
+#[derive(Debug, Clone)]
+pub struct RepeatedPairs {
+    n: u64,
+    pairs: Vec<Request>,
+    cursor: usize,
+}
+
+impl RepeatedPairs {
+    /// Creates a workload replaying `pairs` over peers `0..n` round-robin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty or any pair references a peer `≥ n`.
+    pub fn new(n: u64, pairs: Vec<(u64, u64)>) -> Self {
+        assert!(!pairs.is_empty(), "at least one pair is required");
+        let pairs: Vec<Request> = pairs.into_iter().map(Request::from).collect();
+        assert!(
+            pairs.iter().all(|r| r.u < n && r.v < n),
+            "pairs must reference peers 0..n"
+        );
+        RepeatedPairs {
+            n,
+            pairs,
+            cursor: 0,
+        }
+    }
+
+    /// A single hot pair `(u, v)` repeated forever.
+    pub fn single(n: u64, u: u64, v: u64) -> Self {
+        RepeatedPairs::new(n, vec![(u, v)])
+    }
+
+    /// The access pattern of Figure 2(a): `(u, v)`, `(e, a)`, `(a, k)`,
+    /// `(k, u)`, `(u, v)`, mapped onto peers `0..5` of an `n`-peer network.
+    pub fn figure2(n: u64) -> Self {
+        assert!(n >= 5, "the Figure 2 pattern needs at least 5 peers");
+        RepeatedPairs::new(n, vec![(0, 1), (2, 3), (3, 4), (4, 0), (0, 1)])
+    }
+
+    /// The pairs being replayed.
+    pub fn pairs(&self) -> &[Request] {
+        &self.pairs
+    }
+}
+
+impl Workload for RepeatedPairs {
+    fn peers(&self) -> u64 {
+        self.n
+    }
+
+    fn next_request(&mut self) -> Request {
+        let request = self.pairs[self.cursor % self.pairs.len()];
+        self.cursor += 1;
+        request
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pair_repeats() {
+        let mut w = RepeatedPairs::single(10, 2, 7);
+        let trace = w.generate(5);
+        assert!(trace.iter().all(|r| (r.u, r.v) == (2, 7)));
+    }
+
+    #[test]
+    fn round_robin_cycles_through_pairs() {
+        let mut w = RepeatedPairs::new(8, vec![(0, 1), (2, 3)]);
+        let trace = w.generate(4);
+        assert_eq!(trace[0], trace[2]);
+        assert_eq!(trace[1], trace[3]);
+        assert_ne!(trace[0], trace[1]);
+    }
+
+    #[test]
+    fn figure2_pattern_has_five_requests_per_cycle() {
+        let mut w = RepeatedPairs::figure2(6);
+        let trace = w.generate(5);
+        assert_eq!(trace[0], Request::new(0, 1));
+        assert_eq!(trace[4], Request::new(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "peers 0..n")]
+    fn out_of_range_pairs_are_rejected() {
+        let _ = RepeatedPairs::new(4, vec![(0, 9)]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Uniform-random and adversarial (no-locality) workloads.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::trace::Request;
+use crate::Workload;
+
+/// Every request picks a uniformly random ordered pair of distinct peers.
+/// There is no skew to exploit, so any self-adjusting algorithm can at best
+/// match the static structure (up to a constant factor) on this workload.
+#[derive(Debug)]
+pub struct UniformRandom {
+    n: u64,
+    rng: StdRng,
+}
+
+impl UniformRandom {
+    /// Creates a uniform workload over peers `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n >= 2, "a workload needs at least two peers");
+        UniformRandom {
+            n,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Workload for UniformRandom {
+    fn peers(&self) -> u64 {
+        self.n
+    }
+
+    fn next_request(&mut self) -> Request {
+        let u = self.rng.random_range(0..self.n);
+        let mut v = self.rng.random_range(0..self.n);
+        while v == u {
+            v = self.rng.random_range(0..self.n);
+        }
+        Request::new(u, v)
+    }
+}
+
+/// A permutation stream with no temporal locality at all: every round pairs
+/// the peers up with a fresh random perfect matching, so no pair repeats
+/// until every other pair of its round has been used. This is the
+/// adversarial regime the lower bound (Theorem 1) is built from: working set
+/// numbers stay `Θ(n)`.
+#[derive(Debug)]
+pub struct Adversarial {
+    n: u64,
+    rng: StdRng,
+    pending: Vec<Request>,
+}
+
+impl Adversarial {
+    /// Creates an adversarial workload over peers `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n >= 2, "a workload needs at least two peers");
+        Adversarial {
+            n,
+            rng: StdRng::seed_from_u64(seed),
+            pending: Vec::new(),
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut peers: Vec<u64> = (0..self.n).collect();
+        // Fisher–Yates shuffle.
+        for i in (1..peers.len()).rev() {
+            let j = self.rng.random_range(0..=i);
+            peers.swap(i, j);
+        }
+        self.pending = peers
+            .chunks(2)
+            .filter(|c| c.len() == 2)
+            .map(|c| Request::new(c[0], c[1]))
+            .collect();
+    }
+}
+
+impl Workload for Adversarial {
+    fn peers(&self) -> u64 {
+        self.n
+    }
+
+    fn next_request(&mut self) -> Request {
+        if self.pending.is_empty() {
+            self.refill();
+        }
+        self.pending.pop().expect("refill produces at least one pair")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_requests_are_in_range_and_distinct() {
+        let mut w = UniformRandom::new(16, 1);
+        for r in w.generate(500) {
+            assert!(r.u < 16 && r.v < 16 && r.u != r.v);
+        }
+    }
+
+    #[test]
+    fn uniform_is_reproducible() {
+        let a = UniformRandom::new(32, 7).generate(50);
+        let b = UniformRandom::new(32, 7).generate(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_covers_the_key_space() {
+        let trace = UniformRandom::new(8, 3).generate(400);
+        for peer in 0..8u64 {
+            assert!(trace.iter().any(|r| r.u == peer || r.v == peer));
+        }
+    }
+
+    #[test]
+    fn adversarial_rounds_are_perfect_matchings() {
+        let mut w = Adversarial::new(10, 5);
+        let round = w.generate(5);
+        let mut seen = std::collections::HashSet::new();
+        for r in &round {
+            assert!(seen.insert(r.u));
+            assert!(seen.insert(r.v));
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two peers")]
+    fn tiny_networks_are_rejected() {
+        let _ = UniformRandom::new(1, 0);
+    }
+}

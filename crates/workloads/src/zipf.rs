@@ -1,0 +1,147 @@
+//! Zipf-skewed workloads.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::trace::Request;
+use crate::Workload;
+
+/// Source and destination are drawn (independently) from a Zipf
+/// distribution with exponent `alpha` over a fixed random permutation of the
+/// peers, re-drawing on collisions. `alpha = 0` degenerates to the uniform
+/// workload; larger exponents concentrate traffic on a small hot set, the
+/// regime in which self-adjustment pays off.
+#[derive(Debug)]
+pub struct ZipfPairs {
+    n: u64,
+    alpha: f64,
+    rng: StdRng,
+    /// Cumulative probability table over ranks.
+    cumulative: Vec<f64>,
+    /// Permutation mapping rank → peer, so that popular peers are spread
+    /// over the key space rather than clustered at small keys.
+    rank_to_peer: Vec<u64>,
+}
+
+impl ZipfPairs {
+    /// Creates a Zipf workload over peers `0..n` with exponent `alpha ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `alpha` is negative or not finite.
+    pub fn new(n: u64, alpha: f64, seed: u64) -> Self {
+        assert!(n >= 2, "a workload needs at least two peers");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be ≥ 0");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative: Vec<f64> = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        let mut rank_to_peer: Vec<u64> = (0..n).collect();
+        for i in (1..rank_to_peer.len()).rev() {
+            let j = rng.random_range(0..=i);
+            rank_to_peer.swap(i, j);
+        }
+        ZipfPairs {
+            n,
+            alpha,
+            rng,
+            cumulative,
+            rank_to_peer,
+        }
+    }
+
+    /// The skew exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn sample_peer(&mut self) -> u64 {
+        let x: f64 = self.rng.random();
+        let rank = self
+            .cumulative
+            .partition_point(|&c| c < x)
+            .min(self.cumulative.len() - 1);
+        self.rank_to_peer[rank]
+    }
+}
+
+impl Workload for ZipfPairs {
+    fn peers(&self) -> u64 {
+        self.n
+    }
+
+    fn next_request(&mut self) -> Request {
+        let u = self.sample_peer();
+        let mut v = self.sample_peer();
+        let mut guard = 0;
+        while v == u {
+            v = self.sample_peer();
+            guard += 1;
+            if guard > 64 {
+                // Extremely high skew can make collisions frequent; fall
+                // back to the next peer in key order.
+                v = (u + 1) % self.n;
+            }
+        }
+        Request::new(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn frequency(trace: &[Request]) -> HashMap<u64, usize> {
+        let mut counts = HashMap::new();
+        for r in trace {
+            *counts.entry(r.u).or_insert(0) += 1;
+            *counts.entry(r.v).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn zero_alpha_is_roughly_uniform() {
+        let trace = ZipfPairs::new(16, 0.0, 1).generate(4000);
+        let counts = frequency(&trace);
+        let max = *counts.values().max().unwrap() as f64;
+        let min = *counts.values().min().unwrap() as f64;
+        assert!(max / min < 2.0, "uniform workload too skewed: {max} vs {min}");
+    }
+
+    #[test]
+    fn high_alpha_concentrates_traffic() {
+        let trace = ZipfPairs::new(64, 1.5, 2).generate(4000);
+        let counts = frequency(&trace);
+        let mut values: Vec<usize> = counts.values().copied().collect();
+        values.sort_unstable_by(|a, b| b.cmp(a));
+        let top4: usize = values.iter().take(4).sum();
+        let total: usize = values.iter().sum();
+        assert!(
+            top4 as f64 > 0.4 * total as f64,
+            "top peers carry only {top4} of {total}"
+        );
+    }
+
+    #[test]
+    fn requests_are_valid_and_reproducible() {
+        let a = ZipfPairs::new(32, 0.9, 5).generate(200);
+        let b = ZipfPairs::new(32, 0.9, 5).generate(200);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|r| r.u != r.v && r.u < 32 && r.v < 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be ≥ 0")]
+    fn negative_alpha_is_rejected() {
+        let _ = ZipfPairs::new(8, -1.0, 0);
+    }
+}

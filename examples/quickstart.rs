@@ -1,0 +1,62 @@
+//! Quickstart: build a self-adjusting skip graph, send a few requests, and
+//! watch the topology adapt.
+//!
+//! Run with `cargo run -p dsg-bench --example quickstart`.
+
+use dsg::{DsgConfig, DynamicSkipGraph};
+
+fn main() -> Result<(), dsg::DsgError> {
+    // A network of 64 peers with the default balance parameter (a = 3).
+    let mut net = DynamicSkipGraph::new(0..64, DsgConfig::default().with_seed(42))?;
+    println!(
+        "built a skip graph over {} peers, height {}",
+        net.len(),
+        net.height()
+    );
+
+    // The first request between two arbitrary peers routes through the
+    // balanced structure in O(log n) hops ...
+    let first = net.communicate(5, 58)?;
+    println!(
+        "request #1  5 → 58: routing cost {}, transformation {} rounds, α = {}",
+        first.routing_cost,
+        first.transformation_rounds(),
+        first.alpha
+    );
+
+    // ... and leaves the pair directly linked, so repeating it is free.
+    let second = net.communicate(5, 58)?;
+    println!(
+        "request #2  5 → 58: routing cost {} (directly linked: {})",
+        second.routing_cost,
+        net.are_directly_linked(5, 58)?
+    );
+
+    // Unrelated traffic does not tear the hot pair apart.
+    net.communicate(20, 33)?;
+    net.communicate(41, 2)?;
+    let third = net.communicate(5, 58)?;
+    println!(
+        "request #5  5 → 58: routing cost {} after unrelated traffic",
+        third.routing_cost
+    );
+
+    // Membership changes use the standard skip graph join/leave.
+    net.add_peer(100)?;
+    net.remove_peer(63)?;
+    net.communicate(100, 5)?;
+    println!(
+        "after churn: {} peers, height {}, {} dummy nodes, a-balanced: {}",
+        net.len(),
+        net.height(),
+        net.dummy_count(),
+        net.balance_report().is_balanced()
+    );
+
+    println!(
+        "totals: {} requests, average cost {:.2} rounds",
+        net.stats().requests,
+        net.stats().average_cost()
+    );
+    Ok(())
+}
