@@ -173,9 +173,9 @@ impl SplayNet {
                 return false;
             }
             let n = &net.nodes[node as usize];
-            n.left.map_or(true, |l| {
+            n.left.is_none_or(|l| {
                 net.nodes[l as usize].parent == Some(node) && check(net, l, lo, Some(node))
-            }) && n.right.map_or(true, |r| {
+            }) && n.right.is_none_or(|r| {
                 net.nodes[r as usize].parent == Some(node) && check(net, r, Some(node), hi)
             })
         }

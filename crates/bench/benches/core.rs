@@ -1,0 +1,112 @@
+//! Criterion benchmarks for the skip graph core: O(1) neighbour reads and
+//! routing on the intrusive linked-list arena versus the naive index-based
+//! reference representation, plus end-to-end `communicate` throughput
+//! under the three canonical workload shapes.
+//!
+//! The `bench_perf` binary (`cargo run --release --bin bench_perf`) runs
+//! the same comparisons headlessly and writes `BENCH_perf.json`; this
+//! suite is the interactive/criterion view of the same surfaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dsg::DsgConfig;
+use dsg_bench::{
+    comm_trace_len, reference_graph_like, route_pairs, run_dsg, workload_trace, WorkloadKind,
+    SIZES,
+};
+use dsg_skipgraph::fixtures;
+
+fn bench_neighbors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbors");
+    group.sample_size(20);
+    for &n in SIZES {
+        let graph = fixtures::uniform_random(n, 7);
+        let reference = reference_graph_like(&graph);
+        let ids: Vec<_> = graph.node_ids().collect();
+        group.bench_with_input(BenchmarkId::new("arena", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &id in &ids {
+                    for level in 0..=graph.mvec_of(id).unwrap().len() {
+                        let (l, r) = graph.neighbors(black_box(id), black_box(level)).unwrap();
+                        acc += l.is_some() as usize + r.is_some() as usize;
+                    }
+                }
+                black_box(acc)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &id in &ids {
+                    for level in 0..=reference.mvec_of(id).unwrap().len() {
+                        let (l, r) = reference
+                            .neighbors(black_box(id), black_box(level))
+                            .unwrap();
+                        acc += l.is_some() as usize + r.is_some() as usize;
+                    }
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route");
+    group.sample_size(20);
+    for &n in SIZES {
+        let graph = fixtures::uniform_random(n, 7);
+        let reference = reference_graph_like(&graph);
+        let pairs = route_pairs(n);
+        group.bench_with_input(BenchmarkId::new("arena", n), &n, |b, _| {
+            b.iter(|| {
+                let mut hops = 0usize;
+                for &(a, b) in &pairs {
+                    hops += graph.route(a, b).map(|r| r.hops()).unwrap_or(0);
+                }
+                black_box(hops)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+            b.iter(|| {
+                let mut hops = 0usize;
+                for &(a, b) in &pairs {
+                    hops += reference.route_hops(a, b).unwrap_or(0);
+                }
+                black_box(hops)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_communicate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("communicate");
+    group.sample_size(10);
+    for &n in SIZES {
+        let m = comm_trace_len(n);
+        for kind in [
+            WorkloadKind::Uniform,
+            WorkloadKind::Skewed,
+            WorkloadKind::WorkingSet,
+        ] {
+            let trace = workload_trace(kind, n, m, 3);
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), n),
+                &trace,
+                |b, trace| {
+                    b.iter(|| {
+                        black_box(run_dsg(n, DsgConfig::default().with_seed(1), black_box(trace)))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_neighbors, bench_route, bench_communicate);
+criterion_main!(benches);

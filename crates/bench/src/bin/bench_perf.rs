@@ -1,0 +1,268 @@
+//! Headless perf harness: measures the skip graph core and end-to-end
+//! `communicate` throughput, and writes `BENCH_perf.json`.
+//!
+//! This binary establishes the repository's performance trajectory: it
+//! compares the intrusive linked-list arena ([`dsg_skipgraph::SkipGraph`])
+//! against the naive index-based representation
+//! ([`dsg_skipgraph::reference::ReferenceGraph`]) on the `route` and
+//! `neighbors` microbenchmarks, and measures requests/sec of
+//! [`dsg::DynamicSkipGraph::communicate`] under uniform, skewed and
+//! working-set workloads, at n ∈ {256, 1024, 4096}.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin bench_perf [-- <output-path>]
+//! ```
+//!
+//! The output path defaults to `BENCH_perf.json` in the current
+//! directory. Set `BENCH_PERF_QUICK=1` to run a fast smoke (fewer
+//! repetitions, shorter traces) — used by CI.
+//!
+//! The JSON schema is documented in `ROADMAP.md` ("BENCH_perf.json
+//! schema").
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dsg::DsgConfig;
+use dsg_bench::{
+    perf_trace_len, reference_graph_like, route_pairs, run_dsg, workload_trace, WorkloadKind,
+    SIZES,
+};
+use dsg_skipgraph::fixtures;
+
+fn quick() -> bool {
+    std::env::var("BENCH_PERF_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Median wall-clock nanoseconds of `reps` runs of `f` (each run's result
+/// is consumed by `black_box` inside `f`).
+fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> u128 {
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct MicroRow {
+    n: u64,
+    ops: usize,
+    arena_ns_per_op: f64,
+    reference_ns_per_op: f64,
+}
+
+impl MicroRow {
+    fn speedup(&self) -> f64 {
+        self.reference_ns_per_op / self.arena_ns_per_op.max(f64::MIN_POSITIVE)
+    }
+}
+
+struct CommRow {
+    workload: &'static str,
+    n: u64,
+    requests: usize,
+    elapsed_ns: u128,
+}
+
+impl CommRow {
+    fn requests_per_sec(&self) -> f64 {
+        self.requests as f64 / (self.elapsed_ns as f64 / 1e9).max(f64::MIN_POSITIVE)
+    }
+}
+
+fn measure_route(reps: usize) -> Vec<MicroRow> {
+    SIZES
+        .iter()
+        .map(|&n| {
+            let graph = fixtures::uniform_random(n, 7);
+            let reference = reference_graph_like(&graph);
+            let pairs = route_pairs(n);
+            let ops = pairs.len();
+            let arena = median_ns(reps, || {
+                let mut hops = 0usize;
+                for &(a, b) in &pairs {
+                    hops += graph.route(a, b).map(|r| r.hops()).unwrap_or(0);
+                }
+                std::hint::black_box(hops);
+            });
+            let refr = median_ns(reps, || {
+                let mut hops = 0usize;
+                for &(a, b) in &pairs {
+                    hops += reference.route_hops(a, b).unwrap_or(0);
+                }
+                std::hint::black_box(hops);
+            });
+            MicroRow {
+                n,
+                ops,
+                arena_ns_per_op: arena as f64 / ops as f64,
+                reference_ns_per_op: refr as f64 / ops as f64,
+            }
+        })
+        .collect()
+}
+
+fn measure_neighbors(reps: usize) -> Vec<MicroRow> {
+    SIZES
+        .iter()
+        .map(|&n| {
+            let graph = fixtures::uniform_random(n, 7);
+            let reference = reference_graph_like(&graph);
+            let queries: Vec<_> = graph
+                .node_ids()
+                .flat_map(|id| {
+                    let top = graph.mvec_of(id).expect("live node").len();
+                    (0..=top).map(move |level| (id, level))
+                })
+                .collect();
+            let ops = queries.len();
+            let arena = median_ns(reps, || {
+                let mut acc = 0usize;
+                for &(id, level) in &queries {
+                    let (l, r) = graph.neighbors(id, level).unwrap();
+                    acc += l.is_some() as usize + r.is_some() as usize;
+                }
+                std::hint::black_box(acc);
+            });
+            let refr = median_ns(reps, || {
+                let mut acc = 0usize;
+                for &(id, level) in &queries {
+                    let (l, r) = reference.neighbors(id, level).unwrap();
+                    acc += l.is_some() as usize + r.is_some() as usize;
+                }
+                std::hint::black_box(acc);
+            });
+            MicroRow {
+                n,
+                ops,
+                arena_ns_per_op: arena as f64 / ops as f64,
+                reference_ns_per_op: refr as f64 / ops as f64,
+            }
+        })
+        .collect()
+}
+
+fn measure_communicate(quick: bool) -> Vec<CommRow> {
+    let mut rows = Vec::new();
+    for &n in SIZES {
+        let m = perf_trace_len(n, quick);
+        for kind in [
+            WorkloadKind::Uniform,
+            WorkloadKind::Skewed,
+            WorkloadKind::WorkingSet,
+        ] {
+            let trace = workload_trace(kind, n, m, 3);
+            // Short warm-up replay (builds the network, pages code in),
+            // then the timed full replay.
+            run_dsg(
+                n,
+                DsgConfig::default().with_seed(1),
+                &trace[..m.min(20)],
+            );
+            let start = Instant::now();
+            let run = run_dsg(n, DsgConfig::default().with_seed(1), &trace);
+            let elapsed_ns = start.elapsed().as_nanos();
+            std::hint::black_box(run);
+            rows.push(CommRow {
+                workload: kind.label(),
+                n,
+                requests: m,
+                elapsed_ns,
+            });
+        }
+    }
+    rows
+}
+
+fn micro_json(rows: &[MicroRow]) -> String {
+    let mut out = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"n\": {}, \"ops\": {}, \"arena_ns_per_op\": {:.1}, \
+             \"reference_ns_per_op\": {:.1}, \"speedup\": {:.2}}}",
+            row.n,
+            row.ops,
+            row.arena_ns_per_op,
+            row.reference_ns_per_op,
+            row.speedup()
+        );
+    }
+    out.push_str("\n  ]");
+    out
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let reps = if quick() { 3 } else { 9 };
+
+    eprintln!("bench_perf: route microbenchmark ({reps} reps)...");
+    let route = measure_route(reps);
+    eprintln!("bench_perf: neighbors microbenchmark ({reps} reps)...");
+    let neighbors = measure_neighbors(reps);
+    eprintln!("bench_perf: communicate throughput...");
+    let communicate = measure_communicate(quick());
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+
+    let mut comm_json = String::from("[");
+    for (i, row) in communicate.iter().enumerate() {
+        if i > 0 {
+            comm_json.push(',');
+        }
+        let _ = write!(
+            comm_json,
+            "\n    {{\"workload\": \"{}\", \"n\": {}, \"requests\": {}, \
+             \"elapsed_ms\": {:.2}, \"requests_per_sec\": {:.1}}}",
+            row.workload,
+            row.n,
+            row.requests,
+            row.elapsed_ns as f64 / 1e6,
+            row.requests_per_sec()
+        );
+    }
+    comm_json.push_str("\n  ]");
+
+    let json = format!(
+        "{{\n  \"schema\": \"dsg-bench-perf/v1\",\n  \"created_unix\": {unix_time},\n  \
+         \"quick\": {},\n  \"route\": {},\n  \"neighbors\": {},\n  \"communicate\": {}\n}}\n",
+        quick(),
+        micro_json(&route),
+        micro_json(&neighbors),
+        comm_json,
+    );
+    std::fs::write(&output, &json).expect("write BENCH_perf.json");
+
+    // Human-readable recap on stderr.
+    for (name, rows) in [("route", &route), ("neighbors", &neighbors)] {
+        for row in rows.iter() {
+            eprintln!(
+                "{name:>9} n={:<5} arena {:>9.1} ns/op   reference {:>9.1} ns/op   speedup {:>5.2}x",
+                row.n, row.arena_ns_per_op, row.reference_ns_per_op, row.speedup()
+            );
+        }
+    }
+    for row in &communicate {
+        eprintln!(
+            "communicate {:>11} n={:<5} {:>10.1} req/s",
+            row.workload,
+            row.n,
+            row.requests_per_sec()
+        );
+    }
+    eprintln!("bench_perf: wrote {output}");
+}

@@ -17,7 +17,112 @@
 use dsg::{DsgConfig, DynamicSkipGraph};
 use dsg_baselines::Baseline;
 use dsg_metrics::WorkingSetTracker;
-use dsg_workloads::Request;
+use dsg_skipgraph::reference::ReferenceGraph;
+use dsg_skipgraph::{Key, SkipGraph};
+use dsg_workloads::{Request, RotatingHotSet, Trace, UniformRandom, Workload, ZipfPairs};
+
+/// The network sizes the perf suite sweeps (`benches/core.rs` and the
+/// `bench_perf` binary).
+pub const SIZES: &[u64] = &[256, 1024, 4096];
+
+/// The three canonical workload shapes of the perf suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Uniformly random pairs — no locality to exploit.
+    Uniform,
+    /// Zipf-skewed pairs (exponent 1.2) — the regime self-adjustment
+    /// targets.
+    Skewed,
+    /// A rotating hot community — temporal locality / working-set
+    /// behaviour.
+    WorkingSet,
+}
+
+impl WorkloadKind {
+    /// Stable label used in benchmark ids and `BENCH_perf.json`.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::Uniform => "uniform",
+            WorkloadKind::Skewed => "skewed",
+            WorkloadKind::WorkingSet => "working_set",
+        }
+    }
+}
+
+/// Generates the canonical trace of `m` requests for a workload shape over
+/// `n` peers.
+pub fn workload_trace(kind: WorkloadKind, n: u64, m: usize, seed: u64) -> Trace {
+    match kind {
+        WorkloadKind::Uniform => UniformRandom::new(n, seed).generate(m),
+        WorkloadKind::Skewed => ZipfPairs::new(n, 1.2, seed).generate(m),
+        WorkloadKind::WorkingSet => {
+            let hot = (n as usize / 16).clamp(2, 32);
+            RotatingHotSet::new(n, hot, 0.9, 200, seed).generate(m)
+        }
+    }
+}
+
+/// Interactive-benchmark trace length per network size: a `communicate`
+/// request costs Θ(|l_α|·log)-ish work, so larger networks replay shorter
+/// traces to keep a criterion sample affordable.
+pub fn comm_trace_len(n: u64) -> usize {
+    match n {
+        0..=511 => 200,
+        512..=2047 => 80,
+        _ => 24,
+    }
+}
+
+/// Headless-harness (`bench_perf`) trace length per network size. Longer
+/// than [`comm_trace_len`] because the harness times a single replay per
+/// cell rather than many criterion samples; both tables live here so the
+/// two surfaces cannot drift apart silently.
+pub fn perf_trace_len(n: u64, quick: bool) -> usize {
+    let full = comm_trace_len(n) * 3;
+    if quick {
+        (full / 10).max(10)
+    } else {
+        full
+    }
+}
+
+/// The source/destination key pairs the `route` microbenchmarks sweep for
+/// an `n`-key graph (shared by `benches/core.rs` and `bench_perf` so both
+/// measure the same routes).
+pub fn route_pairs(n: u64) -> Vec<(Key, Key)> {
+    let step = (n / 64).max(1) as usize;
+    (0..n)
+        .step_by(step)
+        .map(|i| (Key::new(i), Key::new(n - 1 - i)))
+        .collect()
+}
+
+/// Builds a [`ReferenceGraph`] holding exactly the nodes and membership
+/// vectors of `graph`, inserted in ascending key order. For graphs that
+/// were themselves built by key-ordered insertion (all fixtures used by
+/// the perf suite) the resulting node ids are identical, so measurements
+/// drive both representations with the same id stream.
+pub fn reference_graph_like(graph: &SkipGraph) -> ReferenceGraph {
+    let reference = ReferenceGraph::from_members(graph.node_ids().map(|id| {
+        (
+            graph.key_of(id).expect("live node"),
+            graph.mvec_of(id).expect("live node"),
+        )
+    }))
+    .expect("keys are distinct in the source graph");
+    // The comparisons drive both representations with the same id stream,
+    // so the id-coincidence precondition is checked, not assumed: a graph
+    // built with churn (free-list reuse) would violate it silently.
+    for id in graph.node_ids() {
+        let key = graph.key_of(id).expect("live node");
+        assert_eq!(
+            reference.node_by_key(key),
+            Some(id),
+            "reference_graph_like requires key-ordered insertion so ids coincide"
+        );
+    }
+    reference
+}
 
 /// Result of replaying a trace through the self-adjusting skip graph.
 #[derive(Debug, Clone, Default)]

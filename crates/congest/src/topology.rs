@@ -98,7 +98,7 @@ impl Topology {
 
     /// Returns `true` if `a` and `b` share a link.
     pub fn has_link(&self, a: usize, b: usize) -> bool {
-        self.adjacency.get(a).map_or(false, |s| s.contains(&b))
+        self.adjacency.get(a).is_some_and(|s| s.contains(&b))
     }
 
     /// The neighbours of `node`, in ascending order.

@@ -169,7 +169,7 @@ impl MedianFinder for AmfMedian {
             let do_sample = level >= sampling_start || level == h;
             let mut new_buffers: Vec<Vec<RankedValue>> = vec![Vec::new(); n];
             for (owner_idx, mut bucket) in gathered.into_iter().enumerate() {
-                bucket.sort_by(|x, y| x.value.cmp(&y.value));
+                bucket.sort_by_key(|x| x.value);
                 let kept = if do_sample && bucket.len() > sample_size {
                     rounds += 1; // local sort + sample round
                     sample_with_ranks(&bucket, sample_size)
@@ -238,7 +238,7 @@ fn pick_by_rank(survivors: &[RankedValue], n: usize) -> Priority {
     // survivors are sorted ascending (each bucket was sorted before the
     // final merge); recompute to be safe.
     let mut sorted = survivors.to_vec();
-    sorted.sort_by(|x, y| x.value.cmp(&y.value));
+    sorted.sort_by_key(|x| x.value);
     let target = n / 2;
     let mut best = sorted[sorted.len() / 2];
     let mut best_err = usize::MAX;
@@ -277,11 +277,7 @@ mod tests {
         let target = n / 2;
         if target < lo {
             lo - target
-        } else if target > hi {
-            target - hi
-        } else {
-            0
-        }
+        } else { target.saturating_sub(hi) }
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::config::{DsgConfig, MedianStrategy};
 use crate::cost::{CostBreakdown, RunStats};
 use crate::dummy;
 use crate::error::DsgError;
-use crate::groups::{self, GroupUpdateInput};
+use crate::groups::{self, GroupScratch, GroupUpdateInput};
 use crate::state::{NodeState, StateTable};
 use crate::timestamps::{self, TimestampInput};
 use crate::transform::{self, TransformInput};
@@ -77,6 +77,22 @@ impl MedianEngine {
     }
 }
 
+/// Reusable per-request buffers for [`DynamicSkipGraph::communicate`].
+///
+/// One request needs a member snapshot of `l_α`, the members' old
+/// membership vectors, and the two communicating groups' prior member
+/// sets. Rebuilding those as fresh `Vec`/`HashMap`/`HashSet` values on
+/// every request made the hot loop allocation-bound; the buffers are now
+/// owned by the network and cleared (capacity retained) per request.
+#[derive(Debug, Default)]
+struct CommScratch {
+    members: Vec<NodeId>,
+    old_mvecs: HashMap<NodeId, MembershipVector>,
+    u_group_before: HashSet<NodeId>,
+    v_group_before: HashSet<NodeId>,
+    groups: GroupScratch,
+}
+
 /// A locally self-adjusting skip graph (the paper's DSG algorithm).
 ///
 /// See the [crate-level documentation](crate) for an example.
@@ -89,6 +105,7 @@ pub struct DynamicSkipGraph {
     rng: StdRng,
     time: u64,
     stats: RunStats,
+    scratch: CommScratch,
 }
 
 impl DynamicSkipGraph {
@@ -201,6 +218,7 @@ impl DynamicSkipGraph {
             rng,
             time: 0,
             stats: RunStats::default(),
+            scratch: CommScratch::default(),
         })
     }
 
@@ -501,36 +519,52 @@ impl DynamicSkipGraph {
         let routing_cost = route.intermediate_nodes();
 
         // Step 1b: find α and notify every node of l_α. Dummy nodes destroy
-        // themselves upon receiving the notification (§IV-F).
+        // themselves upon receiving the notification (§IV-F). The member
+        // snapshot and the group/vector snapshots below live in reusable
+        // scratch buffers (cleared, capacity retained): after warm-up a
+        // request allocates nothing here. `scratch` is a disjoint field
+        // borrow, so it coexists with the graph/states borrows below.
         let alpha = self.graph.common_level(u_id, v_id)?;
-        let raw_members = self.graph.list_of(u_id, alpha)?;
-        let destroyed = dummy::destroy_dummies(&mut self.graph, &mut self.states, &raw_members);
-        let members: Vec<NodeId> = raw_members
-            .into_iter()
-            .filter(|id| !destroyed.contains(id))
-            .collect();
+        let scratch = &mut self.scratch;
+        scratch.members.clear();
+        scratch.members.extend(self.graph.list_of_iter(u_id, alpha)?);
+        let destroyed =
+            dummy::destroy_dummies(&mut self.graph, &mut self.states, &scratch.members);
+        if !destroyed.is_empty() {
+            scratch.members.retain(|id| !destroyed.contains(id));
+        }
+        let members = &scratch.members;
         // Broadcasting the notification through the sub skip graph rooted at
         // l_α takes O(a · log |l_α|) rounds.
         let notification_rounds = 1 + self.config.a
             * (members.len().max(2) as f64).log2().ceil() as usize;
 
         // Snapshots needed by the timestamp rules.
-        let old_mvecs: HashMap<NodeId, MembershipVector> = members
-            .iter()
-            .map(|&id| (id, self.graph.mvec_of(id).expect("member is live")))
-            .collect();
+        scratch.old_mvecs.clear();
+        scratch.old_mvecs.extend(
+            scratch
+                .members
+                .iter()
+                .map(|&id| (id, self.graph.mvec_of(id).expect("member is live"))),
+        );
         let gu = self.states.group_id(u_id, alpha);
         let gv = self.states.group_id(v_id, alpha);
-        let u_group_before: HashSet<NodeId> = members
-            .iter()
-            .copied()
-            .filter(|&x| x != u_id && x != v_id && self.states.group_id(x, alpha) == gu)
-            .collect();
-        let v_group_before: HashSet<NodeId> = members
-            .iter()
-            .copied()
-            .filter(|&x| x != u_id && x != v_id && self.states.group_id(x, alpha) == gv)
-            .collect();
+        scratch.u_group_before.clear();
+        scratch.u_group_before.extend(
+            scratch
+                .members
+                .iter()
+                .copied()
+                .filter(|&x| x != u_id && x != v_id && self.states.group_id(x, alpha) == gu),
+        );
+        scratch.v_group_before.clear();
+        scratch.v_group_before.extend(
+            scratch
+                .members
+                .iter()
+                .copied()
+                .filter(|&x| x != u_id && x != v_id && self.states.group_id(x, alpha) == gv),
+        );
 
         // Steps 2–9: the transformation proper.
         let input = TransformInput {
@@ -545,7 +579,7 @@ impl DynamicSkipGraph {
             &mut self.states,
             self.median.as_finder(),
             &input,
-            &members,
+            members,
         );
 
         // Install the new membership vectors.
@@ -559,10 +593,15 @@ impl DynamicSkipGraph {
             u: u_id,
             v: v_id,
             alpha,
-            members_alpha: &members,
+            members_alpha: members,
             outcome: &outcome,
         };
-        let group_outcome = groups::apply_group_updates(&self.graph, &mut self.states, &group_input);
+        let group_outcome = groups::apply_group_updates(
+            &self.graph,
+            &mut self.states,
+            &group_input,
+            &mut scratch.groups,
+        );
 
         // Step 11: timestamps (rules T1–T6).
         let ts_input = TimestampInput {
@@ -570,11 +609,11 @@ impl DynamicSkipGraph {
             v: v_id,
             t,
             alpha,
-            members_alpha: &members,
-            old_mvecs: &old_mvecs,
-            u_group_before: &u_group_before,
-            v_group_before: &v_group_before,
-            glower_recipients: &group_outcome.glower_recipients,
+            members_alpha: members,
+            old_mvecs: &scratch.old_mvecs,
+            u_group_before: &scratch.u_group_before,
+            v_group_before: &scratch.v_group_before,
+            glower_recipients: &scratch.groups.recipients,
             outcome: &outcome,
         };
         timestamps::apply_timestamp_rules(&self.graph, &mut self.states, &ts_input);

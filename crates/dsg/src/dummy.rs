@@ -74,6 +74,10 @@ pub fn repair_balance(
     // a run there; each pass repairs one "layer" of damage, so the number of
     // passes is bounded by the structure height (plus slack).
     let max_passes = graph.height() + 10;
+    // Reused across violations/passes: the member snapshot of the list a
+    // violation was found in (a snapshot is needed because dummy insertion
+    // mutates the graph while the run is being repaired).
+    let mut list_buf: Vec<NodeId> = Vec::new();
     for _pass in 0..max_passes {
         let report = graph.check_balance(a);
         outcome.rounds += a + 1;
@@ -86,9 +90,10 @@ pub fn repair_balance(
                 continue;
             }
             repaired_any = true;
-            let list = graph.list_members(violation.level, violation.prefix);
+            list_buf.clear();
+            list_buf.extend(graph.list_iter(violation.level, violation.prefix));
             // Locate the run inside the list.
-            let start = match list.iter().position(|id| {
+            let start = match list_buf.iter().position(|id| {
                 graph
                     .node(*id)
                     .map(|e| e.key() == violation.start_key)
@@ -97,11 +102,7 @@ pub fn repair_balance(
                 Some(idx) => idx,
                 None => continue,
             };
-            let run: Vec<NodeId> = list[start..]
-                .iter()
-                .copied()
-                .take(violation.run_length)
-                .collect();
+            let run = &list_buf[start..(start + violation.run_length).min(list_buf.len())];
             // Insert a dummy after every a-th member of the run, keyed
             // between its neighbours, living in the sibling subgraph at the
             // next level. A slot that coincides with the protected adjacency

@@ -37,11 +37,19 @@ pub struct GroupUpdateInput<'a> {
 /// Result of the group maintenance step.
 #[derive(Debug, Clone, Default)]
 pub struct GroupUpdateOutcome {
-    /// Nodes that initialised or received the `G_lower` vector (timestamp
-    /// rule T4 applies to exactly these nodes).
-    pub glower_recipients: Vec<NodeId>,
     /// Rounds charged for the broadcast of `G_lower`.
     pub rounds: usize,
+}
+
+/// Reusable buffers for [`apply_group_updates`], owned by the caller so
+/// the per-request hot path allocates nothing after warm-up.
+#[derive(Debug, Default)]
+pub struct GroupScratch {
+    set: HashSet<NodeId>,
+    /// Nodes that initialised or received the `G_lower` vector (timestamp
+    /// rule T4 applies to exactly these nodes). Filled by
+    /// [`apply_group_updates`]; cleared on the next call.
+    pub recipients: Vec<NodeId>,
 }
 
 /// Applies the Appendix-C group-id and group-base updates after the
@@ -50,8 +58,11 @@ pub fn apply_group_updates(
     graph: &SkipGraph,
     states: &mut StateTable,
     input: &GroupUpdateInput<'_>,
+    scratch: &mut GroupScratch,
 ) -> GroupUpdateOutcome {
     let mut outcome = GroupUpdateOutcome::default();
+    scratch.set.clear();
+    scratch.recipients.clear();
     let alpha = input.alpha;
     let bu = states.group_base(input.u);
     let bv = states.group_base(input.v);
@@ -65,24 +76,26 @@ pub fn apply_group_updates(
         let meet_level = bu.max(bv).min(alpha);
         // Every node of the list containing both u and v at the meet level
         // whose group at that level matches either endpoint adopts G_lower
-        // and the smaller group-base.
-        let broadcast_list: Vec<NodeId> = graph
-            .list_of(input.u, meet_level)
-            .unwrap_or_default()
-            .into_iter()
-            .filter(|id| states.contains(*id))
-            .collect();
+        // and the smaller group-base. The list is walked in place with the
+        // arena's borrowing iterator — no member snapshot is allocated.
         let gu_meet = states.group_id(input.u, meet_level);
         let gv_meet = states.group_id(input.v, meet_level);
-        let mut recipients: HashSet<NodeId> = HashSet::new();
-        for &y in &broadcast_list {
-            let gy = states.group_id(y, meet_level);
-            if gy == gu_meet || gy == gv_meet {
-                states.set_group_base(y, bu.min(bv));
-                for (i, &g) in glower.iter().enumerate() {
-                    states.set_group_id(y, i, g);
+        let recipients = &mut scratch.set;
+        let mut broadcast_len = 0usize;
+        if let Ok(list) = graph.list_of_iter(input.u, meet_level) {
+            for y in list {
+                if !states.contains(y) {
+                    continue;
                 }
-                recipients.insert(y);
+                broadcast_len += 1;
+                let gy = states.group_id(y, meet_level);
+                if gy == gu_meet || gy == gv_meet {
+                    states.set_group_base(y, bu.min(bv));
+                    for (i, &g) in glower.iter().enumerate() {
+                        states.set_group_id(y, i, g);
+                    }
+                    recipients.insert(y);
+                }
             }
         }
         // Regardless of the comparison above, every member of l_α that ended
@@ -96,9 +109,8 @@ pub fn apply_group_updates(
                 recipients.insert(x);
             }
         }
-        outcome.glower_recipients = recipients.into_iter().collect();
-        outcome.rounds +=
-            2 * (broadcast_list.len().max(2) as f64).log2().ceil() as usize;
+        scratch.recipients.extend(recipients.iter().copied());
+        outcome.rounds += 2 * (broadcast_len.max(2) as f64).log2().ceil() as usize;
     }
 
     // Group-base adjustments for nodes whose group was split by the
@@ -180,11 +192,12 @@ mod tests {
             members_alpha: &ids,
             outcome: &outcome,
         };
-        let result = apply_group_updates(&graph, &mut states, &input);
+        let mut scratch = GroupScratch::default();
+        let result = apply_group_updates(&graph, &mut states, &input, &mut scratch);
         // v's side adopted u's level-0 group-id.
         assert_eq!(states.group_id(v, 0), 10);
         assert_eq!(states.group_id(ids[3], 0), 10);
-        assert!(!result.glower_recipients.is_empty());
+        assert!(!scratch.recipients.is_empty());
         assert!(result.rounds > 0);
         // Group-bases meet at the minimum.
         assert_eq!(states.group_base(v), 0);
@@ -206,8 +219,9 @@ mod tests {
             members_alpha: &ids[0..2],
             outcome: &outcome,
         };
-        let result = apply_group_updates(&graph, &mut states, &input);
-        assert!(result.glower_recipients.is_empty());
+        let mut scratch = GroupScratch::default();
+        let result = apply_group_updates(&graph, &mut states, &input, &mut scratch);
+        assert!(scratch.recipients.is_empty());
         assert_eq!(result.rounds, 0);
     }
 
@@ -225,7 +239,7 @@ mod tests {
             members_alpha: &ids,
             outcome: &outcome,
         };
-        apply_group_updates(&graph, &mut states, &input);
+        apply_group_updates(&graph, &mut states, &input, &mut GroupScratch::default());
         assert_eq!(states.group_base(ids[1]), 1);
     }
 
@@ -245,7 +259,7 @@ mod tests {
             members_alpha: &ids,
             outcome: &outcome,
         };
-        apply_group_updates(&graph, &mut states, &input);
+        apply_group_updates(&graph, &mut states, &input, &mut GroupScratch::default());
         assert_eq!(states.group_base(ids[2]), 2);
     }
 }

@@ -189,7 +189,7 @@ fn rule_t4(states: &mut StateTable, input: &TimestampInput<'_>) {
             }
         }
         if let Some((d, value)) = fill {
-            if d > base || d == base {
+            if d >= base {
                 let mut level = d + 1;
                 while level > base {
                     level -= 1;
@@ -289,8 +289,10 @@ mod tests {
         );
         let u = fx.ids[0];
         let v = fx.ids[1];
-        let mut outcome = TransformOutcome::default();
-        outcome.pair_level = 2;
+        let outcome = TransformOutcome {
+            pair_level: 2,
+            ..TransformOutcome::default()
+        };
         let empty = HashSet::new();
         let input = TimestampInput {
             u,
@@ -327,8 +329,10 @@ mod tests {
         let u = fx.ids[0];
         let v = fx.ids[1];
         let w = fx.ids[2];
-        let mut outcome = TransformOutcome::default();
-        outcome.pair_level = 1;
+        let mut outcome = TransformOutcome {
+            pair_level: 1,
+            ..TransformOutcome::default()
+        };
         // w received a positive median 4 when the level-0 list split.
         outcome.medians.insert(w, vec![(0, Priority::Finite(4))]);
         // w is in u's group at level 0 after the transformation.

@@ -68,7 +68,9 @@ impl SkipGraph {
             ..BalanceReport::default()
         };
         for level in 0..=self.max_level() {
-            for (prefix, members) in self.lists_at_level(level) {
+            // Allocation-free sweep: lists and members are walked through
+            // the borrowing iterators of the intrusive arena.
+            for (prefix, members) in self.lists_at_level_iter(level) {
                 if members.len() < 2 {
                     continue;
                 }
@@ -82,7 +84,7 @@ impl SkipGraph {
                                  report: &mut BalanceReport| {
                     if let (Some(bit), Some(start)) = (bit, start) {
                         report.max_run = report.max_run.max(len);
-                        if len >= a + 1 {
+                        if len > a {
                             report.violations.push(BalanceViolation {
                                 level,
                                 prefix,
@@ -93,8 +95,8 @@ impl SkipGraph {
                         }
                     }
                 };
-                for id in &members {
-                    let entry = self.node(*id).expect("list member is live");
+                for id in members {
+                    let entry = self.node(id).expect("list member is live");
                     let next_bit = entry.mvec().bit(level + 1);
                     match next_bit {
                         Some(bit) if Some(bit) == run_bit => {

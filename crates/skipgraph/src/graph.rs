@@ -1,21 +1,39 @@
-//! The skip graph structure.
+//! The skip graph structure, stored as an intrusive linked-list arena.
 //!
-//! Nodes live in an arena and are addressed by [`NodeId`]. The linked lists
-//! of every level are materialised as ordered indices (`BTreeMap<Key,
-//! NodeId>` keyed by the list's membership-vector [`Prefix`]), which makes
-//! neighbour queries, list enumeration and *incremental* membership-vector
-//! updates cheap. This "central store, distributed semantics" representation
-//! is the idiomatic Rust answer to overlay pointers: algorithm code
-//! manipulates ids, never references, and the distributed cost of each
-//! operation is accounted separately by the callers (see the `dsg` crate).
+//! Skip graph nodes are, semantically, members of one doubly linked list
+//! per level (Aspnes & Shah, SODA'03). This module materialises exactly
+//! that: nodes live in an arena addressed by [`NodeId`], and each arena
+//! slot carries an inline vector of per-level `{prev, next, list}` link
+//! records. Neighbour queries ([`SkipGraph::neighbors`]) are therefore two
+//! pointer reads — no hashing, no tree walk, no allocation — and every
+//! list keeps a cached head, tail and length, so
+//! [`SkipGraph::list_size`] is O(1) as well.
+//!
+//! A per-level `Prefix → list` index is kept *only* for enumeration and
+//! construction (finding the list a joining node belongs to); the hot
+//! paths — routing hops, balance sweeps, list scans — never touch it.
+//! List members are walked with the borrowing iterators
+//! ([`SkipGraph::list_iter`], [`SkipGraph::list_of_iter`],
+//! [`SkipGraph::lists_at_level_iter`]), which allocate nothing; the
+//! `Vec`-returning queries remain as conveniences for tests and one-shot
+//! tooling.
+//!
+//! This "central store, distributed semantics" representation is the
+//! idiomatic Rust answer to overlay pointers: algorithm code manipulates
+//! ids, never references, and the distributed cost of each operation is
+//! accounted separately by the callers (see the `dsg` crate). A naive
+//! index-based twin of this structure lives in [`crate::reference`] and is
+//! used for differential testing and for benchmarking the arena's speedup.
 
 use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
 
 use rand::{Rng, RngExt};
 
 use crate::error::SkipGraphError;
 use crate::ids::{Key, NodeId};
 use crate::mvec::{Bit, MembershipVector, Prefix};
+use crate::smallvec::SmallVec;
 use crate::Result;
 
 /// A single node of the skip graph.
@@ -64,24 +82,86 @@ impl ListRef {
     }
 }
 
+/// Index of a [`ListMeta`] record in the list arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ListId(u32);
+
+impl ListId {
+    const NONE: ListId = ListId(u32::MAX);
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Default for ListId {
+    fn default() -> Self {
+        ListId::NONE
+    }
+}
+
+/// The intrusive per-level link record of one node: its left and right
+/// neighbours in the list it belongs to at that level, plus the list
+/// itself (so membership tests and size queries are O(1)).
+#[derive(Debug, Clone, Copy, Default)]
+struct LevelLink {
+    prev: Option<NodeId>,
+    next: Option<NodeId>,
+    list: ListId,
+}
+
+/// Number of link records stored inline in each arena slot. Structure
+/// height is `O(log n)`, so levels beyond this only occur in graphs of
+/// thousands of nodes and spill to the heap transparently.
+const INLINE_LEVELS: usize = 6;
+
+type LinkVec = SmallVec<LevelLink, INLINE_LEVELS>;
+
 #[derive(Debug, Clone, Default)]
 struct Slot {
     entry: Option<NodeEntry>,
+    links: LinkVec,
+}
+
+/// Cached descriptor of one linked list: its identity plus head, tail and
+/// length, maintained incrementally by every splice.
+#[derive(Debug, Clone)]
+struct ListMeta {
+    prefix: Prefix,
+    level: usize,
+    head: NodeId,
+    tail: NodeId,
+    len: usize,
+    /// Members whose membership vector *ends* at this list's level (their
+    /// topmost list is this one). The randomised join must lazily extend
+    /// exactly these members when it descends through the list; counting
+    /// them lets the common case (zero stoppers) skip the member scan
+    /// entirely, keeping bulk construction near-linear.
+    stoppers: usize,
 }
 
 /// A skip graph: the family-`S` data structure of the paper.
 ///
 /// See the [crate-level documentation](crate) for an overview and an
-/// example.
+/// example, and the [module documentation](self) for the representation.
 #[derive(Debug, Clone, Default)]
 pub struct SkipGraph {
     arena: Vec<Slot>,
     free: Vec<u32>,
     by_key: BTreeMap<Key, NodeId>,
-    /// `levels[d]` maps each length-`d` prefix to the ordered list of nodes
-    /// whose membership vector starts with that prefix. `levels[0]` contains
-    /// a single entry for [`Prefix::root`].
-    levels: Vec<HashMap<Prefix, BTreeMap<Key, NodeId>>>,
+    /// List arena; `None` slots are free (ids recycled via `free_lists`).
+    lists: Vec<Option<ListMeta>>,
+    free_lists: Vec<u32>,
+    /// `levels[d]` maps each length-`d` prefix to the list of nodes whose
+    /// membership vector starts with that prefix. Used for enumeration and
+    /// for locating the target list during construction only.
+    levels: Vec<HashMap<Prefix, ListId>>,
+    /// `multi[d]` counts the lists at level `d` with two or more members,
+    /// making [`SkipGraph::height`] a left-to-right scan of a small array.
+    multi: Vec<usize>,
+    /// Live dummy-node count, maintained on insert/remove so
+    /// [`SkipGraph::dummy_count`] is O(1).
+    dummies: usize,
 }
 
 impl SkipGraph {
@@ -177,26 +257,29 @@ impl SkipGraph {
         // routing guarantee).
         let mut mvec = MembershipVector::empty();
         let mut prefix = Prefix::root();
+        let mut needs_extension: Vec<NodeId> = Vec::new();
         loop {
             let level = prefix.level();
-            let members: Vec<NodeId> = self
-                .level_map(level)
-                .and_then(|m| m.get(&prefix))
-                .map(|l| l.values().copied().collect())
-                .unwrap_or_default();
-            if members.is_empty() {
-                break;
-            }
-            // Lazily extend existing members that stop at this level.
-            for id in members {
-                let len = self
-                    .entry(id)
-                    .expect("list member is live")
-                    .mvec
-                    .len();
-                if len < level + 1 {
+            let lid = match self.levels.get(level).and_then(|m| m.get(&prefix)) {
+                Some(&lid) => lid,
+                None => break,
+            };
+            // Lazily extend the existing members that stop at this level.
+            // The list's stopper count says how many there are; in the
+            // common case (zero) the member scan is skipped entirely, so
+            // a bulk construction does O(height + extensions) work per
+            // insert instead of copying whole lists.
+            if self.list_meta(lid).stoppers > 0 {
+                needs_extension.clear();
+                needs_extension.extend(self.list_id_iter(lid).filter(|&id| {
+                    self.entry(id).expect("list member is live").mvec.len() < level + 1
+                }));
+                // Every member of a level-`level` list has a vector of at
+                // least `level` bits, so a stopper's length is exactly
+                // `level` and the new bit goes at `level + 1`.
+                for &id in &needs_extension {
                     let bit: Bit = rng.random_bool(0.5).into();
-                    self.set_membership_suffix(id, len + 1, [bit])?;
+                    self.set_membership_suffix(id, level + 1, [bit])?;
                 }
             }
             let bit: Bit = rng.random_bool(0.5).into();
@@ -219,12 +302,18 @@ impl SkipGraph {
             }
             None => {
                 let id = NodeId(self.arena.len() as u32);
-                self.arena.push(Slot { entry: Some(entry) });
+                self.arena.push(Slot {
+                    entry: Some(entry),
+                    links: LinkVec::default(),
+                });
                 id
             }
         };
         self.by_key.insert(key, id);
-        self.index_node(id);
+        if dummy {
+            self.dummies += 1;
+        }
+        self.link_node(id);
         Ok(id)
     }
 
@@ -253,59 +342,236 @@ impl SkipGraph {
             .get(id.index())
             .and_then(|s| s.entry.clone())
             .ok_or(SkipGraphError::UnknownNode(id))?;
-        self.unindex_node(id);
+        self.unlink_node(id);
         self.by_key.remove(&entry.key);
+        if entry.dummy {
+            self.dummies -= 1;
+        }
         self.arena[id.index()].entry = None;
         self.free.push(id.raw());
         Ok(entry)
     }
 
     // ------------------------------------------------------------------
-    // Index maintenance
+    // Link maintenance
     // ------------------------------------------------------------------
 
-    fn index_node(&mut self, id: NodeId) {
+    /// Links a freshly inserted node into its list at every level
+    /// `0..=len(mvec)`, bottom-up. The level-0 position comes from the key
+    /// index; every higher-level position is found by walking left along
+    /// the level below until a member of the target list is met — the
+    /// standard join walk, O(1) steps in expectation per level for random
+    /// membership vectors.
+    fn link_node(&mut self, id: NodeId) {
         let (key, len, mvec) = {
             let entry = self.entry(id).expect("node just inserted");
             (entry.key, entry.mvec.len(), entry.mvec)
         };
+        debug_assert_eq!(self.arena[id.index()].links.len(), 0);
         for level in 0..=len {
             let prefix = mvec.prefix(level);
             if self.levels.len() <= level {
                 self.levels.resize_with(level + 1, HashMap::new);
+                self.multi.resize(level + 1, 0);
             }
-            self.levels[level]
-                .entry(prefix)
-                .or_default()
-                .insert(key, id);
-        }
-    }
-
-    fn unindex_node(&mut self, id: NodeId) {
-        let (key, len, mvec) = {
-            let entry = self.entry(id).expect("node must be live");
-            (entry.key, entry.mvec.len(), entry.mvec)
-        };
-        for level in 0..=len {
-            let prefix = mvec.prefix(level);
-            if let Some(map) = self.levels.get_mut(level) {
-                if let Some(list) = map.get_mut(&prefix) {
-                    list.remove(&key);
-                    if list.is_empty() {
-                        map.remove(&prefix);
+            match self.levels[level].get(&prefix).copied() {
+                None => {
+                    let lid = self.alloc_list(ListMeta {
+                        prefix,
+                        level,
+                        head: id,
+                        tail: id,
+                        len: 1,
+                        stoppers: usize::from(level == len),
+                    });
+                    self.levels[level].insert(prefix, lid);
+                    self.arena[id.index()].links.push(LevelLink {
+                        prev: None,
+                        next: None,
+                        list: lid,
+                    });
+                }
+                Some(lid) => {
+                    let pred = self.link_predecessor(id, key, level, lid);
+                    self.splice_in(id, level, lid, pred);
+                    if level == len {
+                        self.list_meta_mut(lid).stoppers += 1;
                     }
                 }
             }
         }
-        while matches!(self.levels.last(), Some(m) if m.is_empty()) {
-            self.levels.pop();
+    }
+
+    /// Finds the node after which `id` must be spliced into list `lid` at
+    /// `level` (`None` = `id` becomes the new head).
+    fn link_predecessor(
+        &self,
+        id: NodeId,
+        key: Key,
+        level: usize,
+        lid: ListId,
+    ) -> Option<NodeId> {
+        if level == 0 {
+            return self.predecessor_by_key(key);
+        }
+        // Walk left along the level below. List refinement guarantees every
+        // member of the target list appears there, in the same key order.
+        let mut cursor = self.arena[id.index()]
+            .links
+            .get(level - 1)
+            .and_then(|l| l.prev);
+        while let Some(candidate) = cursor {
+            let links = &self.arena[candidate.index()].links;
+            if links.get(level).map(|l| l.list) == Some(lid) {
+                return Some(candidate);
+            }
+            cursor = links.get(level - 1).and_then(|l| l.prev);
+        }
+        None
+    }
+
+    /// Splices `id` into list `lid` at `level`, after `pred` (or at the
+    /// head), appending the level's link record to `id`'s slot.
+    fn splice_in(&mut self, id: NodeId, level: usize, lid: ListId, pred: Option<NodeId>) {
+        let link = match pred {
+            Some(p) => {
+                let next = self.arena[p.index()]
+                    .links
+                    .get(level)
+                    .expect("predecessor is linked at this level")
+                    .next;
+                self.arena[p.index()]
+                    .links
+                    .get_mut(level)
+                    .expect("predecessor is linked at this level")
+                    .next = Some(id);
+                match next {
+                    Some(n) => {
+                        self.arena[n.index()]
+                            .links
+                            .get_mut(level)
+                            .expect("successor is linked at this level")
+                            .prev = Some(id);
+                    }
+                    None => {
+                        self.list_meta_mut(lid).tail = id;
+                    }
+                }
+                LevelLink {
+                    prev: Some(p),
+                    next,
+                    list: lid,
+                }
+            }
+            None => {
+                let old_head = self.list_meta(lid).head;
+                self.arena[old_head.index()]
+                    .links
+                    .get_mut(level)
+                    .expect("head is linked at this level")
+                    .prev = Some(id);
+                self.list_meta_mut(lid).head = id;
+                LevelLink {
+                    prev: None,
+                    next: Some(old_head),
+                    list: lid,
+                }
+            }
+        };
+        debug_assert_eq!(self.arena[id.index()].links.len(), level);
+        self.arena[id.index()].links.push(link);
+        let meta = self.list_meta_mut(lid);
+        meta.len += 1;
+        if meta.len == 2 {
+            self.multi[level] += 1;
         }
     }
 
+    /// Splices a node out of every list it is linked into, destroying
+    /// lists that become empty.
+    fn unlink_node(&mut self, id: NodeId) {
+        let level_count = self.arena[id.index()].links.len();
+        for level in 0..level_count {
+            let link = *self.arena[id.index()]
+                .links
+                .get(level)
+                .expect("level within link count");
+            if let Some(p) = link.prev {
+                self.arena[p.index()]
+                    .links
+                    .get_mut(level)
+                    .expect("neighbour is linked at this level")
+                    .next = link.next;
+            }
+            if let Some(n) = link.next {
+                self.arena[n.index()]
+                    .links
+                    .get_mut(level)
+                    .expect("neighbour is linked at this level")
+                    .prev = link.prev;
+            }
+            let meta = self.list_meta_mut(link.list);
+            if level == level_count - 1 {
+                meta.stoppers -= 1;
+            }
+            meta.len -= 1;
+            let emptied = meta.len == 0;
+            if meta.len == 1 {
+                self.multi[level] -= 1;
+            }
+            if emptied {
+                let prefix = self.list_meta(link.list).prefix;
+                self.levels[level].remove(&prefix);
+                self.free_list(link.list);
+            } else {
+                let meta = self.list_meta_mut(link.list);
+                if meta.head == id {
+                    meta.head = link.next.expect("non-empty list has a successor");
+                }
+                if meta.tail == id {
+                    meta.tail = link.prev.expect("non-empty list has a predecessor");
+                }
+            }
+        }
+        self.arena[id.index()].links.clear();
+        while matches!(self.levels.last(), Some(m) if m.is_empty()) {
+            self.levels.pop();
+            self.multi.pop();
+        }
+    }
+
+    fn alloc_list(&mut self, meta: ListMeta) -> ListId {
+        match self.free_lists.pop() {
+            Some(raw) => {
+                let lid = ListId(raw);
+                self.lists[lid.index()] = Some(meta);
+                lid
+            }
+            None => {
+                let lid = ListId(self.lists.len() as u32);
+                self.lists.push(Some(meta));
+                lid
+            }
+        }
+    }
+
+    fn free_list(&mut self, lid: ListId) {
+        self.lists[lid.index()] = None;
+        self.free_lists.push(lid.0);
+    }
+
+    fn list_meta(&self, lid: ListId) -> &ListMeta {
+        self.lists[lid.index()].as_ref().expect("list id is live")
+    }
+
+    fn list_meta_mut(&mut self, lid: ListId) -> &mut ListMeta {
+        self.lists[lid.index()].as_mut().expect("list id is live")
+    }
+
     /// Replaces the membership-vector bits of `id` from `from_level` upward
-    /// with `new_bits`, keeping levels `1..from_level` unchanged, and updates
-    /// all list indices. This is the primitive the self-adjusting algorithm
-    /// uses to "move" a node between subgraphs.
+    /// with `new_bits`, keeping levels `1..from_level` unchanged, and
+    /// relinks the node in every list. This is the primitive the
+    /// self-adjusting algorithm uses to "move" a node between subgraphs.
     ///
     /// # Errors
     ///
@@ -324,7 +590,7 @@ impl SkipGraph {
         if self.entry(id).is_none() {
             return Err(SkipGraphError::UnknownNode(id));
         }
-        self.unindex_node(id);
+        self.unlink_node(id);
         let result = {
             let entry = self.arena[id.index()]
                 .entry
@@ -332,9 +598,9 @@ impl SkipGraph {
                 .expect("checked live above");
             entry.mvec.replace_suffix(from_level, new_bits)
         };
-        // Re-index regardless of whether the suffix replacement failed so
+        // Re-link regardless of whether the suffix replacement failed so
         // that the node is never left out of the lists.
-        self.index_node(id);
+        self.link_node(id);
         result
     }
 
@@ -347,13 +613,13 @@ impl SkipGraph {
         if self.entry(id).is_none() {
             return Err(SkipGraphError::UnknownNode(id));
         }
-        self.unindex_node(id);
+        self.unlink_node(id);
         self.arena[id.index()]
             .entry
             .as_mut()
             .expect("checked live above")
             .mvec = mvec;
-        self.index_node(id);
+        self.link_node(id);
         Ok(())
     }
 
@@ -363,10 +629,6 @@ impl SkipGraph {
 
     fn entry(&self, id: NodeId) -> Option<&NodeEntry> {
         self.arena.get(id.index()).and_then(|s| s.entry.as_ref())
-    }
-
-    fn level_map(&self, level: usize) -> Option<&HashMap<Prefix, BTreeMap<Key, NodeId>>> {
-        self.levels.get(level)
     }
 
     /// Number of live nodes (including dummy nodes).
@@ -379,12 +641,9 @@ impl SkipGraph {
         self.by_key.is_empty()
     }
 
-    /// Number of live dummy nodes.
+    /// Number of live dummy nodes (maintained incrementally; O(1)).
     pub fn dummy_count(&self) -> usize {
-        self.by_key
-            .values()
-            .filter(|id| self.entry(**id).map(|e| e.dummy).unwrap_or(false))
-            .count()
+        self.dummies
     }
 
     /// Returns the node entry for a live id.
@@ -395,6 +654,20 @@ impl SkipGraph {
     /// Returns the id of the node holding `key`.
     pub fn node_by_key(&self, key: Key) -> Option<NodeId> {
         self.by_key.get(&key).copied()
+    }
+
+    /// The node with the largest key strictly below `key` (its left
+    /// neighbour in the base list, whether or not `key` itself is present).
+    pub fn predecessor_by_key(&self, key: Key) -> Option<NodeId> {
+        self.by_key.range(..key).next_back().map(|(_, &id)| id)
+    }
+
+    /// The node with the smallest key strictly above `key`.
+    pub fn successor_by_key(&self, key: Key) -> Option<NodeId> {
+        self.by_key
+            .range((Bound::Excluded(key), Bound::Unbounded))
+            .next()
+            .map(|(_, &id)| id)
     }
 
     /// The key of a live node.
@@ -431,10 +704,11 @@ impl SkipGraph {
 
     /// The height of the skip graph: the smallest `H` such that every node
     /// is the only member of its list at level `H`. An empty or singleton
-    /// graph has height 0.
+    /// graph has height 0. Computed from the per-level multi-member list
+    /// counters, so it costs O(height), not a sweep of every list.
     pub fn height(&self) -> usize {
-        for (level, map) in self.levels.iter().enumerate() {
-            if map.values().all(|list| list.len() <= 1) {
+        for (level, &multi) in self.multi.iter().enumerate() {
+            if multi == 0 {
                 return level;
             }
         }
@@ -450,15 +724,77 @@ impl SkipGraph {
     // List queries
     // ------------------------------------------------------------------
 
-    /// Members (in ascending key order) of the list at `level` identified by
-    /// `prefix`. Nodes whose membership vector is *shorter* than `level` are
-    /// considered singleton at that level and are only reported when the
-    /// requested prefix equals their full vector.
-    pub fn list_members(&self, level: usize, prefix: Prefix) -> Vec<NodeId> {
-        match self.level_map(level).and_then(|m| m.get(&prefix)) {
-            Some(list) => list.values().copied().collect(),
-            None => Vec::new(),
+    /// Borrowing iterator over the members (in ascending key order) of the
+    /// list at `level` identified by `prefix`. Empty if no such list
+    /// exists. Allocation-free.
+    pub fn list_iter(&self, level: usize, prefix: Prefix) -> ListIter<'_> {
+        match self.levels.get(level).and_then(|m| m.get(&prefix)) {
+            Some(&lid) => self.list_id_iter(lid),
+            None => ListIter {
+                graph: self,
+                cursor: None,
+                level: 0,
+                remaining: 0,
+            },
         }
+    }
+
+    fn list_id_iter(&self, lid: ListId) -> ListIter<'_> {
+        let meta = self.list_meta(lid);
+        ListIter {
+            graph: self,
+            cursor: Some(meta.head),
+            level: meta.level,
+            remaining: meta.len,
+        }
+    }
+
+    /// Borrowing iterator over the members of the list `id` belongs to at
+    /// `level`, in ascending key order. For levels above the node's vector
+    /// length the node is singleton, so only `id` itself is yielded.
+    /// Allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::UnknownNode`] for a dead id.
+    pub fn list_of_iter(&self, id: NodeId, level: usize) -> Result<ListIter<'_>> {
+        let entry = self.entry(id).ok_or(SkipGraphError::UnknownNode(id))?;
+        if level > entry.mvec.len() {
+            // Conceptual singleton: the cursor starts at `id` and the walk
+            // stops immediately because the node has no link at `level`.
+            return Ok(ListIter {
+                graph: self,
+                cursor: Some(id),
+                level,
+                remaining: 1,
+            });
+        }
+        let lid = self.arena[id.index()]
+            .links
+            .get(level)
+            .expect("live node is linked at every level up to its length")
+            .list;
+        Ok(self.list_id_iter(lid))
+    }
+
+    /// Iterates over all lists at `level` as `(prefix, members)` pairs, in
+    /// unspecified order; members are yielded in ascending key order.
+    /// Allocation-free.
+    pub fn lists_at_level_iter(
+        &self,
+        level: usize,
+    ) -> impl Iterator<Item = (Prefix, ListIter<'_>)> + '_ {
+        self.levels
+            .get(level)
+            .into_iter()
+            .flat_map(move |map| map.iter().map(move |(p, &lid)| (*p, self.list_id_iter(lid))))
+    }
+
+    /// Members (in ascending key order) of the list at `level` identified by
+    /// `prefix`. Convenience wrapper around [`SkipGraph::list_iter`] that
+    /// allocates; hot paths should use the iterator.
+    pub fn list_members(&self, level: usize, prefix: Prefix) -> Vec<NodeId> {
+        self.list_iter(level, prefix).collect()
     }
 
     /// Members of the list identified by a [`ListRef`].
@@ -467,63 +803,64 @@ impl SkipGraph {
     }
 
     /// Members of the list that `id` belongs to at `level`, in ascending key
-    /// order. For levels above the node's vector length the node is
-    /// singleton, so only `id` itself is returned.
+    /// order. Convenience wrapper around [`SkipGraph::list_of_iter`] that
+    /// allocates; hot paths should use the iterator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::UnknownNode`] for a dead id.
     pub fn list_of(&self, id: NodeId, level: usize) -> Result<Vec<NodeId>> {
-        let entry = self.entry(id).ok_or(SkipGraphError::UnknownNode(id))?;
-        if level > entry.mvec.len() {
-            return Ok(vec![id]);
-        }
-        let prefix = entry.mvec.prefix(level);
-        Ok(self.list_members(level, prefix))
+        Ok(self.list_of_iter(id, level)?.collect())
     }
 
-    /// Size of the list that `id` belongs to at `level`.
+    /// Size of the list that `id` belongs to at `level`. O(1): reads the
+    /// list's cached length.
     ///
     /// # Errors
     ///
     /// Returns [`SkipGraphError::UnknownNode`] for a dead id.
     pub fn list_size(&self, id: NodeId, level: usize) -> Result<usize> {
-        Ok(self.list_of(id, level)?.len())
+        let entry = self.entry(id).ok_or(SkipGraphError::UnknownNode(id))?;
+        if level > entry.mvec.len() {
+            return Ok(1);
+        }
+        let lid = self.arena[id.index()]
+            .links
+            .get(level)
+            .expect("live node is linked at every level up to its length")
+            .list;
+        Ok(self.list_meta(lid).len)
     }
 
     /// All lists at `level`, as `(prefix, members)` pairs. Pairs are
     /// returned in an unspecified order; members are in ascending key order.
+    /// Convenience wrapper around [`SkipGraph::lists_at_level_iter`] that
+    /// allocates.
     pub fn lists_at_level(&self, level: usize) -> Vec<(Prefix, Vec<NodeId>)> {
-        match self.level_map(level) {
-            Some(map) => map
-                .iter()
-                .map(|(p, list)| (*p, list.values().copied().collect()))
-                .collect(),
-            None => Vec::new(),
-        }
+        self.lists_at_level_iter(level)
+            .map(|(p, iter)| (p, iter.collect()))
+            .collect()
     }
 
     /// Left and right neighbours of `id` in its list at `level` (the
-    /// doubly-linked-list pointers of the distributed structure).
+    /// doubly-linked-list pointers of the distributed structure). O(1):
+    /// two pointer reads from the node's link record — no hashing, no tree
+    /// walk, no allocation.
     ///
     /// # Errors
     ///
     /// Returns [`SkipGraphError::UnknownNode`] for a dead id.
     pub fn neighbors(&self, id: NodeId, level: usize) -> Result<(Option<NodeId>, Option<NodeId>)> {
-        let entry = self.entry(id).ok_or(SkipGraphError::UnknownNode(id))?;
-        if level > entry.mvec.len() {
-            return Ok((None, None));
-        }
-        let prefix = entry.mvec.prefix(level);
-        let list = match self.level_map(level).and_then(|m| m.get(&prefix)) {
-            Some(list) => list,
-            None => return Ok((None, None)),
-        };
-        let left = list
-            .range(..entry.key)
-            .next_back()
-            .map(|(_, id)| *id);
-        let right = list
-            .range((std::ops::Bound::Excluded(entry.key), std::ops::Bound::Unbounded))
-            .next()
-            .map(|(_, id)| *id);
-        Ok((left, right))
+        let slot = self
+            .arena
+            .get(id.index())
+            .filter(|s| s.entry.is_some())
+            .ok_or(SkipGraphError::UnknownNode(id))?;
+        Ok(match slot.links.get(level) {
+            Some(link) => (link.prev, link.next),
+            // Above the node's vector length it is conceptually singleton.
+            None => (None, None),
+        })
     }
 
     /// The highest level at which `u` and `v` share a linked list (the
@@ -567,11 +904,11 @@ impl SkipGraph {
     /// Checks the structural invariants of the skip graph:
     ///
     /// 1. every live node appears exactly once in the base list;
-    /// 2. for every level `d ≥ 1`, the members of each list are exactly the
-    ///    members of the parent list whose membership-vector bit at level
-    ///    `d` selects it (list refinement);
-    /// 3. list membership recorded in the indices matches the nodes'
-    ///    membership vectors.
+    /// 2. every list's chain is consistent: ascending keys, symmetric
+    ///    `prev`/`next` pointers, cached head/tail/length correct;
+    /// 3. list membership recorded in the links matches the nodes'
+    ///    membership vectors, and every list refines its parent list;
+    /// 4. the per-level multi-member counters match the lists.
     ///
     /// # Errors
     ///
@@ -579,33 +916,74 @@ impl SkipGraph {
     /// violation found.
     pub fn validate(&self) -> Result<()> {
         // 1. base list contains every live node.
-        let base = self.list_members(0, Prefix::root());
-        if base.len() != self.by_key.len() {
+        let base_len = self
+            .levels
+            .first()
+            .and_then(|m| m.get(&Prefix::root()))
+            .map(|&lid| self.list_meta(lid).len)
+            .unwrap_or(0);
+        if base_len != self.by_key.len() {
             return Err(SkipGraphError::InvariantViolated(format!(
                 "base list has {} members but {} nodes are live",
-                base.len(),
+                base_len,
                 self.by_key.len()
             )));
         }
-        // 2/3. refinement + prefix consistency.
+        // 2/3. chain consistency + prefix consistency + refinement.
         for (level, map) in self.levels.iter().enumerate() {
-            for (prefix, list) in map {
+            let mut multi_seen = 0usize;
+            for (prefix, &lid) in map {
                 if prefix.level() != level {
                     return Err(SkipGraphError::InvariantViolated(format!(
                         "prefix {prefix} stored at level {level}"
                     )));
                 }
-                for (&key, &id) in list {
-                    let entry = self
-                        .entry(id)
-                        .ok_or_else(|| SkipGraphError::InvariantViolated(format!(
+                let meta = self.lists[lid.index()].as_ref().ok_or_else(|| {
+                    SkipGraphError::InvariantViolated(format!(
+                        "freed list recorded for prefix {prefix} at level {level}"
+                    ))
+                })?;
+                if meta.len >= 2 {
+                    multi_seen += 1;
+                }
+                if meta.prefix != *prefix || meta.level != level {
+                    return Err(SkipGraphError::InvariantViolated(format!(
+                        "list identity mismatch for prefix {prefix} at level {level}"
+                    )));
+                }
+                let mut count = 0usize;
+                let mut stoppers_seen = 0usize;
+                let mut previous: Option<NodeId> = None;
+                let mut cursor = Some(meta.head);
+                while let Some(id) = cursor {
+                    let entry = self.entry(id).ok_or_else(|| {
+                        SkipGraphError::InvariantViolated(format!(
                             "dead node {id} recorded in list {prefix} at level {level}"
-                        )))?;
-                    if entry.key != key {
+                        ))
+                    })?;
+                    let link = self.arena[id.index()].links.get(level).ok_or_else(|| {
+                        SkipGraphError::InvariantViolated(format!(
+                            "node {id} in list {prefix} at level {level} has no link record"
+                        ))
+                    })?;
+                    if link.list != lid {
                         return Err(SkipGraphError::InvariantViolated(format!(
-                            "node {id} stored under key {key} but has key {}",
-                            entry.key
+                            "node {id} links to a different list than {prefix} at level {level}"
                         )));
+                    }
+                    if link.prev != previous {
+                        return Err(SkipGraphError::InvariantViolated(format!(
+                            "asymmetric prev pointer at node {id} in list {prefix} at level {level}"
+                        )));
+                    }
+                    if let Some(p) = previous {
+                        let pk = self.entry(p).expect("checked above").key;
+                        if pk >= entry.key {
+                            return Err(SkipGraphError::InvariantViolated(format!(
+                                "keys out of order in list {prefix} at level {level}: {pk} before {}",
+                                entry.key
+                            )));
+                        }
                     }
                     if entry.mvec.prefix(level) != *prefix {
                         return Err(SkipGraphError::InvariantViolated(format!(
@@ -613,33 +991,84 @@ impl SkipGraph {
                             entry.mvec
                         )));
                     }
-                }
-                if level >= 1 {
-                    let parent_prefix = prefix.parent().expect("level >= 1 has a parent");
-                    let parent = self.list_members(level - 1, parent_prefix);
-                    for id in list.values() {
-                        if !parent.contains(id) {
+                    if level >= 1 {
+                        // Refinement: O(1) membership test via the link
+                        // record of the level below.
+                        let parent_prefix = prefix.parent().expect("level >= 1 has a parent");
+                        let in_parent = self.arena[id.index()]
+                            .links
+                            .get(level - 1)
+                            .map(|l| self.list_meta(l.list).prefix == parent_prefix)
+                            .unwrap_or(false);
+                        if !in_parent {
                             return Err(SkipGraphError::InvariantViolated(format!(
                                 "node {id} appears in list {prefix} at level {level} but not in its parent list"
                             )));
                         }
                     }
+                    count += 1;
+                    if entry.mvec.len() == level {
+                        stoppers_seen += 1;
+                    }
+                    previous = Some(id);
+                    if count > meta.len {
+                        return Err(SkipGraphError::InvariantViolated(format!(
+                            "list {prefix} at level {level} longer than its cached length {}",
+                            meta.len
+                        )));
+                    }
+                    cursor = link.next;
+                }
+                if count != meta.len {
+                    return Err(SkipGraphError::InvariantViolated(format!(
+                        "list {prefix} at level {level} has {count} members but cached length {}",
+                        meta.len
+                    )));
+                }
+                if previous != Some(meta.tail) {
+                    return Err(SkipGraphError::InvariantViolated(format!(
+                        "cached tail of list {prefix} at level {level} is stale"
+                    )));
+                }
+                if stoppers_seen != meta.stoppers {
+                    return Err(SkipGraphError::InvariantViolated(format!(
+                        "stopper counter of list {prefix} at level {level} is stale \
+                         ({} cached, {stoppers_seen} found)",
+                        meta.stoppers
+                    )));
                 }
             }
+            if self.multi.get(level).copied().unwrap_or(0) != multi_seen {
+                return Err(SkipGraphError::InvariantViolated(format!(
+                    "multi-member counter at level {level} is stale"
+                )));
+            }
         }
-        // Every node must be indexed at every level up to its vector length.
+        // 4. every node is linked at every level up to its vector length.
         for (&key, &id) in &self.by_key {
             let entry = self.entry(id).ok_or_else(|| {
                 SkipGraphError::InvariantViolated(format!("key {key} maps to dead node {id}"))
             })?;
+            if entry.key != key {
+                return Err(SkipGraphError::InvariantViolated(format!(
+                    "node {id} stored under key {key} but has key {}",
+                    entry.key
+                )));
+            }
+            if self.arena[id.index()].links.len() != entry.mvec.len() + 1 {
+                return Err(SkipGraphError::InvariantViolated(format!(
+                    "node {id} missing link records (has {}, vector length {})",
+                    self.arena[id.index()].links.len(),
+                    entry.mvec.len()
+                )));
+            }
             for level in 0..=entry.mvec.len() {
                 let prefix = entry.mvec.prefix(level);
-                let present = self
-                    .level_map(level)
-                    .and_then(|m| m.get(&prefix))
-                    .map(|l| l.get(&key) == Some(&id))
-                    .unwrap_or(false);
-                if !present {
+                let link = self.arena[id.index()]
+                    .links
+                    .get(level)
+                    .expect("length checked above");
+                if self.list_meta(link.list).prefix != prefix {
                     return Err(SkipGraphError::InvariantViolated(format!(
                         "node {id} missing from its list at level {level}"
                     )));
@@ -649,6 +1078,37 @@ impl SkipGraph {
         Ok(())
     }
 }
+
+/// Borrowing, allocation-free iterator over the members of one linked list
+/// in ascending key order. Created by [`SkipGraph::list_iter`],
+/// [`SkipGraph::list_of_iter`] and [`SkipGraph::lists_at_level_iter`].
+#[derive(Debug, Clone)]
+pub struct ListIter<'g> {
+    graph: &'g SkipGraph,
+    cursor: Option<NodeId>,
+    level: usize,
+    remaining: usize,
+}
+
+impl Iterator for ListIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.cursor?;
+        self.cursor = self.graph.arena[id.index()]
+            .links
+            .get(self.level)
+            .and_then(|l| l.next);
+        self.remaining = self.remaining.saturating_sub(1);
+        Some(id)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for ListIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -799,6 +1259,8 @@ mod tests {
         assert_eq!(g.dummy_count(), 1);
         assert_eq!(g.len(), 7);
         g.validate().unwrap();
+        g.remove_key(Key::new(14)).unwrap();
+        assert_eq!(g.dummy_count(), 0);
     }
 
     #[test]
@@ -813,6 +1275,14 @@ mod tests {
             g.neighbors(bogus, 0),
             Err(SkipGraphError::UnknownNode(_))
         ));
+        assert!(matches!(
+            g.list_of_iter(bogus, 0),
+            Err(SkipGraphError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            g.list_size(bogus, 0),
+            Err(SkipGraphError::UnknownNode(_))
+        ));
     }
 
     #[test]
@@ -822,5 +1292,92 @@ mod tests {
         let b = g.insert(Key::new(2), MembershipVector::parse("11").unwrap()).unwrap();
         assert_eq!(g.common_level(a, b).unwrap(), 2);
         assert_eq!(g.height(), 3);
+    }
+
+    #[test]
+    fn iterators_agree_with_vec_queries() {
+        let g = figure1_graph();
+        for level in 0..=g.max_level() {
+            let mut pairs = g.lists_at_level(level);
+            pairs.sort_by_key(|(p, _)| p.to_string());
+            let mut iter_pairs: Vec<(Prefix, Vec<NodeId>)> = g
+                .lists_at_level_iter(level)
+                .map(|(p, it)| (p, it.collect()))
+                .collect();
+            iter_pairs.sort_by_key(|(p, _)| p.to_string());
+            assert_eq!(pairs, iter_pairs);
+            for (prefix, members) in pairs {
+                let from_iter: Vec<NodeId> = g.list_iter(level, prefix).collect();
+                assert_eq!(members, from_iter);
+                assert_eq!(g.list_iter(level, prefix).len(), members.len());
+            }
+        }
+        for id in g.node_ids() {
+            let top = g.mvec_of(id).unwrap().len();
+            for level in 0..=top + 2 {
+                let vec_list = g.list_of(id, level).unwrap();
+                let iter_list: Vec<NodeId> = g.list_of_iter(id, level).unwrap().collect();
+                assert_eq!(vec_list, iter_list);
+                assert_eq!(g.list_size(id, level).unwrap(), vec_list.len());
+            }
+        }
+    }
+
+    #[test]
+    fn list_size_matches_membership_after_churn() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut g = SkipGraph::random((0..64).map(Key::new), &mut rng).unwrap();
+        for i in 0..32u64 {
+            g.remove_key(Key::new(i * 2)).unwrap();
+            g.insert(Key::new(1000 + i), MembershipVector::parse("10").unwrap())
+                .unwrap();
+        }
+        g.validate().unwrap();
+        for id in g.node_ids().collect::<Vec<_>>() {
+            for level in 0..=g.mvec_of(id).unwrap().len() {
+                assert_eq!(
+                    g.list_size(id, level).unwrap(),
+                    g.list_of(id, level).unwrap().len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predecessor_and_successor_by_key() {
+        let g = figure1_graph();
+        let pred = g.predecessor_by_key(Key::new(13)).unwrap();
+        assert_eq!(g.key_of(pred).unwrap().value(), 10);
+        let succ = g.successor_by_key(Key::new(13)).unwrap();
+        assert_eq!(g.key_of(succ).unwrap().value(), 18);
+        // Keys between members resolve to the surrounding members.
+        let pred = g.predecessor_by_key(Key::new(12)).unwrap();
+        assert_eq!(g.key_of(pred).unwrap().value(), 10);
+        assert_eq!(g.predecessor_by_key(Key::new(1)), None);
+        assert_eq!(g.successor_by_key(Key::new(23)), None);
+    }
+
+    #[test]
+    fn neighbors_stay_consistent_with_list_order_under_suffix_updates() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut g = SkipGraph::random((0..96).map(Key::new), &mut rng).unwrap();
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let bits = [
+                Bit::from_u8((i % 2) as u8),
+                Bit::from_u8(((i / 2) % 2) as u8),
+            ];
+            g.set_membership_suffix(id, 1, bits).unwrap();
+        }
+        g.validate().unwrap();
+        for &id in &ids {
+            for level in 0..=g.mvec_of(id).unwrap().len() {
+                let list = g.list_of(id, level).unwrap();
+                let pos = list.iter().position(|x| *x == id).unwrap();
+                let (l, r) = g.neighbors(id, level).unwrap();
+                assert_eq!(l, pos.checked_sub(1).map(|p| list[p]));
+                assert_eq!(r, list.get(pos + 1).copied());
+            }
+        }
     }
 }

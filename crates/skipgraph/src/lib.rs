@@ -16,9 +16,21 @@
 //!
 //! * [`MembershipVector`] and [`Prefix`] — the per-node bit strings that
 //!   define the level structure (`mvec` module).
-//! * [`SkipGraph`] — the structure itself, stored in an arena with
-//!   per-level list indices so that neighbour queries, list enumeration and
-//!   incremental membership-vector updates are cheap (`graph` module).
+//! * [`SkipGraph`] — the structure itself, stored as an **intrusive
+//!   linked-list arena**: each node slot carries per-level
+//!   `{prev, next, list}` link records, so
+//!   [`neighbors`](SkipGraph::neighbors) is two pointer reads and
+//!   [`list_size`](SkipGraph::list_size) reads a cached length — O(1),
+//!   with no hashing, tree walks or allocation on the hot paths. List
+//!   contents are walked with borrowing iterators
+//!   ([`list_iter`](SkipGraph::list_iter),
+//!   [`list_of_iter`](SkipGraph::list_of_iter),
+//!   [`lists_at_level_iter`](SkipGraph::lists_at_level_iter)); see the
+//!   `graph` module docs for the representation.
+//! * [`reference::ReferenceGraph`] — the naive index-based twin
+//!   (`HashMap<Prefix, BTreeMap<Key, NodeId>>` per level), retained for
+//!   differential testing and as the baseline the perf suite measures the
+//!   arena's speedup against (`reference` module).
 //! * [`route`](SkipGraph::route) — the standard skip graph routing algorithm
 //!   (Appendix B of the paper) with hop accounting (`routing` module).
 //! * [`TreeView`] — the binary-tree-of-linked-lists view used throughout the
@@ -56,13 +68,15 @@ pub mod graph;
 pub mod ids;
 pub mod maintenance;
 pub mod mvec;
+pub mod reference;
 pub mod routing;
 pub mod skiplist;
+mod smallvec;
 pub mod tree;
 
 pub use balance::{BalanceReport, BalanceViolation};
 pub use error::SkipGraphError;
-pub use graph::{ListRef, NodeEntry, SkipGraph};
+pub use graph::{ListIter, ListRef, NodeEntry, SkipGraph};
 pub use ids::{Key, NodeId};
 pub use maintenance::{JoinOutcome, LeaveOutcome};
 pub use mvec::{Bit, MembershipVector, Prefix};

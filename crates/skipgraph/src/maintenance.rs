@@ -114,9 +114,17 @@ impl SkipGraph {
     }
 
     /// Finds the live key closest to `key` (used as the join target).
+    /// O(log n) via the key index rather than a linear scan.
     fn closest_existing_key(&self, key: Key) -> Option<Key> {
-        let below = self.keys().filter(|k| *k <= key).last();
-        let above = self.keys().find(|k| *k > key);
+        let below = if self.node_by_key(key).is_some() {
+            Some(key)
+        } else {
+            self.predecessor_by_key(key)
+                .and_then(|id| self.key_of(id).ok())
+        };
+        let above = self
+            .successor_by_key(key)
+            .and_then(|id| self.key_of(id).ok());
         match (below, above) {
             (Some(b), Some(a)) => {
                 if key.value() - b.value() <= a.value() - key.value() {

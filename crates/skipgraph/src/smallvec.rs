@@ -1,0 +1,124 @@
+//! A minimal inline-first vector for per-node level links.
+//!
+//! Skip graph nodes carry one `{prev, next, list}` link record per level,
+//! and the expected number of levels is `O(log n)` — small enough that the
+//! links of almost every node fit inline in its arena slot, keeping
+//! neighbour reads free of pointer chasing. [`SmallVec`] stores the first
+//! `N` elements inline and spills the (rare) remainder to a heap `Vec`.
+//!
+//! The crate forbids `unsafe`, so elements are required to be
+//! `Copy + Default` (the inline buffer is always fully initialised); link
+//! records satisfy both trivially.
+
+/// An inline-first vector: the first `N` elements live inside the value,
+/// elements past `N` spill to the heap.
+#[derive(Debug, Clone)]
+pub(crate) struct SmallVec<T, const N: usize> {
+    inline: [T; N],
+    spill: Vec<T>,
+    len: u32,
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        SmallVec {
+            inline: [T::default(); N],
+            spill: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
+    /// Number of live elements.
+    pub(crate) fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns the element at `index`, if in bounds.
+    pub(crate) fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.len() {
+            None
+        } else if index < N {
+            Some(&self.inline[index])
+        } else {
+            self.spill.get(index - N)
+        }
+    }
+
+    /// Mutable access to the element at `index`, if in bounds.
+    pub(crate) fn get_mut(&mut self, index: usize) -> Option<&mut T> {
+        if index >= self.len() {
+            None
+        } else if index < N {
+            Some(&mut self.inline[index])
+        } else {
+            self.spill.get_mut(index - N)
+        }
+    }
+
+    /// Appends an element.
+    pub(crate) fn push(&mut self, value: T) {
+        let idx = self.len();
+        if idx < N {
+            self.inline[idx] = value;
+        } else {
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Removes every element.
+    pub(crate) fn clear(&mut self) {
+        self.spill.clear();
+        self.len = 0;
+    }
+
+    /// Iterates over the live elements.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &T> {
+        self.inline[..self.len().min(N)]
+            .iter()
+            .chain(self.spill.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_across_the_spill_boundary() {
+        let mut v: SmallVec<u32, 4> = SmallVec::default();
+        for i in 0..10u32 {
+            v.push(i * 3);
+        }
+        assert_eq!(v.len(), 10);
+        for i in 0..10usize {
+            assert_eq!(v.get(i), Some(&(i as u32 * 3)));
+        }
+        assert_eq!(v.get(10), None);
+        *v.get_mut(2).unwrap() = 99;
+        *v.get_mut(7).unwrap() = 77;
+        assert_eq!(v.get(2), Some(&99));
+        assert_eq!(v.get(7), Some(&77));
+        let collected: Vec<u32> = v.iter().copied().collect();
+        assert_eq!(collected.len(), 10);
+        assert_eq!(collected[2], 99);
+        assert_eq!(collected[7], 77);
+    }
+
+    #[test]
+    fn clear_resets_and_allows_reuse() {
+        let mut v: SmallVec<u8, 2> = SmallVec::default();
+        for i in 0..5 {
+            v.push(i);
+        }
+        v.clear();
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.get(0), None);
+        v.push(42);
+        assert_eq!(v.get(0), Some(&42));
+        assert_eq!(v.len(), 1);
+    }
+}

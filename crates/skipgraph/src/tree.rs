@@ -88,7 +88,9 @@ impl TreeView {
     }
 
     fn build_node(graph: &SkipGraph, level: usize, prefix: Prefix) -> Option<TreeNode> {
-        let members = graph.list_members(level, prefix);
+        // The tree view owns its member vectors, so this is the one place
+        // the borrowing list iterator is collected.
+        let members: Vec<NodeId> = graph.list_iter(level, prefix).collect();
         if members.is_empty() {
             return None;
         }
@@ -154,8 +156,10 @@ impl TreeView {
             None => return graph.is_empty(),
         };
         for node in root.preorder() {
-            let from_graph = graph.list_members(node.list.level, node.list.prefix);
-            if from_graph != node.members {
+            let matches = graph
+                .list_iter(node.list.level, node.list.prefix)
+                .eq(node.members.iter().copied());
+            if !matches {
                 return false;
             }
             if !node.is_leaf() {

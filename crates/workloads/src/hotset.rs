@@ -80,7 +80,7 @@ impl Workload for RotatingHotSet {
     }
 
     fn next_request(&mut self) -> Request {
-        if self.served > 0 && self.served % self.rotation_period == 0 {
+        if self.served > 0 && self.served.is_multiple_of(self.rotation_period) {
             self.rotate();
         }
         self.served += 1;

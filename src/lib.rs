@@ -1,0 +1,15 @@
+//! Workspace-root umbrella crate for the DSG reproduction.
+//!
+//! This crate exists so the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`) have a package to hang
+//! off; it simply re-exports the member crates. Library users should
+//! depend on the member crates (`dsg`, `dsg-skipgraph`, …) directly.
+
+#![forbid(unsafe_code)]
+
+pub use dsg;
+pub use dsg_baselines;
+pub use dsg_bench;
+pub use dsg_metrics;
+pub use dsg_skipgraph;
+pub use dsg_workloads;

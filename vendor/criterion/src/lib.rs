@@ -1,0 +1,289 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the criterion API the workspace's `benches/`
+//! use — `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a plain
+//! monotonic-clock measurement loop.
+//!
+//! Each benchmark is warmed up, then timed over `sample_size` samples; the
+//! median per-iteration time is reported on stdout as
+//! `bench: <group>/<id>  median <t> (<samples> samples)`.
+//!
+//! Environment knobs (used by CI to keep bench smokes short):
+//!
+//! * `BENCH_SAMPLE_SIZE` — overrides every group's sample size.
+//! * `BENCH_WARMUP_MS` — warm-up budget per benchmark (default 200 ms,
+//!   `0` disables warm-up).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendering, displayed as `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<N: Into<String>, P: fmt::Display>(name: N, param: P) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            param: String::new(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting one duration per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I: fmt::Display, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let report = run_benchmark(self.effective_sample_size(), &mut f);
+        self.criterion.record(&label, report);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: fmt::Display, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let report = run_benchmark(self.effective_sample_size(), &mut |b| f(b, input));
+        self.criterion.record(&label, report);
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility; reports are printed
+    /// eagerly).
+    pub fn finish(&mut self) {}
+
+    fn effective_sample_size(&self) -> usize {
+        env_usize("BENCH_SAMPLE_SIZE").unwrap_or(self.sample_size)
+    }
+}
+
+/// One benchmark's aggregate measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// The harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    reports: Vec<(String, Report)>,
+}
+
+impl Criterion {
+    /// Parses harness configuration from the process environment (the
+    /// upstream API reads CLI arguments; this stand-in only uses env vars).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let report = run_benchmark(env_usize("BENCH_SAMPLE_SIZE").unwrap_or(20), &mut f);
+        self.record(name, report);
+        self
+    }
+
+    /// All reports recorded so far, as `(label, report)` pairs.
+    pub fn reports(&self) -> &[(String, Report)] {
+        &self.reports
+    }
+
+    /// Prints a final summary (invoked by `criterion_main!`).
+    pub fn final_summary(&self) {
+        eprintln!("criterion-shim: {} benchmarks measured", self.reports.len());
+    }
+
+    fn record(&mut self, label: &str, report: Report) {
+        println!(
+            "bench: {label:<48} median {:>12?} ({} samples)",
+            report.median, report.samples
+        );
+        self.reports.push((label.to_string(), report));
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.parse().ok()
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(sample_size: usize, f: &mut F) -> Report {
+    // Warm-up: run the routine once (cheaply) to page code in and pick an
+    // iteration count that gives measurable samples.
+    let warmup_budget =
+        Duration::from_millis(env_usize("BENCH_WARMUP_MS").map_or(200, |ms| ms as u64));
+    let mut probe = Bencher {
+        samples: Vec::with_capacity(1),
+        sample_count: 1,
+        iters_per_sample: 1,
+    };
+    let probe_start = Instant::now();
+    f(&mut probe);
+    let single = probe
+        .samples
+        .first()
+        .copied()
+        .unwrap_or_else(|| probe_start.elapsed())
+        .max(Duration::from_nanos(1));
+    // Aim for ~5 ms per sample, capped to keep total time bounded.
+    let iters_per_sample = (Duration::from_millis(5).as_nanos() / single.as_nanos())
+        .clamp(1, 1_000_000) as u64;
+    if !warmup_budget.is_zero() {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < warmup_budget {
+            let mut b = Bencher {
+                samples: Vec::with_capacity(1),
+                sample_count: 1,
+                iters_per_sample: 1,
+            };
+            f(&mut b);
+        }
+    }
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_count: sample_size,
+        iters_per_sample,
+    };
+    f(&mut bencher);
+    let mut per_iter: Vec<Duration> = bencher
+        .samples
+        .iter()
+        .map(|d| *d / iters_per_sample as u32)
+        .collect();
+    per_iter.sort();
+    let median = per_iter
+        .get(per_iter.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    Report {
+        median,
+        samples: per_iter.len(),
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_a_report() {
+        std::env::set_var("BENCH_WARMUP_MS", "0");
+        std::env::set_var("BENCH_SAMPLE_SIZE", "3");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.reports().len(), 1);
+        assert_eq!(c.reports()[0].1.samples, 3);
+    }
+
+    #[test]
+    fn groups_and_ids_render_paths() {
+        let id = BenchmarkId::new("route", 256);
+        assert_eq!(id.to_string(), "route/256");
+    }
+}

@@ -1,0 +1,360 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the proptest API this workspace's tests use:
+//! the [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and
+//! tuple strategies, [`Just`], `collection::vec`, `ProptestConfig`, the
+//! `proptest!` macro and the `prop_assert*` macros.
+//!
+//! Unlike upstream proptest there is **no shrinking**: a failing case
+//! panics immediately with the seed of the failing iteration, which is
+//! enough for the deterministic, small-input properties tested here. Set
+//! `PROPTEST_CASES` to override the number of cases per property and
+//! `PROPTEST_SEED` to reproduce a reported failure.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The random source handed to strategies.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Creates a runner for one test case, seeded deterministically.
+    pub fn new_with_seed(seed: u64) -> Self {
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then uses it to build a second strategy to draw
+    /// from (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        (self.f)(self.inner.new_value(runner)).new_value(runner)
+    }
+}
+
+/// A strategy that always yields a clone of a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u64, u32, usize, i64, i32);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a size drawn from
+    /// a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn uniformly from `size` and
+    /// whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+            let len = runner.rng().random_range(self.size.clone());
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+}
+
+/// Per-property configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Effective case count, honouring the `PROPTEST_CASES` env override.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Runs `body` for every case of a property (used by the `proptest!`
+/// macro expansion; not part of the public upstream API).
+pub fn run_property<F: FnMut(&mut TestRunner)>(name: &str, config: &ProptestConfig, mut body: F) {
+    let base_seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let cases = if base_seed.is_some() {
+        1
+    } else {
+        config.effective_cases()
+    };
+    for case in 0..cases as u64 {
+        // Derive a per-case seed from the property name so properties are
+        // independent of declaration order.
+        let mut seed = base_seed.unwrap_or(0xD5_6A5u64);
+        for byte in name.bytes() {
+            seed = seed.wrapping_mul(0x100000001b3).wrapping_add(byte as u64);
+        }
+        let seed = seed.wrapping_add(case.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut runner = TestRunner::new_with_seed(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            body(&mut runner);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest-shim: property '{name}' failed at case {case}; \
+                 rerun with PROPTEST_SEED={seed}"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Everything a test normally imports.
+pub mod prelude {
+    pub use super::collection;
+    pub use super::{Just, ProptestConfig, Strategy, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property (panics on failure; the shim does
+/// not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Declares property tests. Mirrors the upstream macro shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..10, (a, b) in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::run_property(stringify!($name), &config, |__runner| {
+                $crate::__proptest_bindings! { (__runner) $($params)* }
+                $body
+            });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    (($runner:ident)) => {};
+    (($runner:ident) $pat:pat in $strategy:expr) => {
+        let $pat = $crate::Strategy::new_value(&$strategy, $runner);
+    };
+    (($runner:ident) $pat:pat in $strategy:expr, $($rest:tt)*) => {
+        let $pat = $crate::Strategy::new_value(&$strategy, $runner);
+        $crate::__proptest_bindings! { ($runner) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u64, u64)> {
+        (2u64..20).prop_flat_map(|n| (Just(n), 0u64..n))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_generate_in_bounds(x in 3u64..17, y in -5i64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn flat_map_respects_dependency((n, k) in pair()) {
+            prop_assert!(k < n);
+        }
+
+        #[test]
+        fn vec_strategy_sizes_and_elements(v in collection::vec(0i64..100, 1..30)) {
+            prop_assert!(!v.is_empty() && v.len() < 30);
+            prop_assert!(v.iter().all(|e| (0..100).contains(e)));
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_seed() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_property("always_fails", &ProptestConfig::with_cases(2), |_r| {
+                panic!("boom");
+            });
+        });
+        assert!(result.is_err());
+    }
+}

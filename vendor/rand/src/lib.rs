@@ -1,0 +1,289 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the (small) API subset the workspace uses: the [`Rng`] core
+//! trait, the [`RngExt`] extension methods (`random`, `random_bool`,
+//! `random_range`), [`SeedableRng`] and the deterministic [`rngs::StdRng`]
+//! generator (xoshiro256++, seeded via SplitMix64). Sequences are
+//! deterministic per seed but are *not* bit-compatible with upstream
+//! `rand`; everything in this repository only relies on per-seed
+//! determinism, never on specific streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random number generation: a source of uniform `u64`s.
+pub trait Rng {
+    /// Returns the next uniformly distributed 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from their "standard" distribution
+/// (`f64` in `[0, 1)`, integers over their full range, `bool` fair coin).
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 high-quality mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample an empty range");
+                // Modular span; 0 encodes the full 64-bit range.
+                let span = (end as u128)
+                    .wrapping_sub(start as u128)
+                    .wrapping_add(1) as u64;
+                start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl StandardSample for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u16, u8, i64, i32, i16, i8);
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        self.start
+            .wrapping_add(uniform_below(rng, self.end.wrapping_sub(self.start)))
+    }
+}
+
+impl SampleRange<u64> for RangeInclusive<u64> {
+    fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> u64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample an empty range");
+        let span = end.wrapping_sub(start).wrapping_add(1);
+        if span == 0 {
+            return rng.next_u64();
+        }
+        start.wrapping_add(uniform_below(rng, span))
+    }
+}
+
+impl SampleRange<u32> for Range<u32> {
+    fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> u32 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        self.start + uniform_below(rng, (self.end - self.start) as u64) as u32
+    }
+}
+
+impl SampleRange<u32> for RangeInclusive<u32> {
+    fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> u32 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample an empty range");
+        start + uniform_below(rng, (end - start) as u64 + 1) as u32
+    }
+}
+
+/// Unbiased uniform draw from `[0, bound)` via Lemire-style rejection
+/// (multiply-shift with a widening check). `bound == 0` means the full
+/// 64-bit range.
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    if bound == 0 {
+        return rng.next_u64();
+    }
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let low = m as u64;
+        if low >= bound || low >= bound.wrapping_neg() % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Ranges a value of type `T` can be drawn uniformly from.
+pub trait SampleRange<T> {
+    /// Draws one value of the range from `rng`.
+    fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a value from the type's standard distribution.
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        f64::sample(self) < p
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_in(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Construction of reproducible generators from small seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a deterministic function of
+    /// `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// seeded through SplitMix64. Small, fast, and statistically solid for
+    /// simulation purposes (not cryptographic).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.random_range(0usize..=3);
+            assert!(y <= 3);
+            let z: f64 = rng.random();
+            assert!((0.0..1.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn random_bool_respects_extremes_and_rates() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+        let hits = (0..20_000).filter(|_| rng.random_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((0.22..0.28).contains(&rate), "rate {rate} off from 0.25");
+    }
+
+    #[test]
+    fn uniform_draws_cover_small_ranges() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn works_through_unsized_references() {
+        fn draw(rng: &mut (impl Rng + ?Sized)) -> bool {
+            rng.random_bool(0.5)
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let dynrng: &mut dyn Rng = &mut rng;
+        let _ = draw(dynrng);
+    }
+}
