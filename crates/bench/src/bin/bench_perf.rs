@@ -28,7 +28,7 @@ use std::time::Instant;
 use dsg::DsgConfig;
 use dsg_bench::{
     perf_trace_len, reference_graph_like, route_pairs, run_dsg, workload_trace, WorkloadKind,
-    SIZES,
+    COMM_SIZES, SIZES,
 };
 use dsg_skipgraph::fixtures;
 
@@ -68,6 +68,7 @@ struct CommRow {
     n: u64,
     requests: usize,
     elapsed_ns: u128,
+    transform_touched_pairs: usize,
 }
 
 impl CommRow {
@@ -150,7 +151,7 @@ fn measure_neighbors(reps: usize) -> Vec<MicroRow> {
 
 fn measure_communicate(quick: bool) -> Vec<CommRow> {
     let mut rows = Vec::new();
-    for &n in SIZES {
+    for &n in COMM_SIZES {
         let m = perf_trace_len(n, quick);
         for kind in [
             WorkloadKind::Uniform,
@@ -168,12 +169,14 @@ fn measure_communicate(quick: bool) -> Vec<CommRow> {
             let start = Instant::now();
             let run = run_dsg(n, DsgConfig::default().with_seed(1), &trace);
             let elapsed_ns = start.elapsed().as_nanos();
+            let transform_touched_pairs = run.total_touched_pairs();
             std::hint::black_box(run);
             rows.push(CommRow {
                 workload: kind.label(),
                 n,
                 requests: m,
                 elapsed_ns,
+                transform_touched_pairs,
             });
         }
     }
@@ -227,12 +230,14 @@ fn main() {
         let _ = write!(
             comm_json,
             "\n    {{\"workload\": \"{}\", \"n\": {}, \"requests\": {}, \
-             \"elapsed_ms\": {:.2}, \"requests_per_sec\": {:.1}}}",
+             \"elapsed_ms\": {:.2}, \"requests_per_sec\": {:.1}, \
+             \"transform_touched_pairs\": {}}}",
             row.workload,
             row.n,
             row.requests,
             row.elapsed_ns as f64 / 1e6,
-            row.requests_per_sec()
+            row.requests_per_sec(),
+            row.transform_touched_pairs
         );
     }
     comm_json.push_str("\n  ]");
@@ -258,10 +263,11 @@ fn main() {
     }
     for row in &communicate {
         eprintln!(
-            "communicate {:>11} n={:<5} {:>10.1} req/s",
+            "communicate {:>11} n={:<5} {:>10.1} req/s   {:>9} touched pairs",
             row.workload,
             row.n,
-            row.requests_per_sec()
+            row.requests_per_sec(),
+            row.transform_touched_pairs
         );
     }
     eprintln!("bench_perf: wrote {output}");

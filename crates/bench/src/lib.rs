@@ -21,9 +21,15 @@ use dsg_skipgraph::reference::ReferenceGraph;
 use dsg_skipgraph::{Key, SkipGraph};
 use dsg_workloads::{Request, RotatingHotSet, Trace, UniformRandom, Workload, ZipfPairs};
 
-/// The network sizes the perf suite sweeps (`benches/core.rs` and the
-/// `bench_perf` binary).
+/// The network sizes the micro perf suite sweeps (`benches/core.rs` and
+/// the `route`/`neighbors` tables of the `bench_perf` binary).
 pub const SIZES: &[u64] = &[256, 1024, 4096];
+
+/// The network sizes the end-to-end `communicate` throughput suite sweeps.
+/// n = 8192 became feasible once the transformation install went
+/// differential (PR 2); the microbenchmarks keep the smaller sweep so the
+/// reference-representation comparison stays affordable.
+pub const COMM_SIZES: &[u64] = &[256, 1024, 4096, 8192];
 
 /// The three canonical workload shapes of the perf suite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +145,10 @@ pub struct DsgRun {
     pub working_sets: Vec<usize>,
     /// Level of the direct link created for each request.
     pub pair_levels: Vec<usize>,
+    /// Changed `(node, level)` pairs the differential install touched, per
+    /// request (the work the install performed; a full per-node re-splice
+    /// would touch every pair of every member instead).
+    pub touched_pairs: Vec<usize>,
     /// Dummy nodes alive after the whole trace.
     pub final_dummies: usize,
     /// Whether the a-balance property held after every request.
@@ -177,6 +187,11 @@ impl DsgRun {
     pub fn max_height(&self) -> usize {
         self.heights.iter().copied().max().unwrap_or(0)
     }
+
+    /// Total changed `(node, level)` pairs installed over the whole trace.
+    pub fn total_touched_pairs(&self) -> usize {
+        self.touched_pairs.iter().sum()
+    }
 }
 
 /// Replays `trace` on a fresh `n`-peer [`DynamicSkipGraph`] built with
@@ -205,7 +220,11 @@ pub fn run_dsg(n: u64, config: DsgConfig, trace: &[Request]) -> DsgRun {
         run.heights.push(outcome.height_after);
         run.working_sets.push(ws);
         run.pair_levels.push(outcome.pair_level);
-        if !net.balance_report().is_balanced() {
+        run.touched_pairs.push(outcome.touched_pairs);
+        // Once a single unbalanced state has been observed the flag cannot
+        // recover, so the (whole-graph) balance sweep is skipped from then
+        // on — same result, no redundant O(n · height) work per request.
+        if run.always_balanced && !net.balance_report().is_balanced() {
             run.always_balanced = false;
         }
     }

@@ -81,9 +81,22 @@ impl MedianFinder for ExactMedian {
 }
 
 /// The paper's randomised distributed AMF algorithm.
+///
+/// The per-position climb buffers and sampling scratch are owned by the
+/// engine and recycled across calls: a transformation runs one median per
+/// list of the rebuilt subtree, and rebuilding these vectors from scratch
+/// for every list made the engine allocation-bound. The recycling changes
+/// no arithmetic and draws no extra randomness, so results are identical
+/// to the allocating version.
 #[derive(Debug)]
 pub struct AmfMedian {
     rng: StdRng,
+    skip_list: Option<BalancedSkipList>,
+    tiny: Vec<Priority>,
+    buffers: Vec<Vec<RankedValue>>,
+    gathered: Vec<Vec<RankedValue>>,
+    keep_indices: Vec<usize>,
+    kept: Vec<RankedValue>,
 }
 
 impl AmfMedian {
@@ -92,6 +105,12 @@ impl AmfMedian {
     pub fn new(seed: u64) -> Self {
         AmfMedian {
             rng: StdRng::seed_from_u64(seed),
+            skip_list: None,
+            tiny: Vec::new(),
+            buffers: Vec::new(),
+            gathered: Vec::new(),
+            keep_indices: Vec::new(),
+            kept: Vec::new(),
         }
     }
 }
@@ -112,32 +131,45 @@ impl MedianFinder for AmfMedian {
         let n = values.len();
         if n <= 2 * a {
             // Tiny lists: the left-most node can gather everything directly
-            // in O(a) rounds; return the exact upper median.
-            let mut sorted = values.to_vec();
-            sorted.sort();
+            // in O(a) rounds; return the exact upper median. (`tiny` is a
+            // recycled buffer — a transformation computes medians for
+            // thousands of small lists per request.)
+            self.tiny.clear();
+            self.tiny.extend_from_slice(values);
+            self.tiny.sort();
             return MedianOutcome {
-                median: sorted[sorted.len() / 2],
+                median: self.tiny[self.tiny.len() / 2],
                 rounds: n + 1,
                 skip_list_height: 0,
             };
         }
-        let skip_list = BalancedSkipList::build(n, a, &mut self.rng);
+        let skip_list = match self.skip_list.as_mut() {
+            Some(list) => {
+                list.rebuild(n, a, &mut self.rng);
+                &*list
+            }
+            None => self
+                .skip_list
+                .insert(BalancedSkipList::build(n, a, &mut self.rng)),
+        };
         let h = skip_list.height();
         let sample_size = (a * h.max(1)).max(2);
         // Levels below this threshold only gather; sampling starts here.
         let sampling_start = ((h.max(2) as f64).log((a as f64 / 2.0).max(1.5)).ceil() as usize) + 1;
 
-        // Per-position buffers of ranked values at the current level.
-        let mut buffers: Vec<Vec<RankedValue>> = values
-            .iter()
-            .map(|&value| {
-                vec![RankedValue {
-                    value,
-                    left_rank: 0,
-                    right_rank: 0,
-                }]
-            })
-            .collect();
+        // Per-position buffers of ranked values at the current level
+        // (recycled allocations; only the first `n` slots are used).
+        if self.buffers.len() < n {
+            self.buffers.resize_with(n, Vec::new);
+        }
+        for (slot, &value) in self.buffers.iter_mut().zip(values) {
+            slot.clear();
+            slot.push(RankedValue {
+                value,
+                left_rank: 0,
+                right_rank: 0,
+            });
+        }
 
         let mut rounds = skip_list.construction_rounds();
 
@@ -148,43 +180,56 @@ impl MedianFinder for AmfMedian {
             // upper-level member to its left (position 0 is always in the
             // upper level). The number of rounds is bounded by the largest
             // support gap.
-            let mut gathered: Vec<Vec<RankedValue>> = vec![Vec::new(); upper.len()];
+            if self.gathered.len() < upper.len() {
+                self.gathered.resize_with(upper.len(), Vec::new);
+            }
+            for bucket in self.gathered.iter_mut().take(upper.len()) {
+                bucket.clear();
+            }
             let mut max_gap = 0usize;
+            // The owner of a lower member is the last upper member at or
+            // before it; both sequences are ascending, so a two-pointer
+            // sweep replaces the per-member binary searches. `owner_pos_idx`
+            // tracks the owner's own index in `lower` (for the gap bound).
+            let mut owner_idx = 0usize;
+            let mut owner_pos_idx = 0usize;
             for (idx, &pos) in lower.iter().enumerate() {
-                // Find the owner: the last upper member at or before `pos`.
-                let owner_idx = match upper.binary_search(&pos) {
-                    Ok(i) => i,
-                    Err(i) => i.saturating_sub(1),
-                };
-                let owner_pos_idx = lower
-                    .binary_search(&upper[owner_idx])
-                    .expect("upper members exist in lower level");
+                while owner_idx + 1 < upper.len() && upper[owner_idx + 1] <= pos {
+                    owner_idx += 1;
+                    while lower[owner_pos_idx] < upper[owner_idx] {
+                        owner_pos_idx += 1;
+                    }
+                }
                 max_gap = max_gap.max(idx - owner_pos_idx);
-                gathered[owner_idx].append(&mut buffers[pos]);
+                let source = &mut self.buffers[pos];
+                self.gathered[owner_idx].append(source);
             }
             rounds += max_gap.max(1);
 
             // Sampling from level `sampling_start` upward (and always at the
-            // root so that the final list stays O(a·h)).
+            // root so that the final list stays O(a·h)). Every position's
+            // buffer was drained into a bucket above, so writing the kept
+            // values back to the upper members' positions leaves the rest
+            // empty, exactly like rebuilding the buffer table from scratch.
             let do_sample = level >= sampling_start || level == h;
-            let mut new_buffers: Vec<Vec<RankedValue>> = vec![Vec::new(); n];
-            for (owner_idx, mut bucket) in gathered.into_iter().enumerate() {
+            for (owner_idx, &target) in upper.iter().enumerate() {
+                let bucket = &mut self.gathered[owner_idx];
                 bucket.sort_by_key(|x| x.value);
-                let kept = if do_sample && bucket.len() > sample_size {
+                if do_sample && bucket.len() > sample_size {
                     rounds += 1; // local sort + sample round
-                    sample_with_ranks(&bucket, sample_size)
+                    sample_with_ranks(bucket, sample_size, &mut self.keep_indices, &mut self.kept);
+                    self.buffers[target].clear();
+                    self.buffers[target].extend_from_slice(&self.kept);
                 } else {
-                    bucket
-                };
-                new_buffers[skip_list.level_members(level)[owner_idx]] = kept;
+                    std::mem::swap(&mut self.buffers[target], bucket);
+                }
             }
-            buffers = new_buffers;
         }
 
         // The left-most node now holds the surviving values; pick the one
         // whose estimated global rank is closest to n/2 (counting from the
         // top, i.e. rank 0 = largest).
-        let final_values = &buffers[0];
+        let final_values = &self.buffers[0];
         let median = pick_by_rank(final_values, n);
         // Broadcast the median back to every node of the list.
         rounds += skip_list.broadcast_rounds();
@@ -200,16 +245,22 @@ impl MedianFinder for AmfMedian {
 /// Uniformly samples `sample_size` values from a sorted bucket, folding the
 /// discarded values' counts and ranks into the nearest kept value (larger
 /// discarded values increase the kept value's left rank, smaller ones its
-/// right rank).
-fn sample_with_ranks(sorted: &[RankedValue], sample_size: usize) -> Vec<RankedValue> {
+/// right rank). `keep_indices` and `kept` are caller-owned scratch buffers
+/// (overwritten); `kept` holds the result.
+fn sample_with_ranks(
+    sorted: &[RankedValue],
+    sample_size: usize,
+    keep_indices: &mut Vec<usize>,
+    kept: &mut Vec<RankedValue>,
+) {
     let len = sorted.len();
     debug_assert!(sample_size >= 2);
     // Indices of kept values: evenly spaced, always keeping both extremes.
-    let mut keep_indices: Vec<usize> = (0..sample_size)
-        .map(|i| i * (len - 1) / (sample_size - 1))
-        .collect();
+    keep_indices.clear();
+    keep_indices.extend((0..sample_size).map(|i| i * (len - 1) / (sample_size - 1)));
     keep_indices.dedup();
-    let mut kept: Vec<RankedValue> = keep_indices.iter().map(|&i| sorted[i]).collect();
+    kept.clear();
+    kept.extend(keep_indices.iter().map(|&i| sorted[i]));
     // Fold discarded values into the nearest kept value above/below them.
     for (idx, value) in sorted.iter().enumerate() {
         if keep_indices.binary_search(&idx).is_ok() {
@@ -228,7 +279,6 @@ fn sample_with_ranks(sorted: &[RankedValue], sample_size: usize) -> Vec<RankedVa
             kept[below].left_rank += 1 + value.left_rank + value.right_rank;
         }
     }
-    kept
 }
 
 /// Picks from the surviving values the one whose estimated global rank is

@@ -14,6 +14,26 @@ pub enum MedianStrategy {
     Exact,
 }
 
+/// How the transformation's new membership vectors are installed into the
+/// skip graph substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InstallStrategy {
+    /// Differential batched install: only the members whose vector actually
+    /// changes are touched; the changed `(node, level)` pairs are grouped
+    /// by target list and each affected list is relinked in one ordered
+    /// splice pass
+    /// ([`SkipGraph::apply_membership_batch`](dsg_skipgraph::SkipGraph::apply_membership_batch)).
+    #[default]
+    Batched,
+    /// One
+    /// [`set_membership_suffix`](dsg_skipgraph::SkipGraph::set_membership_suffix)
+    /// call per member of `l_α` — the naive reference path, kept for the
+    /// differential agreement tests and as an ablation baseline. Observably
+    /// identical to [`InstallStrategy::Batched`], just Θ(n · height) per
+    /// request.
+    PerNode,
+}
+
 /// Configuration for a [`DynamicSkipGraph`](crate::DynamicSkipGraph).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DsgConfig {
@@ -30,6 +50,8 @@ pub struct DsgConfig {
     /// transformation (§IV-F). Disabling it is an ablation knob for
     /// experiment E10.
     pub maintain_balance: bool,
+    /// How new membership vectors are installed after a transformation.
+    pub install: InstallStrategy,
 }
 
 impl Default for DsgConfig {
@@ -39,6 +61,7 @@ impl Default for DsgConfig {
             median: MedianStrategy::default(),
             seed: 0xD56,
             maintain_balance: true,
+            install: InstallStrategy::default(),
         }
     }
 }
@@ -71,6 +94,12 @@ impl DsgConfig {
     /// Enables or disables a-balance maintenance (dummy nodes).
     pub fn with_balance_maintenance(mut self, on: bool) -> Self {
         self.maintain_balance = on;
+        self
+    }
+
+    /// Selects the membership-vector install strategy.
+    pub fn with_install(mut self, install: InstallStrategy) -> Self {
+        self.install = install;
         self
     }
 }

@@ -72,6 +72,12 @@ pub struct RunStats {
     pub live_dummy_nodes: usize,
     /// Total number of dummy nodes ever created for a-balance repair.
     pub dummy_nodes_created: usize,
+    /// Total changed `(node, level)` pairs installed by transformations —
+    /// the work the differential install performs, as opposed to the
+    /// Θ(n · height) a full per-node re-splice would (experiments surface
+    /// this to show the diff-install win per workload, not just via wall
+    /// clock).
+    pub transform_touched_pairs: usize,
 }
 
 impl RunStats {

@@ -18,10 +18,10 @@ use std::collections::{HashMap, HashSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use dsg_skipgraph::{Key, MembershipVector, NodeId, SkipGraph};
+use dsg_skipgraph::{FastHashState, Key, MembershipVector, NodeId, Prefix, SkipGraph};
 
 use crate::amf::{AmfMedian, ExactMedian, MedianFinder};
-use crate::config::{DsgConfig, MedianStrategy};
+use crate::config::{DsgConfig, InstallStrategy, MedianStrategy};
 use crate::cost::{CostBreakdown, RunStats};
 use crate::dummy;
 use crate::error::DsgError;
@@ -42,6 +42,10 @@ pub struct RequestOutcome {
     pub alpha: usize,
     /// The level `d'` at which the pair now forms a two-node list.
     pub pair_level: usize,
+    /// Changed `(node, level)` pairs installed by the transformation — the
+    /// quantity the differential install's work is proportional to (0 when
+    /// the recomputed vectors all matched the installed ones).
+    pub touched_pairs: usize,
     /// The per-step round accounting.
     pub breakdown: CostBreakdown,
     /// Structure height after the transformation.
@@ -87,10 +91,18 @@ impl MedianEngine {
 #[derive(Debug, Default)]
 struct CommScratch {
     members: Vec<NodeId>,
-    old_mvecs: HashMap<NodeId, MembershipVector>,
-    u_group_before: HashSet<NodeId>,
-    v_group_before: HashSet<NodeId>,
+    old_mvecs: HashMap<NodeId, MembershipVector, FastHashState>,
+    u_group_before: HashSet<NodeId, FastHashState>,
+    v_group_before: HashSet<NodeId, FastHashState>,
     groups: GroupScratch,
+    /// Lists whose membership or split pattern the install changed — the
+    /// scope of the differential dummy GC and balance repair. Filled by the
+    /// batch installer (epoch-deduplicated) or derived from the diff plan
+    /// on the per-node reference path; sorted + deduplicated before the
+    /// repair so its order is deterministic.
+    affected: Vec<(usize, Prefix)>,
+    /// Stale dummies found in affected lists, pending destruction.
+    stale_dummies: Vec<NodeId>,
 }
 
 /// A locally self-adjusting skip graph (the paper's DSG algorithm).
@@ -518,20 +530,26 @@ impl DynamicSkipGraph {
         let route = self.graph.route_ids(u_id, v_id)?;
         let routing_cost = route.intermediate_nodes();
 
-        // Step 1b: find α and notify every node of l_α. Dummy nodes destroy
-        // themselves upon receiving the notification (§IV-F). The member
-        // snapshot and the group/vector snapshots below live in reusable
-        // scratch buffers (cleared, capacity retained): after warm-up a
-        // request allocates nothing here. `scratch` is a disjoint field
-        // borrow, so it coexists with the graph/states borrows below.
+        // Step 1b: find α and notify every node of l_α. Dummy nodes are
+        // routing-only placeholders, so they are excluded from the member
+        // snapshot; unlike the wholesale self-destruction of §IV-F they are
+        // garbage-collected *differentially* after the install below — only
+        // the dummies sitting in lists the transformation actually rebuilt
+        // are destroyed, the rest keep balancing lists that did not change.
+        // The member snapshot and the group/vector snapshots below live in
+        // reusable scratch buffers (cleared, capacity retained): after
+        // warm-up a request allocates nothing here. `scratch` is a disjoint
+        // field borrow, so it coexists with the graph/states borrows below.
         let alpha = self.graph.common_level(u_id, v_id)?;
         let scratch = &mut self.scratch;
         scratch.members.clear();
-        scratch.members.extend(self.graph.list_of_iter(u_id, alpha)?);
-        let destroyed =
-            dummy::destroy_dummies(&mut self.graph, &mut self.states, &scratch.members);
-        if !destroyed.is_empty() {
-            scratch.members.retain(|id| !destroyed.contains(id));
+        {
+            let graph = &self.graph;
+            scratch.members.extend(
+                graph
+                    .list_of_iter(u_id, alpha)?
+                    .filter(|&id| !graph.node(id).map(|e| e.is_dummy()).unwrap_or(false)),
+            );
         }
         let members = &scratch.members;
         // Broadcasting the notification through the sub skip graph rooted at
@@ -574,19 +592,44 @@ impl DynamicSkipGraph {
             alpha,
             a: self.config.a,
         };
-        let outcome = transform::run_transformation(
-            &self.graph,
-            &mut self.states,
-            self.median.as_finder(),
-            &input,
-            members,
-        );
+        let outcome = match self.config.install {
+            // The batched installer only needs the diff plan, so the full
+            // per-member suffix map is skipped.
+            InstallStrategy::Batched => transform::run_transformation_lean(
+                &self.graph,
+                &mut self.states,
+                self.median.as_finder(),
+                &input,
+                members,
+            ),
+            InstallStrategy::PerNode => transform::run_transformation(
+                &self.graph,
+                &mut self.states,
+                self.median.as_finder(),
+                &input,
+                members,
+            ),
+        };
 
-        // Install the new membership vectors.
-        for (&node, bits) in &outcome.suffixes {
-            self.graph
-                .set_membership_suffix(node, alpha + 1, bits.iter().copied())?;
-        }
+        // Install the new membership vectors. The batched path touches only
+        // the changed (node, level) pairs reported by the transformation;
+        // the per-node path re-splices every member and is kept as the
+        // observably-identical reference (differential tests compare the
+        // two end to end).
+        let touched_pairs = match self.config.install {
+            InstallStrategy::Batched => self
+                .graph
+                .apply_membership_batch_collecting(&outcome.changes, &mut scratch.affected)?,
+            InstallStrategy::PerNode => {
+                for &node in members.iter() {
+                    if let Some(bits) = outcome.suffixes.get(&node) {
+                        self.graph
+                            .set_membership_suffix(node, alpha + 1, bits.iter().copied())?;
+                    }
+                }
+                outcome.touched_pairs
+            }
+        };
 
         // Step 10: group-ids and group-bases below α (Appendix C).
         let group_input = GroupUpdateInput {
@@ -618,17 +661,53 @@ impl DynamicSkipGraph {
         };
         timestamps::apply_timestamp_rules(&self.graph, &mut self.states, &ts_input);
 
-        // Step 7 (deferred): a-balance repair with dummy nodes.
+        // Step 7 (deferred): differential dummy GC and a-balance repair.
+        // The affected set — every list whose membership or next-level
+        // split pattern the install changed — is derived from the diff
+        // plan: for a node whose vector changed from `from_level` upward,
+        // the lists along its old and new prefix paths from `from_level - 1`
+        // (the deepest list whose *runs* changed) to its old/new top.
         let mut dummies_inserted = 0usize;
         let mut repair_rounds = 0usize;
         if self.config.maintain_balance {
-            let scope_prefix = self.graph.mvec_of(u_id)?.prefix(alpha);
-            let repair = dummy::repair_balance(
+            let batched = matches!(self.config.install, InstallStrategy::Batched);
+            if !batched {
+                // Reference path: derive the affected lists from the diff
+                // plan (the batched installer collects them as it goes).
+                scratch.affected.clear();
+                for change in &outcome.changes {
+                    let old = &scratch.old_mvecs[&change.node];
+                    for level in (change.from_level - 1)..=old.len() {
+                        scratch.affected.push((level, old.prefix(level)));
+                    }
+                    for level in (change.from_level - 1)..=change.new_mvec.len() {
+                        scratch.affected.push((level, change.new_mvec.prefix(level)));
+                    }
+                }
+                scratch.affected.sort_unstable();
+                scratch.affected.dedup();
+            }
+            // Stale dummies inside affected lists destroy themselves (the
+            // §IV-F notification, scoped to the rebuilt lists); their own
+            // prefix paths join the re-check set, since removing them can
+            // merge runs anywhere along the way.
+            dummy::destroy_dummies_in_lists(
+                &mut self.graph,
+                &mut self.states,
+                alpha,
+                &mut scratch.affected,
+                &mut scratch.stale_dummies,
+                batched,
+            );
+            scratch.affected.sort_unstable();
+            scratch.affected.dedup();
+            let repair = dummy::repair_balance_incremental(
                 &mut self.graph,
                 &mut self.states,
                 self.config.a,
                 Some((Self::internal_key(u), Self::internal_key(v))),
-                Some((alpha, scope_prefix)),
+                alpha,
+                &mut scratch.affected,
             );
             dummies_inserted = repair.inserted.len();
             repair_rounds = repair.rounds;
@@ -645,12 +724,14 @@ impl DynamicSkipGraph {
         };
         let height_after = self.graph.height();
         self.stats.record(&breakdown, height_after);
+        self.stats.transform_touched_pairs += touched_pairs;
 
         Ok(RequestOutcome {
             time: t,
             routing_cost,
             alpha,
             pair_level: outcome.pair_level,
+            touched_pairs,
             breakdown,
             height_after,
             dummies_inserted,

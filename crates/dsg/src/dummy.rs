@@ -7,9 +7,25 @@
 //! routing-only nodes — in the sibling subgraph so that no run of same-bit
 //! members is longer than `a`. A dummy node holds no data, owns `O(log n)`
 //! links like a regular node, and destroys itself the next time it receives
-//! a transformation notification. At most `n / a` dummy nodes can exist.
+//! a transformation notification. The paper bounds the dummies placed for a
+//! rearranged level by `n / a`; this implementation repairs every level, so
+//! its live population is bounded by that per-level bound times the height.
+//!
+//! Two repair entry points exist. [`repair_balance`] is the full sweep used
+//! after membership churn (join/leave): global balance check, repair,
+//! repeat. [`repair_balance_incremental`] is the differential form driven
+//! by [`DynamicSkipGraph::communicate`](crate::DynamicSkipGraph): it
+//! re-checks only the lists the transformation install actually changed
+//! (plus, transitively, the runs around each dummy the repair itself
+//! inserts), so its cost is proportional to the change, not the structure.
+//! Relatedly, the paper's "dummies destroy themselves on notification" is
+//! applied differentially by [`destroy_dummies_in_lists`]: only dummies
+//! sitting in rebuilt lists self-destruct — a dummy in an untouched list
+//! still breaks exactly the run it was placed for, so destroying and
+//! re-creating it each request (the literal reading) would be pure churn
+//! with an observably identical end state.
 
-use dsg_skipgraph::{Bit, Key, MembershipVector, NodeId, SkipGraph};
+use dsg_skipgraph::{BalanceViolation, Bit, Key, MembershipVector, NodeId, Prefix, SkipGraph};
 
 use crate::state::StateTable;
 
@@ -74,9 +90,8 @@ pub fn repair_balance(
     // a run there; each pass repairs one "layer" of damage, so the number of
     // passes is bounded by the structure height (plus slack).
     let max_passes = graph.height() + 10;
-    // Reused across violations/passes: the member snapshot of the list a
-    // violation was found in (a snapshot is needed because dummy insertion
-    // mutates the graph while the run is being repaired).
+    // Reused across violations/passes: the member snapshot of the run being
+    // repaired (dummy insertion mutates the chain while the run is walked).
     let mut list_buf: Vec<NodeId> = Vec::new();
     for _pass in 0..max_passes {
         let report = graph.check_balance(a);
@@ -90,55 +105,7 @@ pub fn repair_balance(
                 continue;
             }
             repaired_any = true;
-            list_buf.clear();
-            list_buf.extend(graph.list_iter(violation.level, violation.prefix));
-            // Locate the run inside the list.
-            let start = match list_buf.iter().position(|id| {
-                graph
-                    .node(*id)
-                    .map(|e| e.key() == violation.start_key)
-                    .unwrap_or(false)
-            }) {
-                Some(idx) => idx,
-                None => continue,
-            };
-            let run = &list_buf[start..(start + violation.run_length).min(list_buf.len())];
-            // Insert a dummy after every a-th member of the run, keyed
-            // between its neighbours, living in the sibling subgraph at the
-            // next level. A slot that coincides with the protected adjacency
-            // (the pair that just communicated) is shifted one step left so
-            // the pair's direct link survives.
-            let is_protected_slot = |graph: &SkipGraph, left: NodeId, right: NodeId| {
-                protect.is_some_and(|(pk1, pk2)| {
-                    let lk = graph.key_of(left).expect("run member is live");
-                    let rk = graph.key_of(right).expect("run member is live");
-                    (lk == pk1 && rk == pk2) || (lk == pk2 && rk == pk1)
-                })
-            };
-            let mut position = a;
-            while position < run.len() {
-                let mut slot = position;
-                if is_protected_slot(graph, run[slot - 1], run[slot]) && slot >= 2 {
-                    slot -= 1;
-                }
-                let left = run[slot - 1];
-                let right = run[slot];
-                let left_key = graph.key_of(left).expect("run member is live").value();
-                let right_key = graph.key_of(right).expect("run member is live").value();
-                match free_key_between(graph, left_key, right_key) {
-                    Some(key) => {
-                        let mut mvec = prefix_vector(&violation.prefix);
-                        mvec.push(violation.bit.flipped()).expect("within height limit");
-                        if let Ok(id) = graph.insert_dummy(Key::new(key), mvec) {
-                            states.register(id, Key::new(key), violation.level + 1);
-                            outcome.inserted.push(id);
-                            outcome.rounds += 1;
-                        }
-                    }
-                    None => outcome.unrepairable_runs += 1,
-                }
-                position = slot + a;
-            }
+            repair_violation(graph, states, a, protect, violation, &mut list_buf, &mut outcome);
         }
         if !repaired_any {
             // Every remaining violation lies outside the repair scope; the
@@ -150,22 +117,194 @@ pub fn repair_balance(
     outcome
 }
 
-/// Removes the dummy nodes among `members` (they destroy themselves upon
-/// receiving a transformation notification, §IV-F). Returns the ids of the
-/// destroyed dummies.
-pub fn destroy_dummies(
+/// Incremental a-balance repair: instead of sweeping the whole graph per
+/// pass, only the lists named in `worklist` are checked — after a
+/// differential transformation these are exactly the lists whose membership
+/// or next-level split pattern changed, so the repair cost is proportional
+/// to the change, not to the structure size. Each inserted dummy enqueues
+/// its own lists (at levels ≥ `floor`, mirroring the scope rule of
+/// [`repair_balance`]) for the next pass, so follow-up damage from the
+/// insertions themselves is still caught.
+///
+/// `worklist` is consumed; it must be deduplicated, and a sorted order makes
+/// the repair (and hence the dummy keys it picks) deterministic.
+pub fn repair_balance_incremental(
     graph: &mut SkipGraph,
     states: &mut StateTable,
-    members: &[NodeId],
-) -> Vec<NodeId> {
-    let mut destroyed = Vec::new();
-    for &id in members {
-        let is_dummy = graph.node(id).map(|e| e.is_dummy()).unwrap_or(false);
-        if is_dummy {
-            let _ = graph.remove(id);
-            states.unregister(id);
-            destroyed.push(id);
+    a: usize,
+    protect: Option<(Key, Key)>,
+    floor: usize,
+    worklist: &mut Vec<(usize, Prefix)>,
+) -> DummyRepairOutcome {
+    let mut outcome = DummyRepairOutcome::default();
+    let max_passes = graph.height() + 10;
+    let mut list_buf: Vec<NodeId> = Vec::new();
+    let mut violations: Vec<BalanceViolation> = Vec::new();
+    let mut prev_pass_dummies: Vec<NodeId> = Vec::new();
+    for pass in 0..max_passes {
+        violations.clear();
+        let pass_inserted_from = outcome.inserted.len();
+        if pass == 0 {
+            // First pass: full scan of the lists the install changed.
+            for &(level, prefix) in worklist.iter() {
+                graph.list_balance_violations(a, level, prefix, &mut violations);
+            }
+        } else {
+            // Cascade passes: a repair only lengthens the runs its dummies
+            // landed in (every dummy joins its whole prefix path), so only
+            // the runs around the dummies of the previous pass can have
+            // become over-long — O(run length) checks instead of whole-list
+            // rescans. Sorting + dedup collapses dummies that landed in the
+            // same run.
+            for &dummy in &prev_pass_dummies {
+                let Ok(mvec) = graph.mvec_of(dummy) else { continue };
+                for level in floor..=mvec.len() {
+                    if let Some(violation) = graph.run_violation_at(a, dummy, level) {
+                        violations.push(violation);
+                    }
+                }
+            }
+            violations.sort_unstable_by_key(|v| (v.level, v.prefix, v.start_key));
+            violations.dedup_by_key(|v| (v.level, v.prefix, v.start_key));
         }
+        outcome.rounds += a + 1;
+        if violations.is_empty() {
+            break;
+        }
+        for violation in &violations {
+            repair_violation(graph, states, a, protect, violation, &mut list_buf, &mut outcome);
+        }
+        prev_pass_dummies.clear();
+        prev_pass_dummies.extend_from_slice(&outcome.inserted[pass_inserted_from..]);
+        if prev_pass_dummies.is_empty() {
+            break;
+        }
+    }
+    worklist.clear();
+    outcome
+}
+
+/// Breaks one over-long run by inserting a dummy after every `a`-th member,
+/// keyed between its neighbours, living in the sibling subgraph at the next
+/// level. A slot that coincides with the protected adjacency (the pair that
+/// just communicated) is shifted one step left so the pair's direct link
+/// survives.
+///
+/// The run members are walked directly from [`BalanceViolation::start`]
+/// into `run_buf` (a reusable scratch vector) before any insertion — a
+/// snapshot is needed because the insertions splice into the chain being
+/// repaired, and walking only the run keeps the repair O(run length)
+/// instead of O(list length).
+fn repair_violation(
+    graph: &mut SkipGraph,
+    states: &mut StateTable,
+    a: usize,
+    protect: Option<(Key, Key)>,
+    violation: &BalanceViolation,
+    run_buf: &mut Vec<NodeId>,
+    outcome: &mut DummyRepairOutcome,
+) {
+    if graph.node(violation.start).is_none() {
+        return;
+    }
+    run_buf.clear();
+    let mut cursor = Some(violation.start);
+    while let Some(id) = cursor {
+        run_buf.push(id);
+        if run_buf.len() >= violation.run_length {
+            break;
+        }
+        cursor = graph
+            .neighbors(id, violation.level)
+            .expect("run member is live")
+            .1;
+    }
+    let run: &[NodeId] = run_buf;
+    let is_protected_slot = |graph: &SkipGraph, left: NodeId, right: NodeId| {
+        protect.is_some_and(|(pk1, pk2)| {
+            let lk = graph.key_of(left).expect("run member is live");
+            let rk = graph.key_of(right).expect("run member is live");
+            (lk == pk1 && rk == pk2) || (lk == pk2 && rk == pk1)
+        })
+    };
+    let mut position = a;
+    while position < run.len() {
+        let mut slot = position;
+        if is_protected_slot(graph, run[slot - 1], run[slot]) && slot >= 2 {
+            slot -= 1;
+        }
+        let left = run[slot - 1];
+        let right = run[slot];
+        let left_key = graph.key_of(left).expect("run member is live").value();
+        let right_key = graph.key_of(right).expect("run member is live").value();
+        match free_key_between(graph, left_key, right_key) {
+            Some(key) => {
+                let mut mvec = prefix_vector(&violation.prefix);
+                mvec.push(violation.bit.flipped()).expect("within height limit");
+                if let Ok(id) = graph.insert_dummy(Key::new(key), mvec) {
+                    states.register(id, Key::new(key), violation.level + 1);
+                    outcome.inserted.push(id);
+                    outcome.rounds += 1;
+                }
+            }
+            None => outcome.unrepairable_runs += 1,
+        }
+        position = slot + a;
+    }
+}
+
+/// Differential dummy garbage collection: destroys exactly the dummies that
+/// are members of one of the `affected` lists — the lists a transformation
+/// install actually rebuilt. Dummies elsewhere keep standing; the lists
+/// they balance did not change, so they are still load-bearing and the
+/// destroy-everything-recreate-identically churn of a full notification is
+/// skipped.
+///
+/// Removing a dummy splices it out of *all* its lists, which can merge two
+/// runs anywhere along its prefix path, so every destroyed dummy's lists at
+/// levels ≥ `floor` are appended to `affected` for the balance re-check
+/// (only the entries present on entry are searched for dummies). With
+/// `use_stamps`, the appends are deduplicated against the current
+/// batch-install epoch via [`SkipGraph::stamp_node_lists`]; the per-node
+/// reference install path passes `false` and relies on the caller's
+/// sort + dedup instead. Returns the number of dummies destroyed.
+pub fn destroy_dummies_in_lists(
+    graph: &mut SkipGraph,
+    states: &mut StateTable,
+    floor: usize,
+    affected: &mut Vec<(usize, Prefix)>,
+    stale_buf: &mut Vec<NodeId>,
+    use_stamps: bool,
+) -> usize {
+    stale_buf.clear();
+    for &(level, prefix) in affected.iter() {
+        stale_buf.extend(
+            graph
+                .list_iter(level, prefix)
+                .filter(|&id| graph.node(id).map(|e| e.is_dummy()).unwrap_or(false)),
+        );
+    }
+    let mut destroyed = 0usize;
+    for &id in stale_buf.iter() {
+        // A dummy can sit in several affected lists; the second sighting
+        // finds it already removed.
+        let Some(entry) = graph.node(id) else { continue };
+        if !entry.is_dummy() {
+            continue;
+        }
+        if use_stamps {
+            graph
+                .stamp_node_lists(id, floor, affected)
+                .expect("dummy is live");
+        } else {
+            let mvec = *entry.mvec();
+            for level in floor..=mvec.len() {
+                affected.push((level, mvec.prefix(level)));
+            }
+        }
+        let _ = graph.remove(id);
+        states.unregister(id);
+        destroyed += 1;
     }
     destroyed
 }
@@ -179,28 +318,33 @@ fn free_key_between(graph: &SkipGraph, left: u64, right: u64) -> Option<u64> {
     if gap <= 1 {
         return None;
     }
-    // Probe 1/2, 1/4, 3/4, 1/8, … of the gap, then fall back to a linear
-    // scan of the (small) remaining space.
-    let mut candidates: Vec<u64> = Vec::new();
+    // Fast path: the first candidate (the midpoint) is free — the
+    // overwhelmingly common case, since keys are sparse in the gap. One
+    // lookup instead of the candidate sweep.
+    let midpoint = lo + gap / 2;
+    if graph.node_by_key(Key::new(midpoint)).is_none() {
+        return Some(midpoint);
+    }
+    // Probe 1/2, 1/4, 3/4, 1/8, … of the gap lazily, one occupancy check
+    // each, then fall back to a linear scan of the (small) remaining space.
     let mut denom = 2u64;
     while denom <= 64 && (gap / denom) >= 1 {
         let step = gap / denom;
         let mut k = 1u64;
         while k < denom {
             let key = lo + step * k;
-            if key > lo && key < hi {
-                candidates.push(key);
+            if key > lo && key < hi && graph.node_by_key(Key::new(key)).is_none() {
+                return Some(key);
             }
             k += 2;
         }
         denom *= 2;
     }
     if gap <= 64 {
-        candidates.extend((lo + 1)..hi);
+        ((lo + 1)..hi).find(|&key| graph.node_by_key(Key::new(key)).is_none())
+    } else {
+        None
     }
-    candidates
-        .into_iter()
-        .find(|&key| graph.node_by_key(Key::new(key)).is_none())
 }
 
 /// Rebuilds the membership-vector prefix of a list as an owned vector.
@@ -292,17 +436,4 @@ mod tests {
         assert!(outcome.inserted.is_empty());
     }
 
-    #[test]
-    fn destroy_dummies_removes_only_dummies() {
-        let a = 2;
-        let (mut graph, mut states) = unbalanced_graph(8, a);
-        let repair = repair_balance(&mut graph, &mut states, a, None, None);
-        assert!(!repair.inserted.is_empty());
-        let everyone: Vec<NodeId> = graph.node_ids().collect();
-        let destroyed = destroy_dummies(&mut graph, &mut states, &everyone);
-        assert_eq!(destroyed.len(), repair.inserted.len());
-        assert_eq!(graph.dummy_count(), 0);
-        assert_eq!(graph.len(), 8);
-        graph.validate().unwrap();
-    }
 }

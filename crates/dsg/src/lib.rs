@@ -76,7 +76,7 @@ pub mod timestamps;
 pub mod transform;
 
 pub use amf::{AmfMedian, ExactMedian, MedianFinder, MedianOutcome};
-pub use config::{DsgConfig, MedianStrategy};
+pub use config::{DsgConfig, InstallStrategy, MedianStrategy};
 pub use cost::{CostBreakdown, RunStats};
 pub use dsg::{DynamicSkipGraph, RequestOutcome};
 pub use error::DsgError;

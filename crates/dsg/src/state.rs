@@ -23,8 +23,6 @@
 //! dominating), so a node's state never has to be resized eagerly when the
 //! structure height changes.
 
-use std::collections::HashMap;
-
 use dsg_skipgraph::{Key, NodeId};
 
 /// The self-adjusting state of one node.
@@ -121,9 +119,15 @@ impl NodeState {
 }
 
 /// The state of every node in the network, addressed by [`NodeId`].
+///
+/// Stored as a slab indexed by the node id's arena index: node ids are
+/// small dense integers handed out by the skip graph arena, so every state
+/// access — and the transformation engine performs Θ(n · height) of them
+/// per request — is a direct vector index instead of a hash lookup.
 #[derive(Debug, Clone, Default)]
 pub struct StateTable {
-    states: HashMap<NodeId, NodeState>,
+    states: Vec<Option<NodeState>>,
+    live: usize,
 }
 
 impl StateTable {
@@ -134,24 +138,34 @@ impl StateTable {
 
     /// Registers a node with its initial state.
     pub fn register(&mut self, id: NodeId, key: Key, initial_group_base: usize) {
-        self.states
-            .insert(id, NodeState::new(key, initial_group_base));
+        let index = id.raw() as usize;
+        if self.states.len() <= index {
+            self.states.resize_with(index + 1, || None);
+        }
+        if self.states[index].is_none() {
+            self.live += 1;
+        }
+        self.states[index] = Some(NodeState::new(key, initial_group_base));
     }
 
     /// Removes a node's state (when the node leaves or a dummy is
     /// destroyed).
     pub fn unregister(&mut self, id: NodeId) {
-        self.states.remove(&id);
+        if let Some(slot) = self.states.get_mut(id.raw() as usize) {
+            if slot.take().is_some() {
+                self.live -= 1;
+            }
+        }
     }
 
     /// Number of registered nodes.
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.live
     }
 
     /// Returns `true` if no node is registered.
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.live == 0
     }
 
     /// Immutable access to a node's state.
@@ -162,7 +176,8 @@ impl StateTable {
     /// not a user error.
     pub fn get(&self, id: NodeId) -> &NodeState {
         self.states
-            .get(&id)
+            .get(id.raw() as usize)
+            .and_then(|slot| slot.as_ref())
             .unwrap_or_else(|| panic!("node {id} has no registered state"))
     }
 
@@ -173,18 +188,24 @@ impl StateTable {
     /// Panics if the node was never registered.
     pub fn get_mut(&mut self, id: NodeId) -> &mut NodeState {
         self.states
-            .get_mut(&id)
+            .get_mut(id.raw() as usize)
+            .and_then(|slot| slot.as_mut())
             .unwrap_or_else(|| panic!("node {id} has no registered state"))
     }
 
     /// Returns `true` if the node has registered state.
     pub fn contains(&self, id: NodeId) -> bool {
-        self.states.contains_key(&id)
+        self.states
+            .get(id.raw() as usize)
+            .is_some_and(|slot| slot.is_some())
     }
 
-    /// Iterates over all `(id, state)` pairs in unspecified order.
+    /// Iterates over all `(id, state)` pairs in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeState)> {
-        self.states.iter().map(|(id, st)| (*id, st))
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|st| (NodeId::from_raw(i as u32), st)))
     }
 
     // Convenience pass-throughs used heavily by the transformation engine.

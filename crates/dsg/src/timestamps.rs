@@ -23,7 +23,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use dsg_skipgraph::{MembershipVector, NodeId, SkipGraph};
+use dsg_skipgraph::{FastHashState, MembershipVector, NodeId, SkipGraph};
 
 use crate::priority::Priority;
 use crate::state::StateTable;
@@ -43,11 +43,11 @@ pub struct TimestampInput<'a> {
     /// Members of `l_α` (dummies excluded), key order.
     pub members_alpha: &'a [NodeId],
     /// Membership vectors *before* the transformation.
-    pub old_mvecs: &'a HashMap<NodeId, MembershipVector>,
+    pub old_mvecs: &'a HashMap<NodeId, MembershipVector, FastHashState>,
     /// Members of `u`'s group at level `α` before the merge (excluding `u`).
-    pub u_group_before: &'a HashSet<NodeId>,
+    pub u_group_before: &'a HashSet<NodeId, FastHashState>,
     /// Members of `v`'s group at level `α` before the merge (excluding `v`).
-    pub v_group_before: &'a HashSet<NodeId>,
+    pub v_group_before: &'a HashSet<NodeId, FastHashState>,
     /// Nodes that initialised or received `G_lower` (rule T4).
     pub glower_recipients: &'a [NodeId],
     /// The transformation trace (medians received, group splits, `d'`).
@@ -249,7 +249,7 @@ mod tests {
         graph: SkipGraph,
         states: StateTable,
         ids: Vec<NodeId>,
-        old_mvecs: HashMap<NodeId, MembershipVector>,
+        old_mvecs: HashMap<NodeId, MembershipVector, FastHashState>,
     }
 
     fn fixture(keys: &[u64], new_vectors: &[&str], old_vectors: &[&str]) -> Fixture {
@@ -293,7 +293,7 @@ mod tests {
             pair_level: 2,
             ..TransformOutcome::default()
         };
-        let empty = HashSet::new();
+        let empty: HashSet<NodeId, FastHashState> = HashSet::default();
         let input = TimestampInput {
             u,
             v,
@@ -338,7 +338,7 @@ mod tests {
         // w is in u's group at level 0 after the transformation.
         fx.states.set_group_id(w, 0, 1);
         fx.states.set_group_id(u, 0, 1);
-        let empty = HashSet::new();
+        let empty: HashSet<NodeId, FastHashState> = HashSet::default();
         let input = TimestampInput {
             u,
             v,
@@ -362,7 +362,7 @@ mod tests {
         fx.states.set_timestamp(x, 3, 6);
         let mut outcome = TransformOutcome::default();
         outcome.group_splits.insert(x, vec![3]);
-        let empty = HashSet::new();
+        let empty: HashSet<NodeId, FastHashState> = HashSet::default();
         let input = TimestampInput {
             u: fx.ids[0],
             v: fx.ids[1],
@@ -391,7 +391,7 @@ mod tests {
         fx.states.set_timestamp(x, 1, 5);
         fx.states.set_timestamp(x, 2, 6);
         fx.states.set_group_base(x, 2);
-        let empty = HashSet::new();
+        let empty: HashSet<NodeId, FastHashState> = HashSet::default();
         let outcome = TransformOutcome::default();
         let input = TimestampInput {
             u: fx.ids[0],
@@ -419,7 +419,7 @@ mod tests {
         fx.states.set_timestamp(x, 3, 7);
         fx.states.set_timestamp(x, 2, 0);
         let glower = vec![x];
-        let empty = HashSet::new();
+        let empty: HashSet<NodeId, FastHashState> = HashSet::default();
         let outcome = TransformOutcome::default();
         let input = TimestampInput {
             u: fx.ids[0],

@@ -24,10 +24,32 @@
 //! graph itself; the caller applies the resulting membership-vector suffixes
 //! afterwards and then runs the timestamp rules (T1–T6) using the event
 //! trace recorded here.
+//!
+//! ## Differential install contract
+//!
+//! Besides the full per-member suffix map, the engine reports the
+//! *difference* between the new vectors and the ones currently installed in
+//! the graph: [`TransformOutcome::changes`] lists, for every member whose
+//! vector actually changes, the first level at which it differs
+//! ([`MembershipUpdate::from_level`]) together with the complete new vector.
+//! Members whose recomputed bits coincide with their current bits below
+//! `l_α` — the common case under skewed and working-set workloads, where
+//! the communicating pair is already grouped together and the split
+//! decisions reproduce the existing partition — do not appear at all, so
+//! the install step ([`SkipGraph::apply_membership_batch`]) touches only the
+//! lists that genuinely change. [`TransformOutcome::touched_pairs`] counts
+//! the changed `(node, level)` pairs, the quantity the install's work is
+//! proportional to.
+//!
+//! Internally the engine addresses members by their dense position in
+//! `members_alpha` (priorities, partial suffixes, medians and split events
+//! live in flat vectors) so the hot per-level loop performs no hashing; the
+//! hash-keyed maps of [`TransformOutcome`] are materialised once at the
+//! end for the timestamp/group consumers.
 
 use std::collections::HashMap;
 
-use dsg_skipgraph::{Bit, Key, NodeId, SkipGraph};
+use dsg_skipgraph::{Bit, MembershipUpdate, MembershipVector, NodeId, SkipGraph};
 
 use crate::amf::MedianFinder;
 use crate::priority::{band_of, initial_priority, recomputed_priority, Priority, PriorityContext};
@@ -56,6 +78,15 @@ pub struct TransformOutcome {
     /// order). Nodes not present keep their old vectors (they were not in
     /// `l_α`).
     pub suffixes: HashMap<NodeId, Vec<Bit>>,
+    /// The differential install plan: one entry per member whose new vector
+    /// *differs* from the one currently installed, carrying the first
+    /// changed level and the complete new vector. Members whose bits are
+    /// unchanged below `l_α` are absent — the batch installer skips them
+    /// entirely. Ordered by position in `members_alpha` (ascending key).
+    pub changes: Vec<MembershipUpdate>,
+    /// Number of changed `(node, level)` pairs across [`Self::changes`] —
+    /// the quantity the differential install's work is proportional to.
+    pub touched_pairs: usize,
     /// The level `d'` at which `u` and `v` form a linked list of size two.
     pub pair_level: usize,
     /// The approximate medians each node received, as `(list_level, M)`
@@ -85,13 +116,16 @@ impl TransformOutcome {
     }
 }
 
-/// One list awaiting a split.
-#[derive(Debug, Clone)]
+/// One list awaiting a split. Members are dense positions into
+/// `members_alpha`, kept in ascending order (hence ascending key order);
+/// vectors are recycled through a pool so the hot loop does not allocate
+/// after warm-up.
+#[derive(Debug)]
 struct WorkItem {
     /// The level at which `members` currently form a linked list.
     list_level: usize,
-    /// The members in ascending key order.
-    members: Vec<NodeId>,
+    /// The members, as positions into `members_alpha`.
+    members: Vec<u32>,
     /// Whether this list contains the communicating pair.
     has_pair: bool,
 }
@@ -102,7 +136,9 @@ struct WorkItem {
 /// dummy nodes already removed. Group-ids at level `α` are merged here
 /// (Algorithm 1 step 3); deeper group-ids are assigned as lists form (step
 /// 8); timestamps are *not* touched (the caller applies rules T1–T6 using
-/// the returned trace).
+/// the returned trace). `graph` must still hold the *pre-transformation*
+/// membership vectors: the differential install plan
+/// ([`TransformOutcome::changes`]) is computed against them.
 pub fn run_transformation(
     graph: &SkipGraph,
     states: &mut StateTable,
@@ -110,7 +146,34 @@ pub fn run_transformation(
     input: &TransformInput,
     members_alpha: &[NodeId],
 ) -> TransformOutcome {
+    run_transformation_impl(graph, states, median_finder, input, members_alpha, true)
+}
+
+/// [`run_transformation`] without materialising [`TransformOutcome::suffixes`]
+/// (left empty): the batched install consumes only the diff plan
+/// ([`TransformOutcome::changes`]), so building the full per-member suffix
+/// map — one heap vector per member of `l_α` — would be pure overhead on
+/// the hot path. The timestamp/group traces are identical.
+pub fn run_transformation_lean(
+    graph: &SkipGraph,
+    states: &mut StateTable,
+    median_finder: &mut dyn MedianFinder,
+    input: &TransformInput,
+    members_alpha: &[NodeId],
+) -> TransformOutcome {
+    run_transformation_impl(graph, states, median_finder, input, members_alpha, false)
+}
+
+fn run_transformation_impl(
+    graph: &SkipGraph,
+    states: &mut StateTable,
+    median_finder: &mut dyn MedianFinder,
+    input: &TransformInput,
+    members_alpha: &[NodeId],
+    collect_suffixes: bool,
+) -> TransformOutcome {
     let mut outcome = TransformOutcome::default();
+    let n_total = members_alpha.len();
     let ctx = PriorityContext {
         u: input.u,
         v: input.v,
@@ -118,11 +181,13 @@ pub fn run_transformation(
         alpha: input.alpha,
         max_level: graph.height().max(input.alpha) + 1,
     };
+    let u_pos = members_alpha.iter().position(|&x| x == input.u);
+    let v_pos = members_alpha.iter().position(|&x| x == input.v);
 
     // Step 2: initial priorities P1–P3 for every member of l_α.
-    let mut priorities: HashMap<NodeId, Priority> = members_alpha
+    let mut priorities: Vec<Priority> = members_alpha
         .iter()
-        .map(|&x| (x, initial_priority(states, &ctx, x)))
+        .map(|&x| initial_priority(states, &ctx, x))
         .collect();
 
     // Step 3: merge u's and v's groups at level α.
@@ -136,6 +201,18 @@ pub fn run_transformation(
         }
     }
 
+    // Dense per-member traces, indexed by position in `members_alpha`.
+    let mut suffixes: Vec<MembershipVector> = vec![MembershipVector::empty(); n_total];
+    let mut medians: Vec<Vec<(usize, Priority)>> = vec![Vec::new(); n_total];
+    let mut splits: Vec<Vec<usize>> = vec![Vec::new(); n_total];
+
+    // Reusable scratch buffers for the per-list loop.
+    let mut pool: Vec<Vec<u32>> = Vec::new();
+    let mut values: Vec<Priority> = Vec::new();
+    let mut bits: Vec<Bit> = Vec::new();
+    let mut gs_mask: Vec<bool> = Vec::new();
+    let mut group_scratch: Vec<(u64, u32)> = Vec::new();
+
     // Steps 4–9: recursive, level-parallel splitting. Lists at the same
     // level are processed *in parallel* by the distributed algorithm, so the
     // round cost charged for a level is the maximum over its lists, not the
@@ -145,52 +222,51 @@ pub fn run_transformation(
     let mut restructure_levels: std::collections::HashSet<usize> = std::collections::HashSet::new();
     let mut queue: Vec<WorkItem> = vec![WorkItem {
         list_level: input.alpha,
-        members: members_alpha.to_vec(),
+        members: (0..n_total as u32).collect(),
         has_pair: true,
     }];
 
-    while let Some(item) = queue.pop() {
+    while let Some(mut item) = queue.pop() {
         let n = item.members.len();
         if n <= 1 {
+            item.members.clear();
+            pool.push(item.members);
             continue;
         }
         outcome.processed_lists += 1;
         let next_level = item.list_level + 1;
 
-        let bits: Vec<Bit> = if n == 2 {
+        bits.clear();
+        if n == 2 {
             // A list of exactly two nodes splits into singletons directly:
             // the communicating pair stops here (this is the level d' of
             // rule T1); any other pair is separated by key order.
             if item.has_pair {
                 outcome.pair_level = item.list_level;
             }
-            split_pair(graph, input, &item)
+            split_pair_into(graph, input, members_alpha, &item, &mut bits);
         } else {
             // Step 4: approximate median of the members' priorities.
-            let values: Vec<Priority> = item
-                .members
-                .iter()
-                .map(|x| priorities[x])
-                .collect();
+            values.clear();
+            values.extend(item.members.iter().map(|&i| priorities[i as usize]));
             let median_outcome = median_finder.find_median(&values, input.a);
             let level_entry = median_rounds_per_level.entry(item.list_level).or_insert(0);
             *level_entry = (*level_entry).max(median_outcome.rounds);
             let m = median_outcome.median;
-            for &x in &item.members {
-                outcome
-                    .medians
-                    .entry(x)
-                    .or_default()
-                    .push((item.list_level, m));
+            for &i in &item.members {
+                medians[i as usize].push((item.list_level, m));
             }
             // Steps 5–6: decide the split.
-            let (mut bits, used_counts) = decide_split(
+            let used_counts = decide_split_into(
                 states,
                 input,
                 item.list_level,
+                members_alpha,
                 &item.members,
                 &values,
                 m,
+                &mut gs_mask,
+                &mut bits,
             );
             if used_counts {
                 // |l_d|, |g_s|, |L_low|, |L_high| are computed by reusing the
@@ -204,25 +280,42 @@ pub fn run_transformation(
             // (keeping the communicating pair together in the 0-subgraph) so
             // that the recursion always terminates.
             if bits.iter().all(|b| *b == Bit::Zero) || bits.iter().all(|b| *b == Bit::One) {
-                bits = forced_balanced_split(input, &item);
+                forced_balanced_split_into(input, members_alpha, &item, &mut bits);
             }
             // Case 1 records the is-dominating-group flags.
             if m.is_positive() {
-                for (idx, &x) in item.members.iter().enumerate() {
-                    states.set_dominating(x, item.list_level, bits[idx] == Bit::Zero);
+                for (idx, &i) in item.members.iter().enumerate() {
+                    states.set_dominating(
+                        members_alpha[i as usize],
+                        item.list_level,
+                        bits[idx] == Bit::Zero,
+                    );
                 }
             }
-            bits
-        };
+        }
 
         // Record the new membership bits and form the two sublists.
-        let mut zero_members = Vec::new();
-        let mut one_members = Vec::new();
-        for (idx, &x) in item.members.iter().enumerate() {
-            outcome.suffixes.entry(x).or_default().push(bits[idx]);
+        let mut zero_members: Vec<u32> = pool.pop().unwrap_or_default();
+        let mut one_members: Vec<u32> = pool.pop().unwrap_or_default();
+        let (mut zero_has_u, mut zero_has_v) = (false, false);
+        let (mut one_has_u, mut one_has_v) = (false, false);
+        for (idx, &i) in item.members.iter().enumerate() {
+            suffixes[i as usize]
+                .push(bits[idx])
+                .expect("transformation depth stays far below the 128-level height cap");
+            let is_u = u_pos == Some(i as usize);
+            let is_v = v_pos == Some(i as usize);
             match bits[idx] {
-                Bit::Zero => zero_members.push(x),
-                Bit::One => one_members.push(x),
+                Bit::Zero => {
+                    zero_members.push(i);
+                    zero_has_u |= is_u;
+                    zero_has_v |= is_v;
+                }
+                Bit::One => {
+                    one_members.push(i);
+                    one_has_u |= is_u;
+                    one_has_v |= is_v;
+                }
             }
         }
         // Neighbour search after the move is bounded by the balance
@@ -231,32 +324,32 @@ pub fn run_transformation(
         restructure_levels.insert(item.list_level);
 
         // Step 8: group bookkeeping for the new sublists.
-        let zero_has_pair = zero_members.contains(&input.u) && zero_members.contains(&input.v);
+        let zero_has_pair = zero_has_u && zero_has_v;
+        let one_has_pair = one_has_u && one_has_v;
         let mut level_group_rounds = 0usize;
-        let split_events = assign_new_group_ids(
+        assign_new_group_ids(
             states,
             graph,
-            input,
             item.list_level,
+            members_alpha,
             &item.members,
-            &zero_members,
-            &one_members,
-            zero_has_pair,
+            &bits,
+            &mut group_scratch,
+            &mut splits,
             &mut level_group_rounds,
         );
         let entry = group_rounds_per_level.entry(item.list_level).or_insert(0);
         *entry = (*entry).max(level_group_rounds);
-        for (node, level) in split_events {
-            outcome.group_splits.entry(node).or_default().push(level);
-        }
 
         // Priorities are recomputed with rule P4 for sublists that do not
         // contain the communicating pair.
-        for sublist in [&zero_members, &one_members] {
-            let contains_pair = sublist.contains(&input.u) && sublist.contains(&input.v);
+        for (sublist, contains_pair) in
+            [(&zero_members, zero_has_pair), (&one_members, one_has_pair)]
+        {
             if !contains_pair {
-                for &x in sublist.iter() {
-                    priorities.insert(x, recomputed_priority(states, input.t, next_level, x));
+                for &i in sublist.iter() {
+                    priorities[i as usize] =
+                        recomputed_priority(states, input.t, next_level, members_alpha[i as usize]);
                 }
             }
         }
@@ -272,31 +365,76 @@ pub fn run_transformation(
             members: one_members,
             has_pair: false,
         });
+        item.members.clear();
+        pool.push(item.members);
     }
 
     outcome.median_rounds = median_rounds_per_level.values().sum();
     outcome.group_accounting_rounds = group_rounds_per_level.values().sum();
     outcome.restructuring_rounds = restructure_levels.len() * (input.a + 1);
+
+    // Materialise the per-node trace maps and the differential install
+    // plan. Iterating `members_alpha` (ascending key order) keeps the
+    // `changes` order deterministic.
+    for (i, &x) in members_alpha.iter().enumerate() {
+        let suffix = suffixes[i];
+        if suffix.is_empty() {
+            continue;
+        }
+        if collect_suffixes {
+            outcome.suffixes.insert(x, suffix.iter().collect());
+        }
+        if !medians[i].is_empty() {
+            outcome.medians.insert(x, std::mem::take(&mut medians[i]));
+        }
+        if !splits[i].is_empty() {
+            outcome.group_splits.insert(x, std::mem::take(&mut splits[i]));
+        }
+        let old = graph.mvec_of(x).expect("member is live");
+        let mut new_mvec = old;
+        new_mvec
+            .replace_suffix(input.alpha + 1, suffix.iter())
+            .expect("transformation depth stays far below the 128-level height cap");
+        if new_mvec != old {
+            let from_level = old.common_prefix_len(&new_mvec) + 1;
+            outcome.touched_pairs += old.len().max(new_mvec.len()) + 1 - from_level;
+            outcome.changes.push(MembershipUpdate {
+                node: x,
+                from_level,
+                new_mvec,
+            });
+        }
+    }
     outcome
 }
 
 /// Splits a two-node list into singletons: the communicating pair as
 /// `u → 0, v → 1`; any other pair by key order.
-fn split_pair(graph: &SkipGraph, input: &TransformInput, item: &WorkItem) -> Vec<Bit> {
-    let [x, y] = [item.members[0], item.members[1]];
+fn split_pair_into(
+    graph: &SkipGraph,
+    input: &TransformInput,
+    members_alpha: &[NodeId],
+    item: &WorkItem,
+    bits: &mut Vec<Bit>,
+) {
+    let [x, y] = [
+        members_alpha[item.members[0] as usize],
+        members_alpha[item.members[1] as usize],
+    ];
     if item.has_pair {
-        return item
-            .members
-            .iter()
-            .map(|&m| if m == input.u { Bit::Zero } else { Bit::One })
-            .collect();
+        bits.extend(
+            [x, y]
+                .iter()
+                .map(|&m| if m == input.u { Bit::Zero } else { Bit::One }),
+        );
+        return;
     }
     let kx = graph.key_of(x).expect("member is live");
     let ky = graph.key_of(y).expect("member is live");
     if kx <= ky {
-        vec![Bit::Zero, Bit::One]
+        bits.extend([Bit::Zero, Bit::One]);
     } else {
-        vec![Bit::One, Bit::Zero]
+        bits.extend([Bit::One, Bit::Zero]);
     }
 }
 
@@ -305,20 +443,27 @@ fn split_pair(graph: &SkipGraph, input: &TransformInput, item: &WorkItem) -> Vec
 /// perfectly balanced skip graph uses — so that repeated forced splits keep
 /// routing paths short instead of producing key-contiguous sublists. The
 /// communicating pair (if present) is kept in the 0-half.
-fn forced_balanced_split(input: &TransformInput, item: &WorkItem) -> Vec<Bit> {
+fn forced_balanced_split_into(
+    input: &TransformInput,
+    members_alpha: &[NodeId],
+    item: &WorkItem,
+    bits: &mut Vec<Bit>,
+) {
     let n = item.members.len();
-    let mut bits: Vec<Bit> = (0..n)
-        .map(|i| if i % 2 == 0 { Bit::Zero } else { Bit::One })
-        .collect();
+    bits.clear();
+    bits.extend((0..n).map(|i| if i % 2 == 0 { Bit::Zero } else { Bit::One }));
     if item.has_pair {
         for target in [input.u, input.v] {
-            if let Some(pos) = item.members.iter().position(|&m| m == target) {
+            if let Some(pos) = item
+                .members
+                .iter()
+                .position(|&i| members_alpha[i as usize] == target)
+            {
                 if bits[pos] == Bit::One {
                     // Swap with a 0-half node that is not the other endpoint.
                     if let Some(swap) = (0..n).find(|&i| {
-                        bits[i] == Bit::Zero
-                            && item.members[i] != input.u
-                            && item.members[i] != input.v
+                        let member = members_alpha[item.members[i] as usize];
+                        bits[i] == Bit::Zero && member != input.u && member != input.v
                     }) {
                         bits.swap(pos, swap);
                     }
@@ -326,191 +471,185 @@ fn forced_balanced_split(input: &TransformInput, item: &WorkItem) -> Vec<Bit> {
             }
         }
     }
-    bits
 }
 
-/// Implements Cases 1 and 2 of §IV-C for one list. Returns the membership
-/// bits (parallel to `members`) and whether the distributed counts of Case 2
-/// were needed.
-fn decide_split(
+/// Implements Cases 1 and 2 of §IV-C for one list, writing the membership
+/// bits (parallel to `item_members`) into `bits`. Returns whether the
+/// distributed counts of Case 2 were needed.
+#[allow(clippy::too_many_arguments)]
+fn decide_split_into(
     states: &StateTable,
     input: &TransformInput,
     list_level: usize,
-    members: &[NodeId],
+    members_alpha: &[NodeId],
+    item_members: &[u32],
     priorities: &[Priority],
     median: Priority,
-) -> (Vec<Bit>, bool) {
-    let n = members.len();
+    gs_mask: &mut Vec<bool>,
+    bits: &mut Vec<Bit>,
+) -> bool {
+    let n = item_members.len();
     if median.is_positive() {
         // Case 1.
-        let bits = priorities
-            .iter()
-            .map(|p| if *p >= median { Bit::Zero } else { Bit::One })
-            .collect();
-        return (bits, false);
+        bits.extend(
+            priorities
+                .iter()
+                .map(|p| if *p >= median { Bit::Zero } else { Bit::One }),
+        );
+        return false;
     }
     // Case 2: the median falls inside the band of one non-communicating
     // group (equation (2)). Bands are identified by the *mixed* group
     // identifier (see `priority::mix_group_id`).
     let gs_band = band_of(median, input.t);
-    let gs_mask: Vec<bool> = members
-        .iter()
-        .zip(priorities)
-        .map(|(&x, p)| {
-            !p.is_positive()
-                && gs_band.is_some()
-                && Some(crate::priority::mix_group_id(states.group_id(x, list_level))) == gs_band
-        })
-        .collect();
+    gs_mask.clear();
+    gs_mask.extend(item_members.iter().zip(priorities).map(|(&i, p)| {
+        !p.is_positive()
+            && gs_band.is_some()
+            && Some(crate::priority::mix_group_id(
+                states.group_id(members_alpha[i as usize], list_level),
+            )) == gs_band
+    }));
     let gs_size = gs_mask.iter().filter(|b| **b).count();
     if gs_size == 0 {
         // The median's band does not correspond to any present group (can
         // happen with the approximate median); fall back to the plain
         // comparison split, which cannot split any group because entire
         // bands lie on one side of the median.
-        let bits = priorities
-            .iter()
-            .map(|p| if *p >= median { Bit::Zero } else { Bit::One })
-            .collect();
-        return (bits, false);
+        bits.extend(
+            priorities
+                .iter()
+                .map(|p| if *p >= median { Bit::Zero } else { Bit::One }),
+        );
+        return false;
     }
 
-    let bits = if 3 * gs_size > 2 * n {
+    if 3 * gs_size > 2 * n {
         // |g_s| > ⅔|l|: g_s must be split, but only along its remembered
         // is-dominating-group flags; everyone else joins the 0-subgraph.
-        members
-            .iter()
-            .zip(&gs_mask)
-            .map(|(&x, in_gs)| {
-                if *in_gs {
-                    if states.dominating(x, list_level) {
-                        Bit::One
-                    } else {
-                        Bit::Zero
-                    }
+        bits.extend(item_members.iter().zip(gs_mask.iter()).map(|(&i, in_gs)| {
+            if *in_gs {
+                if states.dominating(members_alpha[i as usize], list_level) {
+                    Bit::One
                 } else {
                     Bit::Zero
                 }
-            })
-            .collect()
+            } else {
+                Bit::Zero
+            }
+        }));
     } else if 3 * gs_size < n {
         // |g_s| < ⅓|l|: keep g_s whole on the emptier side, split the rest
         // by the median comparison.
         let l_high = priorities.iter().filter(|p| **p >= median).count();
         let l_low = n - l_high;
         let gs_bit = if l_high < l_low { Bit::Zero } else { Bit::One };
-        members
-            .iter()
-            .zip(priorities)
-            .zip(&gs_mask)
-            .map(|((_, p), in_gs)| {
-                if *in_gs {
-                    gs_bit
-                } else if *p >= median {
-                    Bit::Zero
-                } else {
-                    Bit::One
-                }
-            })
-            .collect()
+        bits.extend(priorities.iter().zip(gs_mask.iter()).map(|(p, in_gs)| {
+            if *in_gs {
+                gs_bit
+            } else if *p >= median {
+                Bit::Zero
+            } else {
+                Bit::One
+            }
+        }));
     } else {
         // ⅓|l| ≤ |g_s| ≤ ⅔|l|: g_s moves whole to the 1-subgraph, the rest
         // to the 0-subgraph.
-        gs_mask
-            .iter()
-            .map(|in_gs| if *in_gs { Bit::One } else { Bit::Zero })
-            .collect()
-    };
-    (bits, true)
+        bits.extend(
+            gs_mask
+                .iter()
+                .map(|in_gs| if *in_gs { Bit::One } else { Bit::Zero }),
+        );
+    }
+    true
 }
 
 /// Assigns level-`list_level + 1` group-ids to the members of the two new
-/// sublists (Algorithm 1 step 8) and reports `(node, level)` pairs for every
-/// node whose group was split.
+/// sublists (Algorithm 1 step 8) and records a split event (into `splits`)
+/// for every node whose group was split.
+///
+/// Groups are found by sorting `(group-id, position)` pairs in a reusable
+/// scratch buffer — no per-list hash map, and no quadratic membership
+/// scans.
+///
+/// Note on Algorithm 1 step 8: the paper's wording has *every* member of
+/// the sublist containing u and v adopt u's group-id. The members of the
+/// merged communicating group already carry u's id here (their 0-portion
+/// keeps the old id, which the level-α merge set to u), so applying the
+/// wording literally would only *absorb unrelated groups* that happened to
+/// land in that sublist — after which a later split could separate their
+/// members, violating the working-set property Lemma 2 relies on. We
+/// therefore keep unrelated groups' identities intact; see DESIGN.md.
 #[allow(clippy::too_many_arguments)]
 fn assign_new_group_ids(
     states: &mut StateTable,
     graph: &SkipGraph,
-    input: &TransformInput,
     list_level: usize,
-    members: &[NodeId],
-    zero_members: &[NodeId],
-    one_members: &[NodeId],
-    zero_has_pair: bool,
+    members_alpha: &[NodeId],
+    item_members: &[u32],
+    bits: &[Bit],
+    scratch: &mut Vec<(u64, u32)>,
+    splits: &mut [Vec<usize>],
     group_accounting_rounds: &mut usize,
-) -> Vec<(NodeId, usize)> {
+) {
     let next_level = list_level + 1;
-    let mut split_events = Vec::new();
-
-    // Old groups within this list, keyed by their level-`list_level` id.
-    let mut old_groups: HashMap<u64, Vec<NodeId>> = HashMap::new();
-    for &x in members {
-        old_groups
-            .entry(states.group_id(x, list_level))
-            .or_default()
-            .push(x);
-    }
-
-    for (old_id, group_members) in &old_groups {
-        let in_zero: Vec<NodeId> = group_members
+    scratch.clear();
+    scratch.extend(item_members.iter().enumerate().map(|(pos, &i)| {
+        (
+            states.group_id(members_alpha[i as usize], list_level),
+            pos as u32,
+        )
+    }));
+    scratch.sort_unstable();
+    let mut start = 0usize;
+    while start < scratch.len() {
+        let old_id = scratch[start].0;
+        let mut end = start + 1;
+        while end < scratch.len() && scratch[end].0 == old_id {
+            end += 1;
+        }
+        let group = &scratch[start..end];
+        let one_count = group
             .iter()
-            .copied()
-            .filter(|x| zero_members.contains(x))
-            .collect();
-        let in_one: Vec<NodeId> = group_members
-            .iter()
-            .copied()
-            .filter(|x| one_members.contains(x))
-            .collect();
-        let split = !in_zero.is_empty() && !in_one.is_empty();
+            .filter(|&&(_, pos)| bits[pos as usize] == Bit::One)
+            .count();
+        let split = one_count > 0 && one_count < group.len();
         if split {
-            for &x in group_members.iter() {
-                split_events.push((x, next_level));
+            for &(_, pos) in group {
+                splits[item_members[pos as usize] as usize].push(next_level);
             }
             // Broadcasting the new id over the split part reuses the
             // balanced skip list: O(log) rounds.
-            *group_accounting_rounds +=
-                (group_members.len().max(2) as f64).log2().ceil() as usize;
+            *group_accounting_rounds += (group.len().max(2) as f64).log2().ceil() as usize;
         }
-        // 0-portion: keeps the old id, unless the 0-sublist contains the
-        // communicating pair, in which case everyone in it adopts u's id.
-        for &x in &in_zero {
-            states.set_group_id(x, next_level, *old_id);
-        }
-        // 1-portion: keeps the old id if the group moved whole; a split
-        // portion adopts the key of its left-most member as the new id.
-        if !in_one.is_empty() {
-            let new_id = if split {
-                leftmost_key(graph, &in_one).value()
-            } else {
-                *old_id
-            };
-            for &x in &in_one {
-                states.set_group_id(x, next_level, new_id);
+        // 0-portion: keeps the old id. 1-portion: keeps the old id if the
+        // group moved whole; a split portion adopts the key of its left-most
+        // member as the new id.
+        let one_id = if split {
+            group
+                .iter()
+                .filter(|&&(_, pos)| bits[pos as usize] == Bit::One)
+                .map(|&(_, pos)| {
+                    graph
+                        .key_of(members_alpha[item_members[pos as usize] as usize])
+                        .expect("member is live")
+                })
+                .min()
+                .expect("split group has a 1-portion")
+                .value()
+        } else {
+            old_id
+        };
+        for &(_, pos) in group {
+            let x = members_alpha[item_members[pos as usize] as usize];
+            match bits[pos as usize] {
+                Bit::Zero => states.set_group_id(x, next_level, old_id),
+                Bit::One => states.set_group_id(x, next_level, one_id),
             }
         }
+        start = end;
     }
-
-    // Note on Algorithm 1 step 8: the paper's wording has *every* member of
-    // the sublist containing u and v adopt u's group-id. The members of the
-    // merged communicating group already carry u's id here (their 0-portion
-    // keeps the old id, which the level-α merge set to u), so applying the
-    // wording literally would only *absorb unrelated groups* that happened to
-    // land in that sublist — after which a later split could separate their
-    // members, violating the working-set property Lemma 2 relies on. We
-    // therefore keep unrelated groups' identities intact; see DESIGN.md.
-    let _ = zero_has_pair;
-    let _ = input;
-
-    split_events
-}
-
-fn leftmost_key(graph: &SkipGraph, members: &[NodeId]) -> Key {
-    members
-        .iter()
-        .map(|&x| graph.key_of(x).expect("member is live"))
-        .min()
-        .expect("portion is non-empty")
 }
 
 #[cfg(test)]

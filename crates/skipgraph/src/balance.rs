@@ -12,7 +12,7 @@
 //! §IV-F) after every transformation.
 
 use crate::graph::SkipGraph;
-use crate::ids::Key;
+use crate::ids::{Key, NodeId};
 use crate::mvec::{Bit, Prefix};
 
 /// A single violation of the a-balance property.
@@ -28,6 +28,9 @@ pub struct BalanceViolation {
     pub run_length: usize,
     /// Key of the first member of the run.
     pub start_key: Key,
+    /// Id of the first member of the run, so a repair can walk the run
+    /// directly instead of re-scanning the list for `start_key`.
+    pub start: NodeId,
 }
 
 /// Summary of an a-balance check over a whole skip graph.
@@ -67,59 +70,159 @@ impl SkipGraph {
             a,
             ..BalanceReport::default()
         };
-        for level in 0..=self.max_level() {
-            // Allocation-free sweep: lists and members are walked through
-            // the borrowing iterators of the intrusive arena.
-            for (prefix, members) in self.lists_at_level_iter(level) {
-                if members.len() < 2 {
-                    continue;
-                }
-                report.lists_checked += 1;
-                let mut run_bit: Option<Bit> = None;
-                let mut run_len = 0usize;
-                let mut run_start: Option<Key> = None;
-                let flush = |bit: Option<Bit>,
-                                 len: usize,
-                                 start: Option<Key>,
-                                 report: &mut BalanceReport| {
-                    if let (Some(bit), Some(start)) = (bit, start) {
-                        report.max_run = report.max_run.max(len);
-                        if len > a {
-                            report.violations.push(BalanceViolation {
-                                level,
-                                prefix,
-                                bit,
-                                run_length: len,
-                                start_key: start,
-                            });
-                        }
-                    }
-                };
-                for id in members {
-                    let entry = self.node(id).expect("list member is live");
-                    let next_bit = entry.mvec().bit(level + 1);
-                    match next_bit {
-                        Some(bit) if Some(bit) == run_bit => {
-                            run_len += 1;
-                        }
-                        Some(bit) => {
-                            flush(run_bit, run_len, run_start, &mut report);
-                            run_bit = Some(bit);
-                            run_len = 1;
-                            run_start = Some(entry.key());
-                        }
-                        None => {
-                            flush(run_bit, run_len, run_start, &mut report);
-                            run_bit = None;
-                            run_len = 0;
-                            run_start = None;
-                        }
-                    }
-                }
-                flush(run_bit, run_len, run_start, &mut report);
+        // Allocation-free sweep straight over the list arena: no per-level
+        // hash-map iteration, just the live list descriptors in slab order.
+        for (level, prefix, head, len) in self.all_lists_iter() {
+            if len < 2 {
+                continue;
             }
+            report.lists_checked += 1;
+            let max_run = self.scan_list_runs(a, level, prefix, head, &mut report.violations);
+            report.max_run = report.max_run.max(max_run);
         }
         report
+    }
+
+    /// Appends the a-balance violations of the single list identified by
+    /// `(level, prefix)` to `out`. A no-op if no such list exists. This is
+    /// the building block of the *incremental* repair: after a differential
+    /// transformation only the lists that actually changed need re-checking,
+    /// so the repair sweeps a worklist of lists instead of the whole graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    pub fn list_balance_violations(
+        &self,
+        a: usize,
+        level: usize,
+        prefix: Prefix,
+        out: &mut Vec<BalanceViolation>,
+    ) {
+        assert!(a > 0, "the a-balance property requires a positive a");
+        let Some((head, len)) = self.list_head(level, prefix) else {
+            return;
+        };
+        if len < 2 {
+            return;
+        }
+        self.scan_list_runs(a, level, prefix, head, out);
+    }
+
+    /// Examines the maximal same-sublist run containing `id` in its list at
+    /// `level`, returning it as a violation if it is longer than `a` (or
+    /// `None` if the run is fine, the node stops at this level, or the id
+    /// is dead).
+    ///
+    /// This is the *targeted* form of [`Self::list_balance_violations`]:
+    /// inserting a node can only lengthen the runs it lands in, so a repair
+    /// cascade needs to look exactly at the runs around each inserted node
+    /// — O(run length) — rather than rescan whole lists.
+    pub fn run_violation_at(
+        &self,
+        a: usize,
+        id: NodeId,
+        level: usize,
+    ) -> Option<BalanceViolation> {
+        assert!(a > 0, "the a-balance property requires a positive a");
+        let entry = self.node(id)?;
+        let bit = entry.mvec().bit(level + 1)?;
+        let same_bit = |candidate: NodeId| {
+            self.node(candidate)
+                .expect("list member is live")
+                .mvec()
+                .bit(level + 1)
+                == Some(bit)
+        };
+        let mut start = id;
+        let mut run_length = 1usize;
+        let (mut left, mut right) = self.neighbors(id, level).ok()?;
+        while let Some(candidate) = left {
+            if !same_bit(candidate) {
+                break;
+            }
+            start = candidate;
+            run_length += 1;
+            left = self.neighbors(candidate, level).ok()?.0;
+        }
+        while let Some(candidate) = right {
+            if !same_bit(candidate) {
+                break;
+            }
+            run_length += 1;
+            right = self.neighbors(candidate, level).ok()?.1;
+        }
+        if run_length <= a {
+            return None;
+        }
+        Some(BalanceViolation {
+            level,
+            prefix: entry.mvec().prefix(level),
+            bit,
+            run_length,
+            start_key: self.node(start).expect("run member is live").key(),
+            start,
+        })
+    }
+
+    /// Scans one list (walked from `head`) for runs of consecutive members
+    /// sharing the next-level sublist, appending every run longer than `a`
+    /// to `out`. Returns the longest run observed. One fused arena read per
+    /// member — this sweep runs over the whole graph in the balance report,
+    /// so its constant factor matters.
+    fn scan_list_runs(
+        &self,
+        a: usize,
+        level: usize,
+        prefix: Prefix,
+        head: NodeId,
+        out: &mut Vec<BalanceViolation>,
+    ) -> usize {
+        let mut max_run = 0usize;
+        let mut run_bit: Option<Bit> = None;
+        let mut run_len = 0usize;
+        let mut run_start: Option<(Key, NodeId)> = None;
+        let mut flush =
+            |bit: Option<Bit>, len: usize, start: Option<(Key, NodeId)>, max_run: &mut usize| {
+                if let (Some(bit), Some((start_key, start))) = (bit, start) {
+                    *max_run = (*max_run).max(len);
+                    if len > a {
+                        out.push(BalanceViolation {
+                            level,
+                            prefix,
+                            bit,
+                            run_length: len,
+                            start_key,
+                            start,
+                        });
+                    }
+                }
+            };
+        let mut cursor = Some(head);
+        while let Some(id) = cursor {
+            let (entry, next) = self.entry_and_next(id, level);
+            cursor = next;
+            let next_bit = entry.mvec().bit(level + 1);
+            match next_bit {
+                Some(bit) if Some(bit) == run_bit => {
+                    run_len += 1;
+                }
+                Some(bit) => {
+                    flush(run_bit, run_len, run_start, &mut max_run);
+                    run_bit = Some(bit);
+                    run_len = 1;
+                    run_start = Some((entry.key(), id));
+                }
+                None => {
+                    flush(run_bit, run_len, run_start, &mut max_run);
+                    run_bit = None;
+                    run_len = 0;
+                    run_start = None;
+                }
+            }
+        }
+        flush(run_bit, run_len, run_start, &mut max_run);
+        max_run
     }
 
     /// Convenience wrapper: `true` iff the graph satisfies the a-balance

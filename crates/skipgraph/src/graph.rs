@@ -24,6 +24,25 @@
 //! accounted separately by the callers (see the `dsg` crate). A naive
 //! index-based twin of this structure lives in [`crate::reference`] and is
 //! used for differential testing and for benchmarking the arena's speedup.
+//!
+//! ## Differential membership installs
+//!
+//! The self-adjusting layer moves nodes between subgraphs by rewriting
+//! membership-vector suffixes. The per-node primitive
+//! ([`SkipGraph::set_membership_suffix`]) re-splices the node at *every*
+//! level; [`SkipGraph::apply_membership_batch`] is its differential, batched
+//! twin: each update names the first level at which the node's vector
+//! actually changes ([`MembershipUpdate::from_level`]), the node's links
+//! below that level are left untouched, and the changed `(node, level)`
+//! pairs are grouped by target list so that every affected list is rebuilt
+//! in a single ordered splice pass. Untouched list segments — including
+//! entire lists whose membership did not change — are reused in place,
+//! which also means they keep serving reads (neighbour queries, group-id
+//! scans) with no rebuild cost. The batch additionally reports the
+//! *affected lists* (see
+//! [`SkipGraph::apply_membership_batch_collecting`]), which is what lets
+//! the balance repair above this layer re-check only the lists whose run
+//! structure could have changed.
 
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
@@ -31,6 +50,7 @@ use std::ops::Bound;
 use rand::{Rng, RngExt};
 
 use crate::error::SkipGraphError;
+use crate::fasthash::FastHashState;
 use crate::ids::{Key, NodeId};
 use crate::mvec::{Bit, MembershipVector, Prefix};
 use crate::smallvec::SmallVec;
@@ -100,6 +120,35 @@ impl Default for ListId {
     }
 }
 
+/// One entry of a differential membership-vector batch
+/// ([`SkipGraph::apply_membership_batch`]): the node, the complete new
+/// vector, and the first level at which the new vector differs from the
+/// current one (every bit below `from_level` is unchanged, so the node's
+/// lists below that level are not touched by the install).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipUpdate {
+    /// The node whose vector changes.
+    pub node: NodeId,
+    /// The first level (1-indexed bit position) whose bit — or existence —
+    /// differs between the old and new vector.
+    pub from_level: usize,
+    /// The complete new membership vector.
+    pub new_mvec: MembershipVector,
+}
+
+/// Reusable workspace of [`SkipGraph::apply_membership_batch`]: the changed
+/// `(node, level)` pairs grouped by target list, plus recycled allocations
+/// so that a warm batch install allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct BatchScratch {
+    /// `(level, new prefix)` → incoming nodes for that list.
+    groups: HashMap<(usize, Prefix), Vec<NodeId>, FastHashState>,
+    /// Recycled group member vectors.
+    spare: Vec<Vec<NodeId>>,
+    /// Sorted group keys, so the splice order is deterministic.
+    order: Vec<(usize, Prefix)>,
+}
+
 /// The intrusive per-level link record of one node: its left and right
 /// neighbours in the list it belongs to at that level, plus the list
 /// itself (so membership tests and size queries are O(1)).
@@ -132,6 +181,9 @@ struct ListMeta {
     head: NodeId,
     tail: NodeId,
     len: usize,
+    /// Last batch-install epoch that touched this list (0 = never). Used to
+    /// deduplicate the affected-list collection without hashing.
+    stamp: u64,
     /// Members whose membership vector *ends* at this list's level (their
     /// topmost list is this one). The randomised join must lazily extend
     /// exactly these members when it descends through the list; counting
@@ -154,14 +206,21 @@ pub struct SkipGraph {
     free_lists: Vec<u32>,
     /// `levels[d]` maps each length-`d` prefix to the list of nodes whose
     /// membership vector starts with that prefix. Used for enumeration and
-    /// for locating the target list during construction only.
-    levels: Vec<HashMap<Prefix, ListId>>,
+    /// for locating the target list during construction only. Keyed with
+    /// the crate's fast hasher: these maps sit on the link/install path of
+    /// every level of every node.
+    levels: Vec<HashMap<Prefix, ListId, FastHashState>>,
     /// `multi[d]` counts the lists at level `d` with two or more members,
     /// making [`SkipGraph::height`] a left-to-right scan of a small array.
     multi: Vec<usize>,
     /// Live dummy-node count, maintained on insert/remove so
     /// [`SkipGraph::dummy_count`] is O(1).
     dummies: usize,
+    /// Reusable workspace of [`SkipGraph::apply_membership_batch`].
+    batch: BatchScratch,
+    /// Monotone counter identifying the current batch install, for the
+    /// `stamp` based affected-list deduplication.
+    batch_epoch: u64,
 }
 
 impl SkipGraph {
@@ -371,7 +430,7 @@ impl SkipGraph {
         for level in 0..=len {
             let prefix = mvec.prefix(level);
             if self.levels.len() <= level {
-                self.levels.resize_with(level + 1, HashMap::new);
+                self.levels.resize_with(level + 1, HashMap::default);
                 self.multi.resize(level + 1, 0);
             }
             match self.levels[level].get(&prefix).copied() {
@@ -382,6 +441,7 @@ impl SkipGraph {
                         head: id,
                         tail: id,
                         len: 1,
+                        stamp: 0,
                         stoppers: usize::from(level == len),
                     });
                     self.levels[level].insert(prefix, lid);
@@ -404,6 +464,15 @@ impl SkipGraph {
 
     /// Finds the node after which `id` must be spliced into list `lid` at
     /// `level` (`None` = `id` becomes the new head).
+    ///
+    /// The primary strategy walks left along the level below until a member
+    /// of the target list is met — O(1) steps in expectation for random
+    /// membership vectors, because an expected constant fraction of the
+    /// level-below list belongs to the target list. For adversarial vector
+    /// layouts the gap can be as long as the whole level-below list, so the
+    /// walk is capped at the target list's length: past that point a head
+    /// scan of the target list (which costs exactly that much) is never
+    /// slower, making the join O(target list size) in the worst case.
     fn link_predecessor(
         &self,
         id: NodeId,
@@ -416,6 +485,7 @@ impl SkipGraph {
         }
         // Walk left along the level below. List refinement guarantees every
         // member of the target list appears there, in the same key order.
+        let mut budget = self.list_meta(lid).len;
         let mut cursor = self.arena[id.index()]
             .links
             .get(level - 1)
@@ -425,9 +495,40 @@ impl SkipGraph {
             if links.get(level).map(|l| l.list) == Some(lid) {
                 return Some(candidate);
             }
+            if budget == 0 {
+                // Pathological layout: fall back to scanning the target list
+                // from its head for the last member with a smaller key.
+                return self.predecessor_by_head_scan(key, lid);
+            }
+            budget -= 1;
             cursor = links.get(level - 1).and_then(|l| l.prev);
         }
         None
+    }
+
+    /// Predecessor of `key` in list `lid` found by scanning from the list
+    /// head — the O(list size) fallback for adversarial layouts.
+    fn predecessor_by_head_scan(&self, key: Key, lid: ListId) -> Option<NodeId> {
+        let meta = self.list_meta(lid);
+        let level = meta.level;
+        let mut pred = None;
+        let mut cursor = Some(meta.head);
+        while let Some(member) = cursor {
+            let member_key = self.arena[member.index()]
+                .entry
+                .as_ref()
+                .expect("list member is live")
+                .key;
+            if member_key >= key {
+                break;
+            }
+            pred = Some(member);
+            cursor = self.arena[member.index()]
+                .links
+                .get(level)
+                .and_then(|l| l.next);
+        }
+        pred
     }
 
     /// Splices `id` into list `lid` at `level`, after `pred` (or at the
@@ -492,48 +593,62 @@ impl SkipGraph {
     fn unlink_node(&mut self, id: NodeId) {
         let level_count = self.arena[id.index()].links.len();
         for level in 0..level_count {
-            let link = *self.arena[id.index()]
-                .links
-                .get(level)
-                .expect("level within link count");
-            if let Some(p) = link.prev {
-                self.arena[p.index()]
-                    .links
-                    .get_mut(level)
-                    .expect("neighbour is linked at this level")
-                    .next = link.next;
-            }
-            if let Some(n) = link.next {
-                self.arena[n.index()]
-                    .links
-                    .get_mut(level)
-                    .expect("neighbour is linked at this level")
-                    .prev = link.prev;
-            }
-            let meta = self.list_meta_mut(link.list);
-            if level == level_count - 1 {
-                meta.stoppers -= 1;
-            }
-            meta.len -= 1;
-            let emptied = meta.len == 0;
-            if meta.len == 1 {
-                self.multi[level] -= 1;
-            }
-            if emptied {
-                let prefix = self.list_meta(link.list).prefix;
-                self.levels[level].remove(&prefix);
-                self.free_list(link.list);
-            } else {
-                let meta = self.list_meta_mut(link.list);
-                if meta.head == id {
-                    meta.head = link.next.expect("non-empty list has a successor");
-                }
-                if meta.tail == id {
-                    meta.tail = link.prev.expect("non-empty list has a predecessor");
-                }
-            }
+            self.unlink_level(id, level, level == level_count - 1);
         }
         self.arena[id.index()].links.clear();
+        self.pop_empty_top_levels();
+    }
+
+    /// Splices `id` out of the single list it belongs to at `level`,
+    /// destroying the list if it becomes empty. `stops_here` says whether
+    /// this list is the node's topmost one (its stopper count must drop).
+    /// The node's link record at `level` is left stale; the caller clears or
+    /// truncates the link vector afterwards.
+    fn unlink_level(&mut self, id: NodeId, level: usize, stops_here: bool) {
+        let link = *self.arena[id.index()]
+            .links
+            .get(level)
+            .expect("level within link count");
+        if let Some(p) = link.prev {
+            self.arena[p.index()]
+                .links
+                .get_mut(level)
+                .expect("neighbour is linked at this level")
+                .next = link.next;
+        }
+        if let Some(n) = link.next {
+            self.arena[n.index()]
+                .links
+                .get_mut(level)
+                .expect("neighbour is linked at this level")
+                .prev = link.prev;
+        }
+        let meta = self.list_meta_mut(link.list);
+        if stops_here {
+            meta.stoppers -= 1;
+        }
+        meta.len -= 1;
+        let emptied = meta.len == 0;
+        if meta.len == 1 {
+            self.multi[level] -= 1;
+        }
+        if emptied {
+            let prefix = self.list_meta(link.list).prefix;
+            self.levels[level].remove(&prefix);
+            self.free_list(link.list);
+        } else {
+            let meta = self.list_meta_mut(link.list);
+            if meta.head == id {
+                meta.head = link.next.expect("non-empty list has a successor");
+            }
+            if meta.tail == id {
+                meta.tail = link.prev.expect("non-empty list has a predecessor");
+            }
+        }
+    }
+
+    /// Drops trailing levels whose prefix index became empty.
+    fn pop_empty_top_levels(&mut self) {
         while matches!(self.levels.last(), Some(m) if m.is_empty()) {
             self.levels.pop();
             self.multi.pop();
@@ -602,6 +717,316 @@ impl SkipGraph {
         // that the node is never left out of the lists.
         self.link_node(id);
         result
+    }
+
+    /// Applies a batch of membership-vector updates, rebuilding only the
+    /// lists that actually change and relinking each affected list in one
+    /// ordered splice pass.
+    ///
+    /// This is the differential twin of calling
+    /// [`SkipGraph::set_membership_suffix`] once per node. The per-node
+    /// primitive unlinks the node from *every* level and relinks it with a
+    /// predecessor walk per level — Θ(vector length) splices and walks per
+    /// node even when most bits are unchanged. The batch installer instead:
+    ///
+    /// 1. unlinks every node only from the levels at and above its
+    ///    [`MembershipUpdate::from_level`] (the links below are untouched —
+    ///    those lists keep the node, its neighbours, and their order);
+    /// 2. groups the changed `(node, level)` pairs by `(level, new prefix)`
+    ///    in a reusable scratch workspace;
+    /// 3. rebuilds each affected list in a single ordered merge pass:
+    ///    incoming nodes (sorted by key) are spliced into the surviving
+    ///    chain while it is walked once, so untouched list segments are
+    ///    reused in place rather than re-spliced.
+    ///
+    /// The work is therefore proportional to the number of changed
+    /// `(node, level)` pairs plus the sizes of the lists they move into —
+    /// not to the total link count of the touched nodes. The resulting
+    /// structure is observably identical to the per-node install: every
+    /// list holds the nodes sharing its prefix, in ascending key order (the
+    /// differential property tests in `tests/arena_reference_agreement.rs`
+    /// assert exactly this).
+    ///
+    /// Returns the number of changed `(node, level)` pairs installed.
+    /// Entries whose new vector equals the current one are skipped. Each
+    /// node may appear at most once in `updates`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::UnknownNode`] (before any mutation) if an
+    /// update names a dead node.
+    pub fn apply_membership_batch(&mut self, updates: &[MembershipUpdate]) -> Result<usize> {
+        let mut affected = Vec::new();
+        self.apply_membership_batch_collecting(updates, &mut affected)
+    }
+
+    /// [`SkipGraph::apply_membership_batch`], additionally collecting the
+    /// *affected lists*: every list whose membership — or whose members'
+    /// next-level split pattern — this batch changed. That is, for each
+    /// changed node, its old and new lists from `from_level` upward plus the
+    /// (unchanged-membership) parent list at `from_level - 1`, whose runs
+    /// changed because the node's bit at `from_level` did.
+    ///
+    /// Deduplication is epoch-stamp based (each list descriptor remembers
+    /// the last batch that touched it), so collection costs O(1) per
+    /// changed `(node, level)` pair with no hashing. `affected` is cleared
+    /// first; in the rare case of a list freed and re-created within one
+    /// batch a duplicate entry can appear, so order-sensitive consumers
+    /// should sort + dedup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::UnknownNode`] (before any mutation) if an
+    /// update names a dead node.
+    pub fn apply_membership_batch_collecting(
+        &mut self,
+        updates: &[MembershipUpdate],
+        affected: &mut Vec<(usize, Prefix)>,
+    ) -> Result<usize> {
+        affected.clear();
+        self.batch_epoch += 1;
+        for update in updates {
+            if self.entry(update.node).is_none() {
+                return Err(SkipGraphError::UnknownNode(update.node));
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = std::collections::HashSet::new();
+            for update in updates {
+                debug_assert!(
+                    seen.insert(update.node),
+                    "node {} appears twice in one membership batch",
+                    update.node
+                );
+            }
+        }
+        let mut scratch = std::mem::take(&mut self.batch);
+        for (_, mut members) in scratch.groups.drain() {
+            members.clear();
+            scratch.spare.push(members);
+        }
+
+        // Phase 1: partial unlink, vector write, and grouping of the
+        // changed (node, level) pairs by their target list.
+        let mut touched = 0usize;
+        for update in updates {
+            let id = update.node;
+            let old = self.entry(id).expect("validated above").mvec;
+            let new = update.new_mvec;
+            if old == new {
+                continue;
+            }
+            let from_level = old.common_prefix_len(&new) + 1;
+            debug_assert_eq!(
+                update.from_level, from_level,
+                "from_level of node {id} disagrees with the vector diff"
+            );
+            let (old_len, new_len) = (old.len(), new.len());
+            // The parent list keeps the node, but the node's bit at
+            // `from_level` changes, so the parent's run pattern does too.
+            let parent_lid = self.arena[id.index()]
+                .links
+                .get(from_level - 1)
+                .expect("node is linked below its first changed level")
+                .list;
+            self.stamp_list(parent_lid, affected);
+            for level in from_level..=old_len {
+                let lid = self.arena[id.index()]
+                    .links
+                    .get(level)
+                    .expect("level within link count")
+                    .list;
+                self.stamp_list(lid, affected);
+                self.unlink_level(id, level, level == old_len);
+            }
+            self.arena[id.index()].links.truncate(from_level);
+            if old_len < from_level {
+                // The old vector is a proper prefix of the new one: the node
+                // stays in its old top list but no longer stops there.
+                let lid = self.arena[id.index()]
+                    .links
+                    .get(old_len)
+                    .expect("node is linked at its old top level")
+                    .list;
+                self.list_meta_mut(lid).stoppers -= 1;
+            }
+            if new_len < from_level {
+                // The new vector is a proper prefix of the old one: the node
+                // now stops at a list it is already linked into.
+                let lid = self.arena[id.index()]
+                    .links
+                    .get(new_len)
+                    .expect("node is linked at its new top level")
+                    .list;
+                self.list_meta_mut(lid).stoppers += 1;
+            }
+            self.arena[id.index()]
+                .entry
+                .as_mut()
+                .expect("validated above")
+                .mvec = new;
+            for level in from_level..=new_len {
+                scratch
+                    .groups
+                    .entry((level, new.prefix(level)))
+                    .or_insert_with(|| scratch.spare.pop().unwrap_or_default())
+                    .push(id);
+            }
+            touched += old_len.max(new_len) + 1 - from_level;
+        }
+
+        // Phase 2: splice each affected list once. Levels are processed in
+        // ascending order so that every node's link records are appended
+        // bottom-up; the (level, prefix) sort also makes the pass order
+        // independent of hash-map iteration order.
+        scratch.order.clear();
+        scratch.order.extend(scratch.groups.keys().copied());
+        scratch.order.sort_unstable();
+        for &(level, prefix) in &scratch.order {
+            match self.levels.get(level).and_then(|m| m.get(&prefix)).copied() {
+                // A list that already lost members in phase 1 was stamped
+                // there; stamping again keeps `affected` duplicate-free.
+                Some(lid) => self.stamp_list(lid, affected),
+                None => affected.push((level, prefix)),
+            }
+            let mut incoming = scratch
+                .groups
+                .remove(&(level, prefix))
+                .expect("group was just enumerated");
+            // Updates are usually supplied in ascending key order (the
+            // transformation emits them that way), which makes every group
+            // arrive sorted already; one linear check avoids re-sorting the
+            // hot path and falls back for arbitrary callers.
+            let key_of = |id: NodeId| {
+                self.arena[id.index()]
+                    .entry
+                    .as_ref()
+                    .expect("update target is live")
+                    .key
+            };
+            if incoming.windows(2).any(|w| key_of(w[0]) > key_of(w[1])) {
+                incoming.sort_unstable_by_key(|&id| key_of(id));
+            }
+            self.splice_group(level, prefix, &incoming);
+            incoming.clear();
+            scratch.spare.push(incoming);
+        }
+        self.pop_empty_top_levels();
+        self.batch = scratch;
+        Ok(touched)
+    }
+
+    /// Marks `lid` as touched by the current batch epoch, recording its
+    /// identity in `affected` the first time.
+    fn stamp_list(&mut self, lid: ListId, affected: &mut Vec<(usize, Prefix)>) {
+        let epoch = self.batch_epoch;
+        let meta = self.list_meta_mut(lid);
+        if meta.stamp != epoch {
+            meta.stamp = epoch;
+            affected.push((meta.level, meta.prefix));
+        }
+    }
+
+    /// Records the lists `id` belongs to at levels ≥ `floor` into
+    /// `affected`, deduplicated against everything already collected by the
+    /// current batch-install epoch. The differential dummy GC uses this:
+    /// destroying a node changes the run pattern of every list along its
+    /// prefix path, which therefore needs the same balance re-check as the
+    /// lists the install rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::UnknownNode`] for a dead id.
+    pub fn stamp_node_lists(
+        &mut self,
+        id: NodeId,
+        floor: usize,
+        affected: &mut Vec<(usize, Prefix)>,
+    ) -> Result<()> {
+        if self.entry(id).is_none() {
+            return Err(SkipGraphError::UnknownNode(id));
+        }
+        let level_count = self.arena[id.index()].links.len();
+        for level in floor..level_count {
+            let lid = self.arena[id.index()]
+                .links
+                .get(level)
+                .expect("level within link count")
+                .list;
+            self.stamp_list(lid, affected);
+        }
+        Ok(())
+    }
+
+    /// Splices `incoming` (ascending key order, all sharing `prefix` at
+    /// `level`) into the list identified by `(level, prefix)`, creating the
+    /// list if it does not exist. One ordered merge pass: the surviving
+    /// chain is walked at most once regardless of how many nodes arrive.
+    fn splice_group(&mut self, level: usize, prefix: Prefix, incoming: &[NodeId]) {
+        if self.levels.len() <= level {
+            self.levels.resize_with(level + 1, HashMap::default);
+            self.multi.resize(level + 1, 0);
+        }
+        match self.levels[level].get(&prefix).copied() {
+            None => {
+                // No survivors: the incoming chain *is* the list.
+                let stoppers = incoming
+                    .iter()
+                    .filter(|&&id| self.entry(id).expect("live").mvec.len() == level)
+                    .count();
+                let lid = self.alloc_list(ListMeta {
+                    prefix,
+                    level,
+                    head: incoming[0],
+                    tail: *incoming.last().expect("group is non-empty"),
+                    len: incoming.len(),
+                    stamp: self.batch_epoch,
+                    stoppers,
+                });
+                self.levels[level].insert(prefix, lid);
+                for (i, &id) in incoming.iter().enumerate() {
+                    debug_assert_eq!(self.arena[id.index()].links.len(), level);
+                    self.arena[id.index()].links.push(LevelLink {
+                        prev: i.checked_sub(1).map(|p| incoming[p]),
+                        next: incoming.get(i + 1).copied(),
+                        list: lid,
+                    });
+                }
+                if incoming.len() >= 2 {
+                    self.multi[level] += 1;
+                }
+            }
+            Some(lid) => {
+                let mut cursor = Some(self.list_meta(lid).head);
+                let mut pred: Option<NodeId> = None;
+                for &id in incoming {
+                    let key = self.entry(id).expect("update target is live").key;
+                    while let Some(member) = cursor {
+                        if self.arena[member.index()]
+                            .entry
+                            .as_ref()
+                            .expect("list member is live")
+                            .key
+                            < key
+                        {
+                            pred = Some(member);
+                            cursor = self.arena[member.index()]
+                                .links
+                                .get(level)
+                                .and_then(|l| l.next);
+                        } else {
+                            break;
+                        }
+                    }
+                    self.splice_in(id, level, lid, pred);
+                    pred = Some(id);
+                    if self.entry(id).expect("live").mvec.len() == level {
+                        self.list_meta_mut(lid).stoppers += 1;
+                    }
+                }
+            }
+        }
     }
 
     /// Replaces the node's entire membership vector.
@@ -775,6 +1200,38 @@ impl SkipGraph {
             .expect("live node is linked at every level up to its length")
             .list;
         Ok(self.list_id_iter(lid))
+    }
+
+    /// Iterates over every live list as `(level, prefix, head, len)`
+    /// tuples, in arena (allocation) order — a straight slab walk, with no
+    /// per-level hash-map iteration. Used by whole-graph sweeps like the
+    /// a-balance checker, which walk the chains themselves via
+    /// [`SkipGraph::entry_and_next`].
+    pub(crate) fn all_lists_iter(
+        &self,
+    ) -> impl Iterator<Item = (usize, Prefix, NodeId, usize)> + '_ {
+        self.lists.iter().filter_map(move |slot| {
+            slot.as_ref()
+                .map(|meta| (meta.level, meta.prefix, meta.head, meta.len))
+        })
+    }
+
+    /// Head and length of the list at `(level, prefix)`, if it exists.
+    pub(crate) fn list_head(&self, level: usize, prefix: Prefix) -> Option<(NodeId, usize)> {
+        let &lid = self.levels.get(level)?.get(&prefix)?;
+        let meta = self.list_meta(lid);
+        Some((meta.head, meta.len))
+    }
+
+    /// One fused arena read for chain walks: the node's entry together with
+    /// its successor at `level`. Scans that previously paired a `ListIter`
+    /// step with a separate [`SkipGraph::node`] lookup touch each slot once.
+    pub(crate) fn entry_and_next(&self, id: NodeId, level: usize) -> (&NodeEntry, Option<NodeId>) {
+        let slot = &self.arena[id.index()];
+        (
+            slot.entry.as_ref().expect("list member is live"),
+            slot.links.get(level).and_then(|l| l.next),
+        )
     }
 
     /// Iterates over all lists at `level` as `(prefix, members)` pairs, in
@@ -1355,6 +1812,170 @@ mod tests {
         assert_eq!(g.key_of(pred).unwrap().value(), 10);
         assert_eq!(g.predecessor_by_key(Key::new(1)), None);
         assert_eq!(g.successor_by_key(Key::new(23)), None);
+    }
+
+    /// Builds the batch update for moving `id` to `new_mvec` (computing the
+    /// diff level the way the transformation engine does).
+    fn update_for(g: &SkipGraph, id: NodeId, new_mvec: MembershipVector) -> MembershipUpdate {
+        let old = g.mvec_of(id).unwrap();
+        MembershipUpdate {
+            node: id,
+            from_level: old.common_prefix_len(&new_mvec) + 1,
+            new_mvec,
+        }
+    }
+
+    #[test]
+    fn batch_install_matches_per_node_install_on_random_scripts() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut batched = SkipGraph::random((0..128).map(Key::new), &mut rng).unwrap();
+        let mut naive = batched.clone();
+        let ids: Vec<NodeId> = batched.node_ids().collect();
+        for round in 0..12u64 {
+            let mut updates = Vec::new();
+            for (i, &id) in ids.iter().enumerate() {
+                // A deterministic mix: some nodes keep their vector, some
+                // flip one mid bit, some grow, some shrink.
+                let mut mvec = batched.mvec_of(id).unwrap();
+                match (i as u64 + round) % 4 {
+                    0 => {}
+                    1 => {
+                        let bits: Vec<Bit> =
+                            mvec.iter().map(Bit::flipped).take(2).collect();
+                        mvec.replace_suffix(1, bits).unwrap();
+                    }
+                    2 => {
+                        mvec.push(Bit::from_u8(((i as u64 ^ round) & 1) as u8)).unwrap();
+                    }
+                    _ => {
+                        let len = mvec.len();
+                        mvec.truncate(len.saturating_sub(1));
+                    }
+                }
+                if mvec != batched.mvec_of(id).unwrap() {
+                    updates.push(update_for(&batched, id, mvec));
+                }
+            }
+            let touched = batched.apply_membership_batch(&updates).unwrap();
+            let expected: usize = updates
+                .iter()
+                .map(|u| {
+                    let old = naive.mvec_of(u.node).unwrap();
+                    old.len().max(u.new_mvec.len()) + 1 - u.from_level
+                })
+                .sum();
+            assert_eq!(touched, expected);
+            for u in &updates {
+                naive.set_membership_vector(u.node, u.new_mvec).unwrap();
+            }
+            batched.validate().unwrap();
+            // Observable agreement: same vectors, same list orders, same
+            // neighbours at every level.
+            for &id in &ids {
+                assert_eq!(batched.mvec_of(id).unwrap(), naive.mvec_of(id).unwrap());
+                let top = batched.mvec_of(id).unwrap().len();
+                for level in 0..=top + 1 {
+                    assert_eq!(
+                        batched.neighbors(id, level).unwrap(),
+                        naive.neighbors(id, level).unwrap(),
+                        "neighbours diverge at level {level}"
+                    );
+                    assert_eq!(
+                        batched.list_of(id, level).unwrap(),
+                        naive.list_of(id, level).unwrap(),
+                        "list order diverges at level {level}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_install_skips_noop_entries_and_rejects_dead_nodes() {
+        let mut g = figure1_graph();
+        let m = g.node_by_key(Key::new(13)).unwrap();
+        let noop = update_for(&g, m, g.mvec_of(m).unwrap());
+        assert_eq!(g.apply_membership_batch(&[noop]).unwrap(), 0);
+        g.validate().unwrap();
+        let dead = MembershipUpdate {
+            node: NodeId::from_raw(999),
+            from_level: 1,
+            new_mvec: MembershipVector::empty(),
+        };
+        assert!(matches!(
+            g.apply_membership_batch(&[dead]),
+            Err(SkipGraphError::UnknownNode(_))
+        ));
+        // The failed batch must not have mutated anything.
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn batch_install_handles_growth_shrink_and_list_creation() {
+        let mut g = figure1_graph();
+        let a = g.node_by_key(Key::new(1)).unwrap();
+        let m = g.node_by_key(Key::new(13)).unwrap();
+        let r = g.node_by_key(Key::new(18)).unwrap();
+        let updates = vec![
+            // M joins the 00-subgraph and grows a level ("000").
+            update_for(&g, m, MembershipVector::parse("000").unwrap()),
+            // R shrinks to a bare "1".
+            update_for(&g, r, MembershipVector::parse("1").unwrap()),
+            // A grows downward into a brand-new "000" list with M.
+            update_for(&g, a, MembershipVector::parse("000").unwrap()),
+        ];
+        g.apply_membership_batch(&updates).unwrap();
+        g.validate().unwrap();
+        let p000 = Prefix::root()
+            .child(Bit::Zero)
+            .child(Bit::Zero)
+            .child(Bit::Zero);
+        let keys: Vec<u64> = g
+            .list_members(3, p000)
+            .iter()
+            .map(|id| g.key_of(*id).unwrap().value())
+            .collect();
+        assert_eq!(keys, vec![1, 13]);
+        assert_eq!(g.mvec_of(r).unwrap().to_string(), "1");
+    }
+
+    #[test]
+    fn adversarial_layout_join_falls_back_to_head_scan() {
+        // A long run of "10" nodes separates the joining "11" node from its
+        // only "11"-list companion: the leftward walk along level 1 would
+        // scan the whole run, so the capped walk must fall back to a head
+        // scan of the (tiny) target list and still splice correctly.
+        let mut g = SkipGraph::new();
+        g.insert(Key::new(0), MembershipVector::parse("11").unwrap())
+            .unwrap();
+        for k in 1..=200u64 {
+            g.insert(Key::new(k), MembershipVector::parse("10").unwrap())
+                .unwrap();
+        }
+        g.insert(Key::new(201), MembershipVector::parse("11").unwrap())
+            .unwrap();
+        g.validate().unwrap();
+        let joined = g.node_by_key(Key::new(201)).unwrap();
+        let (l, r) = g.neighbors(joined, 2).unwrap();
+        assert_eq!(g.key_of(l.unwrap()).unwrap().value(), 0);
+        assert_eq!(r, None);
+
+        // The mirror case: the joining node becomes the new head of the
+        // target list (its key is below every member).
+        let mut g = SkipGraph::new();
+        for k in 1..=200u64 {
+            g.insert(Key::new(k), MembershipVector::parse("10").unwrap())
+                .unwrap();
+        }
+        g.insert(Key::new(201), MembershipVector::parse("11").unwrap())
+            .unwrap();
+        g.insert(Key::new(0), MembershipVector::parse("11").unwrap())
+            .unwrap();
+        g.validate().unwrap();
+        let joined = g.node_by_key(Key::new(0)).unwrap();
+        let (l, r) = g.neighbors(joined, 2).unwrap();
+        assert_eq!(l, None);
+        assert_eq!(g.key_of(r.unwrap()).unwrap().value(), 201);
     }
 
     #[test]

@@ -63,6 +63,7 @@
 
 pub mod balance;
 pub mod error;
+pub mod fasthash;
 pub mod fixtures;
 pub mod graph;
 pub mod ids;
@@ -76,7 +77,8 @@ pub mod tree;
 
 pub use balance::{BalanceReport, BalanceViolation};
 pub use error::SkipGraphError;
-pub use graph::{ListIter, ListRef, NodeEntry, SkipGraph};
+pub use fasthash::FastHashState;
+pub use graph::{ListIter, ListRef, MembershipUpdate, NodeEntry, SkipGraph};
 pub use ids::{Key, NodeId};
 pub use maintenance::{JoinOutcome, LeaveOutcome};
 pub use mvec::{Bit, MembershipVector, Prefix};

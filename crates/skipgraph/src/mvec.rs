@@ -293,7 +293,11 @@ impl fmt::Display for MembershipVector {
 /// A length-`d` bit string identifying one linked list at level `d`: the
 /// common membership-vector prefix shared by every node in that list
 /// (the paper's "b-subgraph" designation).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+///
+/// The `Ord` implementation is an arbitrary but stable total order (packed
+/// bits, then length); batch operations sort by it so that their processing
+/// order never depends on hash-map iteration order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Prefix {
     bits: u128,

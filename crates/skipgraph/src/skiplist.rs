@@ -41,82 +41,116 @@ impl BalancedSkipList {
     /// Panics if `a < 2` (the support window `[a/2, 2a]` degenerates) or if
     /// `n == 0`.
     pub fn build<R: Rng + ?Sized>(n: usize, a: usize, rng: &mut R) -> Self {
+        let mut list = BalancedSkipList {
+            levels: Vec::new(),
+            a,
+            construction_rounds: 0,
+        };
+        list.rebuild(n, a, rng);
+        list
+    }
+
+    /// Rebuilds the skip list in place over `n` positions, recycling the
+    /// level vectors of the previous build. The AMF engine runs one median
+    /// per list of a rebuilt subtree; reusing the allocations makes those
+    /// back-to-back builds allocation-free while drawing exactly the same
+    /// randomness (results are identical to a fresh [`Self::build`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a < 2` or `n == 0`.
+    pub fn rebuild<R: Rng + ?Sized>(&mut self, n: usize, a: usize, rng: &mut R) {
         assert!(n > 0, "cannot build a skip list over an empty list");
         assert!(a >= 2, "the balance parameter a must be at least 2");
-        let mut levels: Vec<Vec<usize>> = vec![(0..n).collect()];
-        let mut construction_rounds = 0usize;
+        self.a = a;
+        self.construction_rounds = 0;
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        let base = &mut self.levels[0];
+        base.clear();
+        base.extend(0..n);
+        let mut used = 1usize;
         loop {
-            let current = levels.last().expect("at least the base level exists");
-            if current.len() <= 1 {
+            if self.levels[used - 1].len() <= 1 {
                 break;
             }
-            let next = Self::build_next_level(current, a, rng);
+            if self.levels.len() == used {
+                self.levels.push(Vec::new());
+            }
+            let (head, tail) = self.levels.split_at_mut(used);
+            let current = &head[used - 1];
+            let next = &mut tail[0];
+            Self::build_next_level_into(current, a, rng, next);
             // Linear neighbour search from the level below costs (at most)
             // the largest support gap; plus one round for the local support
             // checks.
-            construction_rounds += Self::max_gap(current, &next) + 1;
-            let shrunk = next.len() < current.len();
-            levels.push(next);
-            if !shrunk {
+            self.construction_rounds += Self::max_gap(current, next) + 1;
+            if next.len() >= current.len() {
                 // Degenerate random outcome (possible for tiny a): force a
                 // deterministic thinning so construction terminates.
-                let last = levels.last_mut().expect("just pushed");
                 let step = a.max(2);
-                let thinned: Vec<usize> = last.iter().copied().step_by(step).collect();
-                *last = thinned;
+                let mut keep = 0usize;
+                let mut i = 0usize;
+                while i < next.len() {
+                    next[keep] = next[i];
+                    keep += 1;
+                    i += step;
+                }
+                next.truncate(keep);
             }
+            used += 1;
         }
+        self.levels.truncate(used);
         // The root broadcasts the height h to every node of the skip list.
-        construction_rounds += levels.len();
-        BalancedSkipList {
-            levels,
-            a,
-            construction_rounds,
-        }
+        self.construction_rounds += self.levels.len();
     }
 
-    /// Selects the members of the next level from `current`: position 0
-    /// always steps up, the rest with probability `1/a`, then the support
-    /// constraint `a/2 ≤ support ≤ 2a` is enforced locally.
-    fn build_next_level<R: Rng + ?Sized>(current: &[usize], a: usize, rng: &mut R) -> Vec<usize> {
+    /// Selects the members of the next level from `current` into `out`:
+    /// position 0 always steps up, the rest with probability `1/a`, and the
+    /// support constraint `a/2 ≤ support ≤ 2a` is enforced locally, fused
+    /// into the same pass (the normalisation only ever looks at the last
+    /// emitted member, so no intermediate list is needed).
+    fn build_next_level_into<R: Rng + ?Sized>(
+        current: &[usize],
+        a: usize,
+        rng: &mut R,
+        out: &mut Vec<usize>,
+    ) {
         let min_support = (a / 2).max(1);
         let max_support = 2 * a;
-        // Random step-up by index into `current`.
-        let mut chosen_idx: Vec<usize> = vec![0];
+        // `out` first holds normalised *indices into current*; they are
+        // mapped to positions at the end.
+        out.clear();
+        out.push(0);
+        let mut last = 0usize;
         for idx in 1..current.len() {
             if rng.random_bool(1.0 / a as f64) {
-                chosen_idx.push(idx);
+                let support = idx - last;
+                if support < min_support {
+                    // Too close: this node steps back down (is skipped).
+                    continue;
+                }
+                // Too far: intermediate nodes are asked to step up so that
+                // no gap exceeds 2a.
+                while idx - last > max_support {
+                    last += max_support;
+                    out.push(last);
+                }
+                out.push(idx);
+                last = idx;
             }
-        }
-        // Enforce the support window. `support` between two consecutive
-        // chosen indices i < j is j - i (there are j - i - 1 nodes in
-        // between at the lower level).
-        let mut normalized: Vec<usize> = vec![0];
-        for &idx in chosen_idx.iter().skip(1) {
-            let last = *normalized.last().expect("starts non-empty");
-            let support = idx - last;
-            if support < min_support {
-                // Too close: this node steps back down (is skipped).
-                continue;
-            }
-            // Too far: intermediate nodes are asked to step up so that no
-            // gap exceeds 2a.
-            let mut cursor = last;
-            while idx - cursor > max_support {
-                cursor += max_support;
-                normalized.push(cursor);
-            }
-            normalized.push(idx);
         }
         // Handle the tail: values held by trailing positions are forwarded
         // to the last chosen node, so its support must also stay within the
         // window.
-        let mut cursor = *normalized.last().expect("non-empty");
-        while current.len() - cursor > max_support {
-            cursor += max_support;
-            normalized.push(cursor);
+        while current.len() - last > max_support {
+            last += max_support;
+            out.push(last);
         }
-        normalized.into_iter().map(|idx| current[idx]).collect()
+        for slot in out.iter_mut() {
+            *slot = current[*slot];
+        }
     }
 
     fn max_gap(lower: &[usize], upper: &[usize]) -> usize {

@@ -74,6 +74,16 @@ impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
         self.len = 0;
     }
 
+    /// Shortens the vector to `len` elements; a no-op if it is already
+    /// shorter.
+    pub(crate) fn truncate(&mut self, len: usize) {
+        if len >= self.len() {
+            return;
+        }
+        self.spill.truncate(len.saturating_sub(N));
+        self.len = len as u32;
+    }
+
     /// Iterates over the live elements.
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn iter(&self) -> impl Iterator<Item = &T> {
@@ -106,6 +116,27 @@ mod tests {
         assert_eq!(collected.len(), 10);
         assert_eq!(collected[2], 99);
         assert_eq!(collected[7], 77);
+    }
+
+    #[test]
+    fn truncate_across_the_spill_boundary() {
+        let mut v: SmallVec<u32, 2> = SmallVec::default();
+        for i in 0..6u32 {
+            v.push(i);
+        }
+        v.truncate(9);
+        assert_eq!(v.len(), 6);
+        v.truncate(4);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.get(3), Some(&3));
+        assert_eq!(v.get(4), None);
+        v.truncate(1);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.get(0), Some(&0));
+        v.push(9);
+        assert_eq!(v.get(1), Some(&9));
+        v.truncate(0);
+        assert_eq!(v.len(), 0);
     }
 
     #[test]
