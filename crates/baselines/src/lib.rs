@@ -32,6 +32,8 @@ pub use oracle::WorkingSetOracle;
 pub use splaynet::SplayNet;
 pub use static_skip::StaticSkipGraph;
 
+use dsg::Request;
+
 /// A baseline overlay that serves communication requests and reports their
 /// cost.
 pub trait Baseline {
@@ -51,8 +53,16 @@ pub trait Baseline {
     /// traces produced by `dsg-workloads` never do either.
     fn serve(&mut self, u: u64, v: u64) -> usize;
 
-    /// Serves a whole trace and returns the total routing cost.
-    fn serve_trace(&mut self, trace: &[(u64, u64)]) -> usize {
-        trace.iter().map(|&(u, v)| self.serve(u, v)).sum()
+    /// Serves a whole trace of typed [`Request`]s (the same vocabulary the
+    /// workload generators emit and `DsgSession::submit_batch` consumes)
+    /// and returns the total routing cost. Baselines model a fixed peer
+    /// population, so only communication requests contribute; membership
+    /// and clock requests are skipped.
+    fn serve_trace(&mut self, trace: &[Request]) -> usize {
+        trace
+            .iter()
+            .filter_map(|r| r.endpoints())
+            .map(|(u, v)| self.serve(u, v))
+            .sum()
     }
 }

@@ -81,10 +81,13 @@ mod tests {
     #[test]
     fn trace_cost_is_the_sum_of_request_costs() {
         let mut g = StaticSkipGraph::new(32);
-        let trace = vec![(0u64, 31u64), (5, 9), (14, 2)];
+        let trace: Vec<dsg::Request> = [(0u64, 31u64), (5, 9), (14, 2)]
+            .into_iter()
+            .map(dsg::Request::from)
+            .collect();
         let total = g.serve_trace(&trace);
         let mut g2 = StaticSkipGraph::new(32);
-        let manual: usize = trace.iter().map(|&(u, v)| g2.serve(u, v)).sum();
+        let manual: usize = trace.iter().map(|r| { let (u, v) = r.pair(); g2.serve(u, v) }).sum();
         assert_eq!(total, manual);
     }
 }

@@ -1,13 +1,15 @@
 //! Headless perf harness: measures the skip graph core and end-to-end
-//! `communicate` throughput, and writes `BENCH_perf.json`.
+//! `communicate` throughput — sequential and epoch-batched — and writes
+//! `BENCH_perf.json`.
 //!
 //! This binary establishes the repository's performance trajectory: it
 //! compares the intrusive linked-list arena ([`dsg_skipgraph::SkipGraph`])
 //! against the naive index-based representation
-//! ([`dsg_skipgraph::reference::ReferenceGraph`]) on the `route` and
-//! `neighbors` microbenchmarks, and measures requests/sec of
-//! [`dsg::DynamicSkipGraph::communicate`] under uniform, skewed and
-//! working-set workloads, at n ∈ {256, 1024, 4096}.
+//! ([`dsg_skipgraph::reference::ReferenceGraph`]) on the `route`,
+//! `neighbors` and `dummy_probe` microbenchmarks, measures requests/sec of
+//! sequential [`dsg::DsgSession::submit`] replay under uniform, skewed and
+//! working-set workloads, and measures the epoch-batched
+//! [`dsg::DsgSession::submit_batch`] path at batch sizes 1/4/16.
 //!
 //! Usage:
 //!
@@ -19,18 +21,18 @@
 //! directory. Set `BENCH_PERF_QUICK=1` to run a fast smoke (fewer
 //! repetitions, shorter traces) — used by CI.
 //!
-//! The JSON schema is documented in `ROADMAP.md` ("BENCH_perf.json
-//! schema").
+//! The JSON schema (`dsg-bench-perf/v2`) is documented in `ROADMAP.md`
+//! ("BENCH_perf.json schema").
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use dsg::DsgConfig;
 use dsg_bench::{
-    perf_trace_len, reference_graph_like, route_pairs, run_dsg, workload_trace, WorkloadKind,
-    COMM_SIZES, SIZES,
+    perf_trace_len, reference_graph_like, route_pairs, run_dsg, run_dsg_batched, workload_trace,
+    WorkloadKind, BATCH_SIZES, COMM_BATCH_SIZES, COMM_SIZES, SIZES,
 };
-use dsg_skipgraph::fixtures;
+use dsg_skipgraph::{fixtures, Key};
 
 fn quick() -> bool {
     std::env::var("BENCH_PERF_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
@@ -69,9 +71,27 @@ struct CommRow {
     requests: usize,
     elapsed_ns: u128,
     transform_touched_pairs: usize,
+    dummy_churn: usize,
 }
 
 impl CommRow {
+    fn requests_per_sec(&self) -> f64 {
+        self.requests as f64 / (self.elapsed_ns as f64 / 1e9).max(f64::MIN_POSITIVE)
+    }
+}
+
+struct BatchRow {
+    workload: &'static str,
+    n: u64,
+    batch: usize,
+    requests: usize,
+    elapsed_ns: u128,
+    transform_touched_pairs: usize,
+    epochs: usize,
+    install_passes: usize,
+}
+
+impl BatchRow {
     fn requests_per_sec(&self) -> f64 {
         self.requests as f64 / (self.elapsed_ns as f64 / 1e9).max(f64::MIN_POSITIVE)
     }
@@ -149,6 +169,60 @@ fn measure_neighbors(reps: usize) -> Vec<MicroRow> {
         .collect()
 }
 
+/// The dummy hot path in miniature: `free_key_between` resolves a dummy's
+/// key by probing candidate keys for occupancy (`node_by_key`), thousands
+/// of times per request under uniform traffic. The arena serves the probe
+/// from the fasthash half of its key index; the reference answers from a
+/// plain `BTreeMap`. The graph uses the *production* key layout — peer
+/// keys strided by `DynamicSkipGraph::KEY_SPACING` (the layout whose
+/// bucket collapse under the unfinalised FxHash motivated `KeyHashState`;
+/// dense keys would mask such a regression) — and probes alternate hits
+/// (the peer keys) and misses (gap midpoints, where dummy keys go).
+fn measure_dummy_probe(reps: usize) -> Vec<MicroRow> {
+    const SPACING: u64 = dsg::DynamicSkipGraph::KEY_SPACING;
+    SIZES
+        .iter()
+        .map(|&n| {
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+            let graph = dsg_skipgraph::SkipGraph::random(
+                (0..n).map(|i| Key::new((i + 1) * SPACING)),
+                &mut rng,
+            )
+            .expect("strided keys are distinct");
+            let reference = reference_graph_like(&graph);
+            let probes: Vec<Key> = (0..n)
+                .flat_map(|i| {
+                    [
+                        Key::new((i + 1) * SPACING),
+                        Key::new((i + 1) * SPACING + SPACING / 2),
+                    ]
+                })
+                .collect();
+            let ops = probes.len();
+            let arena = median_ns(reps, || {
+                let mut hits = 0usize;
+                for &key in &probes {
+                    hits += graph.node_by_key(key).is_some() as usize;
+                }
+                std::hint::black_box(hits);
+            });
+            let refr = median_ns(reps, || {
+                let mut hits = 0usize;
+                for &key in &probes {
+                    hits += reference.node_by_key(key).is_some() as usize;
+                }
+                std::hint::black_box(hits);
+            });
+            MicroRow {
+                n,
+                ops,
+                arena_ns_per_op: arena as f64 / ops as f64,
+                reference_ns_per_op: refr as f64 / ops as f64,
+            }
+        })
+        .collect()
+}
+
 fn measure_communicate(quick: bool) -> Vec<CommRow> {
     let mut rows = Vec::new();
     for &n in COMM_SIZES {
@@ -161,15 +235,12 @@ fn measure_communicate(quick: bool) -> Vec<CommRow> {
             let trace = workload_trace(kind, n, m, 3);
             // Short warm-up replay (builds the network, pages code in),
             // then the timed full replay.
-            run_dsg(
-                n,
-                DsgConfig::default().with_seed(1),
-                &trace[..m.min(20)],
-            );
+            run_dsg(n, DsgConfig::default().with_seed(1), &trace[..m.min(20)]);
             let start = Instant::now();
             let run = run_dsg(n, DsgConfig::default().with_seed(1), &trace);
             let elapsed_ns = start.elapsed().as_nanos();
             let transform_touched_pairs = run.total_touched_pairs();
+            let dummy_churn = run.dummy_churn;
             std::hint::black_box(run);
             rows.push(CommRow {
                 workload: kind.label(),
@@ -177,7 +248,39 @@ fn measure_communicate(quick: bool) -> Vec<CommRow> {
                 requests: m,
                 elapsed_ns,
                 transform_touched_pairs,
+                dummy_churn,
             });
+        }
+    }
+    rows
+}
+
+fn measure_communicate_batched(quick: bool) -> Vec<BatchRow> {
+    let mut rows = Vec::new();
+    for &n in COMM_BATCH_SIZES {
+        let m = perf_trace_len(n, quick);
+        let trace = workload_trace(WorkloadKind::Uniform, n, m, 3);
+        for &batch in BATCH_SIZES {
+            run_dsg_batched(
+                n,
+                DsgConfig::default().with_seed(1),
+                &trace[..m.min(20)],
+                batch,
+            );
+            let start = Instant::now();
+            let run = run_dsg_batched(n, DsgConfig::default().with_seed(1), &trace, batch);
+            let elapsed_ns = start.elapsed().as_nanos();
+            rows.push(BatchRow {
+                workload: WorkloadKind::Uniform.label(),
+                n,
+                batch,
+                requests: m,
+                elapsed_ns,
+                transform_touched_pairs: run.total_touched_pairs(),
+                epochs: run.epochs,
+                install_passes: run.install_passes,
+            });
+            std::hint::black_box(run);
         }
     }
     rows
@@ -214,8 +317,12 @@ fn main() {
     let route = measure_route(reps);
     eprintln!("bench_perf: neighbors microbenchmark ({reps} reps)...");
     let neighbors = measure_neighbors(reps);
-    eprintln!("bench_perf: communicate throughput...");
+    eprintln!("bench_perf: dummy-probe microbenchmark ({reps} reps)...");
+    let dummy_probe = measure_dummy_probe(reps);
+    eprintln!("bench_perf: communicate throughput (sequential)...");
     let communicate = measure_communicate(quick());
+    eprintln!("bench_perf: communicate throughput (epoch-batched)...");
+    let communicate_batched = measure_communicate_batched(quick());
 
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -231,44 +338,112 @@ fn main() {
             comm_json,
             "\n    {{\"workload\": \"{}\", \"n\": {}, \"requests\": {}, \
              \"elapsed_ms\": {:.2}, \"requests_per_sec\": {:.1}, \
-             \"transform_touched_pairs\": {}}}",
+             \"transform_touched_pairs\": {}, \"dummy_churn\": {}}}",
             row.workload,
             row.n,
             row.requests,
             row.elapsed_ns as f64 / 1e6,
             row.requests_per_sec(),
-            row.transform_touched_pairs
+            row.transform_touched_pairs,
+            row.dummy_churn
         );
     }
     comm_json.push_str("\n  ]");
 
+    let mut batch_json = String::from("[");
+    for (i, row) in communicate_batched.iter().enumerate() {
+        if i > 0 {
+            batch_json.push(',');
+        }
+        let _ = write!(
+            batch_json,
+            "\n    {{\"workload\": \"{}\", \"n\": {}, \"batch\": {}, \"requests\": {}, \
+             \"elapsed_ms\": {:.2}, \"requests_per_sec\": {:.1}, \
+             \"transform_touched_pairs\": {}, \"epochs\": {}, \"install_passes\": {}}}",
+            row.workload,
+            row.n,
+            row.batch,
+            row.requests,
+            row.elapsed_ns as f64 / 1e6,
+            row.requests_per_sec(),
+            row.transform_touched_pairs,
+            row.epochs,
+            row.install_passes
+        );
+    }
+    batch_json.push_str("\n  ]");
+
     let json = format!(
-        "{{\n  \"schema\": \"dsg-bench-perf/v1\",\n  \"created_unix\": {unix_time},\n  \
-         \"quick\": {},\n  \"route\": {},\n  \"neighbors\": {},\n  \"communicate\": {}\n}}\n",
+        "{{\n  \"schema\": \"dsg-bench-perf/v2\",\n  \"created_unix\": {unix_time},\n  \
+         \"quick\": {},\n  \"route\": {},\n  \"neighbors\": {},\n  \"dummy_probe\": {},\n  \
+         \"communicate\": {},\n  \"communicate_batched\": {}\n}}\n",
         quick(),
         micro_json(&route),
         micro_json(&neighbors),
+        micro_json(&dummy_probe),
         comm_json,
+        batch_json,
     );
     std::fs::write(&output, &json).expect("write BENCH_perf.json");
 
     // Human-readable recap on stderr.
-    for (name, rows) in [("route", &route), ("neighbors", &neighbors)] {
+    for (name, rows) in [
+        ("route", &route),
+        ("neighbors", &neighbors),
+        ("dummy_probe", &dummy_probe),
+    ] {
         for row in rows.iter() {
             eprintln!(
-                "{name:>9} n={:<5} arena {:>9.1} ns/op   reference {:>9.1} ns/op   speedup {:>5.2}x",
+                "{name:>11} n={:<5} arena {:>9.1} ns/op   reference {:>9.1} ns/op   speedup {:>5.2}x",
                 row.n, row.arena_ns_per_op, row.reference_ns_per_op, row.speedup()
             );
         }
     }
     for row in &communicate {
         eprintln!(
-            "communicate {:>11} n={:<5} {:>10.1} req/s   {:>9} touched pairs",
+            "communicate {:>11} n={:<5} {:>10.1} req/s   {:>9} touched pairs   {:>7} dummy churn",
             row.workload,
             row.n,
             row.requests_per_sec(),
-            row.transform_touched_pairs
+            row.transform_touched_pairs,
+            row.dummy_churn
         );
     }
+    for row in &communicate_batched {
+        eprintln!(
+            "  batched   {:>11} n={:<5} batch={:<3} {:>10.1} req/s   {:>4} epochs   {:>4} install passes",
+            row.workload,
+            row.n,
+            row.batch,
+            row.requests_per_sec(),
+            row.epochs,
+            row.install_passes
+        );
+    }
+
+    // Micro-assert: the fasthash key index must not lose to the reference
+    // BTreeMap on the dummy-churn hot path (key-occupancy probes).
+    // Enforced on full runs; quick smokes only warn, their single samples
+    // are too noisy to gate CI on.
+    for row in &dummy_probe {
+        if row.speedup() < 1.0 {
+            let msg = format!(
+                "dummy-probe micro-assert: arena {:.1} ns/op vs reference {:.1} ns/op at n={}",
+                row.arena_ns_per_op, row.reference_ns_per_op, row.n
+            );
+            if quick() {
+                eprintln!("WARNING (quick mode, not enforced): {msg}");
+            } else {
+                panic!("{msg}");
+            }
+        }
+    }
+    eprintln!(
+        "dummy-probe micro-assert: key-occupancy probes are {:.2}x the reference's cost at worst — OK",
+        dummy_probe
+            .iter()
+            .map(|r| 1.0 / r.speedup())
+            .fold(0.0f64, f64::max)
+    );
     eprintln!("bench_perf: wrote {output}");
 }

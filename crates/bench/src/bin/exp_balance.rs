@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --release -p dsg-bench --bin exp_balance`.
 
-use dsg::{DsgConfig, DynamicSkipGraph};
+use dsg::prelude::*;
 use dsg_bench::{f2, format_table};
 use dsg_workloads::{RotatingHotSet, Workload, ZipfPairs};
 
@@ -21,28 +21,35 @@ fn main() {
             ),
         ] {
             // With repair on.
-            let mut net =
-                DynamicSkipGraph::new(0..n, DsgConfig::default().with_a(a).with_seed(3)).unwrap();
+            let mut session = DsgSession::builder()
+                .peers(0..n)
+                .a(a)
+                .seed(3)
+                .build()
+                .unwrap();
+            let net = session.engine_mut();
             let mut max_dummies = 0usize;
             let mut balanced_after_every_request = true;
             for request in &trace {
-                net.communicate(request.u, request.v).unwrap();
+                let (u, v) = request.pair();
+                net.communicate(u, v).unwrap();
                 max_dummies = max_dummies.max(net.dummy_count());
                 if !net.balance_report().is_balanced() {
                     balanced_after_every_request = false;
                 }
             }
             // With repair off (ablation): how bad do the runs get?
-            let mut unmaintained = DynamicSkipGraph::new(
-                0..n,
-                DsgConfig::default()
-                    .with_a(a)
-                    .with_seed(3)
-                    .with_balance_maintenance(false),
-            )
-            .unwrap();
+            let mut unmaintained = DsgSession::builder()
+                .peers(0..n)
+                .a(a)
+                .seed(3)
+                .balance_maintenance(false)
+                .build()
+                .unwrap();
+            let unmaintained = unmaintained.engine_mut();
             for request in &trace {
-                unmaintained.communicate(request.u, request.v).unwrap();
+                let (u, v) = request.pair();
+                unmaintained.communicate(u, v).unwrap();
             }
             let unmaintained_report = unmaintained.graph().check_balance(a);
             rows.push(vec![

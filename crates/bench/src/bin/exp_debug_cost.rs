@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release -p dsg-bench --bin exp_debug_cost`.
 
-use dsg::{DsgConfig, DynamicSkipGraph};
+use dsg::prelude::*;
 use dsg_baselines::{Baseline, StaticSkipGraph};
 use dsg_workloads::{RepeatedPairs, RotatingHotSet, UniformRandom, Workload, ZipfPairs};
 
@@ -17,20 +17,32 @@ fn main() {
         ("repeated3 n=128", 128u64, RepeatedPairs::new(128, vec![(3, 90), (45, 77), (10, 11)]).generate(60)),
         ("datacenter n=128", 128u64, dsg_workloads::Datacenter::conventional(128, 13).generate(800)),
     ] {
-        let mut net = DynamicSkipGraph::new(0..n, DsgConfig::default().with_seed(3)).unwrap();
+        let mut session = DsgSession::builder()
+            .peers(0..n)
+            .seed(3)
+            .build()
+            .unwrap();
+        let net = session.engine_mut();
         let mut with_dummies = 0usize;
         let mut without_dummies = 0usize;
         let mut worst_late = 0usize;
         for (i, r) in trace.iter().enumerate() {
-            without_dummies += net.peer_distance(r.u, r.v).unwrap();
-            let out = net.communicate(r.u, r.v).unwrap();
+            let (u, v) = r.pair();
+            without_dummies += net.peer_distance(u, v).unwrap();
+            let out = net.communicate(u, v).unwrap();
             with_dummies += out.routing_cost;
             if i >= 3 && trace.len() < 100 {
                 worst_late = worst_late.max(out.routing_cost);
             }
         }
         let mut st = StaticSkipGraph::new(n);
-        let static_total: usize = trace.iter().map(|r| st.serve(r.u, r.v)).sum();
+        let static_total: usize = trace
+            .iter()
+            .map(|r| {
+                let (u, v) = r.pair();
+                st.serve(u, v)
+            })
+            .sum();
         println!(
             "{name}: dsg avg {:.2} (peers only {:.2}), static {:.2}, height {}, dummies {}, worst_late {}",
             with_dummies as f64 / trace.len() as f64,

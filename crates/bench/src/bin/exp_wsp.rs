@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release -p dsg-bench --bin exp_wsp`.
 
-use dsg::{DsgConfig, DynamicSkipGraph};
+use dsg::prelude::*;
 use dsg_bench::{f2, format_table};
 use dsg_metrics::WorkingSetTracker;
 use dsg_workloads::{RepeatedPairs, RotatingHotSet, Workload, ZipfPairs};
@@ -26,7 +26,12 @@ fn main() {
         ("zipf 1.2", ZipfPairs::new(n, 1.2, 9).generate(requests)),
     ];
     for (name, trace) in workloads {
-        let mut net = DynamicSkipGraph::new(0..n, DsgConfig::default().with_seed(6)).unwrap();
+        let mut session = DsgSession::builder()
+            .peers(0..n)
+            .seed(6)
+            .build()
+            .unwrap();
+        let net = session.engine_mut();
         let mut tracker = WorkingSetTracker::new(n as usize);
         let mut worst_ratio = 0.0f64;
         let mut sum_ratio = 0.0f64;
@@ -34,9 +39,10 @@ fn main() {
         let mut violations = 0usize;
         let a = net.config().a as f64;
         for request in &trace {
-            let ws = tracker.record(request.u, request.v);
-            let distance = net.peer_distance(request.u, request.v).unwrap();
-            net.communicate(request.u, request.v).unwrap();
+            let (u, v) = request.pair();
+            let ws = tracker.record(u, v);
+            let distance = net.peer_distance(u, v).unwrap();
+            net.communicate(u, v).unwrap();
             if ws < n as usize {
                 let log_ws = (ws.max(2) as f64).log2();
                 let ratio = distance as f64 / log_ws;

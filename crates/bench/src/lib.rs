@@ -14,12 +14,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use dsg::{DsgConfig, DynamicSkipGraph};
+use dsg::prelude::*;
 use dsg_baselines::Baseline;
-use dsg_metrics::WorkingSetTracker;
+use dsg_metrics::{MetricsObserver, WorkingSetTracker};
 use dsg_skipgraph::reference::ReferenceGraph;
 use dsg_skipgraph::{Key, SkipGraph};
-use dsg_workloads::{Request, RotatingHotSet, Trace, UniformRandom, Workload, ZipfPairs};
+use dsg_workloads::{RotatingHotSet, Trace, UniformRandom, Workload, ZipfPairs};
 
 /// The network sizes the micro perf suite sweeps (`benches/core.rs` and
 /// the `route`/`neighbors` tables of the `bench_perf` binary).
@@ -30,6 +30,14 @@ pub const SIZES: &[u64] = &[256, 1024, 4096];
 /// differential (PR 2); the microbenchmarks keep the smaller sweep so the
 /// reference-representation comparison stays affordable.
 pub const COMM_SIZES: &[u64] = &[256, 1024, 4096, 8192];
+
+/// The network sizes the epoch-batched `communicate_batched` suite sweeps.
+pub const COMM_BATCH_SIZES: &[u64] = &[1024, 4096, 8192];
+
+/// The batch sizes the `communicate_batched` suite sweeps. Batch 1 is the
+/// sequential baseline (one epoch per request); the other sizes serve one
+/// chunk per [`DsgSession::submit_batch`] call.
+pub const BATCH_SIZES: &[usize] = &[1, 4, 16];
 
 /// The three canonical workload shapes of the perf suite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,11 +155,21 @@ pub struct DsgRun {
     pub pair_levels: Vec<usize>,
     /// Changed `(node, level)` pairs the differential install touched, per
     /// request (the work the install performed; a full per-node re-splice
-    /// would touch every pair of every member instead).
+    /// would touch every pair of every member instead). Within a batched
+    /// epoch, cluster totals are attributed to the cluster's first request.
     pub touched_pairs: Vec<usize>,
+    /// Transformation epochs the replay was served in (= requests for a
+    /// sequential replay).
+    pub epochs: usize,
+    /// Transformation-install passes pushed into the structure (= epochs
+    /// under the batched install strategy).
+    pub install_passes: usize,
+    /// Dummy nodes created + destroyed over the whole trace (the churn the
+    /// key index's fasthash half accelerates).
+    pub dummy_churn: usize,
     /// Dummy nodes alive after the whole trace.
     pub final_dummies: usize,
-    /// Whether the a-balance property held after every request.
+    /// Whether the a-balance property held after every batch boundary.
     pub always_balanced: bool,
 }
 
@@ -194,48 +212,84 @@ impl DsgRun {
     }
 }
 
-/// Replays `trace` on a fresh `n`-peer [`DynamicSkipGraph`] built with
-/// `config`, collecting the per-request metrics the experiments report.
+/// Replays `trace` sequentially (one request per epoch) on a fresh
+/// `n`-peer session built with `config`, collecting the per-request
+/// metrics the experiments report. Equivalent to
+/// [`run_dsg_batched`] with a batch size of 1.
 ///
 /// # Panics
 ///
 /// Panics if the trace references peers outside `0..n` (traces from
 /// `dsg-workloads` never do).
 pub fn run_dsg(n: u64, config: DsgConfig, trace: &[Request]) -> DsgRun {
-    let mut net = DynamicSkipGraph::new(0..n, config).expect("peer keys 0..n are distinct");
-    let mut tracker = WorkingSetTracker::new(n as usize);
+    run_dsg_batched(n, config, trace, 1)
+}
+
+/// Replays `trace` through [`DsgSession::submit_batch`] in chunks of
+/// `batch` requests, collecting the metrics via the default recording
+/// observer ([`MetricsObserver`]). With `batch == 1` this is the classic
+/// sequential replay; larger batches serve each chunk as one
+/// transformation epoch (pairs sharing an endpoint within a chunk split
+/// into successive epochs), which is the `communicate_batched` surface of
+/// the perf harness.
+///
+/// # Panics
+///
+/// Panics if the trace references peers outside `0..n`.
+pub fn run_dsg_batched(n: u64, config: DsgConfig, trace: &[Request], batch: usize) -> DsgRun {
+    let mut session = DsgSession::builder()
+        .config(config)
+        .peers(0..n)
+        .build()
+        .expect("peer keys 0..n are distinct and the config is valid");
+    let metrics = session.observe(MetricsObserver::new());
     let mut run = DsgRun {
         always_balanced: true,
         ..DsgRun::default()
     };
-    for request in trace {
-        let ws = tracker.record(request.u, request.v);
-        let outcome = net
-            .communicate(request.u, request.v)
-            .expect("trace peers exist");
-        run.routing_costs.push(outcome.routing_cost);
-        run.transformation_rounds
-            .push(outcome.transformation_rounds());
-        run.total_costs.push(outcome.total_cost());
-        run.heights.push(outcome.height_after);
-        run.working_sets.push(ws);
-        run.pair_levels.push(outcome.pair_level);
-        run.touched_pairs.push(outcome.touched_pairs);
+    for chunk in trace.chunks(batch.max(1)) {
+        session.submit_batch(chunk).expect("trace peers exist");
         // Once a single unbalanced state has been observed the flag cannot
         // recover, so the (whole-graph) balance sweep is skipped from then
-        // on — same result, no redundant O(n · height) work per request.
-        if run.always_balanced && !net.balance_report().is_balanced() {
+        // on — same result, no redundant O(n · height) work per batch.
+        if run.always_balanced && !session.engine().balance_report().is_balanced() {
             run.always_balanced = false;
         }
     }
-    run.final_dummies = net.dummy_count();
+    // Per-request series (working sets included) cover the *communication*
+    // requests of the trace, in order; membership/clock requests are served
+    // by the replay above but contribute no series entry.
+    let mut tracker = WorkingSetTracker::new(n as usize);
+    for (u, v) in trace.iter().filter_map(|r| r.endpoints()) {
+        run.working_sets.push(tracker.record(u, v));
+    }
+    {
+        let metrics = metrics.borrow();
+        run.routing_costs = metrics.routing_costs.clone();
+        run.transformation_rounds = metrics.transformation_rounds.clone();
+        run.total_costs = metrics.total_costs.clone();
+        run.heights = metrics.heights.clone();
+        run.pair_levels = metrics.pair_levels.clone();
+        run.touched_pairs = metrics.touched_pairs.clone();
+        run.epochs = metrics.epochs;
+        run.install_passes = metrics.install_passes;
+        run.dummy_churn = metrics.dummies_inserted + metrics.dummies_destroyed;
+    }
+    run.final_dummies = session.engine().dummy_count();
     run
 }
 
-/// Replays `trace` on a baseline overlay and returns the per-request routing
-/// costs.
+/// Replays `trace` on a baseline overlay and returns the per-request
+/// routing costs. Like [`Baseline::serve_trace`], only communication
+/// requests contribute (baselines model a fixed peer population), so the
+/// returned series aligns with the per-request series of [`run_dsg`] for
+/// the same trace.
 pub fn run_baseline<B: Baseline>(baseline: &mut B, trace: &[Request]) -> Vec<usize> {
-    trace.iter().map(|r| baseline.serve(r.u, r.v)).collect()
+    trace
+        .iter()
+        .filter_map(|r| r.endpoints())
+        .map(|(u, v)| baseline.serve(u, v))
+        .collect()
 }
 
 /// Formats a plain-text table with aligned columns.

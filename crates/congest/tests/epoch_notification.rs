@@ -1,0 +1,86 @@
+//! Cross-layer validation: the per-epoch notification charge of the
+//! session API against the CONGEST simulator.
+//!
+//! `DsgSession::submit_batch` charges every transformation cluster
+//! `1 + a · ⌈log₂ |l_α|⌉` rounds for broadcasting the epoch notification
+//! (the communicating pairs' vectors, timestamps, group-ids and
+//! group-bases) through the sub skip graph rooted at the cluster's list.
+//! This test replays an epoch through a real session, reads the charged
+//! notification rounds off the request outcomes, and checks the analytical
+//! charge dominates an actual [`Broadcast`] execution over a balanced
+//! skip-list tree of the same membership — per pair of the epoch, since a
+//! k-pair cluster reuses ONE notification broadcast where k sequential
+//! requests would each pay their own.
+
+use dsg::prelude::*;
+use dsg_congest::protocols::{Broadcast, Tree};
+use dsg_congest::{SimConfig, Simulator, Topology};
+
+/// Builds the balanced-skip-list tree over `n` positions the paper's
+/// broadcast primitive runs on: level `l` keeps every 2^l-th position.
+fn balanced_tree(n: usize) -> Tree {
+    let mut levels: Vec<Vec<usize>> = Vec::new();
+    let mut step = 1usize;
+    while step <= n {
+        levels.push((0..n).step_by(step).collect());
+        step *= 2;
+    }
+    Tree::from_skip_list_levels(&levels)
+}
+
+/// Runs the broadcast over the tree and returns the rounds it took.
+fn broadcast_rounds(n: usize) -> usize {
+    let tree = balanced_tree(n);
+    let topology = Topology::from_edges(n, tree.edges());
+    let nodes = Broadcast::nodes(&tree, 42);
+    let mut sim = Simulator::new(topology, nodes, SimConfig::for_n(n));
+    let report = sim.run_to_completion().expect("broadcast completes");
+    assert!(sim.nodes().iter().all(|b| b.value() == Some(42)));
+    report.rounds
+}
+
+#[test]
+fn notification_charge_formula_dominates_real_broadcasts() {
+    // The session charges every cluster 1 + a · ⌈log₂ m⌉ notification
+    // rounds for a membership of m; the simulator must never need more.
+    let a = DsgConfig::default().a;
+    for m in [2usize, 3, 5, 8, 16, 33, 64, 200] {
+        let simulated = broadcast_rounds(m);
+        let charged = 1 + a * (m.max(2) as f64).log2().ceil() as usize;
+        assert!(
+            charged >= simulated,
+            "membership {m}: charged {charged} rounds, simulator needed {simulated}"
+        );
+    }
+}
+
+#[test]
+fn batched_epochs_never_charge_more_notification_rounds_than_sequential() {
+    let n = 64u64;
+    let mut session = DsgSession::builder().peers(0..n).seed(11).build().unwrap();
+    // Four endpoint-disjoint pairs: one epoch; each cluster pays one
+    // notification broadcast, shared by every pair it serves.
+    let batch: Vec<Request> = (0..4).map(|i| Request::communicate(i, i + 32)).collect();
+    let outcome = session.submit_batch(&batch).unwrap();
+    assert_eq!(outcome.epochs, 1);
+
+    let mut sequential = DsgSession::builder().peers(0..n).seed(11).build().unwrap();
+    let mut seq_notification = 0usize;
+    for request in &batch {
+        let served = sequential.submit(*request).unwrap();
+        seq_notification += served
+            .request_outcome()
+            .unwrap()
+            .breakdown
+            .notification_rounds;
+    }
+    let batch_notification: usize = outcome
+        .request_outcomes()
+        .map(|o| o.breakdown.notification_rounds)
+        .sum();
+    assert!(
+        batch_notification <= seq_notification,
+        "batched epoch charged {batch_notification} notification rounds, \
+         sequential replay {seq_notification}"
+    );
+}

@@ -78,6 +78,12 @@ pub struct RunStats {
     /// this to show the diff-install win per workload, not just via wall
     /// clock).
     pub transform_touched_pairs: usize,
+    /// Number of transformation-install passes pushed into the skip graph.
+    /// A sequential request sequence performs one pass per request; an
+    /// epoch-batched session performs one pass per *epoch* regardless of
+    /// how many requests the epoch served — this counter is the observable
+    /// behind that claim (the batch tests assert on it).
+    pub transform_install_passes: usize,
 }
 
 impl RunStats {

@@ -1,4 +1,4 @@
-//! The public driver: [`DynamicSkipGraph`] (Algorithm 1 end to end).
+//! The engine: [`DynamicSkipGraph`] (Algorithm 1 end to end, epoch-batched).
 //!
 //! A `DynamicSkipGraph` owns a skip graph substrate, the per-node
 //! self-adjusting state, and the configuration. [`communicate`] serves one
@@ -6,19 +6,26 @@
 //! priorities, merge the communicating groups, split level by level against
 //! approximate medians, reassign group-ids/group-bases/timestamps, repair
 //! the a-balance property, and account every CONGEST round consumed.
+//! [`communicate_epoch`] is the batched generalisation behind
+//! [`DsgSession::submit_batch`](crate::DsgSession::submit_batch): several
+//! pairs per transformation epoch, one install pass. Applications should
+//! drive the engine through a [`DsgSession`](crate::DsgSession).
 //!
 //! Application ("external") peer keys are plain `u64`s; internally they are
 //! spaced out (multiplied by [`DynamicSkipGraph::KEY_SPACING`]) so that
 //! dummy nodes always find an unused key between any two peers.
 //!
 //! [`communicate`]: DynamicSkipGraph::communicate
+//! [`communicate_epoch`]: DynamicSkipGraph::communicate_epoch
 
 use std::collections::{HashMap, HashSet};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use dsg_skipgraph::{FastHashState, Key, MembershipVector, NodeId, Prefix, SkipGraph};
+use dsg_skipgraph::{
+    FastHashState, Key, MembershipUpdate, MembershipVector, NodeId, Prefix, SkipGraph,
+};
 
 use crate::amf::{AmfMedian, ExactMedian, MedianFinder};
 use crate::config::{DsgConfig, InstallStrategy, MedianStrategy};
@@ -28,7 +35,7 @@ use crate::error::DsgError;
 use crate::groups::{self, GroupScratch, GroupUpdateInput};
 use crate::state::{NodeState, StateTable};
 use crate::timestamps::{self, TimestampInput};
-use crate::transform::{self, TransformInput};
+use crate::transform::{self, TransformInput, TransformOutcome, TransformPair, MAX_EPOCH_PAIRS};
 use crate::Result;
 
 /// What serving one communication request cost and produced.
@@ -81,19 +88,24 @@ impl MedianEngine {
     }
 }
 
-/// Reusable per-request buffers for [`DynamicSkipGraph::communicate`].
+/// Reusable per-epoch buffers for [`DynamicSkipGraph::communicate_epoch`].
 ///
-/// One request needs a member snapshot of `l_α`, the members' old
-/// membership vectors, and the two communicating groups' prior member
-/// sets. Rebuilding those as fresh `Vec`/`HashMap`/`HashSet` values on
-/// every request made the hot loop allocation-bound; the buffers are now
-/// owned by the network and cleared (capacity retained) per request.
+/// One epoch needs member snapshots of the rebuilt subtree roots, the
+/// members' old and new membership vectors, and each communicating pair's
+/// prior group member sets. Rebuilding those as fresh `Vec`/`HashMap`/
+/// `HashSet` values on every request made the hot loop allocation-bound;
+/// the buffers are owned by the network and cleared (capacity retained)
+/// per use.
 #[derive(Debug, Default)]
 struct CommScratch {
     members: Vec<NodeId>,
     old_mvecs: HashMap<NodeId, MembershipVector, FastHashState>,
-    u_group_before: HashSet<NodeId, FastHashState>,
-    v_group_before: HashSet<NodeId, FastHashState>,
+    /// Post-transformation vectors of the members whose vector changed
+    /// (rule T3 resolves through this map so the timestamp rules can run
+    /// before the deferred epoch install).
+    new_mvecs: HashMap<NodeId, MembershipVector, FastHashState>,
+    /// Per-pair pre-merge group snapshots (u's group, v's group), pooled.
+    pair_snaps: Vec<(HashSet<NodeId, FastHashState>, HashSet<NodeId, FastHashState>)>,
     groups: GroupScratch,
     /// Lists whose membership or split pattern the install changed — the
     /// scope of the differential dummy GC and balance repair. Filled by the
@@ -101,8 +113,67 @@ struct CommScratch {
     /// on the per-node reference path; sorted + deduplicated before the
     /// repair so its order is deterministic.
     affected: Vec<(usize, Prefix)>,
+    /// The slice of [`CommScratch::affected`] belonging to one cluster.
+    cluster_affected: Vec<(usize, Prefix)>,
     /// Stale dummies found in affected lists, pending destruction.
     stale_dummies: Vec<NodeId>,
+}
+
+/// One cluster of an epoch: the pairs whose `l_α` subtrees overlap, merged
+/// under the deepest list containing all their endpoints.
+#[derive(Debug)]
+struct ClusterPlan {
+    /// Level of the merged subtree root list.
+    root_level: usize,
+    /// Prefix of the merged subtree root list (the meet of the member
+    /// pairs' `l_α` prefixes).
+    root_prefix: Prefix,
+    /// Indices into the epoch's pair slice, ascending (submission order).
+    pair_indices: Vec<usize>,
+}
+
+/// Per-cluster state carried from the transformation phase to the install
+/// and repair phases of one epoch.
+#[derive(Debug)]
+struct ClusterRun {
+    outcome: TransformOutcome,
+    /// Rounds of the per-pair `G_lower` broadcasts, parallel to
+    /// [`ClusterPlan::pair_indices`].
+    group_rounds: Vec<usize>,
+    /// Rounds charged for the transformation notification broadcast.
+    notification_rounds: usize,
+    /// Members of the root list (dummies excluded) — retained only for the
+    /// per-node reference install, which re-splices each member.
+    members: Vec<NodeId>,
+    /// Affected lists derived from the diff plan (per-node reference path
+    /// only; the batch installer collects them itself).
+    derived_affected: Vec<(usize, Prefix)>,
+}
+
+/// What serving one transformation epoch produced: the per-request
+/// outcomes plus the epoch-level accounting that proves the batched path's
+/// claim — however many pairs an epoch serves, the transformation results
+/// are pushed into the structure by (at most) one install pass.
+#[derive(Debug, Clone, Default)]
+pub struct EpochReport {
+    /// Per-request outcomes, in submission order. Within an epoch, cluster
+    /// -level quantities (touched pairs, transformation rounds, inserted
+    /// dummies) are attributed to the first request of each cluster so that
+    /// sums over the report equal the epoch totals.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Number of merged transformations the epoch ran (clusters of pairs
+    /// with overlapping `l_α` subtrees; disjoint pairs keep their own).
+    pub clusters: usize,
+    /// Number of transformation-install passes pushed into the skip graph:
+    /// 1 under [`InstallStrategy::Batched`] regardless of the batch size,
+    /// one per cluster under the per-node reference strategy.
+    pub install_passes: usize,
+    /// Changed `(node, level)` pairs installed across the epoch.
+    pub touched_pairs: usize,
+    /// Dummy nodes destroyed by the differential GC across the epoch.
+    pub dummies_destroyed: usize,
+    /// Dummy nodes inserted by the balance repairs across the epoch.
+    pub dummies_inserted: usize,
 }
 
 /// A locally self-adjusting skip graph (the paper's DSG algorithm).
@@ -135,10 +206,24 @@ impl DynamicSkipGraph {
     /// Use [`DynamicSkipGraph::new_random`] for the classic randomised
     /// construction instead.
     ///
+    /// **Deprecation note:** `DsgSession::builder()` (see
+    /// [`crate::prelude`]) is the supported construction path; this
+    /// constructor remains as a thin shim.
+    ///
     /// # Errors
     ///
     /// Returns [`DsgError::DuplicatePeer`] if a key appears twice.
+    #[deprecated(note = "build a DsgSession via DsgSession::builder() (see dsg::prelude)")]
     pub fn new<I>(peers: I, config: DsgConfig) -> Result<Self>
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        Self::build_balanced(peers, config)
+    }
+
+    /// Non-deprecated twin of [`DynamicSkipGraph::new`], used by the
+    /// session builder.
+    pub(crate) fn build_balanced<I>(peers: I, config: DsgConfig) -> Result<Self>
     where
         I: IntoIterator<Item = u64>,
     {
@@ -172,10 +257,23 @@ impl DynamicSkipGraph {
     /// requests may trigger more dummy-node repairs than with
     /// [`DynamicSkipGraph::new`].
     ///
+    /// **Deprecation note:** prefer `DsgSession::builder().random_vectors()`
+    /// (see [`crate::prelude`]).
+    ///
     /// # Errors
     ///
     /// Returns [`DsgError::DuplicatePeer`] if a key appears twice.
+    #[deprecated(note = "build a DsgSession via DsgSession::builder().random_vectors()")]
     pub fn new_random<I>(peers: I, config: DsgConfig) -> Result<Self>
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        Self::build_random(peers, config)
+    }
+
+    /// Non-deprecated twin of [`DynamicSkipGraph::new_random`], used by
+    /// the session builder.
+    pub(crate) fn build_random<I>(peers: I, config: DsgConfig) -> Result<Self>
     where
         I: IntoIterator<Item = u64>,
     {
@@ -193,10 +291,23 @@ impl DynamicSkipGraph {
     /// Builds a network from explicit `(peer key, membership vector)` pairs;
     /// useful for reconstructing the paper's worked examples and for tests.
     ///
+    /// **Deprecation note:** prefer `DsgSession::builder().members(...)`
+    /// (see [`crate::prelude`]).
+    ///
     /// # Errors
     ///
     /// Returns [`DsgError::DuplicatePeer`] if a key appears twice.
+    #[deprecated(note = "build a DsgSession via DsgSession::builder().members(...)")]
     pub fn from_parts<I>(members: I, config: DsgConfig) -> Result<Self>
+    where
+        I: IntoIterator<Item = (u64, MembershipVector)>,
+    {
+        Self::build_from_members(members, config)
+    }
+
+    /// Non-deprecated twin of [`DynamicSkipGraph::from_parts`], used by
+    /// the session builder.
+    pub(crate) fn build_from_members<I>(members: I, config: DsgConfig) -> Result<Self>
     where
         I: IntoIterator<Item = (u64, MembershipVector)>,
     {
@@ -472,7 +583,7 @@ impl DynamicSkipGraph {
                 &mut self.graph,
                 &mut self.states,
                 self.config.a,
-                None,
+                &[],
                 None,
             );
             self.stats.dummy_nodes_created += repair.inserted.len();
@@ -496,7 +607,7 @@ impl DynamicSkipGraph {
                 &mut self.graph,
                 &mut self.states,
                 self.config.a,
-                None,
+                &[],
                 None,
             );
             self.stats.dummy_nodes_created += repair.inserted.len();
@@ -512,231 +623,475 @@ impl DynamicSkipGraph {
     /// Serves a communication request from peer `u` to peer `v`: routes it
     /// in the current topology, then transforms the topology so that the two
     /// peers end up directly linked, per Algorithm 1 of the paper.
+    /// Equivalent to a one-pair epoch of
+    /// [`communicate_epoch`](Self::communicate_epoch).
     ///
     /// # Errors
     ///
     /// Returns [`DsgError::UnknownPeer`] for unknown peers and
     /// [`DsgError::SelfCommunication`] when `u == v`.
     pub fn communicate(&mut self, u: u64, v: u64) -> Result<RequestOutcome> {
-        if u == v {
-            return Err(DsgError::SelfCommunication(u));
+        let mut report = self.communicate_epoch(&[(u, v)])?;
+        Ok(report.outcomes.remove(0))
+    }
+
+    /// Serves up to [`MAX_EPOCH_PAIRS`] communication requests as **one
+    /// transformation epoch**.
+    ///
+    /// Every pair is routed first (step 1a, in the pre-epoch topology);
+    /// pairs whose `l_α` subtrees are disjoint then run their own
+    /// transformations exactly as a sequence of [`communicate`] calls
+    /// would, while pairs with *overlapping* subtrees are merged into one
+    /// transformation over the deepest list containing all their endpoints
+    /// (see [`TransformInput`] for the deterministic multi-pair split
+    /// rules). All resulting membership changes are pushed into the
+    /// structure by a **single**
+    /// [`apply_membership_batch`](dsg_skipgraph::SkipGraph::apply_membership_batch)
+    /// install pass — one epoch, one install, however many pairs — followed
+    /// by one differential dummy-GC/a-balance-repair pass per cluster.
+    ///
+    /// For pairs with pairwise-disjoint subtrees the final structure and
+    /// self-adjusting state are identical to serving the pairs one by one
+    /// (the repository's differential proptests assert this); only the
+    /// *reported* routing costs can differ, because every pair is routed
+    /// before any transformation runs. Overlapping pairs are served by the
+    /// merged transformation with the documented tie-break: more recent
+    /// requests carry higher split priority.
+    ///
+    /// [`communicate`]: Self::communicate
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsgError::UnknownPeer`] / [`DsgError::SelfCommunication`]
+    /// as [`communicate`] does, [`DsgError::BatchEndpointReuse`] if a peer
+    /// appears as an endpoint twice (the session layer splits such batches
+    /// into successive epochs), and [`DsgError::BatchTooLarge`] beyond
+    /// [`MAX_EPOCH_PAIRS`] pairs. Validation happens before any state
+    /// changes.
+    pub fn communicate_epoch(&mut self, pairs: &[(u64, u64)]) -> Result<EpochReport> {
+        if pairs.is_empty() {
+            return Ok(EpochReport::default());
         }
-        let u_id = self.peer_id(u)?;
-        let v_id = self.peer_id(v)?;
-        self.time += 1;
-        let t = self.time;
-
-        // Step 1a: establish the communication with standard routing.
-        let route = self.graph.route_ids(u_id, v_id)?;
-        let routing_cost = route.intermediate_nodes();
-
-        // Step 1b: find α and notify every node of l_α. Dummy nodes are
-        // routing-only placeholders, so they are excluded from the member
-        // snapshot; unlike the wholesale self-destruction of §IV-F they are
-        // garbage-collected *differentially* after the install below — only
-        // the dummies sitting in lists the transformation actually rebuilt
-        // are destroyed, the rest keep balancing lists that did not change.
-        // The member snapshot and the group/vector snapshots below live in
-        // reusable scratch buffers (cleared, capacity retained): after
-        // warm-up a request allocates nothing here. `scratch` is a disjoint
-        // field borrow, so it coexists with the graph/states borrows below.
-        let alpha = self.graph.common_level(u_id, v_id)?;
-        let scratch = &mut self.scratch;
-        scratch.members.clear();
+        if pairs.len() > MAX_EPOCH_PAIRS {
+            return Err(DsgError::BatchTooLarge {
+                size: pairs.len(),
+                max: MAX_EPOCH_PAIRS,
+            });
+        }
+        // Validate the whole epoch up front: known peers, no self requests,
+        // no endpoint shared between two pairs (pair atomicity inside the
+        // transformation relies on it).
+        let mut ids: Vec<(NodeId, NodeId)> = Vec::with_capacity(pairs.len());
         {
-            let graph = &self.graph;
-            scratch.members.extend(
-                graph
-                    .list_of_iter(u_id, alpha)?
-                    .filter(|&id| !graph.node(id).map(|e| e.is_dummy()).unwrap_or(false)),
-            );
-        }
-        let members = &scratch.members;
-        // Broadcasting the notification through the sub skip graph rooted at
-        // l_α takes O(a · log |l_α|) rounds.
-        let notification_rounds = 1 + self.config.a
-            * (members.len().max(2) as f64).log2().ceil() as usize;
-
-        // Snapshots needed by the timestamp rules.
-        scratch.old_mvecs.clear();
-        scratch.old_mvecs.extend(
-            scratch
-                .members
-                .iter()
-                .map(|&id| (id, self.graph.mvec_of(id).expect("member is live"))),
-        );
-        let gu = self.states.group_id(u_id, alpha);
-        let gv = self.states.group_id(v_id, alpha);
-        scratch.u_group_before.clear();
-        scratch.u_group_before.extend(
-            scratch
-                .members
-                .iter()
-                .copied()
-                .filter(|&x| x != u_id && x != v_id && self.states.group_id(x, alpha) == gu),
-        );
-        scratch.v_group_before.clear();
-        scratch.v_group_before.extend(
-            scratch
-                .members
-                .iter()
-                .copied()
-                .filter(|&x| x != u_id && x != v_id && self.states.group_id(x, alpha) == gv),
-        );
-
-        // Steps 2–9: the transformation proper.
-        let input = TransformInput {
-            u: u_id,
-            v: v_id,
-            t,
-            alpha,
-            a: self.config.a,
-        };
-        let outcome = match self.config.install {
-            // The batched installer only needs the diff plan, so the full
-            // per-member suffix map is skipped.
-            InstallStrategy::Batched => transform::run_transformation_lean(
-                &self.graph,
-                &mut self.states,
-                self.median.as_finder(),
-                &input,
-                members,
-            ),
-            InstallStrategy::PerNode => transform::run_transformation(
-                &self.graph,
-                &mut self.states,
-                self.median.as_finder(),
-                &input,
-                members,
-            ),
-        };
-
-        // Install the new membership vectors. The batched path touches only
-        // the changed (node, level) pairs reported by the transformation;
-        // the per-node path re-splices every member and is kept as the
-        // observably-identical reference (differential tests compare the
-        // two end to end).
-        let touched_pairs = match self.config.install {
-            InstallStrategy::Batched => self
-                .graph
-                .apply_membership_batch_collecting(&outcome.changes, &mut scratch.affected)?,
-            InstallStrategy::PerNode => {
-                for &node in members.iter() {
-                    if let Some(bits) = outcome.suffixes.get(&node) {
-                        self.graph
-                            .set_membership_suffix(node, alpha + 1, bits.iter().copied())?;
-                    }
+            // ≤ 2 · MAX_EPOCH_PAIRS endpoints: a linear scan beats hashing.
+            let mut seen: Vec<u64> = Vec::with_capacity(2 * pairs.len());
+            for &(u, v) in pairs {
+                if u == v {
+                    return Err(DsgError::SelfCommunication(u));
                 }
-                outcome.touched_pairs
+                let u_id = self.peer_id(u)?;
+                let v_id = self.peer_id(v)?;
+                for peer in [u, v] {
+                    if seen.contains(&peer) {
+                        return Err(DsgError::BatchEndpointReuse(peer));
+                    }
+                    seen.push(peer);
+                }
+                ids.push((u_id, v_id));
             }
-        };
+        }
+        let t0 = self.time;
+        self.time += pairs.len() as u64;
 
-        // Step 10: group-ids and group-bases below α (Appendix C).
-        let group_input = GroupUpdateInput {
-            u: u_id,
-            v: v_id,
-            alpha,
-            members_alpha: members,
-            outcome: &outcome,
-        };
-        let group_outcome = groups::apply_group_updates(
-            &self.graph,
-            &mut self.states,
-            &group_input,
-            &mut scratch.groups,
-        );
+        // Step 1a for every pair: establish the communications with
+        // standard routing, and record each pair's α and `l_α` prefix in
+        // the pre-epoch structure.
+        let mut routing_costs = Vec::with_capacity(pairs.len());
+        let mut alphas = Vec::with_capacity(pairs.len());
+        let mut prefixes = Vec::with_capacity(pairs.len());
+        for &(u_id, v_id) in &ids {
+            let route = self.graph.route_ids(u_id, v_id)?;
+            routing_costs.push(route.intermediate_nodes());
+            let alpha = self.graph.common_level(u_id, v_id)?;
+            alphas.push(alpha);
+            prefixes.push(self.graph.mvec_of(u_id)?.prefix(alpha));
+        }
+        let clusters = cluster_pairs(&alphas, &prefixes);
+        let per_node = matches!(self.config.install, InstallStrategy::PerNode);
 
-        // Step 11: timestamps (rules T1–T6).
-        let ts_input = TimestampInput {
-            u: u_id,
-            v: v_id,
-            t,
-            alpha,
-            members_alpha: members,
-            old_mvecs: &scratch.old_mvecs,
-            u_group_before: &scratch.u_group_before,
-            v_group_before: &scratch.v_group_before,
-            glower_recipients: &scratch.groups.recipients,
-            outcome: &outcome,
-        };
-        timestamps::apply_timestamp_rules(&self.graph, &mut self.states, &ts_input);
+        // Phase A, per cluster in submission order: steps 1b–11 — member
+        // snapshot, the transformation proper, and the per-pair group-id
+        // and timestamp rules. The install is *deferred*: every read these
+        // steps perform is either confined to the cluster's own subtree or
+        // provably install-invariant (lists at levels ≤ α keep their
+        // membership; rule T3 resolves new vectors through the diff plan),
+        // so running them before the merged install is observably identical
+        // to the classic per-request order.
+        let mut cluster_runs: Vec<ClusterRun> = Vec::with_capacity(clusters.len());
+        for cluster in &clusters {
+            let scratch = &mut self.scratch;
+            scratch.members.clear();
+            {
+                let graph = &self.graph;
+                scratch.members.extend(
+                    graph
+                        .list_iter(cluster.root_level, cluster.root_prefix)
+                        .filter(|&id| !graph.node(id).map(|e| e.is_dummy()).unwrap_or(false)),
+                );
+            }
+            // Broadcasting the notification through the sub skip graph
+            // rooted at the cluster root takes O(a · log |l_α|) rounds.
+            let notification_rounds = 1 + self.config.a
+                * (scratch.members.len().max(2) as f64).log2().ceil() as usize;
 
-        // Step 7 (deferred): differential dummy GC and a-balance repair.
-        // The affected set — every list whose membership or next-level
-        // split pattern the install changed — is derived from the diff
-        // plan: for a node whose vector changed from `from_level` upward,
-        // the lists along its old and new prefix paths from `from_level - 1`
-        // (the deepest list whose *runs* changed) to its old/new top.
-        let mut dummies_inserted = 0usize;
-        let mut repair_rounds = 0usize;
-        if self.config.maintain_balance {
-            let batched = matches!(self.config.install, InstallStrategy::Batched);
-            if !batched {
-                // Reference path: derive the affected lists from the diff
-                // plan (the batched installer collects them as it goes).
-                scratch.affected.clear();
+            // Snapshots needed by the timestamp rules.
+            scratch.old_mvecs.clear();
+            scratch.old_mvecs.extend(
+                scratch
+                    .members
+                    .iter()
+                    .map(|&id| (id, self.graph.mvec_of(id).expect("member is live"))),
+            );
+            while scratch.pair_snaps.len() < cluster.pair_indices.len() {
+                scratch.pair_snaps.push(Default::default());
+            }
+            for (j, &pi) in cluster.pair_indices.iter().enumerate() {
+                let (u_id, v_id) = ids[pi];
+                let gu = self.states.group_id(u_id, cluster.root_level);
+                let gv = self.states.group_id(v_id, cluster.root_level);
+                let states = &self.states;
+                let (u_set, v_set) = &mut scratch.pair_snaps[j];
+                u_set.clear();
+                u_set.extend(scratch.members.iter().copied().filter(|&x| {
+                    x != u_id && x != v_id && states.group_id(x, cluster.root_level) == gu
+                }));
+                v_set.clear();
+                v_set.extend(scratch.members.iter().copied().filter(|&x| {
+                    x != u_id && x != v_id && states.group_id(x, cluster.root_level) == gv
+                }));
+            }
+
+            // Steps 2–9: the transformation proper (one engine run for the
+            // whole cluster).
+            let tpairs: Vec<TransformPair> = cluster
+                .pair_indices
+                .iter()
+                .map(|&pi| TransformPair {
+                    u: ids[pi].0,
+                    v: ids[pi].1,
+                    t: t0 + pi as u64 + 1,
+                })
+                .collect();
+            let input = TransformInput {
+                pairs: &tpairs,
+                alpha: cluster.root_level,
+                a: self.config.a,
+            };
+            let outcome = if per_node {
+                transform::run_transformation(
+                    &self.graph,
+                    &mut self.states,
+                    self.median.as_finder(),
+                    &input,
+                    &scratch.members,
+                )
+            } else {
+                // The batched installer only needs the diff plan, so the
+                // full per-member suffix map is skipped.
+                transform::run_transformation_lean(
+                    &self.graph,
+                    &mut self.states,
+                    self.median.as_finder(),
+                    &input,
+                    &scratch.members,
+                )
+            };
+            scratch.new_mvecs.clear();
+            scratch
+                .new_mvecs
+                .extend(outcome.changes.iter().map(|c| (c.node, c.new_mvec)));
+
+            // Steps 10–11 per pair, in submission order: group-ids and
+            // group-bases below the root (Appendix C), then the timestamp
+            // rules T1–T6.
+            let mut group_rounds = Vec::with_capacity(cluster.pair_indices.len());
+            for (j, &pi) in cluster.pair_indices.iter().enumerate() {
+                let (u_id, v_id) = ids[pi];
+                let group_input = GroupUpdateInput {
+                    u: u_id,
+                    v: v_id,
+                    alpha: cluster.root_level,
+                    members_alpha: &scratch.members,
+                    outcome: &outcome,
+                };
+                let group_outcome = groups::apply_group_updates(
+                    &self.graph,
+                    &mut self.states,
+                    &group_input,
+                    &mut scratch.groups,
+                );
+                group_rounds.push(group_outcome.rounds);
+                let ts_input = TimestampInput {
+                    u: u_id,
+                    v: v_id,
+                    t: t0 + pi as u64 + 1,
+                    alpha: cluster.root_level,
+                    pair_level: outcome.pair_levels[j],
+                    members_alpha: &scratch.members,
+                    old_mvecs: &scratch.old_mvecs,
+                    new_mvecs: &scratch.new_mvecs,
+                    u_group_before: &scratch.pair_snaps[j].0,
+                    v_group_before: &scratch.pair_snaps[j].1,
+                    glower_recipients: &scratch.groups.recipients,
+                    outcome: &outcome,
+                };
+                timestamps::apply_timestamp_rules(&self.graph, &mut self.states, &ts_input);
+            }
+
+            // Per-node reference path: derive the affected lists from the
+            // diff plan while the graph still holds the old vectors (the
+            // batch installer collects them itself as it splices).
+            let mut derived_affected = Vec::new();
+            if per_node {
                 for change in &outcome.changes {
                     let old = &scratch.old_mvecs[&change.node];
                     for level in (change.from_level - 1)..=old.len() {
-                        scratch.affected.push((level, old.prefix(level)));
+                        derived_affected.push((level, old.prefix(level)));
                     }
                     for level in (change.from_level - 1)..=change.new_mvec.len() {
-                        scratch.affected.push((level, change.new_mvec.prefix(level)));
+                        derived_affected.push((level, change.new_mvec.prefix(level)));
                     }
                 }
-                scratch.affected.sort_unstable();
-                scratch.affected.dedup();
+                derived_affected.sort_unstable();
+                derived_affected.dedup();
             }
-            // Stale dummies inside affected lists destroy themselves (the
-            // §IV-F notification, scoped to the rebuilt lists); their own
-            // prefix paths join the re-check set, since removing them can
-            // merge runs anywhere along the way.
-            dummy::destroy_dummies_in_lists(
-                &mut self.graph,
-                &mut self.states,
-                alpha,
-                &mut scratch.affected,
-                &mut scratch.stale_dummies,
-                batched,
-            );
-            scratch.affected.sort_unstable();
-            scratch.affected.dedup();
-            let repair = dummy::repair_balance_incremental(
-                &mut self.graph,
-                &mut self.states,
-                self.config.a,
-                Some((Self::internal_key(u), Self::internal_key(v))),
-                alpha,
-                &mut scratch.affected,
-            );
-            dummies_inserted = repair.inserted.len();
-            repair_rounds = repair.rounds;
-            self.stats.dummy_nodes_created += dummies_inserted;
-            self.stats.live_dummy_nodes = self.graph.dummy_count();
+            cluster_runs.push(ClusterRun {
+                outcome,
+                group_rounds,
+                notification_rounds,
+                members: if per_node {
+                    scratch.members.clone()
+                } else {
+                    Vec::new()
+                },
+                derived_affected,
+            });
         }
 
-        let breakdown = CostBreakdown {
-            routing_cost,
-            notification_rounds,
-            median_rounds: outcome.median_rounds,
-            group_accounting_rounds: outcome.group_accounting_rounds + group_outcome.rounds,
-            restructuring_rounds: outcome.restructuring_rounds + repair_rounds,
-        };
-        let height_after = self.graph.height();
-        self.stats.record(&breakdown, height_after);
-        self.stats.transform_touched_pairs += touched_pairs;
+        // Phase B: the install. Batched pushes the concatenated diff plans
+        // of every cluster in ONE ordered splice pass — clusters rebuild
+        // disjoint subtrees, so the merged batch touches each node at most
+        // once and disjoint target lists commute. The per-node reference
+        // path re-splices every member, cluster by cluster.
+        let epoch_touched;
+        let install_passes;
+        match self.config.install {
+            InstallStrategy::Batched => {
+                let scratch = &mut self.scratch;
+                if cluster_runs.len() == 1 {
+                    epoch_touched = self.graph.apply_membership_batch_collecting(
+                        &cluster_runs[0].outcome.changes,
+                        &mut scratch.affected,
+                    )?;
+                } else {
+                    let merged: Vec<MembershipUpdate> = cluster_runs
+                        .iter()
+                        .flat_map(|run| run.outcome.changes.iter().copied())
+                        .collect();
+                    epoch_touched = self
+                        .graph
+                        .apply_membership_batch_collecting(&merged, &mut scratch.affected)?;
+                }
+                install_passes = 1;
+            }
+            InstallStrategy::PerNode => {
+                let mut touched = 0usize;
+                for (cluster, run) in clusters.iter().zip(&cluster_runs) {
+                    for &node in &run.members {
+                        if let Some(bits) = run.outcome.suffixes.get(&node) {
+                            self.graph.set_membership_suffix(
+                                node,
+                                cluster.root_level + 1,
+                                bits.iter().copied(),
+                            )?;
+                        }
+                    }
+                    touched += run.outcome.touched_pairs;
+                }
+                epoch_touched = touched;
+                install_passes = cluster_runs.len();
+            }
+        }
 
-        Ok(RequestOutcome {
-            time: t,
-            routing_cost,
-            alpha,
-            pair_level: outcome.pair_level,
-            touched_pairs,
-            breakdown,
-            height_after,
-            dummies_inserted,
+        // Phase C, per cluster in submission order: differential dummy GC
+        // and a-balance repair over the lists this cluster's install
+        // actually changed, then the per-request outcome assembly.
+        let mut outcomes: Vec<Option<RequestOutcome>> = pairs.iter().map(|_| None).collect();
+        let mut total_dummies_inserted = 0usize;
+        let mut total_dummies_destroyed = 0usize;
+        for (cluster, run) in clusters.iter().zip(&cluster_runs) {
+            let mut dummies_inserted = 0usize;
+            let mut repair_rounds = 0usize;
+            if self.config.maintain_balance {
+                let batched = !per_node;
+                let scratch = &mut self.scratch;
+                scratch.cluster_affected.clear();
+                if batched {
+                    // The merged install collected one epoch-wide affected
+                    // set; every entry lies in exactly one cluster's
+                    // subtree (roots are pairwise prefix-incomparable).
+                    scratch.cluster_affected.extend(
+                        scratch.affected.iter().copied().filter(|(level, prefix)| {
+                            *level >= cluster.root_level
+                                && cluster.root_prefix.is_prefix_of(prefix)
+                        }),
+                    );
+                } else {
+                    scratch
+                        .cluster_affected
+                        .extend_from_slice(&run.derived_affected);
+                }
+                // Stale dummies inside affected lists destroy themselves
+                // (the §IV-F notification, scoped to the rebuilt lists);
+                // their own prefix paths join the re-check set, since
+                // removing them can merge runs anywhere along the way.
+                total_dummies_destroyed += dummy::destroy_dummies_in_lists(
+                    &mut self.graph,
+                    &mut self.states,
+                    cluster.root_level,
+                    &mut scratch.cluster_affected,
+                    &mut scratch.stale_dummies,
+                    batched,
+                );
+                scratch.cluster_affected.sort_unstable();
+                scratch.cluster_affected.dedup();
+                let protect: Vec<(Key, Key)> = cluster
+                    .pair_indices
+                    .iter()
+                    .map(|&pi| {
+                        (
+                            Self::internal_key(pairs[pi].0),
+                            Self::internal_key(pairs[pi].1),
+                        )
+                    })
+                    .collect();
+                let repair = dummy::repair_balance_incremental(
+                    &mut self.graph,
+                    &mut self.states,
+                    self.config.a,
+                    &protect,
+                    cluster.root_level,
+                    &mut scratch.cluster_affected,
+                );
+                dummies_inserted = repair.inserted.len();
+                repair_rounds = repair.rounds;
+                self.stats.dummy_nodes_created += dummies_inserted;
+                self.stats.live_dummy_nodes = self.graph.dummy_count();
+            }
+            total_dummies_inserted += dummies_inserted;
+
+            // Per-request outcomes: cluster-level rounds and counters are
+            // attributed to the first request of the cluster so that sums
+            // over the epoch equal the epoch totals.
+            let height_after = self.graph.height();
+            for (j, &pi) in cluster.pair_indices.iter().enumerate() {
+                let first = j == 0;
+                let breakdown = CostBreakdown {
+                    routing_cost: routing_costs[pi],
+                    notification_rounds: if first { run.notification_rounds } else { 0 },
+                    median_rounds: if first { run.outcome.median_rounds } else { 0 },
+                    group_accounting_rounds: run.group_rounds[j]
+                        + if first {
+                            run.outcome.group_accounting_rounds
+                        } else {
+                            0
+                        },
+                    restructuring_rounds: if first {
+                        run.outcome.restructuring_rounds + repair_rounds
+                    } else {
+                        0
+                    },
+                };
+                self.stats.record(&breakdown, height_after);
+                outcomes[pi] = Some(RequestOutcome {
+                    time: t0 + pi as u64 + 1,
+                    routing_cost: routing_costs[pi],
+                    alpha: alphas[pi],
+                    pair_level: run.outcome.pair_levels[j],
+                    touched_pairs: if first { run.outcome.touched_pairs } else { 0 },
+                    breakdown,
+                    height_after,
+                    dummies_inserted: if first { dummies_inserted } else { 0 },
+                });
+            }
+        }
+        self.stats.transform_touched_pairs += epoch_touched;
+        self.stats.transform_install_passes += install_passes;
+
+        Ok(EpochReport {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every pair belongs to exactly one cluster"))
+                .collect(),
+            clusters: clusters.len(),
+            install_passes,
+            touched_pairs: epoch_touched,
+            dummies_destroyed: total_dummies_destroyed,
+            dummies_inserted: total_dummies_inserted,
         })
     }
+}
+
+
+/// Groups the epoch's pairs into clusters of overlapping `l_α` subtrees:
+/// two pairs belong to one cluster when their root prefixes are comparable
+/// (one is a prefix of the other), transitively. Each cluster's root is
+/// the meet (longest common prefix) of its members' roots, recomputed
+/// until no two cluster roots remain comparable, so distinct clusters
+/// rebuild provably disjoint subtrees. Clusters are returned in submission
+/// order of their first pair.
+fn cluster_pairs(alphas: &[usize], prefixes: &[Prefix]) -> Vec<ClusterPlan> {
+    let mut clusters: Vec<ClusterPlan> = prefixes
+        .iter()
+        .enumerate()
+        .map(|(i, &prefix)| ClusterPlan {
+            root_level: alphas[i],
+            root_prefix: prefix,
+            pair_indices: vec![i],
+        })
+        .collect();
+    loop {
+        let mut merged_any = false;
+        'scan: for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let a = clusters[i].root_prefix;
+                let b = clusters[j].root_prefix;
+                if a.is_prefix_of(&b) || b.is_prefix_of(&a) {
+                    let absorbed = clusters.remove(j);
+                    let keeper = &mut clusters[i];
+                    keeper.root_prefix = prefix_meet(a, b);
+                    keeper.root_level = keeper.root_prefix.level();
+                    keeper.pair_indices.extend(absorbed.pair_indices);
+                    keeper.pair_indices.sort_unstable();
+                    merged_any = true;
+                    break 'scan;
+                }
+            }
+        }
+        if !merged_any {
+            break;
+        }
+    }
+    clusters.sort_by_key(|c| c.pair_indices[0]);
+    clusters
+}
+
+/// The longest common prefix of two prefixes.
+fn prefix_meet(mut a: Prefix, b: Prefix) -> Prefix {
+    while !a.is_prefix_of(&b) {
+        a = a.parent().expect("the root prefix is a prefix of everything");
+    }
+    a
 }
 
 #[cfg(test)]
@@ -744,7 +1099,7 @@ mod tests {
     use super::*;
 
     fn network(n: u64, seed: u64) -> DynamicSkipGraph {
-        DynamicSkipGraph::new(0..n, DsgConfig::default().with_seed(seed)).unwrap()
+        DynamicSkipGraph::build_balanced(0..n, DsgConfig::default().with_seed(seed)).unwrap()
     }
 
     #[test]
@@ -759,7 +1114,7 @@ mod tests {
 
     #[test]
     fn duplicate_peers_are_rejected() {
-        let err = DynamicSkipGraph::new([1, 2, 2], DsgConfig::default()).unwrap_err();
+        let err = DynamicSkipGraph::build_balanced([1, 2, 2], DsgConfig::default()).unwrap_err();
         assert_eq!(err, DsgError::DuplicatePeer(2));
     }
 
@@ -833,8 +1188,9 @@ mod tests {
 
     #[test]
     fn balance_is_maintained_with_dummies() {
-        let mut net = DynamicSkipGraph::new(0..48, DsgConfig::default().with_a(3).with_seed(7))
-            .unwrap();
+        let mut net =
+            DynamicSkipGraph::build_balanced(0..48, DsgConfig::default().with_a(3).with_seed(7))
+                .unwrap();
         for i in 0..100u64 {
             let u = i % 6;
             let v = 6 + (i % 42);
@@ -865,7 +1221,7 @@ mod tests {
 
     #[test]
     fn exact_median_strategy_also_works() {
-        let mut net = DynamicSkipGraph::new(
+        let mut net = DynamicSkipGraph::build_balanced(
             0..32,
             DsgConfig::default()
                 .with_median(MedianStrategy::Exact)

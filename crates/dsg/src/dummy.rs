@@ -53,14 +53,15 @@ pub struct DummyRepairOutcome {
 /// * stale dummies from earlier repairs are garbage-collected first, so the
 ///   live dummy population always reflects the *current* structure and stays
 ///   within the paper's `n / a` bound;
-/// * `protect` names one adjacency (normally the pair that just
-///   communicated) that a dummy key must not be placed into, preserving the
-///   direct link the transformation just established.
+/// * `protect` names adjacencies (normally the pairs that just
+///   communicated in the current epoch) that a dummy key must not be
+///   placed into, preserving the direct links the transformation just
+///   established.
 pub fn repair_balance(
     graph: &mut SkipGraph,
     states: &mut StateTable,
     a: usize,
-    protect: Option<(Key, Key)>,
+    protect: &[(Key, Key)],
     scope: Option<(usize, dsg_skipgraph::Prefix)>,
 ) -> DummyRepairOutcome {
     let mut outcome = DummyRepairOutcome::default();
@@ -132,7 +133,7 @@ pub fn repair_balance_incremental(
     graph: &mut SkipGraph,
     states: &mut StateTable,
     a: usize,
-    protect: Option<(Key, Key)>,
+    protect: &[(Key, Key)],
     floor: usize,
     worklist: &mut Vec<(usize, Prefix)>,
 ) -> DummyRepairOutcome {
@@ -199,7 +200,7 @@ fn repair_violation(
     graph: &mut SkipGraph,
     states: &mut StateTable,
     a: usize,
-    protect: Option<(Key, Key)>,
+    protect: &[(Key, Key)],
     violation: &BalanceViolation,
     run_buf: &mut Vec<NodeId>,
     outcome: &mut DummyRepairOutcome,
@@ -221,7 +222,7 @@ fn repair_violation(
     }
     let run: &[NodeId] = run_buf;
     let is_protected_slot = |graph: &SkipGraph, left: NodeId, right: NodeId| {
-        protect.is_some_and(|(pk1, pk2)| {
+        protect.iter().any(|&(pk1, pk2)| {
             let lk = graph.key_of(left).expect("run member is live");
             let rk = graph.key_of(right).expect("run member is live");
             (lk == pk1 && rk == pk2) || (lk == pk2 && rk == pk1)
@@ -389,7 +390,7 @@ mod tests {
     fn repair_breaks_long_runs() {
         let a = 3;
         let (mut graph, mut states) = unbalanced_graph(10, a);
-        let outcome = repair_balance(&mut graph, &mut states, a, None, None);
+        let outcome = repair_balance(&mut graph, &mut states, a, &[], None);
         assert!(!outcome.inserted.is_empty());
         assert_eq!(outcome.unrepairable_runs, 0);
         assert!(graph.is_a_balanced(a), "graph still unbalanced after repair");
@@ -415,7 +416,7 @@ mod tests {
             let key = graph.key_of(id).unwrap();
             states.register(id, key, 0);
         }
-        let outcome = repair_balance(&mut graph, &mut states, 2, None, None);
+        let outcome = repair_balance(&mut graph, &mut states, 2, &[], None);
         assert!(outcome.inserted.is_empty());
         assert_eq!(graph.dummy_count(), 0);
     }
@@ -431,7 +432,7 @@ mod tests {
             let key = graph.key_of(id).unwrap();
             states.register(id, key, 0);
         }
-        let outcome = repair_balance(&mut graph, &mut states, 2, None, None);
+        let outcome = repair_balance(&mut graph, &mut states, 2, &[], None);
         assert!(outcome.unrepairable_runs > 0);
         assert!(outcome.inserted.is_empty());
     }

@@ -20,6 +20,23 @@ pub enum DsgError {
     SelfCommunication(u64),
     /// A consistency check of the self-adjusting state failed.
     StateInvariantViolated(String),
+    /// A request batch reused a peer as an endpoint twice within one
+    /// transformation epoch. The session layer splits such batches into
+    /// successive epochs; hitting this from
+    /// [`DynamicSkipGraph::communicate_epoch`](crate::DynamicSkipGraph::communicate_epoch)
+    /// directly means the caller did not.
+    BatchEndpointReuse(u64),
+    /// A request batch exceeded the per-epoch pair limit
+    /// ([`MAX_EPOCH_PAIRS`](crate::transform::MAX_EPOCH_PAIRS)).
+    BatchTooLarge {
+        /// The number of pairs submitted.
+        size: usize,
+        /// The per-epoch limit.
+        max: usize,
+    },
+    /// A configuration value failed validation when building a
+    /// [`DsgSession`](crate::DsgSession).
+    InvalidConfig(String),
 }
 
 impl fmt::Display for DsgError {
@@ -34,6 +51,13 @@ impl fmt::Display for DsgError {
             DsgError::StateInvariantViolated(msg) => {
                 write!(f, "self-adjusting state invariant violated: {msg}")
             }
+            DsgError::BatchEndpointReuse(key) => {
+                write!(f, "peer {key} appears as an endpoint twice in one epoch")
+            }
+            DsgError::BatchTooLarge { size, max } => {
+                write!(f, "epoch of {size} pairs exceeds the limit of {max}")
+            }
+            DsgError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }

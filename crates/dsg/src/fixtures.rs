@@ -76,7 +76,7 @@ pub fn figure4_s8(config: DsgConfig) -> Result<DynamicSkipGraph> {
         (F, "010"),
         (I, "011"),
     ];
-    let mut net = DynamicSkipGraph::from_parts(
+    let mut net = DynamicSkipGraph::build_from_members(
         members.iter().map(|(peer, vector)| {
             (
                 *peer,

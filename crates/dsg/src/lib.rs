@@ -34,24 +34,31 @@
 //! | [`groups`] | §IV-D, App. C | group-id / group-base reassignment below `α` |
 //! | [`dummy`] | §IV-F | a-balance repair via dummy nodes |
 //! | [`cost`] | §III, Theorem 3 | round-cost accounting per request |
-//! | [`dsg`] | Alg. 1 | [`DynamicSkipGraph`], the public driver |
+//! | [`dsg`] | Alg. 1 | [`DynamicSkipGraph`], the epoch engine |
+//! | [`request`] | — | the unified typed [`Request`] vocabulary |
+//! | [`session`] | — | [`DsgSession`] / [`DsgBuilder`], the public entry point |
+//! | [`observer`] | — | [`DsgObserver`] progress hooks |
 //! | [`fixtures`] | Fig. 4 | the worked S₈ example instance |
 //!
 //! # Example
 //!
 //! ```rust
-//! use dsg::{DynamicSkipGraph, DsgConfig};
+//! use dsg::prelude::*;
 //!
-//! # fn main() -> Result<(), dsg::DsgError> {
-//! // Build a self-adjusting skip graph over 32 peers.
-//! let mut net = DynamicSkipGraph::new(0..32, DsgConfig::default().with_seed(7))?;
+//! # fn main() -> Result<(), DsgError> {
+//! // Build a session over a self-adjusting skip graph of 32 peers.
+//! let mut session = DsgSession::builder().peers(0..32).seed(7).build()?;
 //!
 //! // A skewed workload: peers 3 and 29 talk repeatedly.
-//! let first = net.communicate(3, 29)?;
-//! let later = net.communicate(3, 29)?;
+//! let first = session.submit(Request::communicate(3, 29))?;
+//! let later = session.submit(Request::communicate(3, 29))?;
 //!
 //! // After the first request the pair is directly linked, so the
 //! // subsequent request routes in a single hop.
+//! let (first, later) = (
+//!     first.request_outcome().unwrap().clone(),
+//!     later.request_outcome().unwrap().clone(),
+//! );
 //! assert!(later.routing_cost <= 1);
 //! assert!(first.total_cost() >= later.routing_cost);
 //! # Ok(())
@@ -70,7 +77,10 @@ pub mod dummy;
 pub mod error;
 pub mod fixtures;
 pub mod groups;
+pub mod observer;
 pub mod priority;
+pub mod request;
+pub mod session;
 pub mod state;
 pub mod timestamps;
 pub mod transform;
@@ -78,10 +88,42 @@ pub mod transform;
 pub use amf::{AmfMedian, ExactMedian, MedianFinder, MedianOutcome};
 pub use config::{DsgConfig, InstallStrategy, MedianStrategy};
 pub use cost::{CostBreakdown, RunStats};
-pub use dsg::{DynamicSkipGraph, RequestOutcome};
+pub use dsg::{DynamicSkipGraph, EpochReport, RequestOutcome};
 pub use error::DsgError;
+pub use observer::{BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent};
 pub use priority::Priority;
+pub use request::Request;
+pub use session::{BatchOutcome, DsgBuilder, DsgSession, SubmitOutcome};
 pub use state::{NodeState, StateTable};
+
+/// The canonical import surface of the crate.
+///
+/// ```rust
+/// use dsg::prelude::*;
+/// # fn main() -> Result<(), DsgError> {
+/// let mut session = DsgSession::builder().peers(0..8).seed(1).build()?;
+/// session.submit(Request::communicate(0, 5))?;
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Everything a library user needs to build and drive a session: the
+/// builder/session pair, the typed [`Request`] vocabulary, outcomes,
+/// configuration, observers, and the error type. The umbrella crate
+/// (`dsg-repro`) re-exports this module, so downstream code can depend on
+/// either and write `use dsg::prelude::*;` / `use dsg_repro::prelude::*;`
+/// interchangeably. The engine type ([`DynamicSkipGraph`]) is included for
+/// inspection APIs; constructing it directly is deprecated in favour of
+/// [`DsgSession::builder`].
+pub mod prelude {
+    pub use crate::config::{DsgConfig, InstallStrategy, MedianStrategy};
+    pub use crate::cost::{CostBreakdown, RunStats};
+    pub use crate::dsg::{DynamicSkipGraph, EpochReport, RequestOutcome};
+    pub use crate::error::DsgError;
+    pub use crate::observer::{BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent};
+    pub use crate::request::Request;
+    pub use crate::session::{BatchOutcome, DsgBuilder, DsgSession, SubmitOutcome};
+}
 
 /// Convenience result alias used across the crate.
 pub type Result<T, E = DsgError> = std::result::Result<T, E>;

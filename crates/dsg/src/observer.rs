@@ -1,0 +1,125 @@
+//! Session observers: structured progress events instead of stats poking.
+//!
+//! A [`DsgObserver`] registered on a [`DsgSession`](crate::DsgSession)
+//! receives one callback per served communication request, one per
+//! transformation epoch, and one per balance-repair pass. This replaces
+//! reading [`RunStats`](crate::RunStats) fields off the engine as the way
+//! experiment harnesses collect metrics: `dsg-metrics` ships
+//! `MetricsObserver`, the default recording observer, and `dsg-bench`
+//! consumes it.
+//!
+//! Observers are shared handles (`Rc<RefCell<_>>`) so the caller keeps
+//! access to the collected data while the session drives the callbacks.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::dsg::RequestOutcome;
+
+/// A shared observer handle, as stored by the session.
+pub type SharedObserver = Rc<RefCell<dyn DsgObserver>>;
+
+/// One transformation epoch completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformEvent {
+    /// 1-based epoch counter of the session.
+    pub epoch: u64,
+    /// Communication requests the epoch served.
+    pub requests: usize,
+    /// Merged transformations the epoch ran (clusters of pairs with
+    /// overlapping `l_α` subtrees).
+    pub clusters: usize,
+    /// Transformation-install passes pushed into the structure: 1 under
+    /// the batched install strategy regardless of the batch size.
+    pub install_passes: usize,
+    /// Changed `(node, level)` pairs the install touched.
+    pub touched_pairs: usize,
+}
+
+/// One balance-maintenance pass (dummy GC + a-balance repair) completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BalanceRepairEvent {
+    /// 1-based epoch counter of the session the pass belongs to.
+    pub epoch: u64,
+    /// Stale dummy nodes the differential GC destroyed.
+    pub dummies_destroyed: usize,
+    /// Dummy nodes the repair inserted.
+    pub dummies_inserted: usize,
+    /// Dummy nodes alive after the pass.
+    pub live_dummies: usize,
+}
+
+/// Hooks a session invokes while serving requests. All methods have empty
+/// default bodies — implement only what you record.
+pub trait DsgObserver {
+    /// One communication request was served (called once per request, in
+    /// submission order, after its epoch completed).
+    fn on_request(&mut self, outcome: &RequestOutcome) {
+        let _ = outcome;
+    }
+
+    /// One transformation epoch completed (after all of its `on_request`
+    /// calls).
+    fn on_transform(&mut self, event: &TransformEvent) {
+        let _ = event;
+    }
+
+    /// One balance-maintenance pass completed.
+    fn on_balance_repair(&mut self, event: &BalanceRepairEvent) {
+        let _ = event;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counting {
+        requests: usize,
+        epochs: usize,
+    }
+
+    impl DsgObserver for Counting {
+        fn on_request(&mut self, _outcome: &RequestOutcome) {
+            self.requests += 1;
+        }
+        fn on_transform(&mut self, _event: &TransformEvent) {
+            self.epochs += 1;
+        }
+    }
+
+    #[test]
+    fn default_hooks_are_no_ops() {
+        struct Silent;
+        impl DsgObserver for Silent {}
+        let mut observer = Silent;
+        observer.on_transform(&TransformEvent {
+            epoch: 1,
+            requests: 1,
+            clusters: 1,
+            install_passes: 1,
+            touched_pairs: 0,
+        });
+        observer.on_balance_repair(&BalanceRepairEvent {
+            epoch: 1,
+            dummies_destroyed: 0,
+            dummies_inserted: 0,
+            live_dummies: 0,
+        });
+    }
+
+    #[test]
+    fn observers_are_shareable() {
+        let shared: SharedObserver = Rc::new(RefCell::new(Counting::default()));
+        shared.borrow_mut().on_transform(&TransformEvent {
+            epoch: 1,
+            requests: 2,
+            clusters: 1,
+            install_passes: 1,
+            touched_pairs: 5,
+        });
+        let strong = Rc::strong_count(&shared);
+        assert_eq!(strong, 1);
+    }
+}

@@ -87,8 +87,44 @@ pub struct PriorityContext {
     /// The highest common level `α` of `u` and `v` before the
     /// transformation.
     pub alpha: usize,
-    /// The current structure height (upper bound for group-level scans).
-    pub max_level: usize,
+}
+
+/// The base value of the finite "pair-top" priorities used when one
+/// transformation epoch serves several communicating pairs at once. It
+/// exceeds every value rule P2 can produce (timestamps are `u64`), so each
+/// pair ranks above all group members, and pairs rank among themselves by
+/// request time — the more recent pair splits off first. Far below
+/// `i128::MAX`, so `base + t` cannot overflow.
+const PAIR_TOP_BASE: i128 = 1 << 100;
+
+/// Rule P1, generalised to multi-pair epochs: the priority of the members
+/// of a communicating pair. A single-pair transformation uses the paper's
+/// `∞`; with several pairs each pair receives a finite top priority keyed
+/// by its request time, so that every threshold split keeps each pair
+/// together (both endpoints share one value) while distinct pairs can be
+/// separated deterministically.
+pub fn pair_top_priority(total_pairs: usize, t: u64) -> Priority {
+    if total_pairs <= 1 {
+        Priority::Infinity
+    } else {
+        Priority::Finite(PAIR_TOP_BASE + t as i128)
+    }
+}
+
+/// Rule P2: the priority of a member `x` of the communicating node
+/// `anchor`'s group — `min(T^x_c, T^anchor_c)` where `c` is the highest
+/// level at which the two share a group-id (`alpha` if the scan finds
+/// none).
+pub fn p2_priority(
+    states: &StateTable,
+    alpha: usize,
+    x: NodeId,
+    anchor: NodeId,
+) -> Priority {
+    let c = states
+        .highest_common_group_level_unbounded(x, anchor)
+        .unwrap_or(alpha);
+    Priority::Finite(states.timestamp(x, c).min(states.timestamp(anchor, c)) as i128)
 }
 
 /// Evaluates rules P1–P3 for node `x` of the list `l_α` at the start of a
@@ -104,21 +140,11 @@ pub fn initial_priority(states: &StateTable, ctx: &PriorityContext, x: NodeId) -
         return Priority::Infinity;
     }
     let gx = states.group_id(x, ctx.alpha);
-    let gu = states.group_id(ctx.u, ctx.alpha);
-    let gv = states.group_id(ctx.v, ctx.alpha);
-    if gx == gu {
-        let c = states
-            .highest_common_group_level(x, ctx.u, ctx.max_level)
-            .unwrap_or(ctx.alpha);
-        let p = states.timestamp(x, c).min(states.timestamp(ctx.u, c));
-        return Priority::Finite(p as i128);
+    if gx == states.group_id(ctx.u, ctx.alpha) {
+        return p2_priority(states, ctx.alpha, x, ctx.u);
     }
-    if gx == gv {
-        let c = states
-            .highest_common_group_level(x, ctx.v, ctx.max_level)
-            .unwrap_or(ctx.alpha);
-        let p = states.timestamp(x, c).min(states.timestamp(ctx.v, c));
-        return Priority::Finite(p as i128);
+    if gx == states.group_id(ctx.v, ctx.alpha) {
+        return p2_priority(states, ctx.alpha, x, ctx.v);
     }
     negative_band_priority(gx, ctx.t, states.timestamp(x, ctx.alpha + 1))
 }
@@ -286,13 +312,7 @@ mod tests {
         st.set_timestamp(f, 1, 2);
         st.set_timestamp(i, 1, 2);
 
-        let ctx = PriorityContext {
-            u,
-            v,
-            t,
-            alpha: 0,
-            max_level: 3,
-        };
+        let ctx = PriorityContext { u, v, t, alpha: 0 };
 
         assert_eq!(initial_priority(&st, &ctx, u), Priority::Infinity);
         assert_eq!(initial_priority(&st, &ctx, v), Priority::Infinity);

@@ -1,0 +1,128 @@
+//! The unified typed request vocabulary of the session API.
+//!
+//! A [`Request`] is everything a [`DsgSession`](crate::DsgSession) can be
+//! asked to do: serve a communication (the paper's `σ_t = (u, v)`), change
+//! membership (§IV-G joins and leaves), or advance the logical clock. The
+//! workload generators of `dsg-workloads` emit exactly this type, so a
+//! generated trace can be fed to [`DsgSession::submit_batch`] verbatim —
+//! one vocabulary from trace generation to execution.
+//!
+//! [`DsgSession::submit_batch`]: crate::DsgSession::submit_batch
+
+use std::fmt;
+
+/// One request to a self-adjusting skip graph session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Request {
+    /// Peer `u` communicates with peer `v` — the request type Algorithm 1
+    /// serves, and the only kind the workload generators produce.
+    Communicate {
+        /// The source peer.
+        u: u64,
+        /// The destination peer.
+        v: u64,
+    },
+    /// The peer with this key joins the network (§IV-G).
+    Join(u64),
+    /// The peer with this key leaves the network (§IV-G).
+    Leave(u64),
+    /// Advance the logical clock to this time without serving a request
+    /// (monotone; earlier values are ignored). Used to reconstruct the
+    /// paper's worked examples, which are positioned at a specific time.
+    Tick(u64),
+}
+
+impl Request {
+    /// Creates a communication request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v`; self-communication is not part of the model.
+    pub fn communicate(u: u64, v: u64) -> Self {
+        assert_ne!(u, v, "a request needs two distinct peers");
+        Request::Communicate { u, v }
+    }
+
+    /// The `(u, v)` endpoints of a communication request, `None` for the
+    /// membership and clock variants.
+    pub fn endpoints(&self) -> Option<(u64, u64)> {
+        match *self {
+            Request::Communicate { u, v } => Some((u, v)),
+            _ => None,
+        }
+    }
+
+    /// The endpoints of a communication request as an unordered pair
+    /// (smaller key first); `None` for the other variants.
+    pub fn unordered(&self) -> Option<(u64, u64)> {
+        self.endpoints()
+            .map(|(u, v)| if u <= v { (u, v) } else { (v, u) })
+    }
+
+    /// The endpoints of a request known to be a communication (workload
+    /// traces contain nothing else).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the membership and clock variants.
+    pub fn pair(&self) -> (u64, u64) {
+        self.endpoints()
+            .expect("request is not a communication request")
+    }
+
+    /// Returns `true` for [`Request::Communicate`].
+    pub fn is_communicate(&self) -> bool {
+        matches!(self, Request::Communicate { .. })
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Communicate { u, v } => write!(f, "{u}→{v}"),
+            Request::Join(peer) => write!(f, "join({peer})"),
+            Request::Leave(peer) => write!(f, "leave({peer})"),
+            Request::Tick(to) => write!(f, "tick({to})"),
+        }
+    }
+}
+
+impl From<(u64, u64)> for Request {
+    fn from((u, v): (u64, u64)) -> Self {
+        Request::communicate(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_display_and_normalise() {
+        let r = Request::communicate(9, 2);
+        assert_eq!(r.to_string(), "9→2");
+        assert_eq!(r.unordered(), Some((2, 9)));
+        assert_eq!(r.pair(), (9, 2));
+        assert!(r.is_communicate());
+        let r2: Request = (1u64, 5u64).into();
+        assert_eq!(r2.endpoints(), Some((1, 5)));
+        assert_eq!(Request::Join(3).to_string(), "join(3)");
+        assert_eq!(Request::Leave(4).to_string(), "leave(4)");
+        assert_eq!(Request::Tick(9).to_string(), "tick(9)");
+        assert_eq!(Request::Tick(9).endpoints(), None);
+        assert!(!Request::Join(3).is_communicate());
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct peers")]
+    fn self_requests_are_rejected() {
+        let _ = Request::communicate(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a communication request")]
+    fn pair_rejects_membership_requests() {
+        let _ = Request::Join(1).pair();
+    }
+}

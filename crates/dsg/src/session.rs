@@ -1,0 +1,601 @@
+//! The session/batch request API: [`DsgBuilder`], [`DsgSession`], and the
+//! typed submission pipeline.
+//!
+//! A session owns a [`DynamicSkipGraph`] engine and is the supported way
+//! to build and drive one:
+//!
+//! ```rust
+//! use dsg::prelude::*;
+//!
+//! # fn main() -> Result<(), DsgError> {
+//! let mut session = DsgSession::builder()
+//!     .peers(0..32)
+//!     .seed(42)
+//!     .install(InstallStrategy::Batched)
+//!     .build()?;
+//!
+//! // Single typed requests...
+//! session.submit(Request::communicate(3, 29))?;
+//!
+//! // ...or whole batches: consecutive communication requests are served
+//! // in epochs — all pairs routed first, one merged transformation per
+//! // cluster of overlapping subtrees, ONE install pass per epoch.
+//! let batch = [
+//!     Request::communicate(1, 17),
+//!     Request::communicate(5, 23),
+//!     Request::Join(100),
+//! ];
+//! let outcome = session.submit_batch(&batch)?;
+//! assert_eq!(outcome.outcomes.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Construction replaces the three historical constructors (`new`,
+//! `new_random`, `from_parts`) with one fluent, *validating* path: the
+//! builder returns [`DsgError::InvalidConfig`] instead of panicking on bad
+//! parameters. Metrics flow through [`DsgObserver`] hooks instead of
+//! polling the engine's [`RunStats`](crate::RunStats).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dsg_skipgraph::MembershipVector;
+
+use crate::config::{DsgConfig, InstallStrategy, MedianStrategy};
+use crate::cost::RunStats;
+use crate::dsg::{DynamicSkipGraph, EpochReport, RequestOutcome};
+use crate::error::DsgError;
+use crate::observer::{BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent};
+use crate::request::Request;
+use crate::transform::MAX_EPOCH_PAIRS;
+use crate::Result;
+
+/// How the builder assigns initial membership vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum InitialVectors {
+    /// Rank-derived bits: every list splits exactly in half, so the initial
+    /// structure is a-balanced for every `a ≥ 1` (the paper's `S₀ ∈ S`).
+    #[default]
+    Balanced,
+    /// Uniformly random bits — the classic randomised construction.
+    Random,
+    /// Explicit `(peer, vector)` pairs supplied via [`DsgBuilder::members`].
+    Explicit,
+}
+
+/// Fluent, validating builder for a [`DsgSession`].
+///
+/// Obtained from [`DsgSession::builder`]; see the
+/// [module documentation](self) for an example.
+#[derive(Default)]
+pub struct DsgBuilder {
+    peers: Vec<u64>,
+    members: Vec<(u64, MembershipVector)>,
+    vectors: InitialVectors,
+    config: DsgConfig,
+    /// Held raw so validation happens in [`DsgBuilder::build`] (the
+    /// `DsgConfig::with_a` setter panics instead of erroring).
+    a: Option<usize>,
+    observers: Vec<SharedObserver>,
+}
+
+impl std::fmt::Debug for DsgBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DsgBuilder")
+            .field("peers", &self.peers.len())
+            .field("members", &self.members.len())
+            .field("vectors", &self.vectors)
+            .field("config", &self.config)
+            .field("a", &self.a)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+impl DsgBuilder {
+    /// The peer keys of the initial network (balanced rank-derived vectors
+    /// unless [`random_vectors`](Self::random_vectors) is set).
+    pub fn peers<I: IntoIterator<Item = u64>>(mut self, peers: I) -> Self {
+        self.peers = peers.into_iter().collect();
+        self
+    }
+
+    /// Explicit `(peer key, membership vector)` pairs; replaces the old
+    /// `DynamicSkipGraph::from_parts` constructor (used by the paper's
+    /// worked examples and by tests). Mutually exclusive with
+    /// [`peers`](Self::peers).
+    pub fn members<I: IntoIterator<Item = (u64, MembershipVector)>>(mut self, members: I) -> Self {
+        self.members = members.into_iter().collect();
+        self.vectors = InitialVectors::Explicit;
+        self
+    }
+
+    /// Use uniformly random initial membership vectors (the classic
+    /// randomised construction); replaces `DynamicSkipGraph::new_random`.
+    pub fn random_vectors(mut self) -> Self {
+        self.vectors = InitialVectors::Random;
+        self
+    }
+
+    /// Seed for all randomised components.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// The balance parameter `a` (validated at [`build`](Self::build) —
+    /// must be ≥ 2).
+    pub fn a(mut self, a: usize) -> Self {
+        self.a = Some(a);
+        self
+    }
+
+    /// The median strategy of the per-level splits.
+    pub fn median(mut self, median: MedianStrategy) -> Self {
+        self.config.median = median;
+        self
+    }
+
+    /// The membership-vector install strategy.
+    pub fn install(mut self, install: InstallStrategy) -> Self {
+        self.config.install = install;
+        self
+    }
+
+    /// Enable or disable a-balance maintenance (dummy nodes).
+    pub fn balance_maintenance(mut self, on: bool) -> Self {
+        self.config.maintain_balance = on;
+        self
+    }
+
+    /// Start from a complete [`DsgConfig`] (the fluent setters then refine
+    /// it).
+    pub fn config(mut self, config: DsgConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Registers an observer; the session invokes its hooks for every
+    /// served request, epoch, and balance repair.
+    pub fn observer(mut self, observer: SharedObserver) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Validates the configuration and builds the session.
+    ///
+    /// # Errors
+    ///
+    /// [`DsgError::InvalidConfig`] for a balance parameter below 2 or for
+    /// supplying both [`peers`](Self::peers) and [`members`](Self::members);
+    /// [`DsgError::DuplicatePeer`] if a peer key appears twice.
+    pub fn build(self) -> Result<DsgSession> {
+        let mut config = self.config;
+        if let Some(a) = self.a {
+            if a < 2 {
+                return Err(DsgError::InvalidConfig(format!(
+                    "the balance parameter a must be at least 2, got {a}"
+                )));
+            }
+            config.a = a;
+        }
+        if self.vectors == InitialVectors::Explicit && !self.peers.is_empty() {
+            return Err(DsgError::InvalidConfig(
+                "peers(..) and members(..) are mutually exclusive".to_string(),
+            ));
+        }
+        let engine = match self.vectors {
+            InitialVectors::Balanced => DynamicSkipGraph::build_balanced(self.peers, config)?,
+            InitialVectors::Random => DynamicSkipGraph::build_random(self.peers, config)?,
+            InitialVectors::Explicit => DynamicSkipGraph::build_from_members(self.members, config)?,
+        };
+        Ok(DsgSession {
+            engine,
+            observers: self.observers,
+            epochs: 0,
+        })
+    }
+}
+
+/// The result of submitting one [`Request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// A communication request was served.
+    Communicated(RequestOutcome),
+    /// A peer joined.
+    Joined {
+        /// The joined peer's key.
+        peer: u64,
+    },
+    /// A peer left.
+    Left {
+        /// The departed peer's key.
+        peer: u64,
+    },
+    /// The logical clock advanced.
+    Ticked {
+        /// The clock value after the tick.
+        now: u64,
+    },
+}
+
+impl SubmitOutcome {
+    /// The request outcome, if this was a communication.
+    pub fn request_outcome(&self) -> Option<&RequestOutcome> {
+        match self {
+            SubmitOutcome::Communicated(outcome) => Some(outcome),
+            _ => None,
+        }
+    }
+}
+
+/// The result of [`DsgSession::submit_batch`]: per-request outcomes plus
+/// the epoch-level accounting of the batched pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// One outcome per submitted request, in submission order.
+    pub outcomes: Vec<SubmitOutcome>,
+    /// Transformation epochs the batch was served in. Consecutive
+    /// communication requests share an epoch until an endpoint repeats, a
+    /// membership/clock request intervenes, or the per-epoch pair limit is
+    /// reached.
+    pub epochs: usize,
+    /// Merged transformations across all epochs (clusters of pairs with
+    /// overlapping `l_α` subtrees).
+    pub clusters: usize,
+    /// Transformation-install passes pushed into the structure — at most
+    /// one per epoch under [`InstallStrategy::Batched`], regardless of the
+    /// batch size.
+    pub install_passes: usize,
+    /// Changed `(node, level)` pairs installed across the batch.
+    pub touched_pairs: usize,
+    /// Dummy nodes destroyed by the differential GC across the batch.
+    pub dummies_destroyed: usize,
+    /// Dummy nodes inserted by the balance repairs across the batch.
+    pub dummies_inserted: usize,
+}
+
+impl BatchOutcome {
+    /// The outcomes of the batch's communication requests, in order.
+    pub fn request_outcomes(&self) -> impl Iterator<Item = &RequestOutcome> {
+        self.outcomes.iter().filter_map(|o| o.request_outcome())
+    }
+}
+
+/// A session over a locally self-adjusting skip graph: the public entry
+/// point of the crate.
+///
+/// Built with [`DsgSession::builder`]; serves typed [`Request`]s one at a
+/// time ([`submit`](Self::submit)) or in epoch-batched form
+/// ([`submit_batch`](Self::submit_batch)), and reports progress to
+/// registered [`DsgObserver`]s. The underlying [`DynamicSkipGraph`] engine
+/// stays reachable through [`engine`](Self::engine) for inspection.
+pub struct DsgSession {
+    engine: DynamicSkipGraph,
+    observers: Vec<SharedObserver>,
+    epochs: u64,
+}
+
+impl std::fmt::Debug for DsgSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DsgSession")
+            .field("engine", &self.engine)
+            .field("observers", &self.observers.len())
+            .field("epochs", &self.epochs)
+            .finish()
+    }
+}
+
+impl DsgSession {
+    /// Starts building a session.
+    pub fn builder() -> DsgBuilder {
+        DsgBuilder::default()
+    }
+
+    /// Registers an observer on a live session.
+    pub fn add_observer(&mut self, observer: SharedObserver) {
+        self.observers.push(observer);
+    }
+
+    /// Convenience for registering a freshly created observer, returning
+    /// the shared handle for later inspection.
+    pub fn observe<O: DsgObserver + 'static>(&mut self, observer: O) -> Rc<RefCell<O>> {
+        let shared = Rc::new(RefCell::new(observer));
+        self.observers.push(shared.clone());
+        shared
+    }
+
+    /// Submits one typed request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's validation errors ([`DsgError::UnknownPeer`],
+    /// [`DsgError::SelfCommunication`], [`DsgError::DuplicatePeer`]).
+    pub fn submit(&mut self, request: Request) -> Result<SubmitOutcome> {
+        let mut batch = self.submit_batch(std::slice::from_ref(&request))?;
+        Ok(batch.outcomes.remove(0))
+    }
+
+    /// Submits a batch of typed requests, serving consecutive communication
+    /// requests as **epochs**: every pair of an epoch is routed first, one
+    /// merged transformation runs per cluster of overlapping `l_α`
+    /// subtrees, and all membership changes are installed in a single
+    /// batch pass per epoch (see
+    /// [`DynamicSkipGraph::communicate_epoch`]). An epoch is flushed when
+    /// an endpoint repeats within the batch, when a membership or clock
+    /// request intervenes, or when it reaches the per-epoch pair limit;
+    /// the flushed requests and the interleaved membership changes are
+    /// applied strictly in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's validation errors. Requests of epochs that
+    /// completed before the failing one remain applied.
+    pub fn submit_batch(&mut self, requests: &[Request]) -> Result<BatchOutcome> {
+        let mut batch = BatchOutcome {
+            outcomes: Vec::with_capacity(requests.len()),
+            ..BatchOutcome::default()
+        };
+        // Pending epoch: (request index, pair), plus the endpoint set that
+        // decides when a reused peer forces a flush.
+        let mut pending: Vec<(usize, (u64, u64))> = Vec::new();
+        let mut endpoints: Vec<u64> = Vec::new();
+        let mut slots: Vec<Option<SubmitOutcome>> = requests.iter().map(|_| None).collect();
+
+        let flush = |session: &mut Self,
+                         pending: &mut Vec<(usize, (u64, u64))>,
+                         endpoints: &mut Vec<u64>,
+                         slots: &mut Vec<Option<SubmitOutcome>>,
+                         batch: &mut BatchOutcome|
+         -> Result<()> {
+            if pending.is_empty() {
+                return Ok(());
+            }
+            let pairs: Vec<(u64, u64)> = pending.iter().map(|&(_, pair)| pair).collect();
+            let report = session.engine.communicate_epoch(&pairs)?;
+            session.record_epoch(&report, pairs.len());
+            batch.epochs += 1;
+            batch.clusters += report.clusters;
+            batch.install_passes += report.install_passes;
+            batch.touched_pairs += report.touched_pairs;
+            batch.dummies_destroyed += report.dummies_destroyed;
+            batch.dummies_inserted += report.dummies_inserted;
+            for (&(index, _), outcome) in pending.iter().zip(report.outcomes) {
+                slots[index] = Some(SubmitOutcome::Communicated(outcome));
+            }
+            pending.clear();
+            endpoints.clear();
+            Ok(())
+        };
+
+        for (index, request) in requests.iter().enumerate() {
+            match *request {
+                Request::Communicate { u, v } => {
+                    // A reused endpoint serialises into the next epoch —
+                    // the documented deterministic order for requests that
+                    // touch the same peer.
+                    if endpoints.contains(&u)
+                        || endpoints.contains(&v)
+                        || pending.len() >= MAX_EPOCH_PAIRS
+                    {
+                        flush(self, &mut pending, &mut endpoints, &mut slots, &mut batch)?;
+                    }
+                    pending.push((index, (u, v)));
+                    endpoints.push(u);
+                    endpoints.push(v);
+                }
+                Request::Join(peer) => {
+                    flush(self, &mut pending, &mut endpoints, &mut slots, &mut batch)?;
+                    self.engine.add_peer(peer)?;
+                    slots[index] = Some(SubmitOutcome::Joined { peer });
+                }
+                Request::Leave(peer) => {
+                    flush(self, &mut pending, &mut endpoints, &mut slots, &mut batch)?;
+                    self.engine.remove_peer(peer)?;
+                    slots[index] = Some(SubmitOutcome::Left { peer });
+                }
+                Request::Tick(to) => {
+                    flush(self, &mut pending, &mut endpoints, &mut slots, &mut batch)?;
+                    self.engine.advance_time(to);
+                    slots[index] = Some(SubmitOutcome::Ticked {
+                        now: self.engine.time(),
+                    });
+                }
+            }
+        }
+        flush(self, &mut pending, &mut endpoints, &mut slots, &mut batch)?;
+        batch.outcomes = slots
+            .into_iter()
+            .map(|slot| slot.expect("every request was served by exactly one epoch or applied inline"))
+            .collect();
+        Ok(batch)
+    }
+
+    /// Notifies the observers about one completed epoch.
+    fn record_epoch(&mut self, report: &EpochReport, requests: usize) {
+        self.epochs += 1;
+        if self.observers.is_empty() {
+            return;
+        }
+        let transform = TransformEvent {
+            epoch: self.epochs,
+            requests,
+            clusters: report.clusters,
+            install_passes: report.install_passes,
+            touched_pairs: report.touched_pairs,
+        };
+        let repair = BalanceRepairEvent {
+            epoch: self.epochs,
+            dummies_destroyed: report.dummies_destroyed,
+            dummies_inserted: report.dummies_inserted,
+            live_dummies: self.engine.dummy_count(),
+        };
+        for observer in &self.observers {
+            let mut observer = observer.borrow_mut();
+            for outcome in &report.outcomes {
+                observer.on_request(outcome);
+            }
+            observer.on_transform(&transform);
+            observer.on_balance_repair(&repair);
+        }
+    }
+
+    /// The number of transformation epochs served so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Read access to the underlying engine (structure queries, state
+    /// inspection, validation).
+    pub fn engine(&self) -> &DynamicSkipGraph {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine, for tests and tools that
+    /// reconstruct paper fixtures. Requests submitted directly to the
+    /// engine bypass the observers.
+    pub fn engine_mut(&mut self) -> &mut DynamicSkipGraph {
+        &mut self.engine
+    }
+
+    /// Cumulative cost statistics of the engine.
+    pub fn stats(&self) -> &RunStats {
+        self.engine.stats()
+    }
+
+    /// Number of peers (excluding dummy nodes).
+    pub fn len(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// Returns `true` if the network has no peers.
+    pub fn is_empty(&self) -> bool {
+        self.engine.is_empty()
+    }
+
+    /// Current structure height.
+    pub fn height(&self) -> usize {
+        self.engine.height()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::TransformEvent;
+
+    #[derive(Default)]
+    struct Recorder {
+        requests: usize,
+        epochs: Vec<TransformEvent>,
+        repairs: usize,
+    }
+
+    impl DsgObserver for Recorder {
+        fn on_request(&mut self, _outcome: &RequestOutcome) {
+            self.requests += 1;
+        }
+        fn on_transform(&mut self, event: &TransformEvent) {
+            self.epochs.push(*event);
+        }
+        fn on_balance_repair(&mut self, _event: &BalanceRepairEvent) {
+            self.repairs += 1;
+        }
+    }
+
+    #[test]
+    fn builder_validates_the_balance_parameter() {
+        let err = DsgSession::builder().peers(0..8).a(1).build().unwrap_err();
+        assert!(matches!(err, DsgError::InvalidConfig(_)));
+        assert!(DsgSession::builder().peers(0..8).a(2).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_peers_and_members_together() {
+        let err = DsgSession::builder()
+            .peers(0..4)
+            .members([(9, MembershipVector::empty())])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DsgError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn builder_surfaces_duplicate_peers() {
+        let err = DsgSession::builder()
+            .peers([1, 2, 2])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DsgError::DuplicatePeer(2));
+    }
+
+    #[test]
+    fn submit_serves_every_request_kind() {
+        let mut session = DsgSession::builder().peers(0..16).seed(3).build().unwrap();
+        let outcome = session.submit(Request::communicate(1, 9)).unwrap();
+        assert!(outcome.request_outcome().is_some());
+        assert!(session.engine().are_directly_linked(1, 9).unwrap());
+        assert!(matches!(
+            session.submit(Request::Join(50)).unwrap(),
+            SubmitOutcome::Joined { peer: 50 }
+        ));
+        assert!(matches!(
+            session.submit(Request::Leave(50)).unwrap(),
+            SubmitOutcome::Left { peer: 50 }
+        ));
+        let now = session.engine().time();
+        assert!(matches!(
+            session.submit(Request::Tick(now + 10)).unwrap(),
+            SubmitOutcome::Ticked { .. }
+        ));
+        assert_eq!(session.engine().time(), now + 10);
+        session.engine().validate().unwrap();
+    }
+
+    #[test]
+    fn batches_share_epochs_and_flush_on_conflicts() {
+        let mut session = DsgSession::builder().peers(0..32).seed(5).build().unwrap();
+        let recorder = session.observe(Recorder::default());
+        let batch = [
+            Request::communicate(0, 16),
+            Request::communicate(1, 17),
+            // Reuses peer 1: forces a second epoch.
+            Request::communicate(1, 18),
+            Request::Join(99),
+            Request::communicate(99, 3),
+        ];
+        let outcome = session.submit_batch(&batch).unwrap();
+        assert_eq!(outcome.outcomes.len(), 5);
+        assert_eq!(outcome.epochs, 3);
+        assert_eq!(session.epochs(), 3);
+        let recorder = recorder.borrow();
+        assert_eq!(recorder.requests, 4);
+        assert_eq!(recorder.epochs.len(), 3);
+        assert_eq!(recorder.repairs, 3);
+        // Every pair of the batch ends up directly linked.
+        for (u, v) in [(1, 18), (99, 3)] {
+            assert!(session.engine().are_directly_linked(u, v).unwrap());
+        }
+        session.engine().validate().unwrap();
+    }
+
+    #[test]
+    fn batched_epochs_install_once() {
+        let mut session = DsgSession::builder().peers(0..64).seed(7).build().unwrap();
+        // Four endpoint-disjoint pairs: one epoch, one install pass.
+        let batch: Vec<Request> = (0..4)
+            .map(|i| Request::communicate(i, i + 32))
+            .collect();
+        let outcome = session.submit_batch(&batch).unwrap();
+        assert_eq!(outcome.epochs, 1);
+        assert_eq!(outcome.install_passes, 1);
+        assert_eq!(session.stats().transform_install_passes, 1);
+        // The same four pairs sequentially: four passes.
+        let mut sequential = DsgSession::builder().peers(0..64).seed(7).build().unwrap();
+        for request in &batch {
+            sequential.submit(*request).unwrap();
+        }
+        assert_eq!(sequential.stats().transform_install_passes, 4);
+    }
+}

@@ -108,6 +108,13 @@ impl NodeState {
         self.group_base = value;
     }
 
+    /// The number of levels with an explicitly stored group-id. Levels at or
+    /// above this report the default (the node's own key), which no *other*
+    /// node can match — the fact the unbounded common-group scan exploits.
+    pub fn stored_group_levels(&self) -> usize {
+        self.group_ids.len()
+    }
+
     /// The number of levels for which any explicit state is stored (useful
     /// for memory accounting in tests).
     pub fn stored_levels(&self) -> usize {
@@ -261,6 +268,24 @@ impl StateTable {
         max_level: usize,
     ) -> Option<usize> {
         (0..=max_level)
+            .rev()
+            .find(|&level| self.group_id(x, level) == self.group_id(y, level))
+    }
+
+    /// [`StateTable::highest_common_group_level`] without a caller-supplied
+    /// bound: the scan starts at the highest level either node stores an
+    /// explicit group-id for. Above that level both nodes report their own
+    /// (distinct) keys, so no match is possible — which makes the result
+    /// independent of the structure height at call time. The batched
+    /// request pipeline relies on this: priorities computed before a
+    /// deferred install must equal the ones a sequential request sequence
+    /// would compute after it.
+    pub fn highest_common_group_level_unbounded(&self, x: NodeId, y: NodeId) -> Option<usize> {
+        let top = self
+            .get(x)
+            .stored_group_levels()
+            .max(self.get(y).stored_group_levels());
+        (0..top)
             .rev()
             .find(|&level| self.group_id(x, level) == self.group_id(y, level))
     }

@@ -40,10 +40,20 @@ pub struct TimestampInput<'a> {
     pub t: u64,
     /// The highest common level `α`.
     pub alpha: usize,
+    /// The level `d'` at which this request's pair now forms its two-node
+    /// list (from [`TransformOutcome::pair_levels`]; an epoch applies the
+    /// rules once per pair with that pair's own level).
+    pub pair_level: usize,
     /// Members of `l_α` (dummies excluded), key order.
     pub members_alpha: &'a [NodeId],
     /// Membership vectors *before* the transformation.
     pub old_mvecs: &'a HashMap<NodeId, MembershipVector, FastHashState>,
+    /// Membership vectors *after* the transformation, for the members whose
+    /// vector changed; members absent from this map kept their old vector.
+    /// Rule T3 consults this map first and falls back to the graph, so the
+    /// rules produce identical results whether they run before or after the
+    /// (possibly deferred, epoch-batched) install.
+    pub new_mvecs: &'a HashMap<NodeId, MembershipVector, FastHashState>,
     /// Members of `u`'s group at level `α` before the merge (excluding `u`).
     pub u_group_before: &'a HashSet<NodeId, FastHashState>,
     /// Members of `v`'s group at level `α` before the merge (excluding `v`).
@@ -54,8 +64,10 @@ pub struct TimestampInput<'a> {
     pub outcome: &'a TransformOutcome,
 }
 
-/// Applies rules T1–T6 in order. `graph` must already hold the *new*
-/// membership vectors.
+/// Applies rules T1–T6 in order. Post-transformation membership vectors
+/// are resolved through [`TimestampInput::new_mvecs`] with the graph as the
+/// fallback, so the caller may invoke this either after the install (the
+/// classic order) or before a deferred epoch-batched install.
 pub fn apply_timestamp_rules(
     graph: &SkipGraph,
     states: &mut StateTable,
@@ -73,7 +85,7 @@ pub fn apply_timestamp_rules(
 /// two-node list (and the singleton level above) with the current time, and
 /// harmonises the timestamps of the shared levels below.
 fn rule_t1(states: &mut StateTable, input: &TimestampInput<'_>) {
-    let d = input.outcome.pair_level;
+    let d = input.pair_level;
     for x in [input.u, input.v] {
         states.set_timestamp(x, d, input.t);
         states.set_timestamp(x, d + 1, input.t);
@@ -141,14 +153,14 @@ fn rule_t3(graph: &SkipGraph, states: &mut StateTable, input: &TimestampInput<'_
         let old_x = &input.old_mvecs[&x];
         let old_anchor = &input.old_mvecs[&anchor];
         let c_prime = old_anchor.common_prefix_len(old_x);
-        let new_x = match graph.mvec_of(x) {
-            Ok(m) => m,
-            Err(_) => return,
+        let resolve = |node: NodeId| -> Option<MembershipVector> {
+            match input.new_mvecs.get(&node) {
+                Some(m) => Some(*m),
+                None => graph.mvec_of(node).ok(),
+            }
         };
-        let new_anchor = match graph.mvec_of(anchor) {
-            Ok(m) => m,
-            Err(_) => return,
-        };
+        let Some(new_x) = resolve(x) else { return };
+        let Some(new_anchor) = resolve(anchor) else { return };
         let c_second = new_anchor.common_prefix_len(&new_x);
         if c_prime >= 1 && c_prime - 1 > c_second + 1 {
             let anchor_ts = states.timestamp(x, c_prime);
@@ -289,18 +301,17 @@ mod tests {
         );
         let u = fx.ids[0];
         let v = fx.ids[1];
-        let outcome = TransformOutcome {
-            pair_level: 2,
-            ..TransformOutcome::default()
-        };
+        let outcome = TransformOutcome::default();
         let empty: HashSet<NodeId, FastHashState> = HashSet::default();
         let input = TimestampInput {
             u,
             v,
             t: 9,
             alpha: 0,
+            pair_level: 2,
             members_alpha: &fx.ids,
             old_mvecs: &fx.old_mvecs,
+            new_mvecs: &HashMap::default(),
             u_group_before: &empty,
             v_group_before: &empty,
             glower_recipients: &[],
@@ -329,10 +340,7 @@ mod tests {
         let u = fx.ids[0];
         let v = fx.ids[1];
         let w = fx.ids[2];
-        let mut outcome = TransformOutcome {
-            pair_level: 1,
-            ..TransformOutcome::default()
-        };
+        let mut outcome = TransformOutcome::default();
         // w received a positive median 4 when the level-0 list split.
         outcome.medians.insert(w, vec![(0, Priority::Finite(4))]);
         // w is in u's group at level 0 after the transformation.
@@ -344,8 +352,10 @@ mod tests {
             v,
             t: 7,
             alpha: 0,
+            pair_level: 1,
             members_alpha: &fx.ids,
             old_mvecs: &fx.old_mvecs,
+            new_mvecs: &HashMap::default(),
             u_group_before: &empty,
             v_group_before: &empty,
             glower_recipients: &[],
@@ -368,8 +378,10 @@ mod tests {
             v: fx.ids[1],
             t: 8,
             alpha: 0,
+            pair_level: 0,
             members_alpha: &fx.ids,
             old_mvecs: &fx.old_mvecs,
+            new_mvecs: &HashMap::default(),
             u_group_before: &empty,
             v_group_before: &empty,
             glower_recipients: &[],
@@ -398,8 +410,10 @@ mod tests {
             v: fx.ids[1],
             t: 8,
             alpha: 0,
+            pair_level: 0,
             members_alpha: &fx.ids[0..1],
             old_mvecs: &fx.old_mvecs,
+            new_mvecs: &HashMap::default(),
             u_group_before: &empty,
             v_group_before: &empty,
             glower_recipients: &[],
@@ -426,8 +440,10 @@ mod tests {
             v: fx.ids[1],
             t: 8,
             alpha: 0,
+            pair_level: 0,
             members_alpha: &fx.ids[0..1],
             old_mvecs: &fx.old_mvecs,
+            new_mvecs: &HashMap::default(),
             u_group_before: &empty,
             v_group_before: &empty,
             glower_recipients: &glower,

@@ -52,22 +52,57 @@ use std::collections::HashMap;
 use dsg_skipgraph::{Bit, MembershipUpdate, MembershipVector, NodeId, SkipGraph};
 
 use crate::amf::MedianFinder;
-use crate::priority::{band_of, initial_priority, recomputed_priority, Priority, PriorityContext};
+use crate::priority::{
+    band_of, p2_priority, pair_top_priority, recomputed_priority, Priority,
+};
 use crate::state::StateTable;
 
-/// Parameters of one transformation.
-#[derive(Debug, Clone, Copy)]
-pub struct TransformInput {
+/// The most pairs one transformation epoch may serve: work items track the
+/// pairs they contain in a `u64` bitmask. The session layer flushes an
+/// epoch before it accumulates more.
+pub const MAX_EPOCH_PAIRS: usize = 64;
+
+/// One communicating pair served by a transformation epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformPair {
     /// The communicating source.
     pub u: NodeId,
     /// The communicating destination.
     pub v: NodeId,
-    /// The request time `t` (1-based request index).
+    /// The request time `t` of this pair (1-based request index; strictly
+    /// ascending across the pairs of one epoch).
     pub t: u64,
-    /// The highest common level `α` of `u` and `v` in the current graph.
+}
+
+/// Parameters of one transformation epoch: one or more communicating pairs
+/// rebuilt together over the subtree rooted at the level-`alpha` list that
+/// contains every endpoint.
+///
+/// With a single pair this is exactly Algorithm 1. With several pairs the
+/// engine generalises rule P1: each pair receives a distinct finite top
+/// priority keyed by its request time ([`pair_top_priority`]), so every
+/// threshold split keeps each pair together while later (more recent)
+/// pairs dominate earlier ones — the documented deterministic tie-break
+/// for overlapping requests in one batch.
+#[derive(Debug, Clone, Copy)]
+pub struct TransformInput<'a> {
+    /// The pairs of the epoch, in submission order (ascending `t`).
+    /// Non-empty; at most [`MAX_EPOCH_PAIRS`].
+    pub pairs: &'a [TransformPair],
+    /// The level of the rebuilt subtree's root list: the highest common
+    /// level of the single pair, or the meet of the pairs' `l_α` roots.
     pub alpha: usize,
     /// The balance parameter `a`.
     pub a: usize,
+}
+
+impl TransformInput<'_> {
+    /// The epoch time: the time of the most recent pair. Rules P3/P4 and
+    /// the band arithmetic use one shared `t` per epoch; for a single-pair
+    /// epoch this is exactly the paper's request time.
+    pub fn t_epoch(&self) -> u64 {
+        self.pairs.last().map(|p| p.t).unwrap_or(0)
+    }
 }
 
 /// The trace of one transformation, consumed by the timestamp and group-base
@@ -87,8 +122,9 @@ pub struct TransformOutcome {
     /// Number of changed `(node, level)` pairs across [`Self::changes`] —
     /// the quantity the differential install's work is proportional to.
     pub touched_pairs: usize,
-    /// The level `d'` at which `u` and `v` form a linked list of size two.
-    pub pair_level: usize,
+    /// The level `d'_i` at which each pair forms its linked list of size
+    /// two, indexed like [`TransformInput::pairs`].
+    pub pair_levels: Vec<usize>,
     /// The approximate medians each node received, as `(list_level, M)`
     /// pairs (timestamp rule T2 needs them).
     pub medians: HashMap<NodeId, Vec<(usize, Priority)>>,
@@ -126,19 +162,21 @@ struct WorkItem {
     list_level: usize,
     /// The members, as positions into `members_alpha`.
     members: Vec<u32>,
-    /// Whether this list contains the communicating pair.
-    has_pair: bool,
+    /// Bitmask of the epoch pairs whose *both* endpoints are in this list.
+    pairs: u64,
 }
 
-/// Runs the full transformation for one request.
+/// Runs the full transformation for one epoch (one or more pairs).
 ///
-/// `members_alpha` must be the members of `l_α` in ascending key order with
-/// dummy nodes already removed. Group-ids at level `α` are merged here
-/// (Algorithm 1 step 3); deeper group-ids are assigned as lists form (step
-/// 8); timestamps are *not* touched (the caller applies rules T1–T6 using
-/// the returned trace). `graph` must still hold the *pre-transformation*
-/// membership vectors: the differential install plan
-/// ([`TransformOutcome::changes`]) is computed against them.
+/// `members_alpha` must be the members of the root list at `input.alpha`
+/// in ascending key order with dummy nodes already removed, containing
+/// every pair endpoint. Group-ids at the root level are merged here per
+/// pair, in submission order (Algorithm 1 step 3); deeper group-ids are
+/// assigned as lists form (step 8); timestamps are *not* touched (the
+/// caller applies rules T1–T6 per pair using the returned trace). `graph`
+/// must still hold the *pre-transformation* membership vectors: the
+/// differential install plan ([`TransformOutcome::changes`]) is computed
+/// against them.
 pub fn run_transformation(
     graph: &SkipGraph,
     states: &mut StateTable,
@@ -172,32 +210,80 @@ fn run_transformation_impl(
     members_alpha: &[NodeId],
     collect_suffixes: bool,
 ) -> TransformOutcome {
-    let mut outcome = TransformOutcome::default();
-    let n_total = members_alpha.len();
-    let ctx = PriorityContext {
-        u: input.u,
-        v: input.v,
-        t: input.t,
-        alpha: input.alpha,
-        max_level: graph.height().max(input.alpha) + 1,
+    let npairs = input.pairs.len();
+    assert!(
+        (1..=MAX_EPOCH_PAIRS).contains(&npairs),
+        "a transformation epoch serves 1..={MAX_EPOCH_PAIRS} pairs"
+    );
+    let t_epoch = input.t_epoch();
+    let mut outcome = TransformOutcome {
+        pair_levels: vec![0; npairs],
+        ..TransformOutcome::default()
     };
-    let u_pos = members_alpha.iter().position(|&x| x == input.u);
-    let v_pos = members_alpha.iter().position(|&x| x == input.v);
+    let n_total = members_alpha.len();
 
-    // Step 2: initial priorities P1–P3 for every member of l_α.
+    // Which pair (if any) each dense member position is an endpoint of,
+    // plus the root-item mask of pairs with both endpoints present. One
+    // pass over the members against a small endpoint table — O(n + k),
+    // not O(n · k).
+    let mut pair_of_pos: Vec<Option<u16>> = vec![None; n_total];
+    let mut root_pairs = 0u64;
+    {
+        let endpoints: HashMap<NodeId, u16> = input
+            .pairs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, pair)| [(pair.u, i as u16), (pair.v, i as u16)])
+            .collect();
+        let mut seen = [0u8; MAX_EPOCH_PAIRS];
+        for (pos, &x) in members_alpha.iter().enumerate() {
+            if let Some(&i) = endpoints.get(&x) {
+                pair_of_pos[pos] = Some(i);
+                seen[i as usize] += 1;
+            }
+        }
+        for (i, &count) in seen.iter().take(npairs).enumerate() {
+            if count == 2 {
+                root_pairs |= 1 << i;
+            }
+        }
+    }
+
+    // Step 2: initial priorities P1–P3 for every member of the root list.
+    // P1 generalises to one distinct top priority per pair; P2 matches a
+    // member against the pairs' groups in submission order (first match
+    // wins — the deterministic tie-break when groups are shared).
     let mut priorities: Vec<Priority> = members_alpha
         .iter()
-        .map(|&x| initial_priority(states, &ctx, x))
+        .enumerate()
+        .map(|(pos, &x)| {
+            if let Some(p) = pair_of_pos[pos] {
+                return pair_top_priority(npairs, input.pairs[p as usize].t);
+            }
+            let gx = states.group_id(x, input.alpha);
+            for pair in input.pairs {
+                if gx == states.group_id(pair.u, input.alpha) {
+                    return p2_priority(states, input.alpha, x, pair.u);
+                }
+                if gx == states.group_id(pair.v, input.alpha) {
+                    return p2_priority(states, input.alpha, x, pair.v);
+                }
+            }
+            recomputed_priority(states, t_epoch, input.alpha, x)
+        })
         .collect();
 
-    // Step 3: merge u's and v's groups at level α.
-    let gu = states.group_id(input.u, input.alpha);
-    let gv = states.group_id(input.v, input.alpha);
-    let u_key = states.get(input.u).key().value();
-    for &x in members_alpha {
-        let gx = states.group_id(x, input.alpha);
-        if gx == gu || gx == gv {
-            states.set_group_id(x, input.alpha, u_key);
+    // Step 3: merge each pair's groups at the root level, in submission
+    // order (later pairs see — and may absorb — earlier merges).
+    for pair in input.pairs {
+        let gu = states.group_id(pair.u, input.alpha);
+        let gv = states.group_id(pair.v, input.alpha);
+        let u_key = states.get(pair.u).key().value();
+        for &x in members_alpha {
+            let gx = states.group_id(x, input.alpha);
+            if gx == gu || gx == gv {
+                states.set_group_id(x, input.alpha, u_key);
+            }
         }
     }
 
@@ -223,7 +309,7 @@ fn run_transformation_impl(
     let mut queue: Vec<WorkItem> = vec![WorkItem {
         list_level: input.alpha,
         members: (0..n_total as u32).collect(),
-        has_pair: true,
+        pairs: root_pairs,
     }];
 
     while let Some(mut item) = queue.pop() {
@@ -239,10 +325,11 @@ fn run_transformation_impl(
         bits.clear();
         if n == 2 {
             // A list of exactly two nodes splits into singletons directly:
-            // the communicating pair stops here (this is the level d' of
-            // rule T1); any other pair is separated by key order.
-            if item.has_pair {
-                outcome.pair_level = item.list_level;
+            // a communicating pair stops here (this is its level d' of rule
+            // T1); any other two nodes are separated by key order.
+            if item.pairs != 0 {
+                let p = item.pairs.trailing_zeros() as usize;
+                outcome.pair_levels[p] = item.list_level;
             }
             split_pair_into(graph, input, members_alpha, &item, &mut bits);
         } else {
@@ -259,7 +346,7 @@ fn run_transformation_impl(
             // Steps 5–6: decide the split.
             let used_counts = decide_split_into(
                 states,
-                input,
+                t_epoch,
                 item.list_level,
                 members_alpha,
                 &item.members,
@@ -276,11 +363,17 @@ fn run_transformation_impl(
                 *entry = (*entry).max(rounds);
             }
             // Degenerate guard: the approximate median may fail to separate
-            // a list whose priorities are all equal. Force a balanced split
-            // (keeping the communicating pair together in the 0-subgraph) so
-            // that the recursion always terminates.
+            // a list (all priorities equal, or an approximate median below
+            // the minimum). Force a balanced split — single-pair epochs use
+            // the classic interleave-and-swap (the pair lands in the
+            // 0-subgraph), multi-pair lists interleave *pair atoms* so no
+            // pair is torn apart — so that the recursion always terminates.
             if bits.iter().all(|b| *b == Bit::Zero) || bits.iter().all(|b| *b == Bit::One) {
-                forced_balanced_split_into(input, members_alpha, &item, &mut bits);
+                if npairs > 1 && item.pairs != 0 {
+                    forced_atom_split_into(&pair_of_pos, &item, &mut bits);
+                } else {
+                    forced_balanced_split_into(input, members_alpha, &item, &mut bits);
+                }
             }
             // Case 1 records the is-dominating-group flags.
             if m.is_positive() {
@@ -294,27 +387,35 @@ fn run_transformation_impl(
             }
         }
 
-        // Record the new membership bits and form the two sublists.
+        // Record the new membership bits and form the two sublists. A
+        // pair's endpoints always take the same bit (they share one
+        // priority value and the forced splits keep atoms whole), so a pair
+        // of the parent mask lands entirely in one child; the seen-masks
+        // below track that robustly rather than assuming it.
         let mut zero_members: Vec<u32> = pool.pop().unwrap_or_default();
         let mut one_members: Vec<u32> = pool.pop().unwrap_or_default();
-        let (mut zero_has_u, mut zero_has_v) = (false, false);
-        let (mut one_has_u, mut one_has_v) = (false, false);
+        let (mut zero_seen, mut one_seen) = ([0u64; 2], [0u64; 2]);
         for (idx, &i) in item.members.iter().enumerate() {
             suffixes[i as usize]
                 .push(bits[idx])
                 .expect("transformation depth stays far below the 128-level height cap");
-            let is_u = u_pos == Some(i as usize);
-            let is_v = v_pos == Some(i as usize);
+            let endpoint = pair_of_pos[i as usize];
             match bits[idx] {
                 Bit::Zero => {
                     zero_members.push(i);
-                    zero_has_u |= is_u;
-                    zero_has_v |= is_v;
+                    if let Some(p) = endpoint {
+                        let which =
+                            usize::from(members_alpha[i as usize] != input.pairs[p as usize].u);
+                        zero_seen[which] |= 1 << p;
+                    }
                 }
                 Bit::One => {
                     one_members.push(i);
-                    one_has_u |= is_u;
-                    one_has_v |= is_v;
+                    if let Some(p) = endpoint {
+                        let which =
+                            usize::from(members_alpha[i as usize] != input.pairs[p as usize].u);
+                        one_seen[which] |= 1 << p;
+                    }
                 }
             }
         }
@@ -324,8 +425,8 @@ fn run_transformation_impl(
         restructure_levels.insert(item.list_level);
 
         // Step 8: group bookkeeping for the new sublists.
-        let zero_has_pair = zero_has_u && zero_has_v;
-        let one_has_pair = one_has_u && one_has_v;
+        let zero_pairs = zero_seen[0] & zero_seen[1] & item.pairs;
+        let one_pairs = one_seen[0] & one_seen[1] & item.pairs;
         let mut level_group_rounds = 0usize;
         assign_new_group_ids(
             states,
@@ -341,15 +442,15 @@ fn run_transformation_impl(
         let entry = group_rounds_per_level.entry(item.list_level).or_insert(0);
         *entry = (*entry).max(level_group_rounds);
 
-        // Priorities are recomputed with rule P4 for sublists that do not
-        // contain the communicating pair.
-        for (sublist, contains_pair) in
-            [(&zero_members, zero_has_pair), (&one_members, one_has_pair)]
+        // Priorities are recomputed with rule P4 for sublists that no
+        // longer contain any communicating pair.
+        for (sublist, pairs_present) in
+            [(&zero_members, zero_pairs), (&one_members, one_pairs)]
         {
-            if !contains_pair {
+            if pairs_present == 0 {
                 for &i in sublist.iter() {
                     priorities[i as usize] =
-                        recomputed_priority(states, input.t, next_level, members_alpha[i as usize]);
+                        recomputed_priority(states, t_epoch, next_level, members_alpha[i as usize]);
                 }
             }
         }
@@ -358,12 +459,12 @@ fn run_transformation_impl(
         queue.push(WorkItem {
             list_level: next_level,
             members: zero_members,
-            has_pair: zero_has_pair,
+            pairs: zero_pairs,
         });
         queue.push(WorkItem {
             list_level: next_level,
             members: one_members,
-            has_pair: false,
+            pairs: one_pairs,
         });
         item.members.clear();
         pool.push(item.members);
@@ -408,8 +509,8 @@ fn run_transformation_impl(
     outcome
 }
 
-/// Splits a two-node list into singletons: the communicating pair as
-/// `u → 0, v → 1`; any other pair by key order.
+/// Splits a two-node list into singletons: a communicating pair as
+/// `u → 0, v → 1`; any other two nodes by key order.
 fn split_pair_into(
     graph: &SkipGraph,
     input: &TransformInput,
@@ -421,11 +522,12 @@ fn split_pair_into(
         members_alpha[item.members[0] as usize],
         members_alpha[item.members[1] as usize],
     ];
-    if item.has_pair {
+    if item.pairs != 0 {
+        let pair = &input.pairs[item.pairs.trailing_zeros() as usize];
         bits.extend(
             [x, y]
                 .iter()
-                .map(|&m| if m == input.u { Bit::Zero } else { Bit::One }),
+                .map(|&m| if m == pair.u { Bit::Zero } else { Bit::One }),
         );
         return;
     }
@@ -439,10 +541,12 @@ fn split_pair_into(
 }
 
 /// A forced split used when priorities cannot separate a list (all values
-/// tied). Members are *interleaved* by list position — the same shape a
-/// perfectly balanced skip graph uses — so that repeated forced splits keep
-/// routing paths short instead of producing key-contiguous sublists. The
-/// communicating pair (if present) is kept in the 0-half.
+/// tied, or an approximate median outside the value range). Members are
+/// *interleaved* by list position — the same shape a perfectly balanced
+/// skip graph uses — so that repeated forced splits keep routing paths
+/// short instead of producing key-contiguous sublists. The communicating
+/// pair of a single-pair epoch (if present) is kept in the 0-half; lists
+/// holding several pairs use [`forced_atom_split_into`] instead.
 fn forced_balanced_split_into(
     input: &TransformInput,
     members_alpha: &[NodeId],
@@ -452,8 +556,9 @@ fn forced_balanced_split_into(
     let n = item.members.len();
     bits.clear();
     bits.extend((0..n).map(|i| if i % 2 == 0 { Bit::Zero } else { Bit::One }));
-    if item.has_pair {
-        for target in [input.u, input.v] {
+    if item.pairs != 0 {
+        let pair = &input.pairs[item.pairs.trailing_zeros() as usize];
+        for target in [pair.u, pair.v] {
             if let Some(pos) = item
                 .members
                 .iter()
@@ -463,7 +568,7 @@ fn forced_balanced_split_into(
                     // Swap with a 0-half node that is not the other endpoint.
                     if let Some(swap) = (0..n).find(|&i| {
                         let member = members_alpha[item.members[i] as usize];
-                        bits[i] == Bit::Zero && member != input.u && member != input.v
+                        bits[i] == Bit::Zero && member != pair.u && member != pair.v
                     }) {
                         bits.swap(pos, swap);
                     }
@@ -473,13 +578,46 @@ fn forced_balanced_split_into(
     }
 }
 
+/// The multi-pair forced split: members are grouped into *atoms* — a
+/// communicating pair forms one atom, every other member is its own atom —
+/// and atoms are interleaved 0/1 in list order. No pair can be torn apart
+/// (both endpoints copy the atom's bit), every list with at least two
+/// atoms splits into two non-empty halves, and the result is deterministic
+/// in list order. (A two-member list is handled by `split_pair_into`
+/// before this path can be reached, so atom count ≥ 2 here.)
+fn forced_atom_split_into(pair_of_pos: &[Option<u16>], item: &WorkItem, bits: &mut Vec<Bit>) {
+    bits.clear();
+    let mut pair_bit = [None::<Bit>; MAX_EPOCH_PAIRS];
+    let mut next = Bit::Zero;
+    for &i in &item.members {
+        let bit = match pair_of_pos[i as usize] {
+            Some(p) if item.pairs & (1 << p) != 0 => match pair_bit[p as usize] {
+                // Second endpoint: copy the pair's bit, don't alternate.
+                Some(bit) => bit,
+                None => {
+                    pair_bit[p as usize] = Some(next);
+                    let bit = next;
+                    next = next.flipped();
+                    bit
+                }
+            },
+            _ => {
+                let bit = next;
+                next = next.flipped();
+                bit
+            }
+        };
+        bits.push(bit);
+    }
+}
+
 /// Implements Cases 1 and 2 of §IV-C for one list, writing the membership
 /// bits (parallel to `item_members`) into `bits`. Returns whether the
 /// distributed counts of Case 2 were needed.
 #[allow(clippy::too_many_arguments)]
 fn decide_split_into(
     states: &StateTable,
-    input: &TransformInput,
+    t_epoch: u64,
     list_level: usize,
     members_alpha: &[NodeId],
     item_members: &[u32],
@@ -501,7 +639,7 @@ fn decide_split_into(
     // Case 2: the median falls inside the band of one non-communicating
     // group (equation (2)). Bands are identified by the *mixed* group
     // identifier (see `priority::mix_group_id`).
-    let gs_band = band_of(median, input.t);
+    let gs_band = band_of(median, t_epoch);
     gs_mask.clear();
     gs_mask.extend(item_members.iter().zip(priorities).map(|(&i, p)| {
         !p.is_positive()
@@ -684,10 +822,9 @@ mod tests {
         t: u64,
         members: &[NodeId],
     ) -> TransformOutcome {
+        let pairs = [TransformPair { u, v, t }];
         let input = TransformInput {
-            u,
-            v,
-            t,
+            pairs: &pairs,
             alpha: 0,
             a: 3,
         };
@@ -713,7 +850,7 @@ mod tests {
             .zip(sv.iter())
             .take_while(|(a, b)| a == b)
             .count();
-        assert_eq!(common, outcome.pair_level, "shared prefix up to d'");
+        assert_eq!(common, outcome.pair_levels[0], "shared prefix up to d'");
         assert_eq!(su.get(common), Some(&Bit::Zero), "u moves to the 0-subgraph");
         assert_eq!(sv.get(common), Some(&Bit::One));
         // The pair always moves to 0-subgraphs on the way down.

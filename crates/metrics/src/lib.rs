@@ -13,7 +13,9 @@
 //!
 //! * [`CommunicationGraph`] — a time-labelled view of who communicated,
 //! * [`WorkingSetTracker`] — incremental `T_i` / `WS(σ)` computation,
-//! * [`Summary`] — small statistics helpers used by the experiment harness.
+//! * [`Summary`] — small statistics helpers used by the experiment harness,
+//! * [`MetricsObserver`] — the default recording [`dsg::DsgObserver`] that
+//!   collects per-request series and epoch counters off a session.
 //!
 //! # Example
 //!
@@ -36,9 +38,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod comm_graph;
+pub mod observer;
 pub mod summary;
 pub mod working_set;
 
 pub use comm_graph::CommunicationGraph;
+pub use observer::MetricsObserver;
 pub use summary::Summary;
 pub use working_set::{working_set_bound, working_set_numbers, WorkingSetTracker};

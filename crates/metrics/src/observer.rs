@@ -1,0 +1,144 @@
+//! The default recording observer for [`DsgSession`](dsg::DsgSession)s.
+//!
+//! [`MetricsObserver`] implements [`dsg::DsgObserver`] and records the
+//! per-request series and epoch-level counters the experiment harnesses
+//! report — the observer-based replacement for polling
+//! [`RunStats`](dsg::RunStats) fields off the engine. Register it with
+//! [`DsgSession::observe`](dsg::DsgSession::observe) (which hands back a
+//! shared handle) and read the series after the replay.
+//!
+//! ```rust
+//! use dsg::prelude::*;
+//! use dsg_metrics::MetricsObserver;
+//!
+//! # fn main() -> Result<(), DsgError> {
+//! let mut session = DsgSession::builder().peers(0..16).seed(1).build()?;
+//! let metrics = session.observe(MetricsObserver::new());
+//! session.submit_batch(&[
+//!     Request::communicate(0, 9),
+//!     Request::communicate(3, 12),
+//! ])?;
+//! let metrics = metrics.borrow();
+//! assert_eq!(metrics.requests(), 2);
+//! assert_eq!(metrics.epochs, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use dsg::{BalanceRepairEvent, DsgObserver, RequestOutcome, TransformEvent};
+
+/// Records per-request series and epoch counters from session callbacks.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsObserver {
+    /// Routing cost (intermediate nodes) per request, in submission order.
+    pub routing_costs: Vec<usize>,
+    /// Transformation rounds per request.
+    pub transformation_rounds: Vec<usize>,
+    /// Total cost (`d + ρ + 1`) per request.
+    pub total_costs: Vec<usize>,
+    /// Structure height after each request.
+    pub heights: Vec<usize>,
+    /// Level of the direct link created for each request.
+    pub pair_levels: Vec<usize>,
+    /// Changed `(node, level)` pairs installed per request (cluster totals
+    /// are attributed to the cluster's first request).
+    pub touched_pairs: Vec<usize>,
+    /// Transformation epochs observed.
+    pub epochs: usize,
+    /// Merged transformations (clusters) across all epochs.
+    pub clusters: usize,
+    /// Transformation-install passes across all epochs.
+    pub install_passes: usize,
+    /// Dummy nodes destroyed by differential GC across all epochs.
+    pub dummies_destroyed: usize,
+    /// Dummy nodes inserted by balance repairs across all epochs.
+    pub dummies_inserted: usize,
+    /// Live dummy count after the most recent repair pass.
+    pub live_dummies: usize,
+}
+
+impl MetricsObserver {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        MetricsObserver::default()
+    }
+
+    /// Number of requests observed.
+    pub fn requests(&self) -> usize {
+        self.routing_costs.len()
+    }
+
+    /// Average routing cost per request (0 for an empty recording).
+    pub fn avg_routing(&self) -> f64 {
+        if self.routing_costs.is_empty() {
+            0.0
+        } else {
+            self.routing_costs.iter().sum::<usize>() as f64 / self.routing_costs.len() as f64
+        }
+    }
+
+    /// Total changed `(node, level)` pairs installed.
+    pub fn total_touched_pairs(&self) -> usize {
+        self.touched_pairs.iter().sum()
+    }
+}
+
+impl DsgObserver for MetricsObserver {
+    fn on_request(&mut self, outcome: &RequestOutcome) {
+        self.routing_costs.push(outcome.routing_cost);
+        self.transformation_rounds
+            .push(outcome.transformation_rounds());
+        self.total_costs.push(outcome.total_cost());
+        self.heights.push(outcome.height_after);
+        self.pair_levels.push(outcome.pair_level);
+        self.touched_pairs.push(outcome.touched_pairs);
+    }
+
+    fn on_transform(&mut self, event: &TransformEvent) {
+        self.epochs += 1;
+        self.clusters += event.clusters;
+        self.install_passes += event.install_passes;
+    }
+
+    fn on_balance_repair(&mut self, event: &BalanceRepairEvent) {
+        self.dummies_destroyed += event.dummies_destroyed;
+        self.dummies_inserted += event.dummies_inserted;
+        self.live_dummies = event.live_dummies;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsg::prelude::*;
+
+    #[test]
+    fn records_requests_and_epochs() {
+        let mut session = DsgSession::builder().peers(0..32).seed(2).build().unwrap();
+        let metrics = session.observe(MetricsObserver::new());
+        session
+            .submit_batch(&[
+                Request::communicate(0, 16),
+                Request::communicate(1, 17),
+                Request::communicate(2, 18),
+            ])
+            .unwrap();
+        session.submit(Request::communicate(0, 16)).unwrap();
+        let metrics = metrics.borrow();
+        assert_eq!(metrics.requests(), 4);
+        assert_eq!(metrics.epochs, 2);
+        assert_eq!(metrics.routing_costs.len(), 4);
+        assert_eq!(metrics.heights.len(), 4);
+        assert!(metrics.install_passes >= 2);
+        assert!(metrics.avg_routing() >= 0.0);
+        // The stats the engine accumulated agree with the observer series.
+        assert_eq!(
+            session.stats().total_routing_cost,
+            metrics.routing_costs.iter().sum::<usize>()
+        );
+        assert_eq!(
+            session.stats().transform_touched_pairs,
+            metrics.total_touched_pairs()
+        );
+    }
+}

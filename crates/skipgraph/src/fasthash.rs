@@ -91,6 +91,82 @@ impl Hasher for FastHasher {
     }
 }
 
+/// [`FastHashState`] plus a finish-time bit-mix (a splitmix64-style
+/// finaliser), for maps whose keys share a large power-of-two stride.
+///
+/// The plain FxHash `finish` returns `(… ^ word) * SEED` directly, so the
+/// low `k` bits of the hash are the low `k` bits of `word * SEED` — and a
+/// key that is a multiple of `2^k` yields a hash that is too. That is
+/// exactly the layout of this repository's node *keys*: application keys
+/// are spaced by `KEY_SPACING = 2^20` so dummy keys always fit between
+/// them, which would collapse every peer key into a single bucket chain of
+/// the swiss-table (its bucket index is the hash's low bits) and turn O(1)
+/// occupancy probes into O(n) chain walks. The finaliser folds the high
+/// bits down, restoring uniform bucket spread for ~3 extra ALU ops per
+/// lookup. Prefix/NodeId-keyed maps keep the cheaper [`FastHashState`]:
+/// their keys are dense small integers with entropy in the low bits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KeyHashState;
+
+impl BuildHasher for KeyHashState {
+    type Hasher = KeyHasher;
+
+    fn build_hasher(&self) -> KeyHasher {
+        KeyHasher(FastHasher(0))
+    }
+}
+
+/// The hasher of [`KeyHashState`]: FxHash mixing with a finalising
+/// xor-shift-multiply fold.
+#[derive(Debug, Clone, Default)]
+pub struct KeyHasher(FastHasher);
+
+impl Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut z = self.0.finish();
+        z ^= z >> 32;
+        z = z.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        z ^= z >> 32;
+        z
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        self.0.write(bytes);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.0.write_u8(i);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.0.write_u16(i);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.0.write_u32(i);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.0.write_u64(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.0.write_u128(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.0.write_usize(i);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +185,26 @@ mod tests {
                 Some(&i)
             );
         }
+    }
+
+    #[test]
+    fn strided_keys_spread_across_buckets_with_the_finaliser() {
+        // Keys spaced by 2^20 (the repository's KEY_SPACING): the plain
+        // FxHash puts them all in low-bits bucket 0; the finalised hasher
+        // must spread them.
+        let mut plain = std::collections::HashSet::new();
+        let mut mixed = std::collections::HashSet::new();
+        for i in 1..=64u64 {
+            let key = i << 20;
+            let mut h = FastHashState.build_hasher();
+            h.write_u64(key);
+            plain.insert(h.finish() & 0xfff);
+            let mut h = KeyHashState.build_hasher();
+            h.write_u64(key);
+            mixed.insert(h.finish() & 0xfff);
+        }
+        assert_eq!(plain.len(), 1, "plain FxHash collapses strided keys");
+        assert!(mixed.len() > 32, "only {} distinct buckets", mixed.len());
     }
 
     #[test]

@@ -45,12 +45,11 @@
 //! structure could have changed.
 
 use std::collections::{BTreeMap, HashMap};
-use std::ops::Bound;
 
 use rand::{Rng, RngExt};
 
 use crate::error::SkipGraphError;
-use crate::fasthash::FastHashState;
+use crate::fasthash::{FastHashState, KeyHashState};
 use crate::ids::{Key, NodeId};
 use crate::mvec::{Bit, MembershipVector, Prefix};
 use crate::smallvec::SmallVec;
@@ -192,6 +191,79 @@ struct ListMeta {
     stoppers: usize,
 }
 
+/// The key → node index of the graph: an exact-lookup fasthash map paired
+/// with an ordered `BTreeMap` over the same `(key, id)` entries.
+///
+/// The hash half exists for the *dummy repair* hot path:
+/// `free_key_between` (in the `dsg` crate) resolves every dummy key by
+/// probing candidate keys for occupancy, and under uniform traffic most
+/// split decisions are rewritten each request, so thousands of dummies
+/// churn per request at large n — an O(1) hash probe with no tree walk
+/// makes those probes 7–12× cheaper (the `dummy_probe` table in
+/// `BENCH_perf.json`). The ordered half serves predecessor/successor
+/// queries and ascending iteration. A sorted `Vec` was measured for the
+/// ordered half first and rejected: at ~10k dummy inserts/removals per
+/// request (n = 4096) the O(n) tail `memmove` per mutation cost more than
+/// the probe win saved.
+#[derive(Debug, Clone, Default)]
+struct KeyIndex {
+    /// Ordered view: predecessor/successor and ascending iteration.
+    tree: BTreeMap<Key, NodeId>,
+    /// Exact-lookup index over the same pairs (the occupancy-probe path).
+    /// Keyed with the *finalised* hasher: node keys share the `2^20`
+    /// `KEY_SPACING` stride, which the plain FxHash maps into one bucket
+    /// chain (see [`KeyHashState`]).
+    map: HashMap<Key, NodeId, KeyHashState>,
+}
+
+impl KeyIndex {
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn contains(&self, key: Key) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    fn get(&self, key: Key) -> Option<NodeId> {
+        self.map.get(&key).copied()
+    }
+
+    fn insert(&mut self, key: Key, id: NodeId) {
+        self.map.insert(key, id);
+        self.tree.insert(key, id);
+    }
+
+    fn remove(&mut self, key: Key) {
+        if self.map.remove(&key).is_some() {
+            let removed = self.tree.remove(&key);
+            debug_assert!(removed.is_some());
+        }
+    }
+
+    /// The entry with the largest key strictly below `key`.
+    fn predecessor(&self, key: Key) -> Option<NodeId> {
+        self.tree.range(..key).next_back().map(|(_, &id)| id)
+    }
+
+    /// The entry with the smallest key strictly above `key`.
+    fn successor(&self, key: Key) -> Option<NodeId> {
+        self.tree
+            .range((std::ops::Bound::Excluded(key), std::ops::Bound::Unbounded))
+            .next()
+            .map(|(_, &id)| id)
+    }
+
+    /// All `(key, id)` entries in ascending key order.
+    fn iter(&self) -> impl Iterator<Item = (Key, NodeId)> + '_ {
+        self.tree.iter().map(|(&key, &id)| (key, id))
+    }
+}
+
 /// A skip graph: the family-`S` data structure of the paper.
 ///
 /// See the [crate-level documentation](crate) for an overview and an
@@ -200,7 +272,7 @@ struct ListMeta {
 pub struct SkipGraph {
     arena: Vec<Slot>,
     free: Vec<u32>,
-    by_key: BTreeMap<Key, NodeId>,
+    by_key: KeyIndex,
     /// List arena; `None` slots are free (ids recycled via `free_lists`).
     lists: Vec<Option<ListMeta>>,
     free_lists: Vec<u32>,
@@ -303,7 +375,7 @@ impl SkipGraph {
     where
         R: Rng + ?Sized,
     {
-        if self.by_key.contains_key(&key) {
+        if self.by_key.contains(key) {
             return Err(SkipGraphError::DuplicateKey(key));
         }
         // Walk down: starting from the root list, keep choosing random bits
@@ -349,7 +421,7 @@ impl SkipGraph {
     }
 
     fn insert_inner(&mut self, key: Key, mvec: MembershipVector, dummy: bool) -> Result<NodeId> {
-        if self.by_key.contains_key(&key) {
+        if self.by_key.contains(key) {
             return Err(SkipGraphError::DuplicateKey(key));
         }
         let entry = NodeEntry { key, mvec, dummy };
@@ -384,8 +456,7 @@ impl SkipGraph {
     pub fn remove_key(&mut self, key: Key) -> Result<NodeEntry> {
         let id = self
             .by_key
-            .get(&key)
-            .copied()
+            .get(key)
             .ok_or(SkipGraphError::UnknownKey(key))?;
         self.remove(id)
     }
@@ -402,7 +473,7 @@ impl SkipGraph {
             .and_then(|s| s.entry.clone())
             .ok_or(SkipGraphError::UnknownNode(id))?;
         self.unlink_node(id);
-        self.by_key.remove(&entry.key);
+        self.by_key.remove(entry.key);
         if entry.dummy {
             self.dummies -= 1;
         }
@@ -1078,21 +1149,18 @@ impl SkipGraph {
 
     /// Returns the id of the node holding `key`.
     pub fn node_by_key(&self, key: Key) -> Option<NodeId> {
-        self.by_key.get(&key).copied()
+        self.by_key.get(key)
     }
 
     /// The node with the largest key strictly below `key` (its left
     /// neighbour in the base list, whether or not `key` itself is present).
     pub fn predecessor_by_key(&self, key: Key) -> Option<NodeId> {
-        self.by_key.range(..key).next_back().map(|(_, &id)| id)
+        self.by_key.predecessor(key)
     }
 
     /// The node with the smallest key strictly above `key`.
     pub fn successor_by_key(&self, key: Key) -> Option<NodeId> {
-        self.by_key
-            .range((Bound::Excluded(key), Bound::Unbounded))
-            .next()
-            .map(|(_, &id)| id)
+        self.by_key.successor(key)
     }
 
     /// The key of a live node.
@@ -1119,12 +1187,12 @@ impl SkipGraph {
 
     /// Iterates over all live node ids in ascending key order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.by_key.values().copied()
+        self.by_key.iter().map(|(_, id)| id)
     }
 
     /// Iterates over all live keys in ascending order.
     pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
-        self.by_key.keys().copied()
+        self.by_key.iter().map(|(key, _)| key)
     }
 
     /// The height of the skip graph: the smallest `H` such that every node
@@ -1501,8 +1569,23 @@ impl SkipGraph {
                 )));
             }
         }
-        // 4. every node is linked at every level up to its vector length.
-        for (&key, &id) in &self.by_key {
+        // 4. the two halves of the key index agree.
+        if self.by_key.map.len() != self.by_key.tree.len() {
+            return Err(SkipGraphError::InvariantViolated(format!(
+                "key index halves disagree: {} hashed, {} ordered",
+                self.by_key.map.len(),
+                self.by_key.tree.len()
+            )));
+        }
+        for (key, id) in self.by_key.iter() {
+            if self.by_key.get(key) != Some(id) {
+                return Err(SkipGraphError::InvariantViolated(format!(
+                    "key index halves disagree on key {key}"
+                )));
+            }
+        }
+        // 5. every node is linked at every level up to its vector length.
+        for (key, id) in self.by_key.iter() {
             let entry = self.entry(id).ok_or_else(|| {
                 SkipGraphError::InvariantViolated(format!("key {key} maps to dead node {id}"))
             })?;

@@ -77,7 +77,7 @@ pub mod tree;
 
 pub use balance::{BalanceReport, BalanceViolation};
 pub use error::SkipGraphError;
-pub use fasthash::FastHashState;
+pub use fasthash::{FastHashState, KeyHashState};
 pub use graph::{ListIter, ListRef, MembershipUpdate, NodeEntry, SkipGraph};
 pub use ids::{Key, NodeId};
 pub use maintenance::{JoinOutcome, LeaveOutcome};

@@ -106,7 +106,7 @@ impl Workload for Datacenter {
         } else {
             self.random_in(0, self.n, Some(u))
         };
-        Request::new(u, v)
+        Request::communicate(u, v)
     }
 }
 
@@ -121,12 +121,12 @@ mod tests {
         let probe = Datacenter::new(256, 8, 4, 0.7, 0.2, 11);
         let intra_rack = trace
             .iter()
-            .filter(|r| probe.rack_of(r.u) == probe.rack_of(r.v))
+            .filter(|r| probe.rack_of(r.pair().0) == probe.rack_of(r.pair().1))
             .count() as f64
             / trace.len() as f64;
         let intra_pod = trace
             .iter()
-            .filter(|r| probe.pod_of(r.u) == probe.pod_of(r.v))
+            .filter(|r| probe.pod_of(r.pair().0) == probe.pod_of(r.pair().1))
             .count() as f64
             / trace.len() as f64;
         assert!(intra_rack > 0.6, "intra-rack fraction {intra_rack} too low");
@@ -147,7 +147,8 @@ mod tests {
     fn requests_stay_in_range() {
         let mut w = Datacenter::conventional(100, 1);
         for r in w.generate(500) {
-            assert!(r.u < 100 && r.v < 100 && r.u != r.v);
+            let (u, v) = r.pair();
+            assert!(u < 100 && v < 100 && u != v);
         }
     }
 

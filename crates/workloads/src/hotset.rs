@@ -91,7 +91,7 @@ impl Workload for RotatingHotSet {
             while j == i {
                 j = self.rng.random_range(0..self.hot.len());
             }
-            Request::new(self.hot[i], self.hot[j])
+            Request::communicate(self.hot[i], self.hot[j])
         } else {
             // Background request involving at least one cold peer.
             let u = self.rng.random_range(0..self.n);
@@ -99,7 +99,7 @@ impl Workload for RotatingHotSet {
             while v == u {
                 v = self.rng.random_range(0..self.n);
             }
-            Request::new(u, v)
+            Request::communicate(u, v)
         }
     }
 }
@@ -115,7 +115,7 @@ mod tests {
         let trace = w.generate(1000);
         let intra = trace
             .iter()
-            .filter(|r| hot.contains(&r.u) && hot.contains(&r.v))
+            .filter(|r| hot.contains(&r.pair().0) && hot.contains(&r.pair().1))
             .count();
         assert!(intra > 800, "only {intra} of 1000 requests were hot");
     }
@@ -134,7 +134,8 @@ mod tests {
     fn requests_are_always_valid() {
         let mut w = RotatingHotSet::new(32, 4, 0.5, 7, 5);
         for r in w.generate(500) {
-            assert!(r.u != r.v && r.u < 32 && r.v < 32);
+            let (u, v) = r.pair();
+            assert!(u != v && u < 32 && v < 32);
         }
     }
 

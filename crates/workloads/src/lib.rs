@@ -29,7 +29,9 @@
 //! let mut workload = ZipfPairs::new(64, 1.2, 42);
 //! let trace = workload.generate(1000);
 //! assert_eq!(trace.len(), 1000);
-//! assert!(trace.iter().all(|r| r.u != r.v && r.u < 64 && r.v < 64));
+//! assert!(trace
+//!     .iter()
+//!     .all(|r| r.pair().0 != r.pair().1 && r.pair().0 < 64 && r.pair().1 < 64));
 //! ```
 
 #![forbid(unsafe_code)]

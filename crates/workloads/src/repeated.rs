@@ -24,7 +24,9 @@ impl RepeatedPairs {
         assert!(!pairs.is_empty(), "at least one pair is required");
         let pairs: Vec<Request> = pairs.into_iter().map(Request::from).collect();
         assert!(
-            pairs.iter().all(|r| r.u < n && r.v < n),
+            pairs
+                .iter()
+                .all(|r| r.pair().0 < n && r.pair().1 < n),
             "pairs must reference peers 0..n"
         );
         RepeatedPairs {
@@ -72,7 +74,7 @@ mod tests {
     fn single_pair_repeats() {
         let mut w = RepeatedPairs::single(10, 2, 7);
         let trace = w.generate(5);
-        assert!(trace.iter().all(|r| (r.u, r.v) == (2, 7)));
+        assert!(trace.iter().all(|r| r.pair() == (2, 7)));
     }
 
     #[test]
@@ -88,8 +90,8 @@ mod tests {
     fn figure2_pattern_has_five_requests_per_cycle() {
         let mut w = RepeatedPairs::figure2(6);
         let trace = w.generate(5);
-        assert_eq!(trace[0], Request::new(0, 1));
-        assert_eq!(trace[4], Request::new(0, 1));
+        assert_eq!(trace[0], Request::communicate(0, 1));
+        assert_eq!(trace[4], Request::communicate(0, 1));
     }
 
     #[test]

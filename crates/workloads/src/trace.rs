@@ -1,58 +1,22 @@
 //! Requests and traces.
+//!
+//! The request type emitted here IS the session request type of the `dsg`
+//! crate ([`dsg::Request`]): a generated trace feeds
+//! [`DsgSession::submit_batch`](dsg::DsgSession::submit_batch) verbatim,
+//! with no conversion layer between trace generation and execution. The
+//! generators of this crate only ever produce the
+//! [`Request::Communicate`] variant; membership churn (`Join` / `Leave`)
+//! and clock control (`Tick`) can be spliced into a trace by the caller.
 
-use std::fmt;
-
-/// One communication request: source peer `u` talks to destination peer
-/// `v`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct Request {
-    /// The source peer.
-    pub u: u64,
-    /// The destination peer.
-    pub v: u64,
-}
-
-impl Request {
-    /// Creates a request.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u == v`; self-communication is not part of the model.
-    pub fn new(u: u64, v: u64) -> Self {
-        assert_ne!(u, v, "a request needs two distinct peers");
-        Request { u, v }
-    }
-
-    /// The request as an unordered pair (smaller key first).
-    pub fn unordered(&self) -> (u64, u64) {
-        if self.u <= self.v {
-            (self.u, self.v)
-        } else {
-            (self.v, self.u)
-        }
-    }
-}
-
-impl fmt::Display for Request {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}→{}", self.u, self.v)
-    }
-}
-
-impl From<(u64, u64)> for Request {
-    fn from((u, v): (u64, u64)) -> Self {
-        Request::new(u, v)
-    }
-}
+pub use dsg::Request;
 
 /// A sequence of requests.
 pub type Trace = Vec<Request>;
 
 /// Converts a trace into the plain pair representation used by the metrics
-/// crate.
+/// crate. Non-communication requests contribute nothing.
 pub fn as_pairs(trace: &[Request]) -> Vec<(u64, u64)> {
-    trace.iter().map(|r| (r.u, r.v)).collect()
+    trace.iter().filter_map(|r| r.endpoints()).collect()
 }
 
 #[cfg(test)]
@@ -60,23 +24,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn requests_display_and_normalise() {
-        let r = Request::new(9, 2);
+    fn requests_are_the_session_vocabulary() {
+        let r = Request::communicate(9, 2);
         assert_eq!(r.to_string(), "9→2");
-        assert_eq!(r.unordered(), (2, 9));
+        assert_eq!(r.unordered(), Some((2, 9)));
         let r2: Request = (1u64, 5u64).into();
-        assert_eq!(r2.unordered(), (1, 5));
+        assert_eq!(r2.pair(), (1, 5));
     }
 
     #[test]
-    #[should_panic(expected = "two distinct peers")]
-    fn self_requests_are_rejected() {
-        let _ = Request::new(3, 3);
-    }
-
-    #[test]
-    fn as_pairs_preserves_order() {
-        let trace = vec![Request::new(1, 2), Request::new(5, 3)];
+    fn as_pairs_preserves_order_and_skips_membership() {
+        let trace = vec![
+            Request::communicate(1, 2),
+            Request::Join(9),
+            Request::communicate(5, 3),
+        ];
         assert_eq!(as_pairs(&trace), vec![(1, 2), (5, 3)]);
     }
 }

@@ -41,7 +41,7 @@ impl Workload for UniformRandom {
         while v == u {
             v = self.rng.random_range(0..self.n);
         }
-        Request::new(u, v)
+        Request::communicate(u, v)
     }
 }
 
@@ -82,7 +82,7 @@ impl Adversarial {
         self.pending = peers
             .chunks(2)
             .filter(|c| c.len() == 2)
-            .map(|c| Request::new(c[0], c[1]))
+            .map(|c| Request::communicate(c[0], c[1]))
             .collect();
     }
 }
@@ -108,7 +108,8 @@ mod tests {
     fn uniform_requests_are_in_range_and_distinct() {
         let mut w = UniformRandom::new(16, 1);
         for r in w.generate(500) {
-            assert!(r.u < 16 && r.v < 16 && r.u != r.v);
+            let (u, v) = r.pair();
+            assert!(u < 16 && v < 16 && u != v);
         }
     }
 
@@ -123,7 +124,9 @@ mod tests {
     fn uniform_covers_the_key_space() {
         let trace = UniformRandom::new(8, 3).generate(400);
         for peer in 0..8u64 {
-            assert!(trace.iter().any(|r| r.u == peer || r.v == peer));
+            assert!(trace
+                .iter()
+                .any(|r| r.pair().0 == peer || r.pair().1 == peer));
         }
     }
 
@@ -133,8 +136,9 @@ mod tests {
         let round = w.generate(5);
         let mut seen = std::collections::HashSet::new();
         for r in &round {
-            assert!(seen.insert(r.u));
-            assert!(seen.insert(r.v));
+            let (u, v) = r.pair();
+            assert!(seen.insert(u));
+            assert!(seen.insert(v));
         }
         assert_eq!(seen.len(), 10);
     }

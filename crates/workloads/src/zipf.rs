@@ -90,7 +90,7 @@ impl Workload for ZipfPairs {
                 v = (u + 1) % self.n;
             }
         }
-        Request::new(u, v)
+        Request::communicate(u, v)
     }
 }
 
@@ -102,8 +102,9 @@ mod tests {
     fn frequency(trace: &[Request]) -> HashMap<u64, usize> {
         let mut counts = HashMap::new();
         for r in trace {
-            *counts.entry(r.u).or_insert(0) += 1;
-            *counts.entry(r.v).or_insert(0) += 1;
+            let (u, v) = r.pair();
+            *counts.entry(u).or_insert(0) += 1;
+            *counts.entry(v).or_insert(0) += 1;
         }
         counts
     }
@@ -136,7 +137,9 @@ mod tests {
         let a = ZipfPairs::new(32, 0.9, 5).generate(200);
         let b = ZipfPairs::new(32, 0.9, 5).generate(200);
         assert_eq!(a, b);
-        assert!(a.iter().all(|r| r.u != r.v && r.u < 32 && r.v < 32));
+        assert!(a
+            .iter()
+            .all(|r| r.pair().0 != r.pair().1 && r.pair().0 < 32 && r.pair().1 < 32));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! self-adjusting overlay pulls the chatty VM pairs close together so that
 //! intra-rack traffic stops paying global routing costs.
 //!
-//! Run with `cargo run --release -p dsg-bench --example datacenter_vm`.
+//! Run with `cargo run --release --example datacenter_vm`.
 
 use dsg::DsgConfig;
 use dsg_baselines::StaticSkipGraph;
@@ -44,7 +44,8 @@ fn main() {
         let mut static_sum = 0usize;
         let mut count = 0usize;
         for (i, request) in trace.iter().enumerate() {
-            if filter(request.u, request.v) {
+            let (u, v) = request.pair();
+            if filter(u, v) {
                 dsg_sum += dsg_run.routing_costs[i];
                 static_sum += static_costs[i];
                 count += 1;

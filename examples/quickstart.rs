@@ -1,22 +1,29 @@
-//! Quickstart: build a self-adjusting skip graph, send a few requests, and
-//! watch the topology adapt.
+//! Quickstart: build a session over a self-adjusting skip graph, submit
+//! typed requests — one at a time and as an epoch-batch — and watch the
+//! topology adapt.
 //!
-//! Run with `cargo run -p dsg-bench --example quickstart`.
+//! Run with `cargo run --release --example quickstart`.
 
-use dsg::{DsgConfig, DynamicSkipGraph};
+use dsg::prelude::*;
 
-fn main() -> Result<(), dsg::DsgError> {
+fn main() -> Result<(), DsgError> {
     // A network of 64 peers with the default balance parameter (a = 3).
-    let mut net = DynamicSkipGraph::new(0..64, DsgConfig::default().with_seed(42))?;
+    // The builder validates the configuration instead of panicking.
+    let mut session = DsgSession::builder()
+        .peers(0..64)
+        .seed(42)
+        .install(InstallStrategy::Batched)
+        .build()?;
     println!(
         "built a skip graph over {} peers, height {}",
-        net.len(),
-        net.height()
+        session.len(),
+        session.height()
     );
 
     // The first request between two arbitrary peers routes through the
     // balanced structure in O(log n) hops ...
-    let first = net.communicate(5, 58)?;
+    let first = session.submit(Request::communicate(5, 58))?;
+    let first = first.request_outcome().expect("communication outcome");
     println!(
         "request #1  5 → 58: routing cost {}, transformation {} rounds, α = {}",
         first.routing_cost,
@@ -25,38 +32,56 @@ fn main() -> Result<(), dsg::DsgError> {
     );
 
     // ... and leaves the pair directly linked, so repeating it is free.
-    let second = net.communicate(5, 58)?;
+    let second = session.submit(Request::communicate(5, 58))?;
     println!(
         "request #2  5 → 58: routing cost {} (directly linked: {})",
-        second.routing_cost,
-        net.are_directly_linked(5, 58)?
+        second.request_outcome().expect("communication outcome").routing_cost,
+        session.engine().are_directly_linked(5, 58)?
+    );
+
+    // A batch of requests is served in *epochs*: every pair routes first,
+    // then one merged transformation per cluster of overlapping subtrees,
+    // and ONE install pass per epoch — however many pairs it holds.
+    let batch = [
+        Request::communicate(20, 33),
+        Request::communicate(41, 2),
+        Request::communicate(7, 55),
+    ];
+    let outcome = session.submit_batch(&batch)?;
+    println!(
+        "batch of {}: {} epoch(s), {} cluster(s), {} install pass(es)",
+        batch.len(),
+        outcome.epochs,
+        outcome.clusters,
+        outcome.install_passes
     );
 
     // Unrelated traffic does not tear the hot pair apart.
-    net.communicate(20, 33)?;
-    net.communicate(41, 2)?;
-    let third = net.communicate(5, 58)?;
+    let third = session.submit(Request::communicate(5, 58))?;
     println!(
-        "request #5  5 → 58: routing cost {} after unrelated traffic",
-        third.routing_cost
+        "request #6  5 → 58: routing cost {} after unrelated traffic",
+        third.request_outcome().expect("communication outcome").routing_cost
     );
 
-    // Membership changes use the standard skip graph join/leave.
-    net.add_peer(100)?;
-    net.remove_peer(63)?;
-    net.communicate(100, 5)?;
+    // Membership changes and clock control use the same typed vocabulary.
+    session.submit_batch(&[
+        Request::Join(100),
+        Request::Leave(63),
+        Request::communicate(100, 5),
+    ])?;
     println!(
         "after churn: {} peers, height {}, {} dummy nodes, a-balanced: {}",
-        net.len(),
-        net.height(),
-        net.dummy_count(),
-        net.balance_report().is_balanced()
+        session.len(),
+        session.height(),
+        session.engine().dummy_count(),
+        session.engine().balance_report().is_balanced()
     );
 
     println!(
-        "totals: {} requests, average cost {:.2} rounds",
-        net.stats().requests,
-        net.stats().average_cost()
+        "totals: {} requests in {} epochs, average cost {:.2} rounds",
+        session.stats().requests,
+        session.epochs(),
+        session.stats().average_cost()
     );
     Ok(())
 }

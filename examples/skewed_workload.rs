@@ -5,7 +5,7 @@
 //! This is the scenario the paper's introduction motivates: most real-world
 //! communication patterns are skewed, and a self-adjusting topology should
 //! exploit that. Run with
-//! `cargo run --release -p dsg-bench --example skewed_workload`.
+//! `cargo run --release --example skewed_workload`.
 
 use dsg::DsgConfig;
 use dsg_baselines::{SplayNet, StaticSkipGraph, WorkingSetOracle};

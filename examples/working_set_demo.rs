@@ -3,15 +3,15 @@
 //! set number — the number of peers that "interfered" since the pair last
 //! talked — no matter how large the network is.
 //!
-//! Run with `cargo run --release -p dsg-bench --example working_set_demo`.
+//! Run with `cargo run --release --example working_set_demo`.
 
-use dsg::{DsgConfig, DynamicSkipGraph};
+use dsg::prelude::*;
 use dsg_metrics::WorkingSetTracker;
 use dsg_workloads::{RotatingHotSet, Workload};
 
-fn main() -> Result<(), dsg::DsgError> {
+fn main() -> Result<(), DsgError> {
     let n = 512u64;
-    let mut net = DynamicSkipGraph::new(0..n, DsgConfig::default().with_seed(11))?;
+    let mut session = DsgSession::builder().peers(0..n).seed(11).build()?;
     let mut tracker = WorkingSetTracker::new(n as usize);
     let mut workload = RotatingHotSet::new(n, 8, 0.9, 50, 5);
 
@@ -20,11 +20,12 @@ fn main() -> Result<(), dsg::DsgError> {
     println!("request  pair          T_i   log2(T_i)  distance  ratio");
     for i in 0..2000usize {
         let request = workload.next_request();
-        let ws = tracker.record(request.u, request.v);
+        let (u, v) = request.pair();
+        let ws = tracker.record(u, v);
         // Measure the distance *before* serving (the structure as the
         // request finds it), then let DSG adapt.
-        let distance = net.peer_distance(request.u, request.v)?;
-        net.communicate(request.u, request.v)?;
+        let distance = session.engine().peer_distance(u, v)?;
+        session.submit(request)?;
         if ws < n as usize {
             let log_ws = (ws.max(2) as f64).log2();
             let ratio = distance as f64 / log_ws.max(1.0);
@@ -32,8 +33,7 @@ fn main() -> Result<(), dsg::DsgError> {
             samples += 1;
             if i % 200 == 0 {
                 println!(
-                    "{i:>7}  {:>4}→{:<4}  {ws:>6}  {log_ws:>9.2}  {distance:>8}  {ratio:>5.2}",
-                    request.u, request.v
+                    "{i:>7}  {u:>4}→{v:<4}  {ws:>6}  {log_ws:>9.2}  {distance:>8}  {ratio:>5.2}"
                 );
             }
         }
@@ -43,7 +43,7 @@ fn main() -> Result<(), dsg::DsgError> {
     );
     println!(
         "(Theorem 2 bounds this ratio by a constant; the balance parameter here is a = {})",
-        net.config().a
+        session.engine().config().a
     );
     Ok(())
 }

@@ -19,7 +19,7 @@
 
 use proptest::prelude::*;
 
-use dsg::{DsgConfig, DynamicSkipGraph, InstallStrategy};
+use dsg::prelude::*;
 use dsg_skipgraph::reference::ReferenceGraph;
 use dsg_skipgraph::{Bit, Key, MembershipVector, SkipGraph};
 
@@ -252,12 +252,14 @@ proptest! {
         raw_requests in proptest::collection::vec((0u64..1000, 0u64..1000), 1..25),
     ) {
         let config = DsgConfig::default().with_seed(seed);
-        let mut batched = DynamicSkipGraph::new(0..n, config).unwrap();
-        let mut naive = DynamicSkipGraph::new(
-            0..n,
-            config.with_install(InstallStrategy::PerNode),
-        )
-        .unwrap();
+        let mut batched = DsgSession::builder().peers(0..n).config(config).build().unwrap();
+        let mut naive = DsgSession::builder()
+            .peers(0..n)
+            .config(config.with_install(InstallStrategy::PerNode))
+            .build()
+            .unwrap();
+        let batched = batched.engine_mut();
+        let naive = naive.engine_mut();
         for (a, b) in raw_requests {
             let u = a % n;
             let v = b % n;
@@ -274,7 +276,7 @@ proptest! {
                 v
             );
         }
-        assert_networks_agree(&batched, &naive);
+        assert_networks_agree(batched, naive);
         prop_assert_eq!(batched.stats(), naive.stats());
     }
 

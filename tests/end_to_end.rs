@@ -2,7 +2,7 @@
 //! metrics → baselines, exercised together the way the experiment harness
 //! uses them.
 
-use dsg::{DsgConfig, DynamicSkipGraph, MedianStrategy};
+use dsg::prelude::*;
 use dsg_baselines::{SplayNet, StaticSkipGraph, WorkingSetOracle};
 use dsg_bench::{run_baseline, run_dsg};
 use dsg_metrics::working_set_bound;
@@ -72,7 +72,7 @@ fn routing_cost_respects_the_working_set_bound_shape() {
     let n = 64u64;
     let trace = RotatingHotSet::new(n, 6, 0.95, 40, 3).generate(800);
     let run = run_dsg(n, DsgConfig::default().with_seed(4), &trace);
-    let pairs: Vec<(u64, u64)> = trace.iter().map(|r| (r.u, r.v)).collect();
+    let pairs: Vec<(u64, u64)> = trace.iter().map(|r| r.pair()).collect();
     let ws = working_set_bound(n as usize, &pairs);
     let total_routing = run.total_routing() as f64;
     assert!(
@@ -130,10 +130,11 @@ fn datacenter_locality_is_exploited() {
     let mut global_sum = 0usize;
     let mut global_count = 0usize;
     for (i, request) in trace.iter().enumerate() {
-        if probe.rack_of(request.u) == probe.rack_of(request.v) {
+        let (u, v) = request.pair();
+        if probe.rack_of(u) == probe.rack_of(v) {
             rack_sum += run.routing_costs[i];
             rack_count += 1;
-        } else if probe.pod_of(request.u) != probe.pod_of(request.v) {
+        } else if probe.pod_of(u) != probe.pod_of(v) {
             global_sum += run.routing_costs[i];
             global_count += 1;
         }
@@ -164,19 +165,21 @@ fn splaynet_and_oracle_baselines_run_the_same_traces() {
 #[test]
 fn membership_churn_during_traffic_keeps_the_network_usable() {
     let n = 48u64;
-    let mut net = DynamicSkipGraph::new(0..n, DsgConfig::default().with_seed(10)).unwrap();
+    let mut session = DsgSession::builder().peers(0..n).seed(10).build().unwrap();
     let mut workload = ZipfPairs::new(n, 0.8, 3);
     for i in 0..100u64 {
         let request = workload.next_request();
-        net.communicate(request.u, request.v).unwrap();
+        let (u, _) = request.pair();
+        let mut batch = vec![request];
         if i % 10 == 0 {
-            net.add_peer(1000 + i).unwrap();
-            net.communicate(1000 + i, request.u).unwrap();
+            batch.push(Request::Join(1000 + i));
+            batch.push(Request::communicate(1000 + i, u));
         }
         if i % 25 == 24 {
-            net.remove_peer(1000 + (i / 10) * 10).unwrap();
+            batch.push(Request::Leave(1000 + (i / 10) * 10));
         }
+        session.submit_batch(&batch).unwrap();
     }
-    net.validate().unwrap();
-    assert!(net.len() >= n as usize);
+    session.engine().validate().unwrap();
+    assert!(session.len() >= n as usize);
 }

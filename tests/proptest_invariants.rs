@@ -5,7 +5,8 @@
 
 use proptest::prelude::*;
 
-use dsg::{AmfMedian, DsgConfig, DynamicSkipGraph, ExactMedian, MedianFinder, Priority};
+use dsg::prelude::*;
+use dsg::{AmfMedian, ExactMedian, MedianFinder, Priority};
 use dsg_metrics::WorkingSetTracker;
 use dsg_skipgraph::{Key, SkipGraph};
 
@@ -31,7 +32,8 @@ proptest! {
     /// O(log n) family bound.
     #[test]
     fn dsg_structure_stays_valid_under_arbitrary_traffic((n, trace) in network_and_trace()) {
-        let mut net = DynamicSkipGraph::new(0..n, DsgConfig::default().with_seed(99)).unwrap();
+        let mut session = DsgSession::builder().peers(0..n).seed(99).build().unwrap();
+        let net = session.engine_mut();
         for &(u, v) in &trace {
             net.communicate(u, v).unwrap();
         }
@@ -49,7 +51,8 @@ proptest! {
     /// request the communicating pair is adjacent (up to dummy nodes).
     #[test]
     fn every_request_ends_directly_linked((n, trace) in network_and_trace()) {
-        let mut net = DynamicSkipGraph::new(0..n, DsgConfig::default().with_seed(7)).unwrap();
+        let mut session = DsgSession::builder().peers(0..n).seed(7).build().unwrap();
+        let net = session.engine_mut();
         for &(u, v) in &trace {
             net.communicate(u, v).unwrap();
             prop_assert!(net.are_directly_linked(u, v).unwrap(),
