@@ -21,7 +21,7 @@
 //! directory. Set `BENCH_PERF_QUICK=1` to run a fast smoke (fewer
 //! repetitions, shorter traces) — used by CI.
 //!
-//! The JSON schema (`dsg-bench-perf/v2`) is documented in `ROADMAP.md`
+//! The JSON schema (`dsg-bench-perf/v3`) is documented in `ROADMAP.md`
 //! ("BENCH_perf.json schema").
 
 use std::fmt::Write as _;
@@ -72,6 +72,8 @@ struct CommRow {
     elapsed_ns: u128,
     transform_touched_pairs: usize,
     dummy_churn: usize,
+    dummies_reused: usize,
+    dummies_bulk_inserted: usize,
 }
 
 impl CommRow {
@@ -89,6 +91,9 @@ struct BatchRow {
     transform_touched_pairs: usize,
     epochs: usize,
     install_passes: usize,
+    dummy_churn: usize,
+    dummies_reused: usize,
+    dummies_bulk_inserted: usize,
 }
 
 impl BatchRow {
@@ -241,6 +246,8 @@ fn measure_communicate(quick: bool) -> Vec<CommRow> {
             let elapsed_ns = start.elapsed().as_nanos();
             let transform_touched_pairs = run.total_touched_pairs();
             let dummy_churn = run.dummy_churn;
+            let dummies_reused = run.dummies_reused;
+            let dummies_bulk_inserted = run.dummies_bulk_inserted;
             std::hint::black_box(run);
             rows.push(CommRow {
                 workload: kind.label(),
@@ -249,6 +256,8 @@ fn measure_communicate(quick: bool) -> Vec<CommRow> {
                 elapsed_ns,
                 transform_touched_pairs,
                 dummy_churn,
+                dummies_reused,
+                dummies_bulk_inserted,
             });
         }
     }
@@ -279,6 +288,9 @@ fn measure_communicate_batched(quick: bool) -> Vec<BatchRow> {
                 transform_touched_pairs: run.total_touched_pairs(),
                 epochs: run.epochs,
                 install_passes: run.install_passes,
+                dummy_churn: run.dummy_churn,
+                dummies_reused: run.dummies_reused,
+                dummies_bulk_inserted: run.dummies_bulk_inserted,
             });
             std::hint::black_box(run);
         }
@@ -338,14 +350,17 @@ fn main() {
             comm_json,
             "\n    {{\"workload\": \"{}\", \"n\": {}, \"requests\": {}, \
              \"elapsed_ms\": {:.2}, \"requests_per_sec\": {:.1}, \
-             \"transform_touched_pairs\": {}, \"dummy_churn\": {}}}",
+             \"transform_touched_pairs\": {}, \"dummy_churn\": {}, \
+             \"dummies_reused\": {}, \"dummies_bulk_inserted\": {}}}",
             row.workload,
             row.n,
             row.requests,
             row.elapsed_ns as f64 / 1e6,
             row.requests_per_sec(),
             row.transform_touched_pairs,
-            row.dummy_churn
+            row.dummy_churn,
+            row.dummies_reused,
+            row.dummies_bulk_inserted
         );
     }
     comm_json.push_str("\n  ]");
@@ -359,7 +374,8 @@ fn main() {
             batch_json,
             "\n    {{\"workload\": \"{}\", \"n\": {}, \"batch\": {}, \"requests\": {}, \
              \"elapsed_ms\": {:.2}, \"requests_per_sec\": {:.1}, \
-             \"transform_touched_pairs\": {}, \"epochs\": {}, \"install_passes\": {}}}",
+             \"transform_touched_pairs\": {}, \"epochs\": {}, \"install_passes\": {}, \
+             \"dummy_churn\": {}, \"dummies_reused\": {}, \"dummies_bulk_inserted\": {}}}",
             row.workload,
             row.n,
             row.batch,
@@ -368,13 +384,16 @@ fn main() {
             row.requests_per_sec(),
             row.transform_touched_pairs,
             row.epochs,
-            row.install_passes
+            row.install_passes,
+            row.dummy_churn,
+            row.dummies_reused,
+            row.dummies_bulk_inserted
         );
     }
     batch_json.push_str("\n  ]");
 
     let json = format!(
-        "{{\n  \"schema\": \"dsg-bench-perf/v2\",\n  \"created_unix\": {unix_time},\n  \
+        "{{\n  \"schema\": \"dsg-bench-perf/v3\",\n  \"created_unix\": {unix_time},\n  \
          \"quick\": {},\n  \"route\": {},\n  \"neighbors\": {},\n  \"dummy_probe\": {},\n  \
          \"communicate\": {},\n  \"communicate_batched\": {}\n}}\n",
         quick(),
@@ -401,12 +420,13 @@ fn main() {
     }
     for row in &communicate {
         eprintln!(
-            "communicate {:>11} n={:<5} {:>10.1} req/s   {:>9} touched pairs   {:>7} dummy churn",
+            "communicate {:>11} n={:<5} {:>10.1} req/s   {:>9} touched pairs   {:>7} dummy churn   {:>7} reused",
             row.workload,
             row.n,
             row.requests_per_sec(),
             row.transform_touched_pairs,
-            row.dummy_churn
+            row.dummy_churn,
+            row.dummies_reused
         );
     }
     for row in &communicate_batched {

@@ -164,9 +164,16 @@ pub struct DsgRun {
     /// Transformation-install passes pushed into the structure (= epochs
     /// under the batched install strategy).
     pub install_passes: usize,
-    /// Dummy nodes created + destroyed over the whole trace (the churn the
-    /// key index's fasthash half accelerates).
+    /// Dummy nodes actually created + actually destroyed over the whole
+    /// trace. Standing dummies the reconciling lifecycle reclaims in place
+    /// contribute to neither side, so this is the graph-mutation churn the
+    /// reconciliation (PR 4) eliminates.
     pub dummy_churn: usize,
+    /// Standing dummies reclaimed in place over the whole trace.
+    pub dummies_reused: usize,
+    /// Genuinely new dummies the reconciliation created (reclaims
+    /// excluded); almost all go through the bulk splice installer.
+    pub dummies_bulk_inserted: usize,
     /// Dummy nodes alive after the whole trace.
     pub final_dummies: usize,
     /// Whether the a-balance property held after every batch boundary.
@@ -273,7 +280,9 @@ pub fn run_dsg_batched(n: u64, config: DsgConfig, trace: &[Request], batch: usiz
         run.touched_pairs = metrics.touched_pairs.clone();
         run.epochs = metrics.epochs;
         run.install_passes = metrics.install_passes;
-        run.dummy_churn = metrics.dummies_inserted + metrics.dummies_destroyed;
+        run.dummy_churn = metrics.dummy_churn();
+        run.dummies_reused = metrics.dummies_reused;
+        run.dummies_bulk_inserted = metrics.dummies_bulk_inserted;
     }
     run.final_dummies = session.engine().dummy_count();
     run

@@ -70,8 +70,21 @@ pub struct RunStats {
     pub max_height: usize,
     /// Number of dummy nodes currently alive.
     pub live_dummy_nodes: usize,
-    /// Total number of dummy nodes ever created for a-balance repair.
+    /// Total number of dummy nodes ever created for a-balance repair. Under
+    /// the reconciling lifecycle this counts only genuinely new dummies;
+    /// `dummy_nodes_created + dummies_reused` is the lifecycle-independent
+    /// number of dummy slots established.
     pub dummy_nodes_created: usize,
+    /// Standing dummies the reconciling repair reclaimed in place instead
+    /// of destroying and re-creating them (0 under the per-node
+    /// destroy/recreate oracle).
+    pub dummies_reused: usize,
+    /// Genuinely new dummies the reconciling repair created — almost all
+    /// through the bulk splice installer
+    /// ([`SkipGraph::insert_dummies_bulk`](dsg_skipgraph::SkipGraph::insert_dummies_bulk)),
+    /// straggler passes below the bulk threshold directly. 0 under the
+    /// per-node oracle, which join-walks every placement.
+    pub dummies_bulk_inserted: usize,
     /// Total changed `(node, level)` pairs installed by transformations —
     /// the work the differential install performs, as opposed to the
     /// Θ(n · height) a full per-node re-splice would (experiments surface

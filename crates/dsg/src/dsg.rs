@@ -115,8 +115,14 @@ struct CommScratch {
     affected: Vec<(usize, Prefix)>,
     /// The slice of [`CommScratch::affected`] belonging to one cluster.
     cluster_affected: Vec<(usize, Prefix)>,
-    /// Stale dummies found in affected lists, pending destruction.
+    /// Stale dummies found in affected lists, pending destruction (per-node
+    /// reference path only; the batched path reconciles instead).
     stale_dummies: Vec<NodeId>,
+    /// Salvage snapshot of the destroyed dummies (per-node reference path;
+    /// the reconcile scratch carries its own).
+    salvage: dummy::DummySalvage,
+    /// Workspace of the dummy-reconciliation pass (batched path).
+    reconcile: dummy::ReconcileScratch,
 }
 
 /// One cluster of an epoch: the pairs whose `l_α` subtrees overlap, merged
@@ -170,10 +176,23 @@ pub struct EpochReport {
     pub install_passes: usize,
     /// Changed `(node, level)` pairs installed across the epoch.
     pub touched_pairs: usize,
-    /// Dummy nodes destroyed by the differential GC across the epoch.
+    /// Dummy nodes actually removed from the graph across the epoch. Under
+    /// the reconciling lifecycle this counts only the genuinely stale (or
+    /// evicted) dummies, not the standing ones reclaimed in place.
     pub dummies_destroyed: usize,
-    /// Dummy nodes inserted by the balance repairs across the epoch.
+    /// Dummy slots the balance repairs established across the epoch —
+    /// reclaimed standing dummies and created ones alike, so the count is
+    /// lifecycle-independent (it equals what the destroy-then-recreate
+    /// oracle reports as inserted).
     pub dummies_inserted: usize,
+    /// Standing dummies the reconciliation reclaimed with zero graph
+    /// mutation (0 under the per-node destroy/recreate oracle).
+    pub dummies_reused: usize,
+    /// Genuinely new dummies the reconciliation created — almost all
+    /// through the bulk splice installer, stragglers below the bulk
+    /// threshold directly (0 under the per-node oracle, which join-walks
+    /// every placement).
+    pub dummies_bulk_inserted: usize,
 }
 
 /// A locally self-adjusting skip graph (the paper's DSG algorithm).
@@ -929,6 +948,8 @@ impl DynamicSkipGraph {
         let mut outcomes: Vec<Option<RequestOutcome>> = pairs.iter().map(|_| None).collect();
         let mut total_dummies_inserted = 0usize;
         let mut total_dummies_destroyed = 0usize;
+        let mut total_dummies_reused = 0usize;
+        let mut total_dummies_bulk_inserted = 0usize;
         for (cluster, run) in clusters.iter().zip(&cluster_runs) {
             let mut dummies_inserted = 0usize;
             let mut repair_rounds = 0usize;
@@ -951,18 +972,11 @@ impl DynamicSkipGraph {
                         .cluster_affected
                         .extend_from_slice(&run.derived_affected);
                 }
-                // Stale dummies inside affected lists destroy themselves
-                // (the §IV-F notification, scoped to the rebuilt lists);
-                // their own prefix paths join the re-check set, since
-                // removing them can merge runs anywhere along the way.
-                total_dummies_destroyed += dummy::destroy_dummies_in_lists(
-                    &mut self.graph,
-                    &mut self.states,
-                    cluster.root_level,
-                    &mut scratch.cluster_affected,
-                    &mut scratch.stale_dummies,
-                    batched,
-                );
+                // Deduplicate before the GC scan: a list freed and
+                // re-created within one install pass appears twice in the
+                // collected set — common under a whole-subtree rebuild —
+                // and each duplicate would re-scan the list (and re-sight
+                // its dummies) for nothing.
                 scratch.cluster_affected.sort_unstable();
                 scratch.cluster_affected.dedup();
                 let protect: Vec<(Key, Key)> = cluster
@@ -975,17 +989,61 @@ impl DynamicSkipGraph {
                         )
                     })
                     .collect();
-                let repair = dummy::repair_balance_incremental(
-                    &mut self.graph,
-                    &mut self.states,
-                    self.config.a,
-                    &protect,
-                    cluster.root_level,
-                    &mut scratch.cluster_affected,
-                );
-                dummies_inserted = repair.inserted.len();
-                repair_rounds = repair.rounds;
-                self.stats.dummy_nodes_created += dummies_inserted;
+                if batched {
+                    // Reconciling lifecycle: plan-then-apply. The repair's
+                    // fused first pass inventories the standing dummies of
+                    // the rebuilt lists (their prefix paths join the
+                    // re-check set exactly as if they were destroyed),
+                    // reclaims the standing dummies whose break re-derives
+                    // onto them, bulk-splices the genuinely new ones, and
+                    // sweeps only the genuinely stale ones.
+                    let repair = dummy::repair_balance_reconciling(
+                        &mut self.graph,
+                        &mut self.states,
+                        self.config.a,
+                        &protect,
+                        cluster.root_level,
+                        &mut scratch.cluster_affected,
+                        &mut scratch.reconcile,
+                    );
+                    total_dummies_destroyed += repair.destroyed;
+                    total_dummies_reused += repair.reused;
+                    total_dummies_bulk_inserted += repair.bulk_inserted;
+                    dummies_inserted = repair.placed.len();
+                    repair_rounds = repair.rounds;
+                    self.stats.dummy_nodes_created += repair.bulk_inserted;
+                    self.stats.dummies_reused += repair.reused;
+                    self.stats.dummies_bulk_inserted += repair.bulk_inserted;
+                } else {
+                    // Destroy-then-recreate oracle: stale dummies inside
+                    // affected lists destroy themselves (the §IV-F
+                    // notification, scoped to the rebuilt lists); their own
+                    // prefix paths join the re-check set, since removing
+                    // them can merge runs anywhere along the way.
+                    total_dummies_destroyed += dummy::destroy_dummies_in_lists(
+                        &mut self.graph,
+                        &mut self.states,
+                        cluster.root_level,
+                        &mut scratch.cluster_affected,
+                        &mut scratch.stale_dummies,
+                        batched,
+                        &mut scratch.salvage,
+                    );
+                    scratch.cluster_affected.sort_unstable();
+                    scratch.cluster_affected.dedup();
+                    let repair = dummy::repair_balance_incremental(
+                        &mut self.graph,
+                        &mut self.states,
+                        self.config.a,
+                        &protect,
+                        cluster.root_level,
+                        &mut scratch.cluster_affected,
+                        &mut scratch.salvage,
+                    );
+                    dummies_inserted = repair.inserted.len();
+                    repair_rounds = repair.rounds;
+                    self.stats.dummy_nodes_created += dummies_inserted;
+                }
                 self.stats.live_dummy_nodes = self.graph.dummy_count();
             }
             total_dummies_inserted += dummies_inserted;
@@ -1038,6 +1096,8 @@ impl DynamicSkipGraph {
             touched_pairs: epoch_touched,
             dummies_destroyed: total_dummies_destroyed,
             dummies_inserted: total_dummies_inserted,
+            dummies_reused: total_dummies_reused,
+            dummies_bulk_inserted: total_dummies_bulk_inserted,
         })
     }
 }

@@ -11,10 +11,9 @@
 //! rearranged level by `n / a`; this implementation repairs every level, so
 //! its live population is bounded by that per-level bound times the height.
 //!
-//! Two repair entry points exist. [`repair_balance`] is the full sweep used
-//! after membership churn (join/leave): global balance check, repair,
-//! repeat. [`repair_balance_incremental`] is the differential form driven
-//! by [`DynamicSkipGraph::communicate`](crate::DynamicSkipGraph): it
+//! Three repair entry points exist. [`repair_balance`] is the full sweep
+//! used after membership churn (join/leave): global balance check, repair,
+//! repeat. [`repair_balance_incremental`] is the differential form: it
 //! re-checks only the lists the transformation install actually changed
 //! (plus, transitively, the runs around each dummy the repair itself
 //! inserts), so its cost is proportional to the change, not the structure.
@@ -24,8 +23,31 @@
 //! still breaks exactly the run it was placed for, so destroying and
 //! re-creating it each request (the literal reading) would be pure churn
 //! with an observably identical end state.
+//!
+//! [`repair_balance_reconciling`] pushes the same differential principle
+//! into the dummy *lifecycle* itself. Even the incremental form destroyed
+//! every dummy standing in a rebuilt list and re-created most of them at
+//! the very same keys — tens of thousands of full join walks per request
+//! under uniform traffic at large n. The reconciling form runs
+//! **plan-then-apply**: its fused first pass only *inventories* the
+//! standing dummies (they stay linked, but the planner treats them as
+//! absent — the filtered balance scans skip them and key-occupancy probes
+//! read their keys as free), the repair then re-derives the desired dummy
+//! set per violated run exactly as the destroy-then-recreate path would,
+//! and each break is *diffed* against the inventory: a standing dummy
+//! whose key the shared salvage-first policy ([`next_break`]) re-derives
+//! is reclaimed in place (zero graph mutation), a superseded standing
+//! dummy at a freshly chosen key is evicted, and only the genuinely new
+//! dummies are created — all of a repair pass's creations in one
+//! [`SkipGraph::insert_dummies_bulk`] ordered-splice pass instead of one
+//! join walk each. The end state is bit-for-bit the destroy-then-recreate
+//! state (the `dummy_reconcile` differential proptests assert exactly
+//! this); the destroy/recreate pair survives as the
+//! [`InstallStrategy::PerNode`](crate::InstallStrategy) oracle.
 
-use dsg_skipgraph::{BalanceViolation, Bit, Key, MembershipVector, NodeId, Prefix, SkipGraph};
+use dsg_skipgraph::{
+    BalanceViolation, Bit, Key, MembershipVector, NodeId, Prefix, SkipGraph,
+};
 
 use crate::state::StateTable;
 
@@ -91,9 +113,13 @@ pub fn repair_balance(
     // a run there; each pass repairs one "layer" of damage, so the number of
     // passes is bounded by the structure height (plus slack).
     let max_passes = graph.height() + 10;
-    // Reused across violations/passes: the member snapshot of the run being
+    // Reused across violations/passes: the key snapshot of the run being
     // repaired (dummy insertion mutates the chain while the run is walked).
-    let mut list_buf: Vec<NodeId> = Vec::new();
+    let mut list_buf: Vec<Key> = Vec::new();
+    let mut protect_norm: Vec<(Key, Key)> = Vec::new();
+    normalize_protect(protect, &mut protect_norm);
+    // Full sweeps re-derive every dummy key from scratch: no salvage.
+    let salvage: DummySalvage = Vec::new();
     for _pass in 0..max_passes {
         let report = graph.check_balance(a);
         outcome.rounds += a + 1;
@@ -106,7 +132,16 @@ pub fn repair_balance(
                 continue;
             }
             repaired_any = true;
-            repair_violation(graph, states, a, protect, violation, &mut list_buf, &mut outcome);
+            repair_violation(
+                graph,
+                states,
+                a,
+                &protect_norm,
+                violation,
+                &salvage,
+                &mut list_buf,
+                &mut outcome,
+            );
         }
         if !repaired_any {
             // Every remaining violation lies outside the repair scope; the
@@ -128,7 +163,12 @@ pub fn repair_balance(
 /// insertions themselves is still caught.
 ///
 /// `worklist` is consumed; it must be deduplicated, and a sorted order makes
-/// the repair (and hence the dummy keys it picks) deterministic.
+/// the repair (and hence the dummy keys it picks) deterministic. `salvage`
+/// is the snapshot of the dummies [`destroy_dummies_in_lists`] just
+/// destroyed: the salvage-first placement policy re-creates a destroyed
+/// dummy at its old key whenever that key still falls in a slot needing its
+/// exact vector, keeping dummy keys sticky across requests (and therefore
+/// reclaimable by the reconciling lifecycle).
 pub fn repair_balance_incremental(
     graph: &mut SkipGraph,
     states: &mut StateTable,
@@ -136,20 +176,28 @@ pub fn repair_balance_incremental(
     protect: &[(Key, Key)],
     floor: usize,
     worklist: &mut Vec<(usize, Prefix)>,
+    salvage: &mut DummySalvage,
 ) -> DummyRepairOutcome {
     let mut outcome = DummyRepairOutcome::default();
     let max_passes = graph.height() + 10;
-    let mut list_buf: Vec<NodeId> = Vec::new();
+    let mut list_buf: Vec<Key> = Vec::new();
+    let mut protect_norm: Vec<(Key, Key)> = Vec::new();
+    normalize_protect(protect, &mut protect_norm);
     let mut violations: Vec<BalanceViolation> = Vec::new();
     let mut prev_pass_dummies: Vec<NodeId> = Vec::new();
     for pass in 0..max_passes {
         violations.clear();
         let pass_inserted_from = outcome.inserted.len();
         if pass == 0 {
-            // First pass: full scan of the lists the install changed.
+            // First pass: full scan of the lists the install changed. The
+            // sort mirrors the reconciling lifecycle, whose fused
+            // collect + detect scans originals and appended lists in a
+            // different order — both repair the sorted sequence.
             for &(level, prefix) in worklist.iter() {
                 graph.list_balance_violations(a, level, prefix, &mut violations);
             }
+            violations.sort_unstable_by_key(|v| (v.level, v.prefix, v.start_key));
+            violations.dedup_by_key(|v| (v.level, v.prefix, v.start_key));
         } else {
             // Cascade passes: a repair only lengthens the runs its dummies
             // landed in (every dummy joins its whole prefix path), so only
@@ -173,7 +221,16 @@ pub fn repair_balance_incremental(
             break;
         }
         for violation in &violations {
-            repair_violation(graph, states, a, protect, violation, &mut list_buf, &mut outcome);
+            repair_violation(
+                graph,
+                states,
+                a,
+                &protect_norm,
+                violation,
+                salvage,
+                &mut list_buf,
+                &mut outcome,
+            );
         }
         prev_pass_dummies.clear();
         prev_pass_dummies.extend_from_slice(&outcome.inserted[pass_inserted_from..]);
@@ -182,7 +239,172 @@ pub fn repair_balance_incremental(
         }
     }
     worklist.clear();
+    salvage.clear();
     outcome
+}
+
+/// Normalises a protected-adjacency slice for binary-search probing: each
+/// pair ordered `(min, max)`, the whole set sorted and deduplicated. The
+/// repair loops resolve run keys once and probe this set per slot, instead
+/// of re-resolving both run members against every protected pair on every
+/// slot (the old O(|protect| · run) inner loop).
+fn normalize_protect(protect: &[(Key, Key)], out: &mut Vec<(Key, Key)>) {
+    out.clear();
+    out.extend(
+        protect
+            .iter()
+            .map(|&(a, b)| if a <= b { (a, b) } else { (b, a) }),
+    );
+    out.sort_unstable();
+    out.dedup();
+}
+
+/// Whether the adjacency `(left, right)` is protected. `protect` must be
+/// normalised ([`normalize_protect`]).
+fn is_protected(protect: &[(Key, Key)], left: Key, right: Key) -> bool {
+    let pair = if left <= right {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    protect.binary_search(&pair).is_ok()
+}
+
+/// The `(key, vector)` snapshot of the dummies standing in the rebuilt
+/// lists before a repair, sorted by `(vector, key)`. The *salvage-first
+/// placement policy* consults it when filling a slot: a snapshot entry
+/// whose key falls strictly inside the slot's gap and whose vector is
+/// exactly the one the slot needs is placed at its old key instead of a
+/// freshly derived one. Keys thereby stay *sticky* across requests even as
+/// run boundaries shift, which is what makes the reconciling lifecycle's
+/// in-place reclamation (and its churn win) possible — while the policy
+/// itself is lifecycle-independent: the destroy-then-recreate oracle
+/// consults the same snapshot and re-creates the dummy at the same sticky
+/// key, so both lifecycles produce bit-for-bit identical structures.
+pub type DummySalvage = Vec<SalvageEntry>;
+
+/// One snapshot entry of a [`DummySalvage`]. Sorting by `(vector, key)`
+/// means a slot lookup touches only the entries of the exact sibling list
+/// it needs — sorting by key alone made every lookup wade through the
+/// (unrelated) dummies of every other list in the gap's key range, which
+/// in deep lists spans most of the key space.
+#[derive(Debug, Clone, Copy)]
+pub struct SalvageEntry {
+    key: Key,
+    mvec: MembershipVector,
+}
+
+impl SalvageEntry {
+    fn new(key: Key, mvec: MembershipVector) -> Self {
+        SalvageEntry { key, mvec }
+    }
+
+    fn sort_key(&self) -> (MembershipVector, Key) {
+        (self.mvec, self.key)
+    }
+}
+
+/// The contiguous run of snapshot entries whose vector equals `mvec` —
+/// resolved once per violation, so the per-gap probes of [`next_break`]
+/// search a handful of same-list entries (usually none) instead of
+/// bisecting the whole snapshot per gap.
+fn salvage_slice<'s>(salvage: &'s DummySalvage, mvec: &MembershipVector) -> &'s [SalvageEntry] {
+    let lo = salvage.partition_point(|e| e.mvec < *mvec);
+    let hi = lo + salvage[lo..].partition_point(|e| e.mvec == *mvec);
+    &salvage[lo..hi]
+}
+
+/// Finds the salvageable entry for one slot: the smallest snapshot key
+/// strictly inside `(left, right)` for which `reclaimable` still holds.
+/// `list_salvage` is the violation's same-vector snapshot run
+/// ([`salvage_slice`]).
+///
+/// `reclaimable` is the lifecycle's claim tracker — the snapshot itself is
+/// never mutated. The destroy-up-front oracle passes "the key is
+/// unoccupied" (true until the entry is re-created, or a fresh dummy lands
+/// on its key); the reconciling path passes "the key holds a
+/// still-inventoried dummy" (true until the standing dummy is reclaimed or
+/// evicted). The two predicates flip at exactly the same policy steps, so
+/// the lifecycles' break choices stay identical.
+fn salvage_take<F: Fn(Key) -> bool>(
+    list_salvage: &[SalvageEntry],
+    left: Key,
+    right: Key,
+    reclaimable: &F,
+) -> Option<Key> {
+    let mut i = list_salvage.partition_point(|e| e.key <= left);
+    while i < list_salvage.len() && list_salvage[i].key < right {
+        if reclaimable(list_salvage[i].key) {
+            return Some(list_salvage[i].key);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// One decision of the salvage-first break walk over a violated run
+/// ([`next_break`]).
+enum BreakAction {
+    /// A standing dummy with the needed vector sits in the gap after member
+    /// `.0` — keep it (the reconciling lifecycle reclaims it in place, the
+    /// oracle re-creates it at the same key `.1`).
+    Salvaged(usize, Key),
+    /// The segment overflowed `a` with no salvageable break: place a fresh
+    /// dummy in the gap after member `.0`.
+    Fresh(usize),
+}
+
+/// The shared break policy of both dummy lifecycles. Breaks are lazy —
+/// member `last_break + a + 1` starts an over-long segment, so a dummy
+/// must go into one of the window gaps `[i - a, i - 1]` (any of them keeps
+/// both resulting segments within `a`). The window is scanned right to
+/// left for a gap holding a salvageable standing dummy with exactly the
+/// needed vector — rightmost wins, maximising the room left for later
+/// breaks, which keeps break positions (and therefore dummy keys) *sticky*
+/// when a run's boundaries drift between requests. Without a salvage hit
+/// the break goes into the default gap `i - 1` (the classic "after every
+/// `a`-th member" position), shifted one gap left off a protected
+/// adjacency exactly as before. Protected gaps are never used, salvaged or
+/// fresh.
+///
+/// Laziness keeps the placement minimal (one break per overflow — an eager
+/// keep-every-standing-dummy variant was measured to cut churn a further
+/// ~6% but grew the standing population ~25%, taxing every scan of every
+/// request). Both lifecycles route every break through this one function,
+/// which is what makes their final structures bit-for-bit equal. Returns
+/// `None` when the remaining members fit within `a`.
+fn next_break<F: Fn(Key) -> bool>(
+    run: &[Key],
+    last_break: isize,
+    a: usize,
+    protect: &[(Key, Key)],
+    list_salvage: &[SalvageEntry],
+    reclaimable: &F,
+) -> Option<BreakAction> {
+    let i = (last_break + a as isize + 1) as usize;
+    if i >= run.len() {
+        return None;
+    }
+    if !list_salvage.is_empty() {
+        let lo = i - a;
+        let mut b = i - 1;
+        loop {
+            if !is_protected(protect, run[b], run[b + 1]) {
+                if let Some(key) = salvage_take(list_salvage, run[b], run[b + 1], reclaimable) {
+                    return Some(BreakAction::Salvaged(b, key));
+                }
+            }
+            if b == lo {
+                break;
+            }
+            b -= 1;
+        }
+    }
+    let mut b = i - 1;
+    if is_protected(protect, run[b], run[b + 1]) && b >= 1 {
+        b -= 1;
+    }
+    Some(BreakAction::Fresh(b))
 }
 
 /// Breaks one over-long run by inserting a dummy after every `a`-th member,
@@ -191,18 +413,23 @@ pub fn repair_balance_incremental(
 /// just communicated) is shifted one step left so the pair's direct link
 /// survives.
 ///
-/// The run members are walked directly from [`BalanceViolation::start`]
-/// into `run_buf` (a reusable scratch vector) before any insertion — a
-/// snapshot is needed because the insertions splice into the chain being
-/// repaired, and walking only the run keeps the repair O(run length)
-/// instead of O(list length).
+/// The run members' keys are walked directly from
+/// [`BalanceViolation::start`] into `run_buf` (a reusable scratch vector)
+/// before any insertion — a snapshot is needed because the insertions
+/// splice into the chain being repaired, and walking only the run keeps the
+/// repair O(run length) instead of O(list length). `protect` must be
+/// normalised ([`normalize_protect`]); `salvage` is the salvage-first
+/// placement snapshot (empty for the full membership-churn sweeps, which
+/// re-derive every key from scratch).
+#[allow(clippy::too_many_arguments)]
 fn repair_violation(
     graph: &mut SkipGraph,
     states: &mut StateTable,
     a: usize,
     protect: &[(Key, Key)],
     violation: &BalanceViolation,
-    run_buf: &mut Vec<NodeId>,
+    salvage: &DummySalvage,
+    run_buf: &mut Vec<Key>,
     outcome: &mut DummyRepairOutcome,
 ) {
     if graph.node(violation.start).is_none() {
@@ -211,7 +438,7 @@ fn repair_violation(
     run_buf.clear();
     let mut cursor = Some(violation.start);
     while let Some(id) = cursor {
-        run_buf.push(id);
+        run_buf.push(graph.key_of(id).expect("run member is live"));
         if run_buf.len() >= violation.run_length {
             break;
         }
@@ -220,28 +447,37 @@ fn repair_violation(
             .expect("run member is live")
             .1;
     }
-    let run: &[NodeId] = run_buf;
-    let is_protected_slot = |graph: &SkipGraph, left: NodeId, right: NodeId| {
-        protect.iter().any(|&(pk1, pk2)| {
-            let lk = graph.key_of(left).expect("run member is live");
-            let rk = graph.key_of(right).expect("run member is live");
-            (lk == pk1 && rk == pk2) || (lk == pk2 && rk == pk1)
-        })
-    };
-    let mut position = a;
-    while position < run.len() {
-        let mut slot = position;
-        if is_protected_slot(graph, run[slot - 1], run[slot]) && slot >= 2 {
-            slot -= 1;
-        }
-        let left = run[slot - 1];
-        let right = run[slot];
-        let left_key = graph.key_of(left).expect("run member is live").value();
-        let right_key = graph.key_of(right).expect("run member is live").value();
-        match free_key_between(graph, left_key, right_key) {
+    let run: &[Key] = run_buf;
+    let mut mvec = prefix_vector(&violation.prefix);
+    mvec.push(violation.bit.flipped()).expect("within height limit");
+    let list_salvage = salvage_slice(salvage, &mvec);
+    // Walk the run's members, breaking it per the shared salvage-first
+    // policy ([`next_break`]); this lifecycle physically re-creates even
+    // the salvaged breaks.
+    let mut last_break: isize = -1;
+    while let Some(action) = next_break(
+        run,
+        last_break,
+        a,
+        protect,
+        list_salvage,
+        // A snapshot entry is reclaimable while its key is unoccupied: the
+        // inventory was destroyed up front, and a claim (re-creation) or a
+        // fresh dummy landing on the key permanently occupies it again.
+        &|key| graph.node_by_key(key).is_none(),
+    ) {
+        let chosen = match action {
+            BreakAction::Salvaged(g, key) => {
+                last_break = g as isize;
+                Some(key.value())
+            }
+            BreakAction::Fresh(b) => {
+                last_break = b as isize;
+                free_key_between(graph, run[b].value(), run[b + 1].value())
+            }
+        };
+        match chosen {
             Some(key) => {
-                let mut mvec = prefix_vector(&violation.prefix);
-                mvec.push(violation.bit.flipped()).expect("within height limit");
                 if let Ok(id) = graph.insert_dummy(Key::new(key), mvec) {
                     states.register(id, Key::new(key), violation.level + 1);
                     outcome.inserted.push(id);
@@ -250,7 +486,6 @@ fn repair_violation(
             }
             None => outcome.unrepairable_runs += 1,
         }
-        position = slot + a;
     }
 }
 
@@ -269,6 +504,11 @@ fn repair_violation(
 /// batch-install epoch via [`SkipGraph::stamp_node_lists`]; the per-node
 /// reference install path passes `false` and relies on the caller's
 /// sort + dedup instead. Returns the number of dummies destroyed.
+///
+/// This destroy-up-front lifecycle is kept as the
+/// [`InstallStrategy::PerNode`](crate::InstallStrategy) oracle; the batched
+/// engine path reconciles instead ([`collect_dummies_in_lists`] +
+/// [`repair_balance_reconciling`]), with a proven-identical end state.
 pub fn destroy_dummies_in_lists(
     graph: &mut SkipGraph,
     states: &mut StateTable,
@@ -276,8 +516,10 @@ pub fn destroy_dummies_in_lists(
     affected: &mut Vec<(usize, Prefix)>,
     stale_buf: &mut Vec<NodeId>,
     use_stamps: bool,
+    salvage: &mut DummySalvage,
 ) -> usize {
     stale_buf.clear();
+    salvage.clear();
     for &(level, prefix) in affected.iter() {
         stale_buf.extend(
             graph
@@ -293,6 +535,7 @@ pub fn destroy_dummies_in_lists(
         if !entry.is_dummy() {
             continue;
         }
+        salvage.push(SalvageEntry::new(entry.key(), *entry.mvec()));
         if use_stamps {
             graph
                 .stamp_node_lists(id, floor, affected)
@@ -307,13 +550,499 @@ pub fn destroy_dummies_in_lists(
         states.unregister(id);
         destroyed += 1;
     }
+    salvage.sort_unstable_by_key(|e| e.sort_key());
     destroyed
+}
+
+/// A set of [`NodeId`]s backed by a dense stamp vector indexed by the
+/// arena slot — membership tests run inside every balance scan and run
+/// walk of the reconciliation (millions per request), so they must be one
+/// array read, not a hash. Clearing bumps the epoch; removal zeroes the
+/// slot.
+#[derive(Debug, Default)]
+struct NodeStampSet {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl NodeStampSet {
+    fn clear(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: stale stamps could collide with the fresh epoch.
+            self.stamps.clear();
+            self.epoch = 1;
+        }
+    }
+
+    /// Inserts `id`; returns `true` if it was not yet a member.
+    fn insert(&mut self, id: NodeId) -> bool {
+        let index = id.raw() as usize;
+        if self.stamps.len() <= index {
+            self.stamps.resize(index + 1, 0);
+        }
+        let fresh = self.stamps[index] != self.epoch;
+        self.stamps[index] = self.epoch;
+        fresh
+    }
+
+    /// Removes `id`; returns `true` if it was a member.
+    fn remove(&mut self, id: NodeId) -> bool {
+        match self.stamps.get_mut(id.raw() as usize) {
+            Some(slot) if *slot == self.epoch => {
+                *slot = 0;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn contains(&self, id: NodeId) -> bool {
+        self.stamps.get(id.raw() as usize) == Some(&self.epoch)
+    }
+}
+
+/// Scratch state of one reconciliation pass, owned by the engine and reused
+/// across clusters so a warm pass allocates nothing.
+///
+/// The central piece is the *doomed* set: the standing dummies of the
+/// rebuilt lists, inventoried by [`collect_dummies_in_lists`]. They stay
+/// physically linked, but every planning read treats them as absent — the
+/// filtered balance scans skip them and the key-occupancy probes report
+/// their keys free — so the plan the repair derives is exactly the plan the
+/// destroy-up-front path would derive. A slot whose chosen `(key, vector)`
+/// matches a doomed dummy reclaims it with zero graph mutation; whatever
+/// remains doomed when the repair converges is removed in one final sweep.
+#[derive(Debug, Default)]
+pub struct ReconcileScratch {
+    /// Inventoried dummies not yet reclaimed by a slot.
+    doomed: NodeStampSet,
+    /// Collection-order inventory (may repeat a dummy sighted in several
+    /// affected lists), for the final removal sweep.
+    inventory: Vec<NodeId>,
+    /// The `(key, vector)` snapshot of the inventory, for the salvage-first
+    /// placement policy — identical content to what
+    /// [`destroy_dummies_in_lists`] hands the oracle repair.
+    salvage: DummySalvage,
+    /// Dummies planned but not yet installed in the current repair pass,
+    /// sorted by key. Planning reads treat them as present: run walks
+    /// interleave them and occupancy probes report their keys taken.
+    planned: Vec<PlannedDummy>,
+    /// `(key, vector)` pairs handed to the bulk installer.
+    specs: Vec<(Key, MembershipVector)>,
+    /// Merged run-key snapshot of the violation being repaired.
+    run_buf: Vec<Key>,
+    /// Violations of the current pass.
+    violations: Vec<BalanceViolation>,
+    /// Dummies placed (reclaimed or created) by the previous pass, the
+    /// anchors of the cascade re-checks.
+    prev_placed: Vec<NodeId>,
+    /// Normalised protected adjacencies ([`normalize_protect`]).
+    protect_norm: Vec<(Key, Key)>,
+}
+
+/// One dummy the reconciliation planner decided to create.
+#[derive(Debug, Clone, Copy)]
+struct PlannedDummy {
+    key: Key,
+    mvec: MembershipVector,
+}
+
+/// Result of one reconciling a-balance repair pass.
+#[derive(Debug, Clone, Default)]
+pub struct DummyReconcileOutcome {
+    /// Every dummy the repair placed, reclaimed-in-place and bulk-created
+    /// alike. Its length is the count the destroy-then-recreate oracle
+    /// reports as "inserted", so per-request outcomes agree across the two
+    /// lifecycles.
+    pub placed: Vec<NodeId>,
+    /// Standing dummies reclaimed with zero graph mutation.
+    pub reused: usize,
+    /// Genuinely new dummies created (the fresh-creation half of
+    /// `placed`). Almost all are routed through
+    /// [`SkipGraph::insert_dummies_bulk`]; a handful of stragglers per
+    /// cascade pass (below the bulk threshold) are inserted directly.
+    pub bulk_inserted: usize,
+    /// Dummies actually removed from the graph: stale inventory plus
+    /// standing dummies evicted because a planned key collided with them.
+    pub destroyed: usize,
+    /// Runs that could not be repaired for lack of a free key.
+    pub unrepairable_runs: usize,
+    /// Rounds charged — identical accounting to [`DummyRepairOutcome`]: one
+    /// chain-detection sweep per pass plus one round per placed dummy (a
+    /// reclaimed slot is charged like a created one, keeping the paper-cost
+    /// observables equal to the oracle's).
+    pub rounds: usize,
+}
+
+/// The reconciling twin of [`destroy_dummies_in_lists`] +
+/// [`repair_balance_incremental`]: plan-then-apply over an inventory
+/// instead of destroy-then-recreate.
+///
+/// The **collect** phase is fused into the first detection pass: one walk
+/// per rebuilt list inventories its standing dummies (they stay linked,
+/// *doomed* — every planning read treats them as absent) and reports the
+/// list's violations with them skipped, exactly what the oracle sees after
+/// destroying them. Each inventoried dummy's own lists at levels ≥ `floor`
+/// join the worklist (epoch-stamp deduplicated), since removing it would
+/// merge runs anywhere along its prefix path. Every violated run is then
+/// re-derived through the same [`next_break`] policy as the oracle and
+/// each break is **diffed** against the inventory:
+///
+/// * salvageable standing dummy in the break gap → **reclaim** in place,
+///   zero graph mutation;
+/// * fresh key that lands on a doomed dummy (necessarily with a different
+///   vector) → evict it and plan a fresh dummy;
+/// * fresh key otherwise → plan a fresh dummy.
+///
+/// All of a pass's planned dummies are created in one
+/// [`SkipGraph::insert_dummies_bulk`] splice pass; run walks and occupancy
+/// probes interleave the plan in the meantime, so intra-pass reads match
+/// what the insert-one-by-one oracle would observe. Dummies still doomed
+/// when the cascade converges are removed in a final sweep. The resulting
+/// graph, state table, and dummy population are bit-for-bit identical to
+/// [`destroy_dummies_in_lists`] + [`repair_balance_incremental`]; only the
+/// churn (and its wall-clock cost) differs.
+///
+/// `worklist` is consumed and must arrive sorted + deduplicated.
+#[allow(clippy::too_many_arguments)]
+pub fn repair_balance_reconciling(
+    graph: &mut SkipGraph,
+    states: &mut StateTable,
+    a: usize,
+    protect: &[(Key, Key)],
+    floor: usize,
+    worklist: &mut Vec<(usize, Prefix)>,
+    scratch: &mut ReconcileScratch,
+) -> DummyReconcileOutcome {
+    let mut outcome = DummyReconcileOutcome::default();
+    let ReconcileScratch {
+        doomed,
+        inventory,
+        salvage,
+        planned,
+        specs,
+        run_buf,
+        violations,
+        prev_placed,
+        protect_norm,
+    } = scratch;
+    normalize_protect(protect, protect_norm);
+    doomed.clear();
+    inventory.clear();
+    salvage.clear();
+    let max_passes = graph.height() + 10;
+    prev_placed.clear();
+    for pass in 0..max_passes {
+        violations.clear();
+        if pass == 0 {
+            // Fused collect + detect over the lists the install changed:
+            // one walk per list inventories its standing dummies and
+            // reports its violations with them skipped (in a rebuilt list
+            // every dummy is inventoried, so skip-all-dummies equals the
+            // post-destroy view the oracle scans).
+            let original = worklist.len();
+            for &(level, prefix) in worklist[..original].iter() {
+                graph.list_balance_violations_collecting_dummies(
+                    a, level, prefix, inventory, violations,
+                );
+            }
+            // Doom the inventory. Each distinct dummy's own lists at
+            // levels ≥ `floor` join the worklist (epoch-stamp
+            // deduplicated): removing it can merge runs anywhere along its
+            // prefix path.
+            for &id in inventory.iter() {
+                if !doomed.insert(id) {
+                    // A dummy can sit in several rebuilt lists; the second
+                    // sighting is already doomed.
+                    continue;
+                }
+                let entry = graph.node(id).expect("inventoried dummy is live");
+                salvage.push(SalvageEntry::new(entry.key(), *entry.mvec()));
+                graph
+                    .stamp_node_lists(id, floor, worklist)
+                    .expect("inventoried dummy is live");
+            }
+            salvage.sort_unstable_by_key(|e| e.sort_key());
+            // The appended lists were not searched for dummies (only the
+            // entries present on entry are), so some of their dummies may
+            // keep standing: their detection skips via the doomed set.
+            for &(level, prefix) in worklist[original..].iter() {
+                graph.list_balance_violations_filtered(
+                    a,
+                    level,
+                    prefix,
+                    |id| doomed.contains(id),
+                    violations,
+                );
+            }
+            // Scan order differs from the oracle's one-sorted-worklist
+            // sweep, so normalise: both lifecycles repair the pass-0
+            // violations in sorted order.
+            violations.sort_unstable_by_key(|v| (v.level, v.prefix, v.start_key));
+            violations.dedup_by_key(|v| (v.level, v.prefix, v.start_key));
+        } else {
+            // Cascade passes: only the runs around the previous pass's
+            // placements can have become over-long (see
+            // [`repair_balance_incremental`]).
+            for &id in prev_placed.iter() {
+                let Ok(mvec) = graph.mvec_of(id) else { continue };
+                for level in floor..=mvec.len() {
+                    if let Some(violation) =
+                        graph.run_violation_at_filtered(a, id, level, |x| doomed.contains(x))
+                    {
+                        violations.push(violation);
+                    }
+                }
+            }
+            violations.sort_unstable_by_key(|v| (v.level, v.prefix, v.start_key));
+            violations.dedup_by_key(|v| (v.level, v.prefix, v.start_key));
+        }
+        outcome.rounds += a + 1;
+        if violations.is_empty() {
+            break;
+        }
+        planned.clear();
+        let placed_from = outcome.placed.len();
+        for violation in violations.iter() {
+            reconcile_violation(
+                graph,
+                states,
+                a,
+                protect_norm,
+                violation,
+                doomed,
+                salvage,
+                planned,
+                run_buf,
+                &mut outcome,
+            );
+        }
+        if planned.len() >= 8 {
+            specs.clear();
+            specs.extend(planned.iter().map(|p| (p.key, p.mvec)));
+            let ids = graph
+                .insert_dummies_bulk(specs)
+                .expect("planned dummy keys are free and distinct");
+            for (p, &id) in planned.iter().zip(ids.iter()) {
+                states.register(id, p.key, p.mvec.len());
+            }
+            outcome.bulk_inserted += ids.len();
+            outcome.placed.extend(ids);
+        } else {
+            // A handful of stragglers (late cascade passes): the bulk
+            // installer's fixed costs outweigh its grouping win, so insert
+            // them directly — identical structure, same (sorted) insertion
+            // order as the bulk path's allocation order.
+            for p in planned.iter() {
+                let id = graph
+                    .insert_dummy(p.key, p.mvec)
+                    .expect("planned dummy keys are free and distinct");
+                states.register(id, p.key, p.mvec.len());
+                outcome.bulk_inserted += 1;
+                outcome.placed.push(id);
+            }
+        }
+        prev_placed.clear();
+        prev_placed.extend_from_slice(&outcome.placed[placed_from..]);
+        if prev_placed.is_empty() {
+            break;
+        }
+    }
+    // Whatever no slot reclaimed is genuinely stale. The destroy-up-front
+    // path removed these before planning; skipping them during planning
+    // made the two orders observably identical, so the late removal cannot
+    // create new violations.
+    for &id in inventory.iter() {
+        if doomed.remove(id) {
+            let _ = graph.remove(id);
+            states.unregister(id);
+            outcome.destroyed += 1;
+        }
+    }
+    inventory.clear();
+    salvage.clear();
+    worklist.clear();
+    outcome
+}
+
+/// [`repair_violation`], reconciliation flavour: identical run walk, slot
+/// arithmetic, and key choice — against the *logical* graph (doomed
+/// dummies absent, planned dummies present) — but each slot is served by
+/// reclaim / evict-and-plan / plan instead of an unconditional insert.
+#[allow(clippy::too_many_arguments)]
+fn reconcile_violation(
+    graph: &mut SkipGraph,
+    states: &mut StateTable,
+    a: usize,
+    protect: &[(Key, Key)],
+    violation: &BalanceViolation,
+    doomed: &mut NodeStampSet,
+    salvage: &DummySalvage,
+    planned: &mut Vec<PlannedDummy>,
+    run_buf: &mut Vec<Key>,
+    outcome: &mut DummyReconcileOutcome,
+) {
+    if graph.node(violation.start).is_none() {
+        return;
+    }
+    let level = violation.level;
+    let prefix = violation.prefix;
+    let member_of_list =
+        |p: &PlannedDummy| p.mvec.len() >= level && p.mvec.prefix(level) == prefix;
+    // Merged run-key snapshot: the physical chain minus the doomed dummies,
+    // with this pass's planned dummies interleaved at their key positions —
+    // exactly the chain the insert-one-by-one oracle would walk.
+    run_buf.clear();
+    let mut cursor = Some(violation.start);
+    // Forward cursor into the (key-sorted) plan: the run is walked in
+    // ascending key order, so one binary search at the start and a linear
+    // merge replace a bisection per gap.
+    let mut pi = usize::MAX;
+    'walk: while let Some(id) = cursor {
+        let next = graph
+            .neighbors(id, level)
+            .expect("run member is live")
+            .1;
+        if doomed.contains(id) {
+            cursor = next;
+            continue;
+        }
+        let key = graph.key_of(id).expect("run member is live");
+        if pi == usize::MAX {
+            // First (non-doomed) member: planned dummies before it are
+            // outside the run.
+            pi = planned.partition_point(|p| p.key <= key);
+        } else {
+            while pi < planned.len() && planned[pi].key < key {
+                if member_of_list(&planned[pi]) {
+                    run_buf.push(planned[pi].key);
+                    if run_buf.len() >= violation.run_length {
+                        break 'walk;
+                    }
+                }
+                pi += 1;
+            }
+        }
+        run_buf.push(key);
+        if run_buf.len() >= violation.run_length {
+            break;
+        }
+        cursor = next;
+    }
+    if run_buf.len() < violation.run_length && pi != usize::MAX {
+        // The physical chain ended first; planned dummies past its tail
+        // belong to the run too (the oracle's chain continues through its
+        // freshly inserted nodes).
+        while pi < planned.len() && run_buf.len() < violation.run_length {
+            if member_of_list(&planned[pi]) {
+                run_buf.push(planned[pi].key);
+            }
+            pi += 1;
+        }
+    }
+    let mut mvec = prefix_vector(&violation.prefix);
+    mvec.push(violation.bit.flipped()).expect("within height limit");
+    let list_salvage = salvage_slice(salvage, &mvec);
+    // Identical member walk and break policy as [`repair_violation`]; only
+    // the placement action differs per break.
+    let mut last_break: isize = -1;
+    while let Some(action) = next_break(
+        run_buf,
+        last_break,
+        a,
+        protect,
+        list_salvage,
+        // A snapshot entry is reclaimable while its key still holds an
+        // inventoried (doomed) dummy: a claim un-dooms it, an eviction
+        // removes it — the same flips the oracle's unoccupied-key
+        // predicate makes.
+        &|key| {
+            graph
+                .node_by_key(key)
+                .is_some_and(|id| doomed.contains(id))
+        },
+    ) {
+        let b = match action {
+            BreakAction::Salvaged(g, key) => {
+                // The standing dummy already breaks this segment with the
+                // right vector — reclaim it in place, zero graph mutation.
+                // The oracle makes the same choice and re-creates it at the
+                // same key.
+                let standing = graph
+                    .node_by_key(key)
+                    .expect("salvaged dummy is still standing");
+                debug_assert!(doomed.contains(standing));
+                doomed.remove(standing);
+                outcome.placed.push(standing);
+                outcome.reused += 1;
+                outcome.rounds += 1;
+                last_break = g as isize;
+                continue;
+            }
+            BreakAction::Fresh(b) => b,
+        };
+        last_break = b as isize;
+        let choice = free_key_between_by(
+            |k| {
+                let key = Key::new(k);
+                if planned.binary_search_by_key(&key, |p| p.key).is_ok() {
+                    return true;
+                }
+                match graph.node_by_key(key) {
+                    Some(id) => !doomed.contains(id),
+                    None => false,
+                }
+            },
+            run_buf[b].value(),
+            run_buf[b + 1].value(),
+        );
+        match choice {
+            Some(key) => {
+                let key = Key::new(key);
+                if let Some(standing) = graph.node_by_key(key) {
+                    // The probe reported this key free, so the standing node
+                    // is an inventoried dummy — and its vector cannot match
+                    // (a matching one would have been salvaged above), so it
+                    // is superseded: evict it to make room.
+                    debug_assert!(doomed.contains(standing));
+                    let _ = graph.remove(standing);
+                    states.unregister(standing);
+                    doomed.remove(standing);
+                    outcome.destroyed += 1;
+                }
+                plan_dummy(planned, key, mvec);
+                outcome.rounds += 1;
+            }
+            None => outcome.unrepairable_runs += 1,
+        }
+    }
+}
+
+/// Records a planned dummy, keeping the plan sorted by key.
+fn plan_dummy(planned: &mut Vec<PlannedDummy>, key: Key, mvec: MembershipVector) {
+    let idx = planned
+        .binary_search_by_key(&key, |p| p.key)
+        .expect_err("planned keys are chosen unoccupied");
+    planned.insert(idx, PlannedDummy { key, mvec });
 }
 
 /// An *unoccupied* key strictly between `left` and `right`, if one exists.
 /// Candidates are spread across the gap (rather than clustered around the
 /// midpoint) so that successive dummies keep leaving room for later ones.
 fn free_key_between(graph: &SkipGraph, left: u64, right: u64) -> Option<u64> {
+    free_key_between_by(
+        |k| graph.node_by_key(Key::new(k)).is_some(),
+        left,
+        right,
+    )
+}
+
+/// [`free_key_between`] against a caller-supplied occupancy oracle — the
+/// reconciliation planner probes the *logical* occupancy (doomed dummies
+/// free, planned dummies taken) so its key choices replay the
+/// destroy-up-front path's exactly.
+fn free_key_between_by<F: Fn(u64) -> bool>(occupied: F, left: u64, right: u64) -> Option<u64> {
     let (lo, hi) = if left <= right { (left, right) } else { (right, left) };
     let gap = hi - lo;
     if gap <= 1 {
@@ -323,7 +1052,7 @@ fn free_key_between(graph: &SkipGraph, left: u64, right: u64) -> Option<u64> {
     // overwhelmingly common case, since keys are sparse in the gap. One
     // lookup instead of the candidate sweep.
     let midpoint = lo + gap / 2;
-    if graph.node_by_key(Key::new(midpoint)).is_none() {
+    if !occupied(midpoint) {
         return Some(midpoint);
     }
     // Probe 1/2, 1/4, 3/4, 1/8, … of the gap lazily, one occupancy check
@@ -334,7 +1063,7 @@ fn free_key_between(graph: &SkipGraph, left: u64, right: u64) -> Option<u64> {
         let mut k = 1u64;
         while k < denom {
             let key = lo + step * k;
-            if key > lo && key < hi && graph.node_by_key(Key::new(key)).is_none() {
+            if key > lo && key < hi && !occupied(key) {
                 return Some(key);
             }
             k += 2;
@@ -342,7 +1071,7 @@ fn free_key_between(graph: &SkipGraph, left: u64, right: u64) -> Option<u64> {
         denom *= 2;
     }
     if gap <= 64 {
-        ((lo + 1)..hi).find(|&key| graph.node_by_key(Key::new(key)).is_none())
+        ((lo + 1)..hi).find(|&key| !occupied(key))
     } else {
         None
     }

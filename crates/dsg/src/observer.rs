@@ -41,10 +41,18 @@ pub struct TransformEvent {
 pub struct BalanceRepairEvent {
     /// 1-based epoch counter of the session the pass belongs to.
     pub epoch: u64,
-    /// Stale dummy nodes the differential GC destroyed.
+    /// Stale dummy nodes the differential GC actually removed (reclaimed
+    /// standing dummies are not counted).
     pub dummies_destroyed: usize,
-    /// Dummy nodes the repair inserted.
+    /// Dummy slots the repair established — reclaimed and created alike,
+    /// so the count is lifecycle-independent.
     pub dummies_inserted: usize,
+    /// Standing dummies the reconciliation reclaimed with zero graph
+    /// mutation (0 under the per-node destroy/recreate oracle).
+    pub dummies_reused: usize,
+    /// Genuinely new dummies the reconciliation created (reclaims
+    /// excluded); almost all go through the bulk splice installer.
+    pub dummies_bulk_inserted: usize,
     /// Dummy nodes alive after the pass.
     pub live_dummies: usize,
 }
@@ -105,6 +113,8 @@ mod tests {
             epoch: 1,
             dummies_destroyed: 0,
             dummies_inserted: 0,
+            dummies_reused: 0,
+            dummies_bulk_inserted: 0,
             live_dummies: 0,
         });
     }

@@ -250,10 +250,19 @@ pub struct BatchOutcome {
     pub install_passes: usize,
     /// Changed `(node, level)` pairs installed across the batch.
     pub touched_pairs: usize,
-    /// Dummy nodes destroyed by the differential GC across the batch.
+    /// Dummy nodes actually removed by the differential GC across the
+    /// batch (reclaimed standing dummies are not counted).
     pub dummies_destroyed: usize,
-    /// Dummy nodes inserted by the balance repairs across the batch.
+    /// Dummy slots the balance repairs established across the batch —
+    /// reclaimed and created alike (lifecycle-independent).
     pub dummies_inserted: usize,
+    /// Standing dummies the reconciliation reclaimed in place across the
+    /// batch (0 under the per-node destroy/recreate oracle).
+    pub dummies_reused: usize,
+    /// Genuinely new dummies the reconciliation created across the batch
+    /// (reclaims excluded); almost all go through the bulk splice
+    /// installer.
+    pub dummies_bulk_inserted: usize,
 }
 
 impl BatchOutcome {
@@ -361,6 +370,8 @@ impl DsgSession {
             batch.touched_pairs += report.touched_pairs;
             batch.dummies_destroyed += report.dummies_destroyed;
             batch.dummies_inserted += report.dummies_inserted;
+            batch.dummies_reused += report.dummies_reused;
+            batch.dummies_bulk_inserted += report.dummies_bulk_inserted;
             for (&(index, _), outcome) in pending.iter().zip(report.outcomes) {
                 slots[index] = Some(SubmitOutcome::Communicated(outcome));
             }
@@ -429,6 +440,8 @@ impl DsgSession {
             epoch: self.epochs,
             dummies_destroyed: report.dummies_destroyed,
             dummies_inserted: report.dummies_inserted,
+            dummies_reused: report.dummies_reused,
+            dummies_bulk_inserted: report.dummies_bulk_inserted,
             live_dummies: self.engine.dummy_count(),
         };
         for observer in &self.observers {

@@ -49,10 +49,19 @@ pub struct MetricsObserver {
     pub clusters: usize,
     /// Transformation-install passes across all epochs.
     pub install_passes: usize,
-    /// Dummy nodes destroyed by differential GC across all epochs.
+    /// Dummy nodes actually removed by differential GC across all epochs
+    /// (reclaimed standing dummies are not counted).
     pub dummies_destroyed: usize,
-    /// Dummy nodes inserted by balance repairs across all epochs.
+    /// Dummy slots established by balance repairs across all epochs —
+    /// reclaimed and created alike (lifecycle-independent).
     pub dummies_inserted: usize,
+    /// Standing dummies reclaimed in place by the reconciling repair across
+    /// all epochs (0 under the per-node destroy/recreate oracle).
+    pub dummies_reused: usize,
+    /// Genuinely new dummies the reconciliation created across all epochs
+    /// (reclaims excluded); almost all go through the bulk splice
+    /// installer.
+    pub dummies_bulk_inserted: usize,
     /// Live dummy count after the most recent repair pass.
     pub live_dummies: usize,
 }
@@ -81,6 +90,14 @@ impl MetricsObserver {
     pub fn total_touched_pairs(&self) -> usize {
         self.touched_pairs.iter().sum()
     }
+
+    /// Dummy churn: dummies actually created plus dummies actually
+    /// destroyed. Reclaimed standing dummies contribute to neither side —
+    /// that zero-mutation reuse is exactly what the reconciling lifecycle
+    /// saves over destroy-then-recreate.
+    pub fn dummy_churn(&self) -> usize {
+        (self.dummies_inserted - self.dummies_reused) + self.dummies_destroyed
+    }
 }
 
 impl DsgObserver for MetricsObserver {
@@ -103,6 +120,8 @@ impl DsgObserver for MetricsObserver {
     fn on_balance_repair(&mut self, event: &BalanceRepairEvent) {
         self.dummies_destroyed += event.dummies_destroyed;
         self.dummies_inserted += event.dummies_inserted;
+        self.dummies_reused += event.dummies_reused;
+        self.dummies_bulk_inserted += event.dummies_bulk_inserted;
         self.live_dummies = event.live_dummies;
     }
 }

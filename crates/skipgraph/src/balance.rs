@@ -11,7 +11,7 @@
 //! self-adjusting algorithm must re-establish it (by inserting dummy nodes,
 //! §IV-F) after every transformation.
 
-use crate::graph::SkipGraph;
+use crate::graph::{NodeEntry, SkipGraph};
 use crate::ids::{Key, NodeId};
 use crate::mvec::{Bit, Prefix};
 
@@ -77,7 +77,14 @@ impl SkipGraph {
                 continue;
             }
             report.lists_checked += 1;
-            let max_run = self.scan_list_runs(a, level, prefix, head, &mut report.violations);
+            let max_run = self.scan_list_runs(
+                a,
+                level,
+                prefix,
+                head,
+                &mut |_, _| false,
+                &mut report.violations,
+            );
             report.max_run = report.max_run.max(max_run);
         }
         report
@@ -99,14 +106,84 @@ impl SkipGraph {
         prefix: Prefix,
         out: &mut Vec<BalanceViolation>,
     ) {
+        self.list_balance_violations_filtered(a, level, prefix, |_| false, out);
+    }
+
+    /// [`Self::list_balance_violations`] with members for which `skip`
+    /// returns `true` treated as absent: a skipped member neither breaks
+    /// nor extends a run — runs span it as if it had already been spliced
+    /// out. The dummy-reconciliation pass uses this to plan repairs against
+    /// the graph *as if* the standing dummies of the rebuilt lists were
+    /// destroyed, without actually unlinking them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    pub fn list_balance_violations_filtered<F: Fn(NodeId) -> bool>(
+        &self,
+        a: usize,
+        level: usize,
+        prefix: Prefix,
+        skip: F,
+        out: &mut Vec<BalanceViolation>,
+    ) {
         assert!(a > 0, "the a-balance property requires a positive a");
         let Some((head, len)) = self.list_head(level, prefix) else {
             return;
         };
-        if len < 2 {
+        // A list of at most `a` members cannot hold a run longer than `a`:
+        // skip the walk entirely (the worklist of an incremental repair is
+        // dominated by small deep lists).
+        if len <= a {
             return;
         }
-        self.scan_list_runs(a, level, prefix, head, out);
+        self.scan_list_runs(a, level, prefix, head, &mut |id, _| skip(id), out);
+    }
+
+    /// The fused collect + detect walk of the dummy reconciliation: one
+    /// pass over the list that appends every dummy member to `dummies` and
+    /// reports the a-balance violations of the list *as if those dummies
+    /// were absent*. In a list rebuilt by the install, the differential GC
+    /// inventories (or destroys) every standing dummy, so skipping them all
+    /// is exactly the filtered scan against the full inventory — without a
+    /// second walk to gather it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    pub fn list_balance_violations_collecting_dummies(
+        &self,
+        a: usize,
+        level: usize,
+        prefix: Prefix,
+        dummies: &mut Vec<NodeId>,
+        out: &mut Vec<BalanceViolation>,
+    ) {
+        assert!(a > 0, "the a-balance property requires a positive a");
+        let Some((head, len, dummy_count)) = self.list_head_with_dummies(level, prefix) else {
+            return;
+        };
+        // With nothing to inventory, this is a plain scan — which a list of
+        // at most `a` members (no run can exceed `a`) skips outright; the
+        // worklist is dominated by small dummy-free deep lists.
+        if dummy_count == 0 && len <= a {
+            return;
+        }
+        self.scan_list_runs(
+            a,
+            level,
+            prefix,
+            head,
+            &mut |id, entry: &NodeEntry| {
+                if entry.is_dummy() {
+                    dummies.push(id);
+                    true
+                } else {
+                    false
+                }
+            },
+            out,
+        );
     }
 
     /// Examines the maximal same-sublist run containing `id` in its list at
@@ -124,8 +201,30 @@ impl SkipGraph {
         id: NodeId,
         level: usize,
     ) -> Option<BalanceViolation> {
+        self.run_violation_at_filtered(a, id, level, |_| false)
+    }
+
+    /// [`Self::run_violation_at`] with members for which `skip` returns
+    /// `true` treated as absent: the run walk steps over them in both
+    /// directions without counting them or letting them terminate the run.
+    /// `id` itself must not be skipped.
+    pub fn run_violation_at_filtered<F: Fn(NodeId) -> bool>(
+        &self,
+        a: usize,
+        id: NodeId,
+        level: usize,
+        skip: F,
+    ) -> Option<BalanceViolation> {
         assert!(a > 0, "the a-balance property requires a positive a");
         let entry = self.node(id)?;
+        debug_assert!(!skip(id), "the run anchor must not be skipped");
+        // A list of at most `a` members cannot hold a run longer than `a`:
+        // the O(1) cached length spares the walk — repair cascades probe
+        // every placed dummy at every level, and most of those levels are
+        // tiny deep lists.
+        if self.list_size(id, level).ok()? <= a {
+            return None;
+        }
         let bit = entry.mvec().bit(level + 1)?;
         let same_bit = |candidate: NodeId| {
             self.node(candidate)
@@ -138,19 +237,25 @@ impl SkipGraph {
         let mut run_length = 1usize;
         let (mut left, mut right) = self.neighbors(id, level).ok()?;
         while let Some(candidate) = left {
+            left = self.neighbors(candidate, level).ok()?.0;
+            if skip(candidate) {
+                continue;
+            }
             if !same_bit(candidate) {
                 break;
             }
             start = candidate;
             run_length += 1;
-            left = self.neighbors(candidate, level).ok()?.0;
         }
         while let Some(candidate) = right {
+            right = self.neighbors(candidate, level).ok()?.1;
+            if skip(candidate) {
+                continue;
+            }
             if !same_bit(candidate) {
                 break;
             }
             run_length += 1;
-            right = self.neighbors(candidate, level).ok()?.1;
         }
         if run_length <= a {
             return None;
@@ -167,15 +272,19 @@ impl SkipGraph {
 
     /// Scans one list (walked from `head`) for runs of consecutive members
     /// sharing the next-level sublist, appending every run longer than `a`
-    /// to `out`. Returns the longest run observed. One fused arena read per
-    /// member — this sweep runs over the whole graph in the balance report,
-    /// so its constant factor matters.
-    fn scan_list_runs(
+    /// to `out`. Members for which `skip` returns `true` are invisible to
+    /// the scan (runs span them); `skip` receives the member's entry so a
+    /// collecting caller can inspect it without a second arena read.
+    /// Returns the longest run observed. One fused arena read per member —
+    /// this sweep runs over the whole graph in the balance report, so its
+    /// constant factor matters.
+    fn scan_list_runs<F: FnMut(NodeId, &NodeEntry) -> bool>(
         &self,
         a: usize,
         level: usize,
         prefix: Prefix,
         head: NodeId,
+        skip: &mut F,
         out: &mut Vec<BalanceViolation>,
     ) -> usize {
         let mut max_run = 0usize;
@@ -202,6 +311,9 @@ impl SkipGraph {
         while let Some(id) = cursor {
             let (entry, next) = self.entry_and_next(id, level);
             cursor = next;
+            if skip(id, entry) {
+                continue;
+            }
             let next_bit = entry.mvec().bit(level + 1);
             match next_bit {
                 Some(bit) if Some(bit) == run_bit => {

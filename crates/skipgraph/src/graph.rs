@@ -189,6 +189,10 @@ struct ListMeta {
     /// them lets the common case (zero stoppers) skip the member scan
     /// entirely, keeping bulk construction near-linear.
     stoppers: usize,
+    /// Dummy members of the list. The reconciliation's fused
+    /// collect + detect walk skips dummy-free lists without touching a
+    /// single member.
+    dummies: usize,
 }
 
 /// The key → node index of the graph: an exact-lookup fasthash map paired
@@ -424,7 +428,17 @@ impl SkipGraph {
         if self.by_key.contains(key) {
             return Err(SkipGraphError::DuplicateKey(key));
         }
-        let entry = NodeEntry { key, mvec, dummy };
+        let id = self.alloc_node(NodeEntry { key, mvec, dummy });
+        self.link_node(id);
+        Ok(id)
+    }
+
+    /// Allocates an arena slot for `entry` (reusing freed ids), registers
+    /// the key, and bumps the dummy count — without linking the node into
+    /// any list. Every caller must link the node before returning control.
+    fn alloc_node(&mut self, entry: NodeEntry) -> NodeId {
+        let key = entry.key;
+        let dummy = entry.dummy;
         let id = match self.free.pop() {
             Some(raw) => {
                 let id = NodeId(raw);
@@ -444,8 +458,7 @@ impl SkipGraph {
         if dummy {
             self.dummies += 1;
         }
-        self.link_node(id);
-        Ok(id)
+        id
     }
 
     /// Removes the node with the given key, returning its entry.
@@ -493,9 +506,9 @@ impl SkipGraph {
     /// standard join walk, O(1) steps in expectation per level for random
     /// membership vectors.
     fn link_node(&mut self, id: NodeId) {
-        let (key, len, mvec) = {
+        let (key, len, mvec, is_dummy) = {
             let entry = self.entry(id).expect("node just inserted");
-            (entry.key, entry.mvec.len(), entry.mvec)
+            (entry.key, entry.mvec.len(), entry.mvec, entry.dummy)
         };
         debug_assert_eq!(self.arena[id.index()].links.len(), 0);
         for level in 0..=len {
@@ -514,6 +527,7 @@ impl SkipGraph {
                         len: 1,
                         stamp: 0,
                         stoppers: usize::from(level == len),
+                        dummies: usize::from(is_dummy),
                     });
                     self.levels[level].insert(prefix, lid);
                     self.arena[id.index()].links.push(LevelLink {
@@ -652,8 +666,14 @@ impl SkipGraph {
         };
         debug_assert_eq!(self.arena[id.index()].links.len(), level);
         self.arena[id.index()].links.push(link);
+        let is_dummy = self.arena[id.index()]
+            .entry
+            .as_ref()
+            .expect("spliced node is live")
+            .dummy;
         let meta = self.list_meta_mut(lid);
         meta.len += 1;
+        meta.dummies += usize::from(is_dummy);
         if meta.len == 2 {
             self.multi[level] += 1;
         }
@@ -680,6 +700,11 @@ impl SkipGraph {
             .links
             .get(level)
             .expect("level within link count");
+        let is_dummy = self.arena[id.index()]
+            .entry
+            .as_ref()
+            .expect("unlinked node is live")
+            .dummy;
         if let Some(p) = link.prev {
             self.arena[p.index()]
                 .links
@@ -699,6 +724,7 @@ impl SkipGraph {
             meta.stoppers -= 1;
         }
         meta.len -= 1;
+        meta.dummies -= usize::from(is_dummy);
         let emptied = meta.len == 0;
         if meta.len == 1 {
             self.multi[level] -= 1;
@@ -1030,6 +1056,155 @@ impl SkipGraph {
         Ok(())
     }
 
+    /// Inserts a whole batch of *dummy* nodes through the ordered-splice
+    /// machinery of [`SkipGraph::apply_membership_batch`]: the new nodes'
+    /// `(node, level)` memberships are grouped by target list and each
+    /// affected list is relinked in one merge pass, instead of paying one
+    /// full join walk per dummy as [`SkipGraph::insert_dummy`] does. The
+    /// balance-repair reconciliation pushes all of a repair pass's genuinely
+    /// new dummies through this entry point.
+    ///
+    /// Each group's merge starts from a cheaply-found predecessor of the
+    /// group's first key (the key index at level 0, the standard
+    /// walk-from-the-level-below at higher levels), so a small batch costs
+    /// O(batch · height) expected — never a scan from each list head. The
+    /// resulting structure is identical to inserting the dummies one by one
+    /// in any order: every list holds the nodes sharing its prefix in
+    /// ascending key order.
+    ///
+    /// Returns the new node ids, parallel to `dummies`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::DuplicateKey`] (before any mutation) if a
+    /// key is already present in the graph or appears twice in the batch.
+    pub fn insert_dummies_bulk(
+        &mut self,
+        dummies: &[(Key, MembershipVector)],
+    ) -> Result<Vec<NodeId>> {
+        for &(key, _) in dummies {
+            if self.by_key.contains(key) {
+                return Err(SkipGraphError::DuplicateKey(key));
+            }
+        }
+        {
+            // In-batch duplicates, via one sort instead of a quadratic scan.
+            let mut keys: Vec<Key> = dummies.iter().map(|&(key, _)| key).collect();
+            keys.sort_unstable();
+            if let Some(window) = keys.windows(2).find(|w| w[0] == w[1]) {
+                return Err(SkipGraphError::DuplicateKey(window[0]));
+            }
+        }
+        let mut ids = Vec::with_capacity(dummies.len());
+        for &(key, mvec) in dummies {
+            ids.push(self.alloc_node(NodeEntry {
+                key,
+                mvec,
+                dummy: true,
+            }));
+        }
+        // Deliberately no batch_epoch bump: the lists rebuilt by the
+        // enclosing epoch's install keep their valid "already collected"
+        // stamps (bumping here made every later cluster of the epoch
+        // re-append and re-scan them), and the lists this install creates
+        // are stamped 0 below — collectable by a later GC pass, exactly
+        // like a list born from a per-dummy insertion.
+        let mut scratch = std::mem::take(&mut self.batch);
+        for (_, mut members) in scratch.groups.drain() {
+            members.clear();
+            scratch.spare.push(members);
+        }
+        for (i, &(_, mvec)) in dummies.iter().enumerate() {
+            for level in 0..=mvec.len() {
+                scratch
+                    .groups
+                    .entry((level, mvec.prefix(level)))
+                    .or_insert_with(|| scratch.spare.pop().unwrap_or_default())
+                    .push(ids[i]);
+            }
+        }
+        // Ascending level order: a node's link records are appended
+        // bottom-up, and the predecessor walk for a level-`l` group relies
+        // on the batch already being linked at `l - 1`.
+        scratch.order.clear();
+        scratch.order.extend(scratch.groups.keys().copied());
+        scratch.order.sort_unstable();
+        for &(level, prefix) in &scratch.order {
+            let mut incoming = scratch
+                .groups
+                .remove(&(level, prefix))
+                .expect("group was just enumerated");
+            {
+                let key_of = |id: NodeId| {
+                    self.arena[id.index()]
+                        .entry
+                        .as_ref()
+                        .expect("batch member is live")
+                        .key
+                };
+                if incoming.windows(2).any(|w| key_of(w[0]) > key_of(w[1])) {
+                    incoming.sort_unstable_by_key(|&id| key_of(id));
+                }
+            }
+            let first = incoming[0];
+            let first_key = self.arena[first.index()]
+                .entry
+                .as_ref()
+                .expect("batch member is live")
+                .key;
+            if self.levels.len() <= level {
+                self.levels.resize_with(level + 1, HashMap::default);
+                self.multi.resize(level + 1, 0);
+            }
+            match self.levels[level].get(&prefix).copied() {
+                None => self.create_list_from(level, prefix, &incoming, 0),
+                Some(lid) => {
+                    // Dense group (a meaningful fraction of the target
+                    // list): one ordered merge walk over the surviving
+                    // chain. Sparse group: the walk between far-apart keys
+                    // would dominate (dummy keys spread across the whole
+                    // key space make the level-0 merge an O(n) scan), so
+                    // seek each node's predecessor directly instead — the
+                    // key index at level 0, the walk-from-the-level-below
+                    // everywhere else.
+                    if incoming.len() * 8 >= self.list_meta(lid).len {
+                        // The key index already holds the whole batch, but
+                        // the group's first member is the batch's smallest
+                        // key in this list, so its predecessor is an
+                        // existing (linked) node.
+                        let start_pred = if level == 0 {
+                            self.predecessor_by_key(first_key)
+                        } else {
+                            self.link_predecessor(first, first_key, level, lid)
+                        };
+                        self.merge_into_list(level, lid, &incoming, start_pred);
+                    } else {
+                        for &id in &incoming {
+                            let key = self.arena[id.index()]
+                                .entry
+                                .as_ref()
+                                .expect("batch member is live")
+                                .key;
+                            let pred = if level == 0 {
+                                self.predecessor_by_key(key)
+                            } else {
+                                self.link_predecessor(id, key, level, lid)
+                            };
+                            self.splice_in(id, level, lid, pred);
+                            if self.entry(id).expect("live").mvec.len() == level {
+                                self.list_meta_mut(lid).stoppers += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            incoming.clear();
+            scratch.spare.push(incoming);
+        }
+        self.batch = scratch;
+        Ok(ids)
+    }
+
     /// Splices `incoming` (ascending key order, all sharing `prefix` at
     /// `level`) into the list identified by `(level, prefix)`, creating the
     /// list if it does not exist. One ordered merge pass: the surviving
@@ -1040,62 +1215,94 @@ impl SkipGraph {
             self.multi.resize(level + 1, 0);
         }
         match self.levels[level].get(&prefix).copied() {
-            None => {
-                // No survivors: the incoming chain *is* the list.
-                let stoppers = incoming
-                    .iter()
-                    .filter(|&&id| self.entry(id).expect("live").mvec.len() == level)
-                    .count();
-                let lid = self.alloc_list(ListMeta {
-                    prefix,
-                    level,
-                    head: incoming[0],
-                    tail: *incoming.last().expect("group is non-empty"),
-                    len: incoming.len(),
-                    stamp: self.batch_epoch,
-                    stoppers,
-                });
-                self.levels[level].insert(prefix, lid);
-                for (i, &id) in incoming.iter().enumerate() {
-                    debug_assert_eq!(self.arena[id.index()].links.len(), level);
-                    self.arena[id.index()].links.push(LevelLink {
-                        prev: i.checked_sub(1).map(|p| incoming[p]),
-                        next: incoming.get(i + 1).copied(),
-                        list: lid,
-                    });
-                }
-                if incoming.len() >= 2 {
-                    self.multi[level] += 1;
+            None => self.create_list_from(level, prefix, incoming, self.batch_epoch),
+            Some(lid) => self.merge_into_list(level, lid, incoming, None),
+        }
+    }
+
+    /// Materialises a brand-new list from `incoming` (ascending key order):
+    /// the incoming chain *is* the list. `stamp` seeds the affected-list
+    /// deduplication: the membership-batch installer passes the current
+    /// epoch (it records the new list in `affected` itself), the bulk dummy
+    /// installer passes 0 ("never collected") so a later GC pass can still
+    /// stamp and re-check the list — exactly like a list born from a
+    /// per-dummy insertion.
+    fn create_list_from(&mut self, level: usize, prefix: Prefix, incoming: &[NodeId], stamp: u64) {
+        let (mut stoppers, mut dummies) = (0usize, 0usize);
+        for &id in incoming {
+            let entry = self.entry(id).expect("live");
+            stoppers += usize::from(entry.mvec.len() == level);
+            dummies += usize::from(entry.dummy);
+        }
+        let lid = self.alloc_list(ListMeta {
+            prefix,
+            level,
+            head: incoming[0],
+            tail: *incoming.last().expect("group is non-empty"),
+            len: incoming.len(),
+            stamp,
+            stoppers,
+            dummies,
+        });
+        self.levels[level].insert(prefix, lid);
+        for (i, &id) in incoming.iter().enumerate() {
+            debug_assert_eq!(self.arena[id.index()].links.len(), level);
+            self.arena[id.index()].links.push(LevelLink {
+                prev: i.checked_sub(1).map(|p| incoming[p]),
+                next: incoming.get(i + 1).copied(),
+                list: lid,
+            });
+        }
+        if incoming.len() >= 2 {
+            self.multi[level] += 1;
+        }
+    }
+
+    /// Splices `incoming` (ascending key order) into the existing list
+    /// `lid` in one ordered merge pass, walking the surviving chain from
+    /// `start_pred` (a member known to precede every incoming key; `None`
+    /// starts at the head). The bulk dummy installer seeds `start_pred`
+    /// with a cheaply-found predecessor so a small batch does not pay a
+    /// walk from the list head.
+    fn merge_into_list(
+        &mut self,
+        level: usize,
+        lid: ListId,
+        incoming: &[NodeId],
+        start_pred: Option<NodeId>,
+    ) {
+        let mut pred = start_pred;
+        let mut cursor = match start_pred {
+            Some(p) => self.arena[p.index()]
+                .links
+                .get(level)
+                .expect("start predecessor is linked at this level")
+                .next,
+            None => Some(self.list_meta(lid).head),
+        };
+        for &id in incoming {
+            let key = self.entry(id).expect("update target is live").key;
+            while let Some(member) = cursor {
+                if self.arena[member.index()]
+                    .entry
+                    .as_ref()
+                    .expect("list member is live")
+                    .key
+                    < key
+                {
+                    pred = Some(member);
+                    cursor = self.arena[member.index()]
+                        .links
+                        .get(level)
+                        .and_then(|l| l.next);
+                } else {
+                    break;
                 }
             }
-            Some(lid) => {
-                let mut cursor = Some(self.list_meta(lid).head);
-                let mut pred: Option<NodeId> = None;
-                for &id in incoming {
-                    let key = self.entry(id).expect("update target is live").key;
-                    while let Some(member) = cursor {
-                        if self.arena[member.index()]
-                            .entry
-                            .as_ref()
-                            .expect("list member is live")
-                            .key
-                            < key
-                        {
-                            pred = Some(member);
-                            cursor = self.arena[member.index()]
-                                .links
-                                .get(level)
-                                .and_then(|l| l.next);
-                        } else {
-                            break;
-                        }
-                    }
-                    self.splice_in(id, level, lid, pred);
-                    pred = Some(id);
-                    if self.entry(id).expect("live").mvec.len() == level {
-                        self.list_meta_mut(lid).stoppers += 1;
-                    }
-                }
+            self.splice_in(id, level, lid, pred);
+            pred = Some(id);
+            if self.entry(id).expect("live").mvec.len() == level {
+                self.list_meta_mut(lid).stoppers += 1;
             }
         }
     }
@@ -1285,6 +1492,18 @@ impl SkipGraph {
     }
 
     /// Head and length of the list at `(level, prefix)`, if it exists.
+    /// Like [`SkipGraph::list_head`], additionally reporting the list's
+    /// cached dummy-member count.
+    pub(crate) fn list_head_with_dummies(
+        &self,
+        level: usize,
+        prefix: Prefix,
+    ) -> Option<(NodeId, usize, usize)> {
+        let lid = self.levels.get(level)?.get(&prefix)?;
+        let meta = self.list_meta(*lid);
+        Some((meta.head, meta.len, meta.dummies))
+    }
+
     pub(crate) fn list_head(&self, level: usize, prefix: Prefix) -> Option<(NodeId, usize)> {
         let &lid = self.levels.get(level)?.get(&prefix)?;
         let meta = self.list_meta(lid);
@@ -1478,6 +1697,7 @@ impl SkipGraph {
                 }
                 let mut count = 0usize;
                 let mut stoppers_seen = 0usize;
+                let mut dummies_seen = 0usize;
                 let mut previous: Option<NodeId> = None;
                 let mut cursor = Some(meta.head);
                 while let Some(id) = cursor {
@@ -1535,6 +1755,9 @@ impl SkipGraph {
                     if entry.mvec.len() == level {
                         stoppers_seen += 1;
                     }
+                    if entry.dummy {
+                        dummies_seen += 1;
+                    }
                     previous = Some(id);
                     if count > meta.len {
                         return Err(SkipGraphError::InvariantViolated(format!(
@@ -1560,6 +1783,13 @@ impl SkipGraph {
                         "stopper counter of list {prefix} at level {level} is stale \
                          ({} cached, {stoppers_seen} found)",
                         meta.stoppers
+                    )));
+                }
+                if dummies_seen != meta.dummies {
+                    return Err(SkipGraphError::InvariantViolated(format!(
+                        "dummy counter of list {prefix} at level {level} is stale \
+                         ({} cached, {dummies_seen} found)",
+                        meta.dummies
                     )));
                 }
             }

@@ -74,7 +74,12 @@ impl From<bool> for Bit {
 
 /// A node's membership vector: the sequence of sublist choices, one per
 /// level starting at level 1.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+///
+/// The derived ordering (packed bits, then length) is an arbitrary but
+/// deterministic total order — callers that need "equal vectors adjacent"
+/// grouping (the dummy-salvage snapshot) rely on it, nothing reads
+/// structural meaning into it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MembershipVector {
     bits: u128,
