@@ -21,7 +21,7 @@
 //! directory. Set `BENCH_PERF_QUICK=1` to run a fast smoke (fewer
 //! repetitions, shorter traces) — used by CI.
 //!
-//! The JSON schema (`dsg-bench-perf/v3`) is documented in `ROADMAP.md`
+//! The JSON schema (`dsg-bench-perf/v4`) is documented in `ROADMAP.md`
 //! ("BENCH_perf.json schema").
 
 use std::fmt::Write as _;
@@ -33,6 +33,9 @@ use dsg_bench::{
     WorkloadKind, BATCH_SIZES, COMM_BATCH_SIZES, COMM_SIZES, SIZES,
 };
 use dsg_skipgraph::{fixtures, Key};
+
+/// The plan-stage shard counts the largest-batch rows sweep.
+const PLAN_SHARD_SWEEP: &[usize] = &[1, 4];
 
 fn quick() -> bool {
     std::env::var("BENCH_PERF_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
@@ -86,6 +89,7 @@ struct BatchRow {
     workload: &'static str,
     n: u64,
     batch: usize,
+    shards: usize,
     requests: usize,
     elapsed_ns: u128,
     transform_touched_pairs: usize,
@@ -94,6 +98,9 @@ struct BatchRow {
     dummy_churn: usize,
     dummies_reused: usize,
     dummies_bulk_inserted: usize,
+    planned_clusters: usize,
+    plan_shards: usize,
+    plan_wall_ns: u64,
 }
 
 impl BatchRow {
@@ -270,29 +277,38 @@ fn measure_communicate_batched(quick: bool) -> Vec<BatchRow> {
         let m = perf_trace_len(n, quick);
         let trace = workload_trace(WorkloadKind::Uniform, n, m, 3);
         for &batch in BATCH_SIZES {
-            run_dsg_batched(
-                n,
-                DsgConfig::default().with_seed(1),
-                &trace[..m.min(20)],
-                batch,
-            );
-            let start = Instant::now();
-            let run = run_dsg_batched(n, DsgConfig::default().with_seed(1), &trace, batch);
-            let elapsed_ns = start.elapsed().as_nanos();
-            rows.push(BatchRow {
-                workload: WorkloadKind::Uniform.label(),
-                n,
-                batch,
-                requests: m,
-                elapsed_ns,
-                transform_touched_pairs: run.total_touched_pairs(),
-                epochs: run.epochs,
-                install_passes: run.install_passes,
-                dummy_churn: run.dummy_churn,
-                dummies_reused: run.dummies_reused,
-                dummies_bulk_inserted: run.dummies_bulk_inserted,
-            });
-            std::hint::black_box(run);
+            // The largest batch additionally sweeps the plan-stage shard
+            // count (the PR 5 acceptance rows: shards 1 vs 4 at batch 16).
+            let shard_counts: &[usize] = if batch == *BATCH_SIZES.last().unwrap() {
+                PLAN_SHARD_SWEEP
+            } else {
+                &[1]
+            };
+            for &shards in shard_counts {
+                let config = DsgConfig::default().with_seed(1).with_shards(shards);
+                run_dsg_batched(n, config, &trace[..m.min(20)], batch);
+                let start = Instant::now();
+                let run = run_dsg_batched(n, config, &trace, batch);
+                let elapsed_ns = start.elapsed().as_nanos();
+                rows.push(BatchRow {
+                    workload: WorkloadKind::Uniform.label(),
+                    n,
+                    batch,
+                    shards,
+                    requests: m,
+                    elapsed_ns,
+                    transform_touched_pairs: run.total_touched_pairs(),
+                    epochs: run.epochs,
+                    install_passes: run.install_passes,
+                    dummy_churn: run.dummy_churn,
+                    dummies_reused: run.dummies_reused,
+                    dummies_bulk_inserted: run.dummies_bulk_inserted,
+                    planned_clusters: run.planned_clusters,
+                    plan_shards: run.plan_shards,
+                    plan_wall_ns: run.plan_wall_ns,
+                });
+                std::hint::black_box(run);
+            }
         }
     }
     rows
@@ -372,13 +388,16 @@ fn main() {
         }
         let _ = write!(
             batch_json,
-            "\n    {{\"workload\": \"{}\", \"n\": {}, \"batch\": {}, \"requests\": {}, \
+            "\n    {{\"workload\": \"{}\", \"n\": {}, \"batch\": {}, \"shards\": {}, \
+             \"requests\": {}, \
              \"elapsed_ms\": {:.2}, \"requests_per_sec\": {:.1}, \
              \"transform_touched_pairs\": {}, \"epochs\": {}, \"install_passes\": {}, \
-             \"dummy_churn\": {}, \"dummies_reused\": {}, \"dummies_bulk_inserted\": {}}}",
+             \"dummy_churn\": {}, \"dummies_reused\": {}, \"dummies_bulk_inserted\": {}, \
+             \"planned_clusters\": {}, \"plan_shards\": {}, \"plan_wall_ms\": {:.2}}}",
             row.workload,
             row.n,
             row.batch,
+            row.shards,
             row.requests,
             row.elapsed_ns as f64 / 1e6,
             row.requests_per_sec(),
@@ -387,13 +406,16 @@ fn main() {
             row.install_passes,
             row.dummy_churn,
             row.dummies_reused,
-            row.dummies_bulk_inserted
+            row.dummies_bulk_inserted,
+            row.planned_clusters,
+            row.plan_shards,
+            row.plan_wall_ns as f64 / 1e6
         );
     }
     batch_json.push_str("\n  ]");
 
     let json = format!(
-        "{{\n  \"schema\": \"dsg-bench-perf/v3\",\n  \"created_unix\": {unix_time},\n  \
+        "{{\n  \"schema\": \"dsg-bench-perf/v4\",\n  \"created_unix\": {unix_time},\n  \
          \"quick\": {},\n  \"route\": {},\n  \"neighbors\": {},\n  \"dummy_probe\": {},\n  \
          \"communicate\": {},\n  \"communicate_batched\": {}\n}}\n",
         quick(),
@@ -431,13 +453,15 @@ fn main() {
     }
     for row in &communicate_batched {
         eprintln!(
-            "  batched   {:>11} n={:<5} batch={:<3} {:>10.1} req/s   {:>4} epochs   {:>4} install passes",
+            "  batched   {:>11} n={:<5} batch={:<3} shards={:<2} {:>10.1} req/s   {:>4} epochs   {:>4} install passes   plan {:>7.1} ms",
             row.workload,
             row.n,
             row.batch,
+            row.shards,
             row.requests_per_sec(),
             row.epochs,
-            row.install_passes
+            row.install_passes,
+            row.plan_wall_ns as f64 / 1e6
         );
     }
 

@@ -178,6 +178,13 @@ pub struct DsgRun {
     pub final_dummies: usize,
     /// Whether the a-balance property held after every batch boundary.
     pub always_balanced: bool,
+    /// Transformation clusters the epoch plan stages planned.
+    pub planned_clusters: usize,
+    /// The largest worker-shard count any epoch's plan stages ran on
+    /// (1 = fully inline planning).
+    pub plan_shards: usize,
+    /// Total wall-clock nanoseconds spent in the plan stages.
+    pub plan_wall_ns: u64,
 }
 
 impl DsgRun {
@@ -283,6 +290,9 @@ pub fn run_dsg_batched(n: u64, config: DsgConfig, trace: &[Request], batch: usiz
         run.dummy_churn = metrics.dummy_churn();
         run.dummies_reused = metrics.dummies_reused;
         run.dummies_bulk_inserted = metrics.dummies_bulk_inserted;
+        run.planned_clusters = metrics.planned_clusters;
+        run.plan_shards = metrics.plan_shards;
+        run.plan_wall_ns = metrics.plan_wall_ns;
     }
     run.final_dummies = session.engine().dummy_count();
     run

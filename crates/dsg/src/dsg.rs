@@ -19,6 +19,7 @@
 //! [`communicate_epoch`]: DynamicSkipGraph::communicate_epoch
 
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,7 +34,7 @@ use crate::cost::{CostBreakdown, RunStats};
 use crate::dummy;
 use crate::error::DsgError;
 use crate::groups::{self, GroupScratch, GroupUpdateInput};
-use crate::state::{NodeState, StateTable};
+use crate::state::{NodeState, StateDelta, StateTable};
 use crate::timestamps::{self, TimestampInput};
 use crate::transform::{self, TransformInput, TransformOutcome, TransformPair, MAX_EPOCH_PAIRS};
 use crate::Result;
@@ -80,12 +81,83 @@ enum MedianEngine {
 }
 
 impl MedianEngine {
+    fn from_config(config: &DsgConfig) -> Self {
+        match config.median {
+            MedianStrategy::Amf => MedianEngine::Amf(AmfMedian::new(config.seed ^ 0xA3F)),
+            MedianStrategy::Exact => MedianEngine::Exact(ExactMedian),
+        }
+    }
+
     fn as_finder(&mut self) -> &mut dyn MedianFinder {
         match self {
             MedianEngine::Amf(engine) => engine,
             MedianEngine::Exact(engine) => engine,
         }
     }
+
+    /// Re-derives the random stream for one transformation cluster. The
+    /// seed is a pure function of the session seed and the cluster's first
+    /// request time, so the medians a cluster receives do not depend on
+    /// which shard plans it, on the other clusters of the epoch, or on the
+    /// planning order — the property the shard-equivalence and
+    /// batch-equivalence suites pin down.
+    fn reseed_for_cluster(&mut self, config_seed: u64, t_first: u64) {
+        if let MedianEngine::Amf(engine) = self {
+            engine.reseed(cluster_plan_seed(config_seed, t_first));
+        }
+    }
+}
+
+/// Per-worker-shard planning scratch: the median engine (recycled AMF
+/// buffers, reseeded per cluster) and the transformation planner's
+/// recycled overlay columns.
+#[derive(Debug)]
+struct PlanShard {
+    median: MedianEngine,
+    transform: transform::TransformScratch,
+}
+
+impl PlanShard {
+    fn from_config(config: &DsgConfig) -> Self {
+        PlanShard {
+            median: MedianEngine::from_config(config),
+            transform: transform::TransformScratch::default(),
+        }
+    }
+}
+
+/// Reusable per-cluster snapshot buffers (member list, old vectors,
+/// per-pair group snapshots), pooled on the engine so a warm epoch's plan
+/// stage allocates none of them — the same recycling the pre-split
+/// `CommScratch` provided, now per cluster because plans of one epoch are
+/// alive simultaneously.
+#[derive(Debug, Default)]
+struct ClusterBufs {
+    members: Vec<NodeId>,
+    old_mvecs: HashMap<NodeId, MembershipVector, FastHashState>,
+    /// Pooled per-pair pre-merge group snapshots; only the first
+    /// `pair_indices.len()` entries of a run are meaningful.
+    pair_snaps: Vec<(HashSet<NodeId, FastHashState>, HashSet<NodeId, FastHashState>)>,
+}
+
+impl ClusterBufs {
+    fn reset(&mut self) {
+        self.members.clear();
+        self.old_mvecs.clear();
+        for (u_set, v_set) in &mut self.pair_snaps {
+            u_set.clear();
+            v_set.clear();
+        }
+    }
+}
+
+/// Splitmix64-style derivation of a cluster's AMF seed from the session
+/// seed and the cluster's first request time.
+fn cluster_plan_seed(seed: u64, t_first: u64) -> u64 {
+    let mut z = seed ^ t_first.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Reusable per-epoch buffers for [`DynamicSkipGraph::communicate_epoch`].
@@ -98,14 +170,10 @@ impl MedianEngine {
 /// per use.
 #[derive(Debug, Default)]
 struct CommScratch {
-    members: Vec<NodeId>,
-    old_mvecs: HashMap<NodeId, MembershipVector, FastHashState>,
     /// Post-transformation vectors of the members whose vector changed
     /// (rule T3 resolves through this map so the timestamp rules can run
     /// before the deferred epoch install).
     new_mvecs: HashMap<NodeId, MembershipVector, FastHashState>,
-    /// Per-pair pre-merge group snapshots (u's group, v's group), pooled.
-    pair_snaps: Vec<(HashSet<NodeId, FastHashState>, HashSet<NodeId, FastHashState>)>,
     groups: GroupScratch,
     /// Lists whose membership or split pattern the install changed — the
     /// scope of the differential dummy GC and balance repair. Filled by the
@@ -138,19 +206,23 @@ struct ClusterPlan {
     pair_indices: Vec<usize>,
 }
 
-/// Per-cluster state carried from the transformation phase to the install
-/// and repair phases of one epoch.
+/// Per-cluster state produced by the (possibly parallel) *plan* stage of
+/// one epoch and consumed by the serial apply/install/repair stages.
 #[derive(Debug)]
 struct ClusterRun {
     outcome: TransformOutcome,
+    /// The transformation's recorded state writes, applied by the main
+    /// thread in submission order.
+    delta: StateDelta,
     /// Rounds of the per-pair `G_lower` broadcasts, parallel to
-    /// [`ClusterPlan::pair_indices`].
+    /// [`ClusterPlan::pair_indices`] (filled by the serial group stage).
     group_rounds: Vec<usize>,
     /// Rounds charged for the transformation notification broadcast.
     notification_rounds: usize,
-    /// Members of the root list (dummies excluded) — retained only for the
-    /// per-node reference install, which re-splices each member.
-    members: Vec<NodeId>,
+    /// The cluster's snapshot buffers — member list (ascending key order,
+    /// dummies excluded), pre-transformation vectors, per-pair pre-merge
+    /// group snapshots. Pooled on the engine and recycled across epochs.
+    bufs: ClusterBufs,
     /// Affected lists derived from the diff plan (per-node reference path
     /// only; the batch installer collects them itself).
     derived_affected: Vec<(usize, Prefix)>,
@@ -193,6 +265,18 @@ pub struct EpochReport {
     /// threshold directly (0 under the per-node oracle, which join-walks
     /// every placement).
     pub dummies_bulk_inserted: usize,
+    /// Clusters the epoch's plan stage planned (= [`EpochReport::clusters`];
+    /// kept separate so observers can account plan-stage work even if a
+    /// future epoch plans speculatively).
+    pub planned_clusters: usize,
+    /// Worker shards the plan stages actually ran on: 1 when everything was
+    /// planned inline, up to the configured [`DsgConfig::shards`] when
+    /// clusters (or a single cluster's reconcile scan) fanned out.
+    pub plan_shards: usize,
+    /// Wall-clock nanoseconds the plan stages took (transformation planning
+    /// plus dummy-reconciliation detection). Timing-only: excluded from the
+    /// determinism comparisons.
+    pub plan_wall_ns: u64,
 }
 
 /// A locally self-adjusting skip graph (the paper's DSG algorithm).
@@ -203,7 +287,17 @@ pub struct DynamicSkipGraph {
     graph: SkipGraph,
     states: StateTable,
     config: DsgConfig,
-    median: MedianEngine,
+    /// One planning scratch (median engine + overlay columns) per worker
+    /// shard; index 0 doubles as the serial engine. Each cluster reseeds
+    /// the median engine it is planned on
+    /// ([`MedianEngine::reseed_for_cluster`]), so the recycled buffers are
+    /// the only thing a shard actually keeps between clusters.
+    plan_shards_scratch: Vec<PlanShard>,
+    /// Pooled [`ClusterBufs`], recycled across epochs.
+    bufs_pool: Vec<ClusterBufs>,
+    /// Pooled [`dummy::ReconcilePlan`] shells (one per cluster of an
+    /// epoch), recycled across epochs so warm plans allocate nothing.
+    reconcile_pool: Vec<dummy::ReconcilePlan>,
     rng: StdRng,
     time: u64,
     stats: RunStats,
@@ -348,15 +442,14 @@ impl DynamicSkipGraph {
             let base = graph.mvec_of(id)?.len();
             states.register(id, key, base);
         }
-        let median = match config.median {
-            MedianStrategy::Amf => MedianEngine::Amf(AmfMedian::new(config.seed ^ 0xA3F)),
-            MedianStrategy::Exact => MedianEngine::Exact(ExactMedian),
-        };
+        let plan_shards_scratch = vec![PlanShard::from_config(&config)];
         Ok(DynamicSkipGraph {
             graph,
             states,
             config,
-            median,
+            plan_shards_scratch,
+            bufs_pool: Vec::new(),
+            reconcile_pool: Vec::new(),
             rng,
             time: 0,
             stats: RunStats::default(),
@@ -738,101 +831,115 @@ impl DynamicSkipGraph {
         let clusters = cluster_pairs(&alphas, &prefixes);
         let per_node = matches!(self.config.install, InstallStrategy::PerNode);
 
-        // Phase A, per cluster in submission order: steps 1b–11 — member
-        // snapshot, the transformation proper, and the per-pair group-id
-        // and timestamp rules. The install is *deferred*: every read these
-        // steps perform is either confined to the cluster's own subtree or
+        // Phase A-plan, all clusters (concurrently on worker shards when
+        // configured): steps 1b–9 — member snapshot, pre-merge group
+        // snapshots, and the transformation proper — run against a
+        // *read-only* graph and state table, recording the state writes per
+        // cluster ([`StateDelta`]). Clusters rebuild provably disjoint
+        // subtrees, every planning read is confined to the cluster's own
+        // subtree (or install-invariant), and every random draw is derived
+        // per cluster rather than from a shared stream, so the plans are a
+        // pure function of the pre-epoch structure — independent of
+        // planning order and shard count (`tests/shard_equivalence.rs`
+        // pins this bit for bit). The same plan-then-apply order runs at
+        // `shards = 1`, just inline.
+        let plan_started = Instant::now();
+        let plan_shard_target = self.config.shards.min(clusters.len()).max(1);
+        while self.plan_shards_scratch.len() < plan_shard_target {
+            self.plan_shards_scratch
+                .push(PlanShard::from_config(&self.config));
+        }
+        let mut cluster_runs: Vec<ClusterRun> = Vec::with_capacity(clusters.len());
+        {
+            let graph = &self.graph;
+            let states = &self.states;
+            let config = &self.config;
+            // One pooled snapshot buffer per cluster (recycled at epoch
+            // end), one planning scratch per shard.
+            let mut bufs: Vec<ClusterBufs> = (0..clusters.len())
+                .map(|_| {
+                    let mut b = self.bufs_pool.pop().unwrap_or_default();
+                    b.reset();
+                    b
+                })
+                .collect();
+            let mut shard_scratch = std::mem::take(&mut self.plan_shards_scratch);
+            if plan_shard_target <= 1 {
+                let shard = &mut shard_scratch[0];
+                for (cluster, b) in clusters.iter().zip(bufs.drain(..)) {
+                    cluster_runs.push(plan_cluster(
+                        graph, states, config, shard, b, cluster, &ids, t0, per_node,
+                    ));
+                }
+            } else {
+                let mut slots: Vec<Option<ClusterRun>> =
+                    (0..clusters.len()).map(|_| None).collect();
+                // Hand each shard its round-robin share of (cluster, bufs)
+                // jobs; any assignment yields identical plans.
+                let mut jobs: Vec<Vec<(usize, ClusterBufs)>> =
+                    (0..plan_shard_target).map(|_| Vec::new()).collect();
+                for (ci, b) in bufs.drain(..).enumerate() {
+                    jobs[ci % plan_shard_target].push((ci, b));
+                }
+                std::thread::scope(|scope| {
+                    let clusters = &clusters;
+                    let ids = &ids;
+                    let handles: Vec<_> = shard_scratch
+                        .iter_mut()
+                        .take(plan_shard_target)
+                        .zip(jobs.drain(..))
+                        .map(|(shard, jobs)| {
+                            scope.spawn(move || {
+                                let mut planned = Vec::new();
+                                for (ci, b) in jobs {
+                                    planned.push((
+                                        ci,
+                                        plan_cluster(
+                                            graph,
+                                            states,
+                                            config,
+                                            shard,
+                                            b,
+                                            &clusters[ci],
+                                            ids,
+                                            t0,
+                                            per_node,
+                                        ),
+                                    ));
+                                }
+                                planned
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        for (ci, run) in handle.join().expect("plan shard panicked") {
+                            slots[ci] = Some(run);
+                        }
+                    }
+                });
+                cluster_runs.extend(slots.into_iter().map(|slot| slot.expect("cluster planned")));
+            }
+            self.plan_shards_scratch = shard_scratch;
+        }
+        let mut plan_wall_ns = plan_started.elapsed().as_nanos() as u64;
+        let mut plan_shards_used = plan_shard_target;
+
+        // Phase A-apply, per cluster in submission order: replay the
+        // recorded state writes, then steps 10–11 per pair — group-ids and
+        // group-bases below the root (Appendix C) and the timestamp rules
+        // T1–T6. The install stays *deferred*: every read these steps
+        // perform is either confined to the cluster's own subtree or
         // provably install-invariant (lists at levels ≤ α keep their
         // membership; rule T3 resolves new vectors through the diff plan),
         // so running them before the merged install is observably identical
         // to the classic per-request order.
-        let mut cluster_runs: Vec<ClusterRun> = Vec::with_capacity(clusters.len());
-        for cluster in &clusters {
+        for (cluster, run) in clusters.iter().zip(&mut cluster_runs) {
+            self.states.apply_delta(&run.delta);
             let scratch = &mut self.scratch;
-            scratch.members.clear();
-            {
-                let graph = &self.graph;
-                scratch.members.extend(
-                    graph
-                        .list_iter(cluster.root_level, cluster.root_prefix)
-                        .filter(|&id| !graph.node(id).map(|e| e.is_dummy()).unwrap_or(false)),
-                );
-            }
-            // Broadcasting the notification through the sub skip graph
-            // rooted at the cluster root takes O(a · log |l_α|) rounds.
-            let notification_rounds = 1 + self.config.a
-                * (scratch.members.len().max(2) as f64).log2().ceil() as usize;
-
-            // Snapshots needed by the timestamp rules.
-            scratch.old_mvecs.clear();
-            scratch.old_mvecs.extend(
-                scratch
-                    .members
-                    .iter()
-                    .map(|&id| (id, self.graph.mvec_of(id).expect("member is live"))),
-            );
-            while scratch.pair_snaps.len() < cluster.pair_indices.len() {
-                scratch.pair_snaps.push(Default::default());
-            }
-            for (j, &pi) in cluster.pair_indices.iter().enumerate() {
-                let (u_id, v_id) = ids[pi];
-                let gu = self.states.group_id(u_id, cluster.root_level);
-                let gv = self.states.group_id(v_id, cluster.root_level);
-                let states = &self.states;
-                let (u_set, v_set) = &mut scratch.pair_snaps[j];
-                u_set.clear();
-                u_set.extend(scratch.members.iter().copied().filter(|&x| {
-                    x != u_id && x != v_id && states.group_id(x, cluster.root_level) == gu
-                }));
-                v_set.clear();
-                v_set.extend(scratch.members.iter().copied().filter(|&x| {
-                    x != u_id && x != v_id && states.group_id(x, cluster.root_level) == gv
-                }));
-            }
-
-            // Steps 2–9: the transformation proper (one engine run for the
-            // whole cluster).
-            let tpairs: Vec<TransformPair> = cluster
-                .pair_indices
-                .iter()
-                .map(|&pi| TransformPair {
-                    u: ids[pi].0,
-                    v: ids[pi].1,
-                    t: t0 + pi as u64 + 1,
-                })
-                .collect();
-            let input = TransformInput {
-                pairs: &tpairs,
-                alpha: cluster.root_level,
-                a: self.config.a,
-            };
-            let outcome = if per_node {
-                transform::run_transformation(
-                    &self.graph,
-                    &mut self.states,
-                    self.median.as_finder(),
-                    &input,
-                    &scratch.members,
-                )
-            } else {
-                // The batched installer only needs the diff plan, so the
-                // full per-member suffix map is skipped.
-                transform::run_transformation_lean(
-                    &self.graph,
-                    &mut self.states,
-                    self.median.as_finder(),
-                    &input,
-                    &scratch.members,
-                )
-            };
             scratch.new_mvecs.clear();
             scratch
                 .new_mvecs
-                .extend(outcome.changes.iter().map(|c| (c.node, c.new_mvec)));
-
-            // Steps 10–11 per pair, in submission order: group-ids and
-            // group-bases below the root (Appendix C), then the timestamp
-            // rules T1–T6.
+                .extend(run.outcome.changes.iter().map(|c| (c.node, c.new_mvec)));
             let mut group_rounds = Vec::with_capacity(cluster.pair_indices.len());
             for (j, &pi) in cluster.pair_indices.iter().enumerate() {
                 let (u_id, v_id) = ids[pi];
@@ -840,8 +947,8 @@ impl DynamicSkipGraph {
                     u: u_id,
                     v: v_id,
                     alpha: cluster.root_level,
-                    members_alpha: &scratch.members,
-                    outcome: &outcome,
+                    members_alpha: &run.bufs.members,
+                    outcome: &run.outcome,
                 };
                 let group_outcome = groups::apply_group_updates(
                     &self.graph,
@@ -855,46 +962,18 @@ impl DynamicSkipGraph {
                     v: v_id,
                     t: t0 + pi as u64 + 1,
                     alpha: cluster.root_level,
-                    pair_level: outcome.pair_levels[j],
-                    members_alpha: &scratch.members,
-                    old_mvecs: &scratch.old_mvecs,
+                    pair_level: run.outcome.pair_levels[j],
+                    members_alpha: &run.bufs.members,
+                    old_mvecs: &run.bufs.old_mvecs,
                     new_mvecs: &scratch.new_mvecs,
-                    u_group_before: &scratch.pair_snaps[j].0,
-                    v_group_before: &scratch.pair_snaps[j].1,
+                    u_group_before: &run.bufs.pair_snaps[j].0,
+                    v_group_before: &run.bufs.pair_snaps[j].1,
                     glower_recipients: &scratch.groups.recipients,
-                    outcome: &outcome,
+                    outcome: &run.outcome,
                 };
                 timestamps::apply_timestamp_rules(&self.graph, &mut self.states, &ts_input);
             }
-
-            // Per-node reference path: derive the affected lists from the
-            // diff plan while the graph still holds the old vectors (the
-            // batch installer collects them itself as it splices).
-            let mut derived_affected = Vec::new();
-            if per_node {
-                for change in &outcome.changes {
-                    let old = &scratch.old_mvecs[&change.node];
-                    for level in (change.from_level - 1)..=old.len() {
-                        derived_affected.push((level, old.prefix(level)));
-                    }
-                    for level in (change.from_level - 1)..=change.new_mvec.len() {
-                        derived_affected.push((level, change.new_mvec.prefix(level)));
-                    }
-                }
-                derived_affected.sort_unstable();
-                derived_affected.dedup();
-            }
-            cluster_runs.push(ClusterRun {
-                outcome,
-                group_rounds,
-                notification_rounds,
-                members: if per_node {
-                    scratch.members.clone()
-                } else {
-                    Vec::new()
-                },
-                derived_affected,
-            });
+            run.group_rounds = group_rounds;
         }
 
         // Phase B: the install. Batched pushes the concatenated diff plans
@@ -926,7 +1005,7 @@ impl DynamicSkipGraph {
             InstallStrategy::PerNode => {
                 let mut touched = 0usize;
                 for (cluster, run) in clusters.iter().zip(&cluster_runs) {
-                    for &node in &run.members {
+                    for &node in &run.bufs.members {
                         if let Some(bits) = run.outcome.suffixes.get(&node) {
                             self.graph.set_membership_suffix(
                                 node,
@@ -942,43 +1021,131 @@ impl DynamicSkipGraph {
             }
         }
 
-        // Phase C, per cluster in submission order: differential dummy GC
-        // and a-balance repair over the lists this cluster's install
-        // actually changed, then the per-request outcome assembly.
+        // Phase C-plan (batched lifecycle only): the dummy-reconciliation
+        // detection pass is a pure read of the post-install graph, so the
+        // plans of ALL clusters are computed up front — concurrently across
+        // clusters when the epoch has several, chunked across shards inside
+        // the single cluster's scan otherwise — and applied serially below
+        // in submission order. Repairs of one cluster never touch another
+        // cluster's subtree lists (roots are pairwise prefix-incomparable
+        // and a repair dummy's prefix extends its own cluster's root), so
+        // the pre-computed plans stay exact.
+        let batched = !per_node;
+        let mut cluster_affected_all: Vec<Vec<(usize, Prefix)>> = Vec::new();
+        let mut reconcile_plans: Vec<Option<dummy::ReconcilePlan>> = Vec::new();
+        if self.config.maintain_balance && batched {
+            for cluster in &clusters {
+                // The merged install collected one epoch-wide affected set;
+                // every entry lies in exactly one cluster's subtree.
+                // Deduplicate before the scan: a list freed and re-created
+                // within one install pass appears twice in the collected
+                // set, and each duplicate would re-scan the list (and
+                // re-sight its dummies) for nothing.
+                let mut affected: Vec<(usize, Prefix)> = self
+                    .scratch
+                    .affected
+                    .iter()
+                    .copied()
+                    .filter(|(level, prefix)| {
+                        *level >= cluster.root_level && cluster.root_prefix.is_prefix_of(prefix)
+                    })
+                    .collect();
+                affected.sort_unstable();
+                affected.dedup();
+                cluster_affected_all.push(affected);
+            }
+            let plan_c_started = Instant::now();
+            let a = self.config.a;
+            // One pooled plan shell per cluster (recycled at epoch end).
+            let mut shells: Vec<dummy::ReconcilePlan> = (0..clusters.len())
+                .map(|_| self.reconcile_pool.pop().unwrap_or_default())
+                .collect();
+            if clusters.len() > 1 && self.config.shards > 1 {
+                let graph = &self.graph;
+                let shard_count = self.config.shards.min(clusters.len());
+                let mut slots: Vec<Option<dummy::ReconcilePlan>> =
+                    (0..clusters.len()).map(|_| None).collect();
+                let mut jobs: Vec<Vec<(usize, dummy::ReconcilePlan)>> =
+                    (0..shard_count).map(|_| Vec::new()).collect();
+                for (ci, shell) in shells.drain(..).enumerate() {
+                    jobs[ci % shard_count].push((ci, shell));
+                }
+                std::thread::scope(|scope| {
+                    let clusters = &clusters;
+                    let affected_all = &cluster_affected_all;
+                    let handles: Vec<_> = jobs
+                        .drain(..)
+                        .map(|jobs| {
+                            scope.spawn(move || {
+                                let mut planned = Vec::new();
+                                for (ci, mut shell) in jobs {
+                                    dummy::plan_reconciliation(
+                                        graph,
+                                        a,
+                                        clusters[ci].root_level,
+                                        &affected_all[ci],
+                                        1,
+                                        &mut shell,
+                                    );
+                                    planned.push((ci, shell));
+                                }
+                                planned
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        for (ci, plan) in handle.join().expect("reconcile plan shard panicked") {
+                            slots[ci] = Some(plan);
+                        }
+                    }
+                });
+                reconcile_plans = slots;
+                plan_shards_used = plan_shards_used.max(shard_count);
+            } else {
+                for ((cluster, affected), mut shell) in clusters
+                    .iter()
+                    .zip(&cluster_affected_all)
+                    .zip(shells.drain(..))
+                {
+                    dummy::plan_reconciliation(
+                        &self.graph,
+                        a,
+                        cluster.root_level,
+                        affected,
+                        self.config.shards,
+                        &mut shell,
+                    );
+                    reconcile_plans.push(Some(shell));
+                }
+                if !cluster_affected_all.is_empty() {
+                    plan_shards_used = plan_shards_used
+                        .max(self.config.shards.clamp(1, cluster_affected_all[0].len().max(1)));
+                }
+            }
+            plan_wall_ns += plan_c_started.elapsed().as_nanos() as u64;
+        }
+
+        // Phase C-apply, per cluster in submission order: differential
+        // dummy GC and a-balance repair over the lists this cluster's
+        // install actually changed, then the per-request outcome assembly.
         let mut outcomes: Vec<Option<RequestOutcome>> = pairs.iter().map(|_| None).collect();
         let mut total_dummies_inserted = 0usize;
         let mut total_dummies_destroyed = 0usize;
         let mut total_dummies_reused = 0usize;
         let mut total_dummies_bulk_inserted = 0usize;
-        for (cluster, run) in clusters.iter().zip(&cluster_runs) {
+        for (ci, (cluster, run)) in clusters.iter().zip(&cluster_runs).enumerate() {
             let mut dummies_inserted = 0usize;
             let mut repair_rounds = 0usize;
             if self.config.maintain_balance {
-                let batched = !per_node;
                 let scratch = &mut self.scratch;
-                scratch.cluster_affected.clear();
-                if batched {
-                    // The merged install collected one epoch-wide affected
-                    // set; every entry lies in exactly one cluster's
-                    // subtree (roots are pairwise prefix-incomparable).
-                    scratch.cluster_affected.extend(
-                        scratch.affected.iter().copied().filter(|(level, prefix)| {
-                            *level >= cluster.root_level
-                                && cluster.root_prefix.is_prefix_of(prefix)
-                        }),
-                    );
-                } else {
+                if !batched {
+                    scratch.cluster_affected.clear();
                     scratch
                         .cluster_affected
                         .extend_from_slice(&run.derived_affected);
+                    scratch.cluster_affected.sort_unstable();
+                    scratch.cluster_affected.dedup();
                 }
-                // Deduplicate before the GC scan: a list freed and
-                // re-created within one install pass appears twice in the
-                // collected set — common under a whole-subtree rebuild —
-                // and each duplicate would re-scan the list (and re-sight
-                // its dummies) for nothing.
-                scratch.cluster_affected.sort_unstable();
-                scratch.cluster_affected.dedup();
                 let protect: Vec<(Key, Key)> = cluster
                     .pair_indices
                     .iter()
@@ -990,22 +1157,25 @@ impl DynamicSkipGraph {
                     })
                     .collect();
                 if batched {
-                    // Reconciling lifecycle: plan-then-apply. The repair's
-                    // fused first pass inventories the standing dummies of
-                    // the rebuilt lists (their prefix paths join the
-                    // re-check set exactly as if they were destroyed),
-                    // reclaims the standing dummies whose break re-derives
-                    // onto them, bulk-splices the genuinely new ones, and
-                    // sweeps only the genuinely stale ones.
-                    let repair = dummy::repair_balance_reconciling(
+                    // Reconciling lifecycle: plan-then-apply. The plan's
+                    // fused detection pass inventoried the standing dummies
+                    // of the rebuilt lists (their prefix paths joined the
+                    // re-check set exactly as if they were destroyed); the
+                    // apply reclaims the standing dummies whose break
+                    // re-derives onto them, bulk-splices the genuinely new
+                    // ones, and sweeps only the genuinely stale ones.
+                    let mut plan =
+                        reconcile_plans[ci].take().expect("cluster plan computed above");
+                    let repair = dummy::repair_balance_reconciling_planned(
                         &mut self.graph,
                         &mut self.states,
                         self.config.a,
                         &protect,
                         cluster.root_level,
-                        &mut scratch.cluster_affected,
+                        &mut plan,
                         &mut scratch.reconcile,
                     );
+                    self.reconcile_pool.push(plan);
                     total_dummies_destroyed += repair.destroyed;
                     total_dummies_reused += repair.reused;
                     total_dummies_bulk_inserted += repair.bulk_inserted;
@@ -1083,8 +1253,14 @@ impl DynamicSkipGraph {
                 });
             }
         }
+        // Recycle the clusters' snapshot buffers for the next epoch.
+        self.bufs_pool
+            .extend(cluster_runs.drain(..).map(|run| run.bufs));
         self.stats.transform_touched_pairs += epoch_touched;
         self.stats.transform_install_passes += install_passes;
+        self.stats.planned_clusters += clusters.len();
+        self.stats.plan_shards = self.stats.plan_shards.max(plan_shards_used);
+        self.stats.plan_wall_ns += plan_wall_ns;
 
         Ok(EpochReport {
             outcomes: outcomes
@@ -1098,7 +1274,130 @@ impl DynamicSkipGraph {
             dummies_inserted: total_dummies_inserted,
             dummies_reused: total_dummies_reused,
             dummies_bulk_inserted: total_dummies_bulk_inserted,
+            planned_clusters: clusters.len(),
+            plan_shards: plan_shards_used,
+            plan_wall_ns,
         })
+    }
+}
+
+/// The *plan* job of one cluster — everything of phase A that reads the
+/// pre-epoch structure: member snapshot, notification accounting, the
+/// pre-merge group snapshots the timestamp rules need, the transformation
+/// proper (planned, state writes recorded), and the per-node reference
+/// path's derived affected-list set. Borrows the graph, states and config
+/// immutably, so disjoint clusters can run on scoped worker threads; the
+/// median engine is the per-shard scratch, reseeded per cluster.
+#[allow(clippy::too_many_arguments)]
+fn plan_cluster(
+    graph: &SkipGraph,
+    states: &StateTable,
+    config: &DsgConfig,
+    shard: &mut PlanShard,
+    mut bufs: ClusterBufs,
+    cluster: &ClusterPlan,
+    ids: &[(NodeId, NodeId)],
+    t0: u64,
+    per_node: bool,
+) -> ClusterRun {
+    bufs.members.extend(
+        graph
+            .list_iter(cluster.root_level, cluster.root_prefix)
+            .filter(|&id| !graph.node(id).map(|e| e.is_dummy()).unwrap_or(false)),
+    );
+    let members = &bufs.members;
+    // Broadcasting the notification through the sub skip graph rooted at
+    // the cluster root takes O(a · log |l_α|) rounds.
+    let notification_rounds =
+        1 + config.a * (members.len().max(2) as f64).log2().ceil() as usize;
+
+    // Snapshots needed by the timestamp rules.
+    bufs.old_mvecs.extend(
+        members
+            .iter()
+            .map(|&id| (id, graph.mvec_of(id).expect("member is live"))),
+    );
+    while bufs.pair_snaps.len() < cluster.pair_indices.len() {
+        bufs.pair_snaps.push(Default::default());
+    }
+    for (j, &pi) in cluster.pair_indices.iter().enumerate() {
+        let (u_id, v_id) = ids[pi];
+        let gu = states.group_id(u_id, cluster.root_level);
+        let gv = states.group_id(v_id, cluster.root_level);
+        let (u_set, v_set) = &mut bufs.pair_snaps[j];
+        u_set.extend(members.iter().copied().filter(|&x| {
+            x != u_id && x != v_id && states.group_id(x, cluster.root_level) == gu
+        }));
+        v_set.extend(members.iter().copied().filter(|&x| {
+            x != u_id && x != v_id && states.group_id(x, cluster.root_level) == gv
+        }));
+    }
+
+    // Steps 2–9: the transformation proper (one engine run for the whole
+    // cluster), planned against the read-only state table.
+    let tpairs: Vec<TransformPair> = cluster
+        .pair_indices
+        .iter()
+        .map(|&pi| TransformPair {
+            u: ids[pi].0,
+            v: ids[pi].1,
+            t: t0 + pi as u64 + 1,
+        })
+        .collect();
+    let input = TransformInput {
+        pairs: &tpairs,
+        alpha: cluster.root_level,
+        a: config.a,
+    };
+    shard
+        .median
+        .reseed_for_cluster(config.seed, t0 + cluster.pair_indices[0] as u64 + 1);
+    let (outcome, delta) = if per_node {
+        transform::plan_transformation_with(
+            graph,
+            states,
+            shard.median.as_finder(),
+            &input,
+            members,
+            &mut shard.transform,
+        )
+    } else {
+        // The batched installer only needs the diff plan, so the full
+        // per-member suffix map is skipped.
+        transform::plan_transformation_lean_with(
+            graph,
+            states,
+            shard.median.as_finder(),
+            &input,
+            members,
+            &mut shard.transform,
+        )
+    };
+
+    // Per-node reference path: derive the affected lists from the diff
+    // plan while the graph still holds the old vectors (the batch
+    // installer collects them itself as it splices).
+    let mut derived_affected = Vec::new();
+    if per_node {
+        for change in &outcome.changes {
+            let old = &bufs.old_mvecs[&change.node];
+            for level in (change.from_level - 1)..=old.len() {
+                derived_affected.push((level, old.prefix(level)));
+            }
+            for level in (change.from_level - 1)..=change.new_mvec.len() {
+                derived_affected.push((level, change.new_mvec.prefix(level)));
+            }
+        }
+        derived_affected.sort_unstable();
+        derived_affected.dedup();
+    }
+    ClusterRun {
+        outcome,
+        delta,
+        group_rounds: Vec::new(),
+        notification_rounds,
+        bufs,
+        derived_affected,
     }
 }
 

@@ -45,8 +45,10 @@
 //! this); the destroy/recreate pair survives as the
 //! [`InstallStrategy::PerNode`](crate::InstallStrategy) oracle.
 
+use std::collections::HashSet;
+
 use dsg_skipgraph::{
-    BalanceViolation, Bit, Key, MembershipVector, NodeId, Prefix, SkipGraph,
+    BalanceViolation, Bit, FastHashState, Key, MembershipVector, NodeId, Prefix, SkipGraph,
 };
 
 use crate::state::StateTable;
@@ -121,11 +123,21 @@ pub fn repair_balance(
     // Full sweeps re-derive every dummy key from scratch: no salvage.
     let salvage: DummySalvage = Vec::new();
     for _pass in 0..max_passes {
-        let report = graph.check_balance(a);
+        let mut report = graph.check_balance(a);
         outcome.rounds += a + 1;
         if report.is_balanced() {
             break;
         }
+        // `check_balance` sweeps the list arena in slab order, which
+        // depends on the engine's list-recycling history — hidden state
+        // that legitimately differs between the two dummy lifecycles (and
+        // between otherwise-identical engines with different install
+        // strategies). Repairs in different orders can pick different
+        // dummy keys when runs compete for overlapping gaps, so the sweep
+        // normalises to the same sorted order the incremental paths use.
+        report
+            .violations
+            .sort_unstable_by_key(|v| (v.level, v.prefix, v.start_key));
         let mut repaired_any = false;
         for violation in &report.violations {
             if !in_scope(violation.level, &violation.prefix) {
@@ -615,15 +627,10 @@ impl NodeStampSet {
 /// remains doomed when the repair converges is removed in one final sweep.
 #[derive(Debug, Default)]
 pub struct ReconcileScratch {
-    /// Inventoried dummies not yet reclaimed by a slot.
-    doomed: NodeStampSet,
-    /// Collection-order inventory (may repeat a dummy sighted in several
-    /// affected lists), for the final removal sweep.
-    inventory: Vec<NodeId>,
-    /// The `(key, vector)` snapshot of the inventory, for the salvage-first
-    /// placement policy — identical content to what
-    /// [`destroy_dummies_in_lists`] hands the oracle repair.
-    salvage: DummySalvage,
+    /// Recycled [`ReconcilePlan`] shell for the serial
+    /// [`repair_balance_reconciling`] wrapper (the epoch engine pools its
+    /// own shells, one per cluster).
+    plan: ReconcilePlan,
     /// Dummies planned but not yet installed in the current repair pass,
     /// sorted by key. Planning reads treat them as present: run walks
     /// interleave them and occupancy probes report their keys taken.
@@ -675,16 +682,194 @@ pub struct DummyReconcileOutcome {
     pub rounds: usize,
 }
 
+/// The read-only *planning* half of the reconciling repair: the fused
+/// collect + detect pass over the rebuilt lists, produced against a shared
+/// `&SkipGraph` so the plans of an epoch's disjoint clusters can be
+/// computed concurrently on worker shards (and a single big cluster's scan
+/// can be chunked across them) before the main thread applies them in
+/// submission order.
+///
+/// Contents mirror exactly what
+/// [`repair_balance_reconciling`]'s first pass used to derive in place:
+/// the standing-dummy inventory of the scanned lists (collection order,
+/// possibly repeating a dummy sighted in several lists) and the pass-0
+/// violation set — original worklist entries scanned with *all* dummies
+/// logically absent, the lists appended by dooming the inventory scanned
+/// with the *doomed* set absent — sorted and deduplicated.
+#[derive(Debug, Default)]
+pub struct ReconcilePlan {
+    /// Collection-order sightings (a dummy standing in several scanned
+    /// lists repeats), the order the final stale sweep follows.
+    inventory: Vec<NodeId>,
+    /// The distinct inventoried dummies, pre-stamped — used in place by
+    /// the apply half, never re-derived.
+    doomed: NodeStampSet,
+    /// The `(key, vector)` salvage snapshot of the distinct inventory,
+    /// sorted by `(vector, key)` — likewise computed once here.
+    salvage: DummySalvage,
+    violations: Vec<BalanceViolation>,
+    /// Planner-internal dedup set for worklist appends (kept here so a
+    /// recycled shell plans without allocating it).
+    seen: HashSet<(usize, Prefix), FastHashState>,
+}
+
+impl ReconcilePlan {
+    /// Clears the shell for reuse (capacities retained; the stamp set
+    /// clears by epoch bump, so a warm shell plans allocation-free).
+    pub fn reset(&mut self) {
+        self.inventory.clear();
+        self.doomed.clear();
+        self.salvage.clear();
+        self.violations.clear();
+        self.seen.clear();
+    }
+
+    /// Number of standing dummies the plan inventoried (sightings, not
+    /// distinct dummies).
+    pub fn inventoried(&self) -> usize {
+        self.inventory.len()
+    }
+
+    /// Number of pass-0 violations the plan detected.
+    pub fn violation_count(&self) -> usize {
+        self.violations.len()
+    }
+}
+
+/// Computes the [`ReconcilePlan`] for one repair scope: `worklist` names
+/// the lists the install changed (sorted + deduplicated). Pure reads; with
+/// `shards > 1` the two scan stages are chunked across that many scoped
+/// worker threads — the merge preserves worklist order and the violation
+/// set is sorted afterwards, so the result is bit-for-bit independent of
+/// the shard count.
+pub fn plan_reconciliation(
+    graph: &SkipGraph,
+    a: usize,
+    floor: usize,
+    worklist: &[(usize, Prefix)],
+    shards: usize,
+    plan: &mut ReconcilePlan,
+) {
+    plan.reset();
+
+    // Stage 1: fused collect + detect over the rebuilt lists — every dummy
+    // is skipped (in a rebuilt list every standing dummy gets inventoried,
+    // so skip-all equals the post-destroy view the oracle scans).
+    scan_chunked(worklist, shards, &mut plan.violations, |chunk, violations| {
+        let mut inventory = Vec::new();
+        for &(level, prefix) in chunk {
+            graph.list_balance_violations_collecting_dummies(
+                a,
+                level,
+                prefix,
+                &mut inventory,
+                violations,
+            );
+        }
+        inventory
+    })
+    .into_iter()
+    .for_each(|inventory| plan.inventory.extend(inventory));
+
+    // Doom the distinct inventory: each dummy's own lists at levels ≥
+    // `floor` join the re-check set (removing it can merge runs anywhere
+    // along its prefix path), deduplicated against the lists already
+    // scanned. (`reset()` bumped the stamp epoch off 0, which
+    // zero-initialised slots would otherwise match.)
+    let doomed = &mut plan.doomed;
+    plan.seen.extend(worklist.iter().copied());
+    let mut appended: Vec<(usize, Prefix)> = Vec::new();
+    for &id in &plan.inventory {
+        if !doomed.insert(id) {
+            continue;
+        }
+        let entry = graph.node(id).expect("inventoried dummy is live");
+        plan.salvage.push(SalvageEntry::new(entry.key(), *entry.mvec()));
+        let mvec = *entry.mvec();
+        for level in floor..=mvec.len() {
+            let entry = (level, mvec.prefix(level));
+            if plan.seen.insert(entry) {
+                appended.push(entry);
+            }
+        }
+    }
+    plan.salvage.sort_unstable_by_key(|e| e.sort_key());
+
+    // Stage 2: the appended lists were not searched for dummies (only the
+    // rebuilt ones are), so some of their dummies may keep standing: their
+    // detection skips exactly the doomed set.
+    let doomed = &plan.doomed;
+    scan_chunked(&appended, shards, &mut plan.violations, |chunk, violations| {
+        for &(level, prefix) in chunk {
+            graph.list_balance_violations_filtered(
+                a,
+                level,
+                prefix,
+                |id| doomed.contains(id),
+                violations,
+            );
+        }
+    })
+    .into_iter()
+    .for_each(drop);
+
+    // Both lifecycles repair the pass-0 violations in sorted order.
+    plan.violations
+        .sort_unstable_by_key(|v| (v.level, v.prefix, v.start_key));
+    plan.violations
+        .dedup_by_key(|v| (v.level, v.prefix, v.start_key));
+}
+
+/// Runs `job` over contiguous chunks of `items` — inline for one shard,
+/// on scoped worker threads for several — merging each chunk's violations
+/// (and returning each chunk's auxiliary result) in chunk order, so the
+/// output is identical for every shard count.
+fn scan_chunked<T: Sync, R: Send>(
+    items: &[T],
+    shards: usize,
+    violations: &mut Vec<BalanceViolation>,
+    job: impl Fn(&[T], &mut Vec<BalanceViolation>) -> R + Sync,
+) -> Vec<R> {
+    let jobs = shards.clamp(1, items.len().max(1));
+    if jobs <= 1 {
+        return vec![job(items, violations)];
+    }
+    let chunk_len = items.len().div_ceil(jobs);
+    let mut results = Vec::with_capacity(jobs);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| {
+                let job = &job;
+                scope.spawn(move || {
+                    let mut chunk_violations = Vec::new();
+                    let result = job(chunk, &mut chunk_violations);
+                    (result, chunk_violations)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (result, chunk_violations) = handle.join().expect("scan shard panicked");
+            results.push(result);
+            violations.extend(chunk_violations);
+        }
+    });
+    results
+}
+
+
 /// The reconciling twin of [`destroy_dummies_in_lists`] +
 /// [`repair_balance_incremental`]: plan-then-apply over an inventory
 /// instead of destroy-then-recreate.
 ///
-/// The **collect** phase is fused into the first detection pass: one walk
-/// per rebuilt list inventories its standing dummies (they stay linked,
-/// *doomed* — every planning read treats them as absent) and reports the
-/// list's violations with them skipped, exactly what the oracle sees after
-/// destroying them. Each inventoried dummy's own lists at levels ≥ `floor`
-/// join the worklist (epoch-stamp deduplicated), since removing it would
+/// The **collect** phase is the read-only [`plan_reconciliation`] (inlined
+/// here for the serial path; the epoch engine pre-computes plans on worker
+/// shards and calls [`repair_balance_reconciling_planned`] directly): one
+/// walk per rebuilt list inventories its standing dummies (they stay
+/// linked, *doomed* — every planning read treats them as absent) and
+/// reports the list's violations with them skipped, exactly what the
+/// oracle sees after destroying them. Each inventoried dummy's own lists
+/// at levels ≥ `floor` join the re-check set, since removing it would
 /// merge runs anywhere along its prefix path. Every violated run is then
 /// re-derived through the same [`next_break`] policy as the oracle and
 /// each break is **diffed** against the inventory:
@@ -715,72 +900,52 @@ pub fn repair_balance_reconciling(
     worklist: &mut Vec<(usize, Prefix)>,
     scratch: &mut ReconcileScratch,
 ) -> DummyReconcileOutcome {
+    let mut plan = std::mem::take(&mut scratch.plan);
+    plan_reconciliation(graph, a, floor, worklist, 1, &mut plan);
+    worklist.clear();
+    let outcome =
+        repair_balance_reconciling_planned(graph, states, a, protect, floor, &mut plan, scratch);
+    scratch.plan = plan;
+    outcome
+}
+
+/// The *apply* half of the reconciling repair, consuming a pre-computed
+/// [`ReconcilePlan`] in place (see [`repair_balance_reconciling`] for the
+/// lifecycle's contract — this entry point is what the epoch engine calls
+/// after planning clusters on worker shards). The plan's inventory,
+/// doomed set, salvage snapshot and pass-0 violations are used where they
+/// stand; the shell is left reusable (reset on its next plan).
+pub fn repair_balance_reconciling_planned(
+    graph: &mut SkipGraph,
+    states: &mut StateTable,
+    a: usize,
+    protect: &[(Key, Key)],
+    floor: usize,
+    plan: &mut ReconcilePlan,
+    scratch: &mut ReconcileScratch,
+) -> DummyReconcileOutcome {
     let mut outcome = DummyReconcileOutcome::default();
     let ReconcileScratch {
-        doomed,
-        inventory,
-        salvage,
         planned,
         specs,
         run_buf,
         violations,
         prev_placed,
         protect_norm,
+        ..
     } = scratch;
+    let doomed = &mut plan.doomed;
+    let salvage = &plan.salvage;
     normalize_protect(protect, protect_norm);
-    doomed.clear();
-    inventory.clear();
-    salvage.clear();
     let max_passes = graph.height() + 10;
     prev_placed.clear();
     for pass in 0..max_passes {
         violations.clear();
         if pass == 0 {
-            // Fused collect + detect over the lists the install changed:
-            // one walk per list inventories its standing dummies and
-            // reports its violations with them skipped (in a rebuilt list
-            // every dummy is inventoried, so skip-all-dummies equals the
-            // post-destroy view the oracle scans).
-            let original = worklist.len();
-            for &(level, prefix) in worklist[..original].iter() {
-                graph.list_balance_violations_collecting_dummies(
-                    a, level, prefix, inventory, violations,
-                );
-            }
-            // Doom the inventory. Each distinct dummy's own lists at
-            // levels ≥ `floor` join the worklist (epoch-stamp
-            // deduplicated): removing it can merge runs anywhere along its
-            // prefix path.
-            for &id in inventory.iter() {
-                if !doomed.insert(id) {
-                    // A dummy can sit in several rebuilt lists; the second
-                    // sighting is already doomed.
-                    continue;
-                }
-                let entry = graph.node(id).expect("inventoried dummy is live");
-                salvage.push(SalvageEntry::new(entry.key(), *entry.mvec()));
-                graph
-                    .stamp_node_lists(id, floor, worklist)
-                    .expect("inventoried dummy is live");
-            }
-            salvage.sort_unstable_by_key(|e| e.sort_key());
-            // The appended lists were not searched for dummies (only the
-            // entries present on entry are), so some of their dummies may
-            // keep standing: their detection skips via the doomed set.
-            for &(level, prefix) in worklist[original..].iter() {
-                graph.list_balance_violations_filtered(
-                    a,
-                    level,
-                    prefix,
-                    |id| doomed.contains(id),
-                    violations,
-                );
-            }
-            // Scan order differs from the oracle's one-sorted-worklist
-            // sweep, so normalise: both lifecycles repair the pass-0
-            // violations in sorted order.
-            violations.sort_unstable_by_key(|v| (v.level, v.prefix, v.start_key));
-            violations.dedup_by_key(|v| (v.level, v.prefix, v.start_key));
+            // The plan already detected (and sorted) the pass-0 violation
+            // set: original lists scanned with all dummies absent, appended
+            // lists with the doomed set absent.
+            violations.append(&mut plan.violations);
         } else {
             // Cascade passes: only the runs around the previous pass's
             // placements can have become over-long (see
@@ -853,16 +1018,13 @@ pub fn repair_balance_reconciling(
     // path removed these before planning; skipping them during planning
     // made the two orders observably identical, so the late removal cannot
     // create new violations.
-    for &id in inventory.iter() {
+    for &id in plan.inventory.iter() {
         if doomed.remove(id) {
             let _ = graph.remove(id);
             states.unregister(id);
             outcome.destroyed += 1;
         }
     }
-    inventory.clear();
-    salvage.clear();
-    worklist.clear();
     outcome
 }
 
@@ -1148,6 +1310,38 @@ mod tests {
         let outcome = repair_balance(&mut graph, &mut states, 2, &[], None);
         assert!(outcome.inserted.is_empty());
         assert_eq!(graph.dummy_count(), 0);
+    }
+
+    /// Edge-case coverage for the reconciliation's occupancy-oracle probe
+    /// ([`free_key_between_by`]), previously exercised only through full
+    /// runs.
+    #[test]
+    fn free_key_between_by_handles_doomed_and_dense_windows() {
+        // All keys doomed (the reconciliation planner's view of a window
+        // whose every standing dummy is inventoried): everything reads as
+        // free, so the probe returns the midpoint immediately.
+        let all_doomed = |_k: u64| false;
+        assert_eq!(free_key_between_by(all_doomed, 100, 200), Some(150));
+        assert_eq!(free_key_between_by(all_doomed, 200, 100), Some(150));
+
+        // Fully occupied window: no key can be derived.
+        let occupied = |_k: u64| true;
+        assert_eq!(free_key_between_by(occupied, 100, 200), None);
+
+        // Degenerate gaps: adjacent or equal bounds hold no interior key,
+        // doomed or not.
+        assert_eq!(free_key_between_by(all_doomed, 7, 8), None);
+        assert_eq!(free_key_between_by(all_doomed, 7, 7), None);
+
+        // Midpoint taken: the probe spreads across the gap instead of
+        // giving up, and never returns an occupied or out-of-range key.
+        let only_midpoint = |k: u64| k == 150;
+        let key = free_key_between_by(only_midpoint, 100, 200).expect("gap has room");
+        assert!(key > 100 && key < 200 && key != 150);
+
+        // Small dense gap with one hole: the linear fallback finds it.
+        let one_hole = |k: u64| k != 13;
+        assert_eq!(free_key_between_by(one_hole, 10, 20), Some(13));
     }
 
     #[test]

@@ -34,6 +34,13 @@ pub struct TransformEvent {
     pub install_passes: usize,
     /// Changed `(node, level)` pairs the install touched.
     pub touched_pairs: usize,
+    /// Clusters the epoch's plan stage planned.
+    pub planned_clusters: usize,
+    /// Worker shards the epoch's plan stages actually ran on (1 = inline).
+    pub plan_shards: usize,
+    /// Wall-clock nanoseconds the plan stages took (timing-only; excluded
+    /// from determinism comparisons).
+    pub plan_wall_ns: u64,
 }
 
 /// One balance-maintenance pass (dummy GC + a-balance repair) completed.
@@ -108,6 +115,9 @@ mod tests {
             clusters: 1,
             install_passes: 1,
             touched_pairs: 0,
+            planned_clusters: 1,
+            plan_shards: 1,
+            plan_wall_ns: 0,
         });
         observer.on_balance_repair(&BalanceRepairEvent {
             epoch: 1,
@@ -128,6 +138,9 @@ mod tests {
             clusters: 1,
             install_passes: 1,
             touched_pairs: 5,
+            planned_clusters: 1,
+            plan_shards: 1,
+            plan_wall_ns: 0,
         });
         let strong = Rc::strong_count(&shared);
         assert_eq!(strong, 1);

@@ -180,8 +180,10 @@ pub fn mix_group_id(id: u64) -> u64 {
 /// The shared negative-band formula of rules P3 and P4.
 ///
 /// DSG guarantees `t > T^x_{level+1}`, so the result lies in the half-open
-/// band `(-(G+1)·t, -G·t]`, disjoint across group-ids.
-fn negative_band_priority(group_id: u64, t: u64, timestamp: u64) -> Priority {
+/// band `(-(G+1)·t, -G·t]`, disjoint across group-ids. `pub(crate)` so the
+/// transformation's planning half can evaluate rule P4 against its local
+/// group-id overlay instead of a mutated [`StateTable`].
+pub(crate) fn negative_band_priority(group_id: u64, t: u64, timestamp: u64) -> Priority {
     let group_id = mix_group_id(group_id);
     let base = -((group_id as i128) * (t as i128));
     // Clamp the timestamp into [0, t); the paper guarantees t > T, but a

@@ -125,6 +125,53 @@ impl NodeState {
     }
 }
 
+/// A recorded sequence of state writes, produced by the *planning* half of
+/// the transformation engine and applied to a [`StateTable`] by the main
+/// thread ([`StateTable::apply_delta`]).
+///
+/// The split exists for the parallel plan stage of
+/// [`DynamicSkipGraph::communicate_epoch`](crate::DynamicSkipGraph::communicate_epoch):
+/// worker shards plan disjoint clusters against a shared `&StateTable` and
+/// record their intended writes here instead of mutating the table, so the
+/// expensive Θ(n) planning needs no `&mut` access. Entries are replayed in
+/// recording order (last write wins), which reproduces the exact write
+/// sequence — including writes that re-store a default value, since those
+/// still grow [`NodeState::stored_group_levels`] and the unbounded
+/// common-group scan observes that length.
+#[derive(Debug, Clone, Default)]
+pub struct StateDelta {
+    group_ids: Vec<(NodeId, usize, u64)>,
+    dominating: Vec<(NodeId, usize, bool)>,
+}
+
+impl StateDelta {
+    /// Records a pending `set_group_id(node, level, value)`.
+    pub fn push_group_id(&mut self, node: NodeId, level: usize, value: u64) {
+        self.group_ids.push((node, level, value));
+    }
+
+    /// Records a pending `set_dominating(node, level, value)`.
+    pub fn push_dominating(&mut self, node: NodeId, level: usize, value: bool) {
+        self.dominating.push((node, level, value));
+    }
+
+    /// Returns `true` if no writes are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.group_ids.is_empty() && self.dominating.is_empty()
+    }
+
+    /// Number of recorded writes.
+    pub fn len(&self) -> usize {
+        self.group_ids.len() + self.dominating.len()
+    }
+
+    /// Drops all recorded writes (capacity retained).
+    pub fn clear(&mut self) {
+        self.group_ids.clear();
+        self.dominating.clear();
+    }
+}
+
 /// The state of every node in the network, addressed by [`NodeId`].
 ///
 /// Stored as a slab indexed by the node id's arena index: node ids are
@@ -255,6 +302,18 @@ impl StateTable {
     /// Sets `B^x` of node `id`.
     pub fn set_group_base(&mut self, id: NodeId, value: usize) {
         self.get_mut(id).set_group_base(value);
+    }
+
+    /// Replays a recorded write sequence ([`StateDelta`]) in order. The
+    /// resulting table is bit-for-bit the one the recording code would have
+    /// produced mutating the table directly.
+    pub fn apply_delta(&mut self, delta: &StateDelta) {
+        for &(node, level, value) in &delta.group_ids {
+            self.set_group_id(node, level, value);
+        }
+        for &(node, level, value) in &delta.dominating {
+            self.set_dominating(node, level, value);
+        }
     }
 
     /// The highest level `c` such that nodes `x` and `y` hold the same

@@ -53,9 +53,10 @@ use dsg_skipgraph::{Bit, MembershipUpdate, MembershipVector, NodeId, SkipGraph};
 
 use crate::amf::MedianFinder;
 use crate::priority::{
-    band_of, p2_priority, pair_top_priority, recomputed_priority, Priority,
+    band_of, negative_band_priority, p2_priority, pair_top_priority, recomputed_priority,
+    Priority,
 };
-use crate::state::StateTable;
+use crate::state::{StateDelta, StateTable};
 
 /// The most pairs one transformation epoch may serve: work items track the
 /// pairs they contain in a `u64` bitmask. The session layer flushes an
@@ -166,17 +167,91 @@ struct WorkItem {
     pairs: u64,
 }
 
-/// Runs the full transformation for one epoch (one or more pairs).
+/// Reusable buffers of the transformation's planning half, owned by the
+/// caller (one per plan-stage worker shard) so a warm epoch plans without
+/// allocating the overlay columns.
+#[derive(Debug, Default)]
+pub struct TransformScratch {
+    /// Recycled per-member group-id columns of the engine's overlay.
+    columns: Vec<Vec<u64>>,
+}
+
+/// The group-id view of one transformation in flight: the shared (read-only)
+/// [`StateTable`] overlaid with the group-ids this transformation has
+/// decided so far, addressed by dense member position.
 ///
-/// `members_alpha` must be the members of the root list at `input.alpha`
-/// in ascending key order with dummy nodes already removed, containing
-/// every pair endpoint. Group-ids at the root level are merged here per
-/// pair, in submission order (Algorithm 1 step 3); deeper group-ids are
-/// assigned as lists form (step 8); timestamps are *not* touched (the
-/// caller applies rules T1–T6 per pair using the returned trace). `graph`
-/// must still hold the *pre-transformation* membership vectors: the
-/// differential install plan ([`TransformOutcome::changes`]) is computed
-/// against them.
+/// This is what splits the engine into a *plan* half and an *apply* half:
+/// planning needs to read its own group-id writes (step 3's merged root
+/// groups, step 8's sublist ids) while leaving the shared table untouched,
+/// so the writes live in a per-member column starting at the root level and
+/// the matching [`StateDelta`] records them for the caller to apply. A
+/// member descends the split tree through exactly one list per level, so
+/// its column is written in strictly ascending level order with no gaps
+/// (position 0 is pre-filled with the root-level id). Columns are borrowed
+/// from the caller's [`TransformScratch`] and recycled across clusters.
+struct GidOverlay<'a> {
+    states: &'a StateTable,
+    members: &'a [NodeId],
+    alpha: usize,
+    /// Per member position: group-ids for levels `alpha`, `alpha+1`, … as
+    /// decided by this transformation (only the first `members.len()`
+    /// columns are meaningful).
+    written: &'a mut Vec<Vec<u64>>,
+}
+
+impl<'a> GidOverlay<'a> {
+    fn new(
+        states: &'a StateTable,
+        members: &'a [NodeId],
+        alpha: usize,
+        written: &'a mut Vec<Vec<u64>>,
+    ) -> Self {
+        if written.len() < members.len() {
+            written.resize_with(members.len(), Vec::new);
+        }
+        // Pre-fill the root level so every later read of `alpha` and above
+        // hits the dense column instead of the table.
+        for (column, &x) in written.iter_mut().zip(members) {
+            column.clear();
+            column.push(states.group_id(x, alpha));
+        }
+        GidOverlay {
+            states,
+            members,
+            alpha,
+            written,
+        }
+    }
+
+    /// Group-id of the member at dense position `pos` at `level`, reading
+    /// this transformation's own writes first.
+    fn group_id(&self, pos: usize, level: usize) -> u64 {
+        if level >= self.alpha {
+            if let Some(&g) = self.written[pos].get(level - self.alpha) {
+                return g;
+            }
+        }
+        self.states.group_id(self.members[pos], level)
+    }
+
+    /// Records a group-id write (overlay + delta). Writes above the root
+    /// level extend the member's column by exactly one level at a time.
+    fn set_group_id(&mut self, delta: &mut StateDelta, pos: usize, level: usize, value: u64) {
+        let idx = level - self.alpha;
+        let column = &mut self.written[pos];
+        debug_assert!(idx <= column.len(), "group-id writes are level-ordered");
+        if idx == column.len() {
+            column.push(value);
+        } else {
+            column[idx] = value;
+        }
+        delta.push_group_id(self.members[pos], level, value);
+    }
+}
+
+/// Runs the full transformation for one epoch (one or more pairs),
+/// applying the state writes directly: [`plan_transformation`] followed by
+/// [`StateTable::apply_delta`].
 pub fn run_transformation(
     graph: &SkipGraph,
     states: &mut StateTable,
@@ -184,7 +259,9 @@ pub fn run_transformation(
     input: &TransformInput,
     members_alpha: &[NodeId],
 ) -> TransformOutcome {
-    run_transformation_impl(graph, states, median_finder, input, members_alpha, true)
+    let (outcome, delta) = plan_transformation(graph, states, median_finder, input, members_alpha);
+    states.apply_delta(&delta);
+    outcome
 }
 
 /// [`run_transformation`] without materialising [`TransformOutcome::suffixes`]
@@ -199,17 +276,90 @@ pub fn run_transformation_lean(
     input: &TransformInput,
     members_alpha: &[NodeId],
 ) -> TransformOutcome {
-    run_transformation_impl(graph, states, median_finder, input, members_alpha, false)
+    let (outcome, delta) =
+        plan_transformation_lean(graph, states, median_finder, input, members_alpha);
+    states.apply_delta(&delta);
+    outcome
 }
 
-fn run_transformation_impl(
+/// The *planning* half of the transformation: computes the full trace of
+/// one epoch cluster — membership-bit suffixes, the differential install
+/// plan, medians, split events — against a **read-only** graph and state
+/// table, recording every intended state write in the returned
+/// [`StateDelta`] instead of mutating the table.
+///
+/// `members_alpha` must be the members of the root list at `input.alpha`
+/// in ascending key order with dummy nodes already removed, containing
+/// every pair endpoint. Group-ids at the root level are merged per pair in
+/// submission order (Algorithm 1 step 3, recorded in the delta); deeper
+/// group-ids are assigned as lists form (step 8); timestamps are *not*
+/// touched (the caller applies rules T1–T6 per pair using the returned
+/// trace, after applying the delta). `graph` must still hold the
+/// *pre-transformation* membership vectors: the differential install plan
+/// ([`TransformOutcome::changes`]) is computed against them.
+///
+/// Everything this function touches is borrowed immutably, so disjoint
+/// clusters of one epoch can be planned concurrently on worker shards; the
+/// caller applies the deltas serially in submission order, which replays
+/// the exact write sequence the mutating twin would have produced.
+pub fn plan_transformation(
     graph: &SkipGraph,
-    states: &mut StateTable,
+    states: &StateTable,
+    median_finder: &mut dyn MedianFinder,
+    input: &TransformInput,
+    members_alpha: &[NodeId],
+) -> (TransformOutcome, StateDelta) {
+    let mut scratch = TransformScratch::default();
+    plan_transformation_impl(graph, states, median_finder, input, members_alpha, true, &mut scratch)
+}
+
+/// [`plan_transformation`] with caller-owned recycled buffers (the epoch
+/// engine passes one [`TransformScratch`] per worker shard).
+pub fn plan_transformation_with(
+    graph: &SkipGraph,
+    states: &StateTable,
+    median_finder: &mut dyn MedianFinder,
+    input: &TransformInput,
+    members_alpha: &[NodeId],
+    scratch: &mut TransformScratch,
+) -> (TransformOutcome, StateDelta) {
+    plan_transformation_impl(graph, states, median_finder, input, members_alpha, true, scratch)
+}
+
+/// [`plan_transformation`] without materialising the suffix map (the
+/// batched-install twin of [`run_transformation_lean`]).
+pub fn plan_transformation_lean(
+    graph: &SkipGraph,
+    states: &StateTable,
+    median_finder: &mut dyn MedianFinder,
+    input: &TransformInput,
+    members_alpha: &[NodeId],
+) -> (TransformOutcome, StateDelta) {
+    let mut scratch = TransformScratch::default();
+    plan_transformation_impl(graph, states, median_finder, input, members_alpha, false, &mut scratch)
+}
+
+/// [`plan_transformation_lean`] with caller-owned recycled buffers.
+pub fn plan_transformation_lean_with(
+    graph: &SkipGraph,
+    states: &StateTable,
+    median_finder: &mut dyn MedianFinder,
+    input: &TransformInput,
+    members_alpha: &[NodeId],
+    scratch: &mut TransformScratch,
+) -> (TransformOutcome, StateDelta) {
+    plan_transformation_impl(graph, states, median_finder, input, members_alpha, false, scratch)
+}
+
+fn plan_transformation_impl(
+    graph: &SkipGraph,
+    states: &StateTable,
     median_finder: &mut dyn MedianFinder,
     input: &TransformInput,
     members_alpha: &[NodeId],
     collect_suffixes: bool,
-) -> TransformOutcome {
+    plan_scratch: &mut TransformScratch,
+) -> (TransformOutcome, StateDelta) {
     let npairs = input.pairs.len();
     assert!(
         (1..=MAX_EPOCH_PAIRS).contains(&npairs),
@@ -220,6 +370,7 @@ fn run_transformation_impl(
         pair_levels: vec![0; npairs],
         ..TransformOutcome::default()
     };
+    let mut delta = StateDelta::default();
     let n_total = members_alpha.len();
 
     // Which pair (if any) each dense member position is an endpoint of,
@@ -227,6 +378,9 @@ fn run_transformation_impl(
     // pass over the members against a small endpoint table — O(n + k),
     // not O(n · k).
     let mut pair_of_pos: Vec<Option<u16>> = vec![None; n_total];
+    // Dense positions of each pair's endpoints, for the overlay reads of
+    // the step-3 merge.
+    let mut endpoint_pos: Vec<(usize, usize)> = vec![(usize::MAX, usize::MAX); npairs];
     let mut root_pairs = 0u64;
     {
         let endpoints: HashMap<NodeId, u16> = input
@@ -240,6 +394,11 @@ fn run_transformation_impl(
             if let Some(&i) = endpoints.get(&x) {
                 pair_of_pos[pos] = Some(i);
                 seen[i as usize] += 1;
+                if input.pairs[i as usize].u == x {
+                    endpoint_pos[i as usize].0 = pos;
+                } else {
+                    endpoint_pos[i as usize].1 = pos;
+                }
             }
         }
         for (i, &count) in seen.iter().take(npairs).enumerate() {
@@ -274,15 +433,27 @@ fn run_transformation_impl(
         .collect();
 
     // Step 3: merge each pair's groups at the root level, in submission
-    // order (later pairs see — and may absorb — earlier merges).
-    for pair in input.pairs {
-        let gu = states.group_id(pair.u, input.alpha);
-        let gv = states.group_id(pair.v, input.alpha);
+    // order (later pairs see — and may absorb — earlier merges). Planned
+    // through the overlay: the shared table stays untouched, the delta
+    // records every write.
+    let mut gids = GidOverlay::new(states, members_alpha, input.alpha, &mut plan_scratch.columns);
+    for (i, pair) in input.pairs.iter().enumerate() {
+        let (u_pos, v_pos) = endpoint_pos[i];
+        let gu = if u_pos != usize::MAX {
+            gids.group_id(u_pos, input.alpha)
+        } else {
+            states.group_id(pair.u, input.alpha)
+        };
+        let gv = if v_pos != usize::MAX {
+            gids.group_id(v_pos, input.alpha)
+        } else {
+            states.group_id(pair.v, input.alpha)
+        };
         let u_key = states.get(pair.u).key().value();
-        for &x in members_alpha {
-            let gx = states.group_id(x, input.alpha);
+        for pos in 0..n_total {
+            let gx = gids.group_id(pos, input.alpha);
             if gx == gu || gx == gv {
-                states.set_group_id(x, input.alpha, u_key);
+                gids.set_group_id(&mut delta, pos, input.alpha, u_key);
             }
         }
     }
@@ -346,6 +517,7 @@ fn run_transformation_impl(
             // Steps 5–6: decide the split.
             let used_counts = decide_split_into(
                 states,
+                &gids,
                 t_epoch,
                 item.list_level,
                 members_alpha,
@@ -375,10 +547,14 @@ fn run_transformation_impl(
                     forced_balanced_split_into(input, members_alpha, &item, &mut bits);
                 }
             }
-            // Case 1 records the is-dominating-group flags.
+            // Case 1 records the is-dominating-group flags. Reads of these
+            // flags (the Case-2 dominating split) and this write target the
+            // same level, but a list takes exactly one of the two cases, so
+            // no planning read can observe a same-transformation write —
+            // recording them in the delta is exact.
             if m.is_positive() {
                 for (idx, &i) in item.members.iter().enumerate() {
-                    states.set_dominating(
+                    delta.push_dominating(
                         members_alpha[i as usize],
                         item.list_level,
                         bits[idx] == Bit::Zero,
@@ -429,7 +605,8 @@ fn run_transformation_impl(
         let one_pairs = one_seen[0] & one_seen[1] & item.pairs;
         let mut level_group_rounds = 0usize;
         assign_new_group_ids(
-            states,
+            &mut gids,
+            &mut delta,
             graph,
             item.list_level,
             members_alpha,
@@ -443,14 +620,21 @@ fn run_transformation_impl(
         *entry = (*entry).max(level_group_rounds);
 
         // Priorities are recomputed with rule P4 for sublists that no
-        // longer contain any communicating pair.
+        // longer contain any communicating pair. The group-id at the new
+        // level was just assigned by this transformation, so it is read
+        // from the overlay; the timestamp read is safe against the base
+        // table (the transformation never writes timestamps).
         for (sublist, pairs_present) in
             [(&zero_members, zero_pairs), (&one_members, one_pairs)]
         {
             if pairs_present == 0 {
                 for &i in sublist.iter() {
-                    priorities[i as usize] =
-                        recomputed_priority(states, t_epoch, next_level, members_alpha[i as usize]);
+                    let pos = i as usize;
+                    priorities[pos] = negative_band_priority(
+                        gids.group_id(pos, next_level),
+                        t_epoch,
+                        states.timestamp(members_alpha[pos], next_level + 1),
+                    );
                 }
             }
         }
@@ -506,7 +690,7 @@ fn run_transformation_impl(
             });
         }
     }
-    outcome
+    (outcome, delta)
 }
 
 /// Splits a two-node list into singletons: a communicating pair as
@@ -613,10 +797,16 @@ fn forced_atom_split_into(pair_of_pos: &[Option<u16>], item: &WorkItem, bits: &m
 
 /// Implements Cases 1 and 2 of §IV-C for one list, writing the membership
 /// bits (parallel to `item_members`) into `bits`. Returns whether the
-/// distributed counts of Case 2 were needed.
+/// distributed counts of Case 2 were needed. Group-ids are read through
+/// the transformation's overlay (the current level's ids were assigned by
+/// the previous split wave); the is-dominating flags come from the base
+/// table — the transformation's own flag writes can never be observed by
+/// its own reads (a list takes Case 1 *or* the Case-2 dominating split,
+/// never both).
 #[allow(clippy::too_many_arguments)]
 fn decide_split_into(
     states: &StateTable,
+    gids: &GidOverlay<'_>,
     t_epoch: u64,
     list_level: usize,
     members_alpha: &[NodeId],
@@ -645,7 +835,7 @@ fn decide_split_into(
         !p.is_positive()
             && gs_band.is_some()
             && Some(crate::priority::mix_group_id(
-                states.group_id(members_alpha[i as usize], list_level),
+                gids.group_id(i as usize, list_level),
             )) == gs_band
     }));
     let gs_size = gs_mask.iter().filter(|b| **b).count();
@@ -721,7 +911,8 @@ fn decide_split_into(
 /// therefore keep unrelated groups' identities intact; see DESIGN.md.
 #[allow(clippy::too_many_arguments)]
 fn assign_new_group_ids(
-    states: &mut StateTable,
+    gids: &mut GidOverlay<'_>,
+    delta: &mut StateDelta,
     graph: &SkipGraph,
     list_level: usize,
     members_alpha: &[NodeId],
@@ -733,12 +924,12 @@ fn assign_new_group_ids(
 ) {
     let next_level = list_level + 1;
     scratch.clear();
-    scratch.extend(item_members.iter().enumerate().map(|(pos, &i)| {
-        (
-            states.group_id(members_alpha[i as usize], list_level),
-            pos as u32,
-        )
-    }));
+    scratch.extend(
+        item_members
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| (gids.group_id(i as usize, list_level), pos as u32)),
+    );
     scratch.sort_unstable();
     let mut start = 0usize;
     while start < scratch.len() {
@@ -780,10 +971,10 @@ fn assign_new_group_ids(
             old_id
         };
         for &(_, pos) in group {
-            let x = members_alpha[item_members[pos as usize] as usize];
+            let member_pos = item_members[pos as usize] as usize;
             match bits[pos as usize] {
-                Bit::Zero => states.set_group_id(x, next_level, old_id),
-                Bit::One => states.set_group_id(x, next_level, one_id),
+                Bit::Zero => gids.set_group_id(delta, member_pos, next_level, old_id),
+                Bit::One => gids.set_group_id(delta, member_pos, next_level, one_id),
             }
         }
         start = end;

@@ -49,6 +49,14 @@ pub struct MetricsObserver {
     pub clusters: usize,
     /// Transformation-install passes across all epochs.
     pub install_passes: usize,
+    /// Clusters planned by the (possibly parallel) plan stages across all
+    /// epochs.
+    pub planned_clusters: usize,
+    /// The largest worker-shard count any epoch's plan stages actually ran
+    /// on (1 = fully inline planning).
+    pub plan_shards: usize,
+    /// Total wall-clock nanoseconds spent in the plan stages. Timing-only.
+    pub plan_wall_ns: u64,
     /// Dummy nodes actually removed by differential GC across all epochs
     /// (reclaimed standing dummies are not counted).
     pub dummies_destroyed: usize,
@@ -115,6 +123,9 @@ impl DsgObserver for MetricsObserver {
         self.epochs += 1;
         self.clusters += event.clusters;
         self.install_passes += event.install_passes;
+        self.planned_clusters += event.planned_clusters;
+        self.plan_shards = self.plan_shards.max(event.plan_shards);
+        self.plan_wall_ns += event.plan_wall_ns;
     }
 
     fn on_balance_repair(&mut self, event: &BalanceRepairEvent) {

