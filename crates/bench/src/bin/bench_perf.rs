@@ -21,13 +21,20 @@
 //! directory. Set `BENCH_PERF_QUICK=1` to run a fast smoke (fewer
 //! repetitions, shorter traces) — used by CI.
 //!
-//! The JSON schema (`dsg-bench-perf/v4`) is documented in `ROADMAP.md`
-//! ("BENCH_perf.json schema").
+//! The JSON schema (`dsg-bench-perf/v5`) is documented in `ROADMAP.md`
+//! ("BENCH_perf.json schema"). v5 adds the `service_ingest` table: the
+//! concurrent [`dsg::DsgService`] front-end driven by 1/2/4/8 producer
+//! threads over a bounded queue, reporting throughput, peak queue depth,
+//! typed overload rejections, and epochs formed. Caveat for 1-CPU
+//! containers (the CI runner class): producers and the ingest thread
+//! time-share one core, so the producer sweep measures queueing overhead
+//! — not parallel speedup — there; read the rows as a backpressure/cost
+//! profile, not a scaling curve.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use dsg::DsgConfig;
+use dsg::{DsgConfig, DsgService, DsgSession, ServiceConfig, SubmitError};
 use dsg_bench::{
     perf_trace_len, reference_graph_like, route_pairs, run_dsg, run_dsg_batched, workload_trace,
     WorkloadKind, BATCH_SIZES, COMM_BATCH_SIZES, COMM_SIZES, SIZES,
@@ -36,6 +43,18 @@ use dsg_skipgraph::{fixtures, Key};
 
 /// The plan-stage shard counts the largest-batch rows sweep.
 const PLAN_SHARD_SWEEP: &[usize] = &[1, 4];
+
+/// The producer-thread counts the `service_ingest` suite sweeps.
+const SERVICE_PRODUCERS: &[usize] = &[1, 2, 4, 8];
+
+/// Network size of the `service_ingest` suite (one size: the suite sweeps
+/// producer counts, not sizes).
+const SERVICE_N: u64 = 1024;
+
+/// Bounded-queue capacity of the benchmarked service. Deliberately small
+/// relative to the trace so fast producers actually exercise the
+/// backpressure path and the overload counter is non-trivial.
+const SERVICE_QUEUE: usize = 64;
 
 fn quick() -> bool {
     std::env::var("BENCH_PERF_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
@@ -314,6 +333,92 @@ fn measure_communicate_batched(quick: bool) -> Vec<BatchRow> {
     rows
 }
 
+struct ServiceRow {
+    producers: usize,
+    n: u64,
+    requests: usize,
+    elapsed_ns: u128,
+    submitted: u64,
+    rejected_overload: u64,
+    epochs: u64,
+    batches: u64,
+    max_queue_depth: usize,
+}
+
+impl ServiceRow {
+    fn requests_per_sec(&self) -> f64 {
+        self.requests as f64 / (self.elapsed_ns as f64 / 1e9).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Drives the uniform trace through a [`DsgService`] with `producers`
+/// submitting threads. Producers first try the non-blocking [`submit`]
+/// (so the service's overload counter records real backpressure events),
+/// then fall back to the blocking [`submit_deadline`]; every ticket is
+/// awaited, so the elapsed wall covers full resolution of the trace.
+///
+/// [`submit`]: DsgService::submit
+/// [`submit_deadline`]: DsgService::submit_deadline
+fn measure_service_ingest(quick: bool) -> Vec<ServiceRow> {
+    let n = SERVICE_N;
+    let m = perf_trace_len(n, quick);
+    let trace = workload_trace(WorkloadKind::Uniform, n, m, 3);
+    SERVICE_PRODUCERS
+        .iter()
+        .map(|&producers| {
+            let session = DsgSession::builder()
+                .config(DsgConfig::default().with_seed(1))
+                .peers(0..n)
+                .build()
+                .expect("peer keys 0..n are distinct");
+            let service = DsgService::spawn(
+                session,
+                ServiceConfig {
+                    queue_capacity: SERVICE_QUEUE,
+                    ..ServiceConfig::default()
+                },
+            )
+            .expect("service config is valid");
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for slice in trace.chunks(m.div_ceil(producers)) {
+                    let service = &service;
+                    scope.spawn(move || {
+                        let mut tickets = Vec::with_capacity(slice.len());
+                        for &request in slice {
+                            match service.submit(request) {
+                                Ok(ticket) => tickets.push(ticket),
+                                Err(SubmitError::Overloaded) => tickets.push(
+                                    service
+                                        .submit_deadline(request, Duration::from_secs(60))
+                                        .expect("the queue drains within 60s"),
+                                ),
+                                Err(err) => panic!("service refused a submission: {err}"),
+                            }
+                        }
+                        for ticket in tickets {
+                            ticket.wait().expect("uniform trace serves cleanly");
+                        }
+                    });
+                }
+            });
+            let done = service.shutdown();
+            let elapsed_ns = start.elapsed().as_nanos();
+            ServiceRow {
+                producers,
+                n,
+                requests: m,
+                elapsed_ns,
+                submitted: done.metrics.submitted,
+                rejected_overload: done.metrics.rejected_overload,
+                epochs: done.metrics.epochs,
+                batches: done.metrics.batches,
+                max_queue_depth: done.metrics.max_queue_depth,
+            }
+        })
+        .collect()
+}
+
 fn micro_json(rows: &[MicroRow]) -> String {
     let mut out = String::from("[");
     for (i, row) in rows.iter().enumerate() {
@@ -351,6 +456,8 @@ fn main() {
     let communicate = measure_communicate(quick());
     eprintln!("bench_perf: communicate throughput (epoch-batched)...");
     let communicate_batched = measure_communicate_batched(quick());
+    eprintln!("bench_perf: service ingest throughput (concurrent front-end)...");
+    let service_ingest = measure_service_ingest(quick());
 
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -414,16 +521,42 @@ fn main() {
     }
     batch_json.push_str("\n  ]");
 
+    let mut service_json = String::from("[");
+    for (i, row) in service_ingest.iter().enumerate() {
+        if i > 0 {
+            service_json.push(',');
+        }
+        let _ = write!(
+            service_json,
+            "\n    {{\"producers\": {}, \"n\": {}, \"requests\": {}, \
+             \"elapsed_ms\": {:.2}, \"requests_per_sec\": {:.1}, \
+             \"submitted\": {}, \"rejected_overload\": {}, \
+             \"epochs_formed\": {}, \"batches\": {}, \"max_queue_depth\": {}}}",
+            row.producers,
+            row.n,
+            row.requests,
+            row.elapsed_ns as f64 / 1e6,
+            row.requests_per_sec(),
+            row.submitted,
+            row.rejected_overload,
+            row.epochs,
+            row.batches,
+            row.max_queue_depth
+        );
+    }
+    service_json.push_str("\n  ]");
+
     let json = format!(
-        "{{\n  \"schema\": \"dsg-bench-perf/v4\",\n  \"created_unix\": {unix_time},\n  \
+        "{{\n  \"schema\": \"dsg-bench-perf/v5\",\n  \"created_unix\": {unix_time},\n  \
          \"quick\": {},\n  \"route\": {},\n  \"neighbors\": {},\n  \"dummy_probe\": {},\n  \
-         \"communicate\": {},\n  \"communicate_batched\": {}\n}}\n",
+         \"communicate\": {},\n  \"communicate_batched\": {},\n  \"service_ingest\": {}\n}}\n",
         quick(),
         micro_json(&route),
         micro_json(&neighbors),
         micro_json(&dummy_probe),
         comm_json,
         batch_json,
+        service_json,
     );
     std::fs::write(&output, &json).expect("write BENCH_perf.json");
 
@@ -462,6 +595,19 @@ fn main() {
             row.epochs,
             row.install_passes,
             row.plan_wall_ns as f64 / 1e6
+        );
+    }
+
+    for row in &service_ingest {
+        eprintln!(
+            "  service   producers={:<2} n={:<5} {:>10.1} req/s   {:>4} epochs   {:>4} batches   depth {:>3}   overloads {:>5}",
+            row.producers,
+            row.n,
+            row.requests_per_sec(),
+            row.epochs,
+            row.batches,
+            row.max_queue_depth,
+            row.rejected_overload
         );
     }
 

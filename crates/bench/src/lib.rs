@@ -278,7 +278,7 @@ pub fn run_dsg_batched(n: u64, config: DsgConfig, trace: &[Request], batch: usiz
         run.working_sets.push(tracker.record(u, v));
     }
     {
-        let metrics = metrics.borrow();
+        let metrics = metrics.lock().expect("metrics lock");
         run.routing_costs = metrics.routing_costs.clone();
         run.transformation_rounds = metrics.transformation_rounds.clone();
         run.total_costs = metrics.total_costs.clone();

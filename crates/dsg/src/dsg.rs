@@ -25,7 +25,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dsg_skipgraph::{
-    FastHashState, Key, MembershipUpdate, MembershipVector, NodeId, Prefix, SkipGraph,
+    failpoint, FastHashState, Key, MembershipUpdate, MembershipVector, NodeId, Prefix, SkipGraph,
 };
 
 use crate::amf::{AmfMedian, ExactMedian, MedianFinder};
@@ -72,6 +72,56 @@ impl RequestOutcome {
     pub fn transformation_rounds(&self) -> usize {
         self.breakdown.transformation_rounds()
     }
+}
+
+/// Which stage of a mutating engine call is currently in progress — the
+/// crash-consistency marker a fault-containment layer inspects after
+/// catching a panic out of the engine.
+///
+/// The epoch pipeline is **plan-then-apply**: everything up to and
+/// including the parallel plan stage only *reads* the graph and state
+/// table, so a panic caught while the phase is [`EpochPhase::Planning`]
+/// guarantees the engine is bit-for-bit the pre-epoch engine (only
+/// recycled scratch capacity is lost). A panic caught during
+/// [`EpochPhase::Applying`] may leave the structures half-mutated — the
+/// caller must treat the engine as poisoned until
+/// [`DynamicSkipGraph::recover_from_surviving`] rebuilds it.
+///
+/// The marker is maintained for [`communicate_epoch`], [`add_peer`] and
+/// [`remove_peer`]; it is meaningful immediately after a caught panic
+/// (clean `Err` returns happen before any mutation and may leave a stale
+/// `Planning` marker, cleared by the next call or by
+/// [`DynamicSkipGraph::acknowledge_plan_abort`]).
+///
+/// [`communicate_epoch`]: DynamicSkipGraph::communicate_epoch
+/// [`add_peer`]: DynamicSkipGraph::add_peer
+/// [`remove_peer`]: DynamicSkipGraph::remove_peer
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EpochPhase {
+    /// No mutating call in progress.
+    #[default]
+    Idle,
+    /// Inside the pure-read plan stage (routing, cluster planning, member
+    /// snapshots): the engine state is untouched.
+    Planning,
+    /// Inside the apply stage (state-delta replay, membership install,
+    /// dummy lifecycle): the engine state may be partially mutated.
+    Applying,
+}
+
+/// What [`DynamicSkipGraph::recover_from_surviving`] rebuilt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Live (non-dummy) peers carried into the rebuilt structure.
+    pub peers: usize,
+    /// Dummy nodes of the poisoned structure that were discarded (the
+    /// closing balance repair re-derives exactly the dummies the rebuilt
+    /// topology needs).
+    pub dropped_dummies: usize,
+    /// Dummy nodes the post-rebuild balance repair created.
+    pub dummies_recreated: usize,
+    /// Height of the rebuilt structure.
+    pub height: usize,
 }
 
 #[derive(Debug)]
@@ -302,6 +352,11 @@ pub struct DynamicSkipGraph {
     time: u64,
     stats: RunStats,
     scratch: CommScratch,
+    /// Crash-consistency marker; see [`EpochPhase`].
+    phase: EpochPhase,
+    /// The lists the most recent epoch's install touched (sorted,
+    /// deduplicated) — the scope of [`DynamicSkipGraph::validate_fast`].
+    last_affected: Vec<(usize, Prefix)>,
 }
 
 impl DynamicSkipGraph {
@@ -454,6 +509,8 @@ impl DynamicSkipGraph {
             time: 0,
             stats: RunStats::default(),
             scratch: CommScratch::default(),
+            phase: EpochPhase::Idle,
+            last_affected: Vec::new(),
         })
     }
 
@@ -664,6 +721,161 @@ impl DynamicSkipGraph {
     }
 
     // ------------------------------------------------------------------
+    // Fault containment: phase marker, fast audit, recovery
+    // ------------------------------------------------------------------
+
+    /// The crash-consistency marker of the mutating call currently (or most
+    /// recently) in progress; see [`EpochPhase`].
+    pub fn epoch_phase(&self) -> EpochPhase {
+        self.phase
+    }
+
+    /// Clears a stale [`EpochPhase::Planning`] marker after the caller
+    /// caught a plan-stage panic out of the engine: planning is a pure
+    /// read, so the engine needs no repair — only the marker is reset and
+    /// the aborted epoch's requests can simply be resubmitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsgError::EnginePoisoned`] if the marker says
+    /// [`EpochPhase::Applying`]: the fault hit mid-apply, and only
+    /// [`recover_from_surviving`](Self::recover_from_surviving) may resume.
+    pub fn acknowledge_plan_abort(&mut self) -> Result<()> {
+        match self.phase {
+            EpochPhase::Applying => Err(DsgError::EnginePoisoned),
+            _ => {
+                self.phase = EpochPhase::Idle;
+                Ok(())
+            }
+        }
+    }
+
+    /// Cheap incremental audit: re-validates only the lists the most recent
+    /// epoch's install touched (plus the node/state census), instead of
+    /// every list in the structure as [`validate`](Self::validate) does.
+    /// Lists freed since the install vacuously pass. Intended to run after
+    /// every epoch (the service's tier-1 audit), with full
+    /// [`validate`](Self::validate) calls interleaved at a coarser period
+    /// for global coverage.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate_fast(&self) -> Result<()> {
+        for &(level, prefix) in &self.last_affected {
+            self.graph.validate_list(level, prefix)?;
+        }
+        if self.states.len() != self.graph.len() {
+            return Err(DsgError::StateInvariantViolated(format!(
+                "{} states registered for {} live nodes",
+                self.states.len(),
+                self.graph.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the engine in place from the surviving state after an
+    /// apply-stage fault left the structure half-mutated.
+    ///
+    /// Every peer that still has both a live non-dummy graph node and a
+    /// state entry survives: the graph is rebuilt over the surviving keys
+    /// with the balanced rank-derived membership vectors (a-balanced for
+    /// every `a`, deterministic), per-peer timestamps are carried over, and
+    /// the group structure is re-initialised against the fresh topology —
+    /// exactly as for a newly built network. Dummy nodes of the poisoned
+    /// structure are discarded; the closing balance repair re-derives any
+    /// the new structure needs. The logical clock keeps its value so
+    /// post-recovery requests continue the timestamp order.
+    ///
+    /// The rebuild walks arena entries only (no link traversal), so it is
+    /// safe to call on an arbitrarily corrupted structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsgError::StateInvariantViolated`] (or the substrate's
+    /// error) if the surviving state is too damaged to rebuild from — e.g.
+    /// two survivors claim the same key — and the closing deep
+    /// [`validate`](Self::validate) error if the rebuilt structure is not
+    /// clean (neither should happen; both would be bugs worth reporting).
+    pub fn recover_from_surviving(&mut self) -> Result<RecoveryReport> {
+        // Census of survivors, driven from the state table: only arena
+        // entry reads, never link walks. A state whose node slot is freed
+        // (or turned dummy) mid-apply is dropped; dummies are discarded
+        // wholesale and re-derived below.
+        let mut survivors: Vec<(Key, NodeState)> = Vec::new();
+        let mut dropped_dummies = 0usize;
+        for (id, state) in self.states.iter() {
+            match self.graph.node(id) {
+                Some(entry) if !entry.is_dummy() => {
+                    survivors.push((state.key(), state.clone()));
+                }
+                Some(_) => dropped_dummies += 1,
+                None => {}
+            }
+        }
+        survivors.sort_unstable_by_key(|(key, _)| *key);
+
+        // Fresh balanced structure over the surviving keys, as
+        // `build_balanced` would construct it.
+        let n = survivors.len() as u64;
+        let height = if n <= 1 {
+            0
+        } else {
+            (64 - (n - 1).leading_zeros()) as usize
+        };
+        let mut graph = SkipGraph::new();
+        let mut states = StateTable::new();
+        for (rank, (key, old)) in survivors.iter().enumerate() {
+            let mut mvec = MembershipVector::empty();
+            for level in 0..height {
+                let bit = ((rank >> level) & 1) as u8;
+                mvec.push(dsg_skipgraph::Bit::from_u8(bit))
+                    .expect("height fits the vector");
+            }
+            let base = mvec.len();
+            let id = graph.insert(*key, mvec)?;
+            states.register(id, *key, base);
+            let fresh = states.get_mut(id);
+            for level in 0..old.stored_levels() {
+                let t = old.timestamp(level);
+                if t != 0 {
+                    fresh.set_timestamp(level, t);
+                }
+            }
+        }
+        self.graph = graph;
+        self.states = states;
+        self.scratch = CommScratch::default();
+        self.last_affected.clear();
+        self.phase = EpochPhase::Idle;
+
+        // The balanced construction satisfies a-balance for every `a`, but
+        // the invariant is re-derived rather than assumed.
+        let mut dummies_recreated = 0usize;
+        if self.config.maintain_balance {
+            let repair = dummy::repair_balance(
+                &mut self.graph,
+                &mut self.states,
+                self.config.a,
+                &[],
+                None,
+            );
+            dummies_recreated = repair.inserted.len();
+            self.stats.dummy_nodes_created += dummies_recreated;
+        }
+        self.stats.live_dummy_nodes = self.graph.dummy_count();
+
+        self.validate()?;
+        Ok(RecoveryReport {
+            peers: survivors.len(),
+            dropped_dummies,
+            dummies_recreated,
+            height: self.height(),
+        })
+    }
+
+    // ------------------------------------------------------------------
     // Membership changes (§IV-G)
     // ------------------------------------------------------------------
 
@@ -682,6 +894,8 @@ impl DynamicSkipGraph {
             .graph
             .keys()
             .next();
+        // The join is the first mutation; everything above was a read.
+        self.phase = EpochPhase::Applying;
         let outcome = self
             .graph
             .join(Self::internal_key(peer), introducer, &mut self.rng)?;
@@ -701,6 +915,7 @@ impl DynamicSkipGraph {
             self.stats.dummy_nodes_created += repair.inserted.len();
             self.stats.live_dummy_nodes = self.graph.dummy_count();
         }
+        self.phase = EpochPhase::Idle;
         Ok(())
     }
 
@@ -712,6 +927,8 @@ impl DynamicSkipGraph {
     /// Returns [`DsgError::UnknownPeer`] if the peer does not exist.
     pub fn remove_peer(&mut self, peer: u64) -> Result<()> {
         let id = self.peer_id(peer)?;
+        // The leave is the first mutation; the lookup above was a read.
+        self.phase = EpochPhase::Applying;
         self.graph.leave(Self::internal_key(peer))?;
         self.states.unregister(id);
         if self.config.maintain_balance {
@@ -725,6 +942,7 @@ impl DynamicSkipGraph {
             self.stats.dummy_nodes_created += repair.inserted.len();
             self.stats.live_dummy_nodes = self.graph.dummy_count();
         }
+        self.phase = EpochPhase::Idle;
         Ok(())
     }
 
@@ -812,8 +1030,12 @@ impl DynamicSkipGraph {
                 ids.push((u_id, v_id));
             }
         }
+        // Everything from here to the Phase A-apply transition below is a
+        // pure read: a panic caught while the phase is `Planning` leaves
+        // the engine bit-for-bit untouched (only recycled scratch capacity
+        // is lost to the unwind).
+        self.phase = EpochPhase::Planning;
         let t0 = self.time;
-        self.time += pairs.len() as u64;
 
         // Step 1a for every pair: establish the communications with
         // standard routing, and record each pair's α and `l_α` prefix in
@@ -933,6 +1155,13 @@ impl DynamicSkipGraph {
         // membership; rule T3 resolves new vectors through the diff plan),
         // so running them before the merged install is observably identical
         // to the classic per-request order.
+        //
+        // First mutation of the epoch: from here on a caught panic means
+        // the engine may be half-mutated. Logical time advances with the
+        // same transition, so an abandoned plan leaves the clock — and
+        // therefore a resubmission's timestamps — untouched as well.
+        self.phase = EpochPhase::Applying;
+        self.time += pairs.len() as u64;
         for (cluster, run) in clusters.iter().zip(&mut cluster_runs) {
             self.states.apply_delta(&run.delta);
             let scratch = &mut self.scratch;
@@ -1253,6 +1482,20 @@ impl DynamicSkipGraph {
                 });
             }
         }
+        // Scope of the next `validate_fast` call: the lists this epoch's
+        // install touched. The batched install collected one epoch-wide
+        // affected set; the per-node path derived one per cluster.
+        self.last_affected.clear();
+        if batched {
+            self.last_affected.extend_from_slice(&self.scratch.affected);
+        } else {
+            for run in &cluster_runs {
+                self.last_affected.extend_from_slice(&run.derived_affected);
+            }
+        }
+        self.last_affected.sort_unstable();
+        self.last_affected.dedup();
+
         // Recycle the clusters' snapshot buffers for the next epoch.
         self.bufs_pool
             .extend(cluster_runs.drain(..).map(|run| run.bufs));
@@ -1261,6 +1504,7 @@ impl DynamicSkipGraph {
         self.stats.planned_clusters += clusters.len();
         self.stats.plan_shards = self.stats.plan_shards.max(plan_shards_used);
         self.stats.plan_wall_ns += plan_wall_ns;
+        self.phase = EpochPhase::Idle;
 
         Ok(EpochReport {
             outcomes: outcomes
@@ -1300,6 +1544,10 @@ fn plan_cluster(
     t0: u64,
     per_node: bool,
 ) -> ClusterRun {
+    // Fault-injection site: a panic here unwinds out of a plan worker while
+    // the engine is still untouched — the scenario the plan-abort
+    // containment (engine bit-for-bit preserved) is tested against.
+    failpoint::hit(failpoint::PLAN_WORKER);
     bufs.members.extend(
         graph
             .list_iter(cluster.root_level, cluster.root_prefix)

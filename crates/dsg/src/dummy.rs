@@ -751,6 +751,10 @@ pub fn plan_reconciliation(
     plan: &mut ReconcilePlan,
 ) {
     plan.reset();
+    // Fault-injection site (pass 0 of the reconciling repair). The pass is
+    // a pure read, but it runs after its epoch's membership install, so
+    // firing here models a crash in the middle of the apply stage.
+    dsg_skipgraph::failpoint::hit(dsg_skipgraph::failpoint::DUMMY_PASS0);
 
     // Stage 1: fused collect + detect over the rebuilt lists — every dummy
     // is skipped (in a rebuilt list every standing dummy gets inventoried,

@@ -37,6 +37,21 @@ pub enum DsgError {
     /// A configuration value failed validation when building a
     /// [`DsgSession`](crate::DsgSession).
     InvalidConfig(String),
+    /// A fault (panic) interrupted the epoch **plan** stage — a pure read —
+    /// so the epoch was abandoned before any apply and the engine is
+    /// bit-for-bit untouched. The payload describes the fault. Requests of
+    /// the aborted epoch can simply be resubmitted.
+    EpochAborted(String),
+    /// A fault (panic) interrupted the epoch **apply** stage: the engine's
+    /// structures may be half-mutated, so the owning
+    /// [`DsgService`](crate::service::DsgService) refuses further work
+    /// until [`recover`](crate::service::DsgService::recover) rebuilds the
+    /// graph from the surviving state. Every in-flight ticket resolves with
+    /// this error instead of hanging.
+    EnginePoisoned,
+    /// The request was not served because the service is shutting down
+    /// (abort-policy shutdowns resolve still-queued tickets this way).
+    ShuttingDown,
 }
 
 impl fmt::Display for DsgError {
@@ -58,6 +73,13 @@ impl fmt::Display for DsgError {
                 write!(f, "epoch of {size} pairs exceeds the limit of {max}")
             }
             DsgError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DsgError::EpochAborted(msg) => {
+                write!(f, "epoch aborted in the plan stage (engine untouched): {msg}")
+            }
+            DsgError::EnginePoisoned => {
+                write!(f, "the engine is poisoned by an apply-stage fault; recover() first")
+            }
+            DsgError::ShuttingDown => write!(f, "the service is shutting down"),
         }
     }
 }

@@ -37,6 +37,7 @@
 //! | [`dsg`] | Alg. 1 | [`DynamicSkipGraph`], the epoch engine |
 //! | [`request`] | — | the unified typed [`Request`] vocabulary |
 //! | [`session`] | — | [`DsgSession`] / [`DsgBuilder`], the public entry point |
+//! | [`service`] | — | [`DsgService`](service::DsgService), the fault-contained concurrent ingest front-end |
 //! | [`observer`] | — | [`DsgObserver`] progress hooks |
 //! | [`fixtures`] | Fig. 4 | the worked S₈ example instance |
 //!
@@ -80,6 +81,7 @@ pub mod groups;
 pub mod observer;
 pub mod priority;
 pub mod request;
+pub mod service;
 pub mod session;
 pub mod state;
 pub mod timestamps;
@@ -88,13 +90,21 @@ pub mod transform;
 pub use amf::{AmfMedian, ExactMedian, MedianFinder, MedianOutcome};
 pub use config::{DsgConfig, InstallStrategy, MedianStrategy};
 pub use cost::{CostBreakdown, RunStats};
-pub use dsg::{DynamicSkipGraph, EpochReport, RequestOutcome};
+pub use dsg::{DynamicSkipGraph, EpochPhase, EpochReport, RecoveryReport, RequestOutcome};
 pub use error::DsgError;
-pub use observer::{BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent};
+pub use observer::{
+    AuditEvent, BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent,
+};
 pub use priority::Priority;
 pub use request::Request;
+pub use service::{DsgService, ServiceConfig, ServiceMetrics, ShutdownPolicy, SubmitError, Ticket};
 pub use session::{BatchOutcome, DsgBuilder, DsgSession, SubmitOutcome};
 pub use state::{NodeState, StateTable};
+
+/// Fail-point registry of the substrate, re-exported so applications and
+/// tests arm the engine's named fault-injection sites without depending on
+/// `dsg-skipgraph` directly.
+pub use dsg_skipgraph::failpoint;
 
 /// The canonical import surface of the crate.
 ///
@@ -118,10 +128,15 @@ pub use state::{NodeState, StateTable};
 pub mod prelude {
     pub use crate::config::{DsgConfig, InstallStrategy, MedianStrategy};
     pub use crate::cost::{CostBreakdown, RunStats};
-    pub use crate::dsg::{DynamicSkipGraph, EpochReport, RequestOutcome};
+    pub use crate::dsg::{DynamicSkipGraph, EpochPhase, EpochReport, RecoveryReport, RequestOutcome};
     pub use crate::error::DsgError;
-    pub use crate::observer::{BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent};
+    pub use crate::observer::{
+        AuditEvent, BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent,
+    };
     pub use crate::request::Request;
+    pub use crate::service::{
+        DsgService, ServiceConfig, ServiceMetrics, ShutdownPolicy, SubmitError, Ticket,
+    };
     pub use crate::session::{BatchOutcome, DsgBuilder, DsgSession, SubmitOutcome};
 }
 

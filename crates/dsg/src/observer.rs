@@ -8,16 +8,21 @@
 //! `MetricsObserver`, the default recording observer, and `dsg-bench`
 //! consumes it.
 //!
-//! Observers are shared handles (`Rc<RefCell<_>>`) so the caller keeps
-//! access to the collected data while the session drives the callbacks.
+//! Observers are shared handles (`Arc<Mutex<_>>`) so the caller keeps
+//! access to the collected data while the session drives the callbacks —
+//! including when the session has moved onto a
+//! [`DsgService`](crate::service::DsgService) ingest thread, which is why
+//! the handles are `Send` and lock a `Mutex` rather than borrow a
+//! `RefCell`. The callbacks stay single-threaded (the session invokes them
+//! in order from whichever thread owns it), so the lock is uncontended in
+//! practice.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::dsg::RequestOutcome;
 
 /// A shared observer handle, as stored by the session.
-pub type SharedObserver = Rc<RefCell<dyn DsgObserver>>;
+pub type SharedObserver = Arc<Mutex<dyn DsgObserver + Send>>;
 
 /// One transformation epoch completed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +69,19 @@ pub struct BalanceRepairEvent {
     pub live_dummies: usize,
 }
 
+/// One invariant audit completed (emitted by the
+/// [`DsgService`](crate::service::DsgService) tiered auditor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditEvent {
+    /// 1-based epoch counter of the session the audit ran after.
+    pub epoch: u64,
+    /// `true` for a full deep `validate()` sweep, `false` for the
+    /// incremental `validate_fast()` pass over the epoch's affected lists.
+    pub deep: bool,
+    /// Whether the audit found the structure clean.
+    pub passed: bool,
+}
+
 /// Hooks a session invokes while serving requests. All methods have empty
 /// default bodies — implement only what you record.
 pub trait DsgObserver {
@@ -81,6 +99,12 @@ pub trait DsgObserver {
 
     /// One balance-maintenance pass completed.
     fn on_balance_repair(&mut self, event: &BalanceRepairEvent) {
+        let _ = event;
+    }
+
+    /// One invariant audit completed (only emitted when the session is
+    /// driven by a [`DsgService`](crate::service::DsgService)).
+    fn on_audit(&mut self, event: &AuditEvent) {
         let _ = event;
     }
 }
@@ -131,8 +155,8 @@ mod tests {
 
     #[test]
     fn observers_are_shareable() {
-        let shared: SharedObserver = Rc::new(RefCell::new(Counting::default()));
-        shared.borrow_mut().on_transform(&TransformEvent {
+        let shared: SharedObserver = Arc::new(Mutex::new(Counting::default()));
+        shared.lock().unwrap().on_transform(&TransformEvent {
             epoch: 1,
             requests: 2,
             clusters: 1,
@@ -142,7 +166,22 @@ mod tests {
             plan_shards: 1,
             plan_wall_ns: 0,
         });
-        let strong = Rc::strong_count(&shared);
+        let strong = Arc::strong_count(&shared);
         assert_eq!(strong, 1);
+    }
+
+    #[test]
+    fn shared_observers_cross_threads() {
+        let shared: SharedObserver = Arc::new(Mutex::new(Counting::default()));
+        let clone = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            clone.lock().unwrap().on_audit(&AuditEvent {
+                epoch: 1,
+                deep: false,
+                passed: true,
+            });
+        })
+        .join()
+        .unwrap();
     }
 }

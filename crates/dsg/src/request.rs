@@ -44,6 +44,22 @@ impl Request {
         Request::Communicate { u, v }
     }
 
+    /// Creates a communication request, returning a typed error instead of
+    /// panicking on `u == v` — the constructor for request sources that
+    /// cannot vouch for their input (deserialized traces, service
+    /// producers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsgError::SelfCommunication`](crate::DsgError::SelfCommunication)
+    /// if `u == v`.
+    pub fn try_communicate(u: u64, v: u64) -> Result<Self, crate::DsgError> {
+        if u == v {
+            return Err(crate::DsgError::SelfCommunication(u));
+        }
+        Ok(Request::Communicate { u, v })
+    }
+
     /// The `(u, v)` endpoints of a communication request, `None` for the
     /// membership and clock variants.
     pub fn endpoints(&self) -> Option<(u64, u64)> {
@@ -118,6 +134,18 @@ mod tests {
     #[should_panic(expected = "two distinct peers")]
     fn self_requests_are_rejected() {
         let _ = Request::communicate(3, 3);
+    }
+
+    #[test]
+    fn try_communicate_returns_typed_errors() {
+        assert_eq!(
+            Request::try_communicate(3, 3).unwrap_err(),
+            crate::DsgError::SelfCommunication(3)
+        );
+        assert_eq!(
+            Request::try_communicate(3, 4).unwrap(),
+            Request::Communicate { u: 3, v: 4 }
+        );
     }
 
     #[test]

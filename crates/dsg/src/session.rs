@@ -55,9 +55,26 @@
 //! order, and every random draw is derived per cluster instead of from a
 //! shared stream (`tests/shard_equivalence.rs` proves graphs, states,
 //! dummy populations and outcomes equal for shards ∈ {1, 2, 4, 8}).
+//!
+//! To drive a session from **multiple producer threads**, hand it to a
+//! [`DsgService`](crate::service::DsgService): the session moves onto a
+//! dedicated ingest thread (it is `Send` — observers are shared via
+//! `Arc<Mutex<_>>`), producers submit requests through a bounded queue
+//! with backpressure, and the service layers fault containment (plan-stage
+//! aborts, apply-stage poisoning, opt-in recovery) and a tiered invariant
+//! auditor on top. The service serializes everything onto the one engine
+//! thread, so the bit-for-bit determinism above carries over: the epochs
+//! it forms replay identically through [`DsgSession::submit_batch`].
+//!
+//! # Failure model
+//!
+//! `submit`/`submit_batch` validate each request against the engine before
+//! mutating anything and return typed [`DsgError`]s — duplicate joins,
+//! leaves of absent peers, self-communications and unknown endpoints fail
+//! cleanly with the structure untouched (requests of *earlier* epochs in
+//! the same batch remain applied; the error names the first offender).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use dsg_skipgraph::MembershipVector;
 
@@ -65,7 +82,7 @@ use crate::config::{DsgConfig, InstallStrategy, MedianStrategy};
 use crate::cost::RunStats;
 use crate::dsg::{DynamicSkipGraph, EpochReport, RequestOutcome};
 use crate::error::DsgError;
-use crate::observer::{BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent};
+use crate::observer::{AuditEvent, BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent};
 use crate::request::Request;
 use crate::transform::MAX_EPOCH_PAIRS;
 use crate::Result;
@@ -369,9 +386,11 @@ impl DsgSession {
     }
 
     /// Convenience for registering a freshly created observer, returning
-    /// the shared handle for later inspection.
-    pub fn observe<O: DsgObserver + 'static>(&mut self, observer: O) -> Rc<RefCell<O>> {
-        let shared = Rc::new(RefCell::new(observer));
+    /// the shared handle for later inspection. The handle crosses threads,
+    /// so it stays readable while the session serves requests from a
+    /// [`DsgService`](crate::service::DsgService) ingest thread.
+    pub fn observe<O: DsgObserver + Send + 'static>(&mut self, observer: O) -> Arc<Mutex<O>> {
+        let shared = Arc::new(Mutex::new(observer));
         self.observers.push(shared.clone());
         shared
     }
@@ -539,12 +558,20 @@ impl DsgSession {
             live_dummies: self.engine.dummy_count(),
         };
         for observer in &self.observers {
-            let mut observer = observer.borrow_mut();
+            let mut observer = observer.lock().expect("observer lock");
             for outcome in &report.outcomes {
                 observer.on_request(outcome);
             }
             observer.on_transform(&transform);
             observer.on_balance_repair(&repair);
+        }
+    }
+
+    /// Notifies the observers about one completed invariant audit (invoked
+    /// by the [`DsgService`](crate::service::DsgService) tiered auditor).
+    pub(crate) fn notify_audit(&self, event: &AuditEvent) {
+        for observer in &self.observers {
+            observer.lock().expect("observer lock").on_audit(event);
         }
     }
 
@@ -676,7 +703,7 @@ mod tests {
         assert_eq!(outcome.outcomes.len(), 5);
         assert_eq!(outcome.epochs, 3);
         assert_eq!(session.epochs(), 3);
-        let recorder = recorder.borrow();
+        let recorder = recorder.lock().unwrap();
         assert_eq!(recorder.requests, 4);
         assert_eq!(recorder.epochs.len(), 3);
         assert_eq!(recorder.repairs, 3);
@@ -685,6 +712,52 @@ mod tests {
             assert!(session.engine().are_directly_linked(u, v).unwrap());
         }
         session.engine().validate().unwrap();
+    }
+
+    #[test]
+    fn malformed_requests_fail_typed_with_structure_untouched() {
+        let mut session = DsgSession::builder().peers(0..8).seed(11).build().unwrap();
+        let before_len = session.len();
+        let before_height = session.height();
+
+        // Duplicate join.
+        assert_eq!(
+            session.submit(Request::Join(3)).unwrap_err(),
+            DsgError::DuplicatePeer(3)
+        );
+        // Leave of an absent peer.
+        assert_eq!(
+            session.submit(Request::Leave(77)).unwrap_err(),
+            DsgError::UnknownPeer(77)
+        );
+        // Self-communication smuggled into a batch through the public
+        // fields (the `Request::communicate` constructor rejects it up
+        // front, `try_communicate` returns the same typed error).
+        assert_eq!(
+            session
+                .submit_batch(&[Request::Communicate { u: 2, v: 2 }])
+                .unwrap_err(),
+            DsgError::SelfCommunication(2)
+        );
+
+        assert_eq!(session.len(), before_len);
+        assert_eq!(session.height(), before_height);
+        session.engine().validate().unwrap();
+    }
+
+    #[test]
+    fn leaving_down_to_empty_is_typed_not_a_panic() {
+        let mut session = DsgSession::builder().peers([0, 1]).seed(2).build().unwrap();
+        session.submit(Request::Leave(0)).unwrap();
+        // Leaving the last peer empties the network cleanly.
+        session.submit(Request::Leave(1)).unwrap();
+        assert!(session.is_empty());
+        session.engine().validate().unwrap();
+        // One more leave on the empty network is a typed error.
+        assert_eq!(
+            session.submit(Request::Leave(1)).unwrap_err(),
+            DsgError::UnknownPeer(1)
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!     Request::communicate(0, 9),
 //!     Request::communicate(3, 12),
 //! ])?;
-//! let metrics = metrics.borrow();
+//! let metrics = metrics.lock().unwrap();
 //! assert_eq!(metrics.requests(), 2);
 //! assert_eq!(metrics.epochs, 1);
 //! # Ok(())
@@ -154,7 +154,7 @@ mod tests {
             ])
             .unwrap();
         session.submit(Request::communicate(0, 16)).unwrap();
-        let metrics = metrics.borrow();
+        let metrics = metrics.lock().unwrap();
         assert_eq!(metrics.requests(), 4);
         assert_eq!(metrics.epochs, 2);
         assert_eq!(metrics.routing_costs.len(), 4);

@@ -1008,6 +1008,10 @@ impl SkipGraph {
             self.splice_group(level, prefix, &incoming);
             incoming.clear();
             scratch.spare.push(incoming);
+            // Fault-injection site, deliberately *after* the splice: firing
+            // mid-batch leaves the arena genuinely half-installed, the
+            // failure mode the service-poisoning suites need to reproduce.
+            crate::failpoint::hit(crate::failpoint::APPLY_SPLICE);
         }
         self.pop_empty_top_levels();
         self.batch = scratch;
@@ -1682,14 +1686,101 @@ impl SkipGraph {
                         "prefix {prefix} stored at level {level}"
                     )));
                 }
+                self.validate_list_inner(level, *prefix, lid)?;
+                if self.list_meta(lid).len >= 2 {
+                    multi_seen += 1;
+                }
+            }
+            if self.multi.get(level).copied().unwrap_or(0) != multi_seen {
+                return Err(SkipGraphError::InvariantViolated(format!(
+                    "multi-member counter at level {level} is stale"
+                )));
+            }
+        }
+        // 4. the two halves of the key index agree.
+        if self.by_key.map.len() != self.by_key.tree.len() {
+            return Err(SkipGraphError::InvariantViolated(format!(
+                "key index halves disagree: {} hashed, {} ordered",
+                self.by_key.map.len(),
+                self.by_key.tree.len()
+            )));
+        }
+        for (key, id) in self.by_key.iter() {
+            if self.by_key.get(key) != Some(id) {
+                return Err(SkipGraphError::InvariantViolated(format!(
+                    "key index halves disagree on key {key}"
+                )));
+            }
+        }
+        // 5. every node is linked at every level up to its vector length.
+        for (key, id) in self.by_key.iter() {
+            let entry = self.entry(id).ok_or_else(|| {
+                SkipGraphError::InvariantViolated(format!("key {key} maps to dead node {id}"))
+            })?;
+            if entry.key != key {
+                return Err(SkipGraphError::InvariantViolated(format!(
+                    "node {id} stored under key {key} but has key {}",
+                    entry.key
+                )));
+            }
+            if self.arena[id.index()].links.len() != entry.mvec.len() + 1 {
+                return Err(SkipGraphError::InvariantViolated(format!(
+                    "node {id} missing link records (has {}, vector length {})",
+                    self.arena[id.index()].links.len(),
+                    entry.mvec.len()
+                )));
+            }
+            for level in 0..=entry.mvec.len() {
+                let prefix = entry.mvec.prefix(level);
+                let link = self.arena[id.index()]
+                    .links
+                    .get(level)
+                    .expect("length checked above");
+                if self.list_meta(link.list).prefix != prefix {
+                    return Err(SkipGraphError::InvariantViolated(format!(
+                        "node {id} missing from its list at level {level}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the invariants of **one** list: chain consistency
+    /// (symmetric `prev`/`next`, ascending keys, cached head/tail/length
+    /// correct), prefix membership, refinement against the parent list,
+    /// and the cached stopper/dummy counters — the per-list slice of
+    /// [`SkipGraph::validate`], exposed so incremental auditors (the
+    /// `dsg::service` tiered auditor) can re-check just the lists an epoch
+    /// touched in time proportional to those lists instead of the whole
+    /// structure.
+    ///
+    /// A `(level, prefix)` that names no live list validates vacuously:
+    /// affected-list sets legitimately outlive the lists they name (a
+    /// repair can empty and free a list after the install recorded it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipGraphError::InvariantViolated`] describing the first
+    /// violation found.
+    pub fn validate_list(&self, level: usize, prefix: Prefix) -> Result<()> {
+        match self.levels.get(level).and_then(|m| m.get(&prefix)) {
+            Some(&lid) => self.validate_list_inner(level, prefix, lid),
+            None => Ok(()),
+        }
+    }
+
+    /// The per-list body shared by [`SkipGraph::validate`] (every list) and
+    /// [`SkipGraph::validate_list`] (one list).
+    fn validate_list_inner(&self, level: usize, prefix: Prefix, lid: ListId) -> Result<()> {
+        {
+            let prefix = &prefix;
+            {
                 let meta = self.lists[lid.index()].as_ref().ok_or_else(|| {
                     SkipGraphError::InvariantViolated(format!(
                         "freed list recorded for prefix {prefix} at level {level}"
                     ))
                 })?;
-                if meta.len >= 2 {
-                    multi_seen += 1;
-                }
                 if meta.prefix != *prefix || meta.level != level {
                     return Err(SkipGraphError::InvariantViolated(format!(
                         "list identity mismatch for prefix {prefix} at level {level}"
@@ -1790,57 +1881,6 @@ impl SkipGraph {
                         "dummy counter of list {prefix} at level {level} is stale \
                          ({} cached, {dummies_seen} found)",
                         meta.dummies
-                    )));
-                }
-            }
-            if self.multi.get(level).copied().unwrap_or(0) != multi_seen {
-                return Err(SkipGraphError::InvariantViolated(format!(
-                    "multi-member counter at level {level} is stale"
-                )));
-            }
-        }
-        // 4. the two halves of the key index agree.
-        if self.by_key.map.len() != self.by_key.tree.len() {
-            return Err(SkipGraphError::InvariantViolated(format!(
-                "key index halves disagree: {} hashed, {} ordered",
-                self.by_key.map.len(),
-                self.by_key.tree.len()
-            )));
-        }
-        for (key, id) in self.by_key.iter() {
-            if self.by_key.get(key) != Some(id) {
-                return Err(SkipGraphError::InvariantViolated(format!(
-                    "key index halves disagree on key {key}"
-                )));
-            }
-        }
-        // 5. every node is linked at every level up to its vector length.
-        for (key, id) in self.by_key.iter() {
-            let entry = self.entry(id).ok_or_else(|| {
-                SkipGraphError::InvariantViolated(format!("key {key} maps to dead node {id}"))
-            })?;
-            if entry.key != key {
-                return Err(SkipGraphError::InvariantViolated(format!(
-                    "node {id} stored under key {key} but has key {}",
-                    entry.key
-                )));
-            }
-            if self.arena[id.index()].links.len() != entry.mvec.len() + 1 {
-                return Err(SkipGraphError::InvariantViolated(format!(
-                    "node {id} missing link records (has {}, vector length {})",
-                    self.arena[id.index()].links.len(),
-                    entry.mvec.len()
-                )));
-            }
-            for level in 0..=entry.mvec.len() {
-                let prefix = entry.mvec.prefix(level);
-                let link = self.arena[id.index()]
-                    .links
-                    .get(level)
-                    .expect("length checked above");
-                if self.list_meta(link.list).prefix != prefix {
-                    return Err(SkipGraphError::InvariantViolated(format!(
-                        "node {id} missing from its list at level {level}"
                     )));
                 }
             }

@@ -63,6 +63,7 @@
 
 pub mod balance;
 pub mod error;
+pub mod failpoint;
 pub mod fasthash;
 pub mod fixtures;
 pub mod graph;

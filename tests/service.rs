@@ -1,0 +1,383 @@
+//! Integration suite of the [`DsgService`] front-end (PR 6): ticket
+//! lifecycle under backpressure, fail-point-driven fault containment on
+//! both sides of the plan/apply boundary, recovery, and the headline
+//! determinism property — a multi-producer pipelined run replays bit for
+//! bit through a sequential `submit_batch` of its journal.
+//!
+//! Fault-injection tests serialize on `failpoint::exclusive()` (the
+//! registry is process-global) and disarm on every exit path.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use dsg::failpoint;
+use dsg::prelude::*;
+use dsg::service::ShutdownOutcome;
+
+mod common;
+use common::assert_networks_agree;
+
+fn build(n: u64, seed: u64) -> DsgSession {
+    DsgSession::builder()
+        .peers(0..n)
+        .seed(seed)
+        .build()
+        .expect("peer keys 0..n are distinct")
+}
+
+/// Submits each request, waits on its ticket, and panics on any failure.
+fn serve_all(service: &DsgService, requests: &[Request]) {
+    let tickets: Vec<Ticket> = requests
+        .iter()
+        .map(|&r| {
+            service
+                .submit_deadline(r, Duration::from_secs(30))
+                .expect("queue admits within 30s")
+        })
+        .collect();
+    for ticket in tickets {
+        ticket.wait().expect("request serves cleanly");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ticket lifecycle under backpressure
+// ---------------------------------------------------------------------
+
+/// An observer whose `on_transform` blocks until the test releases it —
+/// a deterministic "slow engine" that wedges the ingest thread mid-epoch.
+#[derive(Default)]
+struct GateInner {
+    entered: Mutex<bool>,
+    released: Mutex<bool>,
+    changed: Condvar,
+}
+
+struct GateObserver(Arc<GateInner>);
+
+impl DsgObserver for GateObserver {
+    fn on_transform(&mut self, _event: &TransformEvent) {
+        {
+            let mut entered = self.0.entered.lock().unwrap();
+            *entered = true;
+            self.0.changed.notify_all();
+        }
+        let mut released = self.0.released.lock().unwrap();
+        while !*released {
+            released = self.0.changed.wait(released).unwrap();
+        }
+    }
+}
+
+impl GateInner {
+    fn wait_entered(&self) {
+        let mut entered = self.entered.lock().unwrap();
+        while !*entered {
+            entered = self.changed.wait(entered).unwrap();
+        }
+    }
+
+    fn release(&self) {
+        *self.released.lock().unwrap() = true;
+        self.changed.notify_all();
+    }
+}
+
+#[test]
+fn slow_engine_backpressure_is_typed_and_leaks_no_tickets() {
+    let gate = Arc::new(GateInner::default());
+    let mut session = build(32, 5);
+    session.add_observer(Arc::new(Mutex::new(GateObserver(Arc::clone(&gate)))));
+    let service = DsgService::spawn(
+        session,
+        ServiceConfig {
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+
+    // r1 is drained immediately and wedges the ingest thread inside its
+    // epoch's observer callback; the queue is empty again.
+    let r1 = service.submit(Request::communicate(0, 16)).unwrap();
+    gate.wait_entered();
+    // r2 fills the capacity-1 queue behind the wedged engine.
+    let r2 = service.submit(Request::communicate(1, 17)).unwrap();
+    // Non-blocking submission: typed overload.
+    assert_eq!(
+        service.submit(Request::communicate(2, 18)).unwrap_err(),
+        SubmitError::Overloaded
+    );
+    // Blocking submission: typed timeout once the deadline passes.
+    assert_eq!(
+        service
+            .submit_deadline(Request::communicate(2, 18), Duration::from_millis(50))
+            .unwrap_err(),
+        SubmitError::Timeout
+    );
+    assert!(r1.try_result().is_none(), "r1 resolved while wedged");
+
+    // Unwedge: every accepted ticket resolves, nothing leaks.
+    gate.release();
+    r1.wait().unwrap();
+    r2.wait().unwrap();
+    let done = service.shutdown();
+    assert_eq!(done.metrics.submitted, 2);
+    assert_eq!(done.metrics.rejected_overload, 1);
+    assert_eq!(done.metrics.submit_timeouts, 1);
+    assert!(done.metrics.max_queue_depth >= 1);
+    done.session.engine().validate().unwrap();
+}
+
+#[test]
+fn drain_shutdown_serves_the_backlog() {
+    let service = DsgService::spawn(
+        build(64, 6),
+        ServiceConfig {
+            queue_capacity: 512,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let tickets: Vec<Ticket> = (0..32u64)
+        .map(|i| service.submit(Request::communicate(i, i + 32)).unwrap())
+        .collect();
+    let done = service.shutdown();
+    for ticket in &tickets {
+        ticket.wait().expect("drain policy serves every queued request");
+    }
+    assert_eq!(done.metrics.submitted, 32);
+    done.session.engine().validate().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Fault containment: the plan side of the boundary
+// ---------------------------------------------------------------------
+
+/// Arms `site` for its first hit, submits `faulted` as a burst, and
+/// asserts at least one ticket resolves with `EpochAborted` while every
+/// other ticket either rides in the aborted chunk or serves cleanly once
+/// the one-shot fault is consumed. Returns the shutdown outcome.
+fn run_with_abort_fault(
+    site: &str,
+    n: u64,
+    seed: u64,
+    warmup: &[Request],
+    faulted: &[Request],
+    after: &[Request],
+) -> ShutdownOutcome {
+    let service = DsgService::spawn(
+        build(n, seed),
+        ServiceConfig {
+            record_journal: true,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    serve_all(&service, warmup);
+
+    failpoint::arm(site, 1);
+    let tickets: Vec<Ticket> = faulted
+        .iter()
+        .map(|&r| service.submit_deadline(r, Duration::from_secs(30)).unwrap())
+        .collect();
+    // The ingest thread is free to cut the burst into several chunks; only
+    // the chunk that trips the one-shot fault aborts, the rest serve.
+    let mut aborted = 0usize;
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(_) => {}
+            Err(DsgError::EpochAborted(_)) => aborted += 1,
+            Err(err) => panic!("expected EpochAborted or success, got {err}"),
+        }
+    }
+    assert!(aborted >= 1, "the armed {site} fault never fired");
+    failpoint::disarm_all();
+    assert!(!service.is_poisoned(), "plan-side faults must not poison");
+
+    serve_all(&service, after);
+    service.shutdown()
+}
+
+#[test]
+fn plan_stage_fault_aborts_the_epoch_and_leaves_the_engine_untouched() {
+    let _guard = failpoint::exclusive();
+    failpoint::disarm_all();
+    let n = 48u64;
+    let warmup: Vec<Request> = (0..8).map(|i| Request::communicate(i, i + 24)).collect();
+    let faulted: Vec<Request> = (8..12).map(|i| Request::communicate(i, i + 24)).collect();
+    let after: Vec<Request> = (12..16).map(|i| Request::communicate(i, i + 24)).collect();
+
+    let done = run_with_abort_fault(failpoint::PLAN_WORKER, n, 77, &warmup, &faulted, &after);
+    assert!(done.metrics.plan_aborts >= 1);
+    assert_eq!(done.metrics.poisonings, 0);
+
+    // Bit-for-bit containment: replaying the journal — which records only
+    // the *successfully served* chunks — through a fresh session must land
+    // on the identical structure. Had the aborted epoch leaked one write,
+    // the twin would diverge.
+    let mut twin = build(n, 77);
+    for chunk in &done.journal {
+        twin.submit_batch(chunk).expect("journal replays cleanly");
+    }
+    assert_networks_agree("plan-abort journal twin", done.session.engine(), twin.engine());
+}
+
+#[test]
+fn ingest_loop_fault_fails_the_run_and_the_service_continues() {
+    let _guard = failpoint::exclusive();
+    failpoint::disarm_all();
+    let n = 32u64;
+    let warmup: Vec<Request> = (0..4).map(|i| Request::communicate(i, i + 16)).collect();
+    let faulted = [Request::communicate(4, 20), Request::communicate(5, 21)];
+    let after = [Request::communicate(6, 22)];
+
+    let done = run_with_abort_fault(failpoint::INGEST_LOOP, n, 13, &warmup, &faulted, &after);
+    // The ingest.loop site fires before the engine is entered: contained
+    // as a plan-side abort, no poisoning, service kept serving.
+    assert!(done.metrics.plan_aborts >= 1);
+    assert_eq!(done.metrics.poisonings, 0);
+    done.session.engine().validate().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Fault containment: the apply side of the boundary
+// ---------------------------------------------------------------------
+
+fn poison_and_recover(site: &str, seed: u64) {
+    let _guard = failpoint::exclusive();
+    failpoint::disarm_all();
+    let n = 48u64;
+    let service = DsgService::spawn(build(n, seed), ServiceConfig::default()).unwrap();
+    serve_all(
+        &service,
+        &(0..6).map(|i| Request::communicate(i, i + 24)).collect::<Vec<_>>(),
+    );
+
+    failpoint::arm(site, 1);
+    // Burst of submissions: the first chunk trips the armed fault and
+    // poisons the service. Later submissions either get admitted first
+    // (their tickets then resolve EnginePoisoned — no hangs) or race the
+    // poison transition and are refused at admission with the typed error.
+    let mut admitted: Vec<Ticket> = Vec::new();
+    for i in 6..10u64 {
+        match service.submit_deadline(Request::communicate(i, i + 24), Duration::from_secs(30)) {
+            Ok(ticket) => admitted.push(ticket),
+            Err(SubmitError::Poisoned) => {}
+            Err(err) => panic!("unexpected admission error {err}"),
+        }
+    }
+    assert!(!admitted.is_empty());
+    let mut poisoned_tickets = 0usize;
+    for ticket in admitted {
+        match ticket.wait() {
+            Ok(_) => {} // a chunk served before the armed site was reached
+            Err(DsgError::EnginePoisoned) => poisoned_tickets += 1,
+            Err(err) => panic!("expected EnginePoisoned, got {err}"),
+        }
+    }
+    assert!(poisoned_tickets >= 1, "the armed {site} fault never fired");
+    failpoint::disarm_all();
+    assert!(service.is_poisoned());
+
+    // New submissions are refused while poisoned.
+    assert_eq!(
+        service.submit(Request::communicate(1, 30)).unwrap_err(),
+        SubmitError::Poisoned
+    );
+
+    // Opt-in recovery rebuilds from the surviving state and deep-validates.
+    let report = service.recover().expect("recovery succeeds");
+    assert!(report.peers > 0 && report.peers <= n as usize);
+    assert!(!service.is_poisoned());
+
+    // The service is fully live again: serve more traffic, then prove the
+    // final structure deep-validates clean.
+    serve_all(
+        &service,
+        &(0..6).map(|i| Request::communicate(i + 10, i + 34)).collect::<Vec<_>>(),
+    );
+    let done = service.shutdown();
+    assert_eq!(done.metrics.poisonings, 1);
+    assert_eq!(done.metrics.recoveries, 1);
+    done.session.engine().validate().unwrap();
+}
+
+#[test]
+fn apply_splice_fault_poisons_then_recovers() {
+    poison_and_recover(failpoint::APPLY_SPLICE, 301);
+}
+
+#[test]
+fn dummy_reconciliation_fault_poisons_then_recovers() {
+    // Pass 0 of the reconciling repair is a pure read, but it runs after
+    // the epoch's install — the phase marker says Applying, so the
+    // containment must poison, not abort.
+    poison_and_recover(failpoint::DUMMY_PASS0, 302);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: pipelined multi-producer run == sequential journal replay
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The service adds concurrency only at the queue boundary: whatever
+    /// interleaving the producers race into, replaying the recorded chunk
+    /// journal through a fresh single-threaded session reproduces the
+    /// final structure bit for bit (graphs, dummy populations, per-peer
+    /// state).
+    #[test]
+    fn pipelined_run_replays_bit_for_bit(
+        n in 16u64..48,
+        seed in 0u64..1000,
+        raw in proptest::collection::vec((0u64..1000, 0u64..1000), 8..48),
+        producers in 2usize..5,
+    ) {
+        let requests: Vec<Request> = raw
+            .iter()
+            .filter_map(|&(a, b)| {
+                let (u, v) = (a % n, b % n);
+                (u != v).then(|| Request::communicate(u, v))
+            })
+            .collect();
+        if requests.is_empty() {
+            return;
+        }
+        let service = DsgService::spawn(
+            build(n, seed),
+            ServiceConfig {
+                record_journal: true,
+                queue_capacity: 8,
+                ingest_batch: 4,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        std::thread::scope(|scope| {
+            for slice in requests.chunks(requests.len().div_ceil(producers)) {
+                let service = &service;
+                scope.spawn(move || {
+                    for &request in slice {
+                        let ticket = service
+                            .submit_deadline(request, Duration::from_secs(30))
+                            .expect("queue admits within 30s");
+                        ticket.wait().expect("request serves cleanly");
+                    }
+                });
+            }
+        });
+        let done = service.shutdown();
+        prop_assert_eq!(done.metrics.submitted as usize, requests.len());
+
+        let mut twin = build(n, seed);
+        for chunk in &done.journal {
+            twin.submit_batch(chunk).expect("journal replays cleanly");
+        }
+        assert_networks_agree("service journal twin", done.session.engine(), twin.engine());
+        prop_assert_eq!(done.session.epochs(), twin.epochs());
+    }
+}

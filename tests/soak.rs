@@ -136,3 +136,110 @@ fn soak_mixed_traffic_serial() {
 fn soak_mixed_traffic_sharded() {
     soak(4);
 }
+
+/// Fault-injection soak (PR 6): a seeded fault schedule walks every named
+/// fail-point site several rounds through a live [`DsgService`], proving
+/// that (a) each site actually fires under organic traffic, (b) no
+/// submission ever hangs — every ticket resolves or is refused with a
+/// typed error, (c) a poisoned service recovers and keeps serving, and
+/// (d) the surviving engine passes the deep invariant sweep at the end.
+///
+/// Serialized on `failpoint::exclusive()` because the registry is
+/// process-global.
+#[test]
+#[ignore = "long-horizon soak; run explicitly (CI soak job) with --ignored"]
+fn soak_fault_injection_schedule() {
+    use std::time::Duration;
+
+    use dsg::failpoint;
+
+    const PEERS: u64 = 128;
+    const ROUNDS: u64 = 3;
+    /// Per-site cap on driven requests before declaring the site dead.
+    const DRIVE_CAP: usize = 400;
+
+    let _guard = failpoint::exclusive();
+    failpoint::disarm_all();
+
+    let session = DsgSession::builder()
+        .peers(0..PEERS)
+        .seed(0xFA17)
+        .build()
+        .expect("soak config is valid");
+    let service = DsgService::spawn(session, ServiceConfig::default()).unwrap();
+    let mut mix = Mix(0xFA17_C0DE);
+    let mut recoveries = 0usize;
+
+    for round in 0..ROUNDS {
+        for &site in failpoint::sites() {
+            let before = failpoint::hit_count(site);
+            // The seeded schedule varies *when* each site fires per round
+            // (1st..4th hit after arming) without giving up determinism.
+            failpoint::arm(site, failpoint::seeded_nth(0xFA17 ^ round, site, 4));
+
+            // Drive organic traffic until the armed site trips, capped so a
+            // dead site fails the test instead of spinning forever.
+            let mut tripped = false;
+            for _ in 0..DRIVE_CAP {
+                let u = mix.next() % PEERS;
+                let mut v = mix.next() % PEERS;
+                if v == u {
+                    v = (v + 1) % PEERS;
+                }
+                let submitted =
+                    service.submit_deadline(Request::communicate(u, v), Duration::from_secs(30));
+                match submitted {
+                    Ok(ticket) => match ticket.wait() {
+                        Ok(_) => {}
+                        Err(DsgError::EpochAborted(_)) | Err(DsgError::EnginePoisoned) => {
+                            tripped = true;
+                            break;
+                        }
+                        Err(err) => panic!("round {round}, site {site}: unexpected {err}"),
+                    },
+                    Err(SubmitError::Poisoned) => {
+                        tripped = true;
+                        break;
+                    }
+                    Err(err) => panic!("round {round}, site {site}: refused with {err}"),
+                }
+            }
+            // `disarm_all` zeroes the hit counters, so read the evidence first.
+            let hits = failpoint::hit_count(site);
+            failpoint::disarm_all();
+            assert!(
+                tripped && hits > before,
+                "round {round}: site {site} never fired within {DRIVE_CAP} requests"
+            );
+
+            if service.is_poisoned() {
+                let report = service.recover().unwrap_or_else(|e| {
+                    panic!("round {round}: recovery after {site} failed: {e}")
+                });
+                assert!(report.peers > 0, "recovery after {site} kept no peers");
+                recoveries += 1;
+            }
+            // Back-to-health probe: the service serves cleanly again.
+            for probe in 0..4u64 {
+                let u = (mix.next() + probe) % PEERS;
+                let v = (u + 1 + mix.next() % (PEERS - 1)) % PEERS;
+                service
+                    .submit_deadline(Request::communicate(u, v), Duration::from_secs(30))
+                    .expect("healthy service admits")
+                    .wait()
+                    .unwrap_or_else(|e| {
+                        panic!("round {round}: post-{site} probe failed: {e}")
+                    });
+            }
+        }
+    }
+    // Apply-side sites poison every round, so the schedule exercised the
+    // recovery path at least that often.
+    assert!(recoveries >= 2 * ROUNDS as usize);
+    let done = service.shutdown();
+    assert_eq!(done.metrics.recoveries as usize, recoveries);
+    done.session
+        .engine()
+        .validate()
+        .expect("post-schedule deep invariant sweep");
+}
