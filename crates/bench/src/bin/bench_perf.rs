@@ -21,20 +21,27 @@
 //! directory. Set `BENCH_PERF_QUICK=1` to run a fast smoke (fewer
 //! repetitions, shorter traces) — used by CI.
 //!
-//! The JSON schema (`dsg-bench-perf/v5`) is documented in `ROADMAP.md`
-//! ("BENCH_perf.json schema"). v5 adds the `service_ingest` table: the
+//! The JSON schema (`dsg-bench-perf/v6`) is documented in `ROADMAP.md`
+//! ("BENCH_perf.json schema"). v5 added the `service_ingest` table: the
 //! concurrent [`dsg::DsgService`] front-end driven by 1/2/4/8 producer
 //! threads over a bounded queue, reporting throughput, peak queue depth,
 //! typed overload rejections, and epochs formed. Caveat for 1-CPU
 //! containers (the CI runner class): producers and the ingest thread
 //! time-share one core, so the producer sweep measures queueing overhead
 //! — not parallel speedup — there; read the rows as a backpressure/cost
-//! profile, not a scaling curve.
+//! profile, not a scaling curve. v6 adds the `recovery` table: durability
+//! costs of the `dsg-persist` subsystem — snapshot encode/decode wall
+//! time and size, plus crash-recovery replay throughput through
+//! [`dsg::DsgService::open`] against a journal with a deliberately torn
+//! tail.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use dsg::{DsgConfig, DsgService, DsgSession, ServiceConfig, SubmitError};
+use dsg::persist::{decode_snapshot, encode_snapshot};
+use dsg::{
+    DsgConfig, DsgService, DsgSession, DynamicSkipGraph, PersistConfig, ServiceConfig, SubmitError,
+};
 use dsg_bench::{
     perf_trace_len, reference_graph_like, route_pairs, run_dsg, run_dsg_batched, workload_trace,
     WorkloadKind, BATCH_SIZES, COMM_BATCH_SIZES, COMM_SIZES, SIZES,
@@ -371,7 +378,7 @@ fn measure_service_ingest(quick: bool) -> Vec<ServiceRow> {
                 .peers(0..n)
                 .build()
                 .expect("peer keys 0..n are distinct");
-            let service = DsgService::spawn(
+            let mut service = DsgService::spawn(
                 session,
                 ServiceConfig {
                     queue_capacity: SERVICE_QUEUE,
@@ -402,7 +409,13 @@ fn measure_service_ingest(quick: bool) -> Vec<ServiceRow> {
                     });
                 }
             });
-            let done = service.shutdown();
+            let status = service.status();
+            eprintln!(
+                "bench_perf:   service status (producers={producers}): \
+                 queue_depth={} epochs={} batches={} audits={} poisoned={}",
+                status.queue_depth, status.epochs, status.batches, status.audits, status.poisoned
+            );
+            let done = service.shutdown().expect("first shutdown");
             let elapsed_ns = start.elapsed().as_nanos();
             ServiceRow {
                 producers,
@@ -414,6 +427,121 @@ fn measure_service_ingest(quick: bool) -> Vec<ServiceRow> {
                 epochs: done.metrics.epochs,
                 batches: done.metrics.batches,
                 max_queue_depth: done.metrics.max_queue_depth,
+            }
+        })
+        .collect()
+}
+
+/// Network sizes the `recovery` suite sweeps. Kept below the communicate
+/// sweep's top end: the suite serves its whole trace through a persistent
+/// service (journal fsync path included) before it ever measures anything.
+const RECOVERY_SIZES: &[u64] = &[256, 1024];
+
+struct RecoveryRow {
+    n: u64,
+    requests: usize,
+    snapshot_bytes: usize,
+    encode_ns: u128,
+    decode_ns: u128,
+    recover_ns: u128,
+    frames_replayed: u64,
+    requests_replayed: u64,
+    torn_bytes_truncated: u64,
+}
+
+impl RecoveryRow {
+    fn replay_requests_per_sec(&self) -> f64 {
+        self.requests_replayed as f64 / (self.recover_ns as f64 / 1e9).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Durability-cost suite: serves the uniform trace through a persistent
+/// [`DsgService`] (journaling every chunk, no periodic checkpoints, so the
+/// whole trace is recovery's replay suffix), then measures (a) snapshot
+/// encode/decode wall time and size for the final engine image, and (b) a
+/// timed crash-recovery [`DsgService::open`] against the store — with a
+/// half-written frame appended to the journal first, so the torn-tail
+/// truncation path is part of every measured recovery.
+fn measure_recovery(quick: bool, reps: usize) -> Vec<RecoveryRow> {
+    RECOVERY_SIZES
+        .iter()
+        .map(|&n| {
+            let m = perf_trace_len(n, quick);
+            let trace = workload_trace(WorkloadKind::Uniform, n, m, 3);
+            let dir = std::env::temp_dir()
+                .join(format!("dsg-bench-recovery-{}-{n}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            let builder = || {
+                DsgSession::builder()
+                    .config(DsgConfig::default().with_seed(1))
+                    .peers(0..n)
+            };
+            let config = ServiceConfig {
+                persist: Some(
+                    // fsync 0 (sync only at shutdown) keeps the staging
+                    // replay fast; snapshot 0 pins recovery to the genesis
+                    // checkpoint so it replays the full trace.
+                    PersistConfig::default()
+                        .with_fsync_every(0)
+                        .with_snapshot_every(0),
+                ),
+                ..ServiceConfig::default()
+            };
+            let (mut service, _) =
+                DsgService::open(&dir, builder(), config).expect("recovery store cold-starts");
+            let mut tickets = Vec::with_capacity(trace.len());
+            for &request in &trace {
+                tickets.push(
+                    service
+                        .submit_deadline(request, Duration::from_secs(60))
+                        .expect("the queue drains within 60s"),
+                );
+            }
+            for ticket in tickets {
+                ticket.wait().expect("uniform trace serves cleanly");
+            }
+            let done = service.shutdown().expect("first shutdown");
+
+            // Snapshot codec costs on the final (post-trace) engine image.
+            let image = done.session.engine().capture_image();
+            let encode_ns = median_ns(reps, || {
+                std::hint::black_box(encode_snapshot(&image));
+            });
+            let bytes = encode_snapshot(&image);
+            let snapshot_bytes = bytes.len();
+            let decode_ns = median_ns(reps, || {
+                let decoded = decode_snapshot(&bytes).expect("round-trips");
+                let engine = DynamicSkipGraph::restore_image(&decoded).expect("restores");
+                std::hint::black_box(engine);
+            });
+
+            // Tear the journal's tail — a half-written frame header — so
+            // the measured open exercises detection + truncation too.
+            {
+                use std::io::Write as _;
+                let mut journal = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(dir.join(dsg::persist::JOURNAL_FILE))
+                    .expect("journal exists");
+                journal.write_all(&[0xAB; 5]).expect("torn tail appended");
+            }
+            let start = Instant::now();
+            let (mut recovered, report) =
+                DsgService::open(&dir, builder(), config).expect("store recovers");
+            let recover_ns = start.elapsed().as_nanos();
+            recovered.shutdown().expect("first shutdown");
+            std::fs::remove_dir_all(&dir).ok();
+
+            RecoveryRow {
+                n,
+                requests: m,
+                snapshot_bytes,
+                encode_ns,
+                decode_ns,
+                recover_ns,
+                frames_replayed: report.frames_replayed,
+                requests_replayed: report.requests_replayed,
+                torn_bytes_truncated: report.torn_bytes_truncated,
             }
         })
         .collect()
@@ -458,6 +586,8 @@ fn main() {
     let communicate_batched = measure_communicate_batched(quick());
     eprintln!("bench_perf: service ingest throughput (concurrent front-end)...");
     let service_ingest = measure_service_ingest(quick());
+    eprintln!("bench_perf: recovery costs (snapshot codec + journal replay)...");
+    let recovery = measure_recovery(quick(), reps);
 
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -546,10 +676,36 @@ fn main() {
     }
     service_json.push_str("\n  ]");
 
+    let mut recovery_json = String::from("[");
+    for (i, row) in recovery.iter().enumerate() {
+        if i > 0 {
+            recovery_json.push(',');
+        }
+        let _ = write!(
+            recovery_json,
+            "\n    {{\"n\": {}, \"requests\": {}, \"snapshot_bytes\": {}, \
+             \"encode_ms\": {:.3}, \"decode_ms\": {:.3}, \"recover_ms\": {:.3}, \
+             \"frames_replayed\": {}, \"requests_replayed\": {}, \
+             \"replay_requests_per_sec\": {:.1}, \"torn_bytes_truncated\": {}}}",
+            row.n,
+            row.requests,
+            row.snapshot_bytes,
+            row.encode_ns as f64 / 1e6,
+            row.decode_ns as f64 / 1e6,
+            row.recover_ns as f64 / 1e6,
+            row.frames_replayed,
+            row.requests_replayed,
+            row.replay_requests_per_sec(),
+            row.torn_bytes_truncated
+        );
+    }
+    recovery_json.push_str("\n  ]");
+
     let json = format!(
-        "{{\n  \"schema\": \"dsg-bench-perf/v5\",\n  \"created_unix\": {unix_time},\n  \
+        "{{\n  \"schema\": \"dsg-bench-perf/v6\",\n  \"created_unix\": {unix_time},\n  \
          \"quick\": {},\n  \"route\": {},\n  \"neighbors\": {},\n  \"dummy_probe\": {},\n  \
-         \"communicate\": {},\n  \"communicate_batched\": {},\n  \"service_ingest\": {}\n}}\n",
+         \"communicate\": {},\n  \"communicate_batched\": {},\n  \"service_ingest\": {},\n  \
+         \"recovery\": {}\n}}\n",
         quick(),
         micro_json(&route),
         micro_json(&neighbors),
@@ -557,6 +713,7 @@ fn main() {
         comm_json,
         batch_json,
         service_json,
+        recovery_json,
     );
     std::fs::write(&output, &json).expect("write BENCH_perf.json");
 
@@ -608,6 +765,20 @@ fn main() {
             row.batches,
             row.max_queue_depth,
             row.rejected_overload
+        );
+    }
+
+    for row in &recovery {
+        eprintln!(
+            "  recovery  n={:<5} snapshot {:>8} B   encode {:>7.2} ms   decode {:>7.2} ms   \
+             recover {:>8.2} ms   replay {:>10.1} req/s   torn {:>2} B",
+            row.n,
+            row.snapshot_bytes,
+            row.encode_ns as f64 / 1e6,
+            row.decode_ns as f64 / 1e6,
+            row.recover_ns as f64 / 1e6,
+            row.replay_requests_per_sec(),
+            row.torn_bytes_truncated
         );
     }
 

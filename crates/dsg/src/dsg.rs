@@ -876,6 +876,115 @@ impl DynamicSkipGraph {
     }
 
     // ------------------------------------------------------------------
+    // Persistence: snapshot capture / restore
+    // ------------------------------------------------------------------
+
+    /// Captures a serializable image of the engine — graph nodes and
+    /// membership vectors, the raw per-node state vectors, the logical
+    /// clock, the RNG state, and the configuration — sufficient for
+    /// [`restore_image`](Self::restore_image) to rebuild an engine that
+    /// behaves identically from here on.
+    ///
+    /// Intended to run at the quiescent point between epochs
+    /// ([`EpochPhase::Idle`]); capturing a poisoned, half-applied
+    /// structure snapshots the damage. Run statistics and pooled scratch
+    /// are not part of the image (they restart at zero, like the metrics
+    /// of a restarted process).
+    pub fn capture_image(&self) -> crate::persist::EngineImage {
+        let mut nodes: Vec<crate::persist::NodeImage> = self
+            .graph
+            .node_ids()
+            .map(|id| {
+                let key = self.graph.key_of(id).expect("live node has a key");
+                let entry = self.graph.node(id).expect("live node has an entry");
+                let mvec = self.graph.mvec_of(id).expect("live node has a vector");
+                let state = self.states.get(id);
+                debug_assert_eq!(state.key(), key, "state key matches graph key");
+                let (timestamps, group_ids, dominating) = state.raw_parts();
+                crate::persist::NodeImage {
+                    key: key.value(),
+                    dummy: entry.is_dummy(),
+                    mvec_bits: mvec.iter().map(|bit| bit.as_u8()).collect(),
+                    group_base: state.group_base() as u64,
+                    timestamps: timestamps.to_vec(),
+                    group_ids: group_ids.to_vec(),
+                    dominating: dominating.to_vec(),
+                }
+            })
+            .collect();
+        nodes.sort_unstable_by_key(|node| node.key);
+        crate::persist::EngineImage {
+            config: self.config,
+            time: self.time,
+            rng_state: self.rng.state(),
+            nodes,
+        }
+    }
+
+    /// Rebuilds an engine from a captured image.
+    ///
+    /// Nodes are re-inserted in ascending key order, receiving fresh dense
+    /// `NodeId`s — which is behaviour-preserving, because every
+    /// result-affecting path in the engine orders by key, prefix, or level
+    /// (`NodeId`-keyed containers are lookup-only). The restored engine
+    /// continues the captured logical clock and RNG stream, so replayed
+    /// requests (including joins, which draw membership bits from the
+    /// RNG) produce bit-identical structure. Closes with a deep
+    /// [`validate`](Self::validate).
+    ///
+    /// # Errors
+    ///
+    /// Returns the substrate's error if an image node cannot be inserted
+    /// (duplicate or out-of-range keys in a tampered image) and the deep
+    /// validation error if the rebuilt structure is not clean.
+    pub fn restore_image(image: &crate::persist::EngineImage) -> Result<Self> {
+        let mut graph = SkipGraph::new();
+        let mut states = StateTable::new();
+        for node in &image.nodes {
+            let key = Key::new(node.key);
+            let mvec = MembershipVector::from_bits(
+                node.mvec_bits
+                    .iter()
+                    .map(|&bit| dsg_skipgraph::Bit::from_u8(bit)),
+            )?;
+            let id = if node.dummy {
+                graph.insert_dummy(key, mvec)?
+            } else {
+                graph.insert(key, mvec)?
+            };
+            states.register_state(
+                id,
+                NodeState::from_raw_parts(
+                    key,
+                    node.group_base as usize,
+                    node.timestamps.clone(),
+                    node.group_ids.clone(),
+                    node.dominating.clone(),
+                ),
+            );
+        }
+        let config = image.config;
+        let plan_shards_scratch = vec![PlanShard::from_config(&config)];
+        let mut engine = DynamicSkipGraph {
+            graph,
+            states,
+            config,
+            plan_shards_scratch,
+            bufs_pool: Vec::new(),
+            reconcile_pool: Vec::new(),
+            rng: StdRng::from_state(image.rng_state),
+            time: image.time,
+            stats: RunStats::default(),
+            scratch: CommScratch::default(),
+            phase: EpochPhase::Idle,
+            last_affected: Vec::new(),
+        };
+        engine.stats.live_dummy_nodes = engine.graph.dummy_count();
+        engine.validate()?;
+        Ok(engine)
+    }
+
+    // ------------------------------------------------------------------
     // Membership changes (§IV-G)
     // ------------------------------------------------------------------
 

@@ -52,6 +52,20 @@ pub enum DsgError {
     /// The request was not served because the service is shutting down
     /// (abort-policy shutdowns resolve still-queued tickets this way).
     ShuttingDown,
+    /// [`shutdown`](crate::service::DsgService::shutdown) was called on a
+    /// service whose worker was already joined (a second `shutdown` after
+    /// the first one succeeded).
+    AlreadyShutDown,
+    /// [`recover`](crate::service::DsgService::recover) was called on a
+    /// healthy (non-poisoned) service: there is nothing to rebuild, and
+    /// silently rebuilding a healthy engine would discard its structure.
+    NotPoisoned,
+    /// The durability layer failed; see
+    /// [`PersistError`](crate::persist::PersistError). Requests that fail
+    /// to reach the journal resolve their tickets with this error (the
+    /// engine was never called, so they can be resubmitted once the
+    /// underlying condition clears).
+    Persist(crate::persist::PersistError),
 }
 
 impl fmt::Display for DsgError {
@@ -80,6 +94,13 @@ impl fmt::Display for DsgError {
                 write!(f, "the engine is poisoned by an apply-stage fault; recover() first")
             }
             DsgError::ShuttingDown => write!(f, "the service is shutting down"),
+            DsgError::AlreadyShutDown => {
+                write!(f, "the service has already been shut down")
+            }
+            DsgError::NotPoisoned => {
+                write!(f, "the service is not poisoned; there is nothing to recover")
+            }
+            DsgError::Persist(err) => write!(f, "persistence error: {err}"),
         }
     }
 }
@@ -88,6 +109,7 @@ impl std::error::Error for DsgError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DsgError::SkipGraph(err) => Some(err),
+            DsgError::Persist(err) => Some(err),
             _ => None,
         }
     }
@@ -96,6 +118,12 @@ impl std::error::Error for DsgError {
 impl From<SkipGraphError> for DsgError {
     fn from(err: SkipGraphError) -> Self {
         DsgError::SkipGraph(err)
+    }
+}
+
+impl From<crate::persist::PersistError> for DsgError {
+    fn from(err: crate::persist::PersistError) -> Self {
+        DsgError::Persist(err)
     }
 }
 

@@ -38,6 +38,7 @@
 //! | [`request`] | — | the unified typed [`Request`] vocabulary |
 //! | [`session`] | — | [`DsgSession`] / [`DsgBuilder`], the public entry point |
 //! | [`service`] | — | [`DsgService`](service::DsgService), the fault-contained concurrent ingest front-end |
+//! | [`persist`] | — | durable write-ahead journal + snapshot checkpoints behind [`DsgService::open`](service::DsgService::open) |
 //! | [`observer`] | — | [`DsgObserver`] progress hooks |
 //! | [`fixtures`] | Fig. 4 | the worked S₈ example instance |
 //!
@@ -79,6 +80,7 @@ pub mod error;
 pub mod fixtures;
 pub mod groups;
 pub mod observer;
+pub mod persist;
 pub mod priority;
 pub mod request;
 pub mod service;
@@ -95,9 +97,13 @@ pub use error::DsgError;
 pub use observer::{
     AuditEvent, BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent,
 };
+pub use persist::{DurableStore, EngineImage, PersistConfig, PersistError};
 pub use priority::Priority;
 pub use request::Request;
-pub use service::{DsgService, ServiceConfig, ServiceMetrics, ShutdownPolicy, SubmitError, Ticket};
+pub use service::{
+    DsgService, OpenReport, ServiceConfig, ServiceMetrics, ServiceStatus, ShutdownPolicy,
+    SubmitError, Ticket,
+};
 pub use session::{BatchOutcome, DsgBuilder, DsgSession, SubmitOutcome};
 pub use state::{NodeState, StateTable};
 
@@ -133,9 +139,11 @@ pub mod prelude {
     pub use crate::observer::{
         AuditEvent, BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent,
     };
+    pub use crate::persist::{PersistConfig, PersistError};
     pub use crate::request::Request;
     pub use crate::service::{
-        DsgService, ServiceConfig, ServiceMetrics, ShutdownPolicy, SubmitError, Ticket,
+        DsgService, OpenReport, ServiceConfig, ServiceMetrics, ServiceStatus, ShutdownPolicy,
+        SubmitError, Ticket,
     };
     pub use crate::session::{BatchOutcome, DsgBuilder, DsgSession, SubmitOutcome};
 }

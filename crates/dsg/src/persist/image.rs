@@ -1,0 +1,374 @@
+//! The serialized engine image: everything
+//! [`DynamicSkipGraph::restore_image`](crate::DynamicSkipGraph::restore_image)
+//! needs to rebuild an engine that *behaves* identically to the captured
+//! one.
+//!
+//! The image is deliberately **key-addressed**: nodes are stored in
+//! ascending internal-key order and `NodeId`s are not serialized at all.
+//! Every result-affecting path in the engine orders by key, prefix, or
+//! level (`NodeId`-keyed containers are lookup-only), so a restore that
+//! re-inserts nodes in key order — receiving fresh, dense ids — replays
+//! the same behaviour bit for bit. The `tests/common` comparators are
+//! key-based for the same reason.
+//!
+//! What must be captured *exactly*, beyond the obvious links and
+//! membership vectors:
+//!
+//! * the raw per-node state vectors verbatim ([`NodeState::raw_parts`]):
+//!   their stored *lengths* are observable (the unbounded common-group
+//!   scan reads `stored_group_levels`), so trailing entries holding
+//!   default values must survive;
+//! * the logical clock — timestamps of future requests depend on it;
+//! * the engine RNG's full internal state — replayed `Join` requests draw
+//!   membership-vector bits from it, and recovery replays joins;
+//! * the [`DsgConfig`] — the restored engine must plan with the captured
+//!   `a`, seed, shard count, and strategies, not whatever the reopening
+//!   process happens to pass.
+//!
+//! Run statistics and pooled scratch are deliberately *not* captured: they
+//! restart at zero/empty, exactly like the metrics of a restarted process,
+//! and nothing behavioural reads them.
+//!
+//! [`NodeState::raw_parts`]: crate::NodeState::raw_parts
+
+use super::{put_u32, put_u64, PersistError, Reader};
+use crate::config::{DsgConfig, InstallStrategy, MedianStrategy};
+use dsg_skipgraph::crc32::crc32;
+
+/// Leading magic of a snapshot payload (version 1).
+const MAGIC: &[u8; 8] = b"DSGSNAP1";
+
+/// A serializable image of one graph node (peer or dummy) and its
+/// self-adjusting state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeImage {
+    /// The node's *internal* key (peer keys are spaced by `KEY_SPACING`;
+    /// dummies sit in between).
+    pub key: u64,
+    /// Whether the node is a routing-only dummy.
+    pub dummy: bool,
+    /// Membership-vector bits for levels `1..=len`, one `0`/`1` byte each.
+    pub mvec_bits: Vec<u8>,
+    /// The state's group-base `B^x`.
+    pub group_base: u64,
+    /// Raw stored timestamp vector, length preserved verbatim.
+    pub timestamps: Vec<u64>,
+    /// Raw stored group-id vector, length preserved verbatim.
+    pub group_ids: Vec<u64>,
+    /// Raw stored dominating-flag vector, length preserved verbatim.
+    pub dominating: Vec<bool>,
+}
+
+/// A full serialized engine: the payload of a snapshot checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineImage {
+    /// The engine configuration at capture time.
+    pub config: DsgConfig,
+    /// The logical clock at capture time.
+    pub time: u64,
+    /// The engine RNG's internal state (xoshiro256++ words).
+    pub rng_state: [u64; 4],
+    /// Every live node in ascending internal-key order.
+    pub nodes: Vec<NodeImage>,
+}
+
+fn median_tag(m: MedianStrategy) -> u8 {
+    match m {
+        MedianStrategy::Amf => 0,
+        MedianStrategy::Exact => 1,
+    }
+}
+
+fn install_tag(i: InstallStrategy) -> u8 {
+    match i {
+        InstallStrategy::Batched => 0,
+        InstallStrategy::PerNode => 1,
+    }
+}
+
+/// Encodes an image into the checkpoint payload (magic-led, CRC applied by
+/// the file wrapper in the store).
+pub fn encode_snapshot(image: &EngineImage) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + image.nodes.len() * 64);
+    buf.extend_from_slice(MAGIC);
+    put_u64(&mut buf, image.config.a as u64);
+    buf.push(median_tag(image.config.median));
+    put_u64(&mut buf, image.config.seed);
+    buf.push(image.config.maintain_balance as u8);
+    buf.push(install_tag(image.config.install));
+    put_u64(&mut buf, image.config.shards as u64);
+    buf.push(image.config.adaptive_flush as u8);
+    put_u64(&mut buf, image.time);
+    for word in image.rng_state {
+        put_u64(&mut buf, word);
+    }
+    put_u64(&mut buf, image.nodes.len() as u64);
+    for node in &image.nodes {
+        put_u64(&mut buf, node.key);
+        buf.push(node.dummy as u8);
+        put_u32(&mut buf, node.mvec_bits.len() as u32);
+        buf.extend_from_slice(&node.mvec_bits);
+        put_u64(&mut buf, node.group_base);
+        put_u32(&mut buf, node.timestamps.len() as u32);
+        for &t in &node.timestamps {
+            put_u64(&mut buf, t);
+        }
+        put_u32(&mut buf, node.group_ids.len() as u32);
+        for &g in &node.group_ids {
+            put_u64(&mut buf, g);
+        }
+        put_u32(&mut buf, node.dominating.len() as u32);
+        buf.extend(node.dominating.iter().map(|&d| d as u8));
+    }
+    buf
+}
+
+fn corrupt(detail: &str) -> PersistError {
+    PersistError::CorruptSnapshot {
+        detail: detail.to_string(),
+    }
+}
+
+/// Decodes a checkpoint payload back into an [`EngineImage`].
+///
+/// # Errors
+///
+/// Returns [`PersistError::CorruptSnapshot`] on any structural problem:
+/// bad magic, truncated payload, invalid tags, out-of-order keys, or
+/// trailing bytes.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<EngineImage, PersistError> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(MAGIC.len()).map_err(|_| corrupt("truncated magic"))? != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let short = |_| corrupt("payload ran out of bytes");
+    let a = r.u64().map_err(short)? as usize;
+    let median = match r.u8().map_err(short)? {
+        0 => MedianStrategy::Amf,
+        1 => MedianStrategy::Exact,
+        tag => return Err(corrupt(&format!("unknown median strategy tag {tag}"))),
+    };
+    let seed = r.u64().map_err(short)?;
+    let maintain_balance = match r.u8().map_err(short)? {
+        0 => false,
+        1 => true,
+        tag => return Err(corrupt(&format!("bad maintain_balance byte {tag}"))),
+    };
+    let install = match r.u8().map_err(short)? {
+        0 => InstallStrategy::Batched,
+        1 => InstallStrategy::PerNode,
+        tag => return Err(corrupt(&format!("unknown install strategy tag {tag}"))),
+    };
+    let shards = r.u64().map_err(short)? as usize;
+    let adaptive_flush = match r.u8().map_err(short)? {
+        0 => false,
+        1 => true,
+        tag => return Err(corrupt(&format!("bad adaptive_flush byte {tag}"))),
+    };
+    if a < 2 {
+        return Err(corrupt(&format!("balance parameter a = {a} below 2")));
+    }
+    if shards == 0 {
+        return Err(corrupt("zero plan shards"));
+    }
+    let config = DsgConfig {
+        a,
+        median,
+        seed,
+        maintain_balance,
+        install,
+        shards,
+        adaptive_flush,
+    };
+    let time = r.u64().map_err(short)?;
+    let mut rng_state = [0u64; 4];
+    for word in &mut rng_state {
+        *word = r.u64().map_err(short)?;
+    }
+    let count = r.u64().map_err(short)?;
+    if count > bytes.len() as u64 {
+        // Each node occupies well over one byte; a count beyond the
+        // payload length is corruption, caught before the allocation.
+        return Err(corrupt(&format!("implausible node count {count}")));
+    }
+    let mut nodes = Vec::with_capacity(count as usize);
+    let mut last_key: Option<u64> = None;
+    for _ in 0..count {
+        let key = r.u64().map_err(short)?;
+        if let Some(prev) = last_key {
+            if key <= prev {
+                return Err(corrupt(&format!(
+                    "node keys out of order: {key} after {prev}"
+                )));
+            }
+        }
+        last_key = Some(key);
+        let dummy = match r.u8().map_err(short)? {
+            0 => false,
+            1 => true,
+            tag => return Err(corrupt(&format!("bad dummy byte {tag}"))),
+        };
+        let mvec_len = r.u32().map_err(short)? as usize;
+        let mvec_bits = r.bytes(mvec_len).map_err(short)?.to_vec();
+        if mvec_bits.iter().any(|&b| b > 1) {
+            return Err(corrupt("membership-vector byte is not 0/1"));
+        }
+        let group_base = r.u64().map_err(short)?;
+        let ts_len = r.u32().map_err(short)? as usize;
+        let mut timestamps = Vec::with_capacity(ts_len.min(bytes.len()));
+        for _ in 0..ts_len {
+            timestamps.push(r.u64().map_err(short)?);
+        }
+        let gid_len = r.u32().map_err(short)? as usize;
+        let mut group_ids = Vec::with_capacity(gid_len.min(bytes.len()));
+        for _ in 0..gid_len {
+            group_ids.push(r.u64().map_err(short)?);
+        }
+        let dom_len = r.u32().map_err(short)? as usize;
+        let dom_bytes = r.bytes(dom_len).map_err(short)?;
+        if dom_bytes.iter().any(|&b| b > 1) {
+            return Err(corrupt("dominating byte is not 0/1"));
+        }
+        let dominating = dom_bytes.iter().map(|&b| b == 1).collect();
+        nodes.push(NodeImage {
+            key,
+            dummy,
+            mvec_bits,
+            group_base,
+            timestamps,
+            group_ids,
+            dominating,
+        });
+    }
+    if !r.is_at_end() {
+        return Err(corrupt("trailing bytes after the last node"));
+    }
+    Ok(EngineImage {
+        config,
+        time,
+        rng_state,
+        nodes,
+    })
+}
+
+/// Wraps a payload in the CRC-checked file envelope shared by snapshot and
+/// manifest files: `[len: u64 LE][crc32: u32 LE][payload]`.
+pub(crate) fn wrap_file(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12 + payload.len());
+    put_u64(&mut buf, payload.len() as u64);
+    put_u32(&mut buf, crc32(payload));
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Unwraps and verifies the file envelope written by [`wrap_file`],
+/// reporting failures through `make_err` (snapshot vs manifest flavour).
+pub(crate) fn unwrap_file(
+    bytes: &[u8],
+    make_err: impl Fn(&str) -> PersistError,
+) -> Result<&[u8], PersistError> {
+    let mut r = Reader::new(bytes);
+    let len = r.u64().map_err(|_| make_err("missing length header"))?;
+    let crc = r.u32().map_err(|_| make_err("missing checksum header"))?;
+    let payload = r
+        .bytes(len as usize)
+        .map_err(|_| make_err("payload shorter than its declared length"))?;
+    if !r.is_at_end() {
+        return Err(make_err("trailing bytes after the payload"));
+    }
+    if crc32(payload) != crc {
+        return Err(make_err("checksum mismatch"));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_image() -> EngineImage {
+        EngineImage {
+            config: DsgConfig::default()
+                .with_seed(0xFEED)
+                .with_shards(4)
+                .with_adaptive_flush(true),
+            time: 421,
+            rng_state: [1, 2, 3, u64::MAX],
+            nodes: vec![
+                NodeImage {
+                    key: 1 << 20,
+                    dummy: false,
+                    mvec_bits: vec![0, 1, 1],
+                    group_base: 3,
+                    timestamps: vec![0, 7, 9],
+                    group_ids: vec![5, 5, 1 << 20],
+                    dominating: vec![true, false],
+                },
+                NodeImage {
+                    key: (1 << 20) + 17,
+                    dummy: true,
+                    mvec_bits: vec![1],
+                    group_base: 1,
+                    timestamps: Vec::new(),
+                    group_ids: Vec::new(),
+                    dominating: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let image = sample_image();
+        let bytes = encode_snapshot(&image);
+        assert_eq!(decode_snapshot(&bytes).unwrap(), image);
+    }
+
+    #[test]
+    fn truncations_and_trailing_bytes_are_rejected() {
+        let bytes = encode_snapshot(&sample_image());
+        for cut in [0, 4, MAGIC.len(), bytes.len() - 1] {
+            assert!(
+                matches!(
+                    decode_snapshot(&bytes[..cut]),
+                    Err(PersistError::CorruptSnapshot { .. })
+                ),
+                "cut at {cut} must be rejected"
+            );
+        }
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(matches!(
+            decode_snapshot(&longer),
+            Err(PersistError::CorruptSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_order_keys_are_rejected() {
+        let mut image = sample_image();
+        image.nodes.swap(0, 1);
+        assert!(matches!(
+            decode_snapshot(&encode_snapshot(&image)),
+            Err(PersistError::CorruptSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn file_envelope_detects_bit_flips() {
+        let payload = encode_snapshot(&sample_image());
+        let file = wrap_file(&payload);
+        let make = |d: &str| PersistError::CorruptSnapshot {
+            detail: d.to_string(),
+        };
+        assert_eq!(unwrap_file(&file, make).unwrap(), &payload[..]);
+        for byte in [12usize, file.len() / 2, file.len() - 1] {
+            let mut bad = file.clone();
+            bad[byte] ^= 0x40;
+            assert!(
+                unwrap_file(&bad, make).is_err(),
+                "flip at byte {byte} went undetected"
+            );
+        }
+    }
+}

@@ -1,0 +1,642 @@
+//! The on-disk store: journal writer, snapshot checkpoints, and the
+//! atomic manifest binding them.
+//!
+//! A [`DurableStore`] is single-owner (the service's ingest worker); see
+//! the [module docs](super) for the layout, the recovery contract, and the
+//! failure model.
+
+use super::image::{decode_snapshot, encode_snapshot, unwrap_file, wrap_file, EngineImage};
+use super::journal::{encode_frame, scan, JournalScan, JOURNAL_FILE};
+use super::{put_u64, PersistConfig, PersistError, Reader};
+use crate::request::Request;
+use dsg_skipgraph::failpoint;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the manifest inside a store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Leading magic of a manifest payload (version 1).
+const MANIFEST_MAGIC: &[u8; 8] = b"DSGMANI1";
+
+fn snapshot_file(seq: u64) -> String {
+    format!("snap-{seq}.img")
+}
+
+/// The manifest's content: the current `(snapshot seq, journal offset)`
+/// binding and, for fallback, the previous one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Manifest {
+    current: (u64, u64),
+    /// `None` until the second checkpoint exists.
+    previous: Option<(u64, u64)>,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(40);
+        payload.extend_from_slice(MANIFEST_MAGIC);
+        put_u64(&mut payload, self.current.0);
+        put_u64(&mut payload, self.current.1);
+        let (prev_seq, prev_offset) = self.previous.unwrap_or((0, 0));
+        put_u64(&mut payload, prev_seq);
+        put_u64(&mut payload, prev_offset);
+        payload
+    }
+
+    fn decode(payload: &[u8]) -> Result<Self, PersistError> {
+        let corrupt = |detail: &str| PersistError::CorruptManifest {
+            detail: detail.to_string(),
+        };
+        let mut r = Reader::new(payload);
+        if r.bytes(MANIFEST_MAGIC.len())
+            .map_err(|_| corrupt("truncated magic"))?
+            != MANIFEST_MAGIC
+        {
+            return Err(corrupt("bad magic"));
+        }
+        let short = |_| corrupt("payload ran out of bytes");
+        let current = (r.u64().map_err(short)?, r.u64().map_err(short)?);
+        let prev_seq = r.u64().map_err(short)?;
+        let prev_offset = r.u64().map_err(short)?;
+        if !r.is_at_end() {
+            return Err(corrupt("trailing bytes"));
+        }
+        if current.0 == 0 {
+            return Err(corrupt("current snapshot seq is 0"));
+        }
+        let previous = (prev_seq != 0).then_some((prev_seq, prev_offset));
+        Ok(Manifest { current, previous })
+    }
+}
+
+/// What [`DurableStore::open`] recovered from an existing store: the
+/// snapshot image to restore and the journal suffix to replay.
+#[derive(Debug, Clone)]
+pub struct Recovered {
+    /// The decoded engine image of the newest valid snapshot.
+    pub image: EngineImage,
+    /// Sequence number of that snapshot.
+    pub snapshot_seq: u64,
+    /// Size of the snapshot file in bytes.
+    pub snapshot_bytes: u64,
+    /// The journal offset replay starts from (the snapshot's binding).
+    pub replay_offset: u64,
+    /// The journal suffix to replay, one chunk per complete frame.
+    pub frames: Vec<Vec<Request>>,
+    /// Torn bytes truncated off the journal tail (0 on a clean shutdown).
+    pub torn_bytes_truncated: u64,
+    /// `true` if the manifest-bound snapshot was damaged and recovery fell
+    /// back to the retained previous one.
+    pub fell_back: bool,
+}
+
+/// An open store: the append handle on the journal plus the checkpoint
+/// state. Owned by one thread; all methods take `&mut self`.
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+    journal: File,
+    /// Journal length through the last *committed* (fully written) frame —
+    /// the rollback target after a failed append.
+    journal_len: u64,
+    /// Frames appended since the last fsync.
+    unsynced: u64,
+    config: PersistConfig,
+    /// Seq of the current manifest-bound snapshot (0 = none yet; the
+    /// store refuses appends until the initial checkpoint exists).
+    seq: u64,
+    /// The current manifest binding's journal offset.
+    bound_offset: u64,
+    /// The previous binding retained for fallback.
+    previous: Option<(u64, u64)>,
+}
+
+impl DurableStore {
+    /// Opens (or creates) the store at `dir`.
+    ///
+    /// Returns the open store and, when `dir` held a valid store, the
+    /// [`Recovered`] state to rebuild the engine from — the caller
+    /// restores the snapshot image, replays the frames, and only then
+    /// appends new ones. `None` means a cold start: the directory was
+    /// missing or empty, and the caller must cut the initial checkpoint
+    /// ([`DurableStore::checkpoint`]) before the first append.
+    ///
+    /// A torn journal tail (partial final frame) is physically truncated
+    /// here, so the next append starts on a clean frame boundary.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`PersistError`]s: I/O failures, a corrupt
+    /// manifest/snapshot/frame, a non-empty journal without a manifest
+    /// ([`PersistError::StrayJournal`]), or a journal shorter than its
+    /// manifest binding ([`PersistError::ShortJournal`]).
+    pub fn open(
+        dir: impl AsRef<Path>,
+        config: PersistConfig,
+    ) -> Result<(Self, Option<Recovered>), PersistError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| PersistError::io("create the store directory", e))?;
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let journal_path = dir.join(JOURNAL_FILE);
+
+        if !manifest_path.exists() {
+            // Cold start. A non-empty journal without a manifest is not a
+            // store we can safely build over — refuse rather than discard.
+            if let Ok(meta) = fs::metadata(&journal_path) {
+                if meta.len() > 0 {
+                    return Err(PersistError::StrayJournal { len: meta.len() });
+                }
+            }
+            let journal = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&journal_path)
+                .map_err(|e| PersistError::io("create the journal", e))?;
+            let store = DurableStore {
+                dir,
+                journal,
+                journal_len: 0,
+                unsynced: 0,
+                config,
+                seq: 0,
+                bound_offset: 0,
+                previous: None,
+            };
+            return Ok((store, None));
+        }
+
+        let manifest_bytes = fs::read(&manifest_path)
+            .map_err(|e| PersistError::io("read the manifest", e))?;
+        let payload = unwrap_file(&manifest_bytes, |detail| PersistError::CorruptManifest {
+            detail: detail.to_string(),
+        })?;
+        let manifest = Manifest::decode(payload)?;
+
+        // Newest valid snapshot: the manifest-bound one, else the retained
+        // previous one.
+        let load = |(seq, offset): (u64, u64)| -> Result<(EngineImage, u64, u64, u64), PersistError> {
+            let path = dir.join(snapshot_file(seq));
+            let bytes = fs::read(&path).map_err(|e| PersistError::io("read a snapshot", e))?;
+            let payload = unwrap_file(&bytes, |detail| PersistError::CorruptSnapshot {
+                detail: format!("snap-{seq}.img: {detail}"),
+            })?;
+            let image = decode_snapshot(payload)?;
+            Ok((image, seq, bytes.len() as u64, offset))
+        };
+        let (image, chosen_seq, snapshot_bytes, replay_offset, fell_back) =
+            match load(manifest.current) {
+                Ok((image, seq, bytes, offset)) => (image, seq, bytes, offset, false),
+                Err(current_err) => match manifest.previous {
+                    Some(previous) => {
+                        let (image, seq, bytes, offset) = load(previous)?;
+                        (image, seq, bytes, offset, true)
+                    }
+                    None => return Err(current_err),
+                },
+            };
+
+        let mut journal = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&journal_path)
+            .map_err(|e| PersistError::io("open the journal", e))?;
+        let mut bytes = Vec::new();
+        journal
+            .read_to_end(&mut bytes)
+            .map_err(|e| PersistError::io("read the journal", e))?;
+        if (bytes.len() as u64) < replay_offset {
+            return Err(PersistError::ShortJournal {
+                len: bytes.len() as u64,
+                offset: replay_offset,
+            });
+        }
+        let scanned: JournalScan = scan(&bytes[replay_offset as usize..], replay_offset)?;
+        if scanned.torn_bytes > 0 {
+            journal
+                .set_len(scanned.committed_len)
+                .map_err(|e| PersistError::io("truncate the torn journal tail", e))?;
+            journal
+                .sync_data()
+                .map_err(|e| PersistError::io("sync the truncated journal", e))?;
+        }
+        journal
+            .seek(SeekFrom::Start(scanned.committed_len))
+            .map_err(|e| PersistError::io("seek to the journal end", e))?;
+
+        let store = DurableStore {
+            dir,
+            journal,
+            journal_len: scanned.committed_len,
+            unsynced: 0,
+            config,
+            seq: manifest.current.0,
+            bound_offset: replay_offset,
+            previous: manifest.previous,
+        };
+        let recovered = Recovered {
+            image,
+            snapshot_seq: chosen_seq,
+            snapshot_bytes,
+            replay_offset,
+            frames: scanned.frames,
+            torn_bytes_truncated: scanned.torn_bytes,
+            fell_back,
+        };
+        Ok((store, Some(recovered)))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Journal length in bytes through the last committed frame.
+    pub fn journal_len(&self) -> u64 {
+        self.journal_len
+    }
+
+    /// Seq of the current manifest-bound snapshot (0 before the initial
+    /// checkpoint).
+    pub fn snapshot_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The journal offset the current manifest binding replays from.
+    pub fn bound_offset(&self) -> u64 {
+        self.bound_offset
+    }
+
+    /// Appends one request chunk as a journal frame and fsyncs per the
+    /// configured [`PersistConfig::fsync_every`] cadence. Called **before**
+    /// the engine applies the chunk.
+    ///
+    /// On error the file may hold a partial frame; the caller must
+    /// [`rollback`](DurableStore::rollback) (and treat a rollback failure
+    /// as fatal). Carries the `io.append` fail point between the header
+    /// and payload writes, so an armed fail point tears a frame exactly
+    /// like a crash mid-append.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on write/fsync failure. Appending before the
+    /// initial checkpoint exists is a bug and reports itself as a typed
+    /// corruption error rather than a panic.
+    pub fn append_chunk(&mut self, chunk: &[Request]) -> Result<(), PersistError> {
+        if self.seq == 0 {
+            return Err(PersistError::CorruptManifest {
+                detail: "append before the initial checkpoint".to_string(),
+            });
+        }
+        let frame = encode_frame(chunk);
+        self.journal
+            .write_all(&frame[..8])
+            .map_err(|e| PersistError::io("append a journal frame header", e))?;
+        failpoint::hit(failpoint::IO_APPEND);
+        self.journal
+            .write_all(&frame[8..])
+            .map_err(|e| PersistError::io("append a journal frame payload", e))?;
+        self.journal_len += frame.len() as u64;
+        self.unsynced += 1;
+        if self.config.fsync_every > 0 && self.unsynced >= self.config.fsync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Discards any partially written frame: truncates the journal back to
+    /// the last committed frame and repositions the write cursor. A no-op
+    /// on a clean journal.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`]; the caller must treat this as fatal (the
+    /// journal can no longer be trusted to match the engine).
+    pub fn rollback(&mut self) -> Result<(), PersistError> {
+        self.journal
+            .set_len(self.journal_len)
+            .map_err(|e| PersistError::io("roll back a torn append", e))?;
+        self.journal
+            .seek(SeekFrom::Start(self.journal_len))
+            .map_err(|e| PersistError::io("reposition after rollback", e))?;
+        Ok(())
+    }
+
+    /// Fsyncs the journal if any appended frame is not yet durable.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`].
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        if self.unsynced > 0 {
+            self.journal
+                .sync_data()
+                .map_err(|e| PersistError::io("fsync the journal", e))?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Cuts a snapshot checkpoint: writes the image to `snap-<seq+1>.img`
+    /// (temp + fsync + rename), then atomically rebinds the manifest to
+    /// `(seq+1, current journal length)`, keeping the previous binding for
+    /// fallback and pruning older snapshot files. The journal is fsynced
+    /// first so the binding never points past durable data.
+    ///
+    /// Returns the snapshot file size in bytes.
+    ///
+    /// Carries the `io.snapshot` fail point (before the snapshot payload
+    /// is written) and the `io.manifest` fail point (after the manifest
+    /// temp is written, before the rename): a crash at either leaves the
+    /// previous binding fully intact.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`]. On error the manifest still holds the
+    /// previous binding; call
+    /// [`abandon_checkpoint`](DurableStore::abandon_checkpoint) to clean
+    /// up temp files.
+    pub fn checkpoint(&mut self, image: &EngineImage) -> Result<u64, PersistError> {
+        self.sync()?;
+        let new_seq = self.seq + 1;
+        let file_bytes = wrap_file(&encode_snapshot(image));
+
+        let snap_tmp = self.dir.join(format!("{}.tmp", snapshot_file(new_seq)));
+        let snap_final = self.dir.join(snapshot_file(new_seq));
+        {
+            let mut f =
+                File::create(&snap_tmp).map_err(|e| PersistError::io("create a snapshot", e))?;
+            failpoint::hit(failpoint::IO_SNAPSHOT);
+            f.write_all(&file_bytes)
+                .map_err(|e| PersistError::io("write a snapshot", e))?;
+            f.sync_all()
+                .map_err(|e| PersistError::io("fsync a snapshot", e))?;
+        }
+        fs::rename(&snap_tmp, &snap_final)
+            .map_err(|e| PersistError::io("rename a snapshot into place", e))?;
+        sync_dir(&self.dir)?;
+
+        let manifest = Manifest {
+            current: (new_seq, self.journal_len),
+            previous: (self.seq != 0).then_some((self.seq, self.bound_offset)),
+        };
+        let manifest_tmp = self.dir.join(format!("{MANIFEST_FILE}.tmp"));
+        {
+            let mut f = File::create(&manifest_tmp)
+                .map_err(|e| PersistError::io("create the manifest", e))?;
+            f.write_all(&wrap_file(&manifest.encode()))
+                .map_err(|e| PersistError::io("write the manifest", e))?;
+            f.sync_all()
+                .map_err(|e| PersistError::io("fsync the manifest", e))?;
+        }
+        failpoint::hit(failpoint::IO_MANIFEST);
+        fs::rename(&manifest_tmp, self.dir.join(MANIFEST_FILE))
+            .map_err(|e| PersistError::io("rename the manifest into place", e))?;
+        sync_dir(&self.dir)?;
+
+        // The binding advanced; prune snapshots older than the retained
+        // previous one (best-effort — stray files are harmless).
+        let retained_prev = self.seq;
+        self.previous = manifest.previous;
+        self.seq = new_seq;
+        self.bound_offset = self.journal_len;
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if let Some(seq) = name
+                    .strip_prefix("snap-")
+                    .and_then(|rest| rest.strip_suffix(".img"))
+                    .and_then(|digits| digits.parse::<u64>().ok())
+                {
+                    if seq != new_seq && seq != retained_prev {
+                        let _ = fs::remove_file(entry.path());
+                    }
+                }
+            }
+        }
+        Ok(file_bytes.len() as u64)
+    }
+
+    /// Best-effort cleanup after a failed or panicked
+    /// [`checkpoint`](DurableStore::checkpoint): removes stray `.tmp`
+    /// files. The manifest was not touched (the rename never happened or
+    /// failed atomically), so the store keeps serving under the previous
+    /// binding.
+    pub fn abandon_checkpoint(&mut self) {
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                if entry
+                    .file_name()
+                    .to_str()
+                    .is_some_and(|name| name.ends_with(".tmp"))
+                {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+}
+
+/// Fsyncs a directory so a completed rename survives a crash (on platforms
+/// where directories cannot be opened for sync, this degrades gracefully).
+fn sync_dir(dir: &Path) -> Result<(), PersistError> {
+    match File::open(dir) {
+        Ok(f) => f
+            .sync_all()
+            .map_err(|e| PersistError::io("fsync the store directory", e)),
+        Err(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::journal::read_journal;
+    use super::*;
+    use crate::config::DsgConfig;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_store_dir() -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "dsg-store-test-{}-{n}",
+            std::process::id()
+        ))
+    }
+
+    fn tiny_image(time: u64) -> EngineImage {
+        EngineImage {
+            config: DsgConfig::default(),
+            time,
+            rng_state: [9, 8, 7, 6],
+            nodes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn cold_start_checkpoint_append_reopen() {
+        let dir = temp_store_dir();
+        let (mut store, recovered) =
+            DurableStore::open(&dir, PersistConfig::default()).unwrap();
+        assert!(recovered.is_none());
+        // Appends before the initial checkpoint are refused.
+        assert!(store.append_chunk(&[Request::Tick(1)]).is_err());
+        store.checkpoint(&tiny_image(0)).unwrap();
+        store
+            .append_chunk(&[Request::Communicate { u: 1, v: 2 }])
+            .unwrap();
+        store.append_chunk(&[Request::Tick(5)]).unwrap();
+        drop(store);
+
+        let (store, recovered) = DurableStore::open(&dir, PersistConfig::default()).unwrap();
+        let recovered = recovered.unwrap();
+        assert_eq!(recovered.snapshot_seq, 1);
+        assert_eq!(recovered.replay_offset, 0);
+        assert_eq!(
+            recovered.frames,
+            vec![vec![Request::Communicate { u: 1, v: 2 }], vec![Request::Tick(5)]]
+        );
+        assert_eq!(recovered.torn_bytes_truncated, 0);
+        assert!(!recovered.fell_back);
+        drop(store);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_rebinds_and_retains_the_previous_snapshot() {
+        let dir = temp_store_dir();
+        let (mut store, _) = DurableStore::open(&dir, PersistConfig::default()).unwrap();
+        store.checkpoint(&tiny_image(0)).unwrap();
+        store.append_chunk(&[Request::Tick(1)]).unwrap();
+        store.checkpoint(&tiny_image(1)).unwrap();
+        store.append_chunk(&[Request::Tick(2)]).unwrap();
+        store.checkpoint(&tiny_image(2)).unwrap();
+        // Snapshots 3 and 2 remain; 1 was pruned.
+        assert!(dir.join("snap-3.img").exists());
+        assert!(dir.join("snap-2.img").exists());
+        assert!(!dir.join("snap-1.img").exists());
+        let offset = store.journal_len();
+        store.append_chunk(&[Request::Tick(3)]).unwrap();
+        drop(store);
+
+        let (_store, recovered) = DurableStore::open(&dir, PersistConfig::default()).unwrap();
+        let recovered = recovered.unwrap();
+        assert_eq!(recovered.snapshot_seq, 3);
+        assert_eq!(recovered.image.time, 2);
+        assert_eq!(recovered.replay_offset, offset);
+        assert_eq!(recovered.frames, vec![vec![Request::Tick(3)]]);
+        // The full journal is still readable from genesis.
+        assert_eq!(
+            read_journal(&dir).unwrap().frames,
+            vec![
+                vec![Request::Tick(1)],
+                vec![Request::Tick(2)],
+                vec![Request::Tick(3)]
+            ]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damaged_current_snapshot_falls_back_to_previous() {
+        let dir = temp_store_dir();
+        let (mut store, _) = DurableStore::open(&dir, PersistConfig::default()).unwrap();
+        store.checkpoint(&tiny_image(0)).unwrap();
+        store.append_chunk(&[Request::Tick(1)]).unwrap();
+        store.checkpoint(&tiny_image(1)).unwrap();
+        store.append_chunk(&[Request::Tick(2)]).unwrap();
+        drop(store);
+
+        // Flip a payload bit in the newest snapshot.
+        let snap = dir.join("snap-2.img");
+        let mut bytes = fs::read(&snap).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&snap, &bytes).unwrap();
+
+        let (_store, recovered) = DurableStore::open(&dir, PersistConfig::default()).unwrap();
+        let recovered = recovered.unwrap();
+        assert!(recovered.fell_back);
+        assert_eq!(recovered.snapshot_seq, 1);
+        assert_eq!(recovered.image.time, 0);
+        // Fallback replays from the previous binding: both frames.
+        assert_eq!(
+            recovered.frames,
+            vec![vec![Request::Tick(1)], vec![Request::Tick(2)]]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rollback_discards_a_torn_append() {
+        let dir = temp_store_dir();
+        let (mut store, _) = DurableStore::open(&dir, PersistConfig::default()).unwrap();
+        store.checkpoint(&tiny_image(0)).unwrap();
+        store.append_chunk(&[Request::Tick(1)]).unwrap();
+        let committed = store.journal_len();
+
+        let _guard = failpoint::exclusive();
+        failpoint::arm(failpoint::IO_APPEND, 1);
+        let torn = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.append_chunk(&[Request::Tick(2)])
+        }));
+        failpoint::disarm_all();
+        assert!(torn.is_err(), "the armed fail point must fire");
+        // The header reached the file; rollback removes it.
+        assert!(fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len() > committed);
+        store.rollback().unwrap();
+        assert_eq!(fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len(), committed);
+        // The journal is clean again and appendable.
+        store.append_chunk(&[Request::Tick(3)]).unwrap();
+        drop(store);
+        let scanned = read_journal(&dir).unwrap();
+        assert_eq!(
+            scanned.frames,
+            vec![vec![Request::Tick(1)], vec![Request::Tick(3)]]
+        );
+        assert_eq!(scanned.torn_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stray_journal_without_manifest_is_refused() {
+        let dir = temp_store_dir();
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(JOURNAL_FILE), b"not empty").unwrap();
+        match DurableStore::open(&dir, PersistConfig::default()) {
+            Err(PersistError::StrayJournal { len: 9 }) => {}
+            other => panic!("unexpected result: {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = temp_store_dir();
+        let (mut store, _) = DurableStore::open(&dir, PersistConfig::default()).unwrap();
+        store.checkpoint(&tiny_image(0)).unwrap();
+        store.append_chunk(&[Request::Tick(1)]).unwrap();
+        let committed = store.journal_len();
+        drop(store);
+        // Simulate a crash mid-append: half a frame of garbage-free bytes.
+        let mut bytes = fs::read(dir.join(JOURNAL_FILE)).unwrap();
+        bytes.extend_from_slice(&[7, 0, 0, 0, 1, 2]);
+        fs::write(dir.join(JOURNAL_FILE), &bytes).unwrap();
+
+        let (store, recovered) = DurableStore::open(&dir, PersistConfig::default()).unwrap();
+        let recovered = recovered.unwrap();
+        assert_eq!(recovered.torn_bytes_truncated, 6);
+        assert_eq!(recovered.frames, vec![vec![Request::Tick(1)]]);
+        assert_eq!(
+            fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len(),
+            committed,
+            "the torn tail must be physically truncated"
+        );
+        drop(store);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -54,8 +54,33 @@
 //!
 //! The fault paths are exercised deterministically through the named
 //! fail-point sites of [`dsg_skipgraph::failpoint`] (re-exported as
-//! `dsg::failpoint`): `plan.worker`, `apply.splice`, `dummy.pass0`, and
-//! this module's `ingest.loop`.
+//! `dsg::failpoint`): `plan.worker`, `apply.splice`, `dummy.pass0`, this
+//! module's `ingest.loop`, and the durability layer's `io.append`,
+//! `io.snapshot`, and `io.manifest`.
+//!
+//! # Durability
+//!
+//! With [`ServiceConfig::persist`] set, the service is opened through
+//! [`DsgService::open`] over a store directory (see
+//! [`persist`](crate::persist) for the on-disk layout). The worker then
+//! appends every drained chunk to the write-ahead journal — and, per
+//! [`PersistConfig::fsync_every`], fsyncs it — **before** the engine
+//! applies it, so an acknowledged request is always on disk. Snapshot
+//! checkpoints are cut at the quiescent point after a served run every
+//! [`PersistConfig::snapshot_every`] epochs. On the next
+//! [`open`](DsgService::open), the newest valid snapshot is restored, a
+//! torn journal tail is truncated, the surviving suffix is replayed, and
+//! the result is deep-validated — `tests/crash_recovery.rs` proves it
+//! bit-identical to an uninterrupted twin for every fail-point site and
+//! every byte-boundary truncation of the journal tail.
+//!
+//! Durability failures are contained like engine faults: a failed or
+//! panicked append rolls the journal back to the last committed frame,
+//! fails only that run's tickets with [`DsgError::Persist`], and keeps
+//! serving (if the rollback itself fails, the journal no longer matches
+//! the engine and the service poisons); a failed checkpoint is abandoned
+//! and counted, and the store keeps serving under the previous manifest
+//! binding.
 //!
 //! # Threading model
 //!
@@ -77,13 +102,13 @@
 //!
 //! # fn main() -> Result<(), DsgError> {
 //! let session = DsgSession::builder().peers(0..32).seed(7).build()?;
-//! let service = DsgService::spawn(session, ServiceConfig::default())?;
+//! let mut service = DsgService::spawn(session, ServiceConfig::default())?;
 //!
 //! let ticket = service.submit(Request::communicate(3, 29)).unwrap();
 //! let outcome = ticket.wait()?;
 //! assert!(outcome.request_outcome().is_some());
 //!
-//! let done = service.shutdown();
+//! let done = service.shutdown()?;
 //! assert!(done.session.engine().validate().is_ok());
 //! # Ok(())
 //! # }
@@ -92,6 +117,7 @@
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -99,11 +125,12 @@ use std::time::{Duration, Instant};
 
 use dsg_skipgraph::failpoint;
 
-use crate::dsg::{EpochPhase, RecoveryReport};
+use crate::dsg::{DynamicSkipGraph, EpochPhase, RecoveryReport};
 use crate::error::DsgError;
 use crate::observer::AuditEvent;
+use crate::persist::{read_journal_from, DurableStore, PersistConfig, PersistError};
 use crate::request::Request;
-use crate::session::{DsgSession, SubmitOutcome};
+use crate::session::{DsgBuilder, DsgSession, SubmitOutcome};
 
 /// What to do with requests still queued when the service shuts down.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -134,10 +161,17 @@ pub struct ServiceConfig {
     /// disables the deep tier.
     pub deep_audit_every: u64,
     /// Keep the exact chunk sequence handed to `submit_batch`, returned by
-    /// [`shutdown`](DsgService::shutdown) for deterministic replay.
+    /// [`shutdown`](DsgService::shutdown) for deterministic replay. With
+    /// persistence on this is a redundant in-memory oracle — the durable
+    /// journal is the source of truth — kept for cross-checking.
     pub record_journal: bool,
     /// What happens to the queued backlog on shutdown or drop.
     pub shutdown: ShutdownPolicy,
+    /// Durability tuning. `Some` services must be opened through
+    /// [`DsgService::open`] (which supplies the store directory);
+    /// [`spawn`](DsgService::spawn) refuses the combination so a
+    /// configured journal can never be silently dropped.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -148,6 +182,7 @@ impl Default for ServiceConfig {
             deep_audit_every: 32,
             record_journal: false,
             shutdown: ShutdownPolicy::Drain,
+            persist: None,
         }
     }
 }
@@ -213,6 +248,15 @@ pub struct ServiceMetrics {
     pub poisonings: u64,
     /// Successful [`recover`](DsgService::recover) calls.
     pub recoveries: u64,
+    /// Snapshot checkpoints cut (persistence only).
+    pub snapshots: u64,
+    /// Snapshot checkpoints that failed and were abandoned (the store kept
+    /// serving under the previous manifest binding).
+    pub snapshot_failures: u64,
+    /// Journal appends that failed and were rolled back (the chunk's
+    /// tickets resolved with [`DsgError::Persist`]; the engine never saw
+    /// it).
+    pub append_aborts: u64,
 }
 
 /// The session and bookkeeping handed back by
@@ -223,13 +267,75 @@ pub struct ShutdownOutcome {
     /// poisoned and never recovered, the engine is still in its
     /// half-mutated state — `recover_from_surviving` remains available.
     pub session: DsgSession,
-    /// The exact chunk sequence served through `submit_batch`, in order
-    /// (empty unless [`ServiceConfig::record_journal`] was set). Replaying
-    /// it through a fresh, identically-built session reproduces the final
-    /// structure bit for bit.
+    /// The exact chunk sequence served through `submit_batch`, in order.
+    /// With persistence on, this is read back from the **durable journal**
+    /// (the frames this instance appended) — one source of truth — and is
+    /// present regardless of [`ServiceConfig::record_journal`]. Without
+    /// persistence it is the in-memory recording (empty unless
+    /// `record_journal` was set). Replaying it through a fresh,
+    /// identically-built session reproduces the final structure bit for
+    /// bit.
     pub journal: Vec<Vec<Request>>,
+    /// The in-memory chunk recording (empty unless
+    /// [`ServiceConfig::record_journal`] was set). With persistence on
+    /// this is a redundant oracle: it must agree with [`journal`], chunk
+    /// for chunk — the service tests assert exactly that.
+    ///
+    /// [`journal`]: ShutdownOutcome::journal
+    pub journal_recorded: Vec<Vec<Request>>,
     /// Final counter snapshot.
     pub metrics: ServiceMetrics,
+}
+
+/// What [`DsgService::open`] found in the store directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenReport {
+    /// `false` for a cold start (missing or empty directory: the session
+    /// was built fresh and the initial checkpoint cut), `true` when an
+    /// existing store was recovered.
+    pub recovered: bool,
+    /// Seq of the snapshot the engine was restored from (on a cold start,
+    /// of the initial checkpoint just cut).
+    pub snapshot_seq: u64,
+    /// Size of that snapshot file in bytes.
+    pub snapshot_bytes: u64,
+    /// Journal frames replayed on top of the snapshot.
+    pub frames_replayed: u64,
+    /// Requests inside those frames.
+    pub requests_replayed: u64,
+    /// Torn bytes truncated off the journal tail (a crash interrupted an
+    /// append; the partial frame was dropped, never served).
+    pub torn_bytes_truncated: u64,
+    /// `true` if the manifest-bound snapshot was damaged and recovery fell
+    /// back to the retained previous one (replaying a longer suffix).
+    pub fell_back: bool,
+}
+
+/// A live introspection snapshot from [`DsgService::status`]: queue and
+/// health state plus progress and durability counters. Counters are
+/// relaxed-atomic reads; queue fields are taken under the queue lock, so
+/// they are mutually consistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStatus {
+    /// Requests currently queued, awaiting the ingest thread.
+    pub queue_depth: usize,
+    /// Whether shutdown has begun (the queue accepts no new requests).
+    pub closed: bool,
+    /// Whether an apply-stage fault (or failed audit) has poisoned the
+    /// engine.
+    pub poisoned: bool,
+    /// Transformation epochs served so far by this instance.
+    pub epochs: u64,
+    /// Ingest runs served (each one `submit_batch` call).
+    pub batches: u64,
+    /// Fast incremental audits run.
+    pub audits: u64,
+    /// Durable journal length in bytes (0 without persistence).
+    pub journal_bytes: u64,
+    /// Seq of the current manifest-bound snapshot (0 without persistence).
+    pub snapshot_seq: u64,
+    /// Journal offset the current snapshot binding replays from.
+    pub snapshot_offset: u64,
 }
 
 /// One submitted request's resolution slot: a `Mutex<Option<result>>`
@@ -390,6 +496,15 @@ struct Shared {
     plan_aborts: AtomicU64,
     poisonings: AtomicU64,
     recoveries: AtomicU64,
+    snapshots: AtomicU64,
+    snapshot_failures: AtomicU64,
+    append_aborts: AtomicU64,
+    /// Durable journal length through the last committed frame (0 without
+    /// persistence). Published by the worker after each append.
+    journal_bytes: AtomicU64,
+    /// Current manifest binding: snapshot seq and its journal offset.
+    snapshot_seq: AtomicU64,
+    snapshot_offset: AtomicU64,
 }
 
 impl Shared {
@@ -415,6 +530,12 @@ impl Shared {
             plan_aborts: AtomicU64::new(0),
             poisonings: AtomicU64::new(0),
             recoveries: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            snapshot_failures: AtomicU64::new(0),
+            append_aborts: AtomicU64::new(0),
+            journal_bytes: AtomicU64::new(0),
+            snapshot_seq: AtomicU64::new(0),
+            snapshot_offset: AtomicU64::new(0),
         })
     }
 
@@ -432,15 +553,26 @@ impl Shared {
             plan_aborts: self.plan_aborts.load(Ordering::Relaxed),
             poisonings: self.poisonings.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            snapshot_failures: self.snapshot_failures.load(Ordering::Relaxed),
+            append_aborts: self.append_aborts.load(Ordering::Relaxed),
         }
     }
 }
+
+/// Everything the ingest thread hands back when it exits.
+type WorkerOutput = (DsgSession, Vec<Vec<Request>>, Option<DurableStore>);
 
 /// The concurrent ingest front-end; see the [module docs](self).
 pub struct DsgService {
     shared: Arc<Shared>,
     config: ServiceConfig,
-    handle: Option<JoinHandle<(DsgSession, Vec<Vec<Request>>)>>,
+    /// The store directory when persistence is on.
+    persist_dir: Option<PathBuf>,
+    /// Durable journal length at the moment this instance started serving:
+    /// the frames *this* instance appended begin here.
+    base_offset: u64,
+    handle: Option<JoinHandle<WorkerOutput>>,
 }
 
 impl std::fmt::Debug for DsgService {
@@ -459,8 +591,100 @@ impl DsgService {
     /// # Errors
     ///
     /// Returns [`DsgError::InvalidConfig`] for a zero queue capacity or
-    /// ingest batch size.
+    /// ingest batch size, and when [`ServiceConfig::persist`] is set — a
+    /// persistent service needs a store directory and must be opened with
+    /// [`open`](DsgService::open).
     pub fn spawn(session: DsgSession, config: ServiceConfig) -> Result<Self, DsgError> {
+        Self::validate_config(&config)?;
+        if config.persist.is_some() {
+            return Err(DsgError::InvalidConfig(
+                "a persistent service is opened with DsgService::open(dir, builder, config)"
+                    .to_string(),
+            ));
+        }
+        Ok(Self::spawn_inner(session, config, None))
+    }
+
+    /// Opens a **persistent** service over the store directory `dir`,
+    /// recovering from a previous instance's journal and snapshots if the
+    /// directory holds any.
+    ///
+    /// On a **cold start** (missing or empty directory) the `builder` is
+    /// built into a fresh session, the initial snapshot checkpoint is cut
+    /// (so the store is recoverable from its very first append), and the
+    /// service starts serving. On **recovery**, the engine is restored
+    /// from the newest valid snapshot (falling back to the retained
+    /// previous one if the newest is damaged), a torn journal tail is
+    /// truncated, the surviving journal suffix is replayed, and the result
+    /// is deep-validated before the service serves its first request. In
+    /// that case the `builder` only contributes its observers — topology
+    /// and [`DsgConfig`](crate::DsgConfig) come from the snapshot, not
+    /// from the builder.
+    ///
+    /// The returned [`OpenReport`] says which path ran and what was
+    /// replayed or truncated.
+    ///
+    /// # Errors
+    ///
+    /// [`DsgError::InvalidConfig`] when [`ServiceConfig::persist`] is
+    /// `None` or the queue/batch sizes are zero; [`DsgError::Persist`] for
+    /// store damage a restart cannot safely serve over (a corrupt —
+    /// not merely torn — journal frame, a missing or corrupt manifest
+    /// with no usable fallback snapshot, a journal shorter than its
+    /// manifest binding, I/O failures); any engine error of the replay or
+    /// the final deep validation.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        builder: DsgBuilder,
+        config: ServiceConfig,
+    ) -> Result<(Self, OpenReport), DsgError> {
+        Self::validate_config(&config)?;
+        let Some(persist) = config.persist else {
+            return Err(DsgError::InvalidConfig(
+                "DsgService::open needs ServiceConfig::persist to be set".to_string(),
+            ));
+        };
+        let (mut store, recovered) = DurableStore::open(dir, persist)?;
+        let (session, report) = match recovered {
+            None => {
+                let session = builder.build()?;
+                let snapshot_bytes = store.checkpoint(&session.engine().capture_image())?;
+                let report = OpenReport {
+                    recovered: false,
+                    snapshot_seq: store.snapshot_seq(),
+                    snapshot_bytes,
+                    frames_replayed: 0,
+                    requests_replayed: 0,
+                    torn_bytes_truncated: 0,
+                    fell_back: false,
+                };
+                (session, report)
+            }
+            Some(rec) => {
+                let engine = DynamicSkipGraph::restore_image(&rec.image)?;
+                let mut session = builder.build_recovered(engine);
+                let mut requests_replayed = 0u64;
+                for frame in &rec.frames {
+                    requests_replayed += frame.len() as u64;
+                    session.submit_batch(frame)?;
+                }
+                session.engine().validate()?;
+                let report = OpenReport {
+                    recovered: true,
+                    snapshot_seq: rec.snapshot_seq,
+                    snapshot_bytes: rec.snapshot_bytes,
+                    frames_replayed: rec.frames.len() as u64,
+                    requests_replayed,
+                    torn_bytes_truncated: rec.torn_bytes_truncated,
+                    fell_back: rec.fell_back,
+                };
+                (session, report)
+            }
+        };
+        Ok((Self::spawn_inner(session, config, Some(store)), report))
+    }
+
+    fn validate_config(config: &ServiceConfig) -> Result<(), DsgError> {
         if config.queue_capacity == 0 {
             return Err(DsgError::InvalidConfig(
                 "the ingest queue needs a capacity of at least 1".to_string(),
@@ -471,23 +695,46 @@ impl DsgService {
                 "the ingest batch size must be at least 1".to_string(),
             ));
         }
+        Ok(())
+    }
+
+    fn spawn_inner(session: DsgSession, config: ServiceConfig, store: Option<DurableStore>) -> Self {
         let shared = Shared::new();
+        let (persist_dir, base_offset) = match &store {
+            Some(store) => {
+                shared.journal_bytes.store(store.journal_len(), Ordering::Relaxed);
+                shared.snapshot_seq.store(store.snapshot_seq(), Ordering::Relaxed);
+                shared
+                    .snapshot_offset
+                    .store(store.bound_offset(), Ordering::Relaxed);
+                (Some(store.dir().to_path_buf()), store.journal_len())
+            }
+            None => (None, 0),
+        };
+        // Cadence baselines start at the session's current epoch count so
+        // a recovery replay does not immediately trigger a deep audit or a
+        // snapshot.
+        let epochs = session.epochs();
         let worker = Worker {
             session,
             shared: Arc::clone(&shared),
             config,
             journal: Vec::new(),
-            epochs_at_last_deep: 0,
+            epochs_at_last_deep: epochs,
+            epochs_at_last_snapshot: epochs,
+            store,
         };
         let handle = std::thread::Builder::new()
             .name("dsg-service-ingest".to_string())
             .spawn(move || worker.run())
             .expect("spawning the ingest thread");
-        Ok(DsgService {
+        DsgService {
             shared,
             config,
+            persist_dir,
+            base_offset,
             handle: Some(handle),
-        })
+        }
     }
 
     /// Submits a request without blocking.
@@ -576,15 +823,41 @@ impl DsgService {
         self.shared.metrics()
     }
 
+    /// A live introspection snapshot: queue depth and health flags
+    /// (mutually consistent, taken under the queue lock) plus progress and
+    /// durability counters. Cheap enough to poll from monitoring loops.
+    pub fn status(&self) -> ServiceStatus {
+        let (queue_depth, closed, poisoned) = {
+            let q = self.shared.queue.lock().expect("queue lock");
+            (q.items.len(), q.closed, q.poisoned)
+        };
+        ServiceStatus {
+            queue_depth,
+            closed,
+            poisoned,
+            epochs: self.shared.epochs.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            audits: self.shared.audits.load(Ordering::Relaxed),
+            journal_bytes: self.shared.journal_bytes.load(Ordering::Relaxed),
+            snapshot_seq: self.shared.snapshot_seq.load(Ordering::Relaxed),
+            snapshot_offset: self.shared.snapshot_offset.load(Ordering::Relaxed),
+        }
+    }
+
     /// Rebuilds the poisoned engine from the surviving per-peer state and
     /// resumes service (see
     /// [`DynamicSkipGraph::recover_from_surviving`](crate::DynamicSkipGraph::recover_from_surviving)
     /// for what survives). Blocks until the ingest thread finishes the
     /// rebuild and deep-validates the result.
     ///
+    /// With persistence on, a successful recovery also cuts a fresh
+    /// snapshot checkpoint binding the rebuilt engine at the current
+    /// journal offset, so a later restart resumes from the recovered
+    /// structure instead of replaying into the pre-fault one.
+    ///
     /// # Errors
     ///
-    /// [`DsgError::InvalidConfig`] if the service is not poisoned (there
+    /// [`DsgError::NotPoisoned`] if the service is not poisoned (there
     /// is nothing to recover — the rebuild would discard healthy adjusted
     /// structure), [`DsgError::ShuttingDown`] after shutdown began, and
     /// any error of the rebuild itself (the service then stays poisoned).
@@ -605,19 +878,45 @@ impl DsgService {
     /// [`ServiceConfig::shutdown`], the queued backlog is either drained
     /// (served normally) or resolved with [`DsgError::ShuttingDown`];
     /// either way every outstanding ticket resolves and the ingest thread
-    /// is joined.
-    pub fn shutdown(mut self) -> ShutdownOutcome {
-        let (session, journal) = self.close_and_join().expect("service already shut down");
-        ShutdownOutcome {
+    /// is joined. With persistence on, the journal is fsynced and
+    /// [`ShutdownOutcome::journal`] is read back from the durable log —
+    /// no final snapshot is cut, so the store directory stays a faithful
+    /// crash image and the next [`open`](DsgService::open) exercises the
+    /// same recovery path a real crash would.
+    ///
+    /// Takes `&mut self` so a shut-down service can still be dropped (or
+    /// queried) safely; the work happens on the first call only.
+    ///
+    /// # Errors
+    ///
+    /// [`DsgError::AlreadyShutDown`] on a second call, and
+    /// [`DsgError::Persist`] if reading the durable journal back fails
+    /// (the session is lost with the error; this requires the just-written
+    /// journal to be unreadable, i.e. a failing disk).
+    pub fn shutdown(&mut self) -> Result<ShutdownOutcome, DsgError> {
+        let (session, journal_recorded, store) =
+            self.close_and_join().ok_or(DsgError::AlreadyShutDown)?;
+        let journal = match &self.persist_dir {
+            Some(dir) => {
+                // Close the write handle before reading the log back.
+                drop(store);
+                read_journal_from(dir, self.base_offset)
+                    .map_err(DsgError::from)?
+                    .frames
+            }
+            None => journal_recorded.clone(),
+        };
+        Ok(ShutdownOutcome {
             session,
             journal,
+            journal_recorded,
             metrics: self.shared.metrics(),
-        }
+        })
     }
 
     /// Closes the queue (applying the shutdown policy to the backlog) and
     /// joins the ingest thread. `None` if already joined.
-    fn close_and_join(&mut self) -> Option<(DsgSession, Vec<Vec<Request>>)> {
+    fn close_and_join(&mut self) -> Option<WorkerOutput> {
         let handle = self.handle.take()?;
         let aborted: Vec<Item> = {
             let mut q = self.shared.queue.lock().expect("queue lock");
@@ -655,6 +954,10 @@ struct Worker {
     config: ServiceConfig,
     journal: Vec<Vec<Request>>,
     epochs_at_last_deep: u64,
+    epochs_at_last_snapshot: u64,
+    /// The durable store, when the service was opened with persistence.
+    /// Single-owner: only this thread touches it.
+    store: Option<DurableStore>,
 }
 
 enum WorkUnit {
@@ -664,7 +967,7 @@ enum WorkUnit {
 }
 
 impl Worker {
-    fn run(mut self) -> (DsgSession, Vec<Vec<Request>>) {
+    fn run(mut self) -> WorkerOutput {
         loop {
             match self.next_work() {
                 WorkUnit::Exit => break,
@@ -672,7 +975,14 @@ impl Worker {
                 WorkUnit::Batch(items) => self.serve(items),
             }
         }
-        (self.session, self.journal)
+        if let Some(store) = self.store.as_mut() {
+            // Make everything served durable before exiting. Deliberately
+            // no final snapshot: the directory stays a faithful crash
+            // image, so reopening a cleanly shut down store exercises the
+            // same recovery path a real crash would.
+            let _ = store.sync();
+        }
+        (self.session, self.journal, self.store)
     }
 
     /// Blocks for the next unit of work. Control messages take priority
@@ -699,13 +1009,16 @@ impl Worker {
     fn handle_recover(&mut self, reply: &ReplyCell) {
         let poisoned = self.shared.queue.lock().expect("queue lock").poisoned;
         if !poisoned {
-            reply.resolve(Err(DsgError::InvalidConfig(
-                "the service is not poisoned; there is nothing to recover".to_string(),
-            )));
+            reply.resolve(Err(DsgError::NotPoisoned));
             return;
         }
         match self.session.engine_mut().recover_from_surviving() {
             Ok(report) => {
+                // With persistence on, the journal may hold the chunk whose
+                // apply faulted; the rebuilt engine supersedes a replay of
+                // it. Rebind the store to the recovered image so a restart
+                // resumes from the structure the caller now observes.
+                self.cut_checkpoint();
                 self.shared.queue.lock().expect("queue lock").poisoned = false;
                 self.shared.not_full.notify_all();
                 self.shared.recoveries.fetch_add(1, Ordering::Relaxed);
@@ -746,6 +1059,12 @@ impl Worker {
             return;
         }
 
+        // WAL ordering: the chunk reaches the durable journal (and, per
+        // the fsync cadence, the disk) before the engine ever sees it.
+        if !self.journal_chunk(&chunk, &tickets) {
+            return;
+        }
+
         let session = &mut self.session;
         let served = panic::catch_unwind(AssertUnwindSafe(|| {
             // Fault-injection site: a panic at the top of the ingest loop
@@ -767,6 +1086,7 @@ impl Worker {
                     self.journal.push(chunk);
                 }
                 self.audit();
+                self.maybe_checkpoint();
             }
             Ok(Err(err)) => {
                 // Pre-validation makes engine-side validation failures
@@ -777,6 +1097,102 @@ impl Worker {
                 }
             }
             Err(payload) => self.contain_fault(&tickets, payload),
+        }
+    }
+
+    /// Appends the chunk to the durable journal (a no-op without
+    /// persistence) **before** the engine applies it. Returns `false` when
+    /// the append failed: the tickets are then already resolved and the
+    /// run must not be served — the engine was never called, so nothing
+    /// diverged. A rollback failure is the one exception: the journal can
+    /// no longer be trusted to match the engine, so the service poisons.
+    fn journal_chunk(&mut self, chunk: &[Request], tickets: &[Arc<TicketCell>]) -> bool {
+        let Some(store) = self.store.as_mut() else {
+            return true;
+        };
+        let appended = panic::catch_unwind(AssertUnwindSafe(|| store.append_chunk(chunk)));
+        let err = match appended {
+            Ok(Ok(())) => {
+                self.shared
+                    .journal_bytes
+                    .store(store.journal_len(), Ordering::Relaxed);
+                return true;
+            }
+            Ok(Err(err)) => DsgError::Persist(err),
+            Err(payload) => DsgError::Persist(PersistError::AppendPanicked {
+                detail: payload_message(payload.as_ref()),
+            }),
+        };
+        match store.rollback() {
+            Ok(()) => {
+                self.shared.append_aborts.fetch_add(1, Ordering::Relaxed);
+                for ticket in tickets {
+                    ticket.resolve(Err(err.clone()));
+                }
+            }
+            Err(_) => {
+                self.shared.poisonings.fetch_add(1, Ordering::Relaxed);
+                self.poison(tickets);
+            }
+        }
+        false
+    }
+
+    /// Cuts a snapshot checkpoint at the quiescent point after a served
+    /// run, on the [`PersistConfig::snapshot_every`] epoch cadence.
+    fn maybe_checkpoint(&mut self) {
+        if self.store.is_none() {
+            return;
+        }
+        let every = self.config.persist.map_or(0, |p| p.snapshot_every);
+        if every == 0 {
+            return;
+        }
+        if self
+            .session
+            .epochs()
+            .saturating_sub(self.epochs_at_last_snapshot)
+            < every
+        {
+            return;
+        }
+        if self.shared.queue.lock().expect("queue lock").poisoned {
+            return;
+        }
+        self.cut_checkpoint();
+    }
+
+    /// Captures the engine image and checkpoints it. A failure (or a panic
+    /// through the `io.snapshot` / `io.manifest` fail points) abandons the
+    /// checkpoint — temp files removed, counted — and the store keeps
+    /// serving under the previous manifest binding: a checkpoint shortens
+    /// recovery, it is never required for correctness.
+    fn cut_checkpoint(&mut self) {
+        let Some(store) = self.store.as_mut() else {
+            return;
+        };
+        self.epochs_at_last_snapshot = self.session.epochs();
+        let session = &self.session;
+        let cut = panic::catch_unwind(AssertUnwindSafe(|| {
+            store.checkpoint(&session.engine().capture_image())
+        }));
+        match cut {
+            Ok(Ok(_bytes)) => {
+                self.shared.snapshots.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .snapshot_seq
+                    .store(store.snapshot_seq(), Ordering::Relaxed);
+                self.shared
+                    .snapshot_offset
+                    .store(store.bound_offset(), Ordering::Relaxed);
+                self.shared
+                    .journal_bytes
+                    .store(store.journal_len(), Ordering::Relaxed);
+            }
+            Ok(Err(_)) | Err(_) => {
+                store.abandon_checkpoint();
+                self.shared.snapshot_failures.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -921,7 +1337,7 @@ mod tests {
 
     #[test]
     fn serves_requests_from_multiple_producers() {
-        let service = spawn(64, ServiceConfig::default());
+        let mut service = spawn(64, ServiceConfig::default());
         std::thread::scope(|scope| {
             for p in 0..4u64 {
                 let service = &service;
@@ -939,14 +1355,14 @@ mod tests {
                 });
             }
         });
-        let done = service.shutdown();
+        let done = service.shutdown().unwrap();
         assert_eq!(done.metrics.submitted, 32);
         done.session.engine().validate().unwrap();
     }
 
     #[test]
     fn malformed_requests_fail_only_their_ticket() {
-        let service = spawn(16, ServiceConfig::default());
+        let mut service = spawn(16, ServiceConfig::default());
         let good = service.submit(Request::communicate(1, 9)).unwrap();
         let dup = service.submit(Request::Join(3)).unwrap();
         let ghost = service.submit(Request::Leave(99)).unwrap();
@@ -957,7 +1373,7 @@ mod tests {
         assert_eq!(dup.wait().unwrap_err(), DsgError::DuplicatePeer(3));
         assert_eq!(ghost.wait().unwrap_err(), DsgError::UnknownPeer(99));
         assert_eq!(selfish.wait().unwrap_err(), DsgError::SelfCommunication(5));
-        let done = service.shutdown();
+        let done = service.shutdown().unwrap();
         done.session.engine().validate().unwrap();
     }
 
@@ -1009,7 +1425,7 @@ mod tests {
 
     #[test]
     fn shutdown_abort_resolves_queued_tickets() {
-        let service = spawn(
+        let mut service = spawn(
             32,
             ServiceConfig {
                 shutdown: ShutdownPolicy::Abort,
@@ -1024,7 +1440,7 @@ mod tests {
                     .unwrap()
             })
             .collect();
-        let done = service.shutdown();
+        let done = service.shutdown().unwrap();
         for ticket in tickets {
             // Every ticket resolved: served before the close, or aborted.
             match ticket.wait() {
@@ -1053,10 +1469,52 @@ mod tests {
     #[test]
     fn recover_on_a_healthy_service_is_refused() {
         let service = spawn(8, ServiceConfig::default());
-        assert!(matches!(
-            service.recover().unwrap_err(),
-            DsgError::InvalidConfig(_)
-        ));
+        assert_eq!(service.recover().unwrap_err(), DsgError::NotPoisoned);
         drop(service);
+    }
+
+    #[test]
+    fn spawn_refuses_a_persist_config() {
+        let session = DsgSession::builder().peers(0..4).seed(1).build().unwrap();
+        let err = DsgService::spawn(
+            session,
+            ServiceConfig {
+                persist: Some(crate::persist::PersistConfig::default()),
+                ..ServiceConfig::default()
+            },
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(matches!(err, DsgError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn second_shutdown_is_a_typed_error_and_drop_stays_safe() {
+        let mut service = spawn(8, ServiceConfig::default());
+        let ticket = service.submit(Request::communicate(1, 5)).unwrap();
+        ticket.wait().unwrap();
+        let done = service.shutdown().unwrap();
+        done.session.engine().validate().unwrap();
+        assert_eq!(service.shutdown().unwrap_err(), DsgError::AlreadyShutDown);
+        // Dropping the already-shut-down handle must not panic.
+        drop(service);
+    }
+
+    #[test]
+    fn status_reports_queue_and_progress() {
+        let mut service = spawn(16, ServiceConfig::default());
+        let status = service.status();
+        assert!(!status.closed);
+        assert!(!status.poisoned);
+        assert_eq!(status.journal_bytes, 0, "no persistence, no journal");
+        let ticket = service.submit(Request::communicate(2, 9)).unwrap();
+        ticket.wait().unwrap();
+        service.shutdown().unwrap();
+        // Counters are exact once the worker is joined.
+        let status = service.status();
+        assert!(status.closed);
+        assert!(status.epochs >= 1);
+        assert!(status.batches >= 1);
+        assert!(status.audits >= 1);
     }
 }

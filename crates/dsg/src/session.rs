@@ -265,6 +265,21 @@ impl DsgBuilder {
             epochs: 0,
         })
     }
+
+    /// Builds a session around an engine restored from a snapshot
+    /// checkpoint (`DsgService::open`'s recovery path). The builder's
+    /// *observers* carry over — they describe the reopening process, not
+    /// the persisted structure — while its peers/vectors/config describe a
+    /// cold start and are ignored: the restored engine already carries the
+    /// configuration it was captured with. The epoch counter restarts at
+    /// zero, like the metrics of a restarted process.
+    pub(crate) fn build_recovered(self, engine: DynamicSkipGraph) -> DsgSession {
+        DsgSession {
+            engine,
+            observers: self.observers,
+            epochs: 0,
+        }
+    }
 }
 
 /// The result of submitting one [`Request`].

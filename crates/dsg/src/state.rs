@@ -123,6 +123,36 @@ impl NodeState {
             .max(self.group_ids.len())
             .max(self.dominating.len())
     }
+
+    /// Rebuilds a state verbatim from its raw stored vectors, the inverse
+    /// of [`NodeState::raw_parts`]. Used by the persistence layer: the
+    /// stored *lengths* are observable behaviour (the unbounded
+    /// common-group scan reads [`NodeState::stored_group_levels`]), so a
+    /// checkpoint must restore them exactly — including trailing entries
+    /// that happen to hold the default value, which the sparse setters
+    /// could not reproduce from reads alone.
+    pub fn from_raw_parts(
+        key: Key,
+        group_base: usize,
+        timestamps: Vec<u64>,
+        group_ids: Vec<u64>,
+        dominating: Vec<bool>,
+    ) -> Self {
+        NodeState {
+            key,
+            timestamps,
+            group_ids,
+            dominating,
+            group_base,
+        }
+    }
+
+    /// The raw stored vectors `(timestamps, group_ids, dominating)`,
+    /// exactly as long as they have grown — the lossless serialization
+    /// view consumed by the persistence layer.
+    pub fn raw_parts(&self) -> (&[u64], &[u64], &[bool]) {
+        (&self.timestamps, &self.group_ids, &self.dominating)
+    }
 }
 
 /// A recorded sequence of state writes, produced by the *planning* half of
@@ -200,6 +230,20 @@ impl StateTable {
             self.live += 1;
         }
         self.states[index] = Some(NodeState::new(key, initial_group_base));
+    }
+
+    /// Registers a node with a fully materialized state (the persistence
+    /// layer's restore path, where the state comes from a checkpoint
+    /// instead of [`NodeState::new`] defaults).
+    pub fn register_state(&mut self, id: NodeId, state: NodeState) {
+        let index = id.raw() as usize;
+        if self.states.len() <= index {
+            self.states.resize_with(index + 1, || None);
+        }
+        if self.states[index].is_none() {
+            self.live += 1;
+        }
+        self.states[index] = Some(state);
     }
 
     /// Removes a node's state (when the node leaves or a dummy is
@@ -416,6 +460,36 @@ mod tests {
         table.set_group_id(id(1), 2, 7);
         assert_eq!(table.highest_common_group_level(id(0), id(1), 4), Some(2));
         assert_eq!(table.highest_common_group_level(id(0), id(1), 1), Some(0));
+    }
+
+    #[test]
+    fn raw_parts_round_trip_preserves_stored_lengths() {
+        let mut st = NodeState::new(Key::new(5), 2);
+        st.set_timestamp(4, 8);
+        st.set_group_id(2, 77);
+        // A write that re-stores the default still grows the stored
+        // length — observable via stored_group_levels — and must survive
+        // the round trip.
+        st.set_group_id(3, 5);
+        st.set_dominating(1, true);
+        let (ts, gs, ds) = st.raw_parts();
+        let rebuilt = NodeState::from_raw_parts(
+            st.key(),
+            st.group_base(),
+            ts.to_vec(),
+            gs.to_vec(),
+            ds.to_vec(),
+        );
+        assert_eq!(rebuilt, st);
+        assert_eq!(rebuilt.stored_group_levels(), 4);
+
+        let mut table = StateTable::new();
+        table.register_state(id(3), rebuilt);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.get(id(3)), &st);
+        // Re-registering the same slot must not double-count.
+        table.register_state(id(3), st.clone());
+        assert_eq!(table.len(), 1);
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //! dying after the install, the service ingest loop dying between epochs —
 //! and then assert the containment story (`dsg::service`): plan-stage
 //! faults abort the epoch with the engine untouched, apply-stage faults
-//! poison the service with every in-flight ticket resolved.
+//! poison the service with every in-flight ticket resolved. The `io.*`
+//! sites extend the same registry into the durability layer
+//! (`dsg::persist`): a journal append dying mid-frame, a snapshot or
+//! manifest write dying mid-checkpoint — driven by the crash-recovery
+//! harness, which then proves restart-replay equivalence.
 //!
 //! # Cost when disarmed
 //!
@@ -60,17 +64,48 @@ pub const DUMMY_PASS0: &str = "dummy.pass0";
 /// serving.
 pub const INGEST_LOOP: &str = "ingest.loop";
 
-const SITE_NAMES: [&str; 4] = [PLAN_WORKER, APPLY_SPLICE, DUMMY_PASS0, INGEST_LOOP];
+/// Fail-point site in the durable journal's frame writer (`dsg::persist`),
+/// hit between the frame header and the frame payload reaching the file,
+/// so firing here leaves a genuinely *torn* frame on disk — the exact
+/// artifact the recovery path's torn-tail truncation must drop. In a
+/// `dsg::service` the append failure is contained: the journal is rolled
+/// back to the last committed frame, the batch's tickets fail typed, and
+/// the engine is never called.
+pub const IO_APPEND: &str = "io.append";
+
+/// Fail-point site in the snapshot checkpoint writer (`dsg::persist`), hit
+/// after the snapshot temp file is created but before its payload is
+/// written. Firing here simulates a crash mid-checkpoint: a stray temp
+/// file, no manifest update. A `dsg::service` abandons the checkpoint and
+/// keeps serving; recovery uses the previous manifest binding.
+pub const IO_SNAPSHOT: &str = "io.snapshot";
+
+/// Fail-point site in the manifest writer (`dsg::persist`), hit after the
+/// manifest temp file is written but before the atomic rename. Firing here
+/// simulates a crash in the commit step of a checkpoint: the new snapshot
+/// file exists but the manifest still binds the old one, which recovery
+/// must honour (the journal suffix is replayed from the old offset).
+pub const IO_MANIFEST: &str = "io.manifest";
+
+const SITE_NAMES: [&str; 7] = [
+    PLAN_WORKER,
+    APPLY_SPLICE,
+    DUMMY_PASS0,
+    INGEST_LOOP,
+    IO_APPEND,
+    IO_SNAPSHOT,
+    IO_MANIFEST,
+];
 
 /// Number of armed sites; the disarmed fast path of [`hit`] tests only
 /// this.
 static ARMED_SITES: AtomicU32 = AtomicU32::new(0);
 /// Per-site countdown: 0 = disarmed, `n > 0` = fire on the `n`-th hit
 /// from now.
-static COUNTDOWNS: [AtomicU64; 4] = [const { AtomicU64::new(0) }; 4];
+static COUNTDOWNS: [AtomicU64; 7] = [const { AtomicU64::new(0) }; 7];
 /// Per-site hit counters, recorded while *any* site is armed (coverage
 /// evidence for the fault-injection soak).
-static HITS: [AtomicU64; 4] = [const { AtomicU64::new(0) }; 4];
+static HITS: [AtomicU64; 7] = [const { AtomicU64::new(0) }; 7];
 /// Serialisation lock for tests (the registry is process-global).
 static EXCLUSIVE: Mutex<()> = Mutex::new(());
 

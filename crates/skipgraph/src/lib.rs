@@ -62,6 +62,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod balance;
+pub mod crc32;
 pub mod error;
 pub mod failpoint;
 pub mod fasthash;
@@ -77,6 +78,7 @@ mod smallvec;
 pub mod tree;
 
 pub use balance::{BalanceReport, BalanceViolation};
+pub use crc32::{crc32, Crc32};
 pub use error::SkipGraphError;
 pub use fasthash::{FastHashState, KeyHashState};
 pub use graph::{ListIter, ListRef, MembershipUpdate, NodeEntry, SkipGraph};

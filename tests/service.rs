@@ -90,7 +90,7 @@ fn slow_engine_backpressure_is_typed_and_leaks_no_tickets() {
     let gate = Arc::new(GateInner::default());
     let mut session = build(32, 5);
     session.add_observer(Arc::new(Mutex::new(GateObserver(Arc::clone(&gate)))));
-    let service = DsgService::spawn(
+    let mut service = DsgService::spawn(
         session,
         ServiceConfig {
             queue_capacity: 1,
@@ -123,7 +123,7 @@ fn slow_engine_backpressure_is_typed_and_leaks_no_tickets() {
     gate.release();
     r1.wait().unwrap();
     r2.wait().unwrap();
-    let done = service.shutdown();
+    let done = service.shutdown().expect("first shutdown");
     assert_eq!(done.metrics.submitted, 2);
     assert_eq!(done.metrics.rejected_overload, 1);
     assert_eq!(done.metrics.submit_timeouts, 1);
@@ -133,7 +133,7 @@ fn slow_engine_backpressure_is_typed_and_leaks_no_tickets() {
 
 #[test]
 fn drain_shutdown_serves_the_backlog() {
-    let service = DsgService::spawn(
+    let mut service = DsgService::spawn(
         build(64, 6),
         ServiceConfig {
             queue_capacity: 512,
@@ -144,12 +144,20 @@ fn drain_shutdown_serves_the_backlog() {
     let tickets: Vec<Ticket> = (0..32u64)
         .map(|i| service.submit(Request::communicate(i, i + 32)).unwrap())
         .collect();
-    let done = service.shutdown();
+    let done = service.shutdown().expect("first shutdown");
     for ticket in &tickets {
         ticket.wait().expect("drain policy serves every queued request");
     }
     assert_eq!(done.metrics.submitted, 32);
     done.session.engine().validate().unwrap();
+
+    // A second shutdown is a typed error, never a panic — and the handle
+    // can still be dropped safely afterwards.
+    assert!(matches!(
+        service.shutdown().unwrap_err(),
+        DsgError::AlreadyShutDown
+    ));
+    drop(service);
 }
 
 // ---------------------------------------------------------------------
@@ -168,7 +176,7 @@ fn run_with_abort_fault(
     faulted: &[Request],
     after: &[Request],
 ) -> ShutdownOutcome {
-    let service = DsgService::spawn(
+    let mut service = DsgService::spawn(
         build(n, seed),
         ServiceConfig {
             record_journal: true,
@@ -198,7 +206,7 @@ fn run_with_abort_fault(
     assert!(!service.is_poisoned(), "plan-side faults must not poison");
 
     serve_all(&service, after);
-    service.shutdown()
+    service.shutdown().expect("first shutdown")
 }
 
 #[test]
@@ -250,7 +258,7 @@ fn poison_and_recover(site: &str, seed: u64) {
     let _guard = failpoint::exclusive();
     failpoint::disarm_all();
     let n = 48u64;
-    let service = DsgService::spawn(build(n, seed), ServiceConfig::default()).unwrap();
+    let mut service = DsgService::spawn(build(n, seed), ServiceConfig::default()).unwrap();
     serve_all(
         &service,
         &(0..6).map(|i| Request::communicate(i, i + 24)).collect::<Vec<_>>(),
@@ -293,13 +301,17 @@ fn poison_and_recover(site: &str, seed: u64) {
     assert!(report.peers > 0 && report.peers <= n as usize);
     assert!(!service.is_poisoned());
 
+    // A second recover finds a healthy service: typed refusal, and the
+    // recovered structure is left untouched (idempotent in effect).
+    assert!(matches!(service.recover().unwrap_err(), DsgError::NotPoisoned));
+
     // The service is fully live again: serve more traffic, then prove the
     // final structure deep-validates clean.
     serve_all(
         &service,
         &(0..6).map(|i| Request::communicate(i + 10, i + 34)).collect::<Vec<_>>(),
     );
-    let done = service.shutdown();
+    let done = service.shutdown().expect("first shutdown");
     assert_eq!(done.metrics.poisonings, 1);
     assert_eq!(done.metrics.recoveries, 1);
     done.session.engine().validate().unwrap();
@@ -347,7 +359,7 @@ proptest! {
         if requests.is_empty() {
             return;
         }
-        let service = DsgService::spawn(
+        let mut service = DsgService::spawn(
             build(n, seed),
             ServiceConfig {
                 record_journal: true,
@@ -370,7 +382,7 @@ proptest! {
                 });
             }
         });
-        let done = service.shutdown();
+        let done = service.shutdown().expect("first shutdown");
         prop_assert_eq!(done.metrics.submitted as usize, requests.len());
 
         let mut twin = build(n, seed);
@@ -380,4 +392,63 @@ proptest! {
         assert_networks_agree("service journal twin", done.session.engine(), twin.engine());
         prop_assert_eq!(done.session.epochs(), twin.epochs());
     }
+}
+
+// ---------------------------------------------------------------------
+// Durable journal vs the in-memory recording oracle
+// ---------------------------------------------------------------------
+
+fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("dsg-service-{tag}-{}-{n}", std::process::id()))
+}
+
+/// Satellite proof of "one source of truth": with persistence on, the
+/// chunk journal handed back by `shutdown` comes from the durable log,
+/// and must agree — chunk for chunk — with the in-memory
+/// `record_journal` oracle. Replaying either through a fresh session
+/// reproduces the served structure.
+#[test]
+fn durable_journal_agrees_with_the_recording_oracle() {
+    let dir = temp_store_dir("oracle");
+    let n = 32u64;
+    let config = ServiceConfig {
+        record_journal: true,
+        ingest_batch: 4,
+        persist: Some(PersistConfig::default()),
+        ..ServiceConfig::default()
+    };
+    let (mut service, report) = DsgService::open(
+        &dir,
+        DsgSession::builder().peers(0..n).seed(41),
+        config,
+    )
+    .expect("cold start");
+    assert!(!report.recovered);
+
+    let requests: Vec<Request> = (0..24)
+        .map(|i| Request::communicate(i % n, (i + 7) % n))
+        .collect();
+    serve_all(&service, &requests);
+    let status = service.status();
+    assert!(status.journal_bytes > 0, "served chunks must hit the journal");
+    let done = service.shutdown().expect("first shutdown");
+
+    assert_eq!(
+        done.journal, done.journal_recorded,
+        "durable journal and in-memory oracle diverge"
+    );
+    assert_eq!(
+        done.journal.iter().map(Vec::len).sum::<usize>(),
+        requests.len(),
+        "every acknowledged request is journaled exactly once"
+    );
+    let mut twin = build(n, 41);
+    for chunk in &done.journal {
+        twin.submit_batch(chunk).expect("journal replays cleanly");
+    }
+    assert_networks_agree("durable journal twin", done.session.engine(), twin.engine());
+    std::fs::remove_dir_all(&dir).ok();
 }

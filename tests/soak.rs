@@ -137,12 +137,16 @@ fn soak_mixed_traffic_sharded() {
     soak(4);
 }
 
-/// Fault-injection soak (PR 6): a seeded fault schedule walks every named
-/// fail-point site several rounds through a live [`DsgService`], proving
-/// that (a) each site actually fires under organic traffic, (b) no
-/// submission ever hangs — every ticket resolves or is refused with a
-/// typed error, (c) a poisoned service recovers and keeps serving, and
-/// (d) the surviving engine passes the deep invariant sweep at the end.
+/// Fault-injection soak (PR 6; io sites PR 7): a seeded fault schedule
+/// walks every named fail-point site several rounds through a live
+/// [`DsgService`], proving that (a) each site actually fires under
+/// organic traffic, (b) no submission ever hangs — every ticket resolves
+/// or is refused with a typed error, (c) a poisoned service recovers and
+/// keeps serving, and (d) the surviving engine passes the deep invariant
+/// sweep at the end. The service runs with persistence on so the
+/// `io.append` / `io.snapshot` / `io.manifest` sites are reachable;
+/// checkpoint-path faults are *contained* (the ticket still resolves Ok),
+/// so their drive ends on the hit itself rather than on a ticket error.
 ///
 /// Serialized on `failpoint::exclusive()` because the registry is
 /// process-global.
@@ -161,12 +165,16 @@ fn soak_fault_injection_schedule() {
     let _guard = failpoint::exclusive();
     failpoint::disarm_all();
 
-    let session = DsgSession::builder()
-        .peers(0..PEERS)
-        .seed(0xFA17)
-        .build()
-        .expect("soak config is valid");
-    let service = DsgService::spawn(session, ServiceConfig::default()).unwrap();
+    let dir = std::env::temp_dir().join(format!("dsg-soak-faults-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    // Checkpoint every 8 epochs: with serial submissions (one-request
+    // chunks) the 1st..4th checkpoint hit lands well inside DRIVE_CAP.
+    let config = ServiceConfig {
+        persist: Some(dsg::PersistConfig::default().with_snapshot_every(8)),
+        ..ServiceConfig::default()
+    };
+    let (mut service, _) = DsgService::open(&dir, DsgSession::builder().peers(0..PEERS).seed(0xFA17), config)
+        .expect("soak store cold-starts");
     let mut mix = Mix(0xFA17_C0DE);
     let mut recoveries = 0usize;
 
@@ -175,7 +183,9 @@ fn soak_fault_injection_schedule() {
             let before = failpoint::hit_count(site);
             // The seeded schedule varies *when* each site fires per round
             // (1st..4th hit after arming) without giving up determinism.
-            failpoint::arm(site, failpoint::seeded_nth(0xFA17 ^ round, site, 4));
+            let nth = failpoint::seeded_nth(0xFA17 ^ round, site, 4);
+            failpoint::arm(site, nth);
+            let contained = site == failpoint::IO_SNAPSHOT || site == failpoint::IO_MANIFEST;
 
             // Drive organic traffic until the armed site trips, capped so a
             // dead site fails the test instead of spinning forever.
@@ -190,8 +200,18 @@ fn soak_fault_injection_schedule() {
                     service.submit_deadline(Request::communicate(u, v), Duration::from_secs(30));
                 match submitted {
                     Ok(ticket) => match ticket.wait() {
-                        Ok(_) => {}
-                        Err(DsgError::EpochAborted(_)) | Err(DsgError::EnginePoisoned) => {
+                        // A contained checkpoint fault never fails the
+                        // ticket — the exhausted countdown (the counter
+                        // reaching the armed nth) is the only evidence.
+                        Ok(_) => {
+                            if contained && failpoint::hit_count(site) >= before + nth {
+                                tripped = true;
+                                break;
+                            }
+                        }
+                        Err(DsgError::EpochAborted(_))
+                        | Err(DsgError::EnginePoisoned)
+                        | Err(DsgError::Persist(_)) => {
                             tripped = true;
                             break;
                         }
@@ -234,12 +254,15 @@ fn soak_fault_injection_schedule() {
         }
     }
     // Apply-side sites poison every round, so the schedule exercised the
-    // recovery path at least that often.
+    // recovery path at least that often; the checkpoint-path sites each
+    // abandon one checkpoint per round without failing anything.
     assert!(recoveries >= 2 * ROUNDS as usize);
-    let done = service.shutdown();
+    let done = service.shutdown().expect("first shutdown");
     assert_eq!(done.metrics.recoveries as usize, recoveries);
+    assert!(done.metrics.snapshot_failures >= 2 * ROUNDS);
     done.session
         .engine()
         .validate()
         .expect("post-schedule deep invariant sweep");
+    std::fs::remove_dir_all(&dir).ok();
 }
