@@ -21,7 +21,7 @@
 //! directory. Set `BENCH_PERF_QUICK=1` to run a fast smoke (fewer
 //! repetitions, shorter traces) — used by CI.
 //!
-//! The JSON schema (`dsg-bench-perf/v6`) is documented in `ROADMAP.md`
+//! The JSON schema (`dsg-bench-perf/v7`) is documented in `ROADMAP.md`
 //! ("BENCH_perf.json schema"). v5 added the `service_ingest` table: the
 //! concurrent [`dsg::DsgService`] front-end driven by 1/2/4/8 producer
 //! threads over a bounded queue, reporting throughput, peak queue depth,
@@ -33,14 +33,19 @@
 //! costs of the `dsg-persist` subsystem — snapshot encode/decode wall
 //! time and size, plus crash-recovery replay throughput through
 //! [`dsg::DsgService::open`] against a journal with a deliberately torn
-//! tail.
+//! tail. v7 adds the adaptation policy (PR 8): the `communicate` sweep
+//! gains `flash_crowd` and `hot_set_drift` workload rows, every
+//! communicate/batched row carries a `policy` tag plus the gate counters
+//! (`pairs_gated`, `restructures_budgeted`, `sketch_aging_passes`), and
+//! the uniform and flash-crowd workloads run as a policy off/on A/B pair.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use dsg::persist::{decode_snapshot, encode_snapshot};
 use dsg::{
-    DsgConfig, DsgService, DsgSession, DynamicSkipGraph, PersistConfig, ServiceConfig, SubmitError,
+    DsgConfig, DsgService, DsgSession, DynamicSkipGraph, PersistConfig, PolicyConfig,
+    ServiceConfig, SubmitError,
 };
 use dsg_bench::{
     perf_trace_len, reference_graph_like, route_pairs, run_dsg, run_dsg_batched, workload_trace,
@@ -96,6 +101,7 @@ impl MicroRow {
 
 struct CommRow {
     workload: &'static str,
+    policy: &'static str,
     n: u64,
     requests: usize,
     elapsed_ns: u128,
@@ -103,6 +109,9 @@ struct CommRow {
     dummy_churn: usize,
     dummies_reused: usize,
     dummies_bulk_inserted: usize,
+    pairs_gated: u64,
+    restructures_budgeted: u64,
+    sketch_aging_passes: u64,
 }
 
 impl CommRow {
@@ -127,6 +136,9 @@ struct BatchRow {
     planned_clusters: usize,
     plan_shards: usize,
     plan_wall_ns: u64,
+    pairs_gated: u64,
+    restructures_budgeted: u64,
+    sketch_aging_passes: u64,
 }
 
 impl BatchRow {
@@ -269,29 +281,45 @@ fn measure_communicate(quick: bool) -> Vec<CommRow> {
             WorkloadKind::Uniform,
             WorkloadKind::Skewed,
             WorkloadKind::WorkingSet,
+            WorkloadKind::FlashCrowd,
+            WorkloadKind::HotSetDrift,
         ] {
             let trace = workload_trace(kind, n, m, 3);
-            // Short warm-up replay (builds the network, pages code in),
-            // then the timed full replay.
-            run_dsg(n, DsgConfig::default().with_seed(1), &trace[..m.min(20)]);
-            let start = Instant::now();
-            let run = run_dsg(n, DsgConfig::default().with_seed(1), &trace);
-            let elapsed_ns = start.elapsed().as_nanos();
-            let transform_touched_pairs = run.total_touched_pairs();
-            let dummy_churn = run.dummy_churn;
-            let dummies_reused = run.dummies_reused;
-            let dummies_bulk_inserted = run.dummies_bulk_inserted;
-            std::hint::black_box(run);
-            rows.push(CommRow {
-                workload: kind.label(),
-                n,
-                requests: m,
-                elapsed_ns,
-                transform_touched_pairs,
-                dummy_churn,
-                dummies_reused,
-                dummies_bulk_inserted,
-            });
+            // Every workload runs policy-off; uniform and flash-crowd run
+            // the policy on/off A/B pair — the two regimes the admission
+            // gate was designed around (pure overhead vs late skew).
+            let mut policies = vec![("off", DsgConfig::default().with_seed(1))];
+            if matches!(kind, WorkloadKind::Uniform | WorkloadKind::FlashCrowd) {
+                policies.push((
+                    "on",
+                    DsgConfig::default()
+                        .with_seed(1)
+                        .with_policy(PolicyConfig::gated()),
+                ));
+            }
+            for (policy, config) in policies {
+                // Short warm-up replay (builds the network, pages code
+                // in), then the timed full replay.
+                run_dsg(n, config, &trace[..m.min(20)]);
+                let start = Instant::now();
+                let run = run_dsg(n, config, &trace);
+                let elapsed_ns = start.elapsed().as_nanos();
+                rows.push(CommRow {
+                    workload: kind.label(),
+                    policy,
+                    n,
+                    requests: m,
+                    elapsed_ns,
+                    transform_touched_pairs: run.total_touched_pairs(),
+                    dummy_churn: run.dummy_churn,
+                    dummies_reused: run.dummies_reused,
+                    dummies_bulk_inserted: run.dummies_bulk_inserted,
+                    pairs_gated: run.pairs_gated,
+                    restructures_budgeted: run.restructures_budgeted,
+                    sketch_aging_passes: run.sketch_aging_passes,
+                });
+                std::hint::black_box(run);
+            }
         }
     }
     rows
@@ -301,39 +329,47 @@ fn measure_communicate_batched(quick: bool) -> Vec<BatchRow> {
     let mut rows = Vec::new();
     for &n in COMM_BATCH_SIZES {
         let m = perf_trace_len(n, quick);
-        let trace = workload_trace(WorkloadKind::Uniform, n, m, 3);
-        for &batch in BATCH_SIZES {
-            // The largest batch additionally sweeps the plan-stage shard
-            // count (the PR 5 acceptance rows: shards 1 vs 4 at batch 16).
-            let shard_counts: &[usize] = if batch == *BATCH_SIZES.last().unwrap() {
-                PLAN_SHARD_SWEEP
-            } else {
-                &[1]
-            };
-            for &shards in shard_counts {
-                let config = DsgConfig::default().with_seed(1).with_shards(shards);
-                run_dsg_batched(n, config, &trace[..m.min(20)], batch);
-                let start = Instant::now();
-                let run = run_dsg_batched(n, config, &trace, batch);
-                let elapsed_ns = start.elapsed().as_nanos();
-                rows.push(BatchRow {
-                    workload: WorkloadKind::Uniform.label(),
-                    n,
-                    batch,
-                    shards,
-                    requests: m,
-                    elapsed_ns,
-                    transform_touched_pairs: run.total_touched_pairs(),
-                    epochs: run.epochs,
-                    install_passes: run.install_passes,
-                    dummy_churn: run.dummy_churn,
-                    dummies_reused: run.dummies_reused,
-                    dummies_bulk_inserted: run.dummies_bulk_inserted,
-                    planned_clusters: run.planned_clusters,
-                    plan_shards: run.plan_shards,
-                    plan_wall_ns: run.plan_wall_ns,
-                });
-                std::hint::black_box(run);
+        // Uniform is the historical batched surface; the drifting hot
+        // window (v7) adds a skew-under-churn profile to the same sweep.
+        for kind in [WorkloadKind::Uniform, WorkloadKind::HotSetDrift] {
+            let trace = workload_trace(kind, n, m, 3);
+            for &batch in BATCH_SIZES {
+                // The largest batch additionally sweeps the plan-stage
+                // shard count (the PR 5 acceptance rows: shards 1 vs 4 at
+                // batch 16).
+                let shard_counts: &[usize] = if batch == *BATCH_SIZES.last().unwrap() {
+                    PLAN_SHARD_SWEEP
+                } else {
+                    &[1]
+                };
+                for &shards in shard_counts {
+                    let config = DsgConfig::default().with_seed(1).with_shards(shards);
+                    run_dsg_batched(n, config, &trace[..m.min(20)], batch);
+                    let start = Instant::now();
+                    let run = run_dsg_batched(n, config, &trace, batch);
+                    let elapsed_ns = start.elapsed().as_nanos();
+                    rows.push(BatchRow {
+                        workload: kind.label(),
+                        n,
+                        batch,
+                        shards,
+                        requests: m,
+                        elapsed_ns,
+                        transform_touched_pairs: run.total_touched_pairs(),
+                        epochs: run.epochs,
+                        install_passes: run.install_passes,
+                        dummy_churn: run.dummy_churn,
+                        dummies_reused: run.dummies_reused,
+                        dummies_bulk_inserted: run.dummies_bulk_inserted,
+                        planned_clusters: run.planned_clusters,
+                        plan_shards: run.plan_shards,
+                        plan_wall_ns: run.plan_wall_ns,
+                        pairs_gated: run.pairs_gated,
+                        restructures_budgeted: run.restructures_budgeted,
+                        sketch_aging_passes: run.sketch_aging_passes,
+                    });
+                    std::hint::black_box(run);
+                }
             }
         }
     }
@@ -468,8 +504,8 @@ fn measure_recovery(quick: bool, reps: usize) -> Vec<RecoveryRow> {
         .map(|&n| {
             let m = perf_trace_len(n, quick);
             let trace = workload_trace(WorkloadKind::Uniform, n, m, 3);
-            let dir = std::env::temp_dir()
-                .join(format!("dsg-bench-recovery-{}-{n}", std::process::id()));
+            let dir =
+                std::env::temp_dir().join(format!("dsg-bench-recovery-{}-{n}", std::process::id()));
             std::fs::remove_dir_all(&dir).ok();
             let builder = || {
                 DsgSession::builder()
@@ -601,11 +637,14 @@ fn main() {
         }
         let _ = write!(
             comm_json,
-            "\n    {{\"workload\": \"{}\", \"n\": {}, \"requests\": {}, \
+            "\n    {{\"workload\": \"{}\", \"policy\": \"{}\", \"n\": {}, \"requests\": {}, \
              \"elapsed_ms\": {:.2}, \"requests_per_sec\": {:.1}, \
              \"transform_touched_pairs\": {}, \"dummy_churn\": {}, \
-             \"dummies_reused\": {}, \"dummies_bulk_inserted\": {}}}",
+             \"dummies_reused\": {}, \"dummies_bulk_inserted\": {}, \
+             \"pairs_gated\": {}, \"restructures_budgeted\": {}, \
+             \"sketch_aging_passes\": {}}}",
             row.workload,
+            row.policy,
             row.n,
             row.requests,
             row.elapsed_ns as f64 / 1e6,
@@ -613,7 +652,10 @@ fn main() {
             row.transform_touched_pairs,
             row.dummy_churn,
             row.dummies_reused,
-            row.dummies_bulk_inserted
+            row.dummies_bulk_inserted,
+            row.pairs_gated,
+            row.restructures_budgeted,
+            row.sketch_aging_passes
         );
     }
     comm_json.push_str("\n  ]");
@@ -630,7 +672,9 @@ fn main() {
              \"elapsed_ms\": {:.2}, \"requests_per_sec\": {:.1}, \
              \"transform_touched_pairs\": {}, \"epochs\": {}, \"install_passes\": {}, \
              \"dummy_churn\": {}, \"dummies_reused\": {}, \"dummies_bulk_inserted\": {}, \
-             \"planned_clusters\": {}, \"plan_shards\": {}, \"plan_wall_ms\": {:.2}}}",
+             \"planned_clusters\": {}, \"plan_shards\": {}, \"plan_wall_ms\": {:.2}, \
+             \"pairs_gated\": {}, \"restructures_budgeted\": {}, \
+             \"sketch_aging_passes\": {}}}",
             row.workload,
             row.n,
             row.batch,
@@ -646,7 +690,10 @@ fn main() {
             row.dummies_bulk_inserted,
             row.planned_clusters,
             row.plan_shards,
-            row.plan_wall_ns as f64 / 1e6
+            row.plan_wall_ns as f64 / 1e6,
+            row.pairs_gated,
+            row.restructures_budgeted,
+            row.sketch_aging_passes
         );
     }
     batch_json.push_str("\n  ]");
@@ -702,7 +749,7 @@ fn main() {
     recovery_json.push_str("\n  ]");
 
     let json = format!(
-        "{{\n  \"schema\": \"dsg-bench-perf/v6\",\n  \"created_unix\": {unix_time},\n  \
+        "{{\n  \"schema\": \"dsg-bench-perf/v7\",\n  \"created_unix\": {unix_time},\n  \
          \"quick\": {},\n  \"route\": {},\n  \"neighbors\": {},\n  \"dummy_probe\": {},\n  \
          \"communicate\": {},\n  \"communicate_batched\": {},\n  \"service_ingest\": {},\n  \
          \"recovery\": {}\n}}\n",
@@ -732,13 +779,16 @@ fn main() {
     }
     for row in &communicate {
         eprintln!(
-            "communicate {:>11} n={:<5} {:>10.1} req/s   {:>9} touched pairs   {:>7} dummy churn   {:>7} reused",
+            "communicate {:>13} policy={:<3} n={:<5} {:>10.1} req/s   {:>9} touched pairs   {:>7} dummy churn   {:>6} gated   {:>3} budgeted   {:>3} aging",
             row.workload,
+            row.policy,
             row.n,
             row.requests_per_sec(),
             row.transform_touched_pairs,
             row.dummy_churn,
-            row.dummies_reused
+            row.pairs_gated,
+            row.restructures_budgeted,
+            row.sketch_aging_passes
         );
     }
     for row in &communicate_batched {

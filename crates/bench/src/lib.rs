@@ -19,7 +19,9 @@ use dsg_baselines::Baseline;
 use dsg_metrics::{MetricsObserver, WorkingSetTracker};
 use dsg_skipgraph::reference::ReferenceGraph;
 use dsg_skipgraph::{Key, SkipGraph};
-use dsg_workloads::{RotatingHotSet, Trace, UniformRandom, Workload, ZipfPairs};
+use dsg_workloads::{
+    FlashCrowd, HotSetDrift, RotatingHotSet, Trace, UniformRandom, Workload, ZipfPairs,
+};
 
 /// The network sizes the micro perf suite sweeps (`benches/core.rs` and
 /// the `route`/`neighbors` tables of the `bench_perf` binary).
@@ -50,6 +52,12 @@ pub enum WorkloadKind {
     /// A rotating hot community — temporal locality / working-set
     /// behaviour.
     WorkingSet,
+    /// Uniform background with one sudden hot burst — the adaptation
+    /// policy's stress pattern (cold noise, then a crowd, then dispersal).
+    FlashCrowd,
+    /// A contiguous hot window sliding over the key space — exercises
+    /// frequency-sketch aging under gradual drift.
+    HotSetDrift,
 }
 
 impl WorkloadKind {
@@ -59,6 +67,8 @@ impl WorkloadKind {
             WorkloadKind::Uniform => "uniform",
             WorkloadKind::Skewed => "skewed",
             WorkloadKind::WorkingSet => "working_set",
+            WorkloadKind::FlashCrowd => "flash_crowd",
+            WorkloadKind::HotSetDrift => "hot_set_drift",
         }
     }
 }
@@ -72,6 +82,15 @@ pub fn workload_trace(kind: WorkloadKind, n: u64, m: usize, seed: u64) -> Trace 
         WorkloadKind::WorkingSet => {
             let hot = (n as usize / 16).clamp(2, 32);
             RotatingHotSet::new(n, hot, 0.9, 200, seed).generate(m)
+        }
+        WorkloadKind::FlashCrowd => {
+            // Burst in the middle third of the trace; 4 hot pairs take 95%
+            // of it.
+            FlashCrowd::new(n, 4, m / 3, (m / 3).max(1), 0.95, seed).generate(m)
+        }
+        WorkloadKind::HotSetDrift => {
+            let window = (n / 16).clamp(2, 32);
+            HotSetDrift::new(n, window, window / 2 + 1, 50, 0.9, seed).generate(m)
         }
     }
 }
@@ -185,6 +204,13 @@ pub struct DsgRun {
     pub plan_shards: usize,
     /// Total wall-clock nanoseconds spent in the plan stages.
     pub plan_wall_ns: u64,
+    /// Requests the admission gate routed without restructuring (0 with
+    /// the adaptation policy off).
+    pub pairs_gated: u64,
+    /// Cold clusters restructured via the per-epoch admission budget.
+    pub restructures_budgeted: u64,
+    /// Frequency-sketch counter-halving passes over the whole replay.
+    pub sketch_aging_passes: u64,
 }
 
 impl DsgRun {
@@ -293,6 +319,9 @@ pub fn run_dsg_batched(n: u64, config: DsgConfig, trace: &[Request], batch: usiz
         run.planned_clusters = metrics.planned_clusters;
         run.plan_shards = metrics.plan_shards;
         run.plan_wall_ns = metrics.plan_wall_ns;
+        run.pairs_gated = metrics.pairs_gated;
+        run.restructures_budgeted = metrics.restructures_budgeted;
+        run.sketch_aging_passes = metrics.sketch_aging_passes;
     }
     run.final_dummies = session.engine().dummy_count();
     run
@@ -377,7 +406,10 @@ mod tests {
     fn tables_are_aligned() {
         let table = format_table(
             &["n", "cost"],
-            &[vec!["8".into(), "1.25".into()], vec!["1024".into(), "10.00".into()]],
+            &[
+                vec!["8".into(), "1.25".into()],
+                vec!["1024".into(), "10.00".into()],
+            ],
         );
         assert!(table.contains("1024"));
         assert!(table.lines().count() >= 4);

@@ -34,6 +34,96 @@ pub enum InstallStrategy {
     PerNode,
 }
 
+/// Whether the engine restructures on every communicate (the paper's
+/// unconditional rule) or consults the adaptation policy first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdaptPolicy {
+    /// Restructure on every communicate, unconditionally — the paper's
+    /// amortized rule and the engine's historical behaviour. With this
+    /// policy no sketch is allocated and the engine is bit-identical to
+    /// the pre-policy engine (`tests/policy_gate.rs` pins this).
+    #[default]
+    Always,
+    /// Sketch-fed TinyLFU-style admission: pairs whose count-min estimate
+    /// clears [`PolicyConfig::threshold`] restructure eagerly; cold pairs
+    /// route without restructuring, beyond a per-epoch budget of
+    /// [`PolicyConfig::epoch_budget`] cold restructures.
+    Gated,
+}
+
+/// Tuning for the adaptation policy subsystem
+/// ([`policy`](crate::policy) module). Carried on [`DsgConfig`] so it is
+/// serialized with the engine image and identical across replay twins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyConfig {
+    /// The admission mode. Default [`AdaptPolicy::Always`] (gate off).
+    pub policy: AdaptPolicy,
+    /// Minimum count-min estimate for a cluster to be judged hot — on an
+    /// exact pair repeat, on both endpoints being individually hot (the
+    /// community signal), or scaled by subtree size for the amortization
+    /// signal (see [`policy::admission`](crate::policy::admission)).
+    /// Judged *after* the epoch's own occurrences are staged, so
+    /// `threshold = 2` means "seen at least twice recently".
+    pub threshold: u32,
+    /// Cold-cluster restructures admitted per epoch before gating. Zero
+    /// (the default) gates every cold cluster — the strictest setting,
+    /// and the one that realises the uniform-traffic win, since
+    /// sequential traffic forms single-pair epochs that a budget of even
+    /// 1 would wave through.
+    pub epoch_budget: u32,
+    /// Sketch key-updates between counter-halving passes. Each request
+    /// stages four key updates (pair + both endpoints + `l_α` prefix),
+    /// so the default 4096 ages roughly every 1024 requests. Must stay
+    /// well below `SKETCH_ROWS × SKETCH_WIDTH` cell capacity — a period
+    /// that outruns the sketch width drives per-cell load past the
+    /// threshold and the gate admits everything (fails open).
+    pub aging_period: u64,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            policy: AdaptPolicy::default(),
+            threshold: 2,
+            epoch_budget: 0,
+            aging_period: 4096,
+        }
+    }
+}
+
+impl PolicyConfig {
+    /// A gated policy with the default threshold, budget, and aging.
+    pub fn gated() -> Self {
+        PolicyConfig {
+            policy: AdaptPolicy::Gated,
+            ..PolicyConfig::default()
+        }
+    }
+
+    /// Sets the hotness threshold.
+    pub fn with_threshold(mut self, threshold: u32) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Sets the per-epoch cold-restructure budget.
+    pub fn with_epoch_budget(mut self, budget: u32) -> Self {
+        self.epoch_budget = budget;
+        self
+    }
+
+    /// Sets the sketch aging period (key updates between halvings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn with_aging_period(mut self, period: u64) -> Self {
+        assert!(period > 0, "the sketch aging period must be positive");
+        self.aging_period = period;
+        self
+    }
+}
+
 /// Configuration for a [`DynamicSkipGraph`](crate::DynamicSkipGraph).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DsgConfig {
@@ -69,6 +159,10 @@ pub struct DsgConfig {
     /// the full cap as soon as an epoch splits into ≥ 2 clusters again.
     /// Off by default (fixed caller-driven epoch boundaries).
     pub adaptive_flush: bool,
+    /// The adaptation policy: whether (and how) the frequency-sketch
+    /// admission gate decides which communicates earn a restructure.
+    /// Default off ([`AdaptPolicy::Always`]).
+    pub policy: PolicyConfig,
 }
 
 impl Default for DsgConfig {
@@ -81,6 +175,7 @@ impl Default for DsgConfig {
             install: InstallStrategy::default(),
             shards: 1,
             adaptive_flush: false,
+            policy: PolicyConfig::default(),
         }
     }
 }
@@ -139,6 +234,12 @@ impl DsgConfig {
         self.adaptive_flush = on;
         self
     }
+
+    /// Sets the adaptation policy (sketch-fed admission gate).
+    pub fn with_policy(mut self, policy: PolicyConfig) -> Self {
+        self.policy = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -170,5 +271,26 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn tiny_a_is_rejected() {
         let _ = DsgConfig::default().with_a(1);
+    }
+
+    #[test]
+    fn policy_defaults_to_off() {
+        let c = DsgConfig::default();
+        assert_eq!(c.policy.policy, AdaptPolicy::Always);
+        let gated = PolicyConfig::gated()
+            .with_threshold(3)
+            .with_epoch_budget(1)
+            .with_aging_period(128);
+        let c = c.with_policy(gated);
+        assert_eq!(c.policy.policy, AdaptPolicy::Gated);
+        assert_eq!(c.policy.threshold, 3);
+        assert_eq!(c.policy.epoch_budget, 1);
+        assert_eq!(c.policy.aging_period, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "aging period must be positive")]
+    fn zero_aging_period_is_rejected() {
+        let _ = PolicyConfig::gated().with_aging_period(0);
     }
 }

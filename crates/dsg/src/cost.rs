@@ -107,6 +107,15 @@ pub struct RunStats {
     /// transformation planning + dummy-reconciliation detection). A timing
     /// observable — excluded from determinism comparisons.
     pub plan_wall_ns: u64,
+    /// Requests whose cluster the admission gate declined to restructure
+    /// (routed only). 0 with the policy off
+    /// ([`AdaptPolicy::Always`](crate::AdaptPolicy::Always)).
+    pub pairs_gated: u64,
+    /// Cold clusters restructured via the per-epoch budget instead of a
+    /// hot sketch estimate.
+    pub restructures_budgeted: u64,
+    /// Frequency-sketch counter-halving ("aging") passes performed.
+    pub sketch_aging_passes: u64,
 }
 
 impl RunStats {

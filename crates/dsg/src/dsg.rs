@@ -29,11 +29,12 @@ use dsg_skipgraph::{
 };
 
 use crate::amf::{AmfMedian, ExactMedian, MedianFinder};
-use crate::config::{DsgConfig, InstallStrategy, MedianStrategy};
+use crate::config::{AdaptPolicy, DsgConfig, InstallStrategy, MedianStrategy};
 use crate::cost::{CostBreakdown, RunStats};
 use crate::dummy;
 use crate::error::DsgError;
 use crate::groups::{self, GroupScratch, GroupUpdateInput};
+use crate::policy::{Admission, AdmissionGate, FreqSketch};
 use crate::state::{NodeState, StateDelta, StateTable};
 use crate::timestamps::{self, TimestampInput};
 use crate::transform::{self, TransformInput, TransformOutcome, TransformPair, MAX_EPOCH_PAIRS};
@@ -187,7 +188,10 @@ struct ClusterBufs {
     old_mvecs: HashMap<NodeId, MembershipVector, FastHashState>,
     /// Pooled per-pair pre-merge group snapshots; only the first
     /// `pair_indices.len()` entries of a run are meaningful.
-    pair_snaps: Vec<(HashSet<NodeId, FastHashState>, HashSet<NodeId, FastHashState>)>,
+    pair_snaps: Vec<(
+        HashSet<NodeId, FastHashState>,
+        HashSet<NodeId, FastHashState>,
+    )>,
 }
 
 impl ClusterBufs {
@@ -289,8 +293,9 @@ pub struct EpochReport {
     /// dummies) are attributed to the first request of each cluster so that
     /// sums over the report equal the epoch totals.
     pub outcomes: Vec<RequestOutcome>,
-    /// Number of merged transformations the epoch ran (clusters of pairs
-    /// with overlapping `l_α` subtrees; disjoint pairs keep their own).
+    /// Number of transformation clusters the epoch formed (pairs with
+    /// overlapping `l_α` subtrees merge; disjoint pairs keep their own) —
+    /// admitted and gated clusters alike.
     pub clusters: usize,
     /// Number of transformation-install passes pushed into the skip graph:
     /// 1 under [`InstallStrategy::Batched`] regardless of the batch size,
@@ -315,9 +320,10 @@ pub struct EpochReport {
     /// threshold directly (0 under the per-node oracle, which join-walks
     /// every placement).
     pub dummies_bulk_inserted: usize,
-    /// Clusters the epoch's plan stage planned (= [`EpochReport::clusters`];
-    /// kept separate so observers can account plan-stage work even if a
-    /// future epoch plans speculatively).
+    /// Clusters the epoch's plan stage actually planned. Equal to
+    /// [`EpochReport::clusters`] with the adaptation policy off; with the
+    /// gate on, gated clusters are never planned, so this counts only the
+    /// admitted ones.
     pub planned_clusters: usize,
     /// Worker shards the plan stages actually ran on: 1 when everything was
     /// planned inline, up to the configured [`DsgConfig::shards`] when
@@ -327,6 +333,16 @@ pub struct EpochReport {
     /// plus dummy-reconciliation detection). Timing-only: excluded from the
     /// determinism comparisons.
     pub plan_wall_ns: u64,
+    /// Requests whose cluster the admission gate declined to restructure
+    /// this epoch: routed (and charged routing cost), but no
+    /// transformation, install, or balance repair. 0 with the policy off.
+    pub pairs_gated: u64,
+    /// Cold clusters this epoch restructured via the per-epoch budget
+    /// ([`PolicyConfig::epoch_budget`](crate::PolicyConfig::epoch_budget)).
+    pub restructures_budgeted: u64,
+    /// Frequency-sketch counter-halving passes run at this epoch's commit
+    /// point.
+    pub sketch_aging_passes: u64,
 }
 
 /// A locally self-adjusting skip graph (the paper's DSG algorithm).
@@ -357,6 +373,19 @@ pub struct DynamicSkipGraph {
     /// The lists the most recent epoch's install touched (sorted,
     /// deduplicated) — the scope of [`DynamicSkipGraph::validate_fast`].
     last_affected: Vec<(usize, Prefix)>,
+    /// The adaptation policy's frequency sketch. `Some` exactly when
+    /// [`AdaptPolicy::Gated`](crate::AdaptPolicy::Gated) is configured;
+    /// under the default `Always` policy no sketch exists and the engine
+    /// is bit-identical to the pre-policy engine.
+    sketch: Option<FreqSketch>,
+}
+
+/// Builds the policy sketch prescribed by `config`: `Some` iff gated.
+fn sketch_for(config: &DsgConfig) -> Option<FreqSketch> {
+    match config.policy.policy {
+        AdaptPolicy::Always => None,
+        AdaptPolicy::Gated => Some(FreqSketch::new(config.seed, config.policy.aging_period)),
+    }
 }
 
 impl DynamicSkipGraph {
@@ -498,6 +527,7 @@ impl DynamicSkipGraph {
             states.register(id, key, base);
         }
         let plan_shards_scratch = vec![PlanShard::from_config(&config)];
+        let sketch = sketch_for(&config);
         Ok(DynamicSkipGraph {
             graph,
             states,
@@ -511,6 +541,7 @@ impl DynamicSkipGraph {
             scratch: CommScratch::default(),
             phase: EpochPhase::Idle,
             last_affected: Vec::new(),
+            sketch,
         })
     }
 
@@ -744,6 +775,13 @@ impl DynamicSkipGraph {
         match self.phase {
             EpochPhase::Applying => Err(DsgError::EnginePoisoned),
             _ => {
+                // The aborted epoch may have staged sketch increments
+                // (staged during planning, committed only at the apply
+                // transition); roll them back so a resubmission sees the
+                // exact pre-epoch sketch.
+                if let Some(sketch) = self.sketch.as_mut() {
+                    sketch.rollback();
+                }
                 self.phase = EpochPhase::Idle;
                 Ok(())
             }
@@ -849,18 +887,17 @@ impl DynamicSkipGraph {
         self.scratch = CommScratch::default();
         self.last_affected.clear();
         self.phase = EpochPhase::Idle;
+        // Like the scratch, the policy sketch restarts fresh: the faulted
+        // epoch's staged increments are unaccounted-for, and the service
+        // cuts a fresh checkpoint right after recovery anyway.
+        self.sketch = sketch_for(&self.config);
 
         // The balanced construction satisfies a-balance for every `a`, but
         // the invariant is re-derived rather than assumed.
         let mut dummies_recreated = 0usize;
         if self.config.maintain_balance {
-            let repair = dummy::repair_balance(
-                &mut self.graph,
-                &mut self.states,
-                self.config.a,
-                &[],
-                None,
-            );
+            let repair =
+                dummy::repair_balance(&mut self.graph, &mut self.states, self.config.a, &[], None);
             dummies_recreated = repair.inserted.len();
             self.stats.dummy_nodes_created += dummies_recreated;
         }
@@ -918,6 +955,7 @@ impl DynamicSkipGraph {
             time: self.time,
             rng_state: self.rng.state(),
             nodes,
+            sketch: self.sketch.as_ref().map(|sketch| sketch.to_image()),
         }
     }
 
@@ -965,6 +1003,18 @@ impl DynamicSkipGraph {
         }
         let config = image.config;
         let plan_shards_scratch = vec![PlanShard::from_config(&config)];
+        // A gated engine restores its sketch counters from the image (an
+        // image without one — e.g. captured before the policy was turned
+        // on — starts the sketch empty, like a fresh engine would).
+        let sketch = match config.policy.policy {
+            AdaptPolicy::Always => None,
+            AdaptPolicy::Gated => Some(match &image.sketch {
+                Some(saved) => {
+                    FreqSketch::from_image(config.seed, config.policy.aging_period, saved)
+                }
+                None => FreqSketch::new(config.seed, config.policy.aging_period),
+            }),
+        };
         let mut engine = DynamicSkipGraph {
             graph,
             states,
@@ -978,6 +1028,7 @@ impl DynamicSkipGraph {
             scratch: CommScratch::default(),
             phase: EpochPhase::Idle,
             last_affected: Vec::new(),
+            sketch,
         };
         engine.stats.live_dummy_nodes = engine.graph.dummy_count();
         engine.validate()?;
@@ -999,10 +1050,7 @@ impl DynamicSkipGraph {
         if self.graph.node_by_key(Self::internal_key(peer)).is_some() {
             return Err(DsgError::DuplicatePeer(peer));
         }
-        let introducer = self
-            .graph
-            .keys()
-            .next();
+        let introducer = self.graph.keys().next();
         // The join is the first mutation; everything above was a read.
         self.phase = EpochPhase::Applying;
         let outcome = self
@@ -1014,13 +1062,8 @@ impl DynamicSkipGraph {
             outcome.levels_joined,
         );
         if self.config.maintain_balance {
-            let repair = dummy::repair_balance(
-                &mut self.graph,
-                &mut self.states,
-                self.config.a,
-                &[],
-                None,
-            );
+            let repair =
+                dummy::repair_balance(&mut self.graph, &mut self.states, self.config.a, &[], None);
             self.stats.dummy_nodes_created += repair.inserted.len();
             self.stats.live_dummy_nodes = self.graph.dummy_count();
         }
@@ -1041,13 +1084,8 @@ impl DynamicSkipGraph {
         self.graph.leave(Self::internal_key(peer))?;
         self.states.unregister(id);
         if self.config.maintain_balance {
-            let repair = dummy::repair_balance(
-                &mut self.graph,
-                &mut self.states,
-                self.config.a,
-                &[],
-                None,
-            );
+            let repair =
+                dummy::repair_balance(&mut self.graph, &mut self.states, self.config.a, &[], None);
             self.stats.dummy_nodes_created += repair.inserted.len();
             self.stats.live_dummy_nodes = self.graph.dummy_count();
         }
@@ -1162,6 +1200,96 @@ impl DynamicSkipGraph {
         let clusters = cluster_pairs(&alphas, &prefixes);
         let per_node = matches!(self.config.install, InstallStrategy::PerNode);
 
+        // Adaptation policy: the epoch's single deterministic update
+        // point. Sketch increments are staged on the main thread in
+        // submission order (after routing, before any planning), then each
+        // cluster is judged by its hottest member pair; gated clusters
+        // drop out of the planning set entirely — their pairs are routed
+        // and clocked but never transformed. Staged increments commit at
+        // the apply transition below and roll back on plan abort, so the
+        // sketch obeys the same containment contract as the graph. Under
+        // the default `AdaptPolicy::Always` no sketch exists and this
+        // whole block is a no-op (the policy-off differential proptest
+        // pins bit-identity).
+        let mut pairs_gated = 0u64;
+        let mut restructures_budgeted = 0u64;
+        let mut sketch_aging_passes = 0u64;
+        let mut gated_clusters: Vec<ClusterPlan> = Vec::new();
+        let clusters = if let Some(sketch) = self.sketch.as_mut() {
+            for (pi, &(u, v)) in pairs.iter().enumerate() {
+                sketch.stage_increment(FreqSketch::pair_key(u, v));
+                sketch.stage_increment(FreqSketch::peer_key(u));
+                sketch.stage_increment(FreqSketch::peer_key(v));
+                sketch.stage_increment(FreqSketch::prefix_key(&prefixes[pi]));
+            }
+            let mut gate = AdmissionGate::new(
+                self.config.policy.threshold,
+                self.config.policy.epoch_budget,
+            );
+            let live_peers = ((self.graph.len() - self.graph.dummy_count()) as u64).max(1);
+            // The community signal is relative, not absolute: an endpoint
+            // only counts as hot when its estimate is well above the
+            // *uniform per-peer share* of recent sketch updates (expected
+            // share = updates/(2·peers); the bar is 8× that, plus the
+            // halved residue a past aging pass leaves in the counters).
+            // Without the bar, any network small relative to the aging
+            // period sees every endpoint cross the fixed threshold under
+            // purely uniform traffic and the gate fails open. Staged
+            // updates are uncommitted, so the bar is a pure function of
+            // pre-epoch state — deterministic across shards and replays.
+            let aging_residue = if sketch.aging_passes() > 0 {
+                self.config.policy.aging_period / 2
+            } else {
+                0
+            };
+            let community_bar = u64::from(self.config.policy.threshold).max(
+                4u64.saturating_mul(sketch.updates_since_aging() + aging_residue) / live_peers,
+            );
+            let mut admitted = Vec::with_capacity(clusters.len());
+            for cluster in clusters {
+                // Member heat: an exact pair repeat, or both endpoints
+                // individually hot (the community signal).
+                let max_estimate = cluster
+                    .pair_indices
+                    .iter()
+                    .map(|&pi| {
+                        let (u, v) = pairs[pi];
+                        let pair = sketch.estimate(FreqSketch::pair_key(u, v));
+                        let community = sketch
+                            .estimate(FreqSketch::peer_key(u))
+                            .min(sketch.estimate(FreqSketch::peer_key(v)));
+                        if u64::from(community) >= community_bar {
+                            pair.max(community)
+                        } else {
+                            pair
+                        }
+                    })
+                    .max()
+                    .unwrap_or(0);
+                // Subtree amortization: the rebuild touches roughly the
+                // peers under the merged l_α prefix (halving per bit in a
+                // balanced graph) — admit when recent subtree demand
+                // covers threshold × that cost.
+                let subtree_size = (live_peers >> cluster.root_prefix.level().min(63)).max(1);
+                let subtree_demand =
+                    u64::from(sketch.estimate(FreqSketch::prefix_key(&cluster.root_prefix)));
+                match gate.decide(max_estimate, subtree_demand, subtree_size) {
+                    Admission::Hot => admitted.push(cluster),
+                    Admission::Budgeted => {
+                        restructures_budgeted += 1;
+                        admitted.push(cluster);
+                    }
+                    Admission::Gated => {
+                        pairs_gated += cluster.pair_indices.len() as u64;
+                        gated_clusters.push(cluster);
+                    }
+                }
+            }
+            admitted
+        } else {
+            clusters
+        };
+
         // Phase A-plan, all clusters (concurrently on worker shards when
         // configured): steps 1b–9 — member snapshot, pre-merge group
         // snapshots, and the transformation proper — run against a
@@ -1271,6 +1399,13 @@ impl DynamicSkipGraph {
         // therefore a resubmission's timestamps — untouched as well.
         self.phase = EpochPhase::Applying;
         self.time += pairs.len() as u64;
+        // Commit point of the policy sketch: the epoch's staged increments
+        // become durable (an abandoned plan rolls them back instead) and
+        // any due counter-halving passes run — after this epoch's
+        // admission decisions, before the next epoch's.
+        if let Some(sketch) = self.sketch.as_mut() {
+            sketch_aging_passes = sketch.commit();
+        }
         for (cluster, run) in clusters.iter().zip(&mut cluster_runs) {
             self.states.apply_delta(&run.delta);
             let scratch = &mut self.scratch;
@@ -1338,7 +1473,8 @@ impl DynamicSkipGraph {
                         .graph
                         .apply_membership_batch_collecting(&merged, &mut scratch.affected)?;
                 }
-                install_passes = 1;
+                // A fully-gated epoch pushes nothing; don't count a pass.
+                install_passes = if cluster_runs.is_empty() { 0 } else { 1 };
             }
             InstallStrategy::PerNode => {
                 let mut touched = 0usize;
@@ -1456,8 +1592,11 @@ impl DynamicSkipGraph {
                     reconcile_plans.push(Some(shell));
                 }
                 if !cluster_affected_all.is_empty() {
-                    plan_shards_used = plan_shards_used
-                        .max(self.config.shards.clamp(1, cluster_affected_all[0].len().max(1)));
+                    plan_shards_used = plan_shards_used.max(
+                        self.config
+                            .shards
+                            .clamp(1, cluster_affected_all[0].len().max(1)),
+                    );
                 }
             }
             plan_wall_ns += plan_c_started.elapsed().as_nanos() as u64;
@@ -1502,8 +1641,9 @@ impl DynamicSkipGraph {
                     // apply reclaims the standing dummies whose break
                     // re-derives onto them, bulk-splices the genuinely new
                     // ones, and sweeps only the genuinely stale ones.
-                    let mut plan =
-                        reconcile_plans[ci].take().expect("cluster plan computed above");
+                    let mut plan = reconcile_plans[ci]
+                        .take()
+                        .expect("cluster plan computed above");
                     let repair = dummy::repair_balance_reconciling_planned(
                         &mut self.graph,
                         &mut self.states,
@@ -1591,6 +1731,32 @@ impl DynamicSkipGraph {
                 });
             }
         }
+        // Gated clusters: routed only. Each request is charged its routing
+        // cost (no transformation rounds — the whole point of the gate),
+        // keeps its pre-epoch α as the pair level (the pair was not lifted
+        // into a two-node list), and touches nothing.
+        if !gated_clusters.is_empty() {
+            let height_after = self.graph.height();
+            for cluster in &gated_clusters {
+                for &pi in &cluster.pair_indices {
+                    let breakdown = CostBreakdown {
+                        routing_cost: routing_costs[pi],
+                        ..CostBreakdown::default()
+                    };
+                    self.stats.record(&breakdown, height_after);
+                    outcomes[pi] = Some(RequestOutcome {
+                        time: t0 + pi as u64 + 1,
+                        routing_cost: routing_costs[pi],
+                        alpha: alphas[pi],
+                        pair_level: alphas[pi],
+                        touched_pairs: 0,
+                        breakdown,
+                        height_after,
+                        dummies_inserted: 0,
+                    });
+                }
+            }
+        }
         // Scope of the next `validate_fast` call: the lists this epoch's
         // install touched. The batched install collected one epoch-wide
         // affected set; the per-node path derived one per cluster.
@@ -1613,6 +1779,9 @@ impl DynamicSkipGraph {
         self.stats.planned_clusters += clusters.len();
         self.stats.plan_shards = self.stats.plan_shards.max(plan_shards_used);
         self.stats.plan_wall_ns += plan_wall_ns;
+        self.stats.pairs_gated += pairs_gated;
+        self.stats.restructures_budgeted += restructures_budgeted;
+        self.stats.sketch_aging_passes += sketch_aging_passes;
         self.phase = EpochPhase::Idle;
 
         Ok(EpochReport {
@@ -1620,7 +1789,7 @@ impl DynamicSkipGraph {
                 .into_iter()
                 .map(|o| o.expect("every pair belongs to exactly one cluster"))
                 .collect(),
-            clusters: clusters.len(),
+            clusters: clusters.len() + gated_clusters.len(),
             install_passes,
             touched_pairs: epoch_touched,
             dummies_destroyed: total_dummies_destroyed,
@@ -1630,6 +1799,9 @@ impl DynamicSkipGraph {
             planned_clusters: clusters.len(),
             plan_shards: plan_shards_used,
             plan_wall_ns,
+            pairs_gated,
+            restructures_budgeted,
+            sketch_aging_passes,
         })
     }
 }
@@ -1665,8 +1837,7 @@ fn plan_cluster(
     let members = &bufs.members;
     // Broadcasting the notification through the sub skip graph rooted at
     // the cluster root takes O(a · log |l_α|) rounds.
-    let notification_rounds =
-        1 + config.a * (members.len().max(2) as f64).log2().ceil() as usize;
+    let notification_rounds = 1 + config.a * (members.len().max(2) as f64).log2().ceil() as usize;
 
     // Snapshots needed by the timestamp rules.
     bufs.old_mvecs.extend(
@@ -1682,12 +1853,16 @@ fn plan_cluster(
         let gu = states.group_id(u_id, cluster.root_level);
         let gv = states.group_id(v_id, cluster.root_level);
         let (u_set, v_set) = &mut bufs.pair_snaps[j];
-        u_set.extend(members.iter().copied().filter(|&x| {
-            x != u_id && x != v_id && states.group_id(x, cluster.root_level) == gu
-        }));
-        v_set.extend(members.iter().copied().filter(|&x| {
-            x != u_id && x != v_id && states.group_id(x, cluster.root_level) == gv
-        }));
+        u_set.extend(
+            members.iter().copied().filter(|&x| {
+                x != u_id && x != v_id && states.group_id(x, cluster.root_level) == gu
+            }),
+        );
+        v_set.extend(
+            members.iter().copied().filter(|&x| {
+                x != u_id && x != v_id && states.group_id(x, cluster.root_level) == gv
+            }),
+        );
     }
 
     // Steps 2–9: the transformation proper (one engine run for the whole
@@ -1758,7 +1933,6 @@ fn plan_cluster(
     }
 }
 
-
 /// Groups the epoch's pairs into clusters of overlapping `l_α` subtrees:
 /// two pairs belong to one cluster when their root prefixes are comparable
 /// (one is a prefix of the other), transitively. Each cluster's root is
@@ -1805,7 +1979,9 @@ fn cluster_pairs(alphas: &[usize], prefixes: &[Prefix]) -> Vec<ClusterPlan> {
 /// The longest common prefix of two prefixes.
 fn prefix_meet(mut a: Prefix, b: Prefix) -> Prefix {
     while !a.is_prefix_of(&b) {
-        a = a.parent().expect("the root prefix is a prefix of everything");
+        a = a
+            .parent()
+            .expect("the root prefix is a prefix of everything");
     }
     a
 }

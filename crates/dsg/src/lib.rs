@@ -35,6 +35,7 @@
 //! | [`dummy`] | §IV-F | a-balance repair via dummy nodes |
 //! | [`cost`] | §III, Theorem 3 | round-cost accounting per request |
 //! | [`dsg`] | Alg. 1 | [`DynamicSkipGraph`], the epoch engine |
+//! | [`policy`] | §III (amortized argument) | frequency sketch + admission gate deciding which communicates earn a restructure |
 //! | [`request`] | — | the unified typed [`Request`] vocabulary |
 //! | [`session`] | — | [`DsgSession`] / [`DsgBuilder`], the public entry point |
 //! | [`service`] | — | [`DsgService`](service::DsgService), the fault-contained concurrent ingest front-end |
@@ -81,6 +82,7 @@ pub mod fixtures;
 pub mod groups;
 pub mod observer;
 pub mod persist;
+pub mod policy;
 pub mod priority;
 pub mod request;
 pub mod service;
@@ -90,14 +92,15 @@ pub mod timestamps;
 pub mod transform;
 
 pub use amf::{AmfMedian, ExactMedian, MedianFinder, MedianOutcome};
-pub use config::{DsgConfig, InstallStrategy, MedianStrategy};
+pub use config::{AdaptPolicy, DsgConfig, InstallStrategy, MedianStrategy, PolicyConfig};
 pub use cost::{CostBreakdown, RunStats};
 pub use dsg::{DynamicSkipGraph, EpochPhase, EpochReport, RecoveryReport, RequestOutcome};
 pub use error::DsgError;
 pub use observer::{
-    AuditEvent, BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent,
+    AdmissionEvent, AuditEvent, BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent,
 };
 pub use persist::{DurableStore, EngineImage, PersistConfig, PersistError};
+pub use policy::{Admission, AdmissionGate, FreqSketch, GateCounters};
 pub use priority::Priority;
 pub use request::Request;
 pub use service::{
@@ -132,12 +135,16 @@ pub use dsg_skipgraph::failpoint;
 /// inspection APIs; constructing it directly is deprecated in favour of
 /// [`DsgSession::builder`].
 pub mod prelude {
-    pub use crate::config::{DsgConfig, InstallStrategy, MedianStrategy};
+    pub use crate::config::{
+        AdaptPolicy, DsgConfig, InstallStrategy, MedianStrategy, PolicyConfig,
+    };
     pub use crate::cost::{CostBreakdown, RunStats};
-    pub use crate::dsg::{DynamicSkipGraph, EpochPhase, EpochReport, RecoveryReport, RequestOutcome};
+    pub use crate::dsg::{
+        DynamicSkipGraph, EpochPhase, EpochReport, RecoveryReport, RequestOutcome,
+    };
     pub use crate::error::DsgError;
     pub use crate::observer::{
-        AuditEvent, BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent,
+        AdmissionEvent, AuditEvent, BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent,
     };
     pub use crate::persist::{PersistConfig, PersistError};
     pub use crate::request::Request;

@@ -46,6 +46,31 @@ pub struct TransformEvent {
     /// Wall-clock nanoseconds the plan stages took (timing-only; excluded
     /// from determinism comparisons).
     pub plan_wall_ns: u64,
+    /// Requests whose cluster the admission gate declined to restructure
+    /// this epoch (0 with the policy off).
+    pub pairs_gated: u64,
+    /// Cold clusters restructured via the per-epoch budget this epoch.
+    pub restructures_budgeted: u64,
+    /// Frequency-sketch counter-halving passes this epoch's commit ran.
+    pub sketch_aging_passes: u64,
+}
+
+/// The admission gate's activity for one epoch (only emitted when
+/// [`AdaptPolicy::Gated`](crate::AdaptPolicy::Gated) is configured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionEvent {
+    /// 1-based epoch counter of the session.
+    pub epoch: u64,
+    /// Communication requests the epoch served.
+    pub requests: usize,
+    /// Transformation clusters the epoch formed (admitted + gated).
+    pub clusters: usize,
+    /// Requests whose cluster was gated (routed, not restructured).
+    pub pairs_gated: u64,
+    /// Cold clusters restructured via the per-epoch budget.
+    pub restructures_budgeted: u64,
+    /// Sketch counter-halving passes run at this epoch's commit.
+    pub sketch_aging_passes: u64,
 }
 
 /// One balance-maintenance pass (dummy GC + a-balance repair) completed.
@@ -107,6 +132,13 @@ pub trait DsgObserver {
     fn on_audit(&mut self, event: &AuditEvent) {
         let _ = event;
     }
+
+    /// The admission gate finished judging one epoch (only emitted when
+    /// [`AdaptPolicy::Gated`](crate::AdaptPolicy::Gated) is configured;
+    /// called after the epoch's `on_transform`).
+    fn on_admission(&mut self, event: &AdmissionEvent) {
+        let _ = event;
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +174,9 @@ mod tests {
             planned_clusters: 1,
             plan_shards: 1,
             plan_wall_ns: 0,
+            pairs_gated: 0,
+            restructures_budgeted: 0,
+            sketch_aging_passes: 0,
         });
         observer.on_balance_repair(&BalanceRepairEvent {
             epoch: 1,
@@ -150,6 +185,14 @@ mod tests {
             dummies_reused: 0,
             dummies_bulk_inserted: 0,
             live_dummies: 0,
+        });
+        observer.on_admission(&AdmissionEvent {
+            epoch: 1,
+            requests: 1,
+            clusters: 1,
+            pairs_gated: 0,
+            restructures_budgeted: 0,
+            sketch_aging_passes: 0,
         });
     }
 
@@ -165,6 +208,9 @@ mod tests {
             planned_clusters: 1,
             plan_shards: 1,
             plan_wall_ns: 0,
+            pairs_gated: 0,
+            restructures_budgeted: 0,
+            sketch_aging_passes: 0,
         });
         let strong = Arc::strong_count(&shared);
         assert_eq!(strong, 1);

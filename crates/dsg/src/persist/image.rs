@@ -32,11 +32,16 @@
 //! [`NodeState::raw_parts`]: crate::NodeState::raw_parts
 
 use super::{put_u32, put_u64, PersistError, Reader};
-use crate::config::{DsgConfig, InstallStrategy, MedianStrategy};
+use crate::config::{AdaptPolicy, DsgConfig, InstallStrategy, MedianStrategy, PolicyConfig};
+use crate::policy::SketchImage;
 use dsg_skipgraph::crc32::crc32;
 
-/// Leading magic of a snapshot payload (version 1).
-const MAGIC: &[u8; 8] = b"DSGSNAP1";
+/// Leading magic of a snapshot payload. Version 2 added the adaptation
+/// policy: the `PolicyConfig` fields in the config section and an optional
+/// frequency-sketch section (present exactly when the policy is gated).
+/// Version bumps are deliberate incompatibilities — the decoder rejects
+/// other versions rather than guessing at field layouts.
+const MAGIC: &[u8; 8] = b"DSGSNAP2";
 
 /// A serializable image of one graph node (peer or dummy) and its
 /// self-adjusting state.
@@ -70,6 +75,11 @@ pub struct EngineImage {
     pub rng_state: [u64; 4],
     /// Every live node in ascending internal-key order.
     pub nodes: Vec<NodeImage>,
+    /// The adaptation-policy frequency sketch, captured exactly when the
+    /// config's policy is gated — restart-replay must resume admission
+    /// decisions from the same counters, or replayed epochs could gate
+    /// differently than the original run did.
+    pub sketch: Option<SketchImage>,
 }
 
 fn median_tag(m: MedianStrategy) -> u8 {
@@ -86,6 +96,13 @@ fn install_tag(i: InstallStrategy) -> u8 {
     }
 }
 
+fn policy_tag(p: AdaptPolicy) -> u8 {
+    match p {
+        AdaptPolicy::Always => 0,
+        AdaptPolicy::Gated => 1,
+    }
+}
+
 /// Encodes an image into the checkpoint payload (magic-led, CRC applied by
 /// the file wrapper in the store).
 pub fn encode_snapshot(image: &EngineImage) -> Vec<u8> {
@@ -98,6 +115,17 @@ pub fn encode_snapshot(image: &EngineImage) -> Vec<u8> {
     buf.push(install_tag(image.config.install));
     put_u64(&mut buf, image.config.shards as u64);
     buf.push(image.config.adaptive_flush as u8);
+    buf.push(policy_tag(image.config.policy.policy));
+    put_u32(&mut buf, image.config.policy.threshold);
+    put_u32(&mut buf, image.config.policy.epoch_budget);
+    put_u64(&mut buf, image.config.policy.aging_period);
+    match &image.sketch {
+        Some(sketch) => {
+            buf.push(1);
+            sketch.encode(&mut buf);
+        }
+        None => buf.push(0),
+    }
     put_u64(&mut buf, image.time);
     for word in image.rng_state {
         put_u64(&mut buf, word);
@@ -138,7 +166,10 @@ fn corrupt(detail: &str) -> PersistError {
 /// trailing bytes.
 pub fn decode_snapshot(bytes: &[u8]) -> Result<EngineImage, PersistError> {
     let mut r = Reader::new(bytes);
-    if r.bytes(MAGIC.len()).map_err(|_| corrupt("truncated magic"))? != MAGIC {
+    if r.bytes(MAGIC.len())
+        .map_err(|_| corrupt("truncated magic"))?
+        != MAGIC
+    {
         return Err(corrupt("bad magic"));
     }
     let short = |_| corrupt("payload ran out of bytes");
@@ -165,6 +196,25 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<EngineImage, PersistError> {
         1 => true,
         tag => return Err(corrupt(&format!("bad adaptive_flush byte {tag}"))),
     };
+    let policy = match r.u8().map_err(short)? {
+        0 => AdaptPolicy::Always,
+        1 => AdaptPolicy::Gated,
+        tag => return Err(corrupt(&format!("unknown adapt policy tag {tag}"))),
+    };
+    let threshold = r.u32().map_err(short)?;
+    let epoch_budget = r.u32().map_err(short)?;
+    let aging_period = r.u64().map_err(short)?;
+    if aging_period == 0 {
+        return Err(corrupt("zero sketch aging period"));
+    }
+    let sketch = match r.u8().map_err(short)? {
+        0 => None,
+        1 => Some(
+            SketchImage::decode(&mut r)
+                .map_err(|_| corrupt("malformed frequency-sketch section"))?,
+        ),
+        tag => return Err(corrupt(&format!("bad sketch-present byte {tag}"))),
+    };
     if a < 2 {
         return Err(corrupt(&format!("balance parameter a = {a} below 2")));
     }
@@ -179,6 +229,12 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<EngineImage, PersistError> {
         install,
         shards,
         adaptive_flush,
+        policy: PolicyConfig {
+            policy,
+            threshold,
+            epoch_budget,
+            aging_period,
+        },
     };
     let time = r.u64().map_err(short)?;
     let mut rng_state = [0u64; 4];
@@ -248,6 +304,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<EngineImage, PersistError> {
         time,
         rng_state,
         nodes,
+        sketch,
     })
 }
 
@@ -314,6 +371,7 @@ mod tests {
                     dominating: Vec::new(),
                 },
             ],
+            sketch: None,
         }
     }
 
@@ -322,6 +380,41 @@ mod tests {
         let image = sample_image();
         let bytes = encode_snapshot(&image);
         assert_eq!(decode_snapshot(&bytes).unwrap(), image);
+    }
+
+    #[test]
+    fn gated_snapshot_round_trips_with_sketch() {
+        use crate::policy::{FreqSketch, SKETCH_ROWS, SKETCH_WIDTH};
+        let mut image = sample_image();
+        image.config = image.config.with_policy(
+            PolicyConfig::gated()
+                .with_threshold(5)
+                .with_epoch_budget(2)
+                .with_aging_period(512),
+        );
+        let mut sketch = FreqSketch::new(image.config.seed, 512);
+        for i in 0..40u64 {
+            sketch.stage_increment(FreqSketch::pair_key(i % 5, 7 + i % 3));
+        }
+        sketch.commit();
+        image.sketch = Some(sketch.to_image());
+        let bytes = encode_snapshot(&image);
+        let decoded = decode_snapshot(&bytes).unwrap();
+        assert_eq!(decoded, image);
+        assert_eq!(
+            decoded.sketch.as_ref().unwrap().counters.len(),
+            SKETCH_ROWS * SKETCH_WIDTH
+        );
+    }
+
+    #[test]
+    fn version_1_snapshots_are_rejected() {
+        let mut bytes = encode_snapshot(&sample_image());
+        bytes[..8].copy_from_slice(b"DSGSNAP1");
+        assert!(matches!(
+            decode_snapshot(&bytes),
+            Err(PersistError::CorruptSnapshot { .. })
+        ));
     }
 
     #[test]

@@ -169,8 +169,8 @@ impl DurableStore {
             return Ok((store, None));
         }
 
-        let manifest_bytes = fs::read(&manifest_path)
-            .map_err(|e| PersistError::io("read the manifest", e))?;
+        let manifest_bytes =
+            fs::read(&manifest_path).map_err(|e| PersistError::io("read the manifest", e))?;
         let payload = unwrap_file(&manifest_bytes, |detail| PersistError::CorruptManifest {
             detail: detail.to_string(),
         })?;
@@ -178,15 +178,16 @@ impl DurableStore {
 
         // Newest valid snapshot: the manifest-bound one, else the retained
         // previous one.
-        let load = |(seq, offset): (u64, u64)| -> Result<(EngineImage, u64, u64, u64), PersistError> {
-            let path = dir.join(snapshot_file(seq));
-            let bytes = fs::read(&path).map_err(|e| PersistError::io("read a snapshot", e))?;
-            let payload = unwrap_file(&bytes, |detail| PersistError::CorruptSnapshot {
-                detail: format!("snap-{seq}.img: {detail}"),
-            })?;
-            let image = decode_snapshot(payload)?;
-            Ok((image, seq, bytes.len() as u64, offset))
-        };
+        let load =
+            |(seq, offset): (u64, u64)| -> Result<(EngineImage, u64, u64, u64), PersistError> {
+                let path = dir.join(snapshot_file(seq));
+                let bytes = fs::read(&path).map_err(|e| PersistError::io("read a snapshot", e))?;
+                let payload = unwrap_file(&bytes, |detail| PersistError::CorruptSnapshot {
+                    detail: format!("snap-{seq}.img: {detail}"),
+                })?;
+                let image = decode_snapshot(payload)?;
+                Ok((image, seq, bytes.len() as u64, offset))
+            };
         let (image, chosen_seq, snapshot_bytes, replay_offset, fell_back) =
             match load(manifest.current) {
                 Ok((image, seq, bytes, offset)) => (image, seq, bytes, offset, false),
@@ -462,10 +463,7 @@ mod tests {
     fn temp_store_dir() -> PathBuf {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        std::env::temp_dir().join(format!(
-            "dsg-store-test-{}-{n}",
-            std::process::id()
-        ))
+        std::env::temp_dir().join(format!("dsg-store-test-{}-{n}", std::process::id()))
     }
 
     fn tiny_image(time: u64) -> EngineImage {
@@ -474,14 +472,14 @@ mod tests {
             time,
             rng_state: [9, 8, 7, 6],
             nodes: Vec::new(),
+            sketch: None,
         }
     }
 
     #[test]
     fn cold_start_checkpoint_append_reopen() {
         let dir = temp_store_dir();
-        let (mut store, recovered) =
-            DurableStore::open(&dir, PersistConfig::default()).unwrap();
+        let (mut store, recovered) = DurableStore::open(&dir, PersistConfig::default()).unwrap();
         assert!(recovered.is_none());
         // Appends before the initial checkpoint are refused.
         assert!(store.append_chunk(&[Request::Tick(1)]).is_err());
@@ -498,7 +496,10 @@ mod tests {
         assert_eq!(recovered.replay_offset, 0);
         assert_eq!(
             recovered.frames,
-            vec![vec![Request::Communicate { u: 1, v: 2 }], vec![Request::Tick(5)]]
+            vec![
+                vec![Request::Communicate { u: 1, v: 2 }],
+                vec![Request::Tick(5)]
+            ]
         );
         assert_eq!(recovered.torn_bytes_truncated, 0);
         assert!(!recovered.fell_back);
@@ -589,7 +590,10 @@ mod tests {
         // The header reached the file; rollback removes it.
         assert!(fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len() > committed);
         store.rollback().unwrap();
-        assert_eq!(fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len(), committed);
+        assert_eq!(
+            fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len(),
+            committed
+        );
         // The journal is clean again and appendable.
         store.append_chunk(&[Request::Tick(3)]).unwrap();
         drop(store);

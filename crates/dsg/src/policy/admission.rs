@@ -1,0 +1,139 @@
+//! The per-epoch admission gate: given a cluster's sketch estimate,
+//! decide whether its restructuring is admitted, budgeted, or gated.
+//!
+//! A fresh [`AdmissionGate`] is built at the top of every epoch from the
+//! engine's `PolicyConfig`, so the per-epoch restructure budget resets on
+//! epoch boundaries. Decisions are made per *cluster* (the planning
+//! unit) from two signals:
+//!
+//! * **Member heat** — the maximum over the cluster's member pairs of
+//!   `max(pair estimate, min(endpoint estimates))`. The pair term
+//!   catches exact repeats; the endpoint term is the TinyLFU community
+//!   signal (both peers individually hot ⇒ the pair belongs to a hot
+//!   working set even if this exact pair has not repeated yet). The
+//!   endpoint term is *relative*: it only counts when the estimate is
+//!   well above the uniform per-peer share of recent sketch updates,
+//!   because in a network small relative to the aging period every
+//!   endpoint crosses a fixed threshold under purely uniform traffic.
+//!   One hot member is enough to make the whole cluster worth
+//!   rebuilding.
+//! * **Subtree amortization** — the cluster rebuilds the subtree under
+//!   its merged `l_α` prefix at Θ(subtree size) cost, so a subtree whose
+//!   recent request demand covers `threshold × size` has *earned* its
+//!   rebuild regardless of which individual members were hit — the
+//!   paper's amortized-cost argument applied at runtime. Near-root
+//!   prefixes (uniform traffic) can essentially never meet the bar;
+//!   small busy neighbourhoods meet it quickly.
+
+/// The gate's verdict for one transformation cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The cluster's estimate cleared the threshold: restructure eagerly,
+    /// exactly as the ungated engine would.
+    Hot,
+    /// The estimate was cold, but the epoch's restructure budget had
+    /// headroom: restructure anyway (and consume one budget slot). A
+    /// non-zero budget bounds how stale a persistently-cold region can
+    /// get while still capping per-epoch restructuring work.
+    Budgeted,
+    /// Cold and out of budget: the cluster's pairs are routed (and
+    /// charged routing cost), but no transformation, dummy work, or
+    /// balance repair happens for them this epoch.
+    Gated,
+}
+
+/// Per-epoch tallies of gate activity, merged into the epoch report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateCounters {
+    /// Requests whose cluster was [`Admission::Gated`] this epoch.
+    pub pairs_gated: u64,
+    /// Clusters admitted via the budget ([`Admission::Budgeted`]).
+    pub restructures_budgeted: u64,
+    /// Sketch halving passes performed at this epoch's commit point.
+    pub sketch_aging_passes: u64,
+}
+
+/// The admission gate for a single epoch. See the [module docs](self).
+#[derive(Debug)]
+pub struct AdmissionGate {
+    threshold: u32,
+    budget_remaining: u32,
+}
+
+impl AdmissionGate {
+    /// Creates a gate with the given hotness threshold and per-epoch
+    /// restructure budget.
+    pub fn new(threshold: u32, epoch_budget: u32) -> Self {
+        Self {
+            threshold,
+            budget_remaining: epoch_budget,
+        }
+    }
+
+    /// Judges one cluster. `max_estimate` is the cluster's member heat
+    /// (see the [module docs](self)); `subtree_demand` is the sketch
+    /// estimate of the cluster's merged `l_α` prefix and `subtree_size`
+    /// the number of peers its rebuild would touch — the cluster is also
+    /// hot when `subtree_demand ≥ threshold × subtree_size`.
+    pub fn decide(
+        &mut self,
+        max_estimate: u32,
+        subtree_demand: u64,
+        subtree_size: u64,
+    ) -> Admission {
+        let amortized = subtree_demand >= u64::from(self.threshold).saturating_mul(subtree_size);
+        if amortized || max_estimate >= self.threshold {
+            Admission::Hot
+        } else if self.budget_remaining > 0 {
+            self.budget_remaining -= 1;
+            Admission::Budgeted
+        } else {
+            Admission::Gated
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cold subtree signal: demand 0 never covers any positive cost.
+    const COLD_TREE: (u64, u64) = (0, 1 << 20);
+
+    #[test]
+    fn hot_estimates_are_admitted_without_spending_budget() {
+        let (d, s) = COLD_TREE;
+        let mut gate = AdmissionGate::new(2, 1);
+        assert_eq!(gate.decide(5, d, s), Admission::Hot);
+        assert_eq!(gate.decide(2, d, s), Admission::Hot);
+        // The budget is still intact for the first cold cluster.
+        assert_eq!(gate.decide(1, d, s), Admission::Budgeted);
+        assert_eq!(gate.decide(1, d, s), Admission::Gated);
+    }
+
+    #[test]
+    fn zero_budget_gates_every_cold_cluster() {
+        let (d, s) = COLD_TREE;
+        let mut gate = AdmissionGate::new(3, 0);
+        assert_eq!(gate.decide(0, d, s), Admission::Gated);
+        assert_eq!(gate.decide(2, d, s), Admission::Gated);
+        assert_eq!(gate.decide(3, d, s), Admission::Hot);
+    }
+
+    #[test]
+    fn zero_threshold_admits_everything() {
+        let mut gate = AdmissionGate::new(0, 0);
+        assert_eq!(gate.decide(0, 0, 1 << 20), Admission::Hot);
+    }
+
+    #[test]
+    fn subtree_demand_covering_the_rebuild_cost_is_hot() {
+        let mut gate = AdmissionGate::new(2, 0);
+        // A 16-peer subtree needs demand ≥ 32 to earn its rebuild.
+        assert_eq!(gate.decide(1, 31, 16), Admission::Gated);
+        assert_eq!(gate.decide(1, 32, 16), Admission::Hot);
+        // An enormous threshold can never be amortized (saturating cost).
+        let mut strict = AdmissionGate::new(u32::MAX, 0);
+        assert_eq!(strict.decide(1, u64::MAX - 1, u64::MAX), Admission::Gated);
+    }
+}

@@ -211,7 +211,10 @@ impl std::fmt::Display for SubmitError {
             SubmitError::Timeout => write!(f, "no queue space appeared before the deadline"),
             SubmitError::ShuttingDown => write!(f, "the service is shutting down"),
             SubmitError::Poisoned => {
-                write!(f, "the engine is poisoned by an apply-stage fault; recover() first")
+                write!(
+                    f,
+                    "the engine is poisoned by an apply-stage fault; recover() first"
+                )
             }
         }
     }
@@ -330,6 +333,13 @@ pub struct ServiceStatus {
     pub batches: u64,
     /// Fast incremental audits run.
     pub audits: u64,
+    /// Requests the admission gate routed without restructuring (0 with
+    /// the adaptation policy off).
+    pub pairs_gated: u64,
+    /// Cold clusters restructured via the per-epoch admission budget.
+    pub restructures_budgeted: u64,
+    /// Frequency-sketch counter-halving passes run so far.
+    pub sketch_aging_passes: u64,
     /// Durable journal length in bytes (0 without persistence).
     pub journal_bytes: u64,
     /// Seq of the current manifest-bound snapshot (0 without persistence).
@@ -489,6 +499,9 @@ struct Shared {
     submit_timeouts: AtomicU64,
     epochs: AtomicU64,
     batches: AtomicU64,
+    pairs_gated: AtomicU64,
+    restructures_budgeted: AtomicU64,
+    sketch_aging_passes: AtomicU64,
     max_queue_depth: AtomicUsize,
     audits: AtomicU64,
     deep_audits: AtomicU64,
@@ -523,6 +536,9 @@ impl Shared {
             submit_timeouts: AtomicU64::new(0),
             epochs: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            pairs_gated: AtomicU64::new(0),
+            restructures_budgeted: AtomicU64::new(0),
+            sketch_aging_passes: AtomicU64::new(0),
             max_queue_depth: AtomicUsize::new(0),
             audits: AtomicU64::new(0),
             deep_audits: AtomicU64::new(0),
@@ -698,12 +714,20 @@ impl DsgService {
         Ok(())
     }
 
-    fn spawn_inner(session: DsgSession, config: ServiceConfig, store: Option<DurableStore>) -> Self {
+    fn spawn_inner(
+        session: DsgSession,
+        config: ServiceConfig,
+        store: Option<DurableStore>,
+    ) -> Self {
         let shared = Shared::new();
         let (persist_dir, base_offset) = match &store {
             Some(store) => {
-                shared.journal_bytes.store(store.journal_len(), Ordering::Relaxed);
-                shared.snapshot_seq.store(store.snapshot_seq(), Ordering::Relaxed);
+                shared
+                    .journal_bytes
+                    .store(store.journal_len(), Ordering::Relaxed);
+                shared
+                    .snapshot_seq
+                    .store(store.snapshot_seq(), Ordering::Relaxed);
                 shared
                     .snapshot_offset
                     .store(store.bound_offset(), Ordering::Relaxed);
@@ -748,7 +772,9 @@ impl DsgService {
         let mut q = self.shared.queue.lock().expect("queue lock");
         self.admit(&mut q, request).inspect_err(|&e| {
             if e == SubmitError::Overloaded {
-                self.shared.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .rejected_overload
+                    .fetch_add(1, Ordering::Relaxed);
             }
         })
     }
@@ -838,6 +864,9 @@ impl DsgService {
             epochs: self.shared.epochs.load(Ordering::Relaxed),
             batches: self.shared.batches.load(Ordering::Relaxed),
             audits: self.shared.audits.load(Ordering::Relaxed),
+            pairs_gated: self.shared.pairs_gated.load(Ordering::Relaxed),
+            restructures_budgeted: self.shared.restructures_budgeted.load(Ordering::Relaxed),
+            sketch_aging_passes: self.shared.sketch_aging_passes.load(Ordering::Relaxed),
             journal_bytes: self.shared.journal_bytes.load(Ordering::Relaxed),
             snapshot_seq: self.shared.snapshot_seq.load(Ordering::Relaxed),
             snapshot_offset: self.shared.snapshot_offset.load(Ordering::Relaxed),
@@ -1082,6 +1111,15 @@ impl Worker {
                 self.shared
                     .epochs
                     .fetch_add(batch.epochs as u64, Ordering::Relaxed);
+                self.shared
+                    .pairs_gated
+                    .fetch_add(batch.pairs_gated, Ordering::Relaxed);
+                self.shared
+                    .restructures_budgeted
+                    .fetch_add(batch.restructures_budgeted, Ordering::Relaxed);
+                self.shared
+                    .sketch_aging_passes
+                    .fetch_add(batch.sketch_aging_passes, Ordering::Relaxed);
                 if self.config.record_journal {
                     self.journal.push(chunk);
                 }
@@ -1191,14 +1229,20 @@ impl Worker {
             }
             Ok(Err(_)) | Err(_) => {
                 store.abandon_checkpoint();
-                self.shared.snapshot_failures.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .snapshot_failures
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 
     /// Validates one request against the engine plus the membership
     /// changes queued earlier in the same run.
-    fn validate(&self, request: &Request, membership: &mut HashMap<u64, bool>) -> Result<(), DsgError> {
+    fn validate(
+        &self,
+        request: &Request,
+        membership: &mut HashMap<u64, bool>,
+    ) -> Result<(), DsgError> {
         let present = |membership: &HashMap<u64, bool>, peer: u64| {
             membership
                 .get(&peer)
@@ -1366,9 +1410,7 @@ mod tests {
         let good = service.submit(Request::communicate(1, 9)).unwrap();
         let dup = service.submit(Request::Join(3)).unwrap();
         let ghost = service.submit(Request::Leave(99)).unwrap();
-        let selfish = service
-            .submit(Request::Communicate { u: 5, v: 5 })
-            .unwrap();
+        let selfish = service.submit(Request::Communicate { u: 5, v: 5 }).unwrap();
         assert!(good.wait().is_ok());
         assert_eq!(dup.wait().unwrap_err(), DsgError::DuplicatePeer(3));
         assert_eq!(ghost.wait().unwrap_err(), DsgError::UnknownPeer(99));

@@ -78,11 +78,13 @@ use std::sync::{Arc, Mutex};
 
 use dsg_skipgraph::MembershipVector;
 
-use crate::config::{DsgConfig, InstallStrategy, MedianStrategy};
+use crate::config::{AdaptPolicy, DsgConfig, InstallStrategy, MedianStrategy, PolicyConfig};
 use crate::cost::RunStats;
 use crate::dsg::{DynamicSkipGraph, EpochReport, RequestOutcome};
 use crate::error::DsgError;
-use crate::observer::{AuditEvent, BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent};
+use crate::observer::{
+    AdmissionEvent, AuditEvent, BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent,
+};
 use crate::request::Request;
 use crate::transform::MAX_EPOCH_PAIRS;
 use crate::Result;
@@ -207,6 +209,18 @@ impl DsgBuilder {
     /// Enable or disable a-balance maintenance (dummy nodes).
     pub fn balance_maintenance(mut self, on: bool) -> Self {
         self.config.maintain_balance = on;
+        self
+    }
+
+    /// The adaptation policy: with
+    /// [`PolicyConfig::gated()`](crate::PolicyConfig::gated), a count-min
+    /// frequency sketch estimates pair hotness and only hot (or budgeted)
+    /// clusters restructure; cold pairs are routed without transformation.
+    /// Defaults to [`AdaptPolicy::Always`](crate::AdaptPolicy::Always)
+    /// (every communicate restructures, bit-identical to the pre-policy
+    /// engine).
+    pub fn policy(mut self, policy: PolicyConfig) -> Self {
+        self.config.policy = policy;
         self
     }
 
@@ -348,7 +362,8 @@ pub struct BatchOutcome {
     /// installer.
     pub dummies_bulk_inserted: usize,
     /// Clusters the plan stages planned across the batch's epochs
-    /// (= [`BatchOutcome::clusters`] today).
+    /// (= [`BatchOutcome::clusters`] with the adaptation policy off;
+    /// gated clusters are never planned).
     pub planned_clusters: usize,
     /// The largest worker-shard count any of the batch's epochs actually
     /// planned on (1 = fully inline).
@@ -356,6 +371,14 @@ pub struct BatchOutcome {
     /// Wall-clock nanoseconds the plan stages took across the batch. A
     /// timing observable — excluded from determinism comparisons.
     pub plan_wall_ns: u64,
+    /// Requests whose cluster the admission gate declined to restructure
+    /// across the batch (0 with the policy off).
+    pub pairs_gated: u64,
+    /// Cold clusters restructured via the per-epoch budget across the
+    /// batch.
+    pub restructures_budgeted: u64,
+    /// Frequency-sketch counter-halving passes across the batch.
+    pub sketch_aging_passes: u64,
 }
 
 impl BatchOutcome {
@@ -457,11 +480,11 @@ impl DsgSession {
         let mut epoch_cap = MAX_EPOCH_PAIRS;
 
         let flush = |session: &mut Self,
-                         pending: &mut Vec<(usize, (u64, u64))>,
-                         endpoints: &mut Vec<u64>,
-                         slots: &mut Vec<Option<SubmitOutcome>>,
-                         batch: &mut BatchOutcome,
-                         epoch_cap: &mut usize|
+                     pending: &mut Vec<(usize, (u64, u64))>,
+                     endpoints: &mut Vec<u64>,
+                     slots: &mut Vec<Option<SubmitOutcome>>,
+                     batch: &mut BatchOutcome,
+                     epoch_cap: &mut usize|
          -> Result<()> {
             if pending.is_empty() {
                 return Ok(());
@@ -490,6 +513,9 @@ impl DsgSession {
             batch.planned_clusters += report.planned_clusters;
             batch.plan_shards = batch.plan_shards.max(report.plan_shards);
             batch.plan_wall_ns += report.plan_wall_ns;
+            batch.pairs_gated += report.pairs_gated;
+            batch.restructures_budgeted += report.restructures_budgeted;
+            batch.sketch_aging_passes += report.sketch_aging_passes;
             for (&(index, _), outcome) in pending.iter().zip(report.outcomes) {
                 slots[index] = Some(SubmitOutcome::Communicated(outcome));
             }
@@ -522,17 +548,38 @@ impl DsgSession {
                     endpoints.push(v);
                 }
                 Request::Join(peer) => {
-                    flush(self, &mut pending, &mut endpoints, &mut slots, &mut batch, &mut epoch_cap)?;
+                    flush(
+                        self,
+                        &mut pending,
+                        &mut endpoints,
+                        &mut slots,
+                        &mut batch,
+                        &mut epoch_cap,
+                    )?;
                     self.engine.add_peer(peer)?;
                     slots[index] = Some(SubmitOutcome::Joined { peer });
                 }
                 Request::Leave(peer) => {
-                    flush(self, &mut pending, &mut endpoints, &mut slots, &mut batch, &mut epoch_cap)?;
+                    flush(
+                        self,
+                        &mut pending,
+                        &mut endpoints,
+                        &mut slots,
+                        &mut batch,
+                        &mut epoch_cap,
+                    )?;
                     self.engine.remove_peer(peer)?;
                     slots[index] = Some(SubmitOutcome::Left { peer });
                 }
                 Request::Tick(to) => {
-                    flush(self, &mut pending, &mut endpoints, &mut slots, &mut batch, &mut epoch_cap)?;
+                    flush(
+                        self,
+                        &mut pending,
+                        &mut endpoints,
+                        &mut slots,
+                        &mut batch,
+                        &mut epoch_cap,
+                    )?;
                     self.engine.advance_time(to);
                     slots[index] = Some(SubmitOutcome::Ticked {
                         now: self.engine.time(),
@@ -540,10 +587,19 @@ impl DsgSession {
                 }
             }
         }
-        flush(self, &mut pending, &mut endpoints, &mut slots, &mut batch, &mut epoch_cap)?;
+        flush(
+            self,
+            &mut pending,
+            &mut endpoints,
+            &mut slots,
+            &mut batch,
+            &mut epoch_cap,
+        )?;
         batch.outcomes = slots
             .into_iter()
-            .map(|slot| slot.expect("every request was served by exactly one epoch or applied inline"))
+            .map(|slot| {
+                slot.expect("every request was served by exactly one epoch or applied inline")
+            })
             .collect();
         Ok(batch)
     }
@@ -563,6 +619,9 @@ impl DsgSession {
             planned_clusters: report.planned_clusters,
             plan_shards: report.plan_shards,
             plan_wall_ns: report.plan_wall_ns,
+            pairs_gated: report.pairs_gated,
+            restructures_budgeted: report.restructures_budgeted,
+            sketch_aging_passes: report.sketch_aging_passes,
         };
         let repair = BalanceRepairEvent {
             epoch: self.epochs,
@@ -572,6 +631,20 @@ impl DsgSession {
             dummies_bulk_inserted: report.dummies_bulk_inserted,
             live_dummies: self.engine.dummy_count(),
         };
+        // The admission event only exists when the gate is on: a silent
+        // stream of all-zero events under `Always` would make "the gate is
+        // off" and "the gate never gated" indistinguishable to observers.
+        let admission = match self.engine.config().policy.policy {
+            AdaptPolicy::Gated => Some(AdmissionEvent {
+                epoch: self.epochs,
+                requests,
+                clusters: report.clusters,
+                pairs_gated: report.pairs_gated,
+                restructures_budgeted: report.restructures_budgeted,
+                sketch_aging_passes: report.sketch_aging_passes,
+            }),
+            AdaptPolicy::Always => None,
+        };
         for observer in &self.observers {
             let mut observer = observer.lock().expect("observer lock");
             for outcome in &report.outcomes {
@@ -579,6 +652,9 @@ impl DsgSession {
             }
             observer.on_transform(&transform);
             observer.on_balance_repair(&repair);
+            if let Some(event) = &admission {
+                observer.on_admission(event);
+            }
         }
     }
 
@@ -672,10 +748,7 @@ mod tests {
 
     #[test]
     fn builder_surfaces_duplicate_peers() {
-        let err = DsgSession::builder()
-            .peers([1, 2, 2])
-            .build()
-            .unwrap_err();
+        let err = DsgSession::builder().peers([1, 2, 2]).build().unwrap_err();
         assert_eq!(err, DsgError::DuplicatePeer(2));
     }
 
@@ -779,9 +852,7 @@ mod tests {
     fn batched_epochs_install_once() {
         let mut session = DsgSession::builder().peers(0..64).seed(7).build().unwrap();
         // Four endpoint-disjoint pairs: one epoch, one install pass.
-        let batch: Vec<Request> = (0..4)
-            .map(|i| Request::communicate(i, i + 32))
-            .collect();
+        let batch: Vec<Request> = (0..4).map(|i| Request::communicate(i, i + 32)).collect();
         let outcome = session.submit_batch(&batch).unwrap();
         assert_eq!(outcome.epochs, 1);
         assert_eq!(outcome.install_passes, 1);

@@ -72,6 +72,14 @@ pub struct MetricsObserver {
     pub dummies_bulk_inserted: usize,
     /// Live dummy count after the most recent repair pass.
     pub live_dummies: usize,
+    /// Requests the admission gate declined to restructure across all
+    /// epochs (0 with the adaptation policy off).
+    pub pairs_gated: u64,
+    /// Cold clusters restructured via the per-epoch budget across all
+    /// epochs.
+    pub restructures_budgeted: u64,
+    /// Frequency-sketch counter-halving passes across all epochs.
+    pub sketch_aging_passes: u64,
 }
 
 impl MetricsObserver {
@@ -126,6 +134,9 @@ impl DsgObserver for MetricsObserver {
         self.planned_clusters += event.planned_clusters;
         self.plan_shards = self.plan_shards.max(event.plan_shards);
         self.plan_wall_ns += event.plan_wall_ns;
+        self.pairs_gated += event.pairs_gated;
+        self.restructures_budgeted += event.restructures_budgeted;
+        self.sketch_aging_passes += event.sketch_aging_passes;
     }
 
     fn on_balance_repair(&mut self, event: &BalanceRepairEvent) {

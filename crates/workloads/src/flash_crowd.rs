@@ -1,0 +1,159 @@
+//! Flash-crowd workload: a uniform stream with a sudden hot burst.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::trace::Request;
+use crate::Workload;
+
+/// Uniform background traffic with one *flash crowd*: during the burst
+/// window `[burst_start, burst_start + burst_len)`, each request is drawn
+/// from a small fixed set of hot pairs with probability `burst_probability`
+/// (uniform otherwise). Outside the window the stream is plain uniform
+/// random.
+///
+/// This is the adaptation-policy stress pattern: the frequency sketch sees
+/// nothing worth restructuring for, then a handful of pairs suddenly
+/// dominate, then the crowd disperses and the counters must age back out.
+#[derive(Debug)]
+pub struct FlashCrowd {
+    n: u64,
+    hot_pairs: Vec<(u64, u64)>,
+    burst_start: usize,
+    burst_len: usize,
+    burst_probability: f64,
+    served: usize,
+    rng: StdRng,
+}
+
+impl FlashCrowd {
+    /// Creates the workload: `hot_pairs` distinct pairs form the crowd
+    /// (chosen deterministically from the seed), the burst covers requests
+    /// `[burst_start, burst_start + burst_len)`, and within it a request is
+    /// hot with probability `burst_probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4`, `hot_pairs == 0`, `hot_pairs > n / 2`,
+    /// `burst_len == 0` or the probability is outside `[0, 1]`.
+    pub fn new(
+        n: u64,
+        hot_pairs: usize,
+        burst_start: usize,
+        burst_len: usize,
+        burst_probability: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n >= 4, "a flash crowd needs at least four peers");
+        assert!(hot_pairs > 0, "the crowd needs at least one hot pair");
+        assert!(
+            hot_pairs as u64 <= n / 2,
+            "too many hot pairs for the network"
+        );
+        assert!(burst_len > 0, "burst length must be positive");
+        assert!(
+            (0.0..=1.0).contains(&burst_probability),
+            "probability must lie in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Hot pairs over disjoint peers, so the crowd is `hot_pairs`
+        // independent conversations rather than one clique.
+        let mut members: Vec<u64> = Vec::with_capacity(hot_pairs * 2);
+        while members.len() < hot_pairs * 2 {
+            let candidate = rng.random_range(0..n);
+            if !members.contains(&candidate) {
+                members.push(candidate);
+            }
+        }
+        let hot = members.chunks(2).map(|c| (c[0], c[1])).collect();
+        FlashCrowd {
+            n,
+            hot_pairs: hot,
+            burst_start,
+            burst_len,
+            burst_probability,
+            served: 0,
+            rng,
+        }
+    }
+
+    /// The fixed hot-pair set (mostly useful for tests and reporting).
+    pub fn hot_pairs(&self) -> &[(u64, u64)] {
+        &self.hot_pairs
+    }
+
+    /// Whether the next request falls inside the burst window.
+    pub fn in_burst(&self) -> bool {
+        self.served >= self.burst_start && self.served < self.burst_start + self.burst_len
+    }
+}
+
+impl Workload for FlashCrowd {
+    fn peers(&self) -> u64 {
+        self.n
+    }
+
+    fn next_request(&mut self) -> Request {
+        let hot = self.in_burst() && self.rng.random_bool(self.burst_probability);
+        self.served += 1;
+        if hot {
+            let i = self.rng.random_range(0..self.hot_pairs.len());
+            let (u, v) = self.hot_pairs[i];
+            Request::communicate(u, v)
+        } else {
+            let u = self.rng.random_range(0..self.n);
+            let mut v = self.rng.random_range(0..self.n);
+            while v == u {
+                v = self.rng.random_range(0..self.n);
+            }
+            Request::communicate(u, v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_window_is_dominated_by_hot_pairs() {
+        let mut w = FlashCrowd::new(256, 4, 200, 400, 0.95, 7);
+        let hot: Vec<(u64, u64)> = w.hot_pairs().to_vec();
+        let is_hot = |r: &Request| {
+            let (u, v) = r.pair();
+            hot.iter()
+                .any(|&(a, b)| (u, v) == (a, b) || (u, v) == (b, a))
+        };
+        let trace = w.generate(800);
+        let before = trace[..200].iter().filter(|r| is_hot(r)).count();
+        let during = trace[200..600].iter().filter(|r| is_hot(r)).count();
+        let after = trace[600..].iter().filter(|r| is_hot(r)).count();
+        assert!(during > 340, "only {during} of 400 burst requests were hot");
+        assert!(before < 40, "{before} pre-burst requests hit hot pairs");
+        assert!(after < 40, "{after} post-burst requests hit hot pairs");
+    }
+
+    #[test]
+    fn traces_are_reproducible_per_seed() {
+        let a = FlashCrowd::new(128, 3, 50, 100, 0.9, 11).generate(300);
+        let b = FlashCrowd::new(128, 3, 50, 100, 0.9, 11).generate(300);
+        let c = FlashCrowd::new(128, 3, 50, 100, 0.9, 12).generate(300);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn requests_are_always_valid() {
+        let mut w = FlashCrowd::new(32, 2, 0, 100, 0.5, 5);
+        for r in w.generate(500) {
+            let (u, v) = r.pair();
+            assert!(u != v && u < 32 && v < 32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too many hot pairs")]
+    fn oversized_crowd_is_rejected() {
+        let _ = FlashCrowd::new(8, 5, 0, 10, 0.5, 0);
+    }
+}

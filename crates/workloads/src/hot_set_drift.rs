@@ -1,0 +1,156 @@
+//! Sliding-window workload: a contiguous hot window drifting over the keys.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::trace::Request;
+use crate::Workload;
+
+/// Requests are drawn (mostly) from a contiguous window of `window` peers
+/// that slides forward by `stride` keys every `drift_period` requests,
+/// wrapping around the key space. With probability `1 - window_probability`
+/// a request is instead uniform background noise.
+///
+/// Unlike [`RotatingHotSet`](crate::RotatingHotSet) — which replaces one
+/// member at a time — the whole working set here moves together, so the
+/// pair-frequency profile shifts gradually but completely: pairs fall out
+/// of favour at the same rate new ones arrive. A frequency sketch without
+/// aging keeps the stale window hot forever; this workload exposes that.
+#[derive(Debug)]
+pub struct HotSetDrift {
+    n: u64,
+    window: u64,
+    stride: u64,
+    drift_period: usize,
+    window_probability: f64,
+    base: u64,
+    served: usize,
+    rng: StdRng,
+}
+
+impl HotSetDrift {
+    /// Creates the workload: a window of `window` consecutive peer keys
+    /// (mod `n`) starting at 0, sliding by `stride` every `drift_period`
+    /// requests; requests land inside the window with probability
+    /// `window_probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 2`, `window > n`, `stride == 0`,
+    /// `drift_period == 0` or the probability is outside `[0, 1]`.
+    pub fn new(
+        n: u64,
+        window: u64,
+        stride: u64,
+        drift_period: usize,
+        window_probability: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(window >= 2, "the window needs at least two peers");
+        assert!(window <= n, "window larger than the network");
+        assert!(stride > 0, "stride must be positive");
+        assert!(drift_period > 0, "drift period must be positive");
+        assert!(
+            (0.0..=1.0).contains(&window_probability),
+            "probability must lie in [0, 1]"
+        );
+        HotSetDrift {
+            n,
+            window,
+            stride,
+            drift_period,
+            window_probability,
+            base: 0,
+            served: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The first key of the current window (mostly useful for tests).
+    pub fn window_base(&self) -> u64 {
+        self.base
+    }
+
+    /// Whether the key lies inside the current (wrapping) window.
+    pub fn in_window(&self, key: u64) -> bool {
+        (key.wrapping_sub(self.base) % self.n) < self.window
+    }
+}
+
+impl Workload for HotSetDrift {
+    fn peers(&self) -> u64 {
+        self.n
+    }
+
+    fn next_request(&mut self) -> Request {
+        if self.served > 0 && self.served.is_multiple_of(self.drift_period) {
+            self.base = (self.base + self.stride) % self.n;
+        }
+        self.served += 1;
+        if self.rng.random_bool(self.window_probability) || self.window == self.n {
+            let u = (self.base + self.rng.random_range(0..self.window)) % self.n;
+            let mut v = (self.base + self.rng.random_range(0..self.window)) % self.n;
+            while v == u {
+                v = (self.base + self.rng.random_range(0..self.window)) % self.n;
+            }
+            Request::communicate(u, v)
+        } else {
+            let u = self.rng.random_range(0..self.n);
+            let mut v = self.rng.random_range(0..self.n);
+            while v == u {
+                v = self.rng.random_range(0..self.n);
+            }
+            Request::communicate(u, v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_concentrate_in_the_window() {
+        let mut w = HotSetDrift::new(256, 8, 4, 1_000_000, 0.9, 3);
+        let trace = w.generate(1000);
+        let inside = trace
+            .iter()
+            .filter(|r| r.pair().0 < 8 && r.pair().1 < 8)
+            .count();
+        assert!(inside > 800, "only {inside} of 1000 requests were hot");
+    }
+
+    #[test]
+    fn window_drifts_and_wraps() {
+        let mut w = HotSetDrift::new(64, 4, 8, 10, 1.0, 4);
+        assert_eq!(w.window_base(), 0);
+        let _ = w.generate(100);
+        // 100 requests at stride 8 every 10 requests: 9 drifts, wrapping.
+        assert_eq!(w.window_base(), 72 % 64);
+        assert!(w.in_window(8) && !w.in_window(20));
+    }
+
+    #[test]
+    fn traces_are_reproducible_per_seed() {
+        let a = HotSetDrift::new(128, 8, 2, 16, 0.8, 11).generate(300);
+        let b = HotSetDrift::new(128, 8, 2, 16, 0.8, 11).generate(300);
+        let c = HotSetDrift::new(128, 8, 2, 16, 0.8, 12).generate(300);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn requests_are_always_valid() {
+        let mut w = HotSetDrift::new(32, 4, 1, 7, 0.5, 5);
+        for r in w.generate(500) {
+            let (u, v) = r.pair();
+            assert!(u != v && u < 32 && v < 32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window larger")]
+    fn oversized_window_is_rejected() {
+        let _ = HotSetDrift::new(4, 8, 1, 1, 0.5, 0);
+    }
+}

@@ -16,7 +16,11 @@
 //! * [`Datacenter`] — the multi-level locality workload of the paper's
 //!   conclusion (rack / pod / datacenter levels, as in VM migration),
 //! * [`Adversarial`] — a non-repeating permutation stream with no locality
-//!   to exploit.
+//!   to exploit,
+//! * [`FlashCrowd`] — uniform background with a sudden burst window where a
+//!   few fixed pairs dominate (the adaptation-policy stress pattern),
+//! * [`HotSetDrift`] — a contiguous hot window sliding over the key space
+//!   (exercises frequency-sketch aging).
 //!
 //! All generators implement the [`Workload`] trait, are deterministic given
 //! a seed, and produce [`Request`] values over peer keys `0..n`.
@@ -39,6 +43,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod datacenter;
+pub mod flash_crowd;
+pub mod hot_set_drift;
 pub mod hotset;
 pub mod repeated;
 pub mod trace;
@@ -46,6 +52,8 @@ pub mod uniform;
 pub mod zipf;
 
 pub use datacenter::Datacenter;
+pub use flash_crowd::FlashCrowd;
+pub use hot_set_drift::HotSetDrift;
 pub use hotset::RotatingHotSet;
 pub use repeated::RepeatedPairs;
 pub use trace::{Request, Trace};

@@ -15,7 +15,9 @@ use dsg_skipgraph::Key;
 /// comparison stays key-based like the other differential suites.
 pub fn assert_networks_agree(label: &str, left: &DynamicSkipGraph, right: &DynamicSkipGraph) {
     left.validate().expect("left network is structurally sound");
-    right.validate().expect("right network is structurally sound");
+    right
+        .validate()
+        .expect("right network is structurally sound");
     assert_eq!(left.height(), right.height(), "{label}: heights diverge");
     assert_eq!(
         left.dummy_count(),
@@ -101,6 +103,17 @@ pub fn assert_outcomes_agree(label: &str, left: &BatchOutcome, right: &BatchOutc
         left.planned_clusters, right.planned_clusters,
         "{label}: planned-cluster counters diverge"
     );
+    assert_eq!(
+        left.pairs_gated, right.pairs_gated,
+        "{label}: gated-pair counters diverge"
+    );
+    assert_eq!(
+        left.restructures_budgeted, right.restructures_budgeted,
+        "{label}: budgeted-restructure counters diverge"
+    );
+    assert_eq!(
+        left.sketch_aging_passes, right.sketch_aging_passes,
+        "{label}: sketch-aging counters diverge"
+    );
     // plan_shards and plan_wall_ns legitimately differ across shard counts.
 }
-

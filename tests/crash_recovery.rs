@@ -73,7 +73,10 @@ fn serve_one(service: &DsgService, request: Request) -> Result<SubmitOutcome, Ds
 /// is never rotated, so genesis replay is always well-defined.
 fn genesis_twin(dir: &Path, n: u64, seed: u64) -> DsgSession {
     let mut twin = builder(n, seed).build().expect("twin builds");
-    for chunk in &read_journal(dir).expect("surviving journal scans clean").frames {
+    for chunk in &read_journal(dir)
+        .expect("surviving journal scans clean")
+        .frames
+    {
         twin.submit_batch(chunk).expect("journal replays cleanly");
     }
     twin
@@ -115,7 +118,10 @@ fn missing_directory_cold_starts_then_restarts_bit_identical() {
     let (mut service, report) =
         DsgService::open(&dir, builder(n, seed), config).expect("cold start on a missing dir");
     assert!(!report.recovered);
-    assert_eq!(report.snapshot_seq, 1, "the initial checkpoint is cut eagerly");
+    assert_eq!(
+        report.snapshot_seq, 1,
+        "the initial checkpoint is cut eagerly"
+    );
     assert_eq!(report.frames_replayed, 0);
 
     for i in 0..20u64 {
@@ -123,14 +129,20 @@ fn missing_directory_cold_starts_then_restarts_bit_identical() {
     }
     let status = service.status();
     assert!(status.journal_bytes > 0);
-    assert!(status.snapshot_seq >= 2, "the epoch cadence cut checkpoints");
+    assert!(
+        status.snapshot_seq >= 2,
+        "the epoch cadence cut checkpoints"
+    );
     let done = service.shutdown().expect("first shutdown");
 
     // Clean restart: the reopened engine equals both the engine we just
     // shut down and the genesis-replay twin, clock included.
     let (restarted, report) = reopen(&dir, n, seed, config);
     assert!(report.recovered);
-    assert_eq!(report.torn_bytes_truncated, 0, "clean shutdown leaves no torn tail");
+    assert_eq!(
+        report.torn_bytes_truncated, 0,
+        "clean shutdown leaves no torn tail"
+    );
     assert_networks_agree(
         "clean restart vs pre-shutdown",
         restarted.engine(),
@@ -138,8 +150,59 @@ fn missing_directory_cold_starts_then_restarts_bit_identical() {
     );
     assert_eq!(restarted.engine().time(), done.session.engine().time());
     let twin = genesis_twin(&dir, n, seed);
-    assert_networks_agree("clean restart vs genesis twin", restarted.engine(), twin.engine());
+    assert_networks_agree(
+        "clean restart vs genesis twin",
+        restarted.engine(),
+        twin.engine(),
+    );
     assert_eq!(restarted.engine().time(), twin.engine().time());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gated_policy_sketch_survives_restart_bit_identical() {
+    let dir = temp_dir("sketch");
+    let (n, seed) = (32u64, 19u64);
+    let config = persist_config(1, 3, 2);
+    let gated = || builder(n, seed).policy(PolicyConfig::gated().with_aging_period(16));
+
+    let (mut service, _) = DsgService::open(&dir, gated(), config).expect("cold start");
+    // Repeated pairs cross the admission threshold, fresh ones stay
+    // gated, and the tiny aging period forces halving passes — so the
+    // restored sketch must reproduce non-trivial counters, not zeros.
+    for i in 0..24u64 {
+        serve_one(&service, Request::communicate(i % 6, (i % 6) + 16)).expect("serves cleanly");
+    }
+    let status = service.status();
+    assert!(status.pairs_gated > 0, "cold sightings must be gated");
+    assert!(status.sketch_aging_passes > 0, "the tiny period must age");
+    let done = service.shutdown().expect("first shutdown");
+    let image = done.session.engine().capture_image();
+    assert!(
+        image.sketch.is_some(),
+        "a gated engine checkpoints its sketch"
+    );
+
+    // Clean restart: the recovered engine equals the pre-shutdown one
+    // bit-for-bit INCLUDING the frequency sketch, so replayed-and-resumed
+    // admission decisions continue exactly where the crash left them.
+    let (mut restored, report) = DsgService::open(&dir, gated(), config).expect("store reopens");
+    assert!(report.recovered);
+    let done2 = restored.shutdown().expect("first shutdown");
+    assert_eq!(
+        done2.session.engine().capture_image(),
+        image,
+        "restart must restore the sketch bit-identical"
+    );
+
+    // And the genesis twin (same gated config, full journal replay)
+    // arrives at the same sketch — restart-replay determinism holds with
+    // the policy on.
+    let mut twin = gated().build().expect("twin builds");
+    for chunk in &read_journal(&dir).expect("journal scans clean").frames {
+        twin.submit_batch(chunk).expect("journal replays cleanly");
+    }
+    assert_eq!(twin.engine().capture_image(), image);
     fs::remove_dir_all(&dir).ok();
 }
 
@@ -244,7 +307,10 @@ fn every_byte_boundary_truncation_recovers_or_refuses_typed() {
         journal_len + 1,
         "every truncation point was exercised"
     );
-    assert!(short_refusals > 0, "the sweep never crossed the snapshot binding");
+    assert!(
+        short_refusals > 0,
+        "the sweep never crossed the snapshot binding"
+    );
     assert!(torn_truncations > 0, "the sweep never produced a torn tail");
     fs::remove_dir_all(&dir).ok();
 }
@@ -354,7 +420,11 @@ fn every_fail_point_site_restarts_bit_identical() {
         // request (pre- and post-crash) is in the durable journal in
         // order.
         let twin = genesis_twin(&dir, n, seed);
-        assert_networks_agree(&format!("site {site}"), done.session.engine(), twin.engine());
+        assert_networks_agree(
+            &format!("site {site}"),
+            done.session.engine(),
+            twin.engine(),
+        );
         assert_eq!(
             done.session.engine().time(),
             twin.engine().time(),
@@ -418,7 +488,11 @@ fn bit_flipped_snapshot_falls_back_to_the_previous_checkpoint() {
         .flatten()
         .filter_map(|e| {
             let name = e.file_name().to_str()?.to_string();
-            let seq: u64 = name.strip_prefix("snap-")?.strip_suffix(".img")?.parse().ok()?;
+            let seq: u64 = name
+                .strip_prefix("snap-")?
+                .strip_suffix(".img")?
+                .parse()
+                .ok()?;
             Some((seq, e.path()))
         })
         .max_by_key(|(seq, _)| *seq)
@@ -427,7 +501,10 @@ fn bit_flipped_snapshot_falls_back_to_the_previous_checkpoint() {
     flip_last_byte(&newest);
 
     let (restarted, report) = reopen(&dir, 16, 72, persist_config(1, 3, 1));
-    assert!(report.fell_back, "recovery must fall back to the previous snapshot");
+    assert!(
+        report.fell_back,
+        "recovery must fall back to the previous snapshot"
+    );
     // The fallback replays a longer journal suffix and still lands on the
     // exact served structure.
     assert_networks_agree("snapshot fallback", restarted.engine(), session.engine());

@@ -146,7 +146,9 @@ fn drain_shutdown_serves_the_backlog() {
         .collect();
     let done = service.shutdown().expect("first shutdown");
     for ticket in &tickets {
-        ticket.wait().expect("drain policy serves every queued request");
+        ticket
+            .wait()
+            .expect("drain policy serves every queued request");
     }
     assert_eq!(done.metrics.submitted, 32);
     done.session.engine().validate().unwrap();
@@ -230,7 +232,11 @@ fn plan_stage_fault_aborts_the_epoch_and_leaves_the_engine_untouched() {
     for chunk in &done.journal {
         twin.submit_batch(chunk).expect("journal replays cleanly");
     }
-    assert_networks_agree("plan-abort journal twin", done.session.engine(), twin.engine());
+    assert_networks_agree(
+        "plan-abort journal twin",
+        done.session.engine(),
+        twin.engine(),
+    );
 }
 
 #[test]
@@ -261,7 +267,9 @@ fn poison_and_recover(site: &str, seed: u64) {
     let mut service = DsgService::spawn(build(n, seed), ServiceConfig::default()).unwrap();
     serve_all(
         &service,
-        &(0..6).map(|i| Request::communicate(i, i + 24)).collect::<Vec<_>>(),
+        &(0..6)
+            .map(|i| Request::communicate(i, i + 24))
+            .collect::<Vec<_>>(),
     );
 
     failpoint::arm(site, 1);
@@ -303,13 +311,18 @@ fn poison_and_recover(site: &str, seed: u64) {
 
     // A second recover finds a healthy service: typed refusal, and the
     // recovered structure is left untouched (idempotent in effect).
-    assert!(matches!(service.recover().unwrap_err(), DsgError::NotPoisoned));
+    assert!(matches!(
+        service.recover().unwrap_err(),
+        DsgError::NotPoisoned
+    ));
 
     // The service is fully live again: serve more traffic, then prove the
     // final structure deep-validates clean.
     serve_all(
         &service,
-        &(0..6).map(|i| Request::communicate(i + 10, i + 34)).collect::<Vec<_>>(),
+        &(0..6)
+            .map(|i| Request::communicate(i + 10, i + 34))
+            .collect::<Vec<_>>(),
     );
     let done = service.shutdown().expect("first shutdown");
     assert_eq!(done.metrics.poisonings, 1);
@@ -420,12 +433,9 @@ fn durable_journal_agrees_with_the_recording_oracle() {
         persist: Some(PersistConfig::default()),
         ..ServiceConfig::default()
     };
-    let (mut service, report) = DsgService::open(
-        &dir,
-        DsgSession::builder().peers(0..n).seed(41),
-        config,
-    )
-    .expect("cold start");
+    let (mut service, report) =
+        DsgService::open(&dir, DsgSession::builder().peers(0..n).seed(41), config)
+            .expect("cold start");
     assert!(!report.recovered);
 
     let requests: Vec<Request> = (0..24)
@@ -433,7 +443,10 @@ fn durable_journal_agrees_with_the_recording_oracle() {
         .collect();
     serve_all(&service, &requests);
     let status = service.status();
-    assert!(status.journal_bytes > 0, "served chunks must hit the journal");
+    assert!(
+        status.journal_bytes > 0,
+        "served chunks must hit the journal"
+    );
     let done = service.shutdown().expect("first shutdown");
 
     assert_eq!(
