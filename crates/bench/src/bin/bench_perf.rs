@@ -38,14 +38,20 @@
 //! communicate/batched row carries a `policy` tag plus the gate counters
 //! (`pairs_gated`, `restructures_budgeted`, `sketch_aging_passes`), and
 //! the uniform and flash-crowd workloads run as a policy off/on A/B pair.
+//! v8 adds the `overload` table (PR 9): an open-loop driver first
+//! measures the service's closed-loop capacity, then offers multiples of
+//! it with the sojourn-based shedding/brownout layer on and off (A/B),
+//! reporting goodput, p50/p99 queue sojourn, and the shed/brownout
+//! counters — the off twin's tail sojourn grows with the backlog while
+//! the on twin's stays bounded.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use dsg::persist::{decode_snapshot, encode_snapshot};
 use dsg::{
-    DsgConfig, DsgService, DsgSession, DynamicSkipGraph, PersistConfig, PolicyConfig,
-    ServiceConfig, SubmitError,
+    DsgConfig, DsgService, DsgSession, DynamicSkipGraph, OverloadConfig, PersistConfig,
+    PolicyConfig, ServiceConfig, SubmitError,
 };
 use dsg_bench::{
     perf_trace_len, reference_graph_like, route_pairs, run_dsg, run_dsg_batched, workload_trace,
@@ -468,6 +474,176 @@ fn measure_service_ingest(quick: bool) -> Vec<ServiceRow> {
         .collect()
 }
 
+/// Offered-load multiples of the measured closed-loop capacity the
+/// `overload` suite sweeps (quick mode runs the 2x cell only — the one
+/// the A/B contrast and the CI gate are about).
+const OVERLOAD_MULTIPLES: &[u64] = &[1, 2];
+
+/// Network size of the `overload` suite (matches `service_ingest`).
+const OVERLOAD_N: u64 = SERVICE_N;
+
+struct OverloadRow {
+    offered_x: u64,
+    shedding: bool,
+    n: u64,
+    offered: usize,
+    offered_rps: u64,
+    accepted: u64,
+    served: u64,
+    refused: u64,
+    elapsed_ns: u128,
+    shed_submits: u64,
+    deadline_shed: u64,
+    brownout_chunks: u64,
+    p50_sojourn_us: u64,
+    p99_sojourn_us: u64,
+}
+
+impl OverloadRow {
+    /// Requests actually *served to completion* per wall-clock second
+    /// (drive plus drain) — refusals and deadline sheds do not count.
+    fn goodput_rps(&self) -> f64 {
+        self.served as f64 / (self.elapsed_ns as f64 / 1e9).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Overload suite: measures closed-loop capacity, then offers multiples
+/// of it open-loop — the i-th request is due at `i / rate` regardless of
+/// how the service is doing — with the shedding/brownout layer on and
+/// off. Every 4th request carries a 1 s deadline so queue-expired work is
+/// shed typed instead of served stale. The off twin runs with the same
+/// (large) queue and no overload layer: its backlog, and therefore its
+/// tail sojourn, grows without bound while the on twin's stays pinned
+/// near the shed target.
+fn measure_overload(quick: bool) -> Vec<OverloadRow> {
+    let n = OVERLOAD_N;
+    let build = || {
+        DsgSession::builder()
+            .config(
+                DsgConfig::default()
+                    .with_seed(1)
+                    .with_policy(PolicyConfig::gated()),
+            )
+            .peers(0..n)
+            .build()
+            .expect("peer keys 0..n are distinct")
+    };
+    let large_queue = ServiceConfig {
+        queue_capacity: 65_536,
+        ..ServiceConfig::default()
+    };
+
+    // Closed-loop calibration: the sustained service rate with the same
+    // engine configuration the offered-load cells run.
+    let calibrate = if quick { 120 } else { 320 };
+    let trace = workload_trace(WorkloadKind::Uniform, n, calibrate, 3);
+    let mut service = DsgService::spawn(build(), large_queue).expect("service config is valid");
+    let started = Instant::now();
+    for &request in &trace {
+        service
+            .submit_deadline(request, Duration::from_secs(60))
+            .expect("the queue drains within 60s")
+            .wait()
+            .expect("calibration trace serves cleanly");
+    }
+    let capacity_rps =
+        ((calibrate as f64 / started.elapsed().as_secs_f64()) as u64).clamp(200, 1_000_000);
+    service.shutdown().expect("first shutdown");
+    eprintln!("bench_perf:   overload capacity estimate: {capacity_rps} req/s (closed loop)");
+
+    let multiples: &[u64] = if quick {
+        &OVERLOAD_MULTIPLES[1..]
+    } else {
+        OVERLOAD_MULTIPLES
+    };
+    // Long enough that the off twin's unbounded backlog pushes its tail
+    // sojourn several histogram buckets past the on twin's bounded one —
+    // the contrast the CI gate asserts on.
+    let drive_secs = if quick { 1.0 } else { 2.0 };
+    let mut rows = Vec::new();
+    for &offered_x in multiples {
+        let offered_rps = offered_x * capacity_rps;
+        let offered = ((offered_rps as f64 * drive_secs) as usize).max(64);
+        let mut open = dsg_workloads::OpenLoop::new(
+            dsg_workloads::UniformRandom::new(n, 3),
+            offered_rps,
+        );
+        let schedule = open.schedule(offered);
+        for shedding in [false, true] {
+            let mut config = large_queue;
+            if shedding {
+                config = config.with_overload(
+                    OverloadConfig::default()
+                        .with_brownout_target(Duration::from_millis(5))
+                        .with_shed_target(Duration::from_millis(20))
+                        .with_interval(Duration::from_millis(25))
+                        .with_retry_after(Duration::from_millis(50)),
+                );
+            }
+            let mut service = DsgService::spawn(build(), config).expect("service config is valid");
+            let start = Instant::now();
+            let mut tickets = Vec::with_capacity(offered);
+            let mut refused = 0u64;
+            for (i, &(due, request)) in schedule.iter().enumerate() {
+                if let Some(wait) = due.checked_sub(start.elapsed()) {
+                    std::thread::sleep(wait);
+                }
+                let submitted = if i % 4 == 0 {
+                    service.submit_with_deadline(request, Duration::from_secs(1))
+                } else {
+                    service.submit(request)
+                };
+                match submitted {
+                    Ok(ticket) => tickets.push(ticket),
+                    Err(SubmitError::Shed { .. } | SubmitError::Overloaded) => refused += 1,
+                    Err(err) => panic!("overload drive refused a submission: {err}"),
+                }
+            }
+            let accepted = tickets.len() as u64;
+            let mut served = 0u64;
+            for ticket in tickets {
+                match ticket.wait() {
+                    Ok(_) => served += 1,
+                    Err(dsg::DsgError::DeadlineExceeded) => {}
+                    Err(err) => panic!("overload drive lost a ticket: {err}"),
+                }
+            }
+            let elapsed_ns = start.elapsed().as_nanos();
+            let status = service.status();
+            eprintln!(
+                "bench_perf:   overload status ({offered_x}x shedding={shedding}): \
+                 shedding={} brownout={} shed_submits={} deadline_shed={} \
+                 brownout_chunks={} sojourn p50={}us p99={}us",
+                status.shedding,
+                status.brownout,
+                status.shed_submits,
+                status.deadline_shed,
+                status.brownout_chunks,
+                status.sojourn_p50_us,
+                status.sojourn_p99_us
+            );
+            let done = service.shutdown().expect("first shutdown");
+            rows.push(OverloadRow {
+                offered_x,
+                shedding,
+                n,
+                offered,
+                offered_rps,
+                accepted,
+                served,
+                refused,
+                elapsed_ns,
+                shed_submits: done.metrics.shed_submits,
+                deadline_shed: done.metrics.deadline_shed,
+                brownout_chunks: done.metrics.brownout_chunks,
+                p50_sojourn_us: status.sojourn_p50_us,
+                p99_sojourn_us: status.sojourn_p99_us,
+            });
+        }
+    }
+    rows
+}
+
 /// Network sizes the `recovery` suite sweeps. Kept below the communicate
 /// sweep's top end: the suite serves its whole trace through a persistent
 /// service (journal fsync path included) before it ever measures anything.
@@ -622,6 +798,8 @@ fn main() {
     let communicate_batched = measure_communicate_batched(quick());
     eprintln!("bench_perf: service ingest throughput (concurrent front-end)...");
     let service_ingest = measure_service_ingest(quick());
+    eprintln!("bench_perf: overload control (open-loop offered-load A/B)...");
+    let overload = measure_overload(quick());
     eprintln!("bench_perf: recovery costs (snapshot codec + journal replay)...");
     let recovery = measure_recovery(quick(), reps);
 
@@ -723,6 +901,37 @@ fn main() {
     }
     service_json.push_str("\n  ]");
 
+    let mut overload_json = String::from("[");
+    for (i, row) in overload.iter().enumerate() {
+        if i > 0 {
+            overload_json.push(',');
+        }
+        let _ = write!(
+            overload_json,
+            "\n    {{\"offered_x\": {}, \"shedding\": {}, \"n\": {}, \"offered\": {}, \
+             \"offered_rps\": {}, \"accepted\": {}, \"served\": {}, \"refused\": {}, \
+             \"elapsed_ms\": {:.2}, \"goodput_rps\": {:.1}, \
+             \"p50_sojourn_us\": {}, \"p99_sojourn_us\": {}, \
+             \"shed_submits\": {}, \"deadline_shed\": {}, \"brownout_chunks\": {}}}",
+            row.offered_x,
+            row.shedding,
+            row.n,
+            row.offered,
+            row.offered_rps,
+            row.accepted,
+            row.served,
+            row.refused,
+            row.elapsed_ns as f64 / 1e6,
+            row.goodput_rps(),
+            row.p50_sojourn_us,
+            row.p99_sojourn_us,
+            row.shed_submits,
+            row.deadline_shed,
+            row.brownout_chunks
+        );
+    }
+    overload_json.push_str("\n  ]");
+
     let mut recovery_json = String::from("[");
     for (i, row) in recovery.iter().enumerate() {
         if i > 0 {
@@ -749,10 +958,10 @@ fn main() {
     recovery_json.push_str("\n  ]");
 
     let json = format!(
-        "{{\n  \"schema\": \"dsg-bench-perf/v7\",\n  \"created_unix\": {unix_time},\n  \
+        "{{\n  \"schema\": \"dsg-bench-perf/v8\",\n  \"created_unix\": {unix_time},\n  \
          \"quick\": {},\n  \"route\": {},\n  \"neighbors\": {},\n  \"dummy_probe\": {},\n  \
          \"communicate\": {},\n  \"communicate_batched\": {},\n  \"service_ingest\": {},\n  \
-         \"recovery\": {}\n}}\n",
+         \"overload\": {},\n  \"recovery\": {}\n}}\n",
         quick(),
         micro_json(&route),
         micro_json(&neighbors),
@@ -760,6 +969,7 @@ fn main() {
         comm_json,
         batch_json,
         service_json,
+        overload_json,
         recovery_json,
     );
     std::fs::write(&output, &json).expect("write BENCH_perf.json");
@@ -815,6 +1025,22 @@ fn main() {
             row.batches,
             row.max_queue_depth,
             row.rejected_overload
+        );
+    }
+
+    for row in &overload {
+        eprintln!(
+            "  overload  {}x shedding={:<5} offered {:>8} req/s   goodput {:>9.1} req/s   \
+             sojourn p50 {:>7} us  p99 {:>8} us   shed {:>5}   expired {:>4}   browned {:>4}",
+            row.offered_x,
+            row.shedding,
+            row.offered_rps,
+            row.goodput_rps(),
+            row.p50_sojourn_us,
+            row.p99_sojourn_us,
+            row.shed_submits,
+            row.deadline_shed,
+            row.brownout_chunks
         );
     }
 

@@ -116,6 +116,10 @@ pub struct RunStats {
     pub restructures_budgeted: u64,
     /// Frequency-sketch counter-halving ("aging") passes performed.
     pub sketch_aging_passes: u64,
+    /// Requests routed without restructuring under a brownout verdict
+    /// (overload-degraded epochs; disjoint from
+    /// [`pairs_gated`](RunStats::pairs_gated)).
+    pub pairs_browned_out: u64,
 }
 
 impl RunStats {

@@ -34,7 +34,7 @@ use crate::cost::{CostBreakdown, RunStats};
 use crate::dummy;
 use crate::error::DsgError;
 use crate::groups::{self, GroupScratch, GroupUpdateInput};
-use crate::policy::{Admission, AdmissionGate, FreqSketch};
+use crate::policy::{Admission, AdmissionGate, ClusterSignal, FreqSketch};
 use crate::state::{NodeState, StateDelta, StateTable};
 use crate::timestamps::{self, TimestampInput};
 use crate::transform::{self, TransformInput, TransformOutcome, TransformPair, MAX_EPOCH_PAIRS};
@@ -343,6 +343,13 @@ pub struct EpochReport {
     /// Frequency-sketch counter-halving passes run at this epoch's commit
     /// point.
     pub sketch_aging_passes: u64,
+    /// Requests routed without restructuring because the epoch ran under
+    /// a brownout verdict
+    /// ([`communicate_epoch_degraded`](DynamicSkipGraph::communicate_epoch_degraded)
+    /// with `brownout = true`): the admission gate was degraded to
+    /// route-only for cold traffic. Disjoint from
+    /// [`pairs_gated`](EpochReport::pairs_gated); 0 outside brownout.
+    pub pairs_browned_out: u64,
 }
 
 /// A locally self-adjusting skip graph (the paper's DSG algorithm).
@@ -1146,6 +1153,30 @@ impl DynamicSkipGraph {
     /// [`MAX_EPOCH_PAIRS`] pairs. Validation happens before any state
     /// changes.
     pub fn communicate_epoch(&mut self, pairs: &[(u64, u64)]) -> Result<EpochReport> {
+        self.communicate_epoch_degraded(pairs, false)
+    }
+
+    /// [`communicate_epoch`](Self::communicate_epoch) with an explicit
+    /// **brownout** verdict: while `brownout` is `true` the admission gate
+    /// degrades to route-only decisions for cold traffic — the per-epoch
+    /// budget and the subtree-amortization signal are suspended, and only
+    /// member-heat-hot clusters restructure — bounding the epoch's
+    /// restructuring latency while the service rides out an overload.
+    ///
+    /// The flag is part of the epoch's deterministic input: the same
+    /// pairs with the same flag on the same engine state produce the same
+    /// structure, which is why a durable [`DsgService`] journals the
+    /// verdict inside each WAL frame and crash replay re-applies it.
+    /// Under the default [`AdaptPolicy::Always`] no gate exists, so the
+    /// flag is a no-op (documented: brownout degrades gracefully only on
+    /// gated engines).
+    ///
+    /// [`DsgService`]: crate::service::DsgService
+    pub fn communicate_epoch_degraded(
+        &mut self,
+        pairs: &[(u64, u64)],
+        brownout: bool,
+    ) -> Result<EpochReport> {
         if pairs.is_empty() {
             return Ok(EpochReport::default());
         }
@@ -1212,6 +1243,7 @@ impl DynamicSkipGraph {
         // whole block is a no-op (the policy-off differential proptest
         // pins bit-identity).
         let mut pairs_gated = 0u64;
+        let mut pairs_browned_out = 0u64;
         let mut restructures_budgeted = 0u64;
         let mut sketch_aging_passes = 0u64;
         let mut gated_clusters: Vec<ClusterPlan> = Vec::new();
@@ -1245,42 +1277,62 @@ impl DynamicSkipGraph {
             let community_bar = u64::from(self.config.policy.threshold).max(
                 4u64.saturating_mul(sketch.updates_since_aging() + aging_residue) / live_peers,
             );
+            // Collect every cluster's signals first, then judge the whole
+            // epoch at once: the gate spends its budget on the hottest
+            // cold clusters rather than first-come-first-served (and a
+            // brownout verdict degrades it to route-only for cold
+            // traffic).
+            let signals: Vec<ClusterSignal> = clusters
+                .iter()
+                .map(|cluster| {
+                    // Member heat: an exact pair repeat, or both endpoints
+                    // individually hot (the community signal).
+                    let max_estimate = cluster
+                        .pair_indices
+                        .iter()
+                        .map(|&pi| {
+                            let (u, v) = pairs[pi];
+                            let pair = sketch.estimate(FreqSketch::pair_key(u, v));
+                            let community = sketch
+                                .estimate(FreqSketch::peer_key(u))
+                                .min(sketch.estimate(FreqSketch::peer_key(v)));
+                            if u64::from(community) >= community_bar {
+                                pair.max(community)
+                            } else {
+                                pair
+                            }
+                        })
+                        .max()
+                        .unwrap_or(0);
+                    // Subtree amortization: the rebuild touches roughly the
+                    // peers under the merged l_α prefix (halving per bit in
+                    // a balanced graph) — admit when recent subtree demand
+                    // covers threshold × that cost.
+                    let subtree_size = (live_peers >> cluster.root_prefix.level().min(63)).max(1);
+                    let subtree_demand =
+                        u64::from(sketch.estimate(FreqSketch::prefix_key(&cluster.root_prefix)));
+                    ClusterSignal {
+                        max_estimate,
+                        subtree_demand,
+                        subtree_size,
+                    }
+                })
+                .collect();
+            let verdicts = gate.judge(&signals, brownout);
             let mut admitted = Vec::with_capacity(clusters.len());
-            for cluster in clusters {
-                // Member heat: an exact pair repeat, or both endpoints
-                // individually hot (the community signal).
-                let max_estimate = cluster
-                    .pair_indices
-                    .iter()
-                    .map(|&pi| {
-                        let (u, v) = pairs[pi];
-                        let pair = sketch.estimate(FreqSketch::pair_key(u, v));
-                        let community = sketch
-                            .estimate(FreqSketch::peer_key(u))
-                            .min(sketch.estimate(FreqSketch::peer_key(v)));
-                        if u64::from(community) >= community_bar {
-                            pair.max(community)
-                        } else {
-                            pair
-                        }
-                    })
-                    .max()
-                    .unwrap_or(0);
-                // Subtree amortization: the rebuild touches roughly the
-                // peers under the merged l_α prefix (halving per bit in a
-                // balanced graph) — admit when recent subtree demand
-                // covers threshold × that cost.
-                let subtree_size = (live_peers >> cluster.root_prefix.level().min(63)).max(1);
-                let subtree_demand =
-                    u64::from(sketch.estimate(FreqSketch::prefix_key(&cluster.root_prefix)));
-                match gate.decide(max_estimate, subtree_demand, subtree_size) {
+            for (cluster, verdict) in clusters.into_iter().zip(verdicts) {
+                match verdict {
                     Admission::Hot => admitted.push(cluster),
                     Admission::Budgeted => {
                         restructures_budgeted += 1;
                         admitted.push(cluster);
                     }
                     Admission::Gated => {
-                        pairs_gated += cluster.pair_indices.len() as u64;
+                        if brownout {
+                            pairs_browned_out += cluster.pair_indices.len() as u64;
+                        } else {
+                            pairs_gated += cluster.pair_indices.len() as u64;
+                        }
                         gated_clusters.push(cluster);
                     }
                 }
@@ -1780,6 +1832,7 @@ impl DynamicSkipGraph {
         self.stats.plan_shards = self.stats.plan_shards.max(plan_shards_used);
         self.stats.plan_wall_ns += plan_wall_ns;
         self.stats.pairs_gated += pairs_gated;
+        self.stats.pairs_browned_out += pairs_browned_out;
         self.stats.restructures_budgeted += restructures_budgeted;
         self.stats.sketch_aging_passes += sketch_aging_passes;
         self.phase = EpochPhase::Idle;
@@ -1802,6 +1855,7 @@ impl DynamicSkipGraph {
             pairs_gated,
             restructures_budgeted,
             sketch_aging_passes,
+            pairs_browned_out,
         })
     }
 }

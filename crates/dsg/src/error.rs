@@ -49,6 +49,12 @@ pub enum DsgError {
     /// graph from the surviving state. Every in-flight ticket resolves with
     /// this error instead of hanging.
     EnginePoisoned,
+    /// The request's deadline expired while it was queued, so the
+    /// overload-control layer shed it before the engine paid for it. The
+    /// ticket resolves with this error instead of leaving the waiter to
+    /// time out; the request was never journaled or served and can be
+    /// resubmitted (with a fresh deadline) once load subsides.
+    DeadlineExceeded,
     /// The request was not served because the service is shutting down
     /// (abort-policy shutdowns resolve still-queued tickets this way).
     ShuttingDown,
@@ -92,6 +98,9 @@ impl fmt::Display for DsgError {
             }
             DsgError::EnginePoisoned => {
                 write!(f, "the engine is poisoned by an apply-stage fault; recover() first")
+            }
+            DsgError::DeadlineExceeded => {
+                write!(f, "the request's deadline expired while queued; it was shed unserved")
             }
             DsgError::ShuttingDown => write!(f, "the service is shutting down"),
             DsgError::AlreadyShutDown => {

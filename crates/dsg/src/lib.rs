@@ -39,6 +39,7 @@
 //! | [`request`] | — | the unified typed [`Request`] vocabulary |
 //! | [`session`] | — | [`DsgSession`] / [`DsgBuilder`], the public entry point |
 //! | [`service`] | — | [`DsgService`](service::DsgService), the fault-contained concurrent ingest front-end |
+//! | [`overload`] | — | sojourn-based load shedding, brownout degradation, and the stall watchdog behind [`ServiceConfig::overload`](service::ServiceConfig::overload) |
 //! | [`persist`] | — | durable write-ahead journal + snapshot checkpoints behind [`DsgService::open`](service::DsgService::open) |
 //! | [`observer`] | — | [`DsgObserver`] progress hooks |
 //! | [`fixtures`] | Fig. 4 | the worked S₈ example instance |
@@ -81,6 +82,7 @@ pub mod error;
 pub mod fixtures;
 pub mod groups;
 pub mod observer;
+pub mod overload;
 pub mod persist;
 pub mod policy;
 pub mod priority;
@@ -97,10 +99,12 @@ pub use cost::{CostBreakdown, RunStats};
 pub use dsg::{DynamicSkipGraph, EpochPhase, EpochReport, RecoveryReport, RequestOutcome};
 pub use error::DsgError;
 pub use observer::{
-    AdmissionEvent, AuditEvent, BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent,
+    AdmissionEvent, AuditEvent, BalanceRepairEvent, DsgObserver, OverloadEvent, SharedObserver,
+    StallEvent, TransformEvent,
 };
+pub use overload::{OverloadConfig, OverloadController, OverloadState, RetryPolicy};
 pub use persist::{DurableStore, EngineImage, PersistConfig, PersistError};
-pub use policy::{Admission, AdmissionGate, FreqSketch, GateCounters};
+pub use policy::{Admission, AdmissionGate, ClusterSignal, FreqSketch, GateCounters};
 pub use priority::Priority;
 pub use request::Request;
 pub use service::{
@@ -144,8 +148,10 @@ pub mod prelude {
     };
     pub use crate::error::DsgError;
     pub use crate::observer::{
-        AdmissionEvent, AuditEvent, BalanceRepairEvent, DsgObserver, SharedObserver, TransformEvent,
+        AdmissionEvent, AuditEvent, BalanceRepairEvent, DsgObserver, OverloadEvent,
+        SharedObserver, StallEvent, TransformEvent,
     };
+    pub use crate::overload::{OverloadConfig, OverloadState, RetryPolicy};
     pub use crate::persist::{PersistConfig, PersistError};
     pub use crate::request::Request;
     pub use crate::service::{

@@ -53,6 +53,11 @@ pub struct TransformEvent {
     pub restructures_budgeted: u64,
     /// Frequency-sketch counter-halving passes this epoch's commit ran.
     pub sketch_aging_passes: u64,
+    /// Requests routed without restructuring because the epoch ran under
+    /// a brownout verdict (the service's overload controller degraded the
+    /// admission gate to route-only for cold traffic). 0 outside
+    /// brownout and with the policy off.
+    pub pairs_browned_out: u64,
 }
 
 /// The admission gate's activity for one epoch (only emitted when
@@ -107,6 +112,38 @@ pub struct AuditEvent {
     pub passed: bool,
 }
 
+/// The service's overload controller changed state (emitted by the
+/// [`DsgService`](crate::service::DsgService) ingest loop when queue
+/// sojourn crosses a configured target, and when it recedes again).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadEvent {
+    /// Transformation epochs the session had served when the state
+    /// changed.
+    pub epoch: u64,
+    /// Whether the service is now refusing new submissions with
+    /// `SubmitError::Shed`.
+    pub shedding: bool,
+    /// Whether chunks are now served under brownout (admission gate
+    /// degraded to route-only for cold traffic).
+    pub brownout: bool,
+    /// The minimum queue sojourn (nanoseconds) over the controller's
+    /// evaluation interval that triggered the transition (0 when the
+    /// transition was an idle-queue exit).
+    pub min_sojourn_ns: u64,
+}
+
+/// The service's stall watchdog found the ingest loop stuck: no heartbeat
+/// for longer than the configured stall threshold while work was in
+/// flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallEvent {
+    /// The ingest stage the loop last stamped before going quiet (e.g.
+    /// `"journal"`, `"engine"`, `"audit"`, `"checkpoint"`).
+    pub stage: &'static str,
+    /// How long the heartbeat has been stale, in nanoseconds.
+    pub stalled_for_ns: u64,
+}
+
 /// Hooks a session invokes while serving requests. All methods have empty
 /// default bodies — implement only what you record.
 pub trait DsgObserver {
@@ -137,6 +174,23 @@ pub trait DsgObserver {
     /// [`AdaptPolicy::Gated`](crate::AdaptPolicy::Gated) is configured;
     /// called after the epoch's `on_transform`).
     fn on_admission(&mut self, event: &AdmissionEvent) {
+        let _ = event;
+    }
+
+    /// The service's overload controller entered or left shedding /
+    /// brownout (only emitted when a
+    /// [`DsgService`](crate::service::DsgService) runs with an
+    /// `OverloadConfig`).
+    fn on_overload(&mut self, event: &OverloadEvent) {
+        let _ = event;
+    }
+
+    /// The service's stall watchdog found the ingest loop stuck. Unlike
+    /// every other hook this one is invoked from the *watchdog* thread,
+    /// not the ingest thread (the ingest thread is, by definition, not
+    /// making progress); the watchdog uses `try_lock` and skips the
+    /// report rather than contend with a wedged observer.
+    fn on_stall(&mut self, event: &StallEvent) {
         let _ = event;
     }
 }
@@ -177,6 +231,7 @@ mod tests {
             pairs_gated: 0,
             restructures_budgeted: 0,
             sketch_aging_passes: 0,
+            pairs_browned_out: 0,
         });
         observer.on_balance_repair(&BalanceRepairEvent {
             epoch: 1,
@@ -193,6 +248,16 @@ mod tests {
             pairs_gated: 0,
             restructures_budgeted: 0,
             sketch_aging_passes: 0,
+        });
+        observer.on_overload(&OverloadEvent {
+            epoch: 1,
+            shedding: true,
+            brownout: true,
+            min_sojourn_ns: 1,
+        });
+        observer.on_stall(&StallEvent {
+            stage: "engine",
+            stalled_for_ns: 1,
         });
     }
 
@@ -211,6 +276,7 @@ mod tests {
             pairs_gated: 0,
             restructures_budgeted: 0,
             sketch_aging_passes: 0,
+            pairs_browned_out: 0,
         });
         let strong = Arc::strong_count(&shared);
         assert_eq!(strong, 1);

@@ -1,0 +1,421 @@
+//! Overload control for [`DsgService`](crate::service::DsgService):
+//! sojourn-based shedding, brownout degradation, and producer backoff.
+//!
+//! A service under sustained offered load above engine capacity has only
+//! bad untyped answers — an ever-growing queue sojourn, or producers
+//! blocking forever. This module makes overload a first-class, typed,
+//! observable condition:
+//!
+//! * **[`OverloadController`]** — a CoDel-style controller fed the queue
+//!   sojourn of every drained request. It tracks the *minimum* sojourn
+//!   over a sliding evaluation interval (the minimum, not the mean: a
+//!   standing queue keeps even its luckiest request waiting, while a
+//!   transient burst lets at least one request through quickly). When the
+//!   interval minimum exceeds [`OverloadConfig::brownout_target`] the
+//!   service serves chunks under **brownout** (the admission gate degrades
+//!   to route-only verdicts for cold traffic — restructuring deferred,
+//!   latency bounded); above [`OverloadConfig::shed_target`] it also
+//!   **sheds**, refusing new submissions with
+//!   [`SubmitError::Shed`](crate::service::SubmitError::Shed) and a
+//!   retry-after hint. Both states exit with hysteresis (at half their
+//!   entry target) so the service flaps neither in nor out, and an empty
+//!   queue exits immediately — no backlog is the definitive evidence.
+//! * **Deadline shedding** — submissions may carry a deadline
+//!   ([`DsgService::submit_with_deadline`]); a request whose deadline
+//!   expired while queued is shed at drain time, *before* the journal and
+//!   the engine pay for it, resolving its ticket with
+//!   [`DsgError::DeadlineExceeded`](crate::DsgError::DeadlineExceeded).
+//! * **Stall watchdog** — the ingest loop stamps a heartbeat per stage;
+//!   a watchdog thread reports a heartbeat older than
+//!   [`OverloadConfig::stall_after`] through
+//!   [`DsgObserver::on_stall`](crate::DsgObserver::on_stall) instead of
+//!   letting producers hang silently.
+//! * **[`RetryPolicy`]** — producer-side jittered exponential backoff
+//!   over the typed refusals, used by
+//!   [`DsgService::submit_retry`].
+//!
+//! The controller is pure over `u64` nanosecond timestamps (no clock
+//! reads), so its transition ladder is unit-testable without sleeping.
+//! Engine determinism is preserved end to end: the *verdict* (brownout on
+//! or off) is wall-clock-derived and therefore nondeterministic, but it
+//! is journaled inside each WAL frame, so crash replay re-applies the
+//! recorded verdicts bit-identically (`tests/crash_recovery.rs`).
+//!
+//! [`DsgService::submit_with_deadline`]: crate::service::DsgService::submit_with_deadline
+//! [`DsgService::submit_retry`]: crate::service::DsgService::submit_retry
+
+use std::time::Duration;
+
+/// Tuning for the service's overload-control layer. Attached to a
+/// [`ServiceConfig`](crate::service::ServiceConfig) via
+/// [`with_overload`](crate::service::ServiceConfig::with_overload);
+/// `None` (the default) disables the layer entirely — no controller, no
+/// watchdog, bit-identical service behaviour to the pre-overload service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadConfig {
+    /// Interval-minimum queue sojourn above which chunks are served under
+    /// brownout. Must not exceed [`shed_target`](Self::shed_target).
+    pub brownout_target: Duration,
+    /// Interval-minimum queue sojourn above which new submissions are
+    /// refused with [`SubmitError::Shed`](crate::service::SubmitError::Shed).
+    pub shed_target: Duration,
+    /// Sliding evaluation interval of the sojourn minimum. Longer
+    /// intervals react more slowly but resist transient bursts.
+    pub interval: Duration,
+    /// Retry-after hint attached to shed refusals.
+    pub retry_after: Duration,
+    /// Heartbeat age beyond which the watchdog reports the ingest loop as
+    /// stalled.
+    pub stall_after: Duration,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            brownout_target: Duration::from_millis(5),
+            shed_target: Duration::from_millis(20),
+            interval: Duration::from_millis(100),
+            retry_after: Duration::from_millis(50),
+            stall_after: Duration::from_secs(1),
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// Sets the brownout sojourn target.
+    pub fn with_brownout_target(mut self, target: Duration) -> Self {
+        self.brownout_target = target;
+        self
+    }
+
+    /// Sets the shed sojourn target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is below the brownout target: shedding is the
+    /// harsher degradation and must engage at or above it.
+    pub fn with_shed_target(mut self, target: Duration) -> Self {
+        assert!(
+            target >= self.brownout_target,
+            "the shed target must be at least the brownout target"
+        );
+        self.shed_target = target;
+        self
+    }
+
+    /// Sets the sliding evaluation interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_interval(mut self, interval: Duration) -> Self {
+        assert!(!interval.is_zero(), "the evaluation interval must be positive");
+        self.interval = interval;
+        self
+    }
+
+    /// Sets the retry-after hint attached to shed refusals.
+    pub fn with_retry_after(mut self, hint: Duration) -> Self {
+        self.retry_after = hint;
+        self
+    }
+
+    /// Sets the watchdog's stall threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn with_stall_after(mut self, threshold: Duration) -> Self {
+        assert!(!threshold.is_zero(), "the stall threshold must be positive");
+        self.stall_after = threshold;
+        self
+    }
+}
+
+/// The controller's degradation ladder, in increasing severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum OverloadState {
+    /// Queue sojourn within targets: full service.
+    #[default]
+    Nominal,
+    /// Sojourn above the brownout target: chunks are served with the
+    /// admission gate degraded to route-only verdicts for cold traffic.
+    Brownout,
+    /// Sojourn above the shed target: additionally, new submissions are
+    /// refused with a typed `Shed` error and a retry-after hint (brownout
+    /// stays engaged for whatever is already queued).
+    Shedding,
+}
+
+impl OverloadState {
+    /// Whether new submissions are refused in this state.
+    pub fn sheds(self) -> bool {
+        matches!(self, OverloadState::Shedding)
+    }
+
+    /// Whether chunks are served under brownout in this state.
+    pub fn brownout(self) -> bool {
+        !matches!(self, OverloadState::Nominal)
+    }
+}
+
+/// A state change the controller decided on, with the interval minimum
+/// that triggered it (0 for an idle-queue exit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadTransition {
+    /// The state the controller moved to.
+    pub state: OverloadState,
+    /// The evaluated interval-minimum sojourn, in nanoseconds.
+    pub min_sojourn_ns: u64,
+}
+
+/// The CoDel-style sojourn controller. Pure over `u64` nanosecond
+/// timestamps — the caller supplies `now`; the controller never reads a
+/// clock. See the [module docs](self) for the model.
+#[derive(Debug)]
+pub struct OverloadController {
+    brownout_ns: u64,
+    shed_ns: u64,
+    interval_ns: u64,
+    window_start: Option<u64>,
+    window_min: u64,
+    state: OverloadState,
+}
+
+impl OverloadController {
+    /// Builds a controller from the config's targets.
+    pub fn new(config: &OverloadConfig) -> Self {
+        OverloadController {
+            brownout_ns: config.brownout_target.as_nanos() as u64,
+            shed_ns: config.shed_target.as_nanos() as u64,
+            interval_ns: (config.interval.as_nanos() as u64).max(1),
+            window_start: None,
+            window_min: u64::MAX,
+            state: OverloadState::default(),
+        }
+    }
+
+    /// The current degradation state.
+    pub fn state(&self) -> OverloadState {
+        self.state
+    }
+
+    /// Feeds one drained request's queue sojourn, observed at `now_ns`.
+    /// Closes the evaluation window (and possibly transitions) once the
+    /// window is older than the configured interval; returns the
+    /// transition if the state changed.
+    pub fn record_sojourn(&mut self, now_ns: u64, sojourn_ns: u64) -> Option<OverloadTransition> {
+        let start = *self.window_start.get_or_insert(now_ns);
+        self.window_min = self.window_min.min(sojourn_ns);
+        if now_ns.saturating_sub(start) < self.interval_ns {
+            return None;
+        }
+        let min = self.window_min;
+        self.window_start = Some(now_ns);
+        self.window_min = u64::MAX;
+        self.transition(min)
+    }
+
+    /// The ingest loop found the queue empty: no backlog is definitive
+    /// evidence against overload, so the controller exits to
+    /// [`OverloadState::Nominal`] immediately (the window restarts).
+    pub fn note_idle(&mut self, now_ns: u64) -> Option<OverloadTransition> {
+        self.window_start = Some(now_ns);
+        self.window_min = u64::MAX;
+        self.transition(0)
+    }
+
+    /// The hysteresis ladder: each state is entered when the interval
+    /// minimum exceeds its target and exited only when the minimum drops
+    /// to half that target, so a sojourn hovering at a target never flaps
+    /// the state.
+    fn transition(&mut self, min: u64) -> Option<OverloadTransition> {
+        let shedding = OverloadState::Shedding;
+        let next = if min > self.shed_ns || (self.state == shedding && min > self.shed_ns / 2) {
+            OverloadState::Shedding
+        } else if min > self.brownout_ns
+            || (self.state.brownout() && min > self.brownout_ns / 2)
+        {
+            OverloadState::Brownout
+        } else {
+            OverloadState::Nominal
+        };
+        if next == self.state {
+            return None;
+        }
+        self.state = next;
+        Some(OverloadTransition {
+            state: next,
+            min_sojourn_ns: min,
+        })
+    }
+}
+
+/// Producer-side retry policy for
+/// [`DsgService::submit_retry`](crate::service::DsgService::submit_retry):
+/// jittered exponential backoff over the typed refusals (`Overloaded` and
+/// `Shed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total submit attempts (≥ 1); the last refusal is returned to the
+    /// caller.
+    pub attempts: u32,
+    /// Base backoff delay (doubled per attempt).
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Seed of the jitter stream (each attempt draws deterministically
+    /// from `seed` and the attempt index, so a policy value reproduces
+    /// its delays).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(100),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based: the delay after
+    /// the first refusal is `backoff(0, ..)`). Equal-jitter exponential:
+    /// uniformly in `[d/2, d]` for `d = min(cap, base · 2^attempt)`,
+    /// floored at the service's `retry_after` hint when one was given.
+    pub fn backoff(&self, attempt: u32, hint: Option<Duration>) -> Duration {
+        let base_ns = (self.base.as_nanos() as u64).max(1);
+        let cap_ns = (self.cap.as_nanos() as u64).max(base_ns);
+        let exp_ns = base_ns
+            .saturating_mul(1u64 << attempt.min(32))
+            .min(cap_ns);
+        let jitter = splitmix64(self.seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let delay_ns = exp_ns / 2 + jitter % (exp_ns / 2 + 1);
+        let hint_ns = hint.map(|h| h.as_nanos() as u64).unwrap_or(0);
+        Duration::from_nanos(delay_ns.max(hint_ns))
+    }
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    fn controller() -> OverloadController {
+        // Brownout above 2 ms, shed above 8 ms, 10 ms windows.
+        OverloadController::new(
+            &OverloadConfig::default()
+                .with_brownout_target(Duration::from_millis(2))
+                .with_shed_target(Duration::from_millis(8))
+                .with_interval(Duration::from_millis(10)),
+        )
+    }
+
+    #[test]
+    fn climbs_the_ladder_as_the_minimum_grows() {
+        let mut c = controller();
+        // Window 1: min 3 ms → brownout.
+        assert_eq!(c.record_sojourn(0, 3 * MS), None);
+        let t = c.record_sojourn(10 * MS, 4 * MS).expect("transition");
+        assert_eq!(t.state, OverloadState::Brownout);
+        assert_eq!(t.min_sojourn_ns, 3 * MS);
+        // Window 2: min 9 ms → shedding.
+        let t = c.record_sojourn(21 * MS, 9 * MS).expect("transition");
+        assert_eq!(t.state, OverloadState::Shedding);
+        assert!(c.state().sheds());
+        assert!(c.state().brownout());
+    }
+
+    #[test]
+    fn the_minimum_not_the_maximum_decides() {
+        let mut c = controller();
+        // A burst with one fast request in the window: no degradation.
+        c.record_sojourn(0, 50 * MS);
+        c.record_sojourn(MS, MS); // the lucky one
+        assert_eq!(c.record_sojourn(11 * MS, 40 * MS), None);
+        assert_eq!(c.state(), OverloadState::Nominal);
+    }
+
+    #[test]
+    fn exits_with_hysteresis_not_at_the_entry_target() {
+        let mut c = controller();
+        c.record_sojourn(0, 9 * MS);
+        c.record_sojourn(10 * MS, 9 * MS); // → Shedding
+        assert_eq!(c.state(), OverloadState::Shedding);
+        // min 5 ms: below the 8 ms shed target but above its 4 ms exit
+        // bar — stays shedding (no flap).
+        assert_eq!(c.record_sojourn(21 * MS, 5 * MS), None);
+        assert_eq!(c.state(), OverloadState::Shedding);
+        // min 3 ms: exits shedding, but still above the 2 ms brownout
+        // target → brownout.
+        let t = c.record_sojourn(32 * MS, 3 * MS).expect("transition");
+        assert_eq!(t.state, OverloadState::Brownout);
+        // min 1.5 ms: below the brownout target but above its 1 ms exit
+        // bar — stays browned out.
+        assert_eq!(c.record_sojourn(43 * MS, 3 * MS / 2), None);
+        // min 0.5 ms: full exit.
+        let t = c.record_sojourn(54 * MS, MS / 2).expect("transition");
+        assert_eq!(t.state, OverloadState::Nominal);
+    }
+
+    #[test]
+    fn an_idle_queue_exits_immediately() {
+        let mut c = controller();
+        c.record_sojourn(0, 9 * MS);
+        c.record_sojourn(10 * MS, 9 * MS);
+        assert_eq!(c.state(), OverloadState::Shedding);
+        let t = c.note_idle(12 * MS).expect("transition");
+        assert_eq!(t.state, OverloadState::Nominal);
+        assert_eq!(t.min_sojourn_ns, 0);
+        // Idle while nominal is a no-op.
+        assert_eq!(c.note_idle(13 * MS), None);
+    }
+
+    #[test]
+    fn zero_targets_shed_on_any_positive_sojourn() {
+        let mut c = OverloadController::new(
+            &OverloadConfig::default()
+                .with_brownout_target(Duration::ZERO)
+                .with_shed_target(Duration::ZERO)
+                .with_interval(Duration::from_nanos(1)),
+        );
+        let t = c.record_sojourn(0, 1).or_else(|| c.record_sojourn(2, 1));
+        assert_eq!(t.expect("transition").state, OverloadState::Shedding);
+    }
+
+    #[test]
+    fn shed_target_below_brownout_target_is_rejected() {
+        let result = std::panic::catch_unwind(|| {
+            OverloadConfig::default()
+                .with_brownout_target(Duration::from_millis(10))
+                .with_shed_target(Duration::from_millis(5))
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn backoff_is_bounded_jittered_and_reproducible() {
+        let policy = RetryPolicy::default();
+        for attempt in 0..12 {
+            let d = policy.backoff(attempt, None);
+            let exp = policy.cap.min(policy.base * 2u32.saturating_pow(attempt));
+            assert!(d <= exp, "attempt {attempt}: {d:?} > {exp:?}");
+            assert!(d >= exp / 2, "attempt {attempt}: {d:?} < {:?}", exp / 2);
+            assert_eq!(d, policy.backoff(attempt, None), "must reproduce");
+        }
+        // The hint floors the delay.
+        let hinted = policy.backoff(0, Some(Duration::from_secs(2)));
+        assert!(hinted >= Duration::from_secs(2));
+    }
+}

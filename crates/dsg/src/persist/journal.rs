@@ -23,10 +23,22 @@ const TAG_JOIN: u8 = 1;
 const TAG_LEAVE: u8 = 2;
 const TAG_TICK: u8 = 3;
 
+/// High bit of the payload's count word: the chunk was served under a
+/// **brownout** verdict (the service's overload controller degraded the
+/// admission gate to route-only for cold traffic), and replay must serve
+/// it the same way for bit-identical recovery. Request counts are bounded
+/// by the service's ingest batch (and by `MAX_EPOCH_PAIRS`-sized epochs),
+/// both far below 2³¹, so the bit never collides with a count — and
+/// pre-brownout journals, whose counts never set it, decode as
+/// `brownout = false`.
+pub(crate) const FLAG_BROWNOUT: u32 = 1 << 31;
+
 /// Encodes one request chunk as a complete frame (header + payload).
-pub(crate) fn encode_frame(chunk: &[Request]) -> Vec<u8> {
+pub(crate) fn encode_frame(chunk: &[Request], brownout: bool) -> Vec<u8> {
+    debug_assert!((chunk.len() as u32) < FLAG_BROWNOUT, "count collides with the flag bit");
+    let flag = if brownout { FLAG_BROWNOUT } else { 0 };
     let mut payload = Vec::with_capacity(4 + chunk.len() * 17);
-    put_u32(&mut payload, chunk.len() as u32);
+    put_u32(&mut payload, chunk.len() as u32 | flag);
     for request in chunk {
         match *request {
             Request::Communicate { u, v } => {
@@ -55,13 +67,15 @@ pub(crate) fn encode_frame(chunk: &[Request]) -> Vec<u8> {
     frame
 }
 
-fn decode_payload(payload: &[u8], offset: u64) -> Result<Vec<Request>, PersistError> {
+fn decode_payload(payload: &[u8], offset: u64) -> Result<(Vec<Request>, bool), PersistError> {
     let corrupt = |detail: &str| PersistError::CorruptFrame {
         offset,
         detail: detail.to_string(),
     };
     let mut r = Reader::new(payload);
-    let count = r.u32().map_err(|_| corrupt("missing request count"))?;
+    let word = r.u32().map_err(|_| corrupt("missing request count"))?;
+    let brownout = word & FLAG_BROWNOUT != 0;
+    let count = word & !FLAG_BROWNOUT;
     let mut requests = Vec::with_capacity((count as usize).min(payload.len()));
     for _ in 0..count {
         let tag = r.u8().map_err(|_| corrupt("payload ran out of bytes"))?;
@@ -82,7 +96,7 @@ fn decode_payload(payload: &[u8], offset: u64) -> Result<Vec<Request>, PersistEr
     if !r.is_at_end() {
         return Err(corrupt("trailing bytes after the last request"));
     }
-    Ok(requests)
+    Ok((requests, brownout))
 }
 
 /// The result of scanning a journal (suffix): the decoded frames, where
@@ -92,6 +106,10 @@ pub struct JournalScan {
     /// The decoded request chunks, one per complete frame, in append
     /// order.
     pub frames: Vec<Vec<Request>>,
+    /// Whether each frame (parallel to [`frames`](JournalScan::frames))
+    /// was journaled under a brownout verdict — replay must degrade the
+    /// admission gate identically to recover bit-identical state.
+    pub brownout: Vec<bool>,
     /// Absolute byte offset just past each complete frame — the valid
     /// truncation boundaries of the journal.
     pub frame_ends: Vec<u64>,
@@ -120,6 +138,7 @@ impl JournalScan {
 /// reported through [`JournalScan::torn_bytes`].
 pub(crate) fn scan(bytes: &[u8], base: u64) -> Result<JournalScan, PersistError> {
     let mut frames = Vec::new();
+    let mut brownout = Vec::new();
     let mut frame_ends = Vec::new();
     let mut pos = 0usize;
     loop {
@@ -145,12 +164,15 @@ pub(crate) fn scan(bytes: &[u8], base: u64) -> Result<JournalScan, PersistError>
                 detail: "checksum mismatch".to_string(),
             });
         }
-        frames.push(decode_payload(payload, offset)?);
+        let (requests, flag) = decode_payload(payload, offset)?;
+        frames.push(requests);
+        brownout.push(flag);
         pos += 8 + len;
         frame_ends.push(base + pos as u64);
     }
     Ok(JournalScan {
         frames,
+        brownout,
         frame_ends,
         committed_len: base + pos as u64,
         torn_bytes: (bytes.len() - pos) as u64,
@@ -217,7 +239,7 @@ mod tests {
         let mut bytes = Vec::new();
         let mut ends = Vec::new();
         for chunk in chunks() {
-            bytes.extend_from_slice(&encode_frame(&chunk));
+            bytes.extend_from_slice(&encode_frame(&chunk, false));
             ends.push(bytes.len() as u64);
         }
         (bytes, ends)
@@ -228,9 +250,29 @@ mod tests {
         let (bytes, ends) = journal_bytes();
         let scan = scan(&bytes, 0).unwrap();
         assert_eq!(scan.frames, chunks());
+        assert_eq!(scan.brownout, vec![false; chunks().len()]);
         assert_eq!(scan.frame_ends, ends);
         assert_eq!(scan.committed_len, bytes.len() as u64);
         assert_eq!(scan.torn_bytes, 0);
+    }
+
+    #[test]
+    fn brownout_flag_round_trips_without_disturbing_requests() {
+        let all = chunks();
+        let flags = [false, true, true, false];
+        let mut bytes = Vec::new();
+        for (chunk, &flag) in all.iter().zip(&flags) {
+            bytes.extend_from_slice(&encode_frame(chunk, flag));
+        }
+        let scanned = scan(&bytes, 0).unwrap();
+        assert_eq!(scanned.frames, all);
+        assert_eq!(scanned.brownout, flags.to_vec());
+        // The flag lives in the count word only: a flagged frame's
+        // requests decode identically to the unflagged encoding's.
+        let plain = encode_frame(&all[0], false);
+        let flagged = encode_frame(&all[0], true);
+        assert_ne!(plain, flagged);
+        assert_eq!(plain.len(), flagged.len());
     }
 
     #[test]

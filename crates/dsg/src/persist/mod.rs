@@ -21,10 +21,14 @@
 //! * `journal.wal` — the append-only write-ahead journal. Each drained
 //!   request chunk is one *frame*: `[len: u32 LE][crc: u32 LE][payload]`,
 //!   where `crc` is the CRC-32 (IEEE) of the payload and the payload is
-//!   the chunk's requests in submission order. Frames are appended and
-//!   fsynced (per [`PersistConfig::fsync_every`]) **before** the engine
-//!   applies the chunk — classic WAL ordering, so an acknowledged request
-//!   is always on disk.
+//!   the chunk's requests in submission order, prefixed by a count word.
+//!   The count word's high bit records whether the chunk was served under
+//!   a **brownout** verdict (overload degradation, PR 9), so crash replay
+//!   degrades the admission gate identically; counts are far below 2³¹,
+//!   and pre-brownout journals decode with the flag unset. Frames are
+//!   appended and fsynced (per [`PersistConfig::fsync_every`]) **before**
+//!   the engine applies the chunk — classic WAL ordering, so an
+//!   acknowledged request is always on disk.
 //! * `snap-<seq>.img` — snapshot checkpoints: a full serialized engine
 //!   image ([`EngineImage`]) behind a CRC-checked wrapper. Snapshots are
 //!   cut at epoch boundaries (the `EpochPhase::Idle` quiescent point), on

@@ -85,6 +85,10 @@ pub struct Recovered {
     pub replay_offset: u64,
     /// The journal suffix to replay, one chunk per complete frame.
     pub frames: Vec<Vec<Request>>,
+    /// Whether each replay frame (parallel to
+    /// [`frames`](Recovered::frames)) was journaled under a brownout
+    /// verdict; replay must serve it degraded the same way.
+    pub brownout: Vec<bool>,
     /// Torn bytes truncated off the journal tail (0 on a clean shutdown).
     pub torn_bytes_truncated: u64,
     /// `true` if the manifest-bound snapshot was damaged and recovery fell
@@ -244,6 +248,7 @@ impl DurableStore {
             snapshot_bytes,
             replay_offset,
             frames: scanned.frames,
+            brownout: scanned.brownout,
             torn_bytes_truncated: scanned.torn_bytes,
             fell_back,
         };
@@ -273,7 +278,9 @@ impl DurableStore {
 
     /// Appends one request chunk as a journal frame and fsyncs per the
     /// configured [`PersistConfig::fsync_every`] cadence. Called **before**
-    /// the engine applies the chunk.
+    /// the engine applies the chunk. `brownout` records whether the chunk
+    /// will be served under a brownout verdict, so crash replay degrades
+    /// it identically.
     ///
     /// On error the file may hold a partial frame; the caller must
     /// [`rollback`](DurableStore::rollback) (and treat a rollback failure
@@ -286,13 +293,13 @@ impl DurableStore {
     /// [`PersistError::Io`] on write/fsync failure. Appending before the
     /// initial checkpoint exists is a bug and reports itself as a typed
     /// corruption error rather than a panic.
-    pub fn append_chunk(&mut self, chunk: &[Request]) -> Result<(), PersistError> {
+    pub fn append_chunk(&mut self, chunk: &[Request], brownout: bool) -> Result<(), PersistError> {
         if self.seq == 0 {
             return Err(PersistError::CorruptManifest {
                 detail: "append before the initial checkpoint".to_string(),
             });
         }
-        let frame = encode_frame(chunk);
+        let frame = encode_frame(chunk, brownout);
         self.journal
             .write_all(&frame[..8])
             .map_err(|e| PersistError::io("append a journal frame header", e))?;
@@ -482,12 +489,12 @@ mod tests {
         let (mut store, recovered) = DurableStore::open(&dir, PersistConfig::default()).unwrap();
         assert!(recovered.is_none());
         // Appends before the initial checkpoint are refused.
-        assert!(store.append_chunk(&[Request::Tick(1)]).is_err());
+        assert!(store.append_chunk(&[Request::Tick(1)], false).is_err());
         store.checkpoint(&tiny_image(0)).unwrap();
         store
-            .append_chunk(&[Request::Communicate { u: 1, v: 2 }])
+            .append_chunk(&[Request::Communicate { u: 1, v: 2 }], false)
             .unwrap();
-        store.append_chunk(&[Request::Tick(5)]).unwrap();
+        store.append_chunk(&[Request::Tick(5)], false).unwrap();
         drop(store);
 
         let (store, recovered) = DurableStore::open(&dir, PersistConfig::default()).unwrap();
@@ -512,16 +519,16 @@ mod tests {
         let dir = temp_store_dir();
         let (mut store, _) = DurableStore::open(&dir, PersistConfig::default()).unwrap();
         store.checkpoint(&tiny_image(0)).unwrap();
-        store.append_chunk(&[Request::Tick(1)]).unwrap();
+        store.append_chunk(&[Request::Tick(1)], false).unwrap();
         store.checkpoint(&tiny_image(1)).unwrap();
-        store.append_chunk(&[Request::Tick(2)]).unwrap();
+        store.append_chunk(&[Request::Tick(2)], false).unwrap();
         store.checkpoint(&tiny_image(2)).unwrap();
         // Snapshots 3 and 2 remain; 1 was pruned.
         assert!(dir.join("snap-3.img").exists());
         assert!(dir.join("snap-2.img").exists());
         assert!(!dir.join("snap-1.img").exists());
         let offset = store.journal_len();
-        store.append_chunk(&[Request::Tick(3)]).unwrap();
+        store.append_chunk(&[Request::Tick(3)], false).unwrap();
         drop(store);
 
         let (_store, recovered) = DurableStore::open(&dir, PersistConfig::default()).unwrap();
@@ -547,9 +554,9 @@ mod tests {
         let dir = temp_store_dir();
         let (mut store, _) = DurableStore::open(&dir, PersistConfig::default()).unwrap();
         store.checkpoint(&tiny_image(0)).unwrap();
-        store.append_chunk(&[Request::Tick(1)]).unwrap();
+        store.append_chunk(&[Request::Tick(1)], false).unwrap();
         store.checkpoint(&tiny_image(1)).unwrap();
-        store.append_chunk(&[Request::Tick(2)]).unwrap();
+        store.append_chunk(&[Request::Tick(2)], false).unwrap();
         drop(store);
 
         // Flip a payload bit in the newest snapshot.
@@ -577,13 +584,13 @@ mod tests {
         let dir = temp_store_dir();
         let (mut store, _) = DurableStore::open(&dir, PersistConfig::default()).unwrap();
         store.checkpoint(&tiny_image(0)).unwrap();
-        store.append_chunk(&[Request::Tick(1)]).unwrap();
+        store.append_chunk(&[Request::Tick(1)], false).unwrap();
         let committed = store.journal_len();
 
         let _guard = failpoint::exclusive();
         failpoint::arm(failpoint::IO_APPEND, 1);
         let torn = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            store.append_chunk(&[Request::Tick(2)])
+            store.append_chunk(&[Request::Tick(2)], false)
         }));
         failpoint::disarm_all();
         assert!(torn.is_err(), "the armed fail point must fire");
@@ -595,7 +602,7 @@ mod tests {
             committed
         );
         // The journal is clean again and appendable.
-        store.append_chunk(&[Request::Tick(3)]).unwrap();
+        store.append_chunk(&[Request::Tick(3)], false).unwrap();
         drop(store);
         let scanned = read_journal(&dir).unwrap();
         assert_eq!(
@@ -623,7 +630,7 @@ mod tests {
         let dir = temp_store_dir();
         let (mut store, _) = DurableStore::open(&dir, PersistConfig::default()).unwrap();
         store.checkpoint(&tiny_image(0)).unwrap();
-        store.append_chunk(&[Request::Tick(1)]).unwrap();
+        store.append_chunk(&[Request::Tick(1)], false).unwrap();
         let committed = store.journal_len();
         drop(store);
         // Simulate a crash mid-append: half a frame of garbage-free bytes.

@@ -53,6 +53,18 @@ pub struct GateCounters {
     pub sketch_aging_passes: u64,
 }
 
+/// The admission signals of one cluster, collected before judging so the
+/// whole epoch can be judged at once ([`AdmissionGate::judge`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterSignal {
+    /// The cluster's member heat (see the [module docs](self)).
+    pub max_estimate: u32,
+    /// Sketch estimate of the cluster's merged `l_α` prefix.
+    pub subtree_demand: u64,
+    /// Peers the cluster's rebuild would touch.
+    pub subtree_size: u64,
+}
+
 /// The admission gate for a single epoch. See the [module docs](self).
 #[derive(Debug)]
 pub struct AdmissionGate {
@@ -70,19 +82,24 @@ impl AdmissionGate {
         }
     }
 
-    /// Judges one cluster. `max_estimate` is the cluster's member heat
-    /// (see the [module docs](self)); `subtree_demand` is the sketch
-    /// estimate of the cluster's merged `l_α` prefix and `subtree_size`
-    /// the number of peers its rebuild would touch — the cluster is also
-    /// hot when `subtree_demand ≥ threshold × subtree_size`.
+    /// Judges one cluster in isolation (the streaming first-come-first-
+    /// served rule). `max_estimate` is the cluster's member heat (see the
+    /// [module docs](self)); `subtree_demand` is the sketch estimate of
+    /// the cluster's merged `l_α` prefix and `subtree_size` the number of
+    /// peers its rebuild would touch — the cluster is also hot when
+    /// `subtree_demand ≥ threshold × subtree_size`.
+    ///
+    /// The engine judges whole epochs through [`judge`](Self::judge)
+    /// instead, which spends the budget hottest-first; `decide` remains
+    /// the single-cluster building block (and the two agree whenever an
+    /// epoch has at most one cold cluster).
     pub fn decide(
         &mut self,
         max_estimate: u32,
         subtree_demand: u64,
         subtree_size: u64,
     ) -> Admission {
-        let amortized = subtree_demand >= u64::from(self.threshold).saturating_mul(subtree_size);
-        if amortized || max_estimate >= self.threshold {
+        if self.is_hot(max_estimate, subtree_demand, subtree_size) {
             Admission::Hot
         } else if self.budget_remaining > 0 {
             self.budget_remaining -= 1;
@@ -90,6 +107,50 @@ impl AdmissionGate {
         } else {
             Admission::Gated
         }
+    }
+
+    fn is_hot(&self, max_estimate: u32, subtree_demand: u64, subtree_size: u64) -> bool {
+        let amortized = subtree_demand >= u64::from(self.threshold).saturating_mul(subtree_size);
+        amortized || max_estimate >= self.threshold
+    }
+
+    /// Judges a whole epoch at once, returning one verdict per signal
+    /// (same order). Hot clusters are judged first; the restructure
+    /// budget is then spent on the *hottest* cold clusters — descending
+    /// `max_estimate`, ties broken by cluster index (submission order) —
+    /// instead of first-come-first-served, so a budget slot is never
+    /// wasted on a cluster colder than one later in the same epoch.
+    ///
+    /// Under `brownout` the gate degrades to route-only verdicts for all
+    /// cold traffic: the budget and the subtree-amortization signal are
+    /// suspended, and only member-heat-hot clusters restructure — the
+    /// bounded-latency mode the service's overload controller forces
+    /// while queue sojourn is above target.
+    pub fn judge(&mut self, signals: &[ClusterSignal], brownout: bool) -> Vec<Admission> {
+        let mut verdicts = vec![Admission::Gated; signals.len()];
+        let mut cold: Vec<usize> = Vec::new();
+        for (i, s) in signals.iter().enumerate() {
+            let hot = if brownout {
+                s.max_estimate >= self.threshold
+            } else {
+                self.is_hot(s.max_estimate, s.subtree_demand, s.subtree_size)
+            };
+            if hot {
+                verdicts[i] = Admission::Hot;
+            } else {
+                cold.push(i);
+            }
+        }
+        if !brownout && self.budget_remaining > 0 {
+            // Stable sort: descending heat, ties keep ascending index.
+            cold.sort_by_key(|&i| std::cmp::Reverse(signals[i].max_estimate));
+            let spend = cold.len().min(self.budget_remaining as usize);
+            for &i in cold.iter().take(spend) {
+                verdicts[i] = Admission::Budgeted;
+            }
+            self.budget_remaining -= spend as u32;
+        }
+        verdicts
     }
 }
 
@@ -124,6 +185,72 @@ mod tests {
     fn zero_threshold_admits_everything() {
         let mut gate = AdmissionGate::new(0, 0);
         assert_eq!(gate.decide(0, 0, 1 << 20), Admission::Hot);
+    }
+
+    fn signal(max_estimate: u32) -> ClusterSignal {
+        let (subtree_demand, subtree_size) = COLD_TREE;
+        ClusterSignal {
+            max_estimate,
+            subtree_demand,
+            subtree_size,
+        }
+    }
+
+    #[test]
+    fn budget_is_spent_hottest_first_not_fcfs() {
+        // Threshold 5, budget 1: three cold clusters with estimates
+        // 1, 3, 2 — FCFS would admit index 0; hottest-first must admit
+        // index 1 and gate the rest.
+        let mut gate = AdmissionGate::new(5, 1);
+        let verdicts = gate.judge(&[signal(1), signal(3), signal(2)], false);
+        assert_eq!(
+            verdicts,
+            vec![Admission::Gated, Admission::Budgeted, Admission::Gated]
+        );
+        // The budget is spent: a second epoch-judgement on the same gate
+        // admits nothing cold.
+        assert_eq!(gate.judge(&[signal(4)], false), vec![Admission::Gated]);
+    }
+
+    #[test]
+    fn budget_ties_break_by_submission_order() {
+        let mut gate = AdmissionGate::new(5, 1);
+        let verdicts = gate.judge(&[signal(2), signal(2)], false);
+        assert_eq!(verdicts, vec![Admission::Budgeted, Admission::Gated]);
+    }
+
+    #[test]
+    fn judge_admits_hot_clusters_without_spending_budget() {
+        let mut gate = AdmissionGate::new(2, 2);
+        let verdicts = gate.judge(&[signal(5), signal(1), signal(0), signal(3)], false);
+        assert_eq!(
+            verdicts,
+            vec![
+                Admission::Hot,
+                Admission::Budgeted,
+                Admission::Budgeted,
+                Admission::Hot
+            ]
+        );
+    }
+
+    #[test]
+    fn brownout_suspends_budget_and_amortization() {
+        // A generous budget and an amortized-hot subtree: under brownout
+        // neither admits — only member heat does.
+        let mut gate = AdmissionGate::new(2, 8);
+        let amortized_hot = ClusterSignal {
+            max_estimate: 1,
+            subtree_demand: 64,
+            subtree_size: 16,
+        };
+        let verdicts = gate.judge(&[signal(1), amortized_hot, signal(3)], true);
+        assert_eq!(
+            verdicts,
+            vec![Admission::Gated, Admission::Gated, Admission::Hot]
+        );
+        // The budget was not touched by the brownout epoch.
+        assert_eq!(gate.judge(&[signal(0)], false), vec![Admission::Budgeted]);
     }
 
     #[test]

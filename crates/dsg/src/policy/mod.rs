@@ -74,5 +74,5 @@
 pub mod admission;
 pub mod sketch;
 
-pub use admission::{Admission, AdmissionGate, GateCounters};
+pub use admission::{Admission, AdmissionGate, ClusterSignal, GateCounters};
 pub use sketch::{FreqSketch, SketchImage, SKETCH_ROWS, SKETCH_WIDTH};

@@ -82,6 +82,29 @@
 //! and counted, and the store keeps serving under the previous manifest
 //! binding.
 //!
+//! # Overload model
+//!
+//! With [`ServiceConfig::overload`] set, a CoDel-style controller (see
+//! [`overload`](crate::overload)) watches the queue sojourn of every
+//! drained request and degrades service in two typed, observable steps
+//! instead of letting latency grow without bound: **brownout** — chunks
+//! are served with the admission gate degraded to route-only verdicts for
+//! cold traffic, and the verdict is journaled inside each WAL frame so
+//! crash replay stays bit-identical — and **shedding** — new submissions
+//! are refused with [`SubmitError::Shed`] and a retry-after hint, over
+//! which [`submit_retry`](DsgService::submit_retry) backs off with
+//! jittered exponential delays. Submissions may carry a deadline
+//! ([`submit_with_deadline`](DsgService::submit_with_deadline)); a
+//! request whose deadline expired while queued is shed at drain time,
+//! *before* the journal and the engine pay for it, resolving its ticket
+//! with [`DsgError::DeadlineExceeded`]. The ingest loop stamps a
+//! per-stage heartbeat, and a watchdog thread reports a stage stuck
+//! longer than [`OverloadConfig::stall_after`] through
+//! [`DsgObserver::on_stall`](crate::DsgObserver::on_stall) — so a hang is
+//! an *event*, not a silently blocked producer. With the config unset
+//! (the default) none of this machinery runs and the service behaves
+//! bit-identically to the overload-unaware service.
+//!
 //! # Threading model
 //!
 //! One ingest thread owns the session; producers only touch the bounded
@@ -118,7 +141,7 @@ use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -127,7 +150,8 @@ use dsg_skipgraph::failpoint;
 
 use crate::dsg::{DynamicSkipGraph, EpochPhase, RecoveryReport};
 use crate::error::DsgError;
-use crate::observer::AuditEvent;
+use crate::observer::{AuditEvent, OverloadEvent, SharedObserver, StallEvent};
+use crate::overload::{OverloadConfig, OverloadController, OverloadTransition, RetryPolicy};
 use crate::persist::{read_journal_from, DurableStore, PersistConfig, PersistError};
 use crate::request::Request;
 use crate::session::{DsgBuilder, DsgSession, SubmitOutcome};
@@ -172,6 +196,11 @@ pub struct ServiceConfig {
     /// [`spawn`](DsgService::spawn) refuses the combination so a
     /// configured journal can never be silently dropped.
     pub persist: Option<PersistConfig>,
+    /// Overload-control tuning (sojourn controller, brownout, shedding,
+    /// and the stall watchdog). `None` (the default) disables the layer
+    /// entirely — no controller, no watchdog thread, behaviour
+    /// bit-identical to the overload-unaware service.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -183,7 +212,16 @@ impl Default for ServiceConfig {
             record_journal: false,
             shutdown: ShutdownPolicy::Drain,
             persist: None,
+            overload: None,
         }
+    }
+}
+
+impl ServiceConfig {
+    /// Returns the config with overload control enabled under `overload`.
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = Some(overload);
+        self
     }
 }
 
@@ -202,6 +240,15 @@ pub enum SubmitError {
     /// The engine is poisoned by an apply-stage fault;
     /// [`recover`](DsgService::recover) first.
     Poisoned,
+    /// The overload controller is shedding: the queue sojourn exceeded
+    /// [`OverloadConfig::shed_target`], so admitting more work would only
+    /// let it expire unserved. Retry after the hint (or use
+    /// [`submit_retry`](DsgService::submit_retry), which backs off over
+    /// this automatically).
+    Shed {
+        /// How long the service suggests waiting before retrying.
+        retry_after: Duration,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -214,6 +261,12 @@ impl std::fmt::Display for SubmitError {
                 write!(
                     f,
                     "the engine is poisoned by an apply-stage fault; recover() first"
+                )
+            }
+            SubmitError::Shed { retry_after } => {
+                write!(
+                    f,
+                    "the service is shedding load; retry in {retry_after:?} or later"
                 )
             }
         }
@@ -260,6 +313,23 @@ pub struct ServiceMetrics {
     /// tickets resolved with [`DsgError::Persist`]; the engine never saw
     /// it).
     pub append_aborts: u64,
+    /// Submissions refused with [`SubmitError::Shed`] while the overload
+    /// controller was shedding.
+    pub shed_submits: u64,
+    /// Queued requests shed at drain time because their deadline expired
+    /// (tickets resolved with [`DsgError::DeadlineExceeded`]; neither the
+    /// journal nor the engine paid for them).
+    pub deadline_shed: u64,
+    /// Drained chunks served under a brownout verdict.
+    pub brownout_chunks: u64,
+    /// Requests routed without restructuring under brownout.
+    pub pairs_browned_out: u64,
+    /// Times the controller entered brownout from nominal.
+    pub brownout_entries: u64,
+    /// Times the controller exited brownout back to nominal.
+    pub brownout_exits: u64,
+    /// Stall episodes the watchdog reported (one per stuck heartbeat).
+    pub stalls: u64,
 }
 
 /// The session and bookkeeping handed back by
@@ -340,6 +410,28 @@ pub struct ServiceStatus {
     pub restructures_budgeted: u64,
     /// Frequency-sketch counter-halving passes run so far.
     pub sketch_aging_passes: u64,
+    /// Whether the overload controller is currently refusing submissions
+    /// with [`SubmitError::Shed`].
+    pub shedding: bool,
+    /// Whether chunks are currently served under a brownout verdict.
+    pub brownout: bool,
+    /// Submissions refused with [`SubmitError::Shed`] so far.
+    pub shed_submits: u64,
+    /// Queued requests shed at drain time for an expired deadline.
+    pub deadline_shed: u64,
+    /// Drained chunks served under a brownout verdict.
+    pub brownout_chunks: u64,
+    /// Requests routed without restructuring under brownout.
+    pub pairs_browned_out: u64,
+    /// Stall episodes the watchdog reported.
+    pub stalls: u64,
+    /// Median queue sojourn of drained requests, as the upper bound of
+    /// the matching power-of-two histogram bucket, in microseconds (0
+    /// with no drained requests yet).
+    pub sojourn_p50_us: u64,
+    /// 99th-percentile queue sojourn, bucketed like
+    /// [`sojourn_p50_us`](ServiceStatus::sojourn_p50_us).
+    pub sojourn_p99_us: u64,
     /// Durable journal length in bytes (0 without persistence).
     pub journal_bytes: u64,
     /// Seq of the current manifest-bound snapshot (0 without persistence).
@@ -414,6 +506,11 @@ impl Ticket {
 
     /// Blocks until the request resolves or the timeout elapses; `None`
     /// on timeout (the ticket stays valid and can be waited on again).
+    ///
+    /// A shed request still *resolves* — a deadline-expired submission's
+    /// ticket carries [`DsgError::DeadlineExceeded`] the moment it is
+    /// shed, so the waiter gets the typed error rather than sitting out
+    /// its full timeout (`tests/service.rs` pins this).
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<SubmitOutcome, DsgError>> {
         let deadline = Instant::now() + timeout;
         let mut slot = self.cell.slot.lock().expect("ticket lock");
@@ -439,6 +536,11 @@ impl Ticket {
 struct Item {
     request: Request,
     ticket: Arc<TicketCell>,
+    /// When the request was accepted onto the queue (sojourn clock).
+    enqueued_at: Instant,
+    /// Absolute deadline, if the submission carried one; an expired item
+    /// is shed at drain time instead of being served.
+    deadline: Option<Instant>,
 }
 
 /// Control messages bypass the queue capacity so a wedged (full or
@@ -488,12 +590,50 @@ struct QueueState {
     poisoned: bool,
 }
 
+/// Buckets of the power-of-two sojourn histogram: bucket `i` counts
+/// drained requests whose queue sojourn was in `[2^i, 2^(i+1))`
+/// microseconds (the last bucket absorbs everything above ~35 minutes).
+const SOJOURN_BUCKETS: usize = 32;
+
+/// Heartbeat stage names, indexed by `Shared::heartbeat_stage`.
+const STAGES: [&str; 6] = ["idle", "drain", "journal", "engine", "audit", "checkpoint"];
+const STAGE_IDLE: usize = 0;
+const STAGE_DRAIN: usize = 1;
+const STAGE_JOURNAL: usize = 2;
+const STAGE_ENGINE: usize = 3;
+const STAGE_AUDIT: usize = 4;
+const STAGE_CHECKPOINT: usize = 5;
+
 struct Shared {
     queue: Mutex<QueueState>,
     /// Producers wait here for queue space.
     not_full: Condvar,
     /// The ingest thread waits here for work.
     not_empty: Condvar,
+    /// Epoch of the service's monotonic clock: heartbeat stamps and the
+    /// controller's window timestamps are nanoseconds since this instant.
+    start: Instant,
+    /// Whether [`DsgService::submit`] currently refuses with
+    /// [`SubmitError::Shed`]. Written by the ingest thread on controller
+    /// transitions; read by producers without the queue lock (admission
+    /// under shedding is advisory, not serialized).
+    shedding: AtomicBool,
+    /// Whether drained chunks are currently served under brownout.
+    brownout: AtomicBool,
+    /// Nanoseconds since `start` at the ingest loop's last stage change.
+    heartbeat_ns: AtomicU64,
+    /// Index into [`STAGES`] of the stage the ingest loop last entered.
+    heartbeat_stage: AtomicUsize,
+    /// Tells the watchdog thread to exit.
+    watchdog_stop: AtomicBool,
+    sojourn_hist: [AtomicU64; SOJOURN_BUCKETS],
+    shed_submits: AtomicU64,
+    deadline_shed: AtomicU64,
+    brownout_chunks: AtomicU64,
+    pairs_browned_out: AtomicU64,
+    brownout_entries: AtomicU64,
+    brownout_exits: AtomicU64,
+    stalls: AtomicU64,
     submitted: AtomicU64,
     rejected_overload: AtomicU64,
     submit_timeouts: AtomicU64,
@@ -531,6 +671,20 @@ impl Shared {
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
+            start: Instant::now(),
+            shedding: AtomicBool::new(false),
+            brownout: AtomicBool::new(false),
+            heartbeat_ns: AtomicU64::new(0),
+            heartbeat_stage: AtomicUsize::new(STAGE_IDLE),
+            watchdog_stop: AtomicBool::new(false),
+            sojourn_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            shed_submits: AtomicU64::new(0),
+            deadline_shed: AtomicU64::new(0),
+            brownout_chunks: AtomicU64::new(0),
+            pairs_browned_out: AtomicU64::new(0),
+            brownout_entries: AtomicU64::new(0),
+            brownout_exits: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
             rejected_overload: AtomicU64::new(0),
             submit_timeouts: AtomicU64::new(0),
@@ -572,7 +726,48 @@ impl Shared {
             snapshots: self.snapshots.load(Ordering::Relaxed),
             snapshot_failures: self.snapshot_failures.load(Ordering::Relaxed),
             append_aborts: self.append_aborts.load(Ordering::Relaxed),
+            shed_submits: self.shed_submits.load(Ordering::Relaxed),
+            deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
+            brownout_chunks: self.brownout_chunks.load(Ordering::Relaxed),
+            pairs_browned_out: self.pairs_browned_out.load(Ordering::Relaxed),
+            brownout_entries: self.brownout_entries.load(Ordering::Relaxed),
+            brownout_exits: self.brownout_exits.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
         }
+    }
+
+    /// Nanoseconds since the service's clock epoch.
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn record_sojourn_us(&self, us: u64) {
+        let bucket = ((us | 1).ilog2() as usize).min(SOJOURN_BUCKETS - 1);
+        self.sojourn_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `p`-quantile (`0..=100`) of the sojourn histogram, reported as
+    /// the upper bound of the matching bucket in microseconds (0 with no
+    /// samples).
+    fn sojourn_quantile_us(&self, p: u64) -> u64 {
+        let counts: Vec<u64> = self
+            .sojourn_hist
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (total * p).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 2u64.saturating_pow(i as u32 + 1).saturating_sub(1);
+            }
+        }
+        u64::MAX
     }
 }
 
@@ -589,6 +784,8 @@ pub struct DsgService {
     /// the frames *this* instance appended begin here.
     base_offset: u64,
     handle: Option<JoinHandle<WorkerOutput>>,
+    /// The stall watchdog thread, when overload control is configured.
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for DsgService {
@@ -680,9 +877,12 @@ impl DsgService {
                 let engine = DynamicSkipGraph::restore_image(&rec.image)?;
                 let mut session = builder.build_recovered(engine);
                 let mut requests_replayed = 0u64;
-                for frame in &rec.frames {
+                for (frame, &brownout) in rec.frames.iter().zip(&rec.brownout) {
                     requests_replayed += frame.len() as u64;
-                    session.submit_batch(frame)?;
+                    // Replay each chunk under the degradation verdict it
+                    // was journaled with, so the recovered structure is
+                    // bit-identical to the pre-crash one.
+                    session.submit_batch_degraded(frame, brownout)?;
                 }
                 session.engine().validate()?;
                 let report = OpenReport {
@@ -739,6 +939,17 @@ impl DsgService {
         // a recovery replay does not immediately trigger a deep audit or a
         // snapshot.
         let epochs = session.epochs();
+        // The watchdog keeps its own observer handles so it can report a
+        // stall while the ingest thread (which owns the session) is the
+        // very thing that is stuck.
+        let watchdog = config.overload.map(|overload| {
+            let shared = Arc::clone(&shared);
+            let observers = session.observer_handles();
+            std::thread::Builder::new()
+                .name("dsg-service-watchdog".to_string())
+                .spawn(move || watchdog_loop(&shared, &observers, overload.stall_after))
+                .expect("spawning the watchdog thread")
+        });
         let worker = Worker {
             session,
             shared: Arc::clone(&shared),
@@ -747,6 +958,7 @@ impl DsgService {
             epochs_at_last_deep: epochs,
             epochs_at_last_snapshot: epochs,
             store,
+            overload: config.overload.map(|o| OverloadController::new(&o)),
         };
         let handle = std::thread::Builder::new()
             .name("dsg-service-ingest".to_string())
@@ -758,6 +970,7 @@ impl DsgService {
             persist_dir,
             base_offset,
             handle: Some(handle),
+            watchdog,
         }
     }
 
@@ -766,17 +979,81 @@ impl DsgService {
     /// # Errors
     ///
     /// [`SubmitError::Overloaded`] when the queue is full,
+    /// [`SubmitError::Shed`] while the overload controller is shedding,
     /// [`SubmitError::ShuttingDown`] after shutdown began,
     /// [`SubmitError::Poisoned`] while the engine is poisoned.
     pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
+        self.submit_inner(request, None)
+    }
+
+    /// Submits a request carrying a completion **deadline**: if it is
+    /// still queued once `budget` has elapsed, it is shed at drain time —
+    /// before the journal and the engine pay for it — and its ticket
+    /// resolves with [`DsgError::DeadlineExceeded`] (the request was never
+    /// served and can be resubmitted). Queue admission itself is
+    /// non-blocking, exactly like [`submit`](Self::submit); the deadline
+    /// governs the *queued* request, not the admission call.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit).
+    pub fn submit_with_deadline(
+        &self,
+        request: Request,
+        budget: Duration,
+    ) -> Result<Ticket, SubmitError> {
+        self.submit_inner(request, Some(Instant::now() + budget))
+    }
+
+    fn submit_inner(
+        &self,
+        request: Request,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, SubmitError> {
         let mut q = self.shared.queue.lock().expect("queue lock");
-        self.admit(&mut q, request).inspect_err(|&e| {
+        self.admit(&mut q, request, deadline).inspect_err(|&e| {
             if e == SubmitError::Overloaded {
                 self.shared
                     .rejected_overload
                     .fetch_add(1, Ordering::Relaxed);
             }
         })
+    }
+
+    /// Submits with producer-side backoff over the typed refusals: on
+    /// [`SubmitError::Overloaded`] or [`SubmitError::Shed`] the call
+    /// sleeps per `policy` — jittered exponential delays, floored at the
+    /// shed refusal's retry-after hint — and tries again, up to
+    /// [`RetryPolicy::attempts`] total attempts.
+    ///
+    /// # Errors
+    ///
+    /// The last refusal once the attempts are exhausted; any
+    /// non-retryable refusal ([`SubmitError::ShuttingDown`],
+    /// [`SubmitError::Poisoned`]) immediately.
+    pub fn submit_retry(
+        &self,
+        request: Request,
+        policy: &RetryPolicy,
+    ) -> Result<Ticket, SubmitError> {
+        let attempts = policy.attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            let refusal = match self.submit(request) {
+                Ok(ticket) => return Ok(ticket),
+                Err(e @ (SubmitError::Overloaded | SubmitError::Shed { .. })) => e,
+                Err(other) => return Err(other),
+            };
+            attempt += 1;
+            if attempt >= attempts {
+                return Err(refusal);
+            }
+            let hint = match refusal {
+                SubmitError::Shed { retry_after } => Some(retry_after),
+                _ => None,
+            };
+            std::thread::sleep(policy.backoff(attempt - 1, hint));
+        }
     }
 
     /// Submits a request, blocking for queue space up to `timeout`.
@@ -795,7 +1072,7 @@ impl DsgService {
         let deadline = Instant::now() + timeout;
         let mut q = self.shared.queue.lock().expect("queue lock");
         loop {
-            match self.admit(&mut q, request) {
+            match self.admit(&mut q, request, None) {
                 Err(SubmitError::Overloaded) => {}
                 resolved => return resolved,
             }
@@ -815,12 +1092,22 @@ impl DsgService {
 
     /// Queue admission under the lock: typed rejection or an enqueued
     /// ticket.
-    fn admit(&self, q: &mut QueueState, request: Request) -> Result<Ticket, SubmitError> {
+    fn admit(
+        &self,
+        q: &mut QueueState,
+        request: Request,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, SubmitError> {
         if q.closed {
             return Err(SubmitError::ShuttingDown);
         }
         if q.poisoned {
             return Err(SubmitError::Poisoned);
+        }
+        if self.shared.shedding.load(Ordering::Relaxed) {
+            self.shared.shed_submits.fetch_add(1, Ordering::Relaxed);
+            let retry_after = self.config.overload.map_or(Duration::ZERO, |o| o.retry_after);
+            return Err(SubmitError::Shed { retry_after });
         }
         if q.items.len() >= self.config.queue_capacity {
             return Err(SubmitError::Overloaded);
@@ -829,6 +1116,8 @@ impl DsgService {
         q.items.push_back(Item {
             request,
             ticket: Arc::clone(&cell),
+            enqueued_at: Instant::now(),
+            deadline,
         });
         self.shared
             .max_queue_depth
@@ -867,6 +1156,15 @@ impl DsgService {
             pairs_gated: self.shared.pairs_gated.load(Ordering::Relaxed),
             restructures_budgeted: self.shared.restructures_budgeted.load(Ordering::Relaxed),
             sketch_aging_passes: self.shared.sketch_aging_passes.load(Ordering::Relaxed),
+            shedding: self.shared.shedding.load(Ordering::Relaxed),
+            brownout: self.shared.brownout.load(Ordering::Relaxed),
+            shed_submits: self.shared.shed_submits.load(Ordering::Relaxed),
+            deadline_shed: self.shared.deadline_shed.load(Ordering::Relaxed),
+            brownout_chunks: self.shared.brownout_chunks.load(Ordering::Relaxed),
+            pairs_browned_out: self.shared.pairs_browned_out.load(Ordering::Relaxed),
+            stalls: self.shared.stalls.load(Ordering::Relaxed),
+            sojourn_p50_us: self.shared.sojourn_quantile_us(50),
+            sojourn_p99_us: self.shared.sojourn_quantile_us(99),
             journal_bytes: self.shared.journal_bytes.load(Ordering::Relaxed),
             snapshot_seq: self.shared.snapshot_seq.load(Ordering::Relaxed),
             snapshot_offset: self.shared.snapshot_offset.load(Ordering::Relaxed),
@@ -947,6 +1245,7 @@ impl DsgService {
     /// joins the ingest thread. `None` if already joined.
     fn close_and_join(&mut self) -> Option<WorkerOutput> {
         let handle = self.handle.take()?;
+        self.shared.watchdog_stop.store(true, Ordering::Release);
         let aborted: Vec<Item> = {
             let mut q = self.shared.queue.lock().expect("queue lock");
             q.closed = true;
@@ -960,6 +1259,9 @@ impl DsgService {
         };
         for item in aborted {
             item.ticket.resolve(Err(DsgError::ShuttingDown));
+        }
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
         }
         match handle.join() {
             Ok(out) => Some(out),
@@ -987,6 +1289,8 @@ struct Worker {
     /// The durable store, when the service was opened with persistence.
     /// Single-owner: only this thread touches it.
     store: Option<DurableStore>,
+    /// The sojourn controller, when overload control is configured.
+    overload: Option<OverloadController>,
 }
 
 enum WorkUnit {
@@ -1016,7 +1320,7 @@ impl Worker {
 
     /// Blocks for the next unit of work. Control messages take priority
     /// over queued requests so recovery is never starved by a backlog.
-    fn next_work(&self) -> WorkUnit {
+    fn next_work(&mut self) -> WorkUnit {
         let mut q = self.shared.queue.lock().expect("queue lock");
         loop {
             if let Some(control) = q.control.pop_front() {
@@ -1031,11 +1335,58 @@ impl Worker {
             if q.closed {
                 return WorkUnit::Exit;
             }
+            // An empty queue is definitive evidence against overload:
+            // exit any degradation immediately (outside the queue lock —
+            // observers run user code).
+            if let Some(controller) = self.overload.as_mut() {
+                let now_ns = self.shared.now_ns();
+                if let Some(transition) = controller.note_idle(now_ns) {
+                    drop(q);
+                    self.apply_transition(transition);
+                    q = self.shared.queue.lock().expect("queue lock");
+                    continue;
+                }
+            }
+            self.beat(STAGE_IDLE);
             q = self.shared.not_empty.wait(q).expect("queue lock");
         }
     }
 
+    /// Stamps the ingest heartbeat: the loop entered `stage` now.
+    fn beat(&self, stage: usize) {
+        self.shared
+            .heartbeat_ns
+            .store(self.shared.now_ns(), Ordering::Relaxed);
+        self.shared.heartbeat_stage.store(stage, Ordering::Relaxed);
+    }
+
+    /// Publishes a controller transition: the shedding/brownout flags,
+    /// the entry/exit counters, and the observer event. Blocked
+    /// `submit_deadline` callers are woken so they learn about shedding
+    /// promptly instead of at their timeout.
+    fn apply_transition(&self, transition: OverloadTransition) {
+        let shedding = transition.state.sheds();
+        let brownout = transition.state.brownout();
+        self.shared.shedding.store(shedding, Ordering::Relaxed);
+        let was = self.shared.brownout.swap(brownout, Ordering::Relaxed);
+        if brownout && !was {
+            self.shared.brownout_entries.fetch_add(1, Ordering::Relaxed);
+        } else if !brownout && was {
+            self.shared.brownout_exits.fetch_add(1, Ordering::Relaxed);
+        }
+        if shedding {
+            self.shared.not_full.notify_all();
+        }
+        self.session.notify_overload(&OverloadEvent {
+            epoch: self.session.epochs(),
+            shedding,
+            brownout,
+            min_sojourn_ns: transition.min_sojourn_ns,
+        });
+    }
+
     fn handle_recover(&mut self, reply: &ReplyCell) {
+        self.beat(STAGE_ENGINE);
         let poisoned = self.shared.queue.lock().expect("queue lock").poisoned;
         if !poisoned {
             reply.resolve(Err(DsgError::NotPoisoned));
@@ -1057,9 +1408,11 @@ impl Worker {
         }
     }
 
-    /// Serves one drained run: per-request validation, one guarded
-    /// `submit_batch`, ticket resolution, and the tiered audit.
+    /// Serves one drained run: sojourn accounting and overload
+    /// transitions, deadline shedding, per-request validation, one
+    /// guarded `submit_batch`, ticket resolution, and the tiered audit.
     fn serve(&mut self, items: Vec<Item>) {
+        self.beat(STAGE_DRAIN);
         if self.shared.queue.lock().expect("queue lock").poisoned {
             // Poisoned between drain and serve (failed audit): nothing may
             // touch the engine, but nothing may hang either.
@@ -1069,13 +1422,39 @@ impl Worker {
             return;
         }
 
-        // Per-request validation against the engine's membership, with the
-        // run's own queued membership changes overlaid, so one malformed
-        // request fails one ticket and never the run.
+        // The controller sees every drained request's queue sojourn —
+        // including requests about to be shed — and its verdict for this
+        // chunk is fixed here, before the journal write that records it.
+        let now = Instant::now();
+        let now_ns = self.shared.now_ns();
+        let mut transitions: Vec<OverloadTransition> = Vec::new();
+        for item in &items {
+            let sojourn_ns = now.saturating_duration_since(item.enqueued_at).as_nanos() as u64;
+            self.shared.record_sojourn_us(sojourn_ns / 1_000);
+            if let Some(controller) = self.overload.as_mut() {
+                if let Some(transition) = controller.record_sojourn(now_ns, sojourn_ns) {
+                    transitions.push(transition);
+                }
+            }
+        }
+        for transition in transitions {
+            self.apply_transition(transition);
+        }
+        let brownout = self.overload.as_ref().is_some_and(|c| c.state().brownout());
+
+        // Deadline shedding, then per-request validation against the
+        // engine's membership with the run's own queued membership changes
+        // overlaid — one malformed or expired request fails one ticket and
+        // never the run.
         let mut chunk: Vec<Request> = Vec::with_capacity(items.len());
         let mut tickets: Vec<Arc<TicketCell>> = Vec::with_capacity(items.len());
         let mut membership: HashMap<u64, bool> = HashMap::new();
         for item in items {
+            if item.deadline.is_some_and(|deadline| deadline <= now) {
+                self.shared.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                item.ticket.resolve(Err(DsgError::DeadlineExceeded));
+                continue;
+            }
             match self.validate(&item.request, &mut membership) {
                 Ok(()) => {
                     chunk.push(item.request);
@@ -1088,18 +1467,21 @@ impl Worker {
             return;
         }
 
-        // WAL ordering: the chunk reaches the durable journal (and, per
-        // the fsync cadence, the disk) before the engine ever sees it.
-        if !self.journal_chunk(&chunk, &tickets) {
+        // WAL ordering: the chunk — and its brownout verdict — reaches
+        // the durable journal (and, per the fsync cadence, the disk)
+        // before the engine ever sees it.
+        self.beat(STAGE_JOURNAL);
+        if !self.journal_chunk(&chunk, &tickets, brownout) {
             return;
         }
 
+        self.beat(STAGE_ENGINE);
         let session = &mut self.session;
         let served = panic::catch_unwind(AssertUnwindSafe(|| {
             // Fault-injection site: a panic at the top of the ingest loop
             // must fail this run's tickets and nothing else.
             failpoint::hit(failpoint::INGEST_LOOP);
-            session.submit_batch(&chunk)
+            session.submit_batch_degraded(&chunk, brownout)
         }));
         match served {
             Ok(Ok(batch)) => {
@@ -1120,10 +1502,18 @@ impl Worker {
                 self.shared
                     .sketch_aging_passes
                     .fetch_add(batch.sketch_aging_passes, Ordering::Relaxed);
+                self.shared
+                    .pairs_browned_out
+                    .fetch_add(batch.pairs_browned_out, Ordering::Relaxed);
+                if brownout {
+                    self.shared.brownout_chunks.fetch_add(1, Ordering::Relaxed);
+                }
                 if self.config.record_journal {
                     self.journal.push(chunk);
                 }
+                self.beat(STAGE_AUDIT);
                 self.audit();
+                self.beat(STAGE_CHECKPOINT);
                 self.maybe_checkpoint();
             }
             Ok(Err(err)) => {
@@ -1144,11 +1534,17 @@ impl Worker {
     /// run must not be served — the engine was never called, so nothing
     /// diverged. A rollback failure is the one exception: the journal can
     /// no longer be trusted to match the engine, so the service poisons.
-    fn journal_chunk(&mut self, chunk: &[Request], tickets: &[Arc<TicketCell>]) -> bool {
+    fn journal_chunk(
+        &mut self,
+        chunk: &[Request],
+        tickets: &[Arc<TicketCell>],
+        brownout: bool,
+    ) -> bool {
         let Some(store) = self.store.as_mut() else {
             return true;
         };
-        let appended = panic::catch_unwind(AssertUnwindSafe(|| store.append_chunk(chunk)));
+        let appended =
+            panic::catch_unwind(AssertUnwindSafe(|| store.append_chunk(chunk, brownout)));
         let err = match appended {
             Ok(Ok(())) => {
                 self.shared
@@ -1355,6 +1751,46 @@ impl Worker {
     }
 }
 
+/// The stall watchdog: polls the ingest loop's heartbeat and reports a
+/// busy stage older than `stall_after` through
+/// [`DsgObserver::on_stall`](crate::DsgObserver::on_stall) — once per
+/// stuck heartbeat, and with `try_lock` on each observer, so an observer
+/// mutex held by the wedged ingest thread can never wedge the watchdog
+/// too. An idle ingest loop (waiting for work) is never a stall.
+fn watchdog_loop(shared: &Shared, observers: &[SharedObserver], stall_after: Duration) {
+    let stall_ns = (stall_after.as_nanos() as u64).max(1);
+    let poll = (stall_after / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+    let mut reported: Option<u64> = None;
+    while !shared.watchdog_stop.load(Ordering::Acquire) {
+        std::thread::sleep(poll);
+        let stage = shared.heartbeat_stage.load(Ordering::Relaxed);
+        if stage == STAGE_IDLE {
+            reported = None;
+            continue;
+        }
+        let beat = shared.heartbeat_ns.load(Ordering::Relaxed);
+        let stalled_for = shared.now_ns().saturating_sub(beat);
+        if stalled_for < stall_ns {
+            reported = None;
+            continue;
+        }
+        if reported == Some(beat) {
+            continue;
+        }
+        reported = Some(beat);
+        shared.stalls.fetch_add(1, Ordering::Relaxed);
+        let event = StallEvent {
+            stage: STAGES[stage.min(STAGES.len() - 1)],
+            stalled_for_ns: stalled_for,
+        };
+        for observer in observers {
+            if let Ok(mut observer) = observer.try_lock() {
+                observer.on_stall(&event);
+            }
+        }
+    }
+}
+
 fn payload_message(payload: &(dyn Any + Send)) -> String {
     if let Some(msg) = payload.downcast_ref::<&str>() {
         (*msg).to_string()
@@ -1540,6 +1976,19 @@ mod tests {
         assert_eq!(service.shutdown().unwrap_err(), DsgError::AlreadyShutDown);
         // Dropping the already-shut-down handle must not panic.
         drop(service);
+    }
+
+    #[test]
+    fn sojourn_quantiles_walk_the_histogram() {
+        let shared = Shared::new();
+        assert_eq!(shared.sojourn_quantile_us(99), 0, "no samples yet");
+        for _ in 0..99 {
+            shared.record_sojourn_us(3); // bucket [2, 4)
+        }
+        shared.record_sojourn_us(1000); // bucket [512, 1024)
+        assert_eq!(shared.sojourn_quantile_us(50), 3);
+        assert_eq!(shared.sojourn_quantile_us(99), 3);
+        assert_eq!(shared.sojourn_quantile_us(100), 1023);
     }
 
     #[test]

@@ -379,6 +379,10 @@ pub struct BatchOutcome {
     pub restructures_budgeted: u64,
     /// Frequency-sketch counter-halving passes across the batch.
     pub sketch_aging_passes: u64,
+    /// Requests routed without restructuring under a brownout verdict
+    /// ([`submit_batch_degraded`](DsgSession::submit_batch_degraded) with
+    /// `brownout = true`). 0 outside brownout.
+    pub pairs_browned_out: u64,
 }
 
 impl BatchOutcome {
@@ -460,6 +464,20 @@ impl DsgSession {
     /// Propagates the engine's validation errors. Requests of epochs that
     /// completed before the failing one remain applied.
     pub fn submit_batch(&mut self, requests: &[Request]) -> Result<BatchOutcome> {
+        self.submit_batch_degraded(requests, false)
+    }
+
+    /// [`submit_batch`](Self::submit_batch) with an explicit **brownout**
+    /// verdict, forwarded to every epoch the batch flushes (see
+    /// [`DynamicSkipGraph::communicate_epoch_degraded`]). A durable
+    /// [`DsgService`](crate::service::DsgService) journals the verdict
+    /// per chunk and replays it on recovery, so the flag must cover the
+    /// whole chunk — which is exactly what this entry point does.
+    pub fn submit_batch_degraded(
+        &mut self,
+        requests: &[Request],
+        brownout: bool,
+    ) -> Result<BatchOutcome> {
         let mut batch = BatchOutcome {
             outcomes: Vec::with_capacity(requests.len()),
             ..BatchOutcome::default()
@@ -490,7 +508,7 @@ impl DsgSession {
                 return Ok(());
             }
             let pairs: Vec<(u64, u64)> = pending.iter().map(|&(_, pair)| pair).collect();
-            let report = session.engine.communicate_epoch(&pairs)?;
+            let report = session.engine.communicate_epoch_degraded(&pairs, brownout)?;
             session.record_epoch(&report, pairs.len());
             if adaptive {
                 if report.clusters >= 2 {
@@ -516,6 +534,7 @@ impl DsgSession {
             batch.pairs_gated += report.pairs_gated;
             batch.restructures_budgeted += report.restructures_budgeted;
             batch.sketch_aging_passes += report.sketch_aging_passes;
+            batch.pairs_browned_out += report.pairs_browned_out;
             for (&(index, _), outcome) in pending.iter().zip(report.outcomes) {
                 slots[index] = Some(SubmitOutcome::Communicated(outcome));
             }
@@ -622,6 +641,7 @@ impl DsgSession {
             pairs_gated: report.pairs_gated,
             restructures_budgeted: report.restructures_budgeted,
             sketch_aging_passes: report.sketch_aging_passes,
+            pairs_browned_out: report.pairs_browned_out,
         };
         let repair = BalanceRepairEvent {
             epoch: self.epochs,
@@ -664,6 +684,21 @@ impl DsgSession {
         for observer in &self.observers {
             observer.lock().expect("observer lock").on_audit(event);
         }
+    }
+
+    /// Notifies the observers about an overload-state transition (invoked
+    /// by the [`DsgService`](crate::service::DsgService) ingest loop).
+    pub(crate) fn notify_overload(&self, event: &crate::observer::OverloadEvent) {
+        for observer in &self.observers {
+            observer.lock().expect("observer lock").on_overload(event);
+        }
+    }
+
+    /// Clones the observer handles — the service's stall watchdog keeps a
+    /// set so it can report from its own thread while the ingest thread
+    /// (and with it the session) is wedged.
+    pub(crate) fn observer_handles(&self) -> Vec<SharedObserver> {
+        self.observers.clone()
     }
 
     /// The number of transformation epochs served so far.

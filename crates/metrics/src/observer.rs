@@ -25,7 +25,9 @@
 //! # }
 //! ```
 
-use dsg::{BalanceRepairEvent, DsgObserver, RequestOutcome, TransformEvent};
+use dsg::{
+    BalanceRepairEvent, DsgObserver, OverloadEvent, RequestOutcome, StallEvent, TransformEvent,
+};
 
 /// Records per-request series and epoch counters from session callbacks.
 #[derive(Debug, Clone, Default)]
@@ -80,6 +82,14 @@ pub struct MetricsObserver {
     pub restructures_budgeted: u64,
     /// Frequency-sketch counter-halving passes across all epochs.
     pub sketch_aging_passes: u64,
+    /// Requests routed without restructuring under a brownout verdict
+    /// across all epochs (overload-degraded service only).
+    pub pairs_browned_out: u64,
+    /// Overload-state transitions observed (brownout/shedding entries and
+    /// exits alike).
+    pub overload_transitions: u64,
+    /// Ingest-loop stall episodes the service watchdog reported.
+    pub stalls: u64,
 }
 
 impl MetricsObserver {
@@ -137,6 +147,15 @@ impl DsgObserver for MetricsObserver {
         self.pairs_gated += event.pairs_gated;
         self.restructures_budgeted += event.restructures_budgeted;
         self.sketch_aging_passes += event.sketch_aging_passes;
+        self.pairs_browned_out += event.pairs_browned_out;
+    }
+
+    fn on_overload(&mut self, _event: &OverloadEvent) {
+        self.overload_transitions += 1;
+    }
+
+    fn on_stall(&mut self, _event: &StallEvent) {
+        self.stalls += 1;
     }
 
     fn on_balance_repair(&mut self, event: &BalanceRepairEvent) {

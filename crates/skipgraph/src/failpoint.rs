@@ -103,6 +103,10 @@ static ARMED_SITES: AtomicU32 = AtomicU32::new(0);
 /// Per-site countdown: 0 = disarmed, `n > 0` = fire on the `n`-th hit
 /// from now.
 static COUNTDOWNS: [AtomicU64; 7] = [const { AtomicU64::new(0) }; 7];
+/// Per-site stall duration in milliseconds: 0 = the site panics when it
+/// fires (the default), `ms > 0` = the firing hit *sleeps* that long
+/// instead — the hang-injection mode stall-watchdog tests drive.
+static SLEEP_MS: [AtomicU64; 7] = [const { AtomicU64::new(0) }; 7];
 /// Per-site hit counters, recorded while *any* site is armed (coverage
 /// evidence for the fault-injection soak).
 static HITS: [AtomicU64; 7] = [const { AtomicU64::new(0) }; 7];
@@ -140,6 +144,26 @@ pub fn exclusive() -> MutexGuard<'static, ()> {
 pub fn arm(site: &str, nth: u64) {
     assert!(nth >= 1, "a fail point fires on the nth hit, nth >= 1");
     let i = index(site);
+    SLEEP_MS[i].store(0, Ordering::SeqCst);
+    if COUNTDOWNS[i].swap(nth, Ordering::SeqCst) == 0 {
+        ARMED_SITES.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Arms `site` to **stall** (sleep `ms` milliseconds on the firing hit,
+/// then continue) instead of panicking — hang injection for stall-watchdog
+/// tests. Countdown semantics match [`arm`]: fires on the `nth` hit from
+/// now, then disarms itself.
+///
+/// # Panics
+///
+/// Panics on an unknown site name, `nth == 0`, or `ms == 0` (use [`arm`]
+/// for the panic mode).
+pub fn arm_sleep(site: &str, nth: u64, ms: u64) {
+    assert!(nth >= 1, "a fail point fires on the nth hit, nth >= 1");
+    assert!(ms >= 1, "a stall fail point needs a positive sleep");
+    let i = index(site);
+    SLEEP_MS[i].store(ms, Ordering::SeqCst);
     if COUNTDOWNS[i].swap(nth, Ordering::SeqCst) == 0 {
         ARMED_SITES.fetch_add(1, Ordering::SeqCst);
     }
@@ -150,6 +174,9 @@ pub fn arm(site: &str, nth: u64) {
 pub fn disarm_all() {
     for countdown in &COUNTDOWNS {
         countdown.store(0, Ordering::SeqCst);
+    }
+    for sleep in &SLEEP_MS {
+        sleep.store(0, Ordering::SeqCst);
     }
     for hits in &HITS {
         hits.store(0, Ordering::SeqCst);
@@ -218,6 +245,11 @@ fn hit_armed(site: &'static str) {
             Ok(_) => {
                 if current == 1 {
                     ARMED_SITES.fetch_sub(1, Ordering::SeqCst);
+                    let stall_ms = SLEEP_MS[i].swap(0, Ordering::SeqCst);
+                    if stall_ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(stall_ms));
+                        return;
+                    }
                     panic!("fail point `{site}` fired");
                 }
                 return;
@@ -288,6 +320,28 @@ mod tests {
         let all: Vec<u64> = sites().iter().map(|s| seeded_nth(7, s, 1 << 20)).collect();
         let distinct: std::collections::HashSet<u64> = all.iter().copied().collect();
         assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn sleep_armed_site_stalls_instead_of_panicking() {
+        let _guard = exclusive();
+        disarm_all();
+        arm_sleep(INGEST_LOOP, 2, 30);
+        hit(INGEST_LOOP);
+        let started = std::time::Instant::now();
+        hit(INGEST_LOOP);
+        assert!(
+            started.elapsed() >= std::time::Duration::from_millis(25),
+            "the firing hit must stall"
+        );
+        // The site disarmed itself (and dropped back to the free fast
+        // path, so further hits are not even counted).
+        hit(INGEST_LOOP);
+        assert_eq!(hit_count(INGEST_LOOP), 2);
+        // A later plain `arm` is back in panic mode.
+        arm(INGEST_LOOP, 1);
+        assert!(std::panic::catch_unwind(|| hit(INGEST_LOOP)).is_err());
+        disarm_all();
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //! * [`HotSetDrift`] — a contiguous hot window sliding over the key space
 //!   (exercises frequency-sketch aging).
 //!
+//! [`OpenLoop`] wraps any of them into an **open-loop arrival schedule**
+//! at a fixed offered rate, for driving a service *into* overload instead
+//! of at whatever rate it sustains.
+//!
 //! All generators implement the [`Workload`] trait, are deterministic given
 //! a seed, and produce [`Request`] values over peer keys `0..n`.
 //!
@@ -46,6 +50,7 @@ pub mod datacenter;
 pub mod flash_crowd;
 pub mod hot_set_drift;
 pub mod hotset;
+pub mod open_loop;
 pub mod repeated;
 pub mod trace;
 pub mod uniform;
@@ -55,6 +60,7 @@ pub use datacenter::Datacenter;
 pub use flash_crowd::FlashCrowd;
 pub use hot_set_drift::HotSetDrift;
 pub use hotset::RotatingHotSet;
+pub use open_loop::{Arrival, OpenLoop};
 pub use repeated::RepeatedPairs;
 pub use trace::{Request, Trace};
 pub use uniform::{Adversarial, UniformRandom};

@@ -1,0 +1,112 @@
+//! Open-loop offered-load schedules.
+//!
+//! A closed-loop driver (submit, wait, submit) can never overload a
+//! service: its offered rate collapses to whatever the service sustains.
+//! Measuring overload behaviour — shedding, brownout, sojourn growth —
+//! needs an **open-loop** schedule: requests arrive at a fixed offered
+//! rate regardless of how the service is doing, exactly like an external
+//! client population would. [`OpenLoop`] wraps any [`Workload`] into such
+//! a schedule: the `i`-th request is due `i / rate` seconds after the
+//! schedule's start, as a plain [`Duration`] offset the driver sleeps
+//! until (or past — a slow driver naturally models coordinated omission
+//! on the producer side, not the service's).
+//!
+//! The schedule is pure data — no clock reads, no service dependency — so
+//! it is deterministic given the inner workload's seed and directly
+//! testable.
+
+use crate::trace::Request;
+use crate::Workload;
+use std::time::Duration;
+
+/// One scheduled arrival: the offset from the schedule's start at which
+/// the request is due, and the request itself.
+pub type Arrival = (Duration, Request);
+
+/// An open-loop arrival schedule at a fixed offered rate over any inner
+/// [`Workload`]. See the [module docs](self).
+#[derive(Debug)]
+pub struct OpenLoop<W> {
+    inner: W,
+    /// Offered rate in requests per second (> 0).
+    rate_rps: u64,
+    /// Index of the next arrival.
+    next: u64,
+}
+
+impl<W: Workload> OpenLoop<W> {
+    /// Wraps `inner` into an open-loop schedule offering `rate_rps`
+    /// requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_rps` is 0 — a zero offered rate is not a schedule.
+    pub fn new(inner: W, rate_rps: u64) -> Self {
+        assert!(rate_rps > 0, "the offered rate must be positive");
+        OpenLoop {
+            inner,
+            rate_rps,
+            next: 0,
+        }
+    }
+
+    /// The offered rate in requests per second.
+    pub fn rate_rps(&self) -> u64 {
+        self.rate_rps
+    }
+
+    /// The due time of arrival index `i`: `i / rate` seconds after start,
+    /// computed in integer nanoseconds so long schedules do not drift.
+    pub fn due(&self, i: u64) -> Duration {
+        Duration::from_nanos(i.saturating_mul(1_000_000_000) / self.rate_rps)
+    }
+
+    /// Produces the next arrival of the schedule.
+    pub fn next_arrival(&mut self) -> Arrival {
+        let due = self.due(self.next);
+        self.next += 1;
+        (due, self.inner.next_request())
+    }
+
+    /// Generates the complete schedule of the first `m` arrivals.
+    pub fn schedule(&mut self, m: usize) -> Vec<Arrival> {
+        (0..m).map(|_| self.next_arrival()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RepeatedPairs;
+
+    #[test]
+    fn arrivals_are_evenly_spaced_at_the_offered_rate() {
+        let mut open = OpenLoop::new(RepeatedPairs::new(16, vec![(0, 9), (3, 12), (5, 14), (1, 8)]), 1000);
+        let schedule = open.schedule(5);
+        let offsets: Vec<u64> = schedule.iter().map(|(d, _)| d.as_micros() as u64).collect();
+        assert_eq!(offsets, vec![0, 1000, 2000, 3000, 4000]);
+    }
+
+    #[test]
+    fn long_schedules_do_not_drift() {
+        let open = OpenLoop::new(RepeatedPairs::new(16, vec![(0, 9), (3, 12), (5, 14), (1, 8)]), 3);
+        // 3 rps: arrival 3_000_000 is due exactly 1_000_000 s in.
+        assert_eq!(open.due(3_000_000), Duration::from_secs(1_000_000));
+    }
+
+    #[test]
+    fn requests_come_from_the_inner_workload_deterministically() {
+        let mut open = OpenLoop::new(RepeatedPairs::new(16, vec![(0, 9), (3, 12), (5, 14), (1, 8)]), 50);
+        let mut twin = RepeatedPairs::new(16, vec![(0, 9), (3, 12), (5, 14), (1, 8)]);
+        for _ in 0..32 {
+            let (_, request) = open.next_arrival();
+            assert_eq!(request, twin.next_request());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "offered rate")]
+    fn zero_rate_is_rejected() {
+        let _ = OpenLoop::new(RepeatedPairs::new(16, vec![(0, 9), (3, 12), (5, 14), (1, 8)]), 0);
+    }
+}

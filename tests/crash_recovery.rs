@@ -512,6 +512,75 @@ fn bit_flipped_snapshot_falls_back_to_the_previous_checkpoint() {
     fs::remove_dir_all(&dir).ok();
 }
 
+// ---------------------------------------------------------------------
+// Brownout verdicts are journaled and replay bit-identical (PR 9)
+// ---------------------------------------------------------------------
+
+#[test]
+fn journaled_brownout_verdicts_replay_bit_identical() {
+    let dir = temp_dir("brownout");
+    let (n, seed) = (32u64, 91u64);
+    // A gated policy makes the brownout verdict *observable*: under
+    // brownout the admission gate degrades to route-only for cold pairs,
+    // so replaying a frame with the wrong flag would diverge the sketch
+    // and the structure alike.
+    let gated = || builder(n, seed).policy(PolicyConfig::gated());
+    // Forced degradation: a zero brownout target with a 1 ns evaluation
+    // window means every window close finds min > target, so served
+    // chunks are journaled under brownout essentially from the start.
+    let overload = OverloadConfig::default()
+        .with_brownout_target(Duration::ZERO)
+        .with_interval(Duration::from_nanos(1));
+    let config = persist_config(1, 0, 1).with_overload(overload);
+
+    let (service, _) = DsgService::open(&dir, gated(), config).expect("cold start");
+    for i in 0..16u64 {
+        // A hot pair mixed with cold ones: route-only verdicts leave a
+        // visibly different structure than full admission would.
+        let request = if i % 2 == 0 {
+            Request::communicate(3, 19)
+        } else {
+            Request::communicate(i % n, (i + 11) % n)
+        };
+        serve_one(&service, request).expect("serves cleanly");
+    }
+    let metrics = service.metrics();
+    assert!(metrics.brownout_chunks >= 1, "brownout never engaged");
+    // Crash without a shutdown: the journal alone carries the verdicts.
+    drop(service);
+
+    let scan = read_journal(&dir).expect("surviving journal scans clean");
+    assert_eq!(scan.frames.len(), scan.brownout.len());
+    assert!(
+        scan.brownout.iter().any(|&flag| flag),
+        "no frame recorded a brownout verdict"
+    );
+
+    // Reopen WITHOUT the overload layer: recovery must degrade each
+    // replayed frame per its journaled flag, not per any live controller.
+    let (mut restarted, report) =
+        DsgService::open(&dir, gated(), persist_config(1, 0, 1)).expect("store reopens");
+    assert!(report.recovered);
+    assert_eq!(report.frames_replayed, scan.frames.len() as u64);
+    let done = restarted.shutdown().expect("first shutdown");
+
+    // The uninterrupted twin replays the frames with their recorded
+    // verdicts; structure, clock, and frequency sketch must all agree.
+    let mut twin = gated().build().expect("twin builds");
+    for (chunk, &brownout) in scan.frames.iter().zip(&scan.brownout) {
+        twin.submit_batch_degraded(chunk, brownout)
+            .expect("journal replays cleanly");
+    }
+    assert_networks_agree("brownout replay twin", done.session.engine(), twin.engine());
+    assert_eq!(done.session.engine().time(), twin.engine().time());
+    assert_eq!(
+        done.session.engine().capture_image(),
+        twin.engine().capture_image(),
+        "the replayed frequency sketch diverged"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn bit_flipped_manifest_is_rejected_typed() {
     let (dir, _session) = corruption_fixture("flip-manifest", 16, 73, 3);

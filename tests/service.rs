@@ -361,7 +361,9 @@ proptest! {
         seed in 0u64..1000,
         raw in proptest::collection::vec((0u64..1000, 0u64..1000), 8..48),
         producers in 2usize..5,
+        overload_bit in 0u64..2,
     ) {
+        let overload = overload_bit == 1;
         let requests: Vec<Request> = raw
             .iter()
             .filter_map(|&(a, b)| {
@@ -372,16 +374,25 @@ proptest! {
         if requests.is_empty() {
             return;
         }
-        let mut service = DsgService::spawn(
-            build(n, seed),
-            ServiceConfig {
-                record_journal: true,
-                queue_capacity: 8,
-                ingest_batch: 4,
-                ..ServiceConfig::default()
-            },
-        )
-        .unwrap();
+        let mut config = ServiceConfig {
+            record_journal: true,
+            queue_capacity: 8,
+            ingest_batch: 4,
+            ..ServiceConfig::default()
+        };
+        if overload {
+            // Targets far beyond any real sojourn: the overload layer is
+            // armed (controller, watchdog, degraded submit path) but never
+            // triggers, and must leave the run bit-identical to a service
+            // without it.
+            config = config.with_overload(
+                OverloadConfig::default()
+                    .with_brownout_target(Duration::from_secs(3600))
+                    .with_shed_target(Duration::from_secs(7200))
+                    .with_stall_after(Duration::from_secs(3600)),
+            );
+        }
+        let mut service = DsgService::spawn(build(n, seed), config).unwrap();
         std::thread::scope(|scope| {
             for slice in requests.chunks(requests.len().div_ceil(producers)) {
                 let service = &service;
@@ -397,6 +408,13 @@ proptest! {
         });
         let done = service.shutdown().expect("first shutdown");
         prop_assert_eq!(done.metrics.submitted as usize, requests.len());
+        if overload {
+            // The armed-but-idle overload layer never degraded anything.
+            prop_assert_eq!(done.metrics.shed_submits, 0);
+            prop_assert_eq!(done.metrics.deadline_shed, 0);
+            prop_assert_eq!(done.metrics.brownout_chunks, 0);
+            prop_assert_eq!(done.metrics.pairs_browned_out, 0);
+        }
 
         let mut twin = build(n, seed);
         for chunk in &done.journal {
@@ -464,4 +482,190 @@ fn durable_journal_agrees_with_the_recording_oracle() {
     }
     assert_networks_agree("durable journal twin", done.session.engine(), twin.engine());
     std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Overload control (PR 9): deadline shedding, sojourn shedding, watchdog
+// ---------------------------------------------------------------------
+
+#[test]
+fn expired_deadline_is_shed_before_the_engine_and_the_ticket_resolves() {
+    let gate = Arc::new(GateInner::default());
+    let mut session = build(32, 9);
+    session.add_observer(Arc::new(Mutex::new(GateObserver(Arc::clone(&gate)))));
+    let mut service = DsgService::spawn(session, ServiceConfig::default()).unwrap();
+
+    // r1 wedges the ingest thread inside its epoch's observer callback.
+    let r1 = service.submit(Request::communicate(0, 16)).unwrap();
+    gate.wait_entered();
+    // r2's budget expires while it waits behind the wedged engine; r3
+    // rides the same drained chunk without a deadline — shedding its
+    // neighbour must not touch it.
+    let r2 = service
+        .submit_with_deadline(Request::communicate(1, 17), Duration::from_millis(10))
+        .unwrap();
+    let r3 = service.submit(Request::communicate(2, 18)).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    gate.release();
+
+    // Regression (`Ticket::wait_timeout` contract): a shed ticket
+    // *resolves* the moment the request is dropped — the waiter is never
+    // left to ride out its own timeout.
+    match r2.wait_timeout(Duration::from_secs(10)) {
+        Some(Err(DsgError::DeadlineExceeded)) => {}
+        other => panic!("expected a resolved DeadlineExceeded ticket, got {other:?}"),
+    }
+    r1.wait().unwrap();
+    r3.wait().expect("an expired neighbour must not fail the chunk");
+    let done = service.shutdown().expect("first shutdown");
+    assert_eq!(done.metrics.deadline_shed, 1);
+    assert_eq!(done.metrics.submitted, 3);
+    done.session.engine().validate().unwrap();
+}
+
+/// An observer that sleeps through every epoch — a deterministic slow
+/// engine whose service rate stays far below any offered burst.
+struct SlowEngine(Duration);
+
+impl DsgObserver for SlowEngine {
+    fn on_transform(&mut self, _event: &TransformEvent) {
+        std::thread::sleep(self.0);
+    }
+}
+
+#[test]
+fn sustained_backlog_engages_shedding_then_recovers() {
+    let mut session = build(64, 11);
+    session.add_observer(Arc::new(Mutex::new(SlowEngine(Duration::from_millis(10)))));
+    let overload = OverloadConfig::default()
+        .with_brownout_target(Duration::from_millis(2))
+        .with_shed_target(Duration::from_millis(8))
+        .with_interval(Duration::from_millis(5))
+        .with_retry_after(Duration::from_millis(25));
+    let mut service = DsgService::spawn(
+        session,
+        ServiceConfig {
+            queue_capacity: 256,
+            ingest_batch: 1,
+            ..ServiceConfig::default()
+        }
+        .with_overload(overload),
+    )
+    .unwrap();
+
+    // Open-loop burst: keep offering work faster than the ~10 ms/epoch
+    // engine serves it until the controller turns producers away.
+    let mut accepted: Vec<Ticket> = Vec::new();
+    let mut refusal = None;
+    for i in 0..400u64 {
+        match service.submit(Request::communicate(i % 64, (i + 31) % 64)) {
+            Ok(ticket) => accepted.push(ticket),
+            Err(SubmitError::Shed { retry_after }) => {
+                refusal = Some(retry_after);
+                break;
+            }
+            Err(err) => panic!("unexpected refusal {err}"),
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(
+        refusal.expect("sustained overload must engage shedding"),
+        Duration::from_millis(25),
+        "the shed refusal carries the configured retry-after hint"
+    );
+    let status = service.status();
+    assert!(status.shed_submits >= 1);
+    assert!(
+        status.brownout,
+        "shedding is the harsher rung: brownout must already be engaged"
+    );
+
+    // Producer-side retry: with the queue still ~10 epochs deep, a
+    // two-attempt policy burns its retry and hands back the last typed
+    // refusal (its backoff is floored at the 25 ms hint).
+    let policy = RetryPolicy {
+        attempts: 2,
+        base: Duration::from_micros(10),
+        cap: Duration::from_micros(10),
+        seed: 7,
+    };
+    match service.submit_retry(Request::communicate(5, 40), &policy) {
+        Err(SubmitError::Shed { .. }) => {}
+        other => panic!("expected the retries to exhaust against the backlog, got {other:?}"),
+    }
+
+    // Stop offering: every accepted ticket resolves, the backlog drains,
+    // and the idle queue exits the degradation ladder.
+    for ticket in accepted {
+        ticket.wait().expect("accepted requests serve cleanly");
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let metrics = service.metrics();
+        if metrics.brownout_exits >= 1 {
+            assert!(metrics.brownout_entries >= 1);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "the idle queue never exited brownout"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        service.status().sojourn_p99_us > 0,
+        "queued requests must have recorded sojourns"
+    );
+    let done = service.shutdown().expect("first shutdown");
+    assert!(done.metrics.shed_submits >= 2, "the retry loop also counted");
+    assert!(done.metrics.brownout_chunks >= 1);
+    done.session.engine().validate().unwrap();
+}
+
+/// An observer recording the watchdog's stall reports.
+#[derive(Default)]
+struct StallRecorder(Arc<Mutex<Vec<(&'static str, u64)>>>);
+
+impl DsgObserver for StallRecorder {
+    fn on_stall(&mut self, event: &StallEvent) {
+        self.0
+            .lock()
+            .unwrap()
+            .push((event.stage, event.stalled_for_ns));
+    }
+}
+
+#[test]
+fn watchdog_reports_a_wedged_ingest_loop() {
+    let _guard = failpoint::exclusive();
+    failpoint::disarm_all();
+    let stalls: Arc<Mutex<Vec<(&'static str, u64)>>> = Arc::default();
+    let mut session = build(32, 13);
+    session.add_observer(Arc::new(Mutex::new(StallRecorder(Arc::clone(&stalls)))));
+    let mut service = DsgService::spawn(
+        session,
+        ServiceConfig::default()
+            .with_overload(OverloadConfig::default().with_stall_after(Duration::from_millis(40))),
+    )
+    .unwrap();
+
+    // The armed sleep wedges the ingest loop for 250 ms inside the engine
+    // stage — far past the 40 ms stall threshold, so the watchdog must
+    // report exactly one stuck-heartbeat episode.
+    failpoint::arm_sleep(failpoint::INGEST_LOOP, 1, 250);
+    let ticket = service.submit(Request::communicate(0, 16)).unwrap();
+    ticket
+        .wait()
+        .expect("a sleeping fail point injects delay, not failure");
+    failpoint::disarm_all();
+
+    {
+        let recorded = stalls.lock().unwrap();
+        assert!(!recorded.is_empty(), "the watchdog never fired");
+        assert!(recorded.iter().all(|&(stage, _)| stage == "engine"));
+        assert!(recorded.iter().all(|&(_, ns)| ns >= 40_000_000));
+    }
+    let done = service.shutdown().expect("first shutdown");
+    assert!(done.metrics.stalls >= 1);
+    done.session.engine().validate().unwrap();
 }

@@ -137,6 +137,130 @@ fn soak_mixed_traffic_sharded() {
     soak(4);
 }
 
+/// Overload soak (PR 9): an open-loop driver offers mixed traffic at
+/// ≥ 2× the service's measured closed-loop capacity, with shedding and
+/// brownout enabled. The run proves that (a) no accepted ticket ever
+/// leaks — every one resolves with an outcome or a typed error, (b) the
+/// controller actually walked the degradation ladder (brownout entered
+/// AND exited), (c) overload surfaced to producers as typed refusals,
+/// and (d) the surviving engine passes the deep invariant sweep.
+#[test]
+#[ignore = "long-horizon soak; run explicitly (CI soak job) with --ignored"]
+fn soak_overload_shedding_and_brownout() {
+    use std::time::{Duration, Instant};
+
+    use dsg_workloads::{OpenLoop, Workload, ZipfPairs};
+
+    const PEERS: u64 = 192;
+    const CALIBRATE: usize = 300;
+    const OFFERED: usize = 2_000;
+
+    // Phase A — closed-loop calibration: measure the sustained service
+    // rate with the same skewed workload the overload phase offers.
+    let build = || {
+        DsgSession::builder()
+            .peers(0..PEERS)
+            .seed(0x0F_F3)
+            .policy(PolicyConfig::gated())
+            .build()
+            .expect("soak config is valid")
+    };
+    let calibration = DsgService::spawn(build(), ServiceConfig::default()).unwrap();
+    let mut workload = ZipfPairs::new(PEERS, 1.1, 0xA5);
+    let started = Instant::now();
+    for _ in 0..CALIBRATE {
+        calibration
+            .submit_deadline(workload.next_request(), Duration::from_secs(30))
+            .expect("calibration admits")
+            .wait()
+            .expect("calibration serves cleanly");
+    }
+    let capacity_rps =
+        ((CALIBRATE as f64 / started.elapsed().as_secs_f64()) as u64).clamp(50, 2_000_000);
+    drop(calibration);
+
+    // Phase B — open loop at 2× capacity against a fresh twin service
+    // with the overload layer on.
+    let overload = OverloadConfig::default()
+        .with_brownout_target(Duration::from_millis(2))
+        .with_shed_target(Duration::from_millis(10))
+        .with_interval(Duration::from_millis(20))
+        .with_retry_after(Duration::from_millis(5));
+    let mut service = DsgService::spawn(
+        build(),
+        ServiceConfig {
+            queue_capacity: 4096,
+            ..ServiceConfig::default()
+        }
+        .with_overload(overload),
+    )
+    .unwrap();
+    let mut open = OpenLoop::new(ZipfPairs::new(PEERS, 1.1, 0xA5), 2 * capacity_rps);
+    let start = Instant::now();
+    let mut accepted: Vec<Ticket> = Vec::new();
+    let mut refused = 0u64;
+    for i in 0..OFFERED {
+        let (due, request) = open.next_arrival();
+        if let Some(wait) = due.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        // Every 4th request carries a deadline: under 2× overload some of
+        // them expire in the queue and must resolve typed, not hang.
+        let submitted = if i % 4 == 0 {
+            service.submit_with_deadline(request, Duration::from_secs(2))
+        } else {
+            service.submit(request)
+        };
+        match submitted {
+            Ok(ticket) => accepted.push(ticket),
+            Err(SubmitError::Shed { .. } | SubmitError::Overloaded) => refused += 1,
+            Err(err) => panic!("unexpected refusal {err}"),
+        }
+    }
+    assert!(refused >= 1, "2x offered load never produced a refusal");
+
+    // No leaked tickets: every accepted submission resolves — served or
+    // shed — within the drain budget.
+    let mut served = 0u64;
+    let mut expired = 0u64;
+    for ticket in &accepted {
+        match ticket
+            .wait_timeout(Duration::from_secs(120))
+            .expect("an accepted ticket leaked: no resolution within 120s")
+        {
+            Ok(_) => served += 1,
+            Err(DsgError::DeadlineExceeded) => expired += 1,
+            Err(err) => panic!("unexpected ticket error {err}"),
+        }
+    }
+    assert_eq!(served + expired, accepted.len() as u64);
+    assert!(served >= 1, "the overloaded service served nothing");
+
+    // The drained queue exits the ladder: brownout entered AND exited.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let metrics = service.metrics();
+        if metrics.brownout_entries >= 1 && metrics.brownout_exits >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "brownout was never both entered ({}) and exited ({})",
+            metrics.brownout_entries,
+            metrics.brownout_exits
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let done = service.shutdown().expect("first shutdown");
+    assert_eq!(done.metrics.submitted, accepted.len() as u64);
+    assert_eq!(done.metrics.shed_submits + done.metrics.rejected_overload, refused);
+    assert!(done.metrics.brownout_chunks >= 1);
+    done.session
+        .engine()
+        .validate()
+        .expect("post-overload deep invariant sweep");
+}
+
 /// Fault-injection soak (PR 6; io sites PR 7): a seeded fault schedule
 /// walks every named fail-point site several rounds through a live
 /// [`DsgService`], proving that (a) each site actually fires under
